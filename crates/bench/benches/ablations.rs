@@ -1,0 +1,124 @@
+//! Design-choice ablations (DESIGN.md §5):
+//!
+//! 1. columnar frame scan vs row-oriented record scan;
+//! 2. parallel vs sequential group-by in the engine;
+//! 3. union-find vs BFS component labelling;
+//! 4. front-coded path column vs the plain-text path encoding (measured
+//!    as bytes, reported through the codec benches' sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spider_bench::fixture;
+use spider_core::engine::Engine;
+use spider_core::SnapshotFrame;
+use spider_graph::{ComponentSet, Labeling};
+use std::hint::black_box;
+
+/// Ablation 1: aggregate mean mtime per gid — once via the columnar
+/// frame, once via row-oriented records.
+fn bench_columnar_vs_row(c: &mut Criterion) {
+    let f = fixture();
+    let snapshot = f.snapshots.last().expect("fixture has snapshots");
+    let frame = SnapshotFrame::build(snapshot);
+    let mut group = c.benchmark_group("ablation_scan");
+    group.throughput(Throughput::Elements(snapshot.len() as u64));
+
+    group.bench_function("columnar_frame", |b| {
+        b.iter(|| {
+            let mut sums = rustc_hash::FxHashMap::<u32, (u64, u64)>::default();
+            for i in 0..frame.len() {
+                if frame.is_file[i] {
+                    let e = sums.entry(frame.gid[i]).or_default();
+                    e.0 += frame.mtime[i];
+                    e.1 += 1;
+                }
+            }
+            black_box(sums.len())
+        })
+    });
+    group.bench_function("row_records", |b| {
+        b.iter(|| {
+            let mut sums = rustc_hash::FxHashMap::<u32, (u64, u64)>::default();
+            for r in snapshot.records() {
+                if r.is_file() {
+                    let e = sums.entry(r.gid).or_default();
+                    e.0 += r.mtime;
+                    e.1 += 1;
+                }
+            }
+            black_box(sums.len())
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 2: the engine's group-fold in parallel vs sequential mode.
+fn bench_engine_modes(c: &mut Criterion) {
+    let f = fixture();
+    let snapshot = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(snapshot);
+    let mut group = c.benchmark_group("ablation_engine");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+    for (label, engine) in [("parallel", Engine::Parallel), ("sequential", Engine::Sequential)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let groups: rustc_hash::FxHashMap<u32, u64> = engine.group_fold(
+                    frame.len(),
+                    |i| frame.is_file[i].then_some(frame.gid[i]),
+                    |acc: &mut u64, _| *acc += 1,
+                    |a, b| *a += b,
+                );
+                black_box(groups.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: union-find vs BFS component labelling on the file
+/// generation network.
+fn bench_component_labelling(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("ablation_components");
+    for (label, algo) in [("union_find", Labeling::UnionFind), ("bfs", Labeling::Bfs)] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(ComponentSet::compute(&f.network.graph, algo).count()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: a full production analysis (striping) under both engine
+/// modes — the end-to-end view of ablation 2.
+fn bench_striping_engines(c: &mut Criterion) {
+    use spider_core::behavior::StripingAnalysis;
+    use spider_core::{SnapshotVisitor, VisitCtx};
+    let f = fixture();
+    let last = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(last);
+    let mut group = c.benchmark_group("ablation_striping");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+    for (label, engine) in [("parallel", Engine::Parallel), ("sequential", Engine::Sequential)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut striping = StripingAnalysis::with_engine(f.ctx.clone(), engine);
+                striping.visit(&VisitCtx {
+                    snapshot: last,
+                    frame: &frame,
+                    prev: None,
+                    diff: None,
+                });
+                black_box(striping.all_summaries())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_columnar_vs_row,
+    bench_engine_modes,
+    bench_component_labelling,
+    bench_striping_engines
+);
+criterion_main!(benches);

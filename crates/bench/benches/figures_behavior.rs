@@ -1,0 +1,98 @@
+//! Benchmarks for the §4.2 user-behavior figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::fixture;
+use spider_core::behavior::{BurstinessAnalysis, FileAgeAnalysis, StripingAnalysis};
+use spider_core::{SnapshotFrame, SnapshotVisitor, VisitCtx};
+use spider_snapshot::SnapshotDiff;
+use std::hint::black_box;
+
+/// Fig. 13: the adjacent-snapshot diff is the core cost.
+fn bench_fig13(c: &mut Criterion) {
+    let f = fixture();
+    let n = f.snapshots.len();
+    assert!(n >= 2, "fixture needs at least two snapshots");
+    let (old, new) = (&f.snapshots[n - 2], &f.snapshots[n - 1]);
+    c.bench_function("fig13/snapshot_diff", |b| {
+        b.iter(|| black_box(SnapshotDiff::compute(old, new)))
+    });
+}
+
+/// Fig. 14: one striping pass over the final snapshot.
+fn bench_fig14(c: &mut Criterion) {
+    let f = fixture();
+    let last = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(last);
+    c.bench_function("fig14/striping_step", |b| {
+        b.iter(|| {
+            let mut striping = StripingAnalysis::new(f.ctx.clone());
+            striping.visit(&VisitCtx {
+                snapshot: last,
+                frame: &frame,
+                prev: None,
+                diff: None,
+            });
+            black_box(striping.all_summaries())
+        })
+    });
+}
+
+/// Fig. 15: growth reads are trivial; bench the trend fit.
+fn bench_fig15(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig15/growth_trend", |b| {
+        b.iter(|| black_box(f.growth.files().trend()))
+    });
+}
+
+/// Fig. 16: one file-age pass (quantiles over every file's age).
+fn bench_fig16(c: &mut Criterion) {
+    let f = fixture();
+    let last = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(last);
+    c.bench_function("fig16/age_step", |b| {
+        b.iter(|| {
+            let mut age = FileAgeAnalysis::new();
+            age.visit(&VisitCtx {
+                snapshot: last,
+                frame: &frame,
+                prev: None,
+                diff: None,
+            });
+            black_box(age.mean_age_days().last())
+        })
+    });
+}
+
+/// Fig. 17: one burstiness step over an adjacent pair (diff + per-project
+/// c_v extraction).
+fn bench_fig17(c: &mut Criterion) {
+    let f = fixture();
+    let n = f.snapshots.len();
+    let (old, new) = (&f.snapshots[n - 2], &f.snapshots[n - 1]);
+    let old_frame = SnapshotFrame::build(old);
+    let new_frame = SnapshotFrame::build(new);
+    let diff = SnapshotDiff::compute(old, new);
+    c.bench_function("fig17/burstiness_step", |b| {
+        b.iter(|| {
+            let mut burst = BurstinessAnalysis::with_min_files(f.ctx.clone(), 10);
+            burst.visit(&VisitCtx {
+                snapshot: new,
+                frame: &new_frame,
+                prev: Some((old, &old_frame)),
+                diff: Some(&diff),
+            });
+            black_box(burst.finish())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17
+);
+criterion_main!(benches);

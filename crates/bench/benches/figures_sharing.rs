@@ -1,0 +1,44 @@
+//! Benchmarks for the §4.3 sharing/network figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::fixture;
+use spider_core::sharing::collaboration::CollaborationReport;
+use spider_core::sharing::components::ComponentReport;
+use spider_core::sharing::network::NetworkOverview;
+use spider_graph::{ComponentSet, DegreeStats, DistanceStats, Labeling};
+use std::hint::black_box;
+
+/// Fig. 18: degree distribution + power-law fit.
+fn bench_fig18(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig18/degree_stats", |b| {
+        b.iter(|| black_box(DegreeStats::compute(&f.network.graph)))
+    });
+    c.bench_function("fig18/network_overview", |b| {
+        b.iter(|| black_box(NetworkOverview::compute(&f.network, 10)))
+    });
+}
+
+/// Fig. 19 / Table 3: components plus the all-pairs BFS distance pass.
+fn bench_fig19(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig19/component_report", |b| {
+        b.iter(|| black_box(ComponentReport::compute(&f.network)))
+    });
+    let components = ComponentSet::compute(&f.network.graph, Labeling::UnionFind);
+    let members = components.members(components.largest().expect("non-empty"));
+    c.bench_function("fig19/giant_component_distances", |b| {
+        b.iter(|| black_box(DistanceStats::compute(&f.network.graph, &members)))
+    });
+}
+
+/// Fig. 20: user-pair enumeration.
+fn bench_fig20(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig20/collaboration_report", |b| {
+        b.iter(|| black_box(CollaborationReport::compute(&f.collab_network)))
+    });
+}
+
+criterion_group!(benches, bench_fig18, bench_fig19, bench_fig20);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Benchmarks for the §4.1 project-file-trend figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::fixture;
+use spider_core::trends::census::UniqueCensus;
+use spider_core::trends::extensions::ExtensionTrend;
+use spider_core::trends::users::ActiveUsersAnalysis;
+use spider_core::{stream_snapshots, SnapshotVisitor};
+use std::hint::black_box;
+
+/// Fig. 5: full active-user extraction over the snapshot series.
+fn bench_fig05(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig05/active_users_stream", |b| {
+        b.iter(|| {
+            let mut analysis = ActiveUsersAnalysis::new(f.ctx.clone());
+            stream_snapshots(&f.snapshots, &mut [&mut analysis]);
+            black_box(analysis.finish())
+        })
+    });
+}
+
+/// Fig. 6: participation CDF finalization.
+fn bench_fig06(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig06/participation_finish", |b| {
+        b.iter(|| black_box(f.participation.finish()))
+    });
+}
+
+/// Fig. 7 + Fig. 8(b): the unique-entry census is the heavy pass; bench
+/// one full streaming census over the series.
+fn bench_fig07_census(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(10);
+    group.bench_function("unique_census_stream", |b| {
+        b.iter(|| {
+            let mut census = UniqueCensus::new(f.ctx.clone());
+            stream_snapshots(&f.snapshots, &mut [&mut census]);
+            black_box(census.unique_entries())
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 8(a)/9: depth report finalization.
+fn bench_fig08_fig09(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig08/depth_finish", |b| b.iter(|| black_box(f.depth.finish())));
+}
+
+/// Fig. 10: one snapshot step of the extension-share trend.
+fn bench_fig10(c: &mut Criterion) {
+    let f = fixture();
+    let top20: Vec<String> = f
+        .census
+        .top_extensions_global(20)
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    let last = f.snapshots.last().expect("fixture has snapshots");
+    let frame = spider_core::SnapshotFrame::build(last);
+    c.bench_function("fig10/extension_trend_step", |b| {
+        b.iter(|| {
+            let mut trend = ExtensionTrend::new(top20.clone());
+            let ctx = spider_core::VisitCtx {
+                snapshot: last,
+                frame: &frame,
+                prev: None,
+                diff: None,
+            };
+            trend.visit(&ctx);
+            black_box(trend.none_series().last())
+        })
+    });
+}
+
+/// Figs. 11–12: language rankings from the census.
+fn bench_fig11_fig12(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig11/language_ranking", |b| {
+        b.iter(|| black_box(f.census.language_ranking()))
+    });
+    c.bench_function("fig12/domain_languages", |b| {
+        b.iter(|| {
+            for &domain in &spider_workload::ALL_DOMAINS {
+                black_box(f.census.domain_languages(domain));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig05,
+    bench_fig06,
+    bench_fig07_census,
+    bench_fig08_fig09,
+    bench_fig10,
+    bench_fig11_fig12
+);
+criterion_main!(benches);

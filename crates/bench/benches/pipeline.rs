@@ -1,0 +1,46 @@
+//! Benchmarks for the data pipeline stages (Fig. 4): scanning, the PSV
+//! codec, the columnar codec, and frame construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spider_bench::fixture;
+use spider_core::SnapshotFrame;
+use spider_snapshot::{colf, psv};
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let f = fixture();
+    let snapshot = f.snapshots.last().expect("fixture has snapshots");
+    let records = snapshot.len() as u64;
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(records));
+
+    group.bench_function("psv_encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            psv::write_psv(snapshot, &mut out).unwrap();
+            black_box(out.len())
+        })
+    });
+    let mut psv_bytes = Vec::new();
+    psv::write_psv(snapshot, &mut psv_bytes).unwrap();
+    group.bench_function("psv_decode", |b| {
+        b.iter(|| black_box(psv::read_psv(psv_bytes.as_slice()).unwrap().len()))
+    });
+
+    group.bench_function("colf_encode", |b| {
+        b.iter(|| black_box(colf::encode(snapshot).len()))
+    });
+    let colf_bytes = colf::encode(snapshot);
+    group.bench_function("colf_decode", |b| {
+        b.iter(|| black_box(colf::decode(&colf_bytes).unwrap().len()))
+    });
+
+    group.bench_function("frame_build", |b| {
+        b.iter(|| black_box(SnapshotFrame::build(snapshot).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks for the paper's tables: Table 1 assembly, Table 2
+//! extension rankings, Table 3 component census.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spider_bench::fixture;
+use spider_core::sharing::collaboration::CollaborationReport;
+use spider_core::sharing::components::ComponentReport;
+use spider_core::SummaryTable;
+use spider_workload::ALL_DOMAINS;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let f = fixture();
+    let components = ComponentReport::compute(&f.network);
+    let collaboration = CollaborationReport::compute(&f.collab_network);
+    c.bench_function("table1/assemble_summary", |b| {
+        b.iter(|| {
+            black_box(SummaryTable::assemble(
+                &f.census,
+                &f.depth,
+                &f.striping,
+                &f.burstiness,
+                &components,
+                &collaboration,
+            ))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("table2/top_extensions_all_domains", |b| {
+        b.iter(|| {
+            for &domain in &ALL_DOMAINS {
+                black_box(f.census.top_extensions(domain, 3));
+            }
+        })
+    });
+    c.bench_function("table2/top20_global", |b| {
+        b.iter(|| black_box(f.census.top_extensions_global(20)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("table3/component_report", |b| {
+        b.iter(|| black_box(ComponentReport::compute(&f.network)))
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3);
+criterion_main!(benches);

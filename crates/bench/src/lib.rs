@@ -1,0 +1,105 @@
+//! # spider-bench
+//!
+//! Criterion benchmarks for the reproduction, one group per paper
+//! table/figure plus pipeline-stage and design-ablation benches (see
+//! DESIGN.md §5). This library crate only carries the shared fixture; the
+//! benches live in `benches/`.
+
+#![warn(missing_docs)]
+
+use spider_core::behavior::{BurstinessAnalysis, FileAgeAnalysis, GrowthAnalysis, StripingAnalysis};
+use spider_core::sharing::FileGenNetwork;
+use spider_core::trends::census::UniqueCensus;
+use spider_core::trends::depth::DepthAnalysis;
+use spider_core::trends::participation::ParticipationAnalysis;
+use spider_core::{stream_snapshots, AnalysisContext};
+use spider_sim::{SimConfig, Simulation};
+use spider_snapshot::Snapshot;
+use spider_workload::Population;
+use std::sync::OnceLock;
+
+/// Shared benchmark inputs: a simulated snapshot series plus pre-streamed
+/// analyses, built once per bench binary.
+pub struct Fixture {
+    /// The population behind the snapshots.
+    pub population: Population,
+    /// Analysis context (uid/gid joins).
+    pub ctx: AnalysisContext,
+    /// The weekly snapshots, in day order.
+    pub snapshots: Vec<Snapshot>,
+    /// Pre-streamed census.
+    pub census: UniqueCensus,
+    /// Pre-streamed depth analysis.
+    pub depth: DepthAnalysis,
+    /// Pre-streamed participation analysis.
+    pub participation: ParticipationAnalysis,
+    /// Pre-streamed striping analysis.
+    pub striping: StripingAnalysis,
+    /// Pre-streamed growth analysis.
+    pub growth: GrowthAnalysis,
+    /// Pre-streamed age analysis.
+    pub age: FileAgeAnalysis,
+    /// Pre-streamed burstiness analysis.
+    pub burstiness: BurstinessAnalysis,
+    /// Pre-streamed network (staff included).
+    pub network: spider_core::sharing::BuiltNetwork,
+    /// Pre-streamed network without staff.
+    pub collab_network: spider_core::sharing::BuiltNetwork,
+}
+
+/// Returns the shared fixture (simulates on first call).
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let config = SimConfig::test_small(0xbe9c).with_scale(0.0003);
+        let mut sim = Simulation::new(config);
+        let total_weeks = (config.warmup_days + config.days) / config.snapshot_interval_days;
+        let mut snapshots = Vec::new();
+        for _ in 0..total_weeks {
+            let stats = sim.run_week();
+            if stats.observation_day >= 0 {
+                snapshots.push(sim.snapshot(stats.observation_day as u32));
+            }
+        }
+        let population = sim.population().clone();
+        let ctx = AnalysisContext::new(&population);
+
+        let mut census = UniqueCensus::new(ctx.clone());
+        let mut depth = DepthAnalysis::new(ctx.clone());
+        let mut participation = ParticipationAnalysis::new(ctx.clone());
+        let mut striping = StripingAnalysis::new(ctx.clone());
+        let mut growth = GrowthAnalysis::new();
+        let mut age = FileAgeAnalysis::new();
+        let mut burstiness = BurstinessAnalysis::with_min_files(ctx.clone(), 10);
+        let mut network = FileGenNetwork::new(ctx.clone());
+        let mut collab = FileGenNetwork::without_staff(ctx.clone());
+        stream_snapshots(
+            &snapshots,
+            &mut [
+                &mut census,
+                &mut depth,
+                &mut participation,
+                &mut striping,
+                &mut growth,
+                &mut age,
+                &mut burstiness,
+                &mut network,
+                &mut collab,
+            ],
+        );
+        Fixture {
+            population,
+            ctx,
+            snapshots,
+            census,
+            depth,
+            participation,
+            striping,
+            growth,
+            age,
+            burstiness,
+            network: network.build(),
+            collab_network: collab.build(),
+        }
+    })
+}

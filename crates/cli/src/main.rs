@@ -1,0 +1,348 @@
+//! `spider-metalab` — command-line front end for the Spider II study
+//! reproduction.
+//!
+//! ```text
+//! spider-metalab list
+//! spider-metalab simulate --dir runs/full [--scale 0.001] [--days 500] [--seed N]
+//! spider-metalab repro    --dir runs/full [--out results] [--scale 0.001] [--quick]
+//! spider-metalab exp fig16 --dir runs/full [--quick]
+//! spider-metalab inspect  --dir runs/full [--day 497]
+//! ```
+//!
+//! `--quick` switches to the small test-scale configuration (minutes →
+//! seconds) for smoke runs; published numbers come from the default
+//! configuration.
+
+use spider_experiments::{all_experiments, experiment_by_id, Lab, LabConfig};
+use spider_sim::{SimConfig, Simulation};
+use spider_snapshot::SnapshotStore;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(|s| s.as_str()) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "list" => cmd_list(),
+        "simulate" => cmd_simulate(&args[1..]),
+        "repro" => cmd_repro(&args[1..]),
+        "exp" => cmd_exp(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+spider-metalab — reproduction of 'Scientific User Behavior and Data-Sharing
+Trends in a Petascale File System' (SC'17) on a synthetic substrate
+
+USAGE:
+  spider-metalab list
+  spider-metalab simulate --dir DIR [--scale F] [--days N] [--seed N]
+  spider-metalab repro    --dir DIR [--out DIR] [--scale F] [--seed N] [--quick]
+  spider-metalab exp ID   --dir DIR [--quick]
+  spider-metalab inspect  --dir DIR [--day N]
+  spider-metalab analyze  --dir DIR [--day N]
+  spider-metalab convert  --psv FILE --dir DIR
+  spider-metalab export   --dir DIR --psv FILE [--day N]";
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_sim_config(args: &[String]) -> Result<SimConfig, AnyError> {
+    let mut config = if has_flag(args, "--quick") {
+        SimConfig::test_small(0x51d_e001)
+    } else {
+        SimConfig::default()
+    };
+    if let Some(scale) = flag_value(args, "--scale") {
+        config.scale = scale.parse::<f64>()?;
+    }
+    if let Some(days) = flag_value(args, "--days") {
+        config.days = days.parse::<u32>()?;
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        config = config.with_seed(seed.parse::<u64>()?);
+    }
+    Ok(config)
+}
+
+fn required_dir(args: &[String]) -> Result<PathBuf, AnyError> {
+    flag_value(args, "--dir")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--dir is required".into())
+}
+
+fn lab_config(args: &[String]) -> Result<LabConfig, AnyError> {
+    let dir = required_dir(args)?;
+    let sim = parse_sim_config(args)?;
+    let burstiness_min_files = if has_flag(args, "--quick") { 10 } else { 30 };
+    Ok(LabConfig {
+        sim,
+        dir,
+        burstiness_min_files,
+    })
+}
+
+fn cmd_list() -> Result<(), AnyError> {
+    println!("experiments (paper artifact -> runner id):");
+    for (id, _) in all_experiments() {
+        println!("  {id}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
+    let dir = required_dir(args)?;
+    let config = parse_sim_config(args)?;
+    std::fs::create_dir_all(&dir)?;
+    let store_dir = dir.join("snapshots");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut store = SnapshotStore::open(&store_dir)?;
+    eprintln!(
+        "simulating {} observation days (+{} warm-up) at scale {} ...",
+        config.days, config.warmup_days, config.scale
+    );
+    let started = std::time::Instant::now();
+    let mut sim = Simulation::new(config);
+    let outcome = sim.run(&mut store)?;
+    std::fs::write(
+        dir.join("lab-config.json"),
+        serde_json::to_string_pretty(&config)?,
+    )?;
+    let last = outcome.weeks.last().expect("at least one week");
+    println!(
+        "done in {:.1?}: {} snapshots, {} files created, live at end: {} files / {} dirs",
+        started.elapsed(),
+        outcome.snapshot_days.len(),
+        outcome.total_created,
+        last.live_files,
+        last.live_dirs
+    );
+    Ok(())
+}
+
+fn cmd_repro(args: &[String]) -> Result<(), AnyError> {
+    let config = lab_config(args)?;
+    let out_dir = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| config.dir.join("results"));
+    std::fs::create_dir_all(&out_dir)?;
+    eprintln!("preparing lab in {} ...", config.dir.display());
+    let started = std::time::Instant::now();
+    let lab = Lab::prepare(config)?;
+    eprintln!("lab ready in {:.1?}", started.elapsed());
+
+    let mut markdown = String::from("# Experiment results\n\n");
+    let mut total = 0usize;
+    let mut passed = 0usize;
+    for (id, run) in all_experiments() {
+        let out = run(&lab);
+        println!("\n================ {} ================", out.title);
+        println!("{}", out.text);
+        for check in &out.verdicts.checks {
+            total += 1;
+            if check.pass {
+                passed += 1;
+            }
+            println!(
+                "  [{}] {}: paper: {} | measured: {}",
+                if check.pass { "PASS" } else { "FAIL" },
+                check.name,
+                check.paper,
+                check.measured
+            );
+        }
+        std::fs::write(out_dir.join(format!("{id}.txt")), &out.text)?;
+        if let Some(csv) = &out.csv {
+            std::fs::write(out_dir.join(format!("{id}.csv")), csv)?;
+        }
+        markdown.push_str(&out.verdicts.to_markdown());
+        markdown.push('\n');
+    }
+    std::fs::write(out_dir.join("verdicts.md"), &markdown)?;
+    println!("\nshape checks: {passed}/{total} passed");
+    println!("artifacts in {}", out_dir.display());
+    Ok(())
+}
+
+fn cmd_exp(args: &[String]) -> Result<(), AnyError> {
+    let Some(id) = args.first() else {
+        return Err("usage: spider-metalab exp <id> --dir DIR".into());
+    };
+    let run = experiment_by_id(id).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+    let config = lab_config(&args[1..])?;
+    let lab = Lab::prepare(config)?;
+    let out = run(&lab);
+    println!("{}", out.text);
+    for check in &out.verdicts.checks {
+        println!(
+            "  [{}] {}: {}",
+            if check.pass { "PASS" } else { "FAIL" },
+            check.name,
+            check.measured
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), AnyError> {
+    let dir = required_dir(args)?;
+    let store = SnapshotStore::open(dir.join("snapshots"))?;
+    if store.is_empty() {
+        return Err("store is empty; run `simulate` first".into());
+    }
+    let day = match flag_value(args, "--day") {
+        Some(d) => d.parse::<u32>()?,
+        None => *store.days().last().expect("non-empty"),
+    };
+    let snapshot = store
+        .get(day)?
+        .ok_or_else(|| format!("no snapshot for day {day}; have {:?}", store.days()))?;
+    println!(
+        "day {day}: {} records ({} files, {} dirs), scanned at {}",
+        snapshot.len(),
+        snapshot.file_count(),
+        snapshot.dir_count(),
+        snapshot.taken_at()
+    );
+    println!("sample records:");
+    for record in snapshot.records().iter().take(5) {
+        println!(
+            "  {} uid={} gid={} mode={:o} stripes={}",
+            record.path,
+            record.uid,
+            record.gid,
+            record.mode,
+            record.stripe_count()
+        );
+    }
+    Ok(())
+}
+
+/// Snapshot-level analysis of an existing store without the experiment
+/// harness: fan-out, OST balance, and headline counts for one day.
+fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
+    let dir = required_dir(args)?;
+    let store = SnapshotStore::open(dir.join("snapshots"))?;
+    if store.is_empty() {
+        return Err("store is empty; run `simulate` first".into());
+    }
+    let day = match flag_value(args, "--day") {
+        Some(d) => d.parse::<u32>()?,
+        None => *store.days().last().expect("non-empty"),
+    };
+    let snapshot = store
+        .get(day)?
+        .ok_or_else(|| format!("no snapshot for day {day}"))?;
+    println!(
+        "day {day}: {} files, {} directories",
+        snapshot.file_count(),
+        snapshot.dir_count()
+    );
+
+    let fanout = spider_core::trends::fanout::fanout_distribution(&snapshot);
+    println!(
+        "fan-out: median {:.0} entries/dir, widest {} with {} entries, {} empty dirs",
+        fanout.median, fanout.widest_dir, fanout.max, fanout.empty_dirs
+    );
+
+    let load = spider_core::behavior::ost_load::ost_load(
+        &snapshot,
+        spider_fsmeta::SPIDER_OST_COUNT,
+    );
+    println!(
+        "OST load: {} objects across {} OSTs, imbalance {:.2}x",
+        load.total_objects, load.populated_osts, load.imbalance
+    );
+
+    let ages: Vec<f64> = snapshot
+        .records()
+        .iter()
+        .filter(|r| r.is_file())
+        .map(|r| r.file_age_secs() as f64 / 86_400.0)
+        .collect();
+    if let Some(five) = spider_stats::Quantiles::new(ages).five_number() {
+        println!(
+            "file age (days): min {:.0} / q1 {:.0} / median {:.0} / q3 {:.0} / max {:.0}",
+            five.min, five.q1, five.median, five.q3, five.max
+        );
+    }
+    Ok(())
+}
+
+/// Converts a LustreDU-style PSV snapshot into the columnar store — the
+/// Fig. 4 pipeline stage as a tool, usable on real scan data.
+fn cmd_convert(args: &[String]) -> Result<(), AnyError> {
+    let psv_path = flag_value(args, "--psv").ok_or("--psv is required")?;
+    let dir = required_dir(args)?;
+    let file = std::fs::File::open(&psv_path)?;
+    let snapshot = spider_snapshot::psv::read_psv(std::io::BufReader::new(file))?;
+    let psv_len = std::fs::metadata(&psv_path)?.len();
+    let mut store = SnapshotStore::open(dir.join("snapshots"))?;
+    store.put(&snapshot)?;
+    let colf_len = store
+        .file_size(snapshot.day())?
+        .expect("freshly stored snapshot");
+    println!(
+        "converted {} records (day {}): {} PSV bytes -> {} colf bytes ({:.2}x)",
+        snapshot.len(),
+        snapshot.day(),
+        psv_len,
+        colf_len,
+        psv_len as f64 / colf_len.max(1) as f64
+    );
+    Ok(())
+}
+
+/// Exports one stored snapshot back to LustreDU PSV text — the inverse of
+/// `convert`, for feeding downstream tools that expect the scan format.
+fn cmd_export(args: &[String]) -> Result<(), AnyError> {
+    let dir = required_dir(args)?;
+    let psv_path = flag_value(args, "--psv").ok_or("--psv is required")?;
+    let store = SnapshotStore::open(dir.join("snapshots"))?;
+    if store.is_empty() {
+        return Err("store is empty; run `simulate` first".into());
+    }
+    let day = match flag_value(args, "--day") {
+        Some(d) => d.parse::<u32>()?,
+        None => *store.days().last().expect("non-empty"),
+    };
+    let snapshot = store
+        .get(day)?
+        .ok_or_else(|| format!("no snapshot for day {day}"))?;
+    let file = std::fs::File::create(&psv_path)?;
+    spider_snapshot::psv::write_psv(&snapshot, std::io::BufWriter::new(file))?;
+    println!(
+        "exported day {day}: {} records to {psv_path}",
+        snapshot.len()
+    );
+    Ok(())
+}

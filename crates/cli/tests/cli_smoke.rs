@@ -1,0 +1,99 @@
+//! End-to-end smoke tests driving the `spider-metalab` binary itself:
+//! simulate -> inspect -> analyze -> export -> convert round-trip.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn binary() -> &'static str {
+    env!("CARGO_BIN_EXE_spider-metalab")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spider-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(binary())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn list_shows_all_experiments() {
+    let (ok, text) = run(&["list"]);
+    assert!(ok);
+    for id in ["table1", "table3", "fig10", "fig16", "pipeline", "observations"] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    let (ok, text) = run(&["help"]);
+    assert!(ok);
+    assert!(text.contains("USAGE"));
+    let (ok, text) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"));
+    let (ok, text) = run(&["simulate"]); // missing --dir
+    assert!(!ok);
+    assert!(text.contains("--dir is required"));
+}
+
+#[test]
+fn simulate_inspect_analyze_export_convert_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let dir_s = dir.to_str().unwrap();
+
+    // A deliberately tiny run: quick config shrunk further.
+    let (ok, text) = run(&[
+        "simulate", "--dir", dir_s, "--quick", "--scale", "0.00005", "--days", "28",
+    ]);
+    assert!(ok, "simulate failed:\n{text}");
+    assert!(text.contains("snapshots"));
+
+    let (ok, text) = run(&["inspect", "--dir", dir_s]);
+    assert!(ok, "inspect failed:\n{text}");
+    assert!(text.contains("sample records"));
+    assert!(text.contains("/lustre/atlas1/"));
+
+    let (ok, text) = run(&["analyze", "--dir", dir_s]);
+    assert!(ok, "analyze failed:\n{text}");
+    assert!(text.contains("fan-out"));
+    assert!(text.contains("OST load"));
+
+    // Export the last snapshot to PSV, then convert it into a new store.
+    let psv = dir.join("export.psv");
+    let psv_s = psv.to_str().unwrap();
+    let (ok, text) = run(&["export", "--dir", dir_s, "--psv", psv_s]);
+    assert!(ok, "export failed:\n{text}");
+    assert!(psv.exists());
+
+    let dir2 = temp_dir("converted");
+    let dir2_s = dir2.to_str().unwrap();
+    let (ok, text) = run(&["convert", "--psv", psv_s, "--dir", dir2_s]);
+    assert!(ok, "convert failed:\n{text}");
+    assert!(text.contains("converted"));
+
+    // The converted store must round-trip to identical record counts.
+    let (_, original) = run(&["inspect", "--dir", dir_s]);
+    let (_, converted) = run(&["inspect", "--dir", dir2_s]);
+    let records = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("records"))
+            .map(|l| l.to_string())
+    };
+    assert_eq!(records(&original), records(&converted));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

@@ -1,0 +1,158 @@
+//! Weekly access-pattern breakdown (Fig. 13).
+//!
+//! Every weekly snapshot pair is diffed (see
+//! [`spider_snapshot::SnapshotDiff`]) and the five categories — new,
+//! deleted, readonly, updated, untouched — are accumulated per week and
+//! on average. The paper's averages: 22% new, 13% deleted, 3% readonly,
+//! 10% updated, 76% untouched (each relative to its own base population,
+//! which is why they exceed 100% summed).
+
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use serde::{Deserialize, Serialize};
+use spider_snapshot::AccessBreakdown;
+
+/// One week's breakdown with its day label.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeeklyBreakdown {
+    /// Day of the *newer* snapshot.
+    pub day: u32,
+    /// Category counts.
+    pub counts: AccessBreakdown,
+}
+
+/// Streaming access-pattern analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AccessPatternAnalysis {
+    weeks: Vec<WeeklyBreakdown>,
+}
+
+/// Average category shares across all weeks, following the paper's
+/// conventions: `new`/`readonly`/`updated`/`untouched` relative to the
+/// newer snapshot's file population, `deleted` relative to the older
+/// snapshot's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AverageShares {
+    /// Mean share of newly created files.
+    pub new: f64,
+    /// Mean share of deleted files.
+    pub deleted: f64,
+    /// Mean share of read-only accesses.
+    pub readonly: f64,
+    /// Mean share of updated files.
+    pub updated: f64,
+    /// Mean share of untouched files.
+    pub untouched: f64,
+}
+
+impl AccessPatternAnalysis {
+    /// Creates the analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Weekly breakdowns in day order.
+    pub fn weeks(&self) -> &[WeeklyBreakdown] {
+        &self.weeks
+    }
+
+    /// Average shares across weeks.
+    pub fn average_shares(&self) -> AverageShares {
+        if self.weeks.is_empty() {
+            return AverageShares::default();
+        }
+        let mut acc = AverageShares::default();
+        let mut used = 0u32;
+        for week in &self.weeks {
+            let c = week.counts;
+            let newer_files = c.live_total();
+            let older_files = c.deleted + c.readonly + c.updated + c.untouched;
+            if newer_files == 0 || older_files == 0 {
+                continue;
+            }
+            acc.new += c.new as f64 / newer_files as f64;
+            acc.readonly += c.readonly as f64 / newer_files as f64;
+            acc.updated += c.updated as f64 / newer_files as f64;
+            acc.untouched += c.untouched as f64 / newer_files as f64;
+            acc.deleted += c.deleted as f64 / older_files as f64;
+            used += 1;
+        }
+        if used > 0 {
+            let n = used as f64;
+            acc.new /= n;
+            acc.deleted /= n;
+            acc.readonly /= n;
+            acc.updated /= n;
+            acc.untouched /= n;
+        }
+        acc
+    }
+}
+
+impl SnapshotVisitor for AccessPatternAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        if let Some(diff) = ctx.diff {
+            self.weeks.push(WeeklyBreakdown {
+                day: ctx.snapshot.day(),
+                counts: diff.breakdown(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    fn rec(path: &str, atime: u64, mtime: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime,
+            ctime: mtime,
+            mtime,
+            uid: 1,
+            gid: 1,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn breakdown_across_weeks() {
+        let week0 = Snapshot::new(
+            0,
+            0,
+            vec![rec("/a", 1, 1), rec("/b", 1, 1), rec("/c", 1, 1)],
+        );
+        let week1 = Snapshot::new(
+            7,
+            7,
+            vec![
+                rec("/a", 1, 1),  // untouched
+                rec("/b", 9, 1),  // readonly
+                rec("/d", 9, 9),  // new (c deleted)
+            ],
+        );
+        let mut analysis = AccessPatternAnalysis::new();
+        stream_snapshots(&[week0, week1], &mut [&mut analysis]);
+        assert_eq!(analysis.weeks().len(), 1);
+        let counts = analysis.weeks()[0].counts;
+        assert_eq!(counts.new, 1);
+        assert_eq!(counts.deleted, 1);
+        assert_eq!(counts.readonly, 1);
+        assert_eq!(counts.untouched, 1);
+        let shares = analysis.average_shares();
+        assert!((shares.new - 1.0 / 3.0).abs() < 1e-12);
+        assert!((shares.deleted - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_snapshot_produces_no_week() {
+        let mut analysis = AccessPatternAnalysis::new();
+        stream_snapshots(&[Snapshot::new(0, 0, vec![rec("/a", 1, 1)])], &mut [&mut analysis]);
+        assert!(analysis.weeks().is_empty());
+        assert_eq!(analysis.average_shares(), AverageShares::default());
+    }
+}

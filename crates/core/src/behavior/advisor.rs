@@ -1,0 +1,175 @@
+//! Purge-window advisor — the operational extension the paper's
+//! Observation 8 motivates.
+//!
+//! The study's actionable finding: "the 90 day window of the current
+//! purge policy potentially needs to be increased", because files are
+//! routinely re-read 100+ days after their last write. This module turns
+//! that argument into a tool: given the per-file age distribution of
+//! recent snapshots, recommend the smallest window that would have kept a
+//! target fraction of *still-read* data alive.
+
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use spider_stats::Quantiles;
+
+/// Seconds per day.
+const DAY_SECS_F: f64 = 86_400.0;
+
+/// Streaming collector for the advisor: gathers the `atime - mtime` age
+/// (in days) of every *recently read* file — files whose `atime` moved
+/// within the diff interval — across the observed window's later
+/// snapshots. Those are precisely the accesses a purge window can sever.
+#[derive(Debug, Clone, Default)]
+pub struct PurgeAdvisor {
+    read_ages_days: Vec<f64>,
+}
+
+/// A window recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRecommendation {
+    /// Fraction of observed re-reads the window must not sever.
+    pub target_retention: f64,
+    /// The smallest window (days) meeting the target.
+    pub window_days: u32,
+    /// Fraction of observed re-reads a given baseline window would have
+    /// severed (e.g. the production 90-day policy).
+    pub baseline_miss_fraction: f64,
+    /// Number of re-read observations backing the recommendation.
+    pub samples: usize,
+}
+
+impl PurgeAdvisor {
+    /// Creates an empty advisor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of re-read observations collected.
+    pub fn samples(&self) -> usize {
+        self.read_ages_days.len()
+    }
+
+    /// Recommends the smallest purge window retaining `target_retention`
+    /// of observed re-reads, and reports how many re-reads the
+    /// `baseline_days` policy would have severed. Returns `None` without
+    /// observations.
+    pub fn recommend(
+        &self,
+        target_retention: f64,
+        baseline_days: u32,
+    ) -> Option<WindowRecommendation> {
+        if self.read_ages_days.is_empty() {
+            return None;
+        }
+        let q = Quantiles::new(self.read_ages_days.clone());
+        let window = q.quantile(target_retention.clamp(0.0, 1.0))?;
+        let baseline_miss = q.fraction_above(baseline_days as f64);
+        Some(WindowRecommendation {
+            target_retention,
+            window_days: window.ceil() as u32,
+            baseline_miss_fraction: baseline_miss,
+            samples: q.len(),
+        })
+    }
+}
+
+impl SnapshotVisitor for PurgeAdvisor {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let Some(diff) = ctx.diff else { return };
+        let records = ctx.snapshot.records();
+        // Readonly accesses: atime moved without a write. The age at read
+        // time is exactly what the purge clock race is about — had the
+        // window been shorter than this age, the file would be gone.
+        for &idx in &diff.readonly {
+            let r = &records[idx as usize];
+            let age = r.atime.saturating_sub(r.mtime) as f64 / DAY_SECS_F;
+            self.read_ages_days.push(age);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    const DAY: u64 = 86_400;
+
+    fn rec(path: &str, atime: u64, mtime: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime,
+            ctime: mtime,
+            mtime,
+            uid: 1,
+            gid: 1,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    /// Ten files written at t=0; in week 2 they are re-read at ages
+    /// 10..100 days.
+    fn advisor_with_spread() -> PurgeAdvisor {
+        let base = 1_000_000u64;
+        let week0 = Snapshot::new(
+            0,
+            base,
+            (0..10)
+                .map(|i| rec(&format!("/f{i}"), base, base))
+                .collect(),
+        );
+        let week1 = Snapshot::new(
+            7,
+            base + 7 * DAY,
+            (0..10u64)
+                .map(|i| rec(&format!("/f{i}"), base + (i + 1) * 10 * DAY, base))
+                .collect(),
+        );
+        let mut advisor = PurgeAdvisor::new();
+        stream_snapshots(&[week0, week1], &mut [&mut advisor]);
+        advisor
+    }
+
+    #[test]
+    fn collects_read_ages() {
+        let advisor = advisor_with_spread();
+        assert_eq!(advisor.samples(), 10);
+    }
+
+    #[test]
+    fn recommendation_tracks_target() {
+        let advisor = advisor_with_spread();
+        // Ages are 10,20,...,100 days. Retaining 90% needs ~91 days;
+        // retaining 50% needs ~55.
+        let strict = advisor.recommend(0.9, 90).unwrap();
+        assert!(strict.window_days >= 90, "{}", strict.window_days);
+        let lax = advisor.recommend(0.5, 90).unwrap();
+        assert!(lax.window_days <= strict.window_days);
+        // The 90-day baseline severs exactly the age-100 read.
+        assert!((strict.baseline_miss_fraction - 0.1).abs() < 1e-9);
+        assert_eq!(strict.samples, 10);
+    }
+
+    #[test]
+    fn no_observations_no_recommendation() {
+        let advisor = PurgeAdvisor::new();
+        assert_eq!(advisor.recommend(0.9, 90), None);
+    }
+
+    #[test]
+    fn updates_are_not_reads() {
+        let base = 1_000_000u64;
+        let week0 = Snapshot::new(0, base, vec![rec("/f", base, base)]);
+        // mtime moved too: an update, not a re-read.
+        let week1 = Snapshot::new(
+            7,
+            base + 7 * DAY,
+            vec![rec("/f", base + 6 * DAY, base + 6 * DAY)],
+        );
+        let mut advisor = PurgeAdvisor::new();
+        stream_snapshots(&[week0, week1], &mut [&mut advisor]);
+        assert_eq!(advisor.samples(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! File age vs. the purge window (Fig. 16, Observation 8).
+//!
+//! *File age* is `atime - mtime`: how long after its last modification a
+//! file is still being read. The paper plots the per-snapshot average age
+//! and finds it exceeds the 90-day purge window in 86% of snapshot dates
+//! (median 138 days, maximum 214), concluding the window "potentially
+//! needs to be increased".
+
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use spider_stats::{Quantiles, TimeSeries};
+
+/// Seconds per day, for age conversions.
+const DAY_SECS_F: f64 = 86_400.0;
+
+/// Streaming file-age analysis.
+#[derive(Debug, Clone, Default)]
+pub struct FileAgeAnalysis {
+    mean_age_days: TimeSeries,
+    median_age_days: TimeSeries,
+}
+
+impl FileAgeAnalysis {
+    /// Creates the analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-snapshot mean file age in days (the Fig. 16 series).
+    pub fn mean_age_days(&self) -> &TimeSeries {
+        &self.mean_age_days
+    }
+
+    /// Per-snapshot median file age in days.
+    pub fn median_age_days(&self) -> &TimeSeries {
+        &self.median_age_days
+    }
+
+    /// Fraction of snapshot dates whose mean age exceeds `window_days`
+    /// (the paper: 86% for the 90-day window).
+    pub fn fraction_exceeding_window(&self, window_days: f64) -> f64 {
+        self.mean_age_days.fraction_exceeding(window_days)
+    }
+
+    /// Median across snapshot dates of the mean age (the paper: 138 days).
+    pub fn median_of_means(&self) -> Option<f64> {
+        self.mean_age_days.median()
+    }
+
+    /// Maximum across snapshot dates of the mean age (the paper: 214 days).
+    pub fn max_of_means(&self) -> Option<f64> {
+        self.mean_age_days.max().map(|(_, v)| v)
+    }
+}
+
+impl SnapshotVisitor for FileAgeAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        let mut ages: Vec<f64> = Vec::new();
+        let mut sum = 0.0f64;
+        for i in 0..frame.len() {
+            if !frame.is_file[i] {
+                continue;
+            }
+            let age = frame.atime[i].saturating_sub(frame.mtime[i]) as f64 / DAY_SECS_F;
+            sum += age;
+            ages.push(age);
+        }
+        let day = frame.day();
+        if ages.is_empty() {
+            self.mean_age_days.push(day, 0.0);
+            self.median_age_days.push(day, 0.0);
+            return;
+        }
+        self.mean_age_days.push(day, sum / ages.len() as f64);
+        let median = Quantiles::new(ages).median().expect("non-empty");
+        self.median_age_days.push(day, median);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    const DAY: u64 = 86_400;
+
+    fn rec(path: &str, age_days: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1_000_000 + age_days * DAY,
+            ctime: 1_000_000,
+            mtime: 1_000_000,
+            uid: 1,
+            gid: 1,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn per_snapshot_age_statistics() {
+        let week0 = Snapshot::new(0, 0, vec![rec("/a", 10), rec("/b", 20)]);
+        let week1 = Snapshot::new(7, 7, vec![rec("/a", 100), rec("/b", 200), rec("/c", 0)]);
+        let mut analysis = FileAgeAnalysis::new();
+        stream_snapshots(&[week0, week1], &mut [&mut analysis]);
+        assert_eq!(analysis.mean_age_days().points()[0], (0, 15.0));
+        assert_eq!(analysis.mean_age_days().points()[1], (7, 100.0));
+        assert_eq!(analysis.median_age_days().points()[1].1, 100.0);
+        assert_eq!(analysis.fraction_exceeding_window(90.0), 0.5);
+        assert_eq!(analysis.median_of_means(), Some(57.5));
+        assert_eq!(analysis.max_of_means(), Some(100.0));
+    }
+
+    #[test]
+    fn mtime_after_atime_clamps_to_zero() {
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![SnapshotRecord {
+                path: "/w".to_string(),
+                atime: 100,
+                ctime: 500,
+                mtime: 500, // written after last read
+                uid: 1,
+                gid: 1,
+                mode: 0o100664,
+                ino: 1,
+                osts: vec![],
+            }],
+        );
+        let mut analysis = FileAgeAnalysis::new();
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        assert_eq!(analysis.mean_age_days().points()[0].1, 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_records_zero() {
+        let mut analysis = FileAgeAnalysis::new();
+        stream_snapshots(&[Snapshot::new(0, 0, vec![])], &mut [&mut analysis]);
+        assert_eq!(analysis.mean_age_days().points(), &[(0, 0.0)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Namespace growth over time (Fig. 15, Observation 7).
+//!
+//! "Despite a few decreasing trends, the overall file count keeps
+//! increasing, reaching a billion entries at the peak ... the directory
+//! count stays rather steady compared to the growth of the file count."
+
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use spider_stats::TimeSeries;
+
+/// Per-snapshot file/directory population tracker.
+#[derive(Debug, Clone, Default)]
+pub struct GrowthAnalysis {
+    files: TimeSeries,
+    dirs: TimeSeries,
+}
+
+impl GrowthAnalysis {
+    /// Creates the analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live-file count series.
+    pub fn files(&self) -> &TimeSeries {
+        &self.files
+    }
+
+    /// Live-directory count series.
+    pub fn dirs(&self) -> &TimeSeries {
+        &self.dirs
+    }
+
+    /// Multiplicative growth of the file count across the window
+    /// (the paper: 200 M → 1 B, ~5×).
+    pub fn file_growth_factor(&self) -> Option<f64> {
+        self.files.growth_factor()
+    }
+
+    /// Directory share of entries at the final snapshot (the paper: under
+    /// 10% in recent snapshots).
+    pub fn final_dir_share(&self) -> Option<f64> {
+        let (_, f) = self.files.last()?;
+        let (_, d) = self.dirs.last()?;
+        if f + d == 0.0 {
+            return None;
+        }
+        Some(d / (f + d))
+    }
+}
+
+impl SnapshotVisitor for GrowthAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let day = ctx.frame.day();
+        self.files.push(day, ctx.frame.file_count() as f64);
+        self.dirs.push(day, ctx.frame.dir_count() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    fn snap(day: u32, files: usize, dirs: usize) -> Snapshot {
+        let mut records = Vec::new();
+        for i in 0..files {
+            records.push(SnapshotRecord {
+                path: format!("/f{i:04}"),
+                atime: 1,
+                ctime: 1,
+                mtime: 1,
+                uid: 1,
+                gid: 1,
+                mode: 0o100664,
+                ino: 1,
+                osts: vec![],
+            });
+        }
+        for i in 0..dirs {
+            records.push(SnapshotRecord {
+                path: format!("/d{i:04}"),
+                atime: 1,
+                ctime: 1,
+                mtime: 1,
+                uid: 1,
+                gid: 1,
+                mode: 0o040770,
+                ino: 1,
+                osts: vec![],
+            });
+        }
+        Snapshot::new(day, day as u64, records)
+    }
+
+    #[test]
+    fn growth_series() {
+        let mut g = GrowthAnalysis::new();
+        stream_snapshots(
+            &[snap(0, 20, 5), snap(7, 60, 6), snap(14, 100, 7)],
+            &mut [&mut g],
+        );
+        assert_eq!(g.files().points(), &[(0, 20.0), (7, 60.0), (14, 100.0)]);
+        assert_eq!(g.dirs().points(), &[(0, 5.0), (7, 6.0), (14, 7.0)]);
+        assert_eq!(g.file_growth_factor(), Some(5.0));
+        let share = g.final_dir_share().unwrap();
+        assert!((share - 7.0 / 107.0).abs() < 1e-12);
+        // Files grow faster than dirs: the paper's headline trend.
+        assert!(g.files().trend().unwrap().slope > g.dirs().trend().unwrap().slope);
+    }
+
+    #[test]
+    fn empty() {
+        let g = GrowthAnalysis::new();
+        assert_eq!(g.file_growth_factor(), None);
+        assert_eq!(g.final_dir_share(), None);
+    }
+}

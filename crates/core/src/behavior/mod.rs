@@ -1,0 +1,25 @@
+//! Dimension 2 — **scientific user behaviors and patterns** (§4.2).
+//!
+//! * [`striping`] — OST stripe-count usage per domain (Fig. 14, Obs. 6);
+//! * [`growth`] — file/directory population over time (Fig. 15, Obs. 7);
+//! * [`access`] — weekly access-pattern breakdown (Fig. 13);
+//! * [`age`] — file age vs. the 90-day purge window (Fig. 16, Obs. 8);
+//! * [`burstiness`] — `c_v` of write/read operations (Fig. 17, Obs. 9);
+//! * [`advisor`] — a purge-window recommender built on the Obs. 8 data;
+//! * [`ost_load`] — per-OST object balance from the stripe lists.
+
+pub mod access;
+pub mod advisor;
+pub mod ost_load;
+pub mod age;
+pub mod burstiness;
+pub mod growth;
+pub mod striping;
+
+pub use access::AccessPatternAnalysis;
+pub use advisor::{PurgeAdvisor, WindowRecommendation};
+pub use age::FileAgeAnalysis;
+pub use burstiness::BurstinessAnalysis;
+pub use growth::GrowthAnalysis;
+pub use ost_load::{ost_load, OstLoadReport};
+pub use striping::StripingAnalysis;

@@ -1,0 +1,127 @@
+//! OST object-count balance.
+//!
+//! The snapshot's stripe lists (Fig. 2's `OST` field) reveal how evenly
+//! file objects spread across the 2,016 targets — the backend view §2.1
+//! describes. Hot OSTs are an operational concern the LustreDU data can
+//! diagnose for free; this analysis reports per-OST object counts and the
+//! imbalance ratio.
+
+use spider_snapshot::Snapshot;
+
+/// Per-OST load summary for one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OstLoadReport {
+    /// `counts[ost]` = file objects on that OST.
+    pub counts: Vec<u64>,
+    /// Number of OSTs holding at least one object.
+    pub populated_osts: u32,
+    /// Total objects (sum over stripe lists).
+    pub total_objects: u64,
+    /// `max / mean` over populated OSTs (1.0 = perfectly even).
+    pub imbalance: f64,
+}
+
+/// Computes the OST load of one snapshot. `ost_count` sizes the output
+/// (Spider II: 2,016).
+pub fn ost_load(snapshot: &Snapshot, ost_count: u32) -> OstLoadReport {
+    let mut counts = vec![0u64; ost_count as usize];
+    let mut total = 0u64;
+    for record in snapshot.records() {
+        for &(ost, _) in &record.osts {
+            if (ost as u32) < ost_count {
+                counts[ost as usize] += 1;
+                total += 1;
+            }
+        }
+    }
+    let populated = counts.iter().filter(|&&c| c > 0).count() as u32;
+    let imbalance = if populated == 0 {
+        0.0
+    } else {
+        let max = *counts.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / populated as f64;
+        max / mean
+    };
+    OstLoadReport {
+        counts,
+        populated_osts: populated,
+        total_objects: total,
+        imbalance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_snapshot::SnapshotRecord;
+
+    fn rec(path: &str, osts: Vec<(u16, u32)>) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid: 1,
+            gid: 1,
+            mode: 0o100664,
+            ino: 1,
+            osts,
+        }
+    }
+
+    #[test]
+    fn counts_objects_per_ost() {
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                rec("/a", vec![(0, 1), (1, 2)]),
+                rec("/b", vec![(1, 3), (2, 4)]),
+            ],
+        );
+        let report = ost_load(&snap, 4);
+        assert_eq!(report.counts, vec![1, 2, 1, 0]);
+        assert_eq!(report.populated_osts, 3);
+        assert_eq!(report.total_objects, 4);
+        // max 2 / mean (4/3) = 1.5.
+        assert!((report.imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_balanced() {
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![rec("/a", vec![(0, 1), (1, 1)]), rec("/b", vec![(2, 1), (3, 1)])],
+        );
+        let report = ost_load(&snap, 4);
+        assert_eq!(report.imbalance, 1.0);
+        assert_eq!(report.populated_osts, 4);
+    }
+
+    #[test]
+    fn out_of_range_osts_are_ignored() {
+        let snap = Snapshot::new(0, 0, vec![rec("/a", vec![(100, 1)])]);
+        let report = ost_load(&snap, 4);
+        assert_eq!(report.total_objects, 0);
+        assert_eq!(report.populated_osts, 0);
+        assert_eq!(report.imbalance, 0.0);
+    }
+
+    #[test]
+    fn round_robin_allocation_is_balanced() {
+        // The substrate's allocator should produce near-even load.
+        use spider_fsmeta::{FileSystem, Gid, OstPool, SimClock, Uid};
+        let mut fs = FileSystem::with_parts(SimClock::new(), OstPool::new(16));
+        let root = fs.root();
+        for i in 0..64 {
+            fs.create(root, &format!("f{i}"), Uid(1), Gid(1), Some(4))
+                .unwrap();
+        }
+        let snap = spider_snapshot::scan(&fs, 0);
+        let report = ost_load(&snap, 16);
+        assert_eq!(report.total_objects, 256);
+        assert_eq!(report.populated_osts, 16);
+        assert!(report.imbalance < 1.1, "imbalance {}", report.imbalance);
+    }
+}

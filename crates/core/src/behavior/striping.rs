@@ -1,0 +1,227 @@
+//! OST stripe-count usage (Fig. 14, Observation 6).
+//!
+//! Spider II's default stripe count is 4; users raise it via
+//! `lfs setstripe` when they need parallel bandwidth. Per domain, the
+//! analysis reports the minimum, average, and maximum stripe count over
+//! every file row of every snapshot — exactly Fig. 14's three markers —
+//! and flags the domains that ever deviate from the default.
+
+use crate::context::AnalysisContext;
+use crate::engine::Engine;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use spider_workload::{ScienceDomain, ALL_DOMAINS};
+
+/// Per-domain stripe statistics accumulator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StripeAcc {
+    min: u16,
+    max: u16,
+    sum: u64,
+    count: u64,
+}
+
+impl Default for StripeAcc {
+    fn default() -> Self {
+        StripeAcc {
+            min: u16::MAX,
+            max: 0,
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl StripeAcc {
+    fn push(&mut self, stripe: u16) {
+        self.min = self.min.min(stripe);
+        self.max = self.max.max(stripe);
+        self.sum += stripe as u64;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: StripeAcc) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Finalized per-domain stripe summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripeSummary {
+    /// Smallest observed stripe count.
+    pub min: u16,
+    /// Largest observed stripe count.
+    pub max: u16,
+    /// Mean stripe count over file-snapshot observations.
+    pub mean: f64,
+}
+
+/// The streaming striping analysis.
+///
+/// Each snapshot's stripe column is aggregated with the parallel
+/// [`Engine`] group-fold (keyed by domain), then merged into the running
+/// per-domain accumulators — the pattern the study's Spark group-bys
+/// used, at shared-memory scale.
+pub struct StripingAnalysis {
+    ctx: AnalysisContext,
+    engine: Engine,
+    by_domain: Vec<StripeAcc>,
+}
+
+impl StripingAnalysis {
+    /// Creates the analysis with the default (parallel) engine.
+    pub fn new(ctx: AnalysisContext) -> Self {
+        Self::with_engine(ctx, Engine::Parallel)
+    }
+
+    /// Creates the analysis with an explicit engine (the sequential mode
+    /// backs the ablation benchmarks).
+    pub fn with_engine(ctx: AnalysisContext, engine: Engine) -> Self {
+        StripingAnalysis {
+            ctx,
+            engine,
+            by_domain: vec![StripeAcc::default(); ALL_DOMAINS.len()],
+        }
+    }
+
+    /// Stripe summary for one domain, if any files were observed.
+    pub fn summary(&self, domain: ScienceDomain) -> Option<StripeSummary> {
+        let acc = self.by_domain[domain.index()];
+        (acc.count > 0).then(|| StripeSummary {
+            min: acc.min,
+            max: acc.max,
+            mean: acc.sum as f64 / acc.count as f64,
+        })
+    }
+
+    /// All domains with data, in Table 1 order.
+    pub fn all_summaries(&self) -> Vec<(ScienceDomain, StripeSummary)> {
+        ALL_DOMAINS
+            .iter()
+            .filter_map(|&d| self.summary(d).map(|s| (d, s)))
+            .collect()
+    }
+
+    /// Domains whose files ever deviate from the default stripe count of
+    /// 4 (Observation 6: 20 of 35 domains tune).
+    pub fn tuning_domains(&self) -> Vec<ScienceDomain> {
+        self.all_summaries()
+            .into_iter()
+            .filter(|(_, s)| s.min != 4 || s.max != 4)
+            .map(|(d, _)| d)
+            .collect()
+    }
+}
+
+impl SnapshotVisitor for StripingAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        let join = &self.ctx;
+        let groups = self.engine.group_fold(
+            frame.len(),
+            |i| {
+                frame.is_file[i]
+                    .then(|| join.domain_of_gid(frame.gid[i]))
+                    .flatten()
+            },
+            |acc: &mut StripeAcc, i| acc.push(frame.stripe_count[i]),
+            |a, b| a.merge(b),
+        );
+        for (domain, acc) in groups {
+            self.by_domain[domain.index()].merge(acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, gid: u32, stripes: usize) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid: 1,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: (0..stripes).map(|i| (i as u16, 1)).collect(),
+        }
+    }
+
+    fn setup() -> (AnalysisContext, u32, u32) {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ast = pop.domain_projects(ScienceDomain::Ast).next().unwrap().gid;
+        let bio = pop.domain_projects(ScienceDomain::Bio).next().unwrap().gid;
+        (AnalysisContext::new(&pop), ast, bio)
+    }
+
+    #[test]
+    fn min_avg_max_per_domain() {
+        let (ctx, ast, bio) = setup();
+        let mut analysis = StripingAnalysis::new(ctx);
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                rec("/a", ast, 4),
+                rec("/b", ast, 1008),
+                rec("/c", ast, 8),
+                rec("/d", bio, 4),
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        let ast_summary = analysis.summary(ScienceDomain::Ast).unwrap();
+        assert_eq!(ast_summary.min, 4);
+        assert_eq!(ast_summary.max, 1008);
+        assert!((ast_summary.mean - 340.0).abs() < 1e-9);
+        let bio_summary = analysis.summary(ScienceDomain::Bio).unwrap();
+        assert_eq!((bio_summary.min, bio_summary.max), (4, 4));
+        assert_eq!(analysis.summary(ScienceDomain::Cli), None);
+        assert_eq!(analysis.tuning_domains(), vec![ScienceDomain::Ast]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_engines_agree() {
+        let (ctx, ast, bio) = setup();
+        let snap = Snapshot::new(
+            0,
+            0,
+            (0..200)
+                .map(|i| rec(&format!("/f{i:03}"), if i % 3 == 0 { ast } else { bio }, 1 + i % 9))
+                .collect(),
+        );
+        let mut par = StripingAnalysis::with_engine(ctx.clone(), Engine::Parallel);
+        let mut seq = StripingAnalysis::with_engine(ctx, Engine::Sequential);
+        stream_snapshots(std::slice::from_ref(&snap), &mut [&mut par]);
+        stream_snapshots(&[snap], &mut [&mut seq]);
+        assert_eq!(par.all_summaries(), seq.all_summaries());
+    }
+
+    #[test]
+    fn directories_do_not_pollute_stripe_stats() {
+        let (ctx, ast, _) = setup();
+        let mut analysis = StripingAnalysis::new(ctx);
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                SnapshotRecord {
+                    mode: 0o040770,
+                    ..rec("/dir", ast, 0)
+                },
+                rec("/a", ast, 4),
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        let s = analysis.summary(ScienceDomain::Ast).unwrap();
+        assert_eq!(s.min, 4); // the zero-stripe dir was skipped
+    }
+}

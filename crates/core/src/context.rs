@@ -1,0 +1,105 @@
+//! The analysis context — the stand-in for OLCF's user accounts database.
+//!
+//! The study joins snapshot UIDs/GIDs against the center's accounting
+//! database to obtain each user's organization and each project's science
+//! domain (§4.1.1). Here the [`spider_workload::Population`] plays that
+//! role: [`AnalysisContext`] wraps it with the lookups every analysis
+//! needs, and nothing in `spider-core` reads ground-truth behaviour
+//! beyond these joins — all findings come from the snapshots.
+
+use rustc_hash::FxHashMap;
+use spider_workload::{Organization, Population, ScienceDomain};
+
+/// uid/gid join tables for the analyses.
+#[derive(Debug, Clone)]
+pub struct AnalysisContext {
+    uid_to_org: FxHashMap<u32, Organization>,
+    gid_to_domain: FxHashMap<u32, ScienceDomain>,
+    gid_to_name: FxHashMap<u32, String>,
+}
+
+impl AnalysisContext {
+    /// Builds the join tables from the population ("accounts database").
+    pub fn new(population: &Population) -> AnalysisContext {
+        let uid_to_org = population
+            .users
+            .iter()
+            .map(|u| (u.uid, u.org))
+            .collect();
+        let gid_to_domain = population
+            .projects
+            .iter()
+            .map(|p| (p.gid, p.domain))
+            .collect();
+        let gid_to_name = population
+            .projects
+            .iter()
+            .map(|p| (p.gid, p.name.clone()))
+            .collect();
+        AnalysisContext {
+            uid_to_org,
+            gid_to_domain,
+            gid_to_name,
+        }
+    }
+
+    /// The science domain of a project gid, if registered.
+    pub fn domain_of_gid(&self, gid: u32) -> Option<ScienceDomain> {
+        self.gid_to_domain.get(&gid).copied()
+    }
+
+    /// The allocation name of a project gid, if registered.
+    pub fn project_name(&self, gid: u32) -> Option<&str> {
+        self.gid_to_name.get(&gid).map(|s| s.as_str())
+    }
+
+    /// The organization of a uid, if registered.
+    pub fn org_of_uid(&self, uid: u32) -> Option<Organization> {
+        self.uid_to_org.get(&uid).copied()
+    }
+
+    /// Number of registered users (the paper's user accounts database held
+    /// 13,695 registrations; *active* users are derived from snapshots).
+    pub fn registered_users(&self) -> usize {
+        self.uid_to_org.len()
+    }
+
+    /// Number of registered projects.
+    pub fn registered_projects(&self) -> usize {
+        self.gid_to_domain.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_workload::PopulationConfig;
+
+    #[test]
+    fn joins_resolve_known_ids() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let ctx = AnalysisContext::new(&pop);
+        assert_eq!(ctx.registered_users(), pop.user_count());
+        assert_eq!(ctx.registered_projects(), pop.project_count());
+        let p = &pop.projects[0];
+        assert_eq!(ctx.domain_of_gid(p.gid), Some(p.domain));
+        assert_eq!(ctx.project_name(p.gid), Some(p.name.as_str()));
+        let u = &pop.users[0];
+        assert_eq!(ctx.org_of_uid(u.uid), Some(u.org));
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_none() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let ctx = AnalysisContext::new(&pop);
+        assert_eq!(ctx.domain_of_gid(1), None);
+        assert_eq!(ctx.org_of_uid(1), None);
+        assert_eq!(ctx.project_name(u32::MAX), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Parallel fold/reduce over frame columns.
+//!
+//! The study's scalability came from partition-parallel scans in Spark;
+//! the shared-memory equivalent is a rayon `fold` + `reduce`. Every
+//! group-by in the analyses funnels through [`Engine::group_fold`], which
+//! shards per-thread `FxHashMap`s and merges them — the pattern the
+//! perf-book guidance recommends for hot aggregation. The sequential mode
+//! exists for the `bench_ablations` comparison and for deterministic
+//! debugging.
+
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// Execution mode for scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Rayon data-parallel scans (default).
+    #[default]
+    Parallel,
+    /// Single-threaded scans (ablation baseline).
+    Sequential,
+}
+
+impl Engine {
+    /// Groups row indices `0..n` by `key(i)` (rows where `key` returns
+    /// `None` are skipped) and folds each group with `fold`, starting from
+    /// `A::default()`; shards are merged with `merge`.
+    pub fn group_fold<K, A>(
+        &self,
+        n: usize,
+        key: impl Fn(usize) -> Option<K> + Sync + Send,
+        fold: impl Fn(&mut A, usize) + Sync + Send,
+        merge: impl Fn(&mut A, A) + Sync + Send,
+    ) -> FxHashMap<K, A>
+    where
+        K: Eq + Hash + Send,
+        A: Default + Send,
+    {
+        match self {
+            Engine::Sequential => {
+                let mut out: FxHashMap<K, A> = FxHashMap::default();
+                for i in 0..n {
+                    if let Some(k) = key(i) {
+                        fold(out.entry(k).or_default(), i);
+                    }
+                }
+                out
+            }
+            Engine::Parallel => (0..n)
+                .into_par_iter()
+                .fold(FxHashMap::<K, A>::default, |mut acc, i| {
+                    if let Some(k) = key(i) {
+                        fold(acc.entry(k).or_default(), i);
+                    }
+                    acc
+                })
+                .reduce(FxHashMap::default, |mut a, b| {
+                    for (k, v) in b {
+                        match a.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                merge(e.get_mut(), v)
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(v);
+                            }
+                        }
+                    }
+                    a
+                }),
+        }
+    }
+
+    /// Maps rows `0..n` and reduces with a commutative, associative `op`
+    /// starting from `identity`.
+    pub fn map_reduce<T>(
+        &self,
+        n: usize,
+        identity: T,
+        map: impl Fn(usize) -> T + Sync + Send,
+        op: impl Fn(T, T) -> T + Sync + Send,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+    {
+        match self {
+            Engine::Sequential => (0..n).map(map).fold(identity, op),
+            Engine::Parallel => (0..n)
+                .into_par_iter()
+                .map(map)
+                .reduce(|| identity.clone(), op),
+        }
+    }
+
+    /// Counts rows matching a predicate.
+    pub fn count_where(&self, n: usize, pred: impl Fn(usize) -> bool + Sync + Send) -> u64 {
+        self.map_reduce(n, 0u64, |i| pred(i) as u64, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOTH: [Engine; 2] = [Engine::Parallel, Engine::Sequential];
+
+    #[test]
+    fn group_fold_counts_by_key() {
+        let keys = [1u32, 2, 1, 3, 2, 1];
+        for engine in BOTH {
+            let groups: FxHashMap<u32, u64> = engine.group_fold(
+                keys.len(),
+                |i| Some(keys[i]),
+                |acc: &mut u64, _| *acc += 1,
+                |a, b| *a += b,
+            );
+            assert_eq!(groups[&1], 3, "{engine:?}");
+            assert_eq!(groups[&2], 2);
+            assert_eq!(groups[&3], 1);
+        }
+    }
+
+    #[test]
+    fn group_fold_skips_none_keys() {
+        let keys = [Some(1u32), None, Some(1), None];
+        for engine in BOTH {
+            let groups: FxHashMap<u32, u64> = engine.group_fold(
+                keys.len(),
+                |i| keys[i],
+                |acc: &mut u64, _| *acc += 1,
+                |a, b| *a += b,
+            );
+            assert_eq!(groups.len(), 1);
+            assert_eq!(groups[&1], 2);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_vector_sums() {
+        let data: Vec<u64> = (0..10_000).map(|i| i * i % 97).collect();
+        let seq = Engine::Sequential.map_reduce(data.len(), 0u64, |i| data[i], |a, b| a + b);
+        let par = Engine::Parallel.map_reduce(data.len(), 0u64, |i| data[i], |a, b| a + b);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn count_where() {
+        for engine in BOTH {
+            assert_eq!(engine.count_where(100, |i| i % 3 == 0), 34);
+            assert_eq!(engine.count_where(0, |_| true), 0);
+        }
+    }
+
+    #[test]
+    fn group_fold_accumulates_sums() {
+        let keys = [0u8, 1, 0, 1, 0];
+        let vals = [1.0f64, 10.0, 2.0, 20.0, 3.0];
+        for engine in BOTH {
+            let groups: FxHashMap<u8, f64> = engine.group_fold(
+                keys.len(),
+                |i| Some(keys[i]),
+                |acc: &mut f64, i| *acc += vals[i],
+                |a, b| *a += b,
+            );
+            assert_eq!(groups[&0], 6.0);
+            assert_eq!(groups[&1], 30.0);
+        }
+    }
+}

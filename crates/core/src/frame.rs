@@ -1,0 +1,245 @@
+//! Columnar snapshot frames — the in-memory analogue of the study's
+//! Parquet tables.
+//!
+//! A [`SnapshotFrame`] decomposes a path-sorted snapshot into dense
+//! columns so that analyses touching one attribute (say `mtime`) scan a
+//! contiguous `&[u64]` instead of striding through records. Extensions
+//! and depths are resolved once at construction; paths themselves stay in
+//! the originating [`Snapshot`] and are borrowed per row only when an
+//! analysis actually needs them (the row-oriented ablation in
+//! `spider-bench` quantifies the difference).
+
+use rustc_hash::FxHashMap;
+use spider_snapshot::{Snapshot, SnapshotRecord};
+
+/// Interned file-extension id; `EXT_NONE` means "no extension".
+pub type ExtId = u32;
+
+/// The extension id used for extension-less names.
+pub const EXT_NONE: ExtId = u32::MAX;
+
+/// A columnar view over one snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotFrame {
+    day: u32,
+    taken_at: u64,
+    len: usize,
+    /// Per-row file/directory flag (true = regular file).
+    pub is_file: Vec<bool>,
+    /// Last-access times.
+    pub atime: Vec<u64>,
+    /// Status-change times.
+    pub ctime: Vec<u64>,
+    /// Modification times.
+    pub mtime: Vec<u64>,
+    /// Owner uids.
+    pub uid: Vec<u32>,
+    /// Owner gids (project allocations).
+    pub gid: Vec<u32>,
+    /// Stripe counts (0 for directories).
+    pub stripe_count: Vec<u16>,
+    /// Path depth in the paper's counting convention.
+    pub depth: Vec<u16>,
+    /// Interned extension per row.
+    pub ext: Vec<ExtId>,
+    /// Extension intern table (id → extension string).
+    extensions: Vec<Box<str>>,
+}
+
+impl SnapshotFrame {
+    /// Builds the frame from a snapshot in one pass.
+    pub fn build(snapshot: &Snapshot) -> SnapshotFrame {
+        let records = snapshot.records();
+        let n = records.len();
+        let mut frame = SnapshotFrame {
+            day: snapshot.day(),
+            taken_at: snapshot.taken_at(),
+            len: n,
+            is_file: Vec::with_capacity(n),
+            atime: Vec::with_capacity(n),
+            ctime: Vec::with_capacity(n),
+            mtime: Vec::with_capacity(n),
+            uid: Vec::with_capacity(n),
+            gid: Vec::with_capacity(n),
+            stripe_count: Vec::with_capacity(n),
+            depth: Vec::with_capacity(n),
+            ext: Vec::with_capacity(n),
+            extensions: Vec::new(),
+        };
+        let mut intern: FxHashMap<&str, ExtId> = FxHashMap::default();
+        for r in records {
+            frame.is_file.push(r.is_file());
+            frame.atime.push(r.atime);
+            frame.ctime.push(r.ctime);
+            frame.mtime.push(r.mtime);
+            frame.uid.push(r.uid);
+            frame.gid.push(r.gid);
+            frame.stripe_count.push(r.stripe_count() as u16);
+            frame.depth.push(r.depth().min(u16::MAX as u32) as u16);
+            let ext_id = match r.extension() {
+                None => EXT_NONE,
+                Some(e) => *intern.entry(e).or_insert_with(|| {
+                    frame.extensions.push(e.into());
+                    (frame.extensions.len() - 1) as ExtId
+                }),
+            };
+            frame.ext.push(ext_id);
+        }
+        frame
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty frame.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Observation day of the underlying snapshot.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Scan time of the underlying snapshot.
+    pub fn taken_at(&self) -> u64 {
+        self.taken_at
+    }
+
+    /// The extension string for an interned id; `None` for [`EXT_NONE`].
+    pub fn extension_str(&self, id: ExtId) -> Option<&str> {
+        if id == EXT_NONE {
+            None
+        } else {
+            Some(&self.extensions[id as usize])
+        }
+    }
+
+    /// Number of distinct extensions in this frame.
+    pub fn extension_count(&self) -> usize {
+        self.extensions.len()
+    }
+
+    /// Row indices of regular files.
+    pub fn file_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.is_file[i])
+    }
+
+    /// Count of regular files.
+    pub fn file_count(&self) -> u64 {
+        self.is_file.iter().filter(|&&f| f).count() as u64
+    }
+
+    /// Count of directories.
+    pub fn dir_count(&self) -> u64 {
+        self.len as u64 - self.file_count()
+    }
+}
+
+/// A stable 64-bit path hash used for unique-entry accounting across
+/// snapshots (4 billion unique paths hashed into 64 bits have a collision
+/// expectation far below one part per million at this study's scale).
+pub fn path_hash(path: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = rustc_hash::FxHasher::default();
+    path.hash(&mut h);
+    h.finish()
+}
+
+/// Convenience: hash of a record's path.
+pub fn record_path_hash(record: &SnapshotRecord) -> u64 {
+    path_hash(&record.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, mode: u32, uid: u32, gid: u32, osts: usize) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 100,
+            ctime: 90,
+            mtime: 80,
+            uid,
+            gid,
+            mode,
+            ino: 1,
+            osts: (0..osts).map(|i| (i as u16, i as u32)).collect(),
+        }
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot::new(
+            3,
+            1_000,
+            vec![
+                rec("/lustre/atlas1/p1", 0o040770, 0, 10, 0),
+                rec("/lustre/atlas1/p1/a.nc", 0o100664, 5, 10, 4),
+                rec("/lustre/atlas1/p1/b.nc", 0o100664, 5, 10, 8),
+                rec("/lustre/atlas1/p1/sub/c", 0o100664, 6, 11, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn columns_match_records() {
+        let snap = sample();
+        let f = SnapshotFrame::build(&snap);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.day(), 3);
+        assert_eq!(f.taken_at(), 1_000);
+        assert_eq!(f.file_count(), 3);
+        assert_eq!(f.dir_count(), 1);
+        // Records are path-sorted; row 0 is the directory.
+        assert!(!f.is_file[0]);
+        assert_eq!(f.stripe_count[0], 0);
+        assert_eq!(f.uid, vec![0, 5, 5, 6]);
+        assert_eq!(f.gid, vec![10, 10, 10, 11]);
+    }
+
+    #[test]
+    fn extensions_are_interned() {
+        let f = SnapshotFrame::build(&sample());
+        // Two .nc files share one interned id; "c" and "p1" have none.
+        assert_eq!(f.extension_count(), 1);
+        assert_eq!(f.ext[1], f.ext[2]);
+        assert_eq!(f.extension_str(f.ext[1]), Some("nc"));
+        assert_eq!(f.ext[0], EXT_NONE);
+        assert_eq!(f.ext[3], EXT_NONE);
+        assert_eq!(f.extension_str(EXT_NONE), None);
+    }
+
+    #[test]
+    fn depth_column() {
+        let f = SnapshotFrame::build(&sample());
+        // /lustre/atlas1/p1 = 3 components + root = 4.
+        assert_eq!(f.depth[0], 4);
+        assert_eq!(f.depth[1], 5);
+        assert_eq!(f.depth[3], 6);
+    }
+
+    #[test]
+    fn file_rows_iterator() {
+        let f = SnapshotFrame::build(&sample());
+        let rows: Vec<usize> = f.file_rows().collect();
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = SnapshotFrame::build(&Snapshot::new(0, 0, vec![]));
+        assert!(f.is_empty());
+        assert_eq!(f.file_count(), 0);
+    }
+
+    #[test]
+    fn path_hash_is_stable_and_discriminating() {
+        let a = path_hash("/lustre/atlas1/p1/a.nc");
+        assert_eq!(a, path_hash("/lustre/atlas1/p1/a.nc"));
+        assert_ne!(a, path_hash("/lustre/atlas1/p1/b.nc"));
+        assert_ne!(a, path_hash("/lustre/atlas1/p1/a.nc/"));
+    }
+}

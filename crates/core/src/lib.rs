@@ -1,0 +1,56 @@
+//! # spider-core
+//!
+//! The analysis pipeline of *"Scientific User Behavior and Data-Sharing
+//! Trends in a Petascale File System"* (SC '17) as a reusable library.
+//!
+//! The original study ran SparkSQL over Parquet-converted LustreDU
+//! snapshots on a 32-node cluster; this crate provides the equivalent
+//! shared-memory machinery and every analysis of §4, organized along the
+//! paper's three dimensions (Fig. 3):
+//!
+//! * [`trends`] — **project file trends** (§4.1): active users and
+//!   organizations, user/project participation CDFs, unique file and
+//!   directory censuses, directory depth, file-type popularity, and
+//!   programming-language rankings;
+//! * [`behavior`] — **user behavior and patterns** (§4.2): OST stripe
+//!   usage, namespace growth, weekly access-pattern breakdowns, file age
+//!   vs. the purge window, and the burstiness (`c_v`) of file operations;
+//! * [`sharing`] — **data-sharing trends** (§4.3): the file-generation
+//!   network, its degree distribution and power-law fit, connected
+//!   components, diameter/centrality, and pairwise collaboration.
+//!
+//! The machinery below the analyses:
+//!
+//! * [`frame::SnapshotFrame`] — a columnar view of one snapshot
+//!   (timestamps, ids, depths, stripe counts in dense arrays; extensions
+//!   resolved once), the in-memory analogue of the study's Parquet tables;
+//! * [`engine`] — rayon-parallel fold/reduce over columns with a
+//!   sequential mode kept for the ablation benchmarks;
+//! * [`pipeline`] — a streaming driver that loads each stored snapshot
+//!   once (plus its predecessor for diff-based analyses) and feeds any
+//!   number of [`pipeline::SnapshotVisitor`]s, so a full multi-gigabyte
+//!   store is analyzed in one pass, just like the nightly OLCF pipeline;
+//! * [`context::AnalysisContext`] — the stand-in for the OLCF user
+//!   accounts database: uid → user/organization and gid → project/domain
+//!   joins.
+//!
+//! The [`summary`] module assembles the paper's Table 1 from the three
+//! dimensions.
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod context;
+pub mod engine;
+pub mod frame;
+pub mod pipeline;
+pub mod query;
+pub mod sharing;
+pub mod summary;
+pub mod trends;
+
+pub use context::AnalysisContext;
+pub use frame::SnapshotFrame;
+pub use query::Query;
+pub use pipeline::{stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx};
+pub use summary::{DomainSummaryRow, SummaryTable};

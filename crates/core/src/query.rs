@@ -1,0 +1,292 @@
+//! Ad-hoc queries over snapshot frames — the SparkSQL-flavoured surface
+//! of the pipeline.
+//!
+//! The study ran interactive SQL over the converted snapshots ("SELECT
+//! gid, COUNT(*) ... GROUP BY gid"-style questions). [`Query`] provides
+//! the same select → filter → group-by → aggregate shape over a
+//! [`SnapshotFrame`], executing scans through the [`Engine`] (parallel by
+//! default). The accounts-database join of §4.1.1 is the
+//! [`crate::AnalysisContext`] passed into key functions.
+//!
+//! ```
+//! use spider_core::{SnapshotFrame, query::Query};
+//! use spider_snapshot::{Snapshot, SnapshotRecord};
+//!
+//! let snapshot = Snapshot::new(0, 0, vec![SnapshotRecord {
+//!     path: "/p/a.nc".into(), atime: 9, ctime: 5, mtime: 5,
+//!     uid: 7, gid: 42, mode: 0o100664, ino: 1, osts: vec![(1, 1)],
+//! }]);
+//! let frame = SnapshotFrame::build(&snapshot);
+//! let files_per_project = Query::over(&frame)
+//!     .files()
+//!     .group_count(|f, i| Some(f.gid[i]));
+//! assert_eq!(files_per_project[&42], 1);
+//! ```
+
+use crate::engine::Engine;
+use crate::frame::SnapshotFrame;
+use rustc_hash::FxHashMap;
+
+/// A row selection over one frame, ready for aggregation.
+#[derive(Clone)]
+pub struct Query<'f> {
+    frame: &'f SnapshotFrame,
+    engine: Engine,
+    rows: Vec<u32>,
+}
+
+impl<'f> Query<'f> {
+    /// Starts a query selecting every row, with the parallel engine.
+    pub fn over(frame: &'f SnapshotFrame) -> Query<'f> {
+        Self::with_engine(frame, Engine::Parallel)
+    }
+
+    /// Starts a query with an explicit engine.
+    pub fn with_engine(frame: &'f SnapshotFrame, engine: Engine) -> Query<'f> {
+        Query {
+            frame,
+            engine,
+            rows: (0..frame.len() as u32).collect(),
+        }
+    }
+
+    /// Keeps rows matching the predicate.
+    pub fn filter(mut self, pred: impl Fn(&SnapshotFrame, usize) -> bool + Sync + Send) -> Self {
+        let frame = self.frame;
+        self.rows.retain(|&i| pred(frame, i as usize));
+        self
+    }
+
+    /// Keeps only regular files.
+    pub fn files(self) -> Self {
+        self.filter(|f, i| f.is_file[i])
+    }
+
+    /// Keeps only directories.
+    pub fn dirs(self) -> Self {
+        self.filter(|f, i| !f.is_file[i])
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Extracts a column from the selection.
+    pub fn column<T>(&self, get: impl Fn(&SnapshotFrame, usize) -> T) -> Vec<T> {
+        self.rows
+            .iter()
+            .map(|&i| get(self.frame, i as usize))
+            .collect()
+    }
+
+    /// `GROUP BY key -> COUNT(*)`. Rows whose key is `None` are skipped.
+    pub fn group_count<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+    ) -> FxHashMap<K, u64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let frame = self.frame;
+        let rows = &self.rows;
+        self.engine.group_fold(
+            rows.len(),
+            |slot| key(frame, rows[slot] as usize),
+            |acc: &mut u64, _| *acc += 1,
+            |a, b| *a += b,
+        )
+    }
+
+    /// `GROUP BY key -> AVG(value)`.
+    pub fn group_mean<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        value: impl Fn(&SnapshotFrame, usize) -> f64 + Sync + Send,
+    ) -> FxHashMap<K, f64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let frame = self.frame;
+        let rows = &self.rows;
+        let sums: FxHashMap<K, (f64, u64)> = self.engine.group_fold(
+            rows.len(),
+            |slot| key(frame, rows[slot] as usize),
+            |acc: &mut (f64, u64), slot| {
+                acc.0 += value(frame, rows[slot] as usize);
+                acc.1 += 1;
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+            },
+        );
+        sums.into_iter()
+            .map(|(k, (sum, n))| (k, sum / n as f64))
+            .collect()
+    }
+
+    /// `GROUP BY key -> MAX(value)`.
+    pub fn group_max<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        value: impl Fn(&SnapshotFrame, usize) -> u64 + Sync + Send,
+    ) -> FxHashMap<K, u64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let frame = self.frame;
+        let rows = &self.rows;
+        self.engine.group_fold(
+            rows.len(),
+            |slot| key(frame, rows[slot] as usize),
+            |acc: &mut u64, slot| *acc = (*acc).max(value(frame, rows[slot] as usize)),
+            |a, b| *a = (*a).max(b),
+        )
+    }
+
+    /// The `k` groups with the highest counts, descending (ties broken by
+    /// key for determinism).
+    pub fn top_k_groups<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        k: usize,
+    ) -> Vec<(K, u64)>
+    where
+        K: Eq + std::hash::Hash + Send + Ord,
+    {
+        let mut groups: Vec<(K, u64)> = self.group_count(key).into_iter().collect();
+        groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        groups.truncate(k);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    fn frame() -> SnapshotFrame {
+        let records = vec![
+            SnapshotRecord {
+                path: "/p".into(),
+                atime: 0,
+                ctime: 0,
+                mtime: 0,
+                uid: 1,
+                gid: 10,
+                mode: 0o040770,
+                ino: 1,
+                osts: vec![],
+            },
+            SnapshotRecord {
+                path: "/p/a.nc".into(),
+                atime: 10,
+                ctime: 5,
+                mtime: 5,
+                uid: 1,
+                gid: 10,
+                mode: 0o100664,
+                ino: 2,
+                osts: vec![(1, 1), (2, 2)],
+            },
+            SnapshotRecord {
+                path: "/p/b.nc".into(),
+                atime: 20,
+                ctime: 7,
+                mtime: 7,
+                uid: 2,
+                gid: 10,
+                mode: 0o100664,
+                ino: 3,
+                osts: vec![(3, 3)],
+            },
+            SnapshotRecord {
+                path: "/q/c.dat".into(),
+                atime: 30,
+                ctime: 9,
+                mtime: 9,
+                uid: 2,
+                gid: 11,
+                mode: 0o100664,
+                ino: 4,
+                osts: vec![(4, 4)],
+            },
+        ];
+        SnapshotFrame::build(&Snapshot::new(0, 0, records))
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let f = frame();
+        assert_eq!(Query::over(&f).count(), 4);
+        assert_eq!(Query::over(&f).files().count(), 3);
+        assert_eq!(Query::over(&f).dirs().count(), 1);
+        assert_eq!(
+            Query::over(&f).files().filter(|f, i| f.gid[i] == 10).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn group_count_per_project() {
+        let f = frame();
+        let per_gid = Query::over(&f).files().group_count(|f, i| Some(f.gid[i]));
+        assert_eq!(per_gid[&10], 2);
+        assert_eq!(per_gid[&11], 1);
+    }
+
+    #[test]
+    fn group_mean_and_max() {
+        let f = frame();
+        let mean_atime = Query::over(&f)
+            .files()
+            .group_mean(|f, i| Some(f.uid[i]), |f, i| f.atime[i] as f64);
+        assert_eq!(mean_atime[&1], 10.0);
+        assert_eq!(mean_atime[&2], 25.0);
+        let max_stripes = Query::over(&f)
+            .files()
+            .group_max(|f, i| Some(f.gid[i]), |f, i| f.stripe_count[i] as u64);
+        assert_eq!(max_stripes[&10], 2);
+        assert_eq!(max_stripes[&11], 1);
+    }
+
+    #[test]
+    fn top_k_ordering_is_deterministic() {
+        let f = frame();
+        let top = Query::over(&f).files().top_k_groups(|f, i| Some(f.gid[i]), 5);
+        assert_eq!(top, vec![(10, 2), (11, 1)]);
+        let top1 = Query::over(&f).files().top_k_groups(|f, i| Some(f.gid[i]), 1);
+        assert_eq!(top1, vec![(10, 2)]);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let f = frame();
+        let par = Query::with_engine(&f, Engine::Parallel)
+            .files()
+            .group_count(|f, i| Some(f.uid[i]));
+        let seq = Query::with_engine(&f, Engine::Sequential)
+            .files()
+            .group_count(|f, i| Some(f.uid[i]));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn none_keys_are_skipped() {
+        let f = frame();
+        let groups = Query::over(&f).group_count(|f, i| (f.gid[i] == 10).then_some(0u8));
+        assert_eq!(groups[&0], 3);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let f = frame();
+        let atimes = Query::over(&f).files().column(|f, i| f.atime[i]);
+        let mut sorted = atimes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,187 @@
+//! User-pair collaboration (§4.3.3, Fig. 20, Observation 12).
+//!
+//! Two users *collaborate* when they both generated files in the same
+//! project — a 3-vertex subgraph (two users, one project). The analysis
+//! counts, per domain, the share of collaborating user pairs that share a
+//! project of that domain, plus the global headline numbers: ~1 M
+//! possible pairs, only ~1% collaborating, with an extreme pair sharing
+//! six projects (five of them Climate Science). Staff is excluded, as in
+//! the paper.
+
+use crate::sharing::BuiltNetwork;
+use rustc_hash::{FxHashMap, FxHashSet};
+use spider_workload::{ScienceDomain, ALL_DOMAINS};
+
+/// Finalized collaboration report.
+#[derive(Debug, Clone)]
+pub struct CollaborationReport {
+    /// Total possible user pairs `C(active_users, 2)`.
+    pub total_pairs: u64,
+    /// Pairs sharing at least one project.
+    pub collaborating_pairs: u64,
+    /// Per domain: percentage of collaborating pairs that share a project
+    /// of this domain (Fig. 20; a pair can count in several domains, so
+    /// the column sums above 100 like Table 1's `Collab. %`).
+    pub pct_by_domain: Vec<(ScienceDomain, f64)>,
+    /// The largest number of projects any single pair shares (paper: 6).
+    pub max_shared_projects: u32,
+    /// Domain breakdown of that extreme pair's shared projects.
+    pub max_pair_domains: Vec<(ScienceDomain, u32)>,
+}
+
+impl CollaborationReport {
+    /// Computes collaboration statistics. The network should be built
+    /// with Staff excluded for paper parity.
+    pub fn compute(network: &BuiltNetwork) -> CollaborationReport {
+        let graph = &network.graph;
+        let n_users = graph.num_users() as u64;
+        let total_pairs = n_users * n_users.saturating_sub(1) / 2;
+
+        // pair -> per-domain shared-project counts. Enumerate within each
+        // project: members choose-2.
+        let mut pair_domains: FxHashMap<(u32, u32), FxHashMap<u8, u32>> =
+            FxHashMap::default();
+        for p in 0..graph.num_projects() {
+            let members = graph.users_of_project(p);
+            let domain = network.domains[p as usize].index() as u8;
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    *pair_domains.entry(key).or_default().entry(domain).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let collaborating_pairs = pair_domains.len() as u64;
+        let mut domain_pairs = vec![0u64; ALL_DOMAINS.len()];
+        let mut max_shared = 0u32;
+        let mut max_pair: Option<&FxHashMap<u8, u32>> = None;
+        for domains in pair_domains.values() {
+            let mut seen: FxHashSet<u8> = FxHashSet::default();
+            let mut total: u32 = 0;
+            for (&d, &c) in domains {
+                if seen.insert(d) {
+                    domain_pairs[d as usize] += 1;
+                }
+                total += c;
+            }
+            if total > max_shared {
+                max_shared = total;
+                max_pair = Some(domains);
+            }
+        }
+        let denom = collaborating_pairs.max(1) as f64;
+        let pct_by_domain: Vec<(ScienceDomain, f64)> = ALL_DOMAINS
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| domain_pairs[i] > 0)
+            .map(|(i, &d)| (d, 100.0 * domain_pairs[i] as f64 / denom))
+            .collect();
+        let mut max_pair_domains: Vec<(ScienceDomain, u32)> = max_pair
+            .map(|domains| {
+                domains
+                    .iter()
+                    .map(|(&d, &c)| (ALL_DOMAINS[d as usize], c))
+                    .collect()
+            })
+            .unwrap_or_default();
+        max_pair_domains.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.id().cmp(b.0.id())));
+
+        CollaborationReport {
+            total_pairs,
+            collaborating_pairs,
+            pct_by_domain,
+            max_shared_projects: max_shared,
+            max_pair_domains,
+        }
+    }
+
+    /// Fraction of all pairs that collaborate (the paper: ~1%).
+    pub fn collaborating_fraction(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            self.collaborating_pairs as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Collaboration percentage for one domain, if it has any.
+    pub fn pct(&self, domain: ScienceDomain) -> Option<f64> {
+        self.pct_by_domain
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, p)| *p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisContext;
+    use crate::pipeline::stream_snapshots;
+    use crate::sharing::FileGenNetwork;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn pair_counting() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let cli: Vec<u32> = pop
+            .domain_projects(ScienceDomain::Cli)
+            .take(2)
+            .map(|p| p.gid)
+            .collect();
+        let aph = pop.domain_projects(ScienceDomain::Aph).next().unwrap().gid;
+        let mut records = Vec::new();
+        // Users 1 and 2 share BOTH cli projects; user 3 shares one cli
+        // project with each; user 4 is alone in aph.
+        for &g in &cli {
+            records.push(rec(&format!("/a{g}"), 10_001, g));
+            records.push(rec(&format!("/b{g}"), 10_002, g));
+        }
+        records.push(rec("/c", 10_003, cli[0]));
+        records.push(rec("/d", 10_004, aph));
+        let mut net = FileGenNetwork::without_staff(AnalysisContext::new(&pop));
+        stream_snapshots(&[Snapshot::new(0, 0, records)], &mut [&mut net]);
+        let report = CollaborationReport::compute(&net.build());
+
+        // 4 users -> 6 possible pairs; collaborating: (1,2), (1,3), (2,3).
+        assert_eq!(report.total_pairs, 6);
+        assert_eq!(report.collaborating_pairs, 3);
+        assert!((report.collaborating_fraction() - 0.5).abs() < 1e-12);
+        // All collaborating pairs are in cli.
+        assert_eq!(report.pct(ScienceDomain::Cli), Some(100.0));
+        assert_eq!(report.pct(ScienceDomain::Aph), None);
+        // The extreme pair (1,2) shares two projects, both cli.
+        assert_eq!(report.max_shared_projects, 2);
+        assert_eq!(report.max_pair_domains, vec![(ScienceDomain::Cli, 2)]);
+    }
+
+    #[test]
+    fn empty_network_collaboration() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let net = FileGenNetwork::new(AnalysisContext::new(&pop));
+        let report = CollaborationReport::compute(&net.build());
+        assert_eq!(report.total_pairs, 0);
+        assert_eq!(report.collaborating_pairs, 0);
+        assert_eq!(report.collaborating_fraction(), 0.0);
+        assert_eq!(report.max_shared_projects, 0);
+    }
+}

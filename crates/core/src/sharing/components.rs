@@ -1,0 +1,213 @@
+//! Connected-component analysis (§4.3.2, Table 3, Fig. 19).
+//!
+//! The paper finds 160 components: a fringe of small communities (60%+
+//! single-user/single-project) and one giant component with 72% of all
+//! vertices (1,051 users + 208 projects, diameter 18, center within 10
+//! hops). Fig. 19 breaks the giant component down by domain.
+
+use crate::sharing::BuiltNetwork;
+use spider_graph::{ComponentSet, DistanceStats, Labeling};
+use spider_workload::{ScienceDomain, ALL_DOMAINS};
+
+/// Finalized component report.
+#[derive(Debug, Clone)]
+pub struct ComponentReport {
+    /// Component size census: `(size, count)`, ascending (Table 3).
+    pub size_distribution: Vec<(u32, u32)>,
+    /// Number of components.
+    pub component_count: usize,
+    /// Vertices in the largest component.
+    pub largest_size: u32,
+    /// Fraction of all vertices inside the largest component (paper: 72%).
+    pub largest_fraction: f64,
+    /// Users inside the largest component.
+    pub largest_users: u32,
+    /// Projects inside the largest component.
+    pub largest_projects: u32,
+    /// Diameter of the largest component (paper: 18).
+    pub diameter: u32,
+    /// Radius of the largest component (paper's center: 10 hops).
+    pub radius: u32,
+    /// Center size (paper: six projects + six users).
+    pub center_size: usize,
+    /// Domain composition of the largest component's projects, as
+    /// `(domain, projects_in_largest)` sorted descending (Fig. 19a).
+    pub largest_by_domain: Vec<(ScienceDomain, u32)>,
+    /// Per-domain probability (0–100) that a project lies in the largest
+    /// component (Fig. 19b / Table 1 `Network %`).
+    pub membership_pct_by_domain: Vec<(ScienceDomain, f64)>,
+}
+
+impl ComponentReport {
+    /// Computes the full component analysis of a built network.
+    pub fn compute(network: &BuiltNetwork) -> ComponentReport {
+        let graph = &network.graph;
+        let components = ComponentSet::compute(graph, Labeling::UnionFind);
+        let size_distribution = components.size_distribution();
+        let component_count = components.count();
+
+        let Some(largest) = components.largest() else {
+            return ComponentReport {
+                size_distribution,
+                component_count,
+                largest_size: 0,
+                largest_fraction: 0.0,
+                largest_users: 0,
+                largest_projects: 0,
+                diameter: 0,
+                radius: 0,
+                center_size: 0,
+                largest_by_domain: vec![],
+                membership_pct_by_domain: vec![],
+            };
+        };
+        let members = components.members(largest);
+        let largest_size = members.len() as u32;
+        let largest_fraction = largest_size as f64 / graph.num_vertices().max(1) as f64;
+        let largest_users = members.iter().filter(|&&v| graph.is_user(v)).count() as u32;
+        let largest_projects = largest_size - largest_users;
+
+        let distances = DistanceStats::compute(graph, &members);
+        let center = distances.center();
+
+        // Fig. 19(a): projects of the largest component per domain.
+        let mut in_largest = vec![0u32; ALL_DOMAINS.len()];
+        let mut total = vec![0u32; ALL_DOMAINS.len()];
+        for (p, &domain) in network.domains.iter().enumerate() {
+            total[domain.index()] += 1;
+            let v = graph.project_vertex(p as u32);
+            if components.labels()[v as usize] == largest {
+                in_largest[domain.index()] += 1;
+            }
+        }
+        let mut largest_by_domain: Vec<(ScienceDomain, u32)> = ALL_DOMAINS
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| in_largest[i] > 0)
+            .map(|(i, &d)| (d, in_largest[i]))
+            .collect();
+        largest_by_domain.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.id().cmp(b.0.id())));
+        let membership_pct_by_domain: Vec<(ScienceDomain, f64)> = ALL_DOMAINS
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| total[i] > 0)
+            .map(|(i, &d)| (d, 100.0 * in_largest[i] as f64 / total[i] as f64))
+            .collect();
+
+        ComponentReport {
+            size_distribution,
+            component_count,
+            largest_size,
+            largest_fraction,
+            largest_users,
+            largest_projects,
+            diameter: distances.diameter,
+            radius: distances.radius,
+            center_size: center.center_vertices.len(),
+            largest_by_domain,
+            membership_pct_by_domain,
+        }
+    }
+
+    /// Fraction of components that are a single user with a single
+    /// project, i.e. size 2 (the paper: over 60%).
+    pub fn pair_component_fraction(&self) -> f64 {
+        if self.component_count == 0 {
+            return 0.0;
+        }
+        let pairs = self
+            .size_distribution
+            .iter()
+            .filter(|&&(size, _)| size <= 2)
+            .map(|&(_, count)| count as u64)
+            .sum::<u64>();
+        pairs as f64 / self.component_count as f64
+    }
+
+    /// Largest-component membership probability for one domain.
+    pub fn membership_pct(&self, domain: ScienceDomain) -> Option<f64> {
+        self.membership_pct_by_domain
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, pct)| *pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisContext;
+    use crate::pipeline::stream_snapshots;
+    use crate::sharing::FileGenNetwork;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn census_on_a_constructed_network() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let cli: Vec<u32> = pop
+            .domain_projects(ScienceDomain::Cli)
+            .take(2)
+            .map(|p| p.gid)
+            .collect();
+        let aph = pop.domain_projects(ScienceDomain::Aph).next().unwrap().gid;
+        // Giant: users 1..=3 chained through two cli projects, plus one
+        // isolated aph pair as the fringe.
+        let records = vec![
+            rec("/a", 10_001, cli[0]),
+            rec("/b", 10_002, cli[0]),
+            rec("/c", 10_002, cli[1]),
+            rec("/d", 10_003, cli[1]),
+            rec("/e", 10_009, aph),
+        ];
+        let mut net = FileGenNetwork::new(AnalysisContext::new(&pop));
+        stream_snapshots(&[Snapshot::new(0, 0, records)], &mut [&mut net]);
+        let report = ComponentReport::compute(&net.build());
+
+        assert_eq!(report.component_count, 2);
+        assert_eq!(report.size_distribution, vec![(2, 1), (5, 1)]);
+        assert_eq!(report.largest_size, 5);
+        assert_eq!(report.largest_users, 3);
+        assert_eq!(report.largest_projects, 2);
+        assert!((report.largest_fraction - 5.0 / 7.0).abs() < 1e-12);
+        // Path u1-p0-u2-p1-u3: diameter 4, radius 2, center = u2.
+        assert_eq!(report.diameter, 4);
+        assert_eq!(report.radius, 2);
+        assert_eq!(report.center_size, 1);
+        assert_eq!(report.pair_component_fraction(), 0.5);
+        assert_eq!(report.membership_pct(ScienceDomain::Cli), Some(100.0));
+        assert_eq!(report.membership_pct(ScienceDomain::Aph), Some(0.0));
+        assert_eq!(report.membership_pct(ScienceDomain::Bio), None);
+        assert_eq!(
+            report.largest_by_domain,
+            vec![(ScienceDomain::Cli, 2)]
+        );
+    }
+
+    #[test]
+    fn empty_network() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let net = FileGenNetwork::new(AnalysisContext::new(&pop));
+        let report = ComponentReport::compute(&net.build());
+        assert_eq!(report.component_count, 0);
+        assert_eq!(report.largest_size, 0);
+        assert_eq!(report.pair_component_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dimension 3 — **sharing and collaborations** (§4.3).
+//!
+//! The *file generation network* (Fig. 18a) is a bipartite graph of users
+//! and projects, with an edge wherever a user generated files inside a
+//! project allocation. [`FileGenNetwork`] builds it from streamed
+//! snapshots; the analyses consume the built graph:
+//!
+//! * [`network`] — degree distribution and power-law fit (Fig. 18b);
+//! * [`components`] — connected components (Table 3), largest-component
+//!   composition and probability (Fig. 19), diameter and center;
+//! * [`collaboration`] — user-pair project sharing (Fig. 20).
+
+pub mod collaboration;
+pub mod components;
+pub mod network;
+
+use crate::context::AnalysisContext;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use rustc_hash::{FxHashMap, FxHashSet};
+use spider_graph::{BipartiteGraph, BipartiteGraphBuilder};
+use spider_workload::ScienceDomain;
+
+/// Streaming builder of the file generation network.
+pub struct FileGenNetwork {
+    ctx: AnalysisContext,
+    edges: FxHashSet<(u32, u32)>,
+    /// Exclude Staff projects (the paper drops `stf` from the
+    /// collaboration analysis to avoid liaison users diluting it; the
+    /// component analyses keep it).
+    pub exclude_staff: bool,
+}
+
+/// The built network with its id mappings.
+pub struct BuiltNetwork {
+    /// The bipartite graph (users first, then projects).
+    pub graph: BipartiteGraph,
+    /// Dense user index → uid.
+    pub uids: Vec<u32>,
+    /// Dense project index → gid.
+    pub gids: Vec<u32>,
+    /// Dense project index → science domain.
+    pub domains: Vec<ScienceDomain>,
+}
+
+impl FileGenNetwork {
+    /// Creates the builder (staff included, as for §4.3.1–4.3.2).
+    pub fn new(ctx: AnalysisContext) -> Self {
+        FileGenNetwork {
+            ctx,
+            edges: FxHashSet::default(),
+            exclude_staff: false,
+        }
+    }
+
+    /// Creates the builder with Staff excluded (for Fig. 20).
+    pub fn without_staff(ctx: AnalysisContext) -> Self {
+        FileGenNetwork {
+            ctx,
+            edges: FxHashSet::default(),
+            exclude_staff: true,
+        }
+    }
+
+    /// Number of distinct (uid, gid) edges observed.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a dense bipartite graph.
+    pub fn build(&self) -> BuiltNetwork {
+        let mut uids: Vec<u32> = self.edges.iter().map(|e| e.0).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        let mut gids: Vec<u32> = self.edges.iter().map(|e| e.1).collect();
+        gids.sort_unstable();
+        gids.dedup();
+        let uid_index: FxHashMap<u32, u32> = uids
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i as u32))
+            .collect();
+        let gid_index: FxHashMap<u32, u32> = gids
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect();
+        let mut builder = BipartiteGraphBuilder::new(uids.len() as u32, gids.len() as u32);
+        // Deterministic edge insertion order.
+        let mut edges: Vec<(u32, u32)> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        for (uid, gid) in edges {
+            builder.add_edge(uid_index[&uid], gid_index[&gid]);
+        }
+        let domains = gids
+            .iter()
+            .map(|&g| {
+                self.ctx
+                    .domain_of_gid(g)
+                    .expect("edges only carry registered gids")
+            })
+            .collect();
+        BuiltNetwork {
+            graph: builder.build(),
+            uids,
+            gids,
+            domains,
+        }
+    }
+}
+
+impl SnapshotVisitor for FileGenNetwork {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        for i in 0..frame.len() {
+            let uid = frame.uid[i];
+            if uid == 0 {
+                continue; // system-owned skeleton
+            }
+            let gid = frame.gid[i];
+            let Some(domain) = self.ctx.domain_of_gid(gid) else {
+                continue;
+            };
+            if self.exclude_staff && domain == ScienceDomain::Stf {
+                continue;
+            }
+            self.edges.insert((uid, gid));
+        }
+    }
+}
+
+impl BuiltNetwork {
+    /// Number of user vertices.
+    pub fn user_count(&self) -> usize {
+        self.uids.len()
+    }
+
+    /// Number of project vertices.
+    pub fn project_count(&self) -> usize {
+        self.gids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn builds_bipartite_graph_from_snapshots() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let g1 = pop.projects[0].gid;
+        let g2 = pop.projects[1].gid;
+        let mut network = FileGenNetwork::new(ctx);
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                rec("/a", 10_000, g1),
+                rec("/b", 10_000, g2),
+                rec("/c", 10_001, g1),
+                rec("/dup", 10_000, g1),
+                rec("/skel", 0, g1),
+                rec("/junk", 10_002, 1), // unregistered gid dropped
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut network]);
+        assert_eq!(network.edge_count(), 3);
+        let built = network.build();
+        assert_eq!(built.user_count(), 2);
+        assert_eq!(built.project_count(), 2);
+        assert_eq!(built.graph.num_edges(), 3);
+        assert_eq!(built.domains.len(), 2);
+        assert_eq!(built.domains[0], pop.projects[0].domain);
+    }
+
+    #[test]
+    fn staff_exclusion() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let stf = pop
+            .domain_projects(ScienceDomain::Stf)
+            .next()
+            .unwrap()
+            .gid;
+        let cli = pop
+            .domain_projects(ScienceDomain::Cli)
+            .next()
+            .unwrap()
+            .gid;
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![rec("/a", 10_000, stf), rec("/b", 10_000, cli)],
+        );
+        let mut with_staff = FileGenNetwork::new(AnalysisContext::new(&pop));
+        let mut without = FileGenNetwork::without_staff(ctx);
+        stream_snapshots(&[snap], &mut [&mut with_staff, &mut without]);
+        assert_eq!(with_staff.edge_count(), 2);
+        assert_eq!(without.edge_count(), 1);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let g1 = pop.projects[0].gid;
+        let g2 = pop.projects[1].gid;
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![rec("/a", 10_005, g2), rec("/b", 10_001, g1)],
+        );
+        let build = || {
+            let mut n = FileGenNetwork::new(AnalysisContext::new(&pop));
+            stream_snapshots(std::slice::from_ref(&snap), &mut [&mut n]);
+            let b = n.build();
+            (b.uids.clone(), b.gids.clone(), b.graph.degrees())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,99 @@
+//! Network overview (§4.3.1, Fig. 18b, Observation 10).
+
+use crate::sharing::BuiltNetwork;
+use spider_graph::DegreeStats;
+use spider_workload::ScienceDomain;
+
+/// Degree-distribution overview of the file generation network.
+#[derive(Debug, Clone)]
+pub struct NetworkOverview {
+    /// Degree statistics, including the log–log power-law fit.
+    pub degrees: DegreeStats,
+    /// Domains of the highest-degree *user* vertices (the paper singles
+    /// out env, nfi, cmb, and cli users as the best-connected).
+    pub top_user_domains: Vec<(u32, ScienceDomain)>,
+}
+
+impl NetworkOverview {
+    /// Computes the overview. `top_k` controls how many high-degree users
+    /// are inspected for their dominant domain.
+    pub fn compute(network: &BuiltNetwork, top_k: usize) -> NetworkOverview {
+        let degrees = DegreeStats::compute(&network.graph);
+        // Rank users by degree and map each to the domain where most of
+        // their projects live.
+        let mut users: Vec<(u32, u32)> = (0..network.graph.num_users())
+            .map(|u| (network.graph.degree(network.graph.user_vertex(u)), u))
+            .collect();
+        users.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let top_user_domains = users
+            .into_iter()
+            .take(top_k)
+            .filter(|&(deg, _)| deg > 0)
+            .map(|(deg, u)| {
+                let mut counts =
+                    rustc_hash::FxHashMap::<ScienceDomain, u32>::default();
+                for p in network.graph.projects_of_user(u) {
+                    *counts.entry(network.domains[p as usize]).or_insert(0) += 1;
+                }
+                let domain = counts
+                    .into_iter()
+                    .max_by_key(|&(d, c)| (c, std::cmp::Reverse(d.index())))
+                    .map(|(d, _)| d)
+                    .expect("positive degree user has projects");
+                (deg, domain)
+            })
+            .collect();
+        NetworkOverview {
+            degrees,
+            top_user_domains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisContext;
+    use crate::pipeline::stream_snapshots;
+    use crate::sharing::FileGenNetwork;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn overview_ranks_hub_users() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let cli: Vec<u32> = pop
+            .domain_projects(ScienceDomain::Cli)
+            .take(4)
+            .map(|p| p.gid)
+            .collect();
+        let aph = pop.domain_projects(ScienceDomain::Aph).next().unwrap().gid;
+        let mut records = Vec::new();
+        // Hub user 10_000 in four cli projects, user 10_001 in one aph.
+        for (i, &g) in cli.iter().enumerate() {
+            records.push(rec(&format!("/c{i}"), 10_000, g));
+        }
+        records.push(rec("/x", 10_001, aph));
+        let mut net = FileGenNetwork::new(AnalysisContext::new(&pop));
+        stream_snapshots(&[Snapshot::new(0, 0, records)], &mut [&mut net]);
+        let overview = NetworkOverview::compute(&net.build(), 1);
+        assert_eq!(overview.top_user_domains.len(), 1);
+        assert_eq!(overview.top_user_domains[0].0, 4);
+        assert_eq!(overview.top_user_domains[0].1, ScienceDomain::Cli);
+        assert_eq!(overview.degrees.max_degree, 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Assembly of the paper's Table 1 from the three analysis dimensions.
+
+use crate::behavior::{BurstinessAnalysis, StripingAnalysis};
+use crate::sharing::collaboration::CollaborationReport;
+use crate::sharing::components::ComponentReport;
+use crate::trends::census::UniqueCensus;
+use crate::trends::depth::DepthAnalysis;
+use serde::{Deserialize, Serialize};
+use spider_workload::{ScienceDomain, ALL_DOMAINS};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainSummaryRow {
+    /// The domain id (`aph` ... `ven`).
+    pub domain: String,
+    /// Unique entries in thousands (`# Entries (K)`).
+    pub entries_k: f64,
+    /// Median per-project directory depth.
+    pub depth_median: Option<f64>,
+    /// Maximum directory depth.
+    pub depth_max: Option<u16>,
+    /// Most popular extension and its percentage (`Ext. (%)`).
+    pub top_extension: Option<(String, f64)>,
+    /// Top-2 programming languages (`Prog. Lang.`), shell excluded.
+    pub languages: Vec<String>,
+    /// Rounded mean OST stripe count (`# OST`).
+    pub ost: Option<u32>,
+    /// Median write `c_v` (`Write (c_v)`); `None` when the domain fell
+    /// below the ≥100-file weekly filter, like the `-` rows of Table 1.
+    pub write_cv: Option<f64>,
+    /// Median read `c_v` (`Read (c_v)`).
+    pub read_cv: Option<f64>,
+    /// Probability (0–100) of appearing in the largest component
+    /// (`Network (%)`).
+    pub network_pct: Option<f64>,
+    /// Collaborating-pair share (0–100) (`Collab. (%)`).
+    pub collab_pct: f64,
+}
+
+/// The assembled Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryTable {
+    /// One row per domain, in Table 1 order.
+    pub rows: Vec<DomainSummaryRow>,
+}
+
+impl SummaryTable {
+    /// Assembles Table 1 from finalized analyses.
+    pub fn assemble(
+        census: &UniqueCensus,
+        depth: &DepthAnalysis,
+        striping: &StripingAnalysis,
+        burstiness: &BurstinessAnalysis,
+        components: &ComponentReport,
+        collaboration: &CollaborationReport,
+    ) -> SummaryTable {
+        let rows = ALL_DOMAINS
+            .iter()
+            .map(|&domain| {
+                let counts = census.domain_counts(domain);
+                let (depth_median, depth_max) = match depth.domain_median_max(domain) {
+                    Some((m, x)) => (Some(m), Some(x)),
+                    None => (None, None),
+                };
+                let top_extension = census.top_extensions(domain, 1).into_iter().next();
+                let languages = census
+                    .domain_languages(domain)
+                    .into_iter()
+                    .take(2)
+                    .map(|(l, _)| l.to_string())
+                    .collect();
+                DomainSummaryRow {
+                    domain: domain.id().to_string(),
+                    entries_k: counts.total() as f64 / 1_000.0,
+                    depth_median,
+                    depth_max,
+                    top_extension,
+                    languages,
+                    ost: striping.summary(domain).map(|s| s.mean.round() as u32),
+                    write_cv: burstiness.median_write_cv(domain),
+                    read_cv: burstiness.median_read_cv(domain),
+                    network_pct: components.membership_pct(domain),
+                    collab_pct: collaboration.pct(domain).unwrap_or(0.0),
+                }
+            })
+            .collect();
+        SummaryTable { rows }
+    }
+
+    /// The row for one domain.
+    pub fn row(&self, domain: ScienceDomain) -> &DomainSummaryRow {
+        &self.rows[domain.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisContext;
+    use crate::pipeline::stream_snapshots;
+    use crate::sharing::FileGenNetwork;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32, atime: u64, mtime: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime,
+            ctime: mtime,
+            mtime,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![(1, 1), (2, 2), (3, 3), (4, 4)],
+        }
+    }
+
+    #[test]
+    fn assembles_rows_for_all_domains() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let cli = pop.domain_projects(ScienceDomain::Cli).next().unwrap().gid;
+
+        let snaps = vec![
+            Snapshot::new(0, 1_000, vec![rec("/p/a.nc", 10_000, cli, 1_000, 1_000)]),
+            Snapshot::new(
+                7,
+                1_000 + 7 * 86_400,
+                vec![
+                    rec("/p/a.nc", 10_000, cli, 1_000, 1_000),
+                    rec("/p/b.nc", 10_001, cli, 2_000, 2_000),
+                ],
+            ),
+        ];
+        let mut census = UniqueCensus::new(ctx.clone());
+        let mut depth = DepthAnalysis::new(ctx.clone());
+        let mut striping = StripingAnalysis::new(ctx.clone());
+        let mut burst = BurstinessAnalysis::with_min_files(ctx.clone(), 1);
+        let mut network = FileGenNetwork::new(ctx.clone());
+        let mut collab_net = FileGenNetwork::without_staff(ctx);
+        stream_snapshots(
+            &snaps,
+            &mut [
+                &mut census,
+                &mut depth,
+                &mut striping,
+                &mut burst,
+                &mut network,
+                &mut collab_net,
+            ],
+        );
+        let components = ComponentReport::compute(&network.build());
+        let collaboration = CollaborationReport::compute(&collab_net.build());
+        let table = SummaryTable::assemble(
+            &census,
+            &depth,
+            &striping,
+            &burst,
+            &components,
+            &collaboration,
+        );
+
+        assert_eq!(table.rows.len(), 35);
+        let cli_row = table.row(ScienceDomain::Cli);
+        assert_eq!(cli_row.domain, "cli");
+        assert!((cli_row.entries_k - 0.002).abs() < 1e-9);
+        assert_eq!(cli_row.top_extension.as_ref().unwrap().0, "nc");
+        assert_eq!(cli_row.ost, Some(4));
+        assert_eq!(cli_row.network_pct, Some(100.0));
+        assert!(cli_row.write_cv.is_some()); // one new file, min_files 1
+        // A domain with no data has empty/None fields, like Table 1's '-'.
+        let aph_row = table.row(ScienceDomain::Aph);
+        assert_eq!(aph_row.entries_k, 0.0);
+        assert_eq!(aph_row.write_cv, None);
+        assert_eq!(aph_row.depth_median, None);
+        assert_eq!(aph_row.network_pct, None);
+    }
+}

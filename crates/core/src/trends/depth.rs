@@ -1,0 +1,203 @@
+//! Directory-depth analyses (Figs. 8a and 9; Table 1 `Dir. Depth`).
+//!
+//! A project's *directory depth* is the maximum depth reached by any of
+//! its entries across the observation window (the paper's Table 1 pairs a
+//! per-domain median of this quantity with the per-domain maximum — e.g.
+//! Staff's 2,030-deep metadata stress chain). Depth counts path
+//! components including the implicit `/root` prefix, hence the Fig. 8(a)
+//! knee at five: `/root/lustre/atlas1/<project>/<user>`.
+
+use crate::context::AnalysisContext;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use rustc_hash::FxHashMap;
+use spider_stats::{EmpiricalCdf, FiveNumber, Quantiles};
+use spider_workload::ScienceDomain;
+
+/// Streaming per-project maximum-depth tracker.
+pub struct DepthAnalysis {
+    ctx: AnalysisContext,
+    max_depth_per_gid: FxHashMap<u32, u16>,
+}
+
+/// Finalized depth report.
+#[derive(Debug, Clone)]
+pub struct DepthReport {
+    /// CDF of per-project directory depth (Fig. 8a).
+    pub per_project_cdf: EmpiricalCdf,
+    /// Five-number summary of project depths per domain (Fig. 9), sorted
+    /// by domain id.
+    pub by_domain: Vec<(ScienceDomain, FiveNumber)>,
+    /// Fraction of projects deeper than 10 (the paper: > 30%).
+    pub fraction_deeper_than_10: f64,
+    /// Fraction of projects deeper than 15 (the paper: < 3%... of
+    /// projects beyond that, excluding stress tests).
+    pub fraction_deeper_than_15: f64,
+    /// The global maximum (the stress-test chain).
+    pub max_depth: u16,
+}
+
+impl DepthAnalysis {
+    /// Creates the analysis.
+    pub fn new(ctx: AnalysisContext) -> Self {
+        DepthAnalysis {
+            ctx,
+            max_depth_per_gid: FxHashMap::default(),
+        }
+    }
+
+    /// Table 1's `[median, max]` pair for one domain, if it has projects
+    /// with observed entries.
+    pub fn domain_median_max(&self, domain: ScienceDomain) -> Option<(f64, u16)> {
+        let depths: Vec<f64> = self
+            .max_depth_per_gid
+            .iter()
+            .filter(|(gid, _)| self.ctx.domain_of_gid(**gid) == Some(domain))
+            .map(|(_, &d)| d as f64)
+            .collect();
+        let max = depths.iter().copied().fold(0.0f64, f64::max) as u16;
+        Quantiles::new(depths).median().map(|m| (m, max))
+    }
+
+    /// Finalizes the report.
+    pub fn finish(&self) -> DepthReport {
+        let mut domain_depths: FxHashMap<u8, Vec<f64>> = FxHashMap::default();
+        let mut all: Vec<f64> = Vec::with_capacity(self.max_depth_per_gid.len());
+        let mut max_depth = 0u16;
+        for (&gid, &depth) in &self.max_depth_per_gid {
+            all.push(depth as f64);
+            max_depth = max_depth.max(depth);
+            if let Some(domain) = self.ctx.domain_of_gid(gid) {
+                domain_depths
+                    .entry(domain.index() as u8)
+                    .or_default()
+                    .push(depth as f64);
+            }
+        }
+        let q = Quantiles::new(all.clone());
+        let mut by_domain: Vec<(ScienceDomain, FiveNumber)> = domain_depths
+            .into_iter()
+            .filter_map(|(d, depths)| {
+                Quantiles::new(depths)
+                    .five_number()
+                    .map(|f| (spider_workload::ALL_DOMAINS[d as usize], f))
+            })
+            .collect();
+        by_domain.sort_by(|a, b| a.0.id().cmp(b.0.id()));
+        DepthReport {
+            per_project_cdf: EmpiricalCdf::new(all),
+            by_domain,
+            fraction_deeper_than_10: q.fraction_above(10.0),
+            fraction_deeper_than_15: q.fraction_above(15.0),
+            max_depth,
+        }
+    }
+}
+
+impl SnapshotVisitor for DepthAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        for i in 0..frame.len() {
+            let entry = self.max_depth_per_gid.entry(frame.gid[i]).or_insert(0);
+            *entry = (*entry).max(frame.depth[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid: 1,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    fn deep_path(components: usize) -> String {
+        let mut p = String::new();
+        for i in 0..components {
+            p.push_str(&format!("/c{i}"));
+        }
+        p
+    }
+
+    #[test]
+    fn tracks_per_project_max_depth() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let g1 = pop.projects[0].gid;
+        let g2 = pop.projects[1].gid;
+        let mut analysis = DepthAnalysis::new(ctx);
+        let week0 = Snapshot::new(
+            0,
+            0,
+            vec![rec(&deep_path(7), g1), rec(&deep_path(4), g2)],
+        );
+        let week1 = Snapshot::new(7, 7, vec![rec(&deep_path(11), g1)]);
+        stream_snapshots(&[week0, week1], &mut [&mut analysis]);
+        let report = analysis.finish();
+        // g1 max = 12 (11 components + root), g2 = 5.
+        assert_eq!(report.max_depth, 12);
+        assert_eq!(report.per_project_cdf.len(), 2);
+        assert!((report.fraction_deeper_than_10 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_median_and_max() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let stf: Vec<u32> = pop
+            .domain_projects(ScienceDomain::Stf)
+            .take(3)
+            .map(|p| p.gid)
+            .collect();
+        let mut analysis = DepthAnalysis::new(ctx);
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                rec(&deep_path(9), stf[0]),
+                rec(&deep_path(11), stf[1]),
+                rec(&deep_path(29), stf[2]),
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        let (median, max) = analysis.domain_median_max(ScienceDomain::Stf).unwrap();
+        assert_eq!(median, 12.0); // depths 10, 12, 30
+        assert_eq!(max, 30);
+        assert_eq!(analysis.domain_median_max(ScienceDomain::Cli), None);
+        let report = analysis.finish();
+        let (domain, five) = report
+            .by_domain
+            .iter()
+            .find(|(d, _)| *d == ScienceDomain::Stf)
+            .unwrap();
+        assert_eq!(*domain, ScienceDomain::Stf);
+        assert_eq!(five.median, 12.0);
+        assert_eq!(five.max, 30.0);
+        assert_eq!(five.min, 10.0);
+    }
+
+    #[test]
+    fn empty_report() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let report = DepthAnalysis::new(AnalysisContext::new(&pop)).finish();
+        assert!(report.per_project_cdf.is_empty());
+        assert_eq!(report.max_depth, 0);
+        assert!(report.by_domain.is_empty());
+    }
+}

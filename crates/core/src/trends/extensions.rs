@@ -1,0 +1,192 @@
+//! The extension-share time series (Fig. 10).
+//!
+//! The paper first fixes the 20 globally most popular extensions, then
+//! plots each one's share of the live file population per weekly
+//! snapshot, plus the `no extension` and `other` buckets (which together
+//! average ~half of all files). The `.bb` and `.xyz` surges stand out as
+//! step changes in those series.
+
+use crate::frame::EXT_NONE;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use rustc_hash::FxHashMap;
+use spider_stats::TimeSeries;
+
+/// Streaming per-snapshot extension-share tracker.
+///
+/// Pass 1 (choosing the top-20) uses the global popularity from the
+/// [`crate::trends::census::UniqueCensus`]; this visitor takes the chosen
+/// list up front and tracks shares per snapshot, exactly like the paper's
+/// two-step procedure.
+pub struct ExtensionTrend {
+    tracked: Vec<String>,
+    /// Per tracked extension: (day, live-share) series.
+    series: Vec<TimeSeries>,
+    /// Share of files with no extension.
+    none_series: TimeSeries,
+    /// Share of files outside the tracked set ("other").
+    other_series: TimeSeries,
+}
+
+impl ExtensionTrend {
+    /// Creates a trend tracker for the given (typically top-20) list.
+    pub fn new(tracked: Vec<String>) -> Self {
+        let n = tracked.len();
+        ExtensionTrend {
+            tracked,
+            series: vec![TimeSeries::new(); n],
+            none_series: TimeSeries::new(),
+            other_series: TimeSeries::new(),
+        }
+    }
+
+    /// The tracked extensions.
+    pub fn tracked(&self) -> &[String] {
+        &self.tracked
+    }
+
+    /// The share series of one tracked extension.
+    pub fn series_for(&self, ext: &str) -> Option<&TimeSeries> {
+        self.tracked
+            .iter()
+            .position(|t| t == ext)
+            .map(|i| &self.series[i])
+    }
+
+    /// The `no extension` share series.
+    pub fn none_series(&self) -> &TimeSeries {
+        &self.none_series
+    }
+
+    /// The `other` share series.
+    pub fn other_series(&self) -> &TimeSeries {
+        &self.other_series
+    }
+
+    /// All series as (label, series) pairs for figure emission.
+    pub fn all_series(&self) -> Vec<(String, &TimeSeries)> {
+        let mut out: Vec<(String, &TimeSeries)> = self
+            .tracked
+            .iter()
+            .cloned()
+            .zip(self.series.iter())
+            .collect();
+        out.push(("<none>".to_string(), &self.none_series));
+        out.push(("<other>".to_string(), &self.other_series));
+        out
+    }
+}
+
+impl SnapshotVisitor for ExtensionTrend {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        // Interned ids are per-frame: map tracked strings -> frame ids.
+        let mut id_of: FxHashMap<&str, usize> = FxHashMap::default();
+        for (slot, ext) in self.tracked.iter().enumerate() {
+            id_of.insert(ext.as_str(), slot);
+        }
+        let mut counts = vec![0u64; self.tracked.len()];
+        let mut none = 0u64;
+        let mut other = 0u64;
+        let mut files = 0u64;
+        for i in 0..frame.len() {
+            if !frame.is_file[i] {
+                continue;
+            }
+            files += 1;
+            if frame.ext[i] == EXT_NONE {
+                none += 1;
+            } else {
+                let ext = frame.extension_str(frame.ext[i]).expect("interned");
+                match id_of.get(ext) {
+                    Some(&slot) => counts[slot] += 1,
+                    None => other += 1,
+                }
+            }
+        }
+        let day = frame.day();
+        let denom = files.max(1) as f64;
+        for (slot, &c) in counts.iter().enumerate() {
+            self.series[slot].push(day, c as f64 / denom);
+        }
+        self.none_series.push(day, none as f64 / denom);
+        self.other_series.push(day, other as f64 / denom);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    fn rec(path: &str) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid: 1,
+            gid: 1,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn shares_track_population_changes() {
+        let mut trend = ExtensionTrend::new(vec!["nc".into(), "xyz".into()]);
+        let week0 = Snapshot::new(
+            0,
+            0,
+            vec![rec("/a.nc"), rec("/b.nc"), rec("/c.dat"), rec("/RESTART")],
+        );
+        // xyz surge in week 1.
+        let week1 = Snapshot::new(
+            7,
+            7,
+            vec![
+                rec("/a.nc"),
+                rec("/x1.xyz"),
+                rec("/x2.xyz"),
+                rec("/x3.xyz"),
+                rec("/x4.xyz"),
+            ],
+        );
+        stream_snapshots(&[week0, week1], &mut [&mut trend]);
+
+        let nc = trend.series_for("nc").unwrap();
+        assert_eq!(nc.points(), &[(0, 0.5), (7, 0.2)]);
+        let xyz = trend.series_for("xyz").unwrap();
+        assert_eq!(xyz.points(), &[(0, 0.0), (7, 0.8)]);
+        assert_eq!(trend.none_series().points(), &[(0, 0.25), (7, 0.0)]);
+        assert_eq!(trend.other_series().points(), &[(0, 0.25), (7, 0.0)]);
+        assert!(trend.series_for("h5").is_none());
+        assert_eq!(trend.all_series().len(), 4);
+    }
+
+    #[test]
+    fn directories_are_ignored() {
+        let mut trend = ExtensionTrend::new(vec!["nc".into()]);
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                SnapshotRecord {
+                    mode: 0o040770,
+                    ..rec("/dir.nc")
+                },
+                rec("/a.nc"),
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut trend]);
+        assert_eq!(trend.series_for("nc").unwrap().points(), &[(0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_snapshot_records_zero_shares() {
+        let mut trend = ExtensionTrend::new(vec!["nc".into()]);
+        stream_snapshots(&[Snapshot::new(0, 0, vec![])], &mut [&mut trend]);
+        assert_eq!(trend.series_for("nc").unwrap().points(), &[(0, 0.0)]);
+    }
+}

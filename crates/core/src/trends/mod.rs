@@ -1,0 +1,26 @@
+//! Dimension 1 — **project file trends** (§4.1).
+//!
+//! * [`users`] — active-user extraction and classification (Fig. 5);
+//! * [`participation`] — projects-per-user / users-per-project CDFs
+//!   (Fig. 6);
+//! * [`census`] — the one-pass unique-entry census shared by the Fig. 7
+//!   file/directory counts, the Fig. 8(b) ownership CDFs, the Table 2
+//!   extension popularity, and the Fig. 11/12 language rankings;
+//! * [`depth`] — directory-depth analyses (Figs. 8a, 9; Table 1);
+//! * [`extensions`] — the Fig. 10 extension-share time series;
+//! * [`fanout`] — entries-per-directory distribution (the Obs. 2
+//!   metadata-pressure view).
+
+pub mod census;
+pub mod depth;
+pub mod extensions;
+pub mod fanout;
+pub mod participation;
+pub mod users;
+
+pub use census::UniqueCensus;
+pub use depth::DepthAnalysis;
+pub use extensions::ExtensionTrend;
+pub use fanout::{fanout_distribution, FanoutReport};
+pub use participation::ParticipationAnalysis;
+pub use users::ActiveUsersAnalysis;

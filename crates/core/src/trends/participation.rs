@@ -1,0 +1,195 @@
+//! User–project participation (Fig. 6).
+//!
+//! From the snapshots alone: a user *participates* in a project when
+//! files or directories owned by their uid exist under the project's gid.
+//! The analysis reports the projects-per-user CDF (Fig. 6a), the
+//! users-per-project CDF (Fig. 6b), and the per-domain median team size
+//! (Fig. 6c).
+
+use crate::context::AnalysisContext;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use rustc_hash::{FxHashMap, FxHashSet};
+use spider_stats::{EmpiricalCdf, Quantiles};
+use spider_workload::ScienceDomain;
+
+/// Membership extraction from streamed snapshots.
+pub struct ParticipationAnalysis {
+    ctx: AnalysisContext,
+    edges: FxHashSet<(u32, u32)>,
+}
+
+/// Finalized participation report.
+#[derive(Debug, Clone)]
+pub struct ParticipationReport {
+    /// CDF of the number of projects per active user (Fig. 6a).
+    pub projects_per_user: EmpiricalCdf,
+    /// CDF of the number of users per project (Fig. 6b).
+    pub users_per_project: EmpiricalCdf,
+    /// Median users per project for each domain with data (Fig. 6c).
+    pub median_team_by_domain: Vec<(ScienceDomain, f64)>,
+    /// Mean users per project (the paper: ~3).
+    pub mean_team: f64,
+}
+
+impl ParticipationAnalysis {
+    /// Creates the analysis.
+    pub fn new(ctx: AnalysisContext) -> Self {
+        ParticipationAnalysis {
+            ctx,
+            edges: FxHashSet::default(),
+        }
+    }
+
+    /// Observed (uid, gid) participation edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the report.
+    pub fn finish(&self) -> ParticipationReport {
+        let mut per_user: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut per_project: FxHashMap<u32, u32> = FxHashMap::default();
+        for &(uid, gid) in &self.edges {
+            *per_user.entry(uid).or_insert(0) += 1;
+            *per_project.entry(gid).or_insert(0) += 1;
+        }
+        let mut team_samples: FxHashMap<u8, Vec<f64>> = FxHashMap::default();
+        for (&gid, &team) in &per_project {
+            if let Some(domain) = self.ctx.domain_of_gid(gid) {
+                team_samples
+                    .entry(domain.index() as u8)
+                    .or_default()
+                    .push(team as f64);
+            }
+        }
+        let mut median_team_by_domain: Vec<(ScienceDomain, f64)> = team_samples
+            .into_iter()
+            .filter_map(|(d, samples)| {
+                let median = Quantiles::new(samples).median()?;
+                Some((spider_workload::ALL_DOMAINS[d as usize], median))
+            })
+            .collect();
+        median_team_by_domain
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.id().cmp(b.0.id())));
+
+        let team_values: Vec<f64> = per_project.values().map(|&c| c as f64).collect();
+        let mean_team = if team_values.is_empty() {
+            0.0
+        } else {
+            team_values.iter().sum::<f64>() / team_values.len() as f64
+        };
+        ParticipationReport {
+            projects_per_user: EmpiricalCdf::new(
+                per_user.values().map(|&c| c as f64).collect(),
+            ),
+            users_per_project: EmpiricalCdf::new(team_values),
+            median_team_by_domain,
+            mean_team,
+        }
+    }
+}
+
+impl SnapshotVisitor for ParticipationAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        for i in 0..frame.len() {
+            if frame.uid[i] != 0 {
+                self.edges.insert((frame.uid[i], frame.gid[i]));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn membership_cdfs() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let g1 = pop.projects[0].gid;
+        let g2 = pop.projects[1].gid;
+        let mut analysis = ParticipationAnalysis::new(ctx);
+        // u1 in both projects; u2 and u3 in g1 only.
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                rec("/a", 10_000, g1),
+                rec("/b", 10_000, g2),
+                rec("/c", 10_001, g1),
+                rec("/d", 10_002, g1),
+                rec("/e", 10_000, g1), // duplicate edge
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        assert_eq!(analysis.edge_count(), 4);
+        let report = analysis.finish();
+        // projects per user: [2, 1, 1]
+        assert!((report.projects_per_user.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.projects_per_user.eval(2.0), 1.0);
+        // users per project: [3, 1]
+        assert_eq!(report.users_per_project.eval(1.0), 0.5);
+        assert!((report.mean_team - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_team_per_domain() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let cli: Vec<u32> = pop
+            .domain_projects(ScienceDomain::Cli)
+            .take(2)
+            .map(|p| p.gid)
+            .collect();
+        let mut analysis = ParticipationAnalysis::new(ctx);
+        let mut records = Vec::new();
+        // cli project 0: 5 users; cli project 1: 3 users.
+        for u in 0..5u32 {
+            records.push(rec(&format!("/a{u}"), 10_000 + u, cli[0]));
+        }
+        for u in 0..3u32 {
+            records.push(rec(&format!("/b{u}"), 10_000 + u, cli[1]));
+        }
+        stream_snapshots(&[Snapshot::new(0, 0, records)], &mut [&mut analysis]);
+        let report = analysis.finish();
+        let cli_median = report
+            .median_team_by_domain
+            .iter()
+            .find(|(d, _)| *d == ScienceDomain::Cli)
+            .map(|(_, m)| *m)
+            .unwrap();
+        assert_eq!(cli_median, 4.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let analysis = ParticipationAnalysis::new(AnalysisContext::new(&pop));
+        let report = analysis.finish();
+        assert!(report.projects_per_user.is_empty());
+        assert_eq!(report.mean_team, 0.0);
+        assert!(report.median_team_by_domain.is_empty());
+    }
+}

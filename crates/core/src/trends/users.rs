@@ -1,0 +1,210 @@
+//! Active-user extraction and classification (Fig. 5).
+//!
+//! "We have identified 1,362 active users out of all the registered
+//! users, based on the usage of the Spider storage system ... we gathered
+//! all the UIDs that are associated with directories and files across all
+//! the file system snapshots." Users are then classified by organization
+//! type (Fig. 5a, via the accounts database) and by science domain
+//! (Fig. 5b, "by GID" — we attribute each user to the domain holding the
+//! most of their entries).
+
+use crate::context::AnalysisContext;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use rustc_hash::FxHashMap;
+use spider_workload::{Organization, ScienceDomain, ALL_DOMAINS};
+
+/// The active-user census.
+pub struct ActiveUsersAnalysis {
+    ctx: AnalysisContext,
+    /// (uid, domain index) → entry count.
+    uid_domain_counts: FxHashMap<(u32, u8), u64>,
+}
+
+/// Classification results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveUsersReport {
+    /// Number of distinct active uids.
+    pub active_users: u64,
+    /// Active users by organization type (Fig. 5a), as (org, count).
+    pub by_org: Vec<(Organization, u64)>,
+    /// Active users by dominant science domain (Fig. 5b).
+    pub by_domain: Vec<(ScienceDomain, u64)>,
+    /// Users whose dominant domain is computer science or operational
+    /// (the paper: "less than 30% are computer scientists").
+    pub computing_users: u64,
+}
+
+impl ActiveUsersAnalysis {
+    /// Creates the analysis.
+    pub fn new(ctx: AnalysisContext) -> Self {
+        ActiveUsersAnalysis {
+            ctx,
+            uid_domain_counts: FxHashMap::default(),
+        }
+    }
+
+    /// Finalizes the census.
+    pub fn finish(&self) -> ActiveUsersReport {
+        // Dominant domain per user.
+        let mut per_user: FxHashMap<u32, (u8, u64)> = FxHashMap::default();
+        for (&(uid, domain), &count) in &self.uid_domain_counts {
+            let entry = per_user.entry(uid).or_insert((domain, 0));
+            if count > entry.1 || (count == entry.1 && domain < entry.0) {
+                *entry = (domain, count);
+            }
+        }
+        let mut by_org: FxHashMap<Organization, u64> = FxHashMap::default();
+        let mut by_domain_map: FxHashMap<u8, u64> = FxHashMap::default();
+        let mut computing = 0;
+        for (&uid, &(domain_idx, _)) in &per_user {
+            if let Some(org) = self.ctx.org_of_uid(uid) {
+                *by_org.entry(org).or_insert(0) += 1;
+            }
+            *by_domain_map.entry(domain_idx).or_insert(0) += 1;
+            if ALL_DOMAINS[domain_idx as usize].is_computing() {
+                computing += 1;
+            }
+        }
+        let mut by_org: Vec<(Organization, u64)> = by_org.into_iter().collect();
+        by_org.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let mut by_domain: Vec<(ScienceDomain, u64)> = by_domain_map
+            .into_iter()
+            .map(|(d, c)| (ALL_DOMAINS[d as usize], c))
+            .collect();
+        by_domain.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.id().cmp(b.0.id())));
+        ActiveUsersReport {
+            active_users: per_user.len() as u64,
+            by_org,
+            by_domain,
+            computing_users: computing,
+        }
+    }
+}
+
+impl SnapshotVisitor for ActiveUsersAnalysis {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        let frame = ctx.frame;
+        for i in 0..frame.len() {
+            if let Some(domain) = self.ctx.domain_of_gid(frame.gid[i]) {
+                // Skip the root-owned project directory skeleton: uid 0 is
+                // the system, not a scientist.
+                if frame.uid[i] == 0 {
+                    continue;
+                }
+                *self
+                    .uid_domain_counts
+                    .entry((frame.uid[i], domain.index() as u8))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+impl ActiveUsersReport {
+    /// Fraction of active users in the given organization.
+    pub fn org_fraction(&self, org: Organization) -> f64 {
+        if self.active_users == 0 {
+            return 0.0;
+        }
+        self.by_org
+            .iter()
+            .find(|(o, _)| *o == org)
+            .map(|(_, c)| *c as f64 / self.active_users as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of users whose dominant domain is science (not computing).
+    pub fn domain_expert_fraction(&self) -> f64 {
+        if self.active_users == 0 {
+            return 0.0;
+        }
+        1.0 - self.computing_users as f64 / self.active_users as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::stream_snapshots;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
+
+    fn rec(path: &str, uid: u32, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn active_users_are_extracted_and_classified() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let cli = pop.domain_projects(ScienceDomain::Cli).next().unwrap().gid;
+        let csc = pop.domain_projects(ScienceDomain::Csc).next().unwrap().gid;
+        let u1 = pop.users[0].uid;
+        let u2 = pop.users[1].uid;
+        let mut analysis = ActiveUsersAnalysis::new(ctx);
+        let snap = Snapshot::new(
+            0,
+            0,
+            vec![
+                rec("/a", u1, cli),
+                rec("/b", u1, cli),
+                rec("/c", u1, csc), // u1's minority domain
+                rec("/d", u2, csc),
+                rec("/skeleton", 0, cli), // root-owned: ignored
+            ],
+        );
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        let report = analysis.finish();
+        assert_eq!(report.active_users, 2);
+        // u1 dominated by cli, u2 by csc.
+        let cli_users = report
+            .by_domain
+            .iter()
+            .find(|(d, _)| *d == ScienceDomain::Cli)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert_eq!(cli_users, 1);
+        assert_eq!(report.computing_users, 1);
+        assert!((report.domain_expert_fraction() - 0.5).abs() < 1e-12);
+        let org_total: u64 = report.by_org.iter().map(|(_, c)| c).sum();
+        assert_eq!(org_total, 2);
+    }
+
+    #[test]
+    fn registered_but_inactive_users_are_not_counted() {
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let gid = pop.projects[0].gid;
+        let uid = pop.users[0].uid;
+        let mut analysis = ActiveUsersAnalysis::new(ctx);
+        let snap = Snapshot::new(0, 0, vec![rec("/a", uid, gid)]);
+        stream_snapshots(&[snap], &mut [&mut analysis]);
+        let report = analysis.finish();
+        // 1 active out of the ~1000 registered.
+        assert_eq!(report.active_users, 1);
+        assert!(pop.user_count() > 100);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 0.05,
+            ..PopulationConfig::default()
+        });
+        let analysis = ActiveUsersAnalysis::new(AnalysisContext::new(&pop));
+        let report = analysis.finish();
+        assert_eq!(report.active_users, 0);
+        assert_eq!(report.org_fraction(Organization::Government), 0.0);
+        assert_eq!(report.domain_expert_fraction(), 0.0);
+    }
+}

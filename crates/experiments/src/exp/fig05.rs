@@ -1,0 +1,76 @@
+//! Fig. 5 — the profile of the active users: organization mix (a) and
+//! science-domain mix (b).
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::Organization;
+use std::fmt::Write as _;
+
+/// Runs the Fig. 5 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let users = &lab.analyses().users;
+    let mut text = String::new();
+    let _ = writeln!(text, "Active users: {}", users.active_users);
+
+    let mut org_table = TextTable::new(
+        "Fig. 5(a) — active users by organization type",
+        &["organization", "users", "share %"],
+    )
+    .align(&[Align::Left, Align::Right, Align::Right]);
+    for &(org, count) in &users.by_org {
+        org_table.row(&[
+            org.label().to_string(),
+            count.to_string(),
+            format!("{:.1}", 100.0 * count as f64 / users.active_users.max(1) as f64),
+        ]);
+    }
+    text.push_str(&org_table.render());
+
+    let mut dom_table = TextTable::new(
+        "Fig. 5(b) — active users by dominant science domain (top 12)",
+        &["domain", "users"],
+    )
+    .align(&[Align::Left, Align::Right]);
+    for (domain, count) in users.by_domain.iter().take(12) {
+        dom_table.row(&[domain.id().to_string(), count.to_string()]);
+    }
+    text.push('\n');
+    text.push_str(&dom_table.render());
+
+    let mut v = VerdictSet::new("fig05");
+    v.check_above(
+        "active-user-population",
+        "1,362 active users (of 13,695 registered)",
+        users.active_users as f64,
+        300.0,
+    );
+    v.check_between(
+        "government-majority",
+        "more than 50% from government research facilities",
+        users.org_fraction(Organization::Government),
+        0.40,
+        0.65,
+    );
+    v.check_between(
+        "academia-industry-sizeable",
+        "academia + industry account for a sizeable 42%",
+        users.org_fraction(Organization::Academia) + users.org_fraction(Organization::Industry),
+        0.28,
+        0.58,
+    );
+    v.check_above(
+        "domain-experts-dominate",
+        "over 70% of users are science-domain experts",
+        users.domain_expert_fraction(),
+        0.55,
+    );
+
+    ExperimentOutput {
+        id: "fig05",
+        title: "Fig. 5: the profile of active users",
+        text,
+        csv: None,
+        verdicts: v,
+    }
+}

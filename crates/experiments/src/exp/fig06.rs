@@ -1,0 +1,99 @@
+//! Fig. 6 — user participation across projects: projects-per-user CDF
+//! (a), users-per-project CDF (b), median team size per domain (c).
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{Align, TextTable};
+use spider_report::{SeriesWriter, VerdictSet};
+use std::fmt::Write as _;
+
+/// Runs the Fig. 6 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let p = &lab.analyses().participation;
+    let mut text = String::new();
+    let multi = p.projects_per_user.ccdf(1.0);
+    let two_plus = p.projects_per_user.ccdf(2.0);
+    let _ = writeln!(
+        text,
+        "projects per user: {:.1}% in >1 project, {:.1}% in >2 projects",
+        100.0 * multi,
+        100.0 * two_plus
+    );
+    let small_teams = p.users_per_project.eval(2.0);
+    let big_teams = p.users_per_project.ccdf(10.0);
+    let _ = writeln!(
+        text,
+        "users per project: mean {:.2}; {:.1}% of projects < 3 users, {:.1}% > 10 users",
+        p.mean_team,
+        100.0 * small_teams,
+        100.0 * big_teams
+    );
+
+    let mut team_table = TextTable::new(
+        "Fig. 6(c) — median users per project by domain (top 10)",
+        &["domain", "median team"],
+    )
+    .align(&[Align::Left, Align::Right]);
+    for (domain, median) in p.median_team_by_domain.iter().take(10) {
+        team_table.row(&[domain.id().to_string(), format!("{median:.1}")]);
+    }
+    text.push('\n');
+    text.push_str(&team_table.render());
+
+    let mut csv = SeriesWriter::new("count");
+    csv.add_series(
+        "cdf_projects_per_user",
+        &p.projects_per_user.steps(),
+    );
+    csv.add_series("cdf_users_per_project", &p.users_per_project.steps());
+
+    let mut v = VerdictSet::new("fig06");
+    v.check_above(
+        "multi-project-majority",
+        "more than 60% of active users participate in >1 project",
+        multi,
+        0.40,
+    );
+    v.check_between(
+        "few-in-three-plus",
+        "only 20% of users participate in more than two projects",
+        two_plus,
+        0.02,
+        0.45,
+    );
+    v.check_between(
+        "small-teams-common",
+        "40% of projects have fewer than 3 users",
+        small_teams,
+        0.20,
+        0.65,
+    );
+    v.check_between(
+        "large-teams-exist",
+        "20% of projects have more than 10 users",
+        big_teams,
+        0.05,
+        0.40,
+    );
+    let top_teams: Vec<&str> = p
+        .median_team_by_domain
+        .iter()
+        .take(6)
+        .map(|(d, _)| d.id())
+        .collect();
+    let expected_big = ["stf", "env", "nfi", "chp", "cli"];
+    let hits = expected_big.iter().filter(|d| top_teams.contains(d)).count();
+    v.check(
+        "big-team-domains",
+        "env, nfi, chp, cli (and stf) have median teams above 10",
+        format!("top team domains {top_teams:?}"),
+        hits >= 3,
+    );
+
+    ExperimentOutput {
+        id: "fig06",
+        title: "Fig. 6: user participation across projects",
+        text,
+        csv: Some(csv.to_csv()),
+        verdicts: v,
+    }
+}

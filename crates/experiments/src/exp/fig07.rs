@@ -1,0 +1,93 @@
+//! Fig. 7 — unique files and directories per science domain (a) and the
+//! file-to-directory ratio (b).
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{grouped, Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::{ScienceDomain, ALL_DOMAINS};
+use std::fmt::Write as _;
+
+/// Runs the Fig. 7 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let census = &lab.analyses().census;
+    let mut table = TextTable::new(
+        "Fig. 7 — unique files/directories per domain over the window",
+        &["domain", "files", "dirs", "dir share %"],
+    )
+    .align(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut rows: Vec<(ScienceDomain, u64, u64, f64)> = ALL_DOMAINS
+        .iter()
+        .map(|&d| {
+            let c = census.domain_counts(d);
+            (d, c.files, c.dirs, 100.0 * c.dir_fraction())
+        })
+        .filter(|r| r.1 + r.2 > 0)
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 + r.2));
+    for (d, files, dirs, share) in &rows {
+        table.row(&[
+            d.id().to_string(),
+            grouped(*files),
+            grouped(*dirs),
+            format!("{share:.1}"),
+        ]);
+    }
+    let mut text = table.render();
+    let total_files = census.unique_files();
+    let total_dirs = census.unique_dirs();
+    let _ = writeln!(
+        text,
+        "\ntotals: {} unique files, {} unique directories ({:.1}% dirs)",
+        grouped(total_files),
+        grouped(total_dirs),
+        100.0 * total_dirs as f64 / (total_files + total_dirs).max(1) as f64
+    );
+
+    let mut v = VerdictSet::new("fig07");
+    let global_dir_share = total_dirs as f64 / (total_files + total_dirs).max(1) as f64;
+    v.check_between(
+        "dirs-are-minority",
+        "merely 15% of entries were directories on average",
+        global_dir_share,
+        0.03,
+        0.30,
+    );
+    let atm_share = census.domain_counts(ScienceDomain::Atm).dir_fraction();
+    let hep_share = census.domain_counts(ScienceDomain::Hep).dir_fraction();
+    v.check_above(
+        "atm-dir-heavy",
+        "Atmospheric Science has ~90% directories",
+        atm_share,
+        0.5,
+    );
+    v.check_above(
+        "hep-dir-heavy",
+        "High Energy Physics has ~67% directories",
+        hep_share,
+        0.4,
+    );
+    // Many domains generate large file volumes: in the paper 11 domains
+    // crossed 100M; at 1/1000 scale the equivalent is 100K.
+    let threshold = (100_000_000.0 * lab.config().sim.scale) as u64;
+    let big = rows.iter().filter(|r| r.1 + r.2 > threshold).count();
+    v.check(
+        "many-domains-above-scaled-100M",
+        "11 of 35 domains generated over 100 M entries",
+        format!("{big} domains above the scaled threshold ({threshold})"),
+        (6..=18).contains(&big),
+    );
+    v.check(
+        "biggest-domain-is-stf-or-bip",
+        "Staff and Biophysics lead the entry counts",
+        format!("top domain {}", rows[0].0.id()),
+        ["stf", "bip"].contains(&rows[0].0.id()),
+    );
+
+    ExperimentOutput {
+        id: "fig07",
+        title: "Fig. 7: unique files/directories per domain",
+        text,
+        csv: None,
+        verdicts: v,
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 8 — CDFs of directory depth per project (a) and of unique file
+//! counts per user and per project (b).
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::{SeriesWriter, VerdictSet};
+use spider_stats::{EmpiricalCdf, Quantiles};
+use std::fmt::Write as _;
+
+/// Runs the Fig. 8 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let a = lab.analyses();
+    let depth = &a.depth_report;
+    let per_user: Vec<f64> = a
+        .census
+        .files_per_user()
+        .values()
+        .map(|&c| c as f64)
+        .collect();
+    let per_project: Vec<f64> = a
+        .census
+        .files_per_project()
+        .values()
+        .map(|&c| c as f64)
+        .collect();
+    let user_cdf = EmpiricalCdf::new(per_user.clone());
+    let project_cdf = EmpiricalCdf::new(per_project.clone());
+    let median_user = Quantiles::new(per_user).median().unwrap_or(0.0);
+    let median_project = Quantiles::new(per_project).median().unwrap_or(0.0);
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "directory depth: {:.1}% of projects deeper than 10, {:.1}% deeper than 15, max {}",
+        100.0 * depth.fraction_deeper_than_10,
+        100.0 * depth.fraction_deeper_than_15,
+        depth.max_depth
+    );
+    let _ = writeln!(
+        text,
+        "unique files: median user {:.0}, median project {:.0} ({}x)",
+        median_user,
+        median_project,
+        if median_user > 0.0 {
+            (median_project / median_user).round() as u64
+        } else {
+            0
+        }
+    );
+
+    let mut csv = SeriesWriter::new("value");
+    csv.add_series("cdf_project_depth", &depth.per_project_cdf.steps());
+    csv.add_series("cdf_files_per_user", &user_cdf.steps());
+    csv.add_series("cdf_files_per_project", &project_cdf.steps());
+
+    let mut v = VerdictSet::new("fig08");
+    v.check(
+        "user-dirs-at-depth-5",
+        "the CDF knee sits at depth 5 (/root/lustre/atlas1/<proj>/<user>)",
+        format!(
+            "min observed project depth {:.0}",
+            depth.per_project_cdf.inverse(0.01).unwrap_or(0.0)
+        ),
+        depth.per_project_cdf.inverse(0.01).unwrap_or(0.0) >= 4.0,
+    );
+    v.check_above(
+        "deep-projects-common",
+        "more than 30% of projects have directory depth greater than 10",
+        depth.fraction_deeper_than_10,
+        0.15,
+    );
+    v.check_order(
+        "projects-hold-more-than-users",
+        "a median project holds ~10x the files of a median user",
+        "median project",
+        median_project,
+        "median user (x3)",
+        median_user * 3.0,
+    );
+    // Around 16% of projects above 1M files (scaled) / 5% of users.
+    let scaled_million = 1_000_000.0 * lab.config().sim.scale;
+    v.check(
+        "heavy-projects-exist",
+        "16% of projects exceed a million files (scale-adjusted)",
+        format!(
+            "{:.1}% of projects above the scaled million ({scaled_million:.0})",
+            100.0 * project_cdf.ccdf(scaled_million)
+        ),
+        project_cdf.ccdf(scaled_million) > 0.02,
+    );
+
+    ExperimentOutput {
+        id: "fig08",
+        title: "Fig. 8: depth and ownership CDFs",
+        text,
+        csv: Some(csv.to_csv()),
+        verdicts: v,
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 9 — directory-depth box statistics (min/25/median/75/max) per
+//! science domain.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::ScienceDomain;
+
+/// Runs the Fig. 9 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let report = &lab.analyses().depth_report;
+    let mut table = TextTable::new(
+        "Fig. 9 — per-project directory depth distribution by domain",
+        &["domain", "min", "q1", "median", "q3", "max"],
+    )
+    .align(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for (domain, five) in &report.by_domain {
+        table.row(&[
+            domain.id().to_string(),
+            format!("{:.0}", five.min),
+            format!("{:.0}", five.q1),
+            format!("{:.0}", five.median),
+            format!("{:.0}", five.q3),
+            format!("{:.0}", five.max),
+        ]);
+    }
+
+    let mut v = VerdictSet::new("fig09");
+    let median_of = |d: ScienceDomain| {
+        report
+            .by_domain
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, f)| f.median)
+    };
+    let max_of = |d: ScienceDomain| {
+        report
+            .by_domain
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, f)| f.max)
+    };
+    // The Staff stress test dominates the maxima (depth 2,030).
+    v.check(
+        "stf-stress-chain",
+        "Staff's metadata stress test reached depth 2,030",
+        format!("stf max depth {:?}", max_of(ScienceDomain::Stf)),
+        max_of(ScienceDomain::Stf).unwrap_or(0.0) > 300.0,
+    );
+    v.check(
+        "gen-deep-outlier",
+        "General contains a depth-432 project",
+        format!("gen max depth {:?}", max_of(ScienceDomain::Gen)),
+        max_of(ScienceDomain::Gen).unwrap_or(0.0) > 60.0,
+    );
+    // Deep vs shallow domain ordering: mat/csc above mph.
+    if let (Some(mat), Some(mph)) = (median_of(ScienceDomain::Mat), median_of(ScienceDomain::Mph))
+    {
+        v.check_order(
+            "mat-deeper-than-mph",
+            "Materials Science (median 16) is deeper than Molecular Physics (median 5)",
+            "mat",
+            mat,
+            "mph",
+            mph,
+        );
+    }
+    // Every domain's floor respects the /proj/<user> prefix.
+    let all_above_5 = report.by_domain.iter().all(|(_, f)| f.min >= 5.0);
+    v.check(
+        "floor-at-user-dirs",
+        "user-accessible directories start at depth 5",
+        format!("all domain minima >= 5: {all_above_5}"),
+        all_above_5,
+    );
+
+    ExperimentOutput {
+        id: "fig09",
+        title: "Fig. 9: directory depth per domain",
+        text: table.render(),
+        csv: None,
+        verdicts: v,
+    }
+}

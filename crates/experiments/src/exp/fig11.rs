@@ -1,0 +1,73 @@
+//! Fig. 11 — overall popularity of programming languages, with IEEE
+//! Spectrum ranks for contrast.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{grouped, Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::languages::ieee_rank;
+
+/// Runs the Fig. 11 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let ranking = lab.analyses().census.language_ranking();
+    let mut table = TextTable::new(
+        "Fig. 11 — programming-language popularity by source-file count",
+        &["rank", "language", "files", "IEEE rank"],
+    )
+    .align(&[Align::Right, Align::Left, Align::Right, Align::Right]);
+    for (i, (lang, count)) in ranking.iter().take(30).enumerate() {
+        table.row(&[
+            (i + 1).to_string(),
+            lang.to_string(),
+            grouped(*count),
+            ieee_rank(lang)
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    let rank_of = |lang: &str| ranking.iter().position(|(l, _)| *l == lang);
+    let mut v = VerdictSet::new("fig11");
+    v.check(
+        "c-python-cpp-top",
+        "IEEE's top languages (C, Python, C++) are popular at OLCF too",
+        format!(
+            "C at {:?}, Python at {:?}, C++ at {:?}",
+            rank_of("C"),
+            rank_of("Python"),
+            rank_of("C++")
+        ),
+        rank_of("C").is_some_and(|r| r < 5)
+            && rank_of("Python").is_some_and(|r| r < 6)
+            && rank_of("C++").is_some_and(|r| r < 8),
+    );
+    v.check(
+        "fortran-over-represented",
+        "Fortran ranks 6th at OLCF vs 28th in IEEE Spectrum",
+        format!("Fortran at {:?}", rank_of("Fortran")),
+        rank_of("Fortran").is_some_and(|r| r < 10),
+    );
+    v.check(
+        "traditional-languages-present",
+        "Prolog and Matlab rank far higher than in industry",
+        format!(
+            "Prolog at {:?}, Matlab at {:?}",
+            rank_of("Prolog"),
+            rank_of("Matlab")
+        ),
+        rank_of("Prolog").is_some_and(|r| r < 15) && rank_of("Matlab").is_some_and(|r| r < 12),
+    );
+    v.check(
+        "shell-extensively-used",
+        "shell script ranks 5th (batch-mode job management)",
+        format!("Shell at {:?}", rank_of("Shell")),
+        rank_of("Shell").is_some_and(|r| r < 10),
+    );
+
+    ExperimentOutput {
+        id: "fig11",
+        title: "Fig. 11: programming-language popularity",
+        text: table.render(),
+        csv: None,
+        verdicts: v,
+    }
+}

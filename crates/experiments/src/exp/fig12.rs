@@ -1,0 +1,78 @@
+//! Fig. 12 — programming-language popularity per science domain.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::{profile, ScienceDomain, ALL_DOMAINS};
+
+/// Runs the Fig. 12 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let census = &lab.analyses().census;
+    let mut table = TextTable::new(
+        "Fig. 12 — top languages per domain (shell excluded, as in Table 1)",
+        &["domain", "1st", "2nd", "paper"],
+    )
+    .align(&[Align::Left, Align::Left, Align::Left, Align::Left]);
+    let mut matches = 0usize;
+    let mut with_data = 0usize;
+    for &domain in &ALL_DOMAINS {
+        let langs = census.domain_languages(domain);
+        if langs.is_empty() {
+            continue;
+        }
+        with_data += 1;
+        let measured: Vec<&str> = langs.iter().take(2).map(|(l, _)| *l).collect();
+        let expected = profile(domain).languages;
+        // Order-insensitive top-2 overlap: at least one of the paper's
+        // two languages appears in our top-2.
+        if measured.iter().any(|l| expected.contains(l)) {
+            matches += 1;
+        }
+        table.row(&[
+            domain.id().to_string(),
+            measured.first().copied().unwrap_or("-").to_string(),
+            measured.get(1).copied().unwrap_or("-").to_string(),
+            expected.join(", "),
+        ]);
+    }
+
+    let mut v = VerdictSet::new("fig12");
+    v.check(
+        "top-languages-match-table1",
+        "per-domain top-2 languages as in Table 1's Prog. Lang. column",
+        format!("{matches}/{with_data} domains overlap the paper's top-2"),
+        with_data > 0 && matches * 10 >= with_data * 7,
+    );
+    // Matlab-dominant domains.
+    let nfu = census.domain_languages(ScienceDomain::Nfu);
+    v.check(
+        "nfu-matlab-heavy",
+        "Nuclear Fusion is matlab-dominated",
+        format!("nfu top: {:?}", nfu.first()),
+        nfu.first().is_some_and(|(l, _)| *l == "Matlab"),
+    );
+    // Python-dominant domains (aph, ard, tur).
+    let python_tops = [ScienceDomain::Aph, ScienceDomain::Ard, ScienceDomain::Tur]
+        .iter()
+        .filter(|&&d| {
+            census
+                .domain_languages(d)
+                .first()
+                .is_some_and(|(l, _)| *l == "Python")
+        })
+        .count();
+    v.check(
+        "python-dominant-domains",
+        "Python dominates aph, ard, and tur",
+        format!("{python_tops}/3 of those domains top out with Python"),
+        python_tops >= 2,
+    );
+
+    ExperimentOutput {
+        id: "fig12",
+        title: "Fig. 12: language popularity per domain",
+        text: table.render(),
+        csv: None,
+        verdicts: v,
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig. 14 — minimum/average/maximum OST stripe counts per domain.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::ScienceDomain;
+
+/// Runs the Fig. 14 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let striping = &lab.analyses().striping;
+    let mut table = TextTable::new(
+        "Fig. 14 — OST stripe counts per domain (default = 4)",
+        &["domain", "min", "mean", "max"],
+    )
+    .align(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    for (domain, s) in striping.all_summaries() {
+        table.row(&[
+            domain.id().to_string(),
+            s.min.to_string(),
+            format!("{:.1}", s.mean),
+            s.max.to_string(),
+        ]);
+    }
+
+    let mut v = VerdictSet::new("fig14");
+    let tuning = striping.tuning_domains();
+    v.check(
+        "many-domains-tune",
+        "scientists in 20 of 35 domains adjust the OST count",
+        format!("{} tuning domains: {:?}", tuning.len(), tuning.iter().map(|d| d.id()).collect::<Vec<_>>()),
+        tuning.len() >= 8,
+    );
+    let ast = striping.summary(ScienceDomain::Ast);
+    v.check(
+        "wide-stripes-observed",
+        "maximum observed stripe width reaches 1,008",
+        format!("ast max {:?}", ast.map(|s| s.max)),
+        ast.is_some_and(|s| s.max >= 500),
+    );
+    let bio = striping.summary(ScienceDomain::Bio);
+    v.check(
+        "default-only-domains",
+        "11 domains never deviate from the default of 4",
+        format!("bio (a default domain): {bio:?}"),
+        bio.is_some_and(|s| s.min == 4 && s.max == 4),
+    );
+    let env = striping.summary(ScienceDomain::Env);
+    v.check(
+        "env-understripes",
+        "Plasma Physics averages only 2 OSTs (below the default)",
+        format!("env min {:?}", env.map(|s| s.min)),
+        env.is_some_and(|s| s.min < 4),
+    );
+
+    ExperimentOutput {
+        id: "fig14",
+        title: "Fig. 14: OST stripe counts per domain",
+        text: table.render(),
+        csv: None,
+        verdicts: v,
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 15 — growth of the file and directory populations over the
+//! observation window.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::{SeriesWriter, VerdictSet};
+use std::fmt::Write as _;
+
+/// Runs the Fig. 15 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let growth = &lab.analyses().growth;
+    let mut text = String::new();
+    if let (Some((d0, f0)), Some((d1, f1))) = (growth.files().first(), growth.files().last()) {
+        let _ = writeln!(
+            text,
+            "files: {f0:.0} (day {d0}) -> {f1:.0} (day {d1}), growth {:.2}x",
+            growth.file_growth_factor().unwrap_or(0.0)
+        );
+    }
+    if let Some(share) = growth.final_dir_share() {
+        let _ = writeln!(text, "final directory share of entries: {:.1}%", 100.0 * share);
+    }
+
+    let mut csv = SeriesWriter::new("day");
+    let to_pts = |s: &spider_stats::TimeSeries| {
+        s.points()
+            .iter()
+            .map(|&(d, v)| (d as f64, v))
+            .collect::<Vec<_>>()
+    };
+    csv.add_series("files", &to_pts(growth.files()));
+    csv.add_series("dirs", &to_pts(growth.dirs()));
+    text.push('\n');
+    text.push_str(&spider_report::line_chart(
+        "live files per snapshot day",
+        &to_pts(growth.files()),
+        64,
+        12,
+        None,
+    ));
+
+    let mut v = VerdictSet::new("fig15");
+    v.check_between(
+        "file-population-grows",
+        "files grew from 200 M to 1 B (~5x) across the window",
+        growth.file_growth_factor().unwrap_or(0.0),
+        2.0,
+        10.0,
+    );
+    let file_trend = growth.files().trend().map(|t| t.slope).unwrap_or(0.0);
+    let dir_trend = growth.dirs().trend().map(|t| t.slope).unwrap_or(0.0);
+    v.check_order(
+        "dirs-grow-slower",
+        "the directory count stays rather steady compared to the file count",
+        "file slope",
+        file_trend,
+        "dir slope",
+        dir_trend,
+    );
+    v.check_between(
+        "dirs-stay-minor",
+        "directories account for less than 10% of entries in recent snapshots",
+        growth.final_dir_share().unwrap_or(1.0),
+        0.0,
+        0.40,
+    );
+
+    ExperimentOutput {
+        id: "fig15",
+        title: "Fig. 15: namespace growth",
+        text,
+        csv: Some(csv.to_csv()),
+        verdicts: v,
+    }
+}

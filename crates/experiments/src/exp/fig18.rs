@@ -1,0 +1,97 @@
+//! Fig. 18 — the file generation network and its degree distribution.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::{SeriesWriter, VerdictSet};
+use std::fmt::Write as _;
+
+/// Runs the Fig. 18 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let a = lab.analyses();
+    let overview = &a.overview;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "network: {} users + {} projects, {} edges",
+        a.network.user_count(),
+        a.network.project_count(),
+        a.network.graph.num_edges()
+    );
+    let _ = writeln!(
+        text,
+        "degrees: mean {:.2}, max {}",
+        overview.degrees.mean_degree, overview.degrees.max_degree
+    );
+    match &overview.degrees.power_law {
+        Some(fit) => {
+            let _ = writeln!(
+                text,
+                "log-log fit: slope {:.2} (alpha {:.2}), r2 {:.3} over {} distinct degrees",
+                fit.slope,
+                fit.alpha(),
+                fit.r2,
+                fit.distinct_values
+            );
+        }
+        None => {
+            let _ = writeln!(text, "log-log fit: not enough distinct degrees");
+        }
+    }
+    let hub_domains: Vec<&str> = overview
+        .top_user_domains
+        .iter()
+        .map(|(_, d)| d.id())
+        .collect();
+    let _ = writeln!(text, "highest-degree users' domains: {hub_domains:?}");
+
+    let mut csv = SeriesWriter::new("degree");
+    csv.add_series(
+        "vertex_count",
+        &overview
+            .degrees
+            .distribution
+            .iter()
+            .map(|&(d, c)| (d as f64, c as f64))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut v = VerdictSet::new("fig18");
+    match &overview.degrees.power_law {
+        Some(fit) => {
+            v.check(
+                "descending-loglog-slope",
+                "a descending linear slope in the log-log plot (power law)",
+                format!("slope {:.2}, r2 {:.2}", fit.slope, fit.r2),
+                fit.looks_power_law(0.5),
+            );
+        }
+        None => v.check(
+            "descending-loglog-slope",
+            "a descending linear slope in the log-log plot (power law)",
+            "no fit available".to_string(),
+            false,
+        ),
+    }
+    v.check_above(
+        "hubs-exist",
+        "a small number of well-connected users/projects exist",
+        overview.degrees.max_degree as f64,
+        overview.degrees.mean_degree * 4.0,
+    );
+    // The paper singles out env/nfi/cmb/cli users as best-connected.
+    let expected = ["env", "nfi", "cmb", "cli", "csc", "stf"];
+    let hits = hub_domains.iter().filter(|d| expected.contains(d)).count();
+    v.check(
+        "hub-domains",
+        "users in env, nfi, cmb, and cli exhibit the highest degrees",
+        format!("top-10 hub domains {hub_domains:?}"),
+        hits * 2 >= hub_domains.len().max(1),
+    );
+
+    ExperimentOutput {
+        id: "fig18",
+        title: "Fig. 18: degree distribution of the file generation network",
+        text,
+        csv: Some(csv.to_csv()),
+        verdicts: v,
+    }
+}

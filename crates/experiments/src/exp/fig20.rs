@@ -1,0 +1,90 @@
+//! Fig. 20 — percentage of shared projects between user pairs, per
+//! domain (Staff excluded, as in §4.3.3).
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::ScienceDomain;
+use std::fmt::Write as _;
+
+/// Runs the Fig. 20 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let collab = &lab.analyses().collaboration;
+    let mut table = TextTable::new(
+        "Fig. 20 — collaborating user pairs by domain (staff excluded)",
+        &["domain", "% of collaborating pairs"],
+    )
+    .align(&[Align::Left, Align::Right]);
+    let mut by_pct = collab.pct_by_domain.clone();
+    by_pct.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (domain, pct) in &by_pct {
+        table.row(&[domain.id().to_string(), format!("{pct:.2}")]);
+    }
+    let mut text = table.render();
+    let _ = writeln!(
+        text,
+        "\npairs: {} possible, {} collaborating ({:.2}%)",
+        collab.total_pairs,
+        collab.collaborating_pairs,
+        100.0 * collab.collaborating_fraction()
+    );
+    let _ = writeln!(
+        text,
+        "extreme pair shares {} projects: {:?}",
+        collab.max_shared_projects,
+        collab
+            .max_pair_domains
+            .iter()
+            .map(|(d, c)| format!("{}x{}", c, d.id()))
+            .collect::<Vec<_>>()
+    );
+
+    let mut v = VerdictSet::new("fig20");
+    let top = by_pct.first().map(|(d, _)| d.id()).unwrap_or("-");
+    v.check(
+        "cli-tops-collaboration",
+        "user pairs most likely share a Climate Science project, then csc and nfi",
+        format!("top domain {top}"),
+        top == "cli" || top == "csc",
+    );
+    let top3: Vec<&str> = by_pct.iter().take(4).map(|(d, _)| d.id()).collect();
+    let expected = ["cli", "csc", "nfi", "stf", "cmb", "mat"];
+    let hits = top3.iter().filter(|d| expected.contains(d)).count();
+    v.check(
+        "collab-heavy-domains",
+        "cli, csc, and nfi lead Fig. 20",
+        format!("top domains {top3:?}"),
+        hits >= 2,
+    );
+    v.check_between(
+        "collaboration-is-rare",
+        "only about 1% of the ~1M user pairs share a project",
+        collab.collaborating_fraction(),
+        0.001,
+        0.12,
+    );
+    v.check_above(
+        "extreme-pair-exists",
+        "one pair collaborates in six projects (five of them cli)",
+        collab.max_shared_projects as f64,
+        2.0,
+    );
+    let extreme_is_cli = collab
+        .max_pair_domains
+        .first()
+        .is_some_and(|(d, _)| *d == ScienceDomain::Cli || *d == ScienceDomain::Csc);
+    v.check(
+        "extreme-pair-domain",
+        "the extreme pair's shared projects concentrate in Climate Science",
+        format!("{:?}", collab.max_pair_domains.first().map(|(d, c)| (d.id(), *c))),
+        extreme_is_cli,
+    );
+
+    ExperimentOutput {
+        id: "fig20",
+        title: "Fig. 20: user-pair collaboration",
+        text,
+        csv: None,
+        verdicts: v,
+    }
+}

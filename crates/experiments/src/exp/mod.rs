@@ -1,0 +1,23 @@
+//! Experiment runners, one module per paper table/figure.
+
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod observations;
+pub mod pipeline;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,164 @@
+//! Observations 1–12 roll-up: the paper's twelve numbered findings as a
+//! single verdict set, each re-derived from the analyses.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::VerdictSet;
+use spider_workload::{Organization, ScienceDomain};
+
+/// Runs the observation roll-up.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let a = lab.analyses();
+    let mut v = VerdictSet::new("observations");
+
+    // O1: sizeable academia+industry share.
+    let acad_ind = a.users.org_fraction(Organization::Academia)
+        + a.users.org_fraction(Organization::Industry);
+    v.check_between(
+        "obs1-academia-industry",
+        "academia and industry account for ~42% of users",
+        acad_ind,
+        0.28,
+        0.58,
+    );
+
+    // O2: many domains generate huge file counts; few directories.
+    let scaled_100m = (100_000_000.0 * lab.config().sim.scale) as u64;
+    let big_domains = spider_workload::ALL_DOMAINS
+        .iter()
+        .filter(|&&d| a.census.domain_counts(d).total() > scaled_100m)
+        .count();
+    v.check(
+        "obs2-big-domains",
+        "more than 30% of domains generated over (scaled) 100M files",
+        format!("{big_domains}/35 domains"),
+        big_domains >= 6,
+    );
+
+    // O3: projects hold ~10x the files of users; shallow hierarchies.
+    let median = |m: &rustc_hash::FxHashMap<u32, u64>| {
+        spider_stats::Quantiles::new(m.values().map(|&c| c as f64).collect()).median()
+    };
+    let mu = median(a.census.files_per_user()).unwrap_or(0.0);
+    let mp = median(a.census.files_per_project()).unwrap_or(0.0);
+    v.check_order(
+        "obs3-projects-bigger",
+        "a median project holds ~10x a median user's files",
+        "median project",
+        mp,
+        "3x median user",
+        mu * 3.0,
+    );
+
+    // O4: scientific formats and generic formats are both popular.
+    let top20: Vec<String> = a
+        .census
+        .top_extensions_global(20)
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    let has_scientific = top20.iter().any(|e| ["nc", "h5", "mat", "xyz", "bb", "bz2", "fasta"].contains(&e.as_str()));
+    let has_generic = top20.iter().any(|e| ["txt", "png", "dat", "log", "gz"].contains(&e.as_str()));
+    v.check(
+        "obs4-format-mix",
+        "scientific formats (.nc, .mat) and generic formats (.png, .txt) share the top 20",
+        format!("top-20: {top20:?}"),
+        has_scientific && has_generic,
+    );
+
+    // O5: wide language spectrum.
+    let langs = a.census.language_ranking();
+    v.check(
+        "obs5-language-spectrum",
+        "C/C++/Fortran/Matlab and emerging languages all appear",
+        format!("{} languages observed", langs.len()),
+        langs.len() >= 8,
+    );
+
+    // O6: active stripe tuning.
+    v.check(
+        "obs6-stripe-tuning",
+        "scientists from 20 of 35 domains tune OST counts",
+        format!("{} tuning domains", a.striping.tuning_domains().len()),
+        a.striping.tuning_domains().len() >= 8,
+    );
+
+    // O7: file count grows several-fold.
+    v.check_between(
+        "obs7-growth",
+        "files grew from 200M to 1B over the window",
+        a.growth.file_growth_factor().unwrap_or(0.0),
+        2.0,
+        10.0,
+    );
+
+    // O8: files re-read beyond the purge window.
+    v.check_above(
+        "obs8-age-beyond-window",
+        "many files are repeatedly accessed beyond the 90-day purge window",
+        a.age.max_of_means().unwrap_or(0.0),
+        lab.config().sim.purge.window_days as f64,
+    );
+
+    // O9: shared burstiness trends with outlier domains.
+    let report = a.burstiness.finish();
+    v.check(
+        "obs9-burstiness-spread",
+        "domains share similar c_v bands, a few are much burstier",
+        format!("{} domains with write samples", report.write.len()),
+        report.write.len() >= 10,
+    );
+
+    // O10: power-law degree distribution.
+    v.check(
+        "obs10-power-law",
+        "the degree distribution follows a power law",
+        format!(
+            "slope {:?}",
+            a.overview.degrees.power_law.as_ref().map(|f| f.slope)
+        ),
+        a.overview
+            .degrees
+            .power_law
+            .as_ref()
+            .is_some_and(|f| f.looks_power_law(0.5)),
+    );
+
+    // O11: mostly isolated, loosely connected network.
+    v.check(
+        "obs11-sparse-network",
+        "users/projects are mostly isolated; one loose giant component",
+        format!(
+            "{} components, giant at {:.0}%",
+            a.components.component_count,
+            100.0 * a.components.largest_fraction
+        ),
+        a.components.component_count >= 20
+            && (0.45..=0.92).contains(&a.components.largest_fraction),
+    );
+
+    // O12: collaboration rare overall, active in cli/csc.
+    let cli_pct = a.collaboration.pct(ScienceDomain::Cli).unwrap_or(0.0);
+    v.check(
+        "obs12-collaboration",
+        "data-level collaboration is rare; climate and computer science lead",
+        format!(
+            "{:.2}% of pairs collaborate; cli at {cli_pct:.1}%",
+            100.0 * a.collaboration.collaborating_fraction()
+        ),
+        a.collaboration.collaborating_fraction() < 0.15 && cli_pct > 10.0,
+    );
+
+    let passed = v.checks.iter().filter(|c| c.pass).count();
+    let text = format!(
+        "Observations 1-12: {passed}/{} checks hold on the synthetic reproduction\n",
+        v.checks.len()
+    );
+
+    ExperimentOutput {
+        id: "observations",
+        title: "Observations 1-12 roll-up",
+        text,
+        csv: None,
+        verdicts: v,
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 4 — the analysis pipeline's conversion stage: PSV text snapshots
+//! vs the columnar format.
+//!
+//! OLCF's conversion took the average daily snapshot from 119 GB of
+//! pipe-separated text to 28 GB of Parquet (~4.2x). We measure the same
+//! ratio between our PSV codec and `colf` on the largest stored snapshot,
+//! and verify the conversion is lossless.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::VerdictSet;
+use spider_snapshot::{colf, psv};
+use std::fmt::Write as _;
+
+/// Runs the pipeline (Fig. 4) experiment.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let store = lab.store();
+    let mut text = String::new();
+    let mut v = VerdictSet::new("pipeline");
+
+    let Some(&last_day) = store.days().last() else {
+        v.check("snapshot-available", "a snapshot exists", "store empty", false);
+        return ExperimentOutput {
+            id: "pipeline",
+            title: "Fig. 4: PSV -> columnar conversion",
+            text,
+            csv: None,
+            verdicts: v,
+        };
+    };
+    let snapshot = store
+        .get(last_day)
+        .expect("store readable")
+        .expect("day indexed");
+
+    let mut psv_bytes = Vec::new();
+    psv::write_psv(&snapshot, &mut psv_bytes).expect("in-memory write");
+    let colf_bytes = colf::encode(&snapshot);
+    let ratio = psv_bytes.len() as f64 / colf_bytes.len().max(1) as f64;
+
+    let _ = writeln!(
+        text,
+        "snapshot day {last_day}: {} records, PSV {} bytes, colf {} bytes ({ratio:.2}x)",
+        snapshot.len(),
+        psv_bytes.len(),
+        colf_bytes.len()
+    );
+    let _ = writeln!(text, "(paper: 119 GB text -> 28 GB Parquet, 4.25x)");
+
+    v.check_above(
+        "columnar-compression",
+        "the columnar conversion shrinks snapshots ~4.2x",
+        ratio,
+        2.0,
+    );
+    let roundtrip = colf::decode(&colf_bytes).map(|d| d == snapshot).unwrap_or(false);
+    v.check(
+        "conversion-lossless",
+        "analysis runs on converted data without loss",
+        format!("decode == original: {roundtrip}"),
+        roundtrip,
+    );
+    let psv_roundtrip = psv::read_psv(psv_bytes.as_slice())
+        .map(|d| d == snapshot)
+        .unwrap_or(false);
+    v.check(
+        "psv-codec-lossless",
+        "the LustreDU text format round-trips",
+        format!("decode == original: {psv_roundtrip}"),
+        psv_roundtrip,
+    );
+
+    ExperimentOutput {
+        id: "pipeline",
+        title: "Fig. 4: PSV -> columnar conversion",
+        text,
+        csv: None,
+        verdicts: v,
+    }
+}

@@ -1,0 +1,134 @@
+//! Table 1 — key observations per science domain.
+//!
+//! The paper's master table: per domain, unique entries, directory depth
+//! `[median, max]`, top extension, top-2 languages, OST level, write/read
+//! `c_v`, largest-component probability, and collaboration share.
+
+use crate::{ExperimentOutput, Lab};
+use spider_report::table::{opt_f64, Align, TextTable};
+use spider_report::VerdictSet;
+use spider_workload::{ScienceDomain, ALL_DOMAINS};
+
+/// Runs the Table 1 reproduction.
+pub fn run(lab: &Lab) -> ExperimentOutput {
+    let a = lab.analyses();
+    let mut table = TextTable::new(
+        "Table 1 — key observations per science domain (scaled reproduction)",
+        &[
+            "domain", "entries(K)", "depth", "ext(%)", "langs", "OST", "write cv", "read cv",
+            "network%", "collab%",
+        ],
+    )
+    .align(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for row in &a.summary.rows {
+        let depth = match (row.depth_median, row.depth_max) {
+            (Some(m), Some(x)) => format!("[{m:.0}, {x}]"),
+            _ => "-".to_string(),
+        };
+        let ext = row
+            .top_extension
+            .as_ref()
+            .map(|(e, p)| format!("{e} ({p:.1})"))
+            .unwrap_or_else(|| "-".to_string());
+        table.row(&[
+            row.domain.clone(),
+            format!("{:.1}", row.entries_k),
+            depth,
+            ext,
+            row.languages.join(", "),
+            row.ost.map(|o| o.to_string()).unwrap_or_else(|| "-".into()),
+            opt_f64(row.write_cv, 3),
+            opt_f64(row.read_cv, 4),
+            opt_f64(row.network_pct, 2),
+            format!("{:.2}", row.collab_pct),
+        ]);
+    }
+
+    let mut v = VerdictSet::new("table1");
+    // Volume ordering: the top-3 domains by entries are stf/bip/csc.
+    let mut by_volume: Vec<(&str, f64)> = a
+        .summary
+        .rows
+        .iter()
+        .map(|r| (r.domain.as_str(), r.entries_k))
+        .collect();
+    by_volume.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+    let top3: Vec<&str> = by_volume[..3].iter().map(|r| r.0).collect();
+    v.check(
+        "top-volume-domains",
+        "stf, bip, csc generate the most entries",
+        format!("{top3:?}"),
+        top3.iter().all(|d| ["stf", "bip", "csc"].contains(d)),
+    );
+    // Reads are ~100x burstier than writes, domain by domain.
+    let mut ratio_ok = 0;
+    let mut with_both = 0;
+    for row in &a.summary.rows {
+        if let (Some(w), Some(r)) = (row.write_cv, row.read_cv) {
+            if r > 0.0 {
+                with_both += 1;
+                if w / r > 10.0 {
+                    ratio_ok += 1;
+                }
+            }
+        }
+    }
+    v.check(
+        "read-cv-much-lower",
+        "read c_v ~100x lower than write c_v",
+        format!("{ratio_ok}/{with_both} domains with write/read > 10x"),
+        with_both > 0 && ratio_ok * 10 >= with_both * 8,
+    );
+    // Fully networked domains.
+    for d in [ScienceDomain::Chp, ScienceDomain::Env, ScienceDomain::Nro] {
+        let pct = a.summary.row(d).network_pct.unwrap_or(0.0);
+        v.check_above(
+            format!("{}-fully-networked", d.id()),
+            "Table 1: network % = 100",
+            pct,
+            80.0,
+        );
+    }
+    // Collaboration: climate science leads.
+    let cli = a.summary.row(ScienceDomain::Cli).collab_pct;
+    let max_other = ALL_DOMAINS
+        .iter()
+        .filter(|d| **d != ScienceDomain::Cli)
+        .map(|&d| a.summary.row(d).collab_pct)
+        .fold(0.0f64, f64::max);
+    v.check_order(
+        "cli-leads-collaboration",
+        "Climate Science has the highest Collab. %",
+        "cli",
+        cli,
+        "best other",
+        max_other,
+    );
+    // OST tuning visible for ast.
+    let ast_ost = a.summary.row(ScienceDomain::Ast).ost.unwrap_or(0);
+    v.check(
+        "ast-tunes-stripes",
+        "Astrophysics' average OST level (122) far above the default 4",
+        format!("mean OST {ast_ost}"),
+        ast_ost > 8,
+    );
+
+    ExperimentOutput {
+        id: "table1",
+        title: "Table 1: key observations per science domain",
+        text: table.render(),
+        csv: None,
+        verdicts: v,
+    }
+}

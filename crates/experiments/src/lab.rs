@@ -1,0 +1,265 @@
+//! The shared experiment harness.
+//!
+//! [`Lab::prepare`] runs the full pipeline once:
+//!
+//! 1. **simulate** — generate the population and drive the 500-day (or
+//!    scaled-down) window, persisting weekly `colf` snapshots to disk
+//!    (skipped when a store produced by the same configuration already
+//!    exists — the sim is deterministic, so the cache is exact);
+//! 2. **analyze, pass 1** — stream the store through every
+//!    snapshot-visitor analysis;
+//! 3. **analyze, pass 2** — stream again for the extension-share trend,
+//!    which needs pass 1's global top-20 list first (the paper's own
+//!    two-step procedure for Fig. 10).
+//!
+//! Every experiment runner then reads the finalized [`Analyses`].
+
+use serde::{Deserialize, Serialize};
+use spider_core::behavior::{
+    AccessPatternAnalysis, BurstinessAnalysis, FileAgeAnalysis, GrowthAnalysis, PurgeAdvisor,
+    StripingAnalysis,
+};
+use spider_core::sharing::collaboration::CollaborationReport;
+use spider_core::sharing::components::ComponentReport;
+use spider_core::sharing::network::NetworkOverview;
+use spider_core::sharing::{BuiltNetwork, FileGenNetwork};
+use spider_core::trends::census::UniqueCensus;
+use spider_core::trends::depth::{DepthAnalysis, DepthReport};
+use spider_core::trends::extensions::ExtensionTrend;
+use spider_core::trends::participation::{ParticipationAnalysis, ParticipationReport};
+use spider_core::trends::users::{ActiveUsersAnalysis, ActiveUsersReport};
+use spider_core::{stream_store_prefetch, AnalysisContext, SummaryTable};
+use spider_sim::{SimConfig, Simulation, SimulationOutcome};
+use spider_snapshot::SnapshotStore;
+use spider_workload::Population;
+use std::path::{Path, PathBuf};
+
+/// Lab configuration: the sim config plus where to keep the store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabConfig {
+    /// Simulation configuration.
+    pub sim: SimConfig,
+    /// Directory for the snapshot store and cache marker.
+    pub dir: PathBuf,
+    /// Minimum files per (project, week) for the burstiness filter. The
+    /// paper used 100 at full production volume; scaled runs use less.
+    pub burstiness_min_files: usize,
+}
+
+impl LabConfig {
+    /// The default full-experiment configuration under `dir`.
+    pub fn default_at(dir: impl Into<PathBuf>) -> Self {
+        LabConfig {
+            sim: SimConfig::default(),
+            dir: dir.into(),
+            burstiness_min_files: 30,
+        }
+    }
+
+    /// A small configuration for integration tests.
+    pub fn test_small(dir: impl Into<PathBuf>, seed: u64) -> Self {
+        LabConfig {
+            sim: SimConfig::test_small(seed),
+            dir: dir.into(),
+            burstiness_min_files: 10,
+        }
+    }
+}
+
+/// Finalized analyses shared by all runners.
+pub struct Analyses {
+    /// Unique-entry census (Figs. 7, 8b; Tables 1–2; Figs. 11–12).
+    pub census: UniqueCensus,
+    /// Active users (Fig. 5).
+    pub users: ActiveUsersReport,
+    /// Participation (Fig. 6).
+    pub participation: ParticipationReport,
+    /// Depth analysis — raw handle for Table 1 lookups (Figs. 8a, 9).
+    pub depth: DepthAnalysis,
+    /// Finalized depth report.
+    pub depth_report: DepthReport,
+    /// Extension trend (Fig. 10), tracked over the global top-20.
+    pub ext_trend: ExtensionTrend,
+    /// Striping (Fig. 14).
+    pub striping: StripingAnalysis,
+    /// Growth (Fig. 15).
+    pub growth: GrowthAnalysis,
+    /// Weekly access breakdown (Fig. 13).
+    pub access: AccessPatternAnalysis,
+    /// File age (Fig. 16).
+    pub age: FileAgeAnalysis,
+    /// Burstiness (Fig. 17; Table 1 c_v columns).
+    pub burstiness: BurstinessAnalysis,
+    /// Purge-window advisor (the Obs. 8 extension).
+    pub advisor: PurgeAdvisor,
+    /// The file generation network (staff included).
+    pub network: BuiltNetwork,
+    /// Degree overview (Fig. 18).
+    pub overview: NetworkOverview,
+    /// Component analysis (Table 3, Fig. 19).
+    pub components: ComponentReport,
+    /// The staff-free network for collaboration.
+    pub collab_network: BuiltNetwork,
+    /// Collaboration (Fig. 20).
+    pub collaboration: CollaborationReport,
+    /// The assembled Table 1.
+    pub summary: SummaryTable,
+}
+
+/// The prepared lab.
+pub struct Lab {
+    config: LabConfig,
+    population: Population,
+    outcome: Option<SimulationOutcome>,
+    store: SnapshotStore,
+    analyses: Analyses,
+}
+
+impl Lab {
+    /// Prepares the lab: simulate (or reuse a cached store) and analyze.
+    pub fn prepare(config: LabConfig) -> Result<Lab, Box<dyn std::error::Error>> {
+        std::fs::create_dir_all(&config.dir)?;
+        let marker = config.dir.join("lab-config.json");
+        let store_dir = config.dir.join("snapshots");
+        let config_json = serde_json::to_string_pretty(&config.sim)?;
+        let cached = marker.exists()
+            && std::fs::read_to_string(&marker)? == config_json
+            && store_dir.is_dir();
+
+        let (population, outcome, store) = if cached {
+            let store = SnapshotStore::open(&store_dir)?;
+            let population = Population::generate(&config.sim.population);
+            (population, None, store)
+        } else {
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let mut store = SnapshotStore::open(&store_dir)?;
+            let mut sim = Simulation::new(config.sim);
+            let outcome = sim.run(&mut store)?;
+            std::fs::write(&marker, &config_json)?;
+            let population = sim.population().clone();
+            (population, Some(outcome), store)
+        };
+
+        let analyses = Self::analyze(&population, &store, config.burstiness_min_files)?;
+        Ok(Lab {
+            config,
+            population,
+            outcome,
+            store,
+            analyses,
+        })
+    }
+
+    fn analyze(
+        population: &Population,
+        store: &SnapshotStore,
+        burstiness_min_files: usize,
+    ) -> Result<Analyses, Box<dyn std::error::Error>> {
+        let ctx = AnalysisContext::new(population);
+
+        // Pass 1: all single-pass analyses.
+        let mut census = UniqueCensus::new(ctx.clone());
+        let mut users = ActiveUsersAnalysis::new(ctx.clone());
+        let mut participation = ParticipationAnalysis::new(ctx.clone());
+        let mut depth = DepthAnalysis::new(ctx.clone());
+        let mut striping = StripingAnalysis::new(ctx.clone());
+        let mut growth = GrowthAnalysis::new();
+        let mut access = AccessPatternAnalysis::new();
+        let mut age = FileAgeAnalysis::new();
+        let mut burstiness =
+            BurstinessAnalysis::with_min_files(ctx.clone(), burstiness_min_files);
+        let mut advisor = PurgeAdvisor::new();
+        let mut network = FileGenNetwork::new(ctx.clone());
+        let mut collab_network = FileGenNetwork::without_staff(ctx);
+        stream_store_prefetch(
+            store,
+            &mut [
+                &mut census,
+                &mut users,
+                &mut participation,
+                &mut depth,
+                &mut striping,
+                &mut growth,
+                &mut access,
+                &mut age,
+                &mut burstiness,
+                &mut advisor,
+                &mut network,
+                &mut collab_network,
+            ],
+        )?;
+
+        // Pass 2: extension trend over pass 1's global top-20.
+        let top20: Vec<String> = census
+            .top_extensions_global(20)
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        let mut ext_trend = ExtensionTrend::new(top20);
+        stream_store_prefetch(store, &mut [&mut ext_trend])?;
+
+        let built_network = network.build();
+        let built_collab = collab_network.build();
+        let overview = NetworkOverview::compute(&built_network, 10);
+        let components = ComponentReport::compute(&built_network);
+        let collaboration = CollaborationReport::compute(&built_collab);
+        let summary = SummaryTable::assemble(
+            &census,
+            &depth,
+            &striping,
+            &burstiness,
+            &components,
+            &collaboration,
+        );
+        Ok(Analyses {
+            users: users.finish(),
+            participation: participation.finish(),
+            depth_report: depth.finish(),
+            census,
+            depth,
+            ext_trend,
+            striping,
+            growth,
+            access,
+            age,
+            burstiness,
+            advisor,
+            network: built_network,
+            overview,
+            components,
+            collab_network: built_collab,
+            collaboration,
+            summary,
+        })
+    }
+
+    /// The lab configuration.
+    pub fn config(&self) -> &LabConfig {
+        &self.config
+    }
+
+    /// The generated population (the "accounts database").
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Simulation accounting (`None` when the store came from cache).
+    pub fn outcome(&self) -> Option<&SimulationOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The snapshot store.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The finalized analyses.
+    pub fn analyses(&self) -> &Analyses {
+        &self.analyses
+    }
+
+    /// The store directory (used by the pipeline experiment).
+    pub fn store_dir(&self) -> &Path {
+        self.store.dir()
+    }
+}

@@ -1,0 +1,95 @@
+//! # spider-experiments
+//!
+//! One runner per table and figure of the paper's evaluation (§4),
+//! reproducing each on the synthetic substrate:
+//!
+//! | id | paper artifact | runner |
+//! |----|----------------|--------|
+//! | `table1` | Table 1 — per-domain key observations | [`exp::table1`] |
+//! | `table2` | Table 2 — extension popularity | [`exp::table2`] |
+//! | `table3` | Table 3 — connected-component census | [`exp::table3`] |
+//! | `fig05`  | Fig. 5 — active-user classification | [`exp::fig05`] |
+//! | `fig06`  | Fig. 6 — participation CDFs | [`exp::fig06`] |
+//! | `fig07`  | Fig. 7 — unique files/dirs per domain | [`exp::fig07`] |
+//! | `fig08`  | Fig. 8 — depth CDF and ownership CDFs | [`exp::fig08`] |
+//! | `fig09`  | Fig. 9 — depth box stats per domain | [`exp::fig09`] |
+//! | `fig10`  | Fig. 10 — extension-share trend | [`exp::fig10`] |
+//! | `fig11`  | Fig. 11 — language popularity | [`exp::fig11`] |
+//! | `fig12`  | Fig. 12 — language share per domain | [`exp::fig12`] |
+//! | `fig13`  | Fig. 13 — weekly access breakdown | [`exp::fig13`] |
+//! | `fig14`  | Fig. 14 — OST stripe counts | [`exp::fig14`] |
+//! | `fig15`  | Fig. 15 — namespace growth | [`exp::fig15`] |
+//! | `fig16`  | Fig. 16 — file age vs purge window | [`exp::fig16`] |
+//! | `fig17`  | Fig. 17 — burstiness c_v distributions | [`exp::fig17`] |
+//! | `fig18`  | Fig. 18 — degree distribution power law | [`exp::fig18`] |
+//! | `fig19`  | Fig. 19 — largest-component membership | [`exp::fig19`] |
+//! | `fig20`  | Fig. 20 — user-pair collaboration | [`exp::fig20`] |
+//! | `pipeline` | Fig. 4 — PSV→columnar conversion | [`exp::pipeline`] |
+//! | `observations` | Observations 1–12 roll-up | [`exp::observations`] |
+//!
+//! All runners share one [`Lab`]: the simulation runs once, the snapshot
+//! store streams once per analysis pass, and every runner reads the
+//! finalized analyses. Absolute values are scale-reduced; the verdicts
+//! check the paper's *shape* claims.
+
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod lab;
+
+pub use lab::{Analyses, Lab, LabConfig};
+
+use spider_report::VerdictSet;
+
+/// An experiment entry point.
+pub type Runner = fn(&Lab) -> ExperimentOutput;
+
+/// The output of one experiment runner.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (`table1`, `fig13`, ...).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Rendered text (tables / series summaries) for the console.
+    pub text: String,
+    /// Optional CSV payload (figure series).
+    pub csv: Option<String>,
+    /// Shape verdicts vs the paper.
+    pub verdicts: VerdictSet,
+}
+
+/// All experiment runners in presentation order.
+pub fn all_experiments() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("table1", exp::table1::run as Runner),
+        ("table2", exp::table2::run),
+        ("table3", exp::table3::run),
+        ("fig05", exp::fig05::run),
+        ("fig06", exp::fig06::run),
+        ("fig07", exp::fig07::run),
+        ("fig08", exp::fig08::run),
+        ("fig09", exp::fig09::run),
+        ("fig10", exp::fig10::run),
+        ("fig11", exp::fig11::run),
+        ("fig12", exp::fig12::run),
+        ("fig13", exp::fig13::run),
+        ("fig14", exp::fig14::run),
+        ("fig15", exp::fig15::run),
+        ("fig16", exp::fig16::run),
+        ("fig17", exp::fig17::run),
+        ("fig18", exp::fig18::run),
+        ("fig19", exp::fig19::run),
+        ("fig20", exp::fig20::run),
+        ("pipeline", exp::pipeline::run),
+        ("observations", exp::observations::run),
+    ]
+}
+
+/// Looks up a runner by id.
+pub fn experiment_by_id(id: &str) -> Option<Runner> {
+    all_experiments()
+        .into_iter()
+        .find(|(eid, _)| *eid == id)
+        .map(|(_, f)| f)
+}

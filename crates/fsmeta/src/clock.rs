@@ -1,0 +1,154 @@
+//! Simulated time.
+//!
+//! The observation window of the paper runs from January 2015 to August
+//! 2016 (500 days, one snapshot per week, 72 snapshot dates). We anchor the
+//! simulated epoch at 2015-01-05 00:00:00 UTC (`1420416000`), so generated
+//! timestamps land in the same numeric range as the LustreDU example record
+//! (`ATIME 1478274632`), and day arithmetic matches the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds since the Unix epoch, as recorded in LustreDU snapshots.
+pub type Timestamp = u64;
+
+/// Seconds per simulated day.
+pub const DAY_SECS: u64 = 86_400;
+
+/// Unix time of simulation day 0 (2015-01-05 00:00:00 UTC — the Monday of
+/// the first snapshot week of the observation window).
+pub const EPOCH_UNIX: Timestamp = 1_420_416_000;
+
+/// A monotonically advancing simulation clock.
+///
+/// The driver advances the clock through each simulated day; workload
+/// events receive intra-day offsets so that timestamp dispersion (the c_v
+/// burstiness analysis of §4.2.4) is meaningful at second granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now: Timestamp,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimClock {
+    /// A clock positioned at the simulation epoch.
+    pub fn new() -> Self {
+        SimClock { now: EPOCH_UNIX }
+    }
+
+    /// A clock positioned at an arbitrary Unix time.
+    pub fn at(now: Timestamp) -> Self {
+        SimClock { now }
+    }
+
+    /// Current Unix time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Whole simulation days elapsed since the epoch.
+    pub fn day(&self) -> u32 {
+        ((self.now.saturating_sub(EPOCH_UNIX)) / DAY_SECS) as u32
+    }
+
+    /// Seconds elapsed since local midnight of the current simulation day.
+    pub fn seconds_into_day(&self) -> u64 {
+        (self.now - EPOCH_UNIX) % DAY_SECS
+    }
+
+    /// Advances the clock by `secs` seconds.
+    pub fn advance(&mut self, secs: u64) {
+        self.now += secs;
+    }
+
+    /// Moves the clock to local midnight of simulation day `day`.
+    ///
+    /// # Panics
+    /// Panics if this would move the clock backwards.
+    pub fn seek_day(&mut self, day: u32) {
+        let target = EPOCH_UNIX + day as u64 * DAY_SECS;
+        assert!(
+            target >= self.now,
+            "clock cannot move backwards (now day {}, target day {day})",
+            self.day()
+        );
+        self.now = target;
+    }
+
+    /// The Unix timestamp of local midnight of simulation day `day`.
+    pub fn day_start(day: u32) -> Timestamp {
+        EPOCH_UNIX + day as u64 * DAY_SECS
+    }
+
+    /// Converts a Unix timestamp to (fractional) days since the simulation
+    /// epoch; timestamps before the epoch map to negative values.
+    pub fn unix_to_day_f64(ts: Timestamp) -> f64 {
+        (ts as f64 - EPOCH_UNIX as f64) / DAY_SECS as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_epoch() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), EPOCH_UNIX);
+        assert_eq!(c.day(), 0);
+        assert_eq!(c.seconds_into_day(), 0);
+    }
+
+    #[test]
+    fn advance_moves_day_boundary() {
+        let mut c = SimClock::new();
+        c.advance(DAY_SECS - 1);
+        assert_eq!(c.day(), 0);
+        c.advance(1);
+        assert_eq!(c.day(), 1);
+        assert_eq!(c.seconds_into_day(), 0);
+    }
+
+    #[test]
+    fn seek_day_forwards() {
+        let mut c = SimClock::new();
+        c.seek_day(7);
+        assert_eq!(c.day(), 7);
+        assert_eq!(c.now(), EPOCH_UNIX + 7 * DAY_SECS);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn seek_day_backwards_panics() {
+        let mut c = SimClock::new();
+        c.seek_day(10);
+        c.seek_day(3);
+    }
+
+    #[test]
+    fn day_start_roundtrip() {
+        for day in [0u32, 1, 99, 500] {
+            let ts = SimClock::day_start(day);
+            assert_eq!(SimClock::at(ts).day(), day);
+        }
+    }
+
+    #[test]
+    fn unix_to_day_fractional() {
+        let half = EPOCH_UNIX + DAY_SECS / 2;
+        assert!((SimClock::unix_to_day_f64(half) - 0.5).abs() < 1e-12);
+        assert!(SimClock::unix_to_day_f64(EPOCH_UNIX - DAY_SECS) < 0.0);
+    }
+
+    #[test]
+    fn timestamps_land_in_paper_range() {
+        // Day 500 must still be in 2016 (< 1.48e9, around the example
+        // record's ATIME of 1478274632).
+        let end = SimClock::day_start(500);
+        assert!(end > 1_420_000_000 && end < 1_480_000_000);
+    }
+}

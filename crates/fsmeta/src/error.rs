@@ -1,0 +1,56 @@
+//! Error type for metadata operations.
+
+use crate::inode::InodeId;
+use std::fmt;
+
+/// Errors returned by [`crate::FileSystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The referenced inode does not exist (stale id or already deleted).
+    NoSuchInode(InodeId),
+    /// A path component was not found during lookup.
+    NotFound {
+        /// Inode of the directory in which the lookup failed.
+        parent: InodeId,
+        /// The missing component name.
+        name: String,
+    },
+    /// The named entry already exists in the directory.
+    AlreadyExists {
+        /// Directory containing the conflicting entry.
+        parent: InodeId,
+        /// The conflicting name.
+        name: String,
+    },
+    /// A file operation was attempted on a directory, or vice versa.
+    NotADirectory(InodeId),
+    /// A directory operation (e.g. `create` inside it) targeted a file.
+    IsADirectory(InodeId),
+    /// Attempt to remove a non-empty directory.
+    DirectoryNotEmpty(InodeId),
+    /// A component name was empty or contained `/` or the PSV separator.
+    InvalidName(String),
+    /// Stripe count was zero or exceeded the OST pool size.
+    InvalidStripeCount(u32),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSuchInode(ino) => write!(f, "no such inode: {ino:?}"),
+            FsError::NotFound { parent, name } => {
+                write!(f, "no entry named {name:?} in directory {parent:?}")
+            }
+            FsError::AlreadyExists { parent, name } => {
+                write!(f, "entry {name:?} already exists in directory {parent:?}")
+            }
+            FsError::NotADirectory(ino) => write!(f, "inode {ino:?} is not a directory"),
+            FsError::IsADirectory(ino) => write!(f, "inode {ino:?} is a directory"),
+            FsError::DirectoryNotEmpty(ino) => write!(f, "directory {ino:?} is not empty"),
+            FsError::InvalidName(name) => write!(f, "invalid entry name {name:?}"),
+            FsError::InvalidStripeCount(n) => write!(f, "invalid stripe count {n}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}

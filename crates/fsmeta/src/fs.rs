@@ -1,0 +1,585 @@
+//! The `FileSystem` facade: namespace + clock + striping + POSIX timestamp
+//! semantics.
+//!
+//! The timestamp rules implemented here are exactly the ones the paper's
+//! §4.2 analyses depend on:
+//!
+//! | operation        | atime | mtime | ctime | notes |
+//! |------------------|-------|-------|-------|-------|
+//! | create           |  set  |  set  |  set  | parent dir mtime/ctime set |
+//! | write            |   —   |  set  |  set  | bulk checkpoint output |
+//! | read             |  set  |   —   |   —   | analysis/visualization pass |
+//! | touch            |  set  |  set  |  set  | purge-dodging scripts (§4.2.3) |
+//! | restripe/chmod   |   —   |   —   |  set  | metadata-only change |
+//! | unlink/rmdir     |   —   |   —   |   —   | parent dir mtime/ctime set |
+
+use crate::clock::{SimClock, Timestamp};
+use crate::error::FsError;
+use crate::inode::{FileKind, Gid, Inode, InodeId, Uid};
+use crate::namespace::Namespace;
+use crate::stripe::{OstPool, DEFAULT_STRIPE_COUNT};
+use rustc_hash::FxHashMap;
+
+/// An in-memory scratch file system instance.
+///
+/// ```
+/// use spider_fsmeta::{FileSystem, Uid, Gid, DAY_SECS, PurgeEngine};
+///
+/// let mut fs = FileSystem::new();
+/// let root = fs.root();
+/// let proj = fs.mkdir(root, "cli001", Uid(0), Gid(2000)).unwrap();
+/// let file = fs.create(proj, "run.nc", Uid(10_000), Gid(2000), None).unwrap();
+///
+/// // 100 days later the untouched file is a purge candidate...
+/// fs.advance_clock(100 * DAY_SECS);
+/// assert_eq!(PurgeEngine::default().candidates(&fs).len(), 1);
+/// // ...unless someone reads it.
+/// fs.read(file).unwrap();
+/// assert!(PurgeEngine::default().candidates(&fs).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileSystem {
+    ns: Namespace,
+    clock: SimClock,
+    pool: OstPool,
+    /// Per-directory default stripe counts set via `lfs setstripe <dir>`;
+    /// inherited by files created beneath (nearest ancestor wins).
+    dir_stripe_defaults: FxHashMap<InodeId, u32>,
+    /// Running counter of files removed by any unlink (user deletes and
+    /// purge alike); used by simulation accounting.
+    unlinked_files: u64,
+    /// Running counter of directories removed by rmdir.
+    removed_dirs: u64,
+}
+
+impl Default for FileSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileSystem {
+    /// Creates a file system with a Spider-sized OST pool and a clock at the
+    /// simulation epoch.
+    pub fn new() -> Self {
+        Self::with_parts(SimClock::new(), OstPool::default())
+    }
+
+    /// Creates a file system with explicit clock and OST pool (small pools
+    /// keep unit tests readable).
+    pub fn with_parts(clock: SimClock, pool: OstPool) -> Self {
+        FileSystem {
+            ns: Namespace::new(clock.now()),
+            clock,
+            pool,
+            dir_stripe_defaults: FxHashMap::default(),
+            unlinked_files: 0,
+            removed_dirs: 0,
+        }
+    }
+
+    // ---- clock ----
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// The clock (read-only).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Advances the clock by `secs`.
+    pub fn advance_clock(&mut self, secs: u64) {
+        self.clock.advance(secs);
+    }
+
+    /// Moves the clock to midnight of simulation day `day` (forwards only).
+    pub fn seek_day(&mut self, day: u32) {
+        self.clock.seek_day(day);
+    }
+
+    // ---- structure ----
+
+    /// The mount root.
+    pub fn root(&self) -> InodeId {
+        self.ns.root()
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        uid: Uid,
+        gid: Gid,
+    ) -> Result<InodeId, FsError> {
+        let now = self.clock.now();
+        let ino = self.ns.insert(
+            parent,
+            name,
+            Inode {
+                ino: InodeId(0),
+                parent: InodeId(0),
+                name: "".into(),
+                kind: FileKind::Directory,
+                uid,
+                gid,
+                perm: 0o2770,
+                atime: now,
+                ctime: now,
+                mtime: now,
+                stripes: None,
+                depth: 0,
+            },
+        )?;
+        self.stamp_dir_modified(parent, now);
+        Ok(ino)
+    }
+
+    /// `mkdir -p`: resolves (creating as needed) a chain of directory
+    /// components under `base`, returning the deepest directory.
+    pub fn mkdir_p(
+        &mut self,
+        base: InodeId,
+        components: &[&str],
+        uid: Uid,
+        gid: Gid,
+    ) -> Result<InodeId, FsError> {
+        let mut cur = base;
+        for comp in components {
+            cur = match self.ns.lookup(cur, comp)? {
+                Some(existing) => {
+                    let node = self.ns.get(existing)?;
+                    if !node.is_dir() {
+                        return Err(FsError::NotADirectory(existing));
+                    }
+                    existing
+                }
+                None => self.mkdir(cur, comp, uid, gid)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Creates a regular file. The stripe count comes from, in priority
+    /// order: the explicit `stripe_count`, the nearest ancestor directory
+    /// default, or [`DEFAULT_STRIPE_COUNT`].
+    pub fn create(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        uid: Uid,
+        gid: Gid,
+        stripe_count: Option<u32>,
+    ) -> Result<InodeId, FsError> {
+        let count = match stripe_count {
+            Some(c) => c,
+            None => self.effective_dir_stripe(parent)?,
+        };
+        let layout = self
+            .pool
+            .allocate(count)
+            .ok_or(FsError::InvalidStripeCount(count))?;
+        let now = self.clock.now();
+        let ino = self.ns.insert(
+            parent,
+            name,
+            Inode {
+                ino: InodeId(0),
+                parent: InodeId(0),
+                name: "".into(),
+                kind: FileKind::Regular,
+                uid,
+                gid,
+                perm: 0o664,
+                atime: now,
+                ctime: now,
+                mtime: now,
+                stripes: Some(layout),
+                depth: 0,
+            },
+        )?;
+        self.stamp_dir_modified(parent, now);
+        Ok(ino)
+    }
+
+    /// Removes a regular file (user delete or purge).
+    pub fn unlink(&mut self, ino: InodeId) -> Result<(), FsError> {
+        let removed = self.ns.remove_file(ino)?;
+        let now = self.clock.now();
+        self.stamp_dir_modified(removed.parent, now);
+        self.unlinked_files += 1;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, ino: InodeId) -> Result<(), FsError> {
+        let removed = self.ns.remove_dir(ino)?;
+        self.dir_stripe_defaults.remove(&ino);
+        let now = self.clock.now();
+        self.stamp_dir_modified(removed.parent, now);
+        self.removed_dirs += 1;
+        Ok(())
+    }
+
+    // ---- data-path operations (timestamp semantics) ----
+
+    /// Records a content write: `mtime = ctime = now`.
+    pub fn write(&mut self, ino: InodeId) -> Result<(), FsError> {
+        let now = self.clock.now();
+        let node = self.ns.get_mut(ino)?;
+        if node.is_dir() {
+            return Err(FsError::IsADirectory(ino));
+        }
+        node.mtime = now;
+        node.ctime = now;
+        Ok(())
+    }
+
+    /// Records a content read: `atime = now`.
+    pub fn read(&mut self, ino: InodeId) -> Result<(), FsError> {
+        let now = self.clock.now();
+        let node = self.ns.get_mut(ino)?;
+        if node.is_dir() {
+            return Err(FsError::IsADirectory(ino));
+        }
+        node.atime = now;
+        Ok(())
+    }
+
+    /// `touch`: sets all three timestamps — the purge-dodging behaviour the
+    /// paper mentions users automating (§4.2.3).
+    pub fn touch(&mut self, ino: InodeId) -> Result<(), FsError> {
+        let now = self.clock.now();
+        let node = self.ns.get_mut(ino)?;
+        node.atime = now;
+        node.mtime = now;
+        node.ctime = now;
+        Ok(())
+    }
+
+    // ---- striping ----
+
+    /// Sets a directory's default stripe count (`lfs setstripe <dir> -c N`),
+    /// inherited by files created beneath it.
+    pub fn set_dir_stripe_default(
+        &mut self,
+        dir: InodeId,
+        count: u32,
+    ) -> Result<(), FsError> {
+        let node = self.ns.get(dir)?;
+        if !node.is_dir() {
+            return Err(FsError::NotADirectory(dir));
+        }
+        if self.pool.ost_count() < count || count == 0 {
+            return Err(FsError::InvalidStripeCount(count));
+        }
+        self.dir_stripe_defaults.insert(dir, count);
+        let now = self.clock.now();
+        self.ns.get_mut(dir)?.ctime = now;
+        Ok(())
+    }
+
+    /// Re-stripes a file (models rewrite via `lfs setstripe` + copy):
+    /// allocates a fresh layout and bumps `ctime`.
+    pub fn set_file_stripe(&mut self, ino: InodeId, count: u32) -> Result<(), FsError> {
+        let layout = self
+            .pool
+            .allocate(count)
+            .ok_or(FsError::InvalidStripeCount(count))?;
+        let now = self.clock.now();
+        let node = self.ns.get_mut(ino)?;
+        if node.is_dir() {
+            return Err(FsError::IsADirectory(ino));
+        }
+        node.stripes = Some(layout);
+        node.ctime = now;
+        Ok(())
+    }
+
+    /// The stripe count a new file in `dir` would get without an explicit
+    /// override: nearest ancestor default, else the Lustre default of 4.
+    pub fn effective_dir_stripe(&self, dir: InodeId) -> Result<u32, FsError> {
+        let mut cur = dir;
+        loop {
+            if let Some(&count) = self.dir_stripe_defaults.get(&cur) {
+                return Ok(count);
+            }
+            let node = self.ns.get(cur)?;
+            if !node.is_dir() {
+                return Err(FsError::NotADirectory(dir));
+            }
+            if cur == self.ns.root() {
+                return Ok(DEFAULT_STRIPE_COUNT);
+            }
+            cur = node.parent;
+        }
+    }
+
+    // ---- queries ----
+
+    /// Immutable inode access.
+    pub fn inode(&self, ino: InodeId) -> Result<&Inode, FsError> {
+        self.ns.get(ino)
+    }
+
+    /// Child lookup by name.
+    pub fn lookup(&self, parent: InodeId, name: &str) -> Result<Option<InodeId>, FsError> {
+        self.ns.lookup(parent, name)
+    }
+
+    /// Full display path.
+    pub fn path(&self, ino: InodeId) -> Result<String, FsError> {
+        self.ns.path(ino)
+    }
+
+    /// Children of a directory.
+    pub fn children(&self, dir: InodeId) -> Result<Vec<InodeId>, FsError> {
+        Ok(self.ns.children(dir)?.collect())
+    }
+
+    /// Every live inode, order unspecified (the LustreDU scan surface).
+    pub fn iter(&self) -> impl Iterator<Item = &Inode> {
+        self.ns.iter()
+    }
+
+    /// Live regular-file count.
+    pub fn file_count(&self) -> u64 {
+        self.ns.file_count()
+    }
+
+    /// Live directory count.
+    pub fn dir_count(&self) -> u64 {
+        self.ns.dir_count()
+    }
+
+    /// Live entries (files + directories).
+    pub fn entry_count(&self) -> u64 {
+        self.ns.entry_count()
+    }
+
+    /// Total files ever unlinked (user deletes + purges).
+    pub fn unlinked_files(&self) -> u64 {
+        self.unlinked_files
+    }
+
+    /// Total directories ever removed.
+    pub fn removed_dirs(&self) -> u64 {
+        self.removed_dirs
+    }
+
+    fn stamp_dir_modified(&mut self, dir: InodeId, now: Timestamp) {
+        if let Ok(node) = self.ns.get_mut(dir) {
+            node.mtime = now;
+            node.ctime = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stripe::OstPool;
+
+    fn small_fs() -> FileSystem {
+        FileSystem::with_parts(SimClock::new(), OstPool::new(16))
+    }
+
+    fn mk_file(fs: &mut FileSystem, parent: InodeId, name: &str) -> InodeId {
+        fs.create(parent, name, Uid(10), Gid(20), None).unwrap()
+    }
+
+    fn mk_root_file(fs: &mut FileSystem, name: &str) -> InodeId {
+        let root = fs.root();
+        mk_file(fs, root, name)
+    }
+
+    #[test]
+    fn create_sets_all_timestamps() {
+        let mut fs = small_fs();
+        fs.advance_clock(1_000);
+        let f = mk_root_file(&mut fs, "a.dat");
+        let node = fs.inode(f).unwrap();
+        let t = fs.now();
+        assert_eq!((node.atime, node.mtime, node.ctime), (t, t, t));
+        assert_eq!(node.stripes.as_ref().unwrap().stripe_count(), 4);
+    }
+
+    #[test]
+    fn write_updates_mtime_ctime_only() {
+        let mut fs = small_fs();
+        let f = mk_root_file(&mut fs, "a.dat");
+        let t0 = fs.now();
+        fs.advance_clock(500);
+        fs.write(f).unwrap();
+        let node = fs.inode(f).unwrap();
+        assert_eq!(node.atime, t0);
+        assert_eq!(node.mtime, t0 + 500);
+        assert_eq!(node.ctime, t0 + 500);
+    }
+
+    #[test]
+    fn read_updates_atime_only() {
+        let mut fs = small_fs();
+        let f = mk_root_file(&mut fs, "a.dat");
+        let t0 = fs.now();
+        fs.advance_clock(300);
+        fs.read(f).unwrap();
+        let node = fs.inode(f).unwrap();
+        assert_eq!(node.atime, t0 + 300);
+        assert_eq!(node.mtime, t0);
+        assert_eq!(node.ctime, t0);
+    }
+
+    #[test]
+    fn touch_updates_all() {
+        let mut fs = small_fs();
+        let f = mk_root_file(&mut fs, "a.dat");
+        fs.advance_clock(99);
+        fs.touch(f).unwrap();
+        let node = fs.inode(f).unwrap();
+        let t = fs.now();
+        assert_eq!((node.atime, node.mtime, node.ctime), (t, t, t));
+    }
+
+    #[test]
+    fn file_age_accumulates() {
+        // file age := atime - mtime (Fig. 16): grows with reads after the
+        // last write.
+        let mut fs = small_fs();
+        let f = mk_root_file(&mut fs, "a.dat");
+        fs.advance_clock(100 * crate::clock::DAY_SECS);
+        fs.read(f).unwrap();
+        let node = fs.inode(f).unwrap();
+        assert_eq!(node.atime - node.mtime, 100 * crate::clock::DAY_SECS);
+    }
+
+    #[test]
+    fn dir_ops_on_files_fail() {
+        let mut fs = small_fs();
+        let d = fs.mkdir(fs.root(), "d", Uid(1), Gid(1)).unwrap();
+        assert!(matches!(fs.write(d), Err(FsError::IsADirectory(_))));
+        assert!(matches!(fs.read(d), Err(FsError::IsADirectory(_))));
+        let f = mk_root_file(&mut fs, "f");
+        assert!(matches!(
+            fs.set_dir_stripe_default(f, 2),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            fs.set_file_stripe(d, 2),
+            Err(FsError::IsADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn mkdir_p_creates_and_reuses() {
+        let mut fs = small_fs();
+        let a = fs
+            .mkdir_p(fs.root(), &["proj", "user", "run1"], Uid(1), Gid(2))
+            .unwrap();
+        let b = fs
+            .mkdir_p(fs.root(), &["proj", "user", "run2"], Uid(1), Gid(2))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fs.path(a).unwrap(), "/lustre/atlas1/proj/user/run1");
+        // "proj" and "user" were reused: 4 directories + root.
+        assert_eq!(fs.dir_count(), 5);
+    }
+
+    #[test]
+    fn mkdir_p_through_file_fails() {
+        let mut fs = small_fs();
+        mk_root_file(&mut fs, "blocker");
+        let err = fs
+            .mkdir_p(fs.root(), &["blocker", "x"], Uid(1), Gid(1))
+            .unwrap_err();
+        assert!(matches!(err, FsError::NotADirectory(_)));
+    }
+
+    #[test]
+    fn stripe_inheritance_nearest_ancestor_wins() {
+        let mut fs = small_fs();
+        let proj = fs.mkdir(fs.root(), "proj", Uid(1), Gid(1)).unwrap();
+        let sub = fs.mkdir(proj, "sub", Uid(1), Gid(1)).unwrap();
+        fs.set_dir_stripe_default(proj, 8).unwrap();
+        assert_eq!(fs.effective_dir_stripe(sub).unwrap(), 8);
+        fs.set_dir_stripe_default(sub, 2).unwrap();
+        assert_eq!(fs.effective_dir_stripe(sub).unwrap(), 2);
+
+        let f = fs.create(sub, "big.bin", Uid(1), Gid(1), None).unwrap();
+        assert_eq!(fs.inode(f).unwrap().stripes.as_ref().unwrap().stripe_count(), 2);
+        let g = fs.create(sub, "wide.bin", Uid(1), Gid(1), Some(16)).unwrap();
+        assert_eq!(fs.inode(g).unwrap().stripes.as_ref().unwrap().stripe_count(), 16);
+    }
+
+    #[test]
+    fn default_stripe_without_overrides() {
+        let fs = small_fs();
+        assert_eq!(fs.effective_dir_stripe(fs.root()).unwrap(), 4);
+    }
+
+    #[test]
+    fn invalid_stripe_counts() {
+        let mut fs = small_fs(); // pool of 16
+        let err = fs
+            .create(fs.root(), "x", Uid(1), Gid(1), Some(17))
+            .unwrap_err();
+        assert!(matches!(err, FsError::InvalidStripeCount(17)));
+        assert!(matches!(
+            fs.set_dir_stripe_default(fs.root(), 0),
+            Err(FsError::InvalidStripeCount(0))
+        ));
+    }
+
+    #[test]
+    fn restripe_bumps_ctime_only() {
+        let mut fs = small_fs();
+        let f = mk_root_file(&mut fs, "a.dat");
+        let t0 = fs.now();
+        fs.advance_clock(60);
+        fs.set_file_stripe(f, 8).unwrap();
+        let node = fs.inode(f).unwrap();
+        assert_eq!(node.atime, t0);
+        assert_eq!(node.mtime, t0);
+        assert_eq!(node.ctime, t0 + 60);
+        assert_eq!(node.stripes.as_ref().unwrap().stripe_count(), 8);
+    }
+
+    #[test]
+    fn unlink_counts_and_parent_stamp() {
+        let mut fs = small_fs();
+        let d = fs.mkdir(fs.root(), "d", Uid(1), Gid(1)).unwrap();
+        let f = mk_file(&mut fs, d, "a");
+        fs.advance_clock(10);
+        fs.unlink(f).unwrap();
+        assert_eq!(fs.unlinked_files(), 1);
+        assert_eq!(fs.file_count(), 0);
+        let dir = fs.inode(d).unwrap();
+        assert_eq!(dir.mtime, fs.now());
+        // Purge leaves empty directories behind; rmdir is separate.
+        fs.rmdir(d).unwrap();
+        assert_eq!(fs.dir_count(), 1);
+    }
+
+    #[test]
+    fn removed_dirs_counter() {
+        let mut fs = small_fs();
+        let a = fs.mkdir(fs.root(), "a", Uid(1), Gid(1)).unwrap();
+        let b = fs.mkdir(a, "b", Uid(1), Gid(1)).unwrap();
+        assert_eq!(fs.removed_dirs(), 0);
+        fs.rmdir(b).unwrap();
+        fs.rmdir(a).unwrap();
+        assert_eq!(fs.removed_dirs(), 2);
+    }
+
+    #[test]
+    fn entry_count_tracks_files_plus_dirs() {
+        let mut fs = small_fs();
+        let d = fs.mkdir(fs.root(), "d", Uid(1), Gid(1)).unwrap();
+        mk_file(&mut fs, d, "a");
+        mk_file(&mut fs, d, "b");
+        assert_eq!(fs.entry_count(), 4); // root + d + 2 files
+    }
+}

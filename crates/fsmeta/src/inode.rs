@@ -1,0 +1,189 @@
+//! Inode records: the unit of metadata the LustreDU scan emits.
+
+use crate::clock::Timestamp;
+use crate::stripe::StripeLayout;
+use serde::{Deserialize, Serialize};
+
+/// An inode number. Unique over the lifetime of a file system instance —
+/// never reused after deletion, mimicking Lustre FID behaviour (the paper's
+/// analyses treat inode numbers as stable identifiers within a snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InodeId(pub u64);
+
+/// Owner user id, as joined against the user-accounting database in §4.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Uid(pub u32);
+
+/// Group id; at OLCF the GID encodes the project allocation, which is how
+/// the paper maps entries to projects and science domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gid(pub u32);
+
+/// POSIX mode bits (type bits + permission bits), e.g. `0o100664` for the
+/// example record in Fig. 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mode(pub u32);
+
+/// POSIX file-type constants relevant to a scratch PFS scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+impl Mode {
+    const S_IFREG: u32 = 0o100000;
+    const S_IFDIR: u32 = 0o040000;
+    const S_IFMT: u32 = 0o170000;
+
+    /// Builds a mode word from a kind and permission bits.
+    pub fn new(kind: FileKind, perm: u32) -> Mode {
+        let type_bits = match kind {
+            FileKind::Regular => Self::S_IFREG,
+            FileKind::Directory => Self::S_IFDIR,
+        };
+        Mode(type_bits | (perm & 0o7777))
+    }
+
+    /// Extracts the file kind, if the type bits are recognized.
+    pub fn kind(&self) -> Option<FileKind> {
+        match self.0 & Self::S_IFMT {
+            Self::S_IFREG => Some(FileKind::Regular),
+            Self::S_IFDIR => Some(FileKind::Directory),
+            _ => None,
+        }
+    }
+
+    /// The permission bits (lower 12 bits).
+    pub fn permissions(&self) -> u32 {
+        self.0 & 0o7777
+    }
+}
+
+/// A live metadata record.
+///
+/// The fields mirror the LustreDU snapshot record (Fig. 2): everything the
+/// scan reports except the path, which is derived from the namespace tree
+/// (`parent` + `name`). There is intentionally **no size field**.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inode {
+    /// This inode's id.
+    pub ino: InodeId,
+    /// Parent directory (self for the root).
+    pub parent: InodeId,
+    /// Entry name within the parent directory.
+    pub name: Box<str>,
+    /// Regular file or directory.
+    pub kind: FileKind,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group (project allocation).
+    pub gid: Gid,
+    /// Permission bits (the type bits are derived from `kind`).
+    pub perm: u32,
+    /// Last access time.
+    pub atime: Timestamp,
+    /// Last status (metadata) change time.
+    pub ctime: Timestamp,
+    /// Last content modification time.
+    pub mtime: Timestamp,
+    /// OST stripe layout; `None` for directories (a directory's default
+    /// stripe policy is modelled at the [`crate::FileSystem`] level).
+    pub stripes: Option<StripeLayout>,
+    /// Depth of this entry (root = 0); maintained incrementally so snapshot
+    /// scans and depth analyses avoid walking parent chains.
+    pub depth: u16,
+}
+
+impl Inode {
+    /// The full mode word (type bits + permissions) as serialized into PSV.
+    pub fn mode(&self) -> Mode {
+        Mode::new(self.kind, self.perm)
+    }
+
+    /// True for regular files.
+    pub fn is_file(&self) -> bool {
+        self.kind == FileKind::Regular
+    }
+
+    /// True for directories.
+    pub fn is_dir(&self) -> bool {
+        self.kind == FileKind::Directory
+    }
+
+    /// The file-name extension in the paper's sense: the substring after
+    /// the last `.`, provided the dot is neither the first nor the last
+    /// character. `result.1` yields `1` (the paper notes numeric suffixes
+    /// from checkpoint streams end up as unclassifiable extensions);
+    /// `Makefile` and `.bashrc` yield `None`.
+    pub fn extension(&self) -> Option<&str> {
+        extension_of(&self.name)
+    }
+}
+
+/// Extension extraction shared by inode and snapshot-record views.
+pub fn extension_of(name: &str) -> Option<&str> {
+    let idx = name.rfind('.')?;
+    if idx == 0 || idx + 1 == name.len() {
+        return None;
+    }
+    Some(&name[idx + 1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip() {
+        let m = Mode::new(FileKind::Regular, 0o664);
+        assert_eq!(m.0, 0o100664); // the paper's example record
+        assert_eq!(m.kind(), Some(FileKind::Regular));
+        assert_eq!(m.permissions(), 0o664);
+
+        let d = Mode::new(FileKind::Directory, 0o775);
+        assert_eq!(d.0, 0o040775);
+        assert_eq!(d.kind(), Some(FileKind::Directory));
+    }
+
+    #[test]
+    fn unknown_type_bits() {
+        assert_eq!(Mode(0o120777).kind(), None); // symlink: not modelled
+    }
+
+    #[test]
+    fn extension_rules() {
+        assert_eq!(extension_of("data.nc"), Some("nc"));
+        assert_eq!(extension_of("archive.tar.gz"), Some("gz"));
+        assert_eq!(extension_of("result.1"), Some("1"));
+        assert_eq!(extension_of("f.00000245"), Some("00000245"));
+        assert_eq!(extension_of("Makefile"), None);
+        assert_eq!(extension_of(".bashrc"), None);
+        assert_eq!(extension_of("ends."), None);
+        assert_eq!(extension_of(""), None);
+    }
+
+    #[test]
+    fn inode_extension_uses_name() {
+        let ino = Inode {
+            ino: InodeId(7),
+            parent: InodeId(1),
+            name: "checkpoint.h5".into(),
+            kind: FileKind::Regular,
+            uid: Uid(13133),
+            gid: Gid(2329),
+            perm: 0o664,
+            atime: 0,
+            ctime: 0,
+            mtime: 0,
+            stripes: None,
+            depth: 6,
+        };
+        assert_eq!(ino.extension(), Some("h5"));
+        assert!(ino.is_file());
+        assert!(!ino.is_dir());
+        assert_eq!(ino.mode().0, 0o100664);
+    }
+}

@@ -1,0 +1,45 @@
+//! # spider-fsmeta
+//!
+//! An in-memory **metadata substrate** standing in for the Spider II Lustre
+//! parallel file system of the SC '17 study. The original study never reads
+//! file *data* — its input is the LustreDU metadata scan (Fig. 2 of the
+//! paper): path, POSIX attributes (`atime`/`ctime`/`mtime`, `uid`, `gid`,
+//! `mode`), the inode number, and the list of OSTs the file is striped
+//! across. File sizes are deliberately absent, exactly as in LustreDU.
+//!
+//! This crate therefore models precisely the metadata surface:
+//!
+//! * a hierarchical **namespace** (directories and regular files) rooted at
+//!   `/lustre/atlas1`, mirroring the `/root/lustre/atlas1/<project>/<user>`
+//!   layout the paper describes (directory-depth analyses hinge on this
+//!   five-component prefix);
+//! * **POSIX timestamp semantics** — the analysis dimensions of §4.2 are
+//!   driven entirely by how `atime`, `mtime`, and `ctime` move under create,
+//!   write, read, touch, and metadata operations;
+//! * **Lustre OST striping** — each file carries a stripe layout over a
+//!   2,016-target OST pool with a default stripe count of 4, adjustable via
+//!   the equivalent of `lfs setstripe` (§4.2.1 / Fig. 14);
+//! * a **purge engine** implementing the center's 90-day policy: files (and
+//!   only files — the paper notes purged directories are left behind) whose
+//!   `atime` is older than the window are removed (§4.2.3 / Fig. 16).
+//!
+//! The substrate is single-writer (the simulation driver), and optimizes for
+//! scan speed: the snapshot scanner in `spider-snapshot` walks every live
+//! inode once per simulated day, which is the dominant operation.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod error;
+pub mod fs;
+pub mod inode;
+pub mod namespace;
+pub mod purge;
+pub mod stripe;
+
+pub use clock::{SimClock, Timestamp, DAY_SECS};
+pub use error::FsError;
+pub use fs::FileSystem;
+pub use inode::{FileKind, Gid, Inode, InodeId, Mode, Uid};
+pub use purge::{PurgeEngine, PurgePolicy, PurgeReport};
+pub use stripe::{OstId, OstPool, StripeLayout, DEFAULT_STRIPE_COUNT, SPIDER_OST_COUNT};

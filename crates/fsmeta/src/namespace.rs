@@ -1,0 +1,427 @@
+//! The namespace tree: inode table plus per-directory children maps.
+//!
+//! This layer is purely structural — names, parent links, depth
+//! bookkeeping, and path reconstruction. Timestamp and striping semantics
+//! live in [`crate::fs::FileSystem`].
+//!
+//! Depth convention: the paper counts path components including the
+//! synthetic `/root` prefix, observing that "user accessible directories
+//! are at least at a depth of five" (`/root/lustre/atlas1/<project>/<user>`
+//! — Fig. 8a's knee at five). We therefore place the mount root (standing
+//! for `atlas1`) at depth [`ROOT_DEPTH`] = 3, so project directories sit at
+//! 4 and user directories at 5.
+
+use crate::error::FsError;
+use crate::inode::{FileKind, Inode, InodeId};
+use rustc_hash::FxHashMap;
+
+/// Depth assigned to the mount root (`/root/lustre/atlas1` counted as three
+/// components, per the paper's convention).
+pub const ROOT_DEPTH: u16 = 3;
+
+/// Display prefix of the mount root when reconstructing paths.
+pub const ROOT_PATH: &str = "/lustre/atlas1";
+
+/// Inode id of the mount root.
+pub const ROOT_INO: InodeId = InodeId(1);
+
+/// The namespace: owns all live inodes and directory entry maps.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    inodes: FxHashMap<u64, Inode>,
+    children: FxHashMap<u64, FxHashMap<Box<str>, InodeId>>,
+    next_ino: u64,
+    file_count: u64,
+    dir_count: u64,
+}
+
+impl Namespace {
+    /// Creates a namespace containing only the root directory, stamped with
+    /// the given creation time.
+    pub fn new(root_timestamp: u64) -> Self {
+        let mut inodes = FxHashMap::default();
+        inodes.insert(
+            ROOT_INO.0,
+            Inode {
+                ino: ROOT_INO,
+                parent: ROOT_INO,
+                name: "atlas1".into(),
+                kind: FileKind::Directory,
+                uid: crate::inode::Uid(0),
+                gid: crate::inode::Gid(0),
+                perm: 0o755,
+                atime: root_timestamp,
+                ctime: root_timestamp,
+                mtime: root_timestamp,
+                stripes: None,
+                depth: ROOT_DEPTH,
+            },
+        );
+        let mut children = FxHashMap::default();
+        children.insert(ROOT_INO.0, FxHashMap::default());
+        Namespace {
+            inodes,
+            children,
+            next_ino: 2,
+            file_count: 0,
+            dir_count: 1,
+        }
+    }
+
+    /// The mount root's inode id.
+    pub fn root(&self) -> InodeId {
+        ROOT_INO
+    }
+
+    /// Validates a single path component.
+    pub fn validate_name(name: &str) -> Result<(), FsError> {
+        if name.is_empty()
+            || name.contains('/')
+            || name.contains('|')
+            || name == "."
+            || name == ".."
+        {
+            return Err(FsError::InvalidName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Immutable inode access.
+    pub fn get(&self, ino: InodeId) -> Result<&Inode, FsError> {
+        self.inodes.get(&ino.0).ok_or(FsError::NoSuchInode(ino))
+    }
+
+    /// Mutable inode access.
+    pub fn get_mut(&mut self, ino: InodeId) -> Result<&mut Inode, FsError> {
+        self.inodes.get_mut(&ino.0).ok_or(FsError::NoSuchInode(ino))
+    }
+
+    /// True if the inode is live.
+    pub fn contains(&self, ino: InodeId) -> bool {
+        self.inodes.contains_key(&ino.0)
+    }
+
+    /// Looks up a child by name.
+    pub fn lookup(&self, parent: InodeId, name: &str) -> Result<Option<InodeId>, FsError> {
+        let dir = self.get(parent)?;
+        if !dir.is_dir() {
+            return Err(FsError::NotADirectory(parent));
+        }
+        Ok(self
+            .children
+            .get(&parent.0)
+            .and_then(|m| m.get(name))
+            .copied())
+    }
+
+    /// Inserts a new inode under `parent` with `name`. Fills in `ino`,
+    /// `parent`, `name`, and `depth` on the template; all other fields are
+    /// taken as given.
+    pub fn insert(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        mut template: Inode,
+    ) -> Result<InodeId, FsError> {
+        Self::validate_name(name)?;
+        let parent_depth = {
+            let dir = self.get(parent)?;
+            if !dir.is_dir() {
+                return Err(FsError::NotADirectory(parent));
+            }
+            dir.depth
+        };
+        let entries = self.children.get_mut(&parent.0).expect("dir has child map");
+        if entries.contains_key(name) {
+            return Err(FsError::AlreadyExists {
+                parent,
+                name: name.to_string(),
+            });
+        }
+        let ino = InodeId(self.next_ino);
+        self.next_ino += 1;
+        template.ino = ino;
+        template.parent = parent;
+        template.name = name.into();
+        template.depth = parent_depth + 1;
+        entries.insert(name.into(), ino);
+        match template.kind {
+            FileKind::Regular => self.file_count += 1,
+            FileKind::Directory => {
+                self.dir_count += 1;
+                self.children.insert(ino.0, FxHashMap::default());
+            }
+        }
+        self.inodes.insert(ino.0, template);
+        Ok(ino)
+    }
+
+    /// Removes a regular file.
+    pub fn remove_file(&mut self, ino: InodeId) -> Result<Inode, FsError> {
+        let (parent, name) = {
+            let node = self.get(ino)?;
+            if node.is_dir() {
+                return Err(FsError::IsADirectory(ino));
+            }
+            (node.parent, node.name.clone())
+        };
+        self.children
+            .get_mut(&parent.0)
+            .expect("parent has child map")
+            .remove(&name);
+        self.file_count -= 1;
+        Ok(self.inodes.remove(&ino.0).expect("checked live"))
+    }
+
+    /// Removes an empty directory. The root cannot be removed.
+    pub fn remove_dir(&mut self, ino: InodeId) -> Result<Inode, FsError> {
+        if ino == ROOT_INO {
+            return Err(FsError::DirectoryNotEmpty(ino));
+        }
+        let (parent, name) = {
+            let node = self.get(ino)?;
+            if !node.is_dir() {
+                return Err(FsError::NotADirectory(ino));
+            }
+            if !self.children.get(&ino.0).expect("dir map").is_empty() {
+                return Err(FsError::DirectoryNotEmpty(ino));
+            }
+            (node.parent, node.name.clone())
+        };
+        self.children
+            .get_mut(&parent.0)
+            .expect("parent has child map")
+            .remove(&name);
+        self.children.remove(&ino.0);
+        self.dir_count -= 1;
+        Ok(self.inodes.remove(&ino.0).expect("checked live"))
+    }
+
+    /// Reconstructs the full display path of an inode
+    /// (e.g. `/lustre/atlas1/chp101/u4821/run7/out.xyz`).
+    pub fn path(&self, ino: InodeId) -> Result<String, FsError> {
+        let mut components: Vec<&str> = Vec::new();
+        let mut cur = self.get(ino)?;
+        while cur.ino != ROOT_INO {
+            components.push(&cur.name);
+            cur = self.get(cur.parent)?;
+        }
+        let mut out = String::with_capacity(
+            ROOT_PATH.len() + components.iter().map(|c| c.len() + 1).sum::<usize>(),
+        );
+        out.push_str(ROOT_PATH);
+        for c in components.iter().rev() {
+            out.push('/');
+            out.push_str(c);
+        }
+        Ok(out)
+    }
+
+    /// Iterates over the children of a directory.
+    pub fn children(&self, dir: InodeId) -> Result<impl Iterator<Item = InodeId> + '_, FsError> {
+        let node = self.get(dir)?;
+        if !node.is_dir() {
+            return Err(FsError::NotADirectory(dir));
+        }
+        Ok(self.children[&dir.0].values().copied())
+    }
+
+    /// Number of entries in a directory.
+    pub fn child_count(&self, dir: InodeId) -> Result<usize, FsError> {
+        let node = self.get(dir)?;
+        if !node.is_dir() {
+            return Err(FsError::NotADirectory(dir));
+        }
+        Ok(self.children[&dir.0].len())
+    }
+
+    /// Iterates over every live inode (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &Inode> {
+        self.inodes.values()
+    }
+
+    /// Count of live regular files.
+    pub fn file_count(&self) -> u64 {
+        self.file_count
+    }
+
+    /// Count of live directories (including the root).
+    pub fn dir_count(&self) -> u64 {
+        self.dir_count
+    }
+
+    /// Total live entries.
+    pub fn entry_count(&self) -> u64 {
+        self.file_count + self.dir_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inode::{Gid, Uid};
+
+    fn file_template(uid: u32, gid: u32) -> Inode {
+        Inode {
+            ino: InodeId(0),
+            parent: InodeId(0),
+            name: "".into(),
+            kind: FileKind::Regular,
+            uid: Uid(uid),
+            gid: Gid(gid),
+            perm: 0o664,
+            atime: 100,
+            ctime: 100,
+            mtime: 100,
+            stripes: None,
+            depth: 0,
+        }
+    }
+
+    fn dir_template(uid: u32, gid: u32) -> Inode {
+        Inode {
+            kind: FileKind::Directory,
+            perm: 0o775,
+            ..file_template(uid, gid)
+        }
+    }
+
+    #[test]
+    fn fresh_namespace_has_only_root() {
+        let ns = Namespace::new(1_000);
+        assert_eq!(ns.file_count(), 0);
+        assert_eq!(ns.dir_count(), 1);
+        assert_eq!(ns.get(ROOT_INO).unwrap().depth, ROOT_DEPTH);
+        assert_eq!(ns.path(ROOT_INO).unwrap(), "/lustre/atlas1");
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut ns = Namespace::new(0);
+        let proj = ns.insert(ROOT_INO, "chp101", dir_template(0, 42)).unwrap();
+        let user = ns.insert(proj, "u4821", dir_template(17, 42)).unwrap();
+        let file = ns.insert(user, "out.xyz", file_template(17, 42)).unwrap();
+
+        assert_eq!(ns.lookup(ROOT_INO, "chp101").unwrap(), Some(proj));
+        assert_eq!(ns.lookup(proj, "u4821").unwrap(), Some(user));
+        assert_eq!(ns.lookup(user, "out.xyz").unwrap(), Some(file));
+        assert_eq!(ns.lookup(user, "missing").unwrap(), None);
+
+        assert_eq!(ns.get(proj).unwrap().depth, 4);
+        assert_eq!(ns.get(user).unwrap().depth, 5);
+        assert_eq!(ns.get(file).unwrap().depth, 6);
+        assert_eq!(
+            ns.path(file).unwrap(),
+            "/lustre/atlas1/chp101/u4821/out.xyz"
+        );
+        assert_eq!(ns.file_count(), 1);
+        assert_eq!(ns.dir_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut ns = Namespace::new(0);
+        ns.insert(ROOT_INO, "a", file_template(1, 1)).unwrap();
+        let err = ns.insert(ROOT_INO, "a", file_template(1, 1)).unwrap_err();
+        assert!(matches!(err, FsError::AlreadyExists { .. }));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut ns = Namespace::new(0);
+        for bad in ["", "a/b", "a|b", ".", ".."] {
+            let err = ns.insert(ROOT_INO, bad, file_template(1, 1)).unwrap_err();
+            assert!(matches!(err, FsError::InvalidName(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn insert_under_file_fails() {
+        let mut ns = Namespace::new(0);
+        let f = ns.insert(ROOT_INO, "f", file_template(1, 1)).unwrap();
+        let err = ns.insert(f, "x", file_template(1, 1)).unwrap_err();
+        assert!(matches!(err, FsError::NotADirectory(_)));
+        assert!(matches!(
+            ns.lookup(f, "x").unwrap_err(),
+            FsError::NotADirectory(_)
+        ));
+    }
+
+    #[test]
+    fn remove_file_updates_counts_and_parent() {
+        let mut ns = Namespace::new(0);
+        let f = ns.insert(ROOT_INO, "f", file_template(1, 1)).unwrap();
+        let removed = ns.remove_file(f).unwrap();
+        assert_eq!(removed.ino, f);
+        assert_eq!(ns.file_count(), 0);
+        assert_eq!(ns.lookup(ROOT_INO, "f").unwrap(), None);
+        assert!(!ns.contains(f));
+        assert!(matches!(ns.remove_file(f), Err(FsError::NoSuchInode(_))));
+    }
+
+    #[test]
+    fn remove_dir_requires_empty() {
+        let mut ns = Namespace::new(0);
+        let d = ns.insert(ROOT_INO, "d", dir_template(1, 1)).unwrap();
+        let f = ns.insert(d, "f", file_template(1, 1)).unwrap();
+        assert!(matches!(
+            ns.remove_dir(d),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
+        ns.remove_file(f).unwrap();
+        ns.remove_dir(d).unwrap();
+        assert_eq!(ns.dir_count(), 1);
+    }
+
+    #[test]
+    fn remove_dir_on_file_and_root() {
+        let mut ns = Namespace::new(0);
+        let f = ns.insert(ROOT_INO, "f", file_template(1, 1)).unwrap();
+        assert!(matches!(ns.remove_dir(f), Err(FsError::NotADirectory(_))));
+        assert!(matches!(
+            ns.remove_dir(ROOT_INO),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
+        assert!(matches!(ns.remove_file(ROOT_INO), Err(FsError::IsADirectory(_))));
+    }
+
+    #[test]
+    fn inode_ids_are_never_reused() {
+        let mut ns = Namespace::new(0);
+        let a = ns.insert(ROOT_INO, "a", file_template(1, 1)).unwrap();
+        ns.remove_file(a).unwrap();
+        let b = ns.insert(ROOT_INO, "a", file_template(1, 1)).unwrap();
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn children_iteration() {
+        let mut ns = Namespace::new(0);
+        let d = ns.insert(ROOT_INO, "d", dir_template(1, 1)).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..10 {
+            expect.push(
+                ns.insert(d, &format!("f{i}"), file_template(1, 1)).unwrap(),
+            );
+        }
+        let mut got: Vec<InodeId> = ns.children(d).unwrap().collect();
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect);
+        assert_eq!(ns.child_count(d).unwrap(), 10);
+    }
+
+    #[test]
+    fn deep_path_reconstruction() {
+        let mut ns = Namespace::new(0);
+        let mut cur = ROOT_INO;
+        for i in 0..50 {
+            cur = ns.insert(cur, &format!("d{i}"), dir_template(1, 1)).unwrap();
+        }
+        let p = ns.path(cur).unwrap();
+        assert!(p.starts_with("/lustre/atlas1/d0/d1/"));
+        assert!(p.ends_with("/d49"));
+        assert_eq!(ns.get(cur).unwrap().depth, ROOT_DEPTH + 50);
+    }
+}

@@ -1,0 +1,201 @@
+//! The purge engine.
+//!
+//! Spider II enforces a 90-day purge policy: files whose `atime` is older
+//! than the window are removed nightly. The LustreDU snapshot exists *for*
+//! this purpose — the daily scan generates the purge candidate list
+//! (§2.2). We model the same two-phase flow: candidate enumeration over
+//! the scan surface, then execution. Directories are never purged (the
+//! paper notes the resulting empty directories are the users' problem,
+//! and §4.1.2 explicitly keeps them in the analysis).
+
+use crate::clock::{Timestamp, DAY_SECS};
+use crate::error::FsError;
+use crate::fs::FileSystem;
+use crate::inode::InodeId;
+use serde::{Deserialize, Serialize};
+
+/// Policy parameters for the purge scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PurgePolicy {
+    /// Files with `atime` older than this many days are candidates.
+    pub window_days: u32,
+}
+
+impl Default for PurgePolicy {
+    fn default() -> Self {
+        // OLCF's production policy during the observation window.
+        PurgePolicy { window_days: 90 }
+    }
+}
+
+impl PurgePolicy {
+    /// The cutoff timestamp: anything accessed strictly before it is a
+    /// candidate.
+    pub fn cutoff(&self, now: Timestamp) -> Timestamp {
+        now.saturating_sub(self.window_days as u64 * DAY_SECS)
+    }
+}
+
+/// Outcome of one purge run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PurgeReport {
+    /// Files enumerated as candidates.
+    pub candidates: u64,
+    /// Files actually removed.
+    pub purged: u64,
+    /// Simulated time of the run.
+    pub ran_at: Timestamp,
+}
+
+/// Stateless purge executor over a [`FileSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PurgeEngine {
+    policy: PurgePolicy,
+}
+
+impl PurgeEngine {
+    /// Engine with the given policy.
+    pub fn new(policy: PurgePolicy) -> Self {
+        PurgeEngine { policy }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> PurgePolicy {
+        self.policy
+    }
+
+    /// Phase 1: enumerate purge candidates — live regular files whose
+    /// `atime` is strictly older than the cutoff. This is the "nightly file
+    /// purge list" the LustreDU snapshots feed.
+    pub fn candidates(&self, fs: &FileSystem) -> Vec<InodeId> {
+        let cutoff = self.policy.cutoff(fs.now());
+        fs.iter()
+            .filter(|ino| ino.is_file() && ino.atime < cutoff)
+            .map(|ino| ino.ino)
+            .collect()
+    }
+
+    /// Phase 2: unlink every candidate. Returns a report. Candidates that
+    /// vanished between phases are skipped, mirroring the real pipeline
+    /// where the list is generated from a snapshot that is hours stale.
+    pub fn run(&self, fs: &mut FileSystem) -> Result<PurgeReport, FsError> {
+        let candidates = self.candidates(fs);
+        let mut purged = 0;
+        for ino in &candidates {
+            match fs.unlink(*ino) {
+                Ok(()) => purged += 1,
+                Err(FsError::NoSuchInode(_)) => {} // raced with a user delete
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(PurgeReport {
+            candidates: candidates.len() as u64,
+            purged,
+            ran_at: fs.now(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::inode::{Gid, Uid};
+    use crate::stripe::OstPool;
+
+    fn fs_with_files(n: usize) -> (FileSystem, Vec<InodeId>) {
+        let mut fs = FileSystem::with_parts(SimClock::new(), OstPool::new(8));
+        let mut files = Vec::new();
+        for i in 0..n {
+            files.push(
+                fs.create(fs.root(), &format!("f{i}"), Uid(1), Gid(1), None)
+                    .unwrap(),
+            );
+        }
+        (fs, files)
+    }
+
+    #[test]
+    fn fresh_files_are_not_candidates() {
+        let (fs, _) = fs_with_files(5);
+        let engine = PurgeEngine::default();
+        assert!(engine.candidates(&fs).is_empty());
+    }
+
+    #[test]
+    fn stale_files_are_purged_at_the_window() {
+        let (mut fs, files) = fs_with_files(3);
+        fs.advance_clock(91 * DAY_SECS);
+        // Keep one file alive with a read.
+        fs.read(files[1]).unwrap();
+        let engine = PurgeEngine::default();
+        let report = engine.run(&mut fs).unwrap();
+        assert_eq!(report.candidates, 2);
+        assert_eq!(report.purged, 2);
+        assert_eq!(fs.file_count(), 1);
+        assert!(fs.inode(files[1]).is_ok());
+        assert!(fs.inode(files[0]).is_err());
+    }
+
+    #[test]
+    fn boundary_is_strict() {
+        // atime exactly at the cutoff is NOT purged (strictly-older rule).
+        let (mut fs, _) = fs_with_files(1);
+        fs.advance_clock(90 * DAY_SECS);
+        let engine = PurgeEngine::default();
+        assert!(engine.candidates(&fs).is_empty());
+        fs.advance_clock(1);
+        assert_eq!(engine.candidates(&fs).len(), 1);
+    }
+
+    #[test]
+    fn touch_scripts_defeat_the_purge() {
+        let (mut fs, files) = fs_with_files(1);
+        for _ in 0..10 {
+            fs.advance_clock(60 * DAY_SECS);
+            fs.touch(files[0]).unwrap();
+        }
+        let engine = PurgeEngine::default();
+        assert!(engine.candidates(&fs).is_empty());
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn directories_are_never_purged() {
+        let mut fs = FileSystem::with_parts(SimClock::new(), OstPool::new(8));
+        let d = fs.mkdir(fs.root(), "old", Uid(1), Gid(1)).unwrap();
+        let f = fs.create(d, "stale.dat", Uid(1), Gid(1), None).unwrap();
+        fs.advance_clock(400 * DAY_SECS);
+        let report = PurgeEngine::default().run(&mut fs).unwrap();
+        assert_eq!(report.purged, 1);
+        assert!(fs.inode(f).is_err());
+        // The now-empty directory survives, as at OLCF.
+        assert!(fs.inode(d).unwrap().is_dir());
+        assert_eq!(fs.dir_count(), 2);
+    }
+
+    #[test]
+    fn custom_window() {
+        let (mut fs, _) = fs_with_files(1);
+        fs.advance_clock(10 * DAY_SECS);
+        let engine = PurgeEngine::new(PurgePolicy { window_days: 7 });
+        let report = engine.run(&mut fs).unwrap();
+        assert_eq!(report.purged, 1);
+    }
+
+    #[test]
+    fn report_records_time() {
+        let (mut fs, _) = fs_with_files(1);
+        fs.advance_clock(100 * DAY_SECS);
+        let report = PurgeEngine::default().run(&mut fs).unwrap();
+        assert_eq!(report.ran_at, fs.now());
+    }
+
+    #[test]
+    fn purge_counts_flow_into_unlinked_total() {
+        let (mut fs, _) = fs_with_files(4);
+        fs.advance_clock(100 * DAY_SECS);
+        PurgeEngine::default().run(&mut fs).unwrap();
+        assert_eq!(fs.unlinked_files(), 4);
+    }
+}

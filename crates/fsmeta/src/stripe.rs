@@ -1,0 +1,175 @@
+//! Lustre OST striping model.
+//!
+//! Spider II comprises 2,016 Object Storage Targets behind 288 OSSes; every
+//! file is striped across a set of OSTs, 4 by default, up to 1,008 after
+//! OLCF raised the limit (§5 of the paper credits this study for motivating
+//! that increase). The LustreDU record carries the stripe list as
+//! `ost:objid` pairs (Fig. 2), and §4.2.1 / Fig. 14 analyze per-domain
+//! stripe-count behaviour — so the substrate must track real per-file
+//! stripe assignments, not just counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of OSTs in the Spider II deployment.
+pub const SPIDER_OST_COUNT: u32 = 2_016;
+
+/// Lustre default stripe count on Spider II.
+pub const DEFAULT_STRIPE_COUNT: u32 = 4;
+
+/// Maximum stripe width after OLCF's increase (was 144 before this study).
+pub const MAX_STRIPE_COUNT: u32 = 1_008;
+
+/// An Object Storage Target index in `0..SPIDER_OST_COUNT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OstId(pub u16);
+
+/// The stripe layout of one file: the OSTs it is striped across, plus the
+/// per-OST object ids (LustreDU prints `755:190da77,...`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// OST indices, in stripe order.
+    pub osts: Box<[OstId]>,
+    /// Object id on each OST (parallel to `osts`).
+    pub objects: Box<[u32]>,
+}
+
+impl StripeLayout {
+    /// Stripe count (number of OSTs).
+    pub fn stripe_count(&self) -> u32 {
+        self.osts.len() as u32
+    }
+}
+
+/// Round-robin OST allocator.
+///
+/// Lustre's MDS allocates stripe sets approximately round-robin with load
+/// balancing; round-robin preserves the property the analysis cares about —
+/// stripe *counts* per file and distinct OST usage — without simulating OSS
+/// load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OstPool {
+    ost_count: u32,
+    next_ost: u32,
+    next_object: u32,
+}
+
+impl Default for OstPool {
+    fn default() -> Self {
+        Self::new(SPIDER_OST_COUNT)
+    }
+}
+
+impl OstPool {
+    /// A pool over `ost_count` targets.
+    ///
+    /// # Panics
+    /// Panics if `ost_count` is zero or exceeds `u16::MAX + 1`.
+    pub fn new(ost_count: u32) -> Self {
+        assert!(ost_count > 0, "OST pool must have at least one target");
+        assert!(
+            ost_count <= u16::MAX as u32 + 1,
+            "OST ids are 16-bit ({ost_count} requested)"
+        );
+        OstPool {
+            ost_count,
+            next_ost: 0,
+            next_object: 1,
+        }
+    }
+
+    /// Number of targets in the pool.
+    pub fn ost_count(&self) -> u32 {
+        self.ost_count
+    }
+
+    /// Allocates a stripe layout of `count` OSTs.
+    ///
+    /// Returns `None` if `count` is zero or exceeds the pool size (the
+    /// `FileSystem` maps that to [`crate::FsError::InvalidStripeCount`]).
+    pub fn allocate(&mut self, count: u32) -> Option<StripeLayout> {
+        if count == 0 || count > self.ost_count {
+            return None;
+        }
+        let mut osts = Vec::with_capacity(count as usize);
+        let mut objects = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            osts.push(OstId(self.next_ost as u16));
+            objects.push(self.next_object);
+            self.next_ost = (self.next_ost + 1) % self.ost_count;
+            self.next_object = self.next_object.wrapping_add(1).max(1);
+        }
+        Some(StripeLayout {
+            osts: osts.into_boxed_slice(),
+            objects: objects.into_boxed_slice(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pool_is_spider_sized() {
+        let p = OstPool::default();
+        assert_eq!(p.ost_count(), 2_016);
+    }
+
+    #[test]
+    fn allocate_default_stripe() {
+        let mut p = OstPool::new(8);
+        let l = p.allocate(DEFAULT_STRIPE_COUNT).unwrap();
+        assert_eq!(l.stripe_count(), 4);
+        assert_eq!(l.osts.len(), l.objects.len());
+    }
+
+    #[test]
+    fn round_robin_covers_all_osts() {
+        let mut p = OstPool::new(4);
+        let a = p.allocate(4).unwrap();
+        let osts: Vec<u16> = a.osts.iter().map(|o| o.0).collect();
+        assert_eq!(osts, vec![0, 1, 2, 3]);
+        let b = p.allocate(2).unwrap();
+        assert_eq!(b.osts.iter().map(|o| o.0).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn stripes_within_one_layout_are_distinct() {
+        let mut p = OstPool::new(100);
+        let l = p.allocate(100).unwrap();
+        let mut seen: Vec<u16> = l.osts.iter().map(|o| o.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn invalid_counts_rejected() {
+        let mut p = OstPool::new(16);
+        assert!(p.allocate(0).is_none());
+        assert!(p.allocate(17).is_none());
+        assert!(p.allocate(16).is_some());
+    }
+
+    #[test]
+    fn object_ids_are_nonzero_and_advance() {
+        let mut p = OstPool::new(4);
+        let a = p.allocate(2).unwrap();
+        let b = p.allocate(2).unwrap();
+        assert!(a.objects.iter().all(|&o| o > 0));
+        assert_ne!(a.objects, b.objects);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn zero_pool_panics() {
+        let _ = OstPool::new(0);
+    }
+
+    #[test]
+    fn max_stripe_width_is_allocatable() {
+        let mut p = OstPool::default();
+        let l = p.allocate(MAX_STRIPE_COUNT).unwrap();
+        assert_eq!(l.stripe_count(), 1_008);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests on the metadata substrate: random operation
+//! sequences must preserve the namespace invariants and the purge
+//! contract.
+
+use proptest::prelude::*;
+use spider_fsmeta::{
+    FileSystem, Gid, InodeId, OstPool, PurgeEngine, PurgePolicy, SimClock, Uid, DAY_SECS,
+};
+
+/// A randomized operation against the substrate.
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(u8),
+    Create(u8),
+    Write(u8),
+    Read(u8),
+    Touch(u8),
+    Unlink(u8),
+    Rmdir(u8),
+    Advance(u32),
+    SetStripe(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Mkdir),
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Write),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Touch),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Rmdir),
+        (1u32..2 * DAY_SECS as u32).prop_map(Op::Advance),
+        (any::<u8>(), 1u8..16).prop_map(|(t, c)| Op::SetStripe(t, c)),
+    ]
+}
+
+/// Applies ops, tracking live dirs/files for target selection.
+fn apply_ops(ops: &[Op]) -> FileSystem {
+    let mut fs = FileSystem::with_parts(SimClock::new(), OstPool::new(64));
+    let mut dirs: Vec<InodeId> = vec![fs.root()];
+    let mut files: Vec<InodeId> = Vec::new();
+    let mut serial = 0u32;
+    for op in ops {
+        match *op {
+            Op::Mkdir(t) => {
+                let parent = dirs[t as usize % dirs.len()];
+                serial += 1;
+                let d = fs
+                    .mkdir(parent, &format!("d{serial}"), Uid(1), Gid(1))
+                    .expect("fresh name");
+                dirs.push(d);
+            }
+            Op::Create(t) => {
+                let parent = dirs[t as usize % dirs.len()];
+                serial += 1;
+                let f = fs
+                    .create(parent, &format!("f{serial}"), Uid(1), Gid(1), None)
+                    .expect("fresh name");
+                files.push(f);
+            }
+            Op::Write(t) if !files.is_empty() => {
+                fs.write(files[t as usize % files.len()]).expect("live file");
+            }
+            Op::Read(t) if !files.is_empty() => {
+                fs.read(files[t as usize % files.len()]).expect("live file");
+            }
+            Op::Touch(t) if !files.is_empty() => {
+                fs.touch(files[t as usize % files.len()]).expect("live file");
+            }
+            Op::Unlink(t) if !files.is_empty() => {
+                let idx = t as usize % files.len();
+                fs.unlink(files[idx]).expect("live file");
+                files.swap_remove(idx);
+            }
+            Op::Rmdir(t) if dirs.len() > 1 => {
+                let idx = 1 + t as usize % (dirs.len() - 1);
+                // May fail when non-empty: that is the API contract.
+                if fs.rmdir(dirs[idx]).is_ok() {
+                    dirs.swap_remove(idx);
+                }
+            }
+            Op::Advance(secs) => fs.advance_clock(secs as u64),
+            Op::SetStripe(t, count) if !files.is_empty() => {
+                fs.set_file_stripe(files[t as usize % files.len()], count as u32)
+                    .expect("valid stripe in pool of 64");
+            }
+            _ => {}
+        }
+    }
+    fs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Core invariants after any op sequence: counts match iteration,
+    /// every inode has a reconstructible path whose depth matches the
+    /// stored depth, files carry stripes, dirs do not, and timestamps
+    /// never exceed the clock.
+    #[test]
+    fn namespace_invariants(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let fs = apply_ops(&ops);
+        let mut files = 0u64;
+        let mut dirs = 0u64;
+        for inode in fs.iter() {
+            let path = fs.path(inode.ino).expect("live inode has a path");
+            let components = path.split('/').filter(|c| !c.is_empty()).count() as u16;
+            prop_assert_eq!(components + 1, inode.depth, "path {} vs depth", path);
+            if inode.is_file() {
+                files += 1;
+                prop_assert!(inode.stripes.is_some());
+            } else {
+                dirs += 1;
+                prop_assert!(inode.stripes.is_none());
+            }
+            prop_assert!(inode.atime <= fs.now());
+            prop_assert!(inode.mtime <= fs.now());
+            prop_assert!(inode.ctime <= fs.now());
+        }
+        prop_assert_eq!(files, fs.file_count());
+        prop_assert_eq!(dirs, fs.dir_count());
+        prop_assert_eq!(files + dirs, fs.entry_count());
+    }
+
+    /// Purge contract: only regular files older than the cutoff go; no
+    /// directory is ever purged; a second purge right after is a no-op.
+    #[test]
+    fn purge_contract(ops in prop::collection::vec(op_strategy(), 0..120), window in 1u32..120) {
+        let mut fs = apply_ops(&ops);
+        let dirs_before = fs.dir_count();
+        let engine = PurgeEngine::new(PurgePolicy { window_days: window });
+        let cutoff = engine.policy().cutoff(fs.now());
+
+        let should_go: Vec<InodeId> = fs
+            .iter()
+            .filter(|i| i.is_file() && i.atime < cutoff)
+            .map(|i| i.ino)
+            .collect();
+        let report = engine.run(&mut fs).expect("purge succeeds");
+        prop_assert_eq!(report.purged, should_go.len() as u64);
+        prop_assert_eq!(fs.dir_count(), dirs_before);
+        for ino in should_go {
+            prop_assert!(fs.inode(ino).is_err());
+        }
+        // Idempotence at the same instant.
+        let again = engine.run(&mut fs).expect("second purge succeeds");
+        prop_assert_eq!(again.purged, 0);
+    }
+
+    /// Path round-trip: looking up each component of a reconstructed path
+    /// leads back to the same inode.
+    #[test]
+    fn path_lookup_roundtrip(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let fs = apply_ops(&ops);
+        for inode in fs.iter() {
+            let path = fs.path(inode.ino).unwrap();
+            let rel = path.strip_prefix("/lustre/atlas1").unwrap();
+            let mut cur = fs.root();
+            for comp in rel.split('/').filter(|c| !c.is_empty()) {
+                cur = fs
+                    .lookup(cur, comp)
+                    .expect("dir lookup works")
+                    .expect("component exists");
+            }
+            prop_assert_eq!(cur, inode.ino);
+        }
+    }
+}

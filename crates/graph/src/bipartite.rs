@@ -1,0 +1,245 @@
+//! The bipartite user–project file-generation graph (Fig. 18a).
+
+use rustc_hash::FxHashSet;
+
+/// A dense vertex index. Users occupy `0..num_users`; projects occupy
+/// `num_users..num_users + num_projects`.
+pub type VertexId = u32;
+
+/// Incremental builder; deduplicates edges.
+///
+/// ```
+/// use spider_graph::{BipartiteGraphBuilder, ComponentSet, Labeling};
+///
+/// let mut b = BipartiteGraphBuilder::new(3, 2);
+/// b.add_edge(0, 0); // user 0 generated files in project 0
+/// b.add_edge(1, 0);
+/// b.add_edge(2, 1); // a separate community
+/// let graph = b.build();
+/// let components = ComponentSet::compute(&graph, Labeling::UnionFind);
+/// assert_eq!(components.count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipartiteGraphBuilder {
+    num_users: u32,
+    num_projects: u32,
+    edges: FxHashSet<(u32, u32)>,
+}
+
+impl BipartiteGraphBuilder {
+    /// A builder for a graph with fixed vertex populations.
+    pub fn new(num_users: u32, num_projects: u32) -> Self {
+        BipartiteGraphBuilder {
+            num_users,
+            num_projects,
+            edges: FxHashSet::default(),
+        }
+    }
+
+    /// Records that `user` generated files in `project`. Duplicate edges
+    /// are collapsed (the paper's edges are unweighted affiliations).
+    /// Returns true if the edge was new.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn add_edge(&mut self, user: u32, project: u32) -> bool {
+        assert!(user < self.num_users, "user index {user} out of range");
+        assert!(
+            project < self.num_projects,
+            "project index {project} out of range"
+        );
+        self.edges.insert((user, project))
+    }
+
+    /// Finalizes into CSR adjacency.
+    pub fn build(self) -> BipartiteGraph {
+        let n = (self.num_users + self.num_projects) as usize;
+        let mut degree = vec![0u32; n];
+        for &(u, p) in &self.edges {
+            degree[u as usize] += 1;
+            degree[(self.num_users + p) as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![0u32; acc as usize];
+        let mut edges: Vec<(u32, u32)> = self.edges.into_iter().collect();
+        edges.sort_unstable();
+        for (u, p) in edges {
+            let pv = self.num_users + p;
+            adjacency[cursor[u as usize] as usize] = pv;
+            cursor[u as usize] += 1;
+            adjacency[cursor[pv as usize] as usize] = u;
+            cursor[pv as usize] += 1;
+        }
+        BipartiteGraph {
+            num_users: self.num_users,
+            num_projects: self.num_projects,
+            offsets,
+            adjacency,
+        }
+    }
+}
+
+/// An immutable bipartite graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteGraph {
+    num_users: u32,
+    num_projects: u32,
+    offsets: Vec<u32>,
+    adjacency: Vec<u32>,
+}
+
+impl BipartiteGraph {
+    /// Number of user vertices.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of project vertices.
+    pub fn num_projects(&self) -> u32 {
+        self.num_projects
+    }
+
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_users + self.num_projects
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> u64 {
+        self.adjacency.len() as u64 / 2
+    }
+
+    /// The dense vertex id of user `u`.
+    pub fn user_vertex(&self, u: u32) -> VertexId {
+        debug_assert!(u < self.num_users);
+        u
+    }
+
+    /// The dense vertex id of project `p`.
+    pub fn project_vertex(&self, p: u32) -> VertexId {
+        debug_assert!(p < self.num_projects);
+        self.num_users + p
+    }
+
+    /// True if the vertex is a user.
+    pub fn is_user(&self, v: VertexId) -> bool {
+        v < self.num_users
+    }
+
+    /// Recovers the project index from a project vertex id, or `None` for
+    /// user vertices.
+    pub fn as_project(&self, v: VertexId) -> Option<u32> {
+        (v >= self.num_users && v < self.num_vertices()).then(|| v - self.num_users)
+    }
+
+    /// Neighbors of a vertex (projects of a user, members of a project).
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Degrees of every vertex, users first then projects.
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices()).map(|v| self.degree(v)).collect()
+    }
+
+    /// The project indices a user participates in.
+    pub fn projects_of_user(&self, u: u32) -> impl Iterator<Item = u32> + '_ {
+        self.neighbors(self.user_vertex(u))
+            .iter()
+            .map(move |&v| v - self.num_users)
+    }
+
+    /// The user indices of a project's members.
+    pub fn users_of_project(&self, p: u32) -> &[u32] {
+        self.neighbors(self.project_vertex(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 users, 2 projects: u0-p0, u0-p1, u1-p0, u2 isolated.
+    fn small() -> BipartiteGraph {
+        let mut b = BipartiteGraphBuilder::new(3, 2);
+        assert!(b.add_edge(0, 0));
+        assert!(b.add_edge(0, 1));
+        assert!(b.add_edge(1, 0));
+        assert!(!b.add_edge(0, 0)); // duplicate collapsed
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = small();
+        assert_eq!(g.num_users(), 3);
+        assert_eq!(g.num_projects(), 2);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = small();
+        assert_eq!(g.degree(g.user_vertex(0)), 2);
+        assert_eq!(g.degree(g.user_vertex(1)), 1);
+        assert_eq!(g.degree(g.user_vertex(2)), 0);
+        assert_eq!(g.degree(g.project_vertex(0)), 2);
+        assert_eq!(g.degree(g.project_vertex(1)), 1);
+
+        let mut u0: Vec<u32> = g.projects_of_user(0).collect();
+        u0.sort_unstable();
+        assert_eq!(u0, vec![0, 1]);
+        let mut p0 = g.users_of_project(0).to_vec();
+        p0.sort_unstable();
+        assert_eq!(p0, vec![0, 1]);
+    }
+
+    #[test]
+    fn vertex_identity_mapping() {
+        let g = small();
+        assert!(g.is_user(0) && g.is_user(2));
+        assert!(!g.is_user(3));
+        assert_eq!(g.as_project(3), Some(0));
+        assert_eq!(g.as_project(4), Some(1));
+        assert_eq!(g.as_project(1), None);
+        assert_eq!(g.as_project(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = BipartiteGraphBuilder::new(1, 1);
+        b.add_edge(1, 0);
+    }
+
+    #[test]
+    fn degrees_vector_matches_pointwise() {
+        let g = small();
+        let d = g.degrees();
+        assert_eq!(d, vec![2, 1, 0, 2, 1]);
+        assert_eq!(d.iter().map(|&x| x as u64).sum::<u64>(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraphBuilder::new(0, 0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.degrees().is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Connected-component analysis (§4.3.2, Table 3).
+//!
+//! The paper identifies 160 connected components in the file generation
+//! network — over 60% of which are a single user with a single project —
+//! plus one giant component holding 72% of all vertices (1,051 users and
+//! 208 projects). Components are computed with union-find by default; a
+//! BFS-labelling implementation is kept as the ablation baseline
+//! (`bench_table3` compares them).
+
+use crate::bipartite::BipartiteGraph;
+use crate::unionfind::UnionFind;
+use std::collections::BTreeMap;
+
+/// How to label components (the ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Labeling {
+    /// Union-find over the edge list (default).
+    UnionFind,
+    /// Repeated BFS flood-fill.
+    Bfs,
+}
+
+/// The result of component labelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSet {
+    /// `labels[v]` is the component id of vertex `v` (ids are dense,
+    /// ordered by first-seen vertex).
+    labels: Vec<u32>,
+    /// `sizes[c]` is the vertex count of component `c`.
+    sizes: Vec<u32>,
+}
+
+impl ComponentSet {
+    /// Labels the components of `graph` using the requested algorithm.
+    /// Isolated vertices form singleton components (the paper's fringe of
+    /// single-user communities).
+    pub fn compute(graph: &BipartiteGraph, algorithm: Labeling) -> ComponentSet {
+        match algorithm {
+            Labeling::UnionFind => Self::compute_union_find(graph),
+            Labeling::Bfs => Self::compute_bfs(graph),
+        }
+    }
+
+    fn compute_union_find(graph: &BipartiteGraph) -> ComponentSet {
+        let n = graph.num_vertices();
+        let mut uf = UnionFind::new(n as usize);
+        for v in 0..n {
+            for &w in graph.neighbors(v) {
+                if v < w {
+                    uf.union(v, w);
+                }
+            }
+        }
+        // Relabel roots densely in first-seen order.
+        let mut root_to_label: Vec<u32> = vec![u32::MAX; n as usize];
+        let mut labels = vec![0u32; n as usize];
+        let mut sizes = Vec::new();
+        for v in 0..n {
+            let root = uf.find(v) as usize;
+            if root_to_label[root] == u32::MAX {
+                root_to_label[root] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            let label = root_to_label[root];
+            labels[v as usize] = label;
+            sizes[label as usize] += 1;
+        }
+        ComponentSet { labels, sizes }
+    }
+
+    fn compute_bfs(graph: &BipartiteGraph) -> ComponentSet {
+        let n = graph.num_vertices() as usize;
+        let mut labels = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n as u32 {
+            if labels[start as usize] != u32::MAX {
+                continue;
+            }
+            let label = sizes.len() as u32;
+            sizes.push(0u32);
+            labels[start as usize] = label;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                sizes[label as usize] += 1;
+                for &w in graph.neighbors(v) {
+                    if labels[w as usize] == u32::MAX {
+                        labels[w as usize] = label;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        ComponentSet { labels, sizes }
+    }
+
+    /// Component label per vertex.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Component sizes, indexed by label.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Label of the largest component (ties broken by lowest label);
+    /// `None` for an empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Vertices belonging to component `label`.
+    pub fn members(&self, label: u32) -> Vec<u32> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Table 3's census: size → number of components of that size,
+    /// ascending by size.
+    pub fn size_distribution(&self) -> Vec<(u32, u32)> {
+        let mut dist: BTreeMap<u32, u32> = BTreeMap::new();
+        for &s in &self.sizes {
+            *dist.entry(s).or_insert(0) += 1;
+        }
+        dist.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteGraphBuilder;
+
+    /// Two linked pairs plus a giant path, plus isolated user 5:
+    /// component A: u0-p0; component B: u1-p1, u2-p1;
+    /// isolated: u3 (never touches a project), p2 unused? we wire p2 to u4.
+    fn mixed_graph() -> BipartiteGraph {
+        let mut b = BipartiteGraphBuilder::new(5, 3);
+        b.add_edge(0, 0); // component {u0, p0}
+        b.add_edge(1, 1); // component {u1, u2, p1}
+        b.add_edge(2, 1);
+        b.add_edge(4, 2); // component {u4, p2}
+        // u3 isolated singleton
+        b.build()
+    }
+
+    #[test]
+    fn component_census() {
+        let g = mixed_graph();
+        for algo in [Labeling::UnionFind, Labeling::Bfs] {
+            let cs = ComponentSet::compute(&g, algo);
+            assert_eq!(cs.count(), 4, "{algo:?}");
+            let dist = cs.size_distribution();
+            // one singleton (u3), two pairs, one triple
+            assert_eq!(dist, vec![(1, 1), (2, 2), (3, 1)]);
+        }
+    }
+
+    #[test]
+    fn union_find_and_bfs_agree_up_to_relabeling() {
+        let g = mixed_graph();
+        let a = ComponentSet::compute(&g, Labeling::UnionFind);
+        let b = ComponentSet::compute(&g, Labeling::Bfs);
+        assert_eq!(a.count(), b.count());
+        // Same partition: vertices share a label in `a` iff they do in `b`.
+        let n = g.num_vertices();
+        for v in 0..n {
+            for w in 0..n {
+                assert_eq!(
+                    a.labels()[v as usize] == a.labels()[w as usize],
+                    b.labels()[v as usize] == b.labels()[w as usize],
+                    "vertices {v},{w}"
+                );
+            }
+        }
+        let mut sa = a.sizes().to_vec();
+        let mut sb = b.sizes().to_vec();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn largest_component_and_members() {
+        let g = mixed_graph();
+        let cs = ComponentSet::compute(&g, Labeling::UnionFind);
+        let big = cs.largest().unwrap();
+        let mut members = cs.members(big);
+        members.sort_unstable();
+        // {u1, u2, p1}; p1's dense vertex id = 5 (num_users) + 1 = 6.
+        assert_eq!(members, vec![1, 2, 6]);
+    }
+
+    #[test]
+    fn fully_connected_bipartite() {
+        let mut b = BipartiteGraphBuilder::new(10, 4);
+        for u in 0..10 {
+            for p in 0..4 {
+                b.add_edge(u, p);
+            }
+        }
+        let cs = ComponentSet::compute(&b.build(), Labeling::UnionFind);
+        assert_eq!(cs.count(), 1);
+        assert_eq!(cs.sizes(), &[14]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraphBuilder::new(0, 0).build();
+        let cs = ComponentSet::compute(&g, Labeling::UnionFind);
+        assert_eq!(cs.count(), 0);
+        assert_eq!(cs.largest(), None);
+    }
+
+    #[test]
+    fn giant_component_fraction() {
+        // Shape check mirroring Table 3: one giant + many singletons.
+        let users = 100u32;
+        let projects = 20u32;
+        let mut b = BipartiteGraphBuilder::new(users, projects);
+        // users 0..80 all share project 0 -> giant component of 81.
+        for u in 0..80 {
+            b.add_edge(u, 0);
+        }
+        // users 80..100 in singleton pair components with projects 1..
+        for (i, u) in (80..100).enumerate() {
+            b.add_edge(u, 1 + i as u32 % (projects - 1));
+        }
+        let g = b.build();
+        let cs = ComponentSet::compute(&g, Labeling::UnionFind);
+        let big = cs.largest().unwrap();
+        let frac = cs.sizes()[big as usize] as f64 / g.num_vertices() as f64;
+        assert!(frac > 0.6, "giant fraction {frac}");
+    }
+}

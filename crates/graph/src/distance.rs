@@ -1,0 +1,231 @@
+//! Distance analysis within a component: diameter, eccentricity, center,
+//! and closeness centrality (§4.3.2).
+//!
+//! The paper computes the giant component's diameter (18), compares it to
+//! com-LiveJournal (17 at 3.9 M vertices) to conclude the network is
+//! *sparsely* connected, and identifies the center — entities reaching
+//! everything within 10 hops, "about 55% less than the diameter". At the
+//! study's scale (≤ 1,742 vertices) exact all-pairs BFS is cheap, so we
+//! compute exact eccentricities; BFS sources run in parallel via rayon.
+
+use crate::bipartite::BipartiteGraph;
+use rayon::prelude::*;
+
+/// Exact distance statistics for one connected component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceStats {
+    /// The component's vertices, in the order eccentricities are indexed.
+    pub members: Vec<u32>,
+    /// Eccentricity of each member (max BFS distance to any other member).
+    pub eccentricity: Vec<u32>,
+    /// Closeness centrality of each member:
+    /// `(n-1) / sum_of_distances`, 0 for a singleton component.
+    pub closeness: Vec<f64>,
+    /// Maximum eccentricity (the component's diameter).
+    pub diameter: u32,
+    /// Minimum eccentricity (the component's radius).
+    pub radius: u32,
+}
+
+/// The center of a component: vertices of minimum eccentricity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CenterInfo {
+    /// Vertices whose eccentricity equals the radius.
+    pub center_vertices: Vec<u32>,
+    /// The radius (hops within which a center vertex reaches everything).
+    pub radius: u32,
+    /// The diameter, for the paper's "55% less than the diameter" compare.
+    pub diameter: u32,
+}
+
+impl DistanceStats {
+    /// Runs BFS from every member of the component containing the listed
+    /// vertices.
+    ///
+    /// `members` must be exactly one connected component (as produced by
+    /// [`crate::ComponentSet::members`]); BFS never escapes it, and the
+    /// eccentricity of a vertex is taken over reached vertices only.
+    pub fn compute(graph: &BipartiteGraph, members: &[u32]) -> DistanceStats {
+        let n = members.len();
+        if n == 0 {
+            return DistanceStats {
+                members: vec![],
+                eccentricity: vec![],
+                closeness: vec![],
+                diameter: 0,
+                radius: 0,
+            };
+        }
+        // Dense re-indexing of the component.
+        let mut dense = vec![u32::MAX; graph.num_vertices() as usize];
+        for (i, &v) in members.iter().enumerate() {
+            dense[v as usize] = i as u32;
+        }
+
+        let results: Vec<(u32, f64)> = members
+            .par_iter()
+            .map(|&source| {
+                let mut dist = vec![u32::MAX; n];
+                let mut queue = std::collections::VecDeque::new();
+                dist[dense[source as usize] as usize] = 0;
+                queue.push_back(source);
+                let mut ecc = 0u32;
+                let mut total: u64 = 0;
+                while let Some(v) = queue.pop_front() {
+                    let dv = dist[dense[v as usize] as usize];
+                    ecc = ecc.max(dv);
+                    total += dv as u64;
+                    for &w in graph.neighbors(v) {
+                        let dw = &mut dist[dense[w as usize] as usize];
+                        if *dw == u32::MAX {
+                            *dw = dv + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+                let closeness = if n > 1 && total > 0 {
+                    (n as f64 - 1.0) / total as f64
+                } else {
+                    0.0
+                };
+                (ecc, closeness)
+            })
+            .collect();
+
+        let eccentricity: Vec<u32> = results.iter().map(|r| r.0).collect();
+        let closeness: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let diameter = eccentricity.iter().copied().max().unwrap_or(0);
+        let radius = eccentricity.iter().copied().min().unwrap_or(0);
+        DistanceStats {
+            members: members.to_vec(),
+            eccentricity,
+            closeness,
+            diameter,
+            radius,
+        }
+    }
+
+    /// The component's center: all vertices at minimum eccentricity.
+    pub fn center(&self) -> CenterInfo {
+        let center_vertices = self
+            .members
+            .iter()
+            .zip(&self.eccentricity)
+            .filter(|&(_, &e)| e == self.radius)
+            .map(|(&v, _)| v)
+            .collect();
+        CenterInfo {
+            center_vertices,
+            radius: self.radius,
+            diameter: self.diameter,
+        }
+    }
+
+    /// Members ranked by closeness centrality, descending.
+    pub fn by_closeness(&self) -> Vec<(u32, f64)> {
+        let mut ranked: Vec<(u32, f64)> = self
+            .members
+            .iter()
+            .copied()
+            .zip(self.closeness.iter().copied())
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("closeness is finite"));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteGraphBuilder;
+    use crate::components::{ComponentSet, Labeling};
+
+    /// A path of length 4: u0 - p0 - u1 - p1 - u2 (5 vertices).
+    fn path_graph() -> BipartiteGraph {
+        let mut b = BipartiteGraphBuilder::new(3, 2);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        b.add_edge(1, 1);
+        b.add_edge(2, 1);
+        b.build()
+    }
+
+    #[test]
+    fn path_diameter_and_center() {
+        let g = path_graph();
+        let cs = ComponentSet::compute(&g, Labeling::UnionFind);
+        assert_eq!(cs.count(), 1);
+        let stats = DistanceStats::compute(&g, &cs.members(0));
+        assert_eq!(stats.diameter, 4);
+        assert_eq!(stats.radius, 2);
+        let center = stats.center();
+        // The middle of the path is user 1 (dense vertex id 1).
+        assert_eq!(center.center_vertices, vec![1]);
+        assert_eq!(center.radius, 2);
+        assert_eq!(center.diameter, 4);
+    }
+
+    #[test]
+    fn closeness_peaks_at_the_middle() {
+        let g = path_graph();
+        let members: Vec<u32> = (0..5).collect();
+        let stats = DistanceStats::compute(&g, &members);
+        let ranked = stats.by_closeness();
+        assert_eq!(ranked[0].0, 1); // user 1 is most central
+        // Ends of the path are least central.
+        let last_two: Vec<u32> = ranked[3..].iter().map(|r| r.0).collect();
+        assert!(last_two.contains(&0) && last_two.contains(&2));
+    }
+
+    #[test]
+    fn star_center() {
+        // One project with 20 users: the project is the center, radius 1,
+        // diameter 2.
+        let mut b = BipartiteGraphBuilder::new(20, 1);
+        for u in 0..20 {
+            b.add_edge(u, 0);
+        }
+        let g = b.build();
+        let members: Vec<u32> = (0..21).collect();
+        let stats = DistanceStats::compute(&g, &members);
+        assert_eq!(stats.diameter, 2);
+        assert_eq!(stats.radius, 1);
+        assert_eq!(stats.center().center_vertices, vec![g.project_vertex(0)]);
+    }
+
+    #[test]
+    fn singleton_component() {
+        let mut b = BipartiteGraphBuilder::new(2, 1);
+        b.add_edge(0, 0);
+        let g = b.build();
+        // user 1 is isolated.
+        let stats = DistanceStats::compute(&g, &[1]);
+        assert_eq!(stats.diameter, 0);
+        assert_eq!(stats.radius, 0);
+        assert_eq!(stats.closeness, vec![0.0]);
+    }
+
+    #[test]
+    fn empty_member_list() {
+        let g = BipartiteGraphBuilder::new(1, 1).build();
+        let stats = DistanceStats::compute(&g, &[]);
+        assert_eq!(stats.diameter, 0);
+        assert!(stats.center().center_vertices.is_empty());
+    }
+
+    #[test]
+    fn radius_at_most_diameter_at_most_twice_radius() {
+        // Standard metric-space sanity on a random-ish graph.
+        let mut b = BipartiteGraphBuilder::new(30, 10);
+        for u in 0..30u32 {
+            b.add_edge(u, u % 10);
+            b.add_edge(u, (u * 7 + 3) % 10);
+        }
+        let g = b.build();
+        let cs = ComponentSet::compute(&g, Labeling::UnionFind);
+        let big = cs.largest().unwrap();
+        let stats = DistanceStats::compute(&g, &cs.members(big));
+        assert!(stats.radius <= stats.diameter);
+        assert!(stats.diameter <= 2 * stats.radius);
+    }
+}

@@ -1,0 +1,38 @@
+//! # spider-graph
+//!
+//! Network analysis for the **file generation network** of §4.3: a
+//! bipartite graph whose vertices are users and projects, with an edge
+//! wherever a user generated files within a project allocation
+//! (Fig. 18a). On top of it, the algorithms the paper applies:
+//!
+//! * **degree distributions** — Fig. 18b shows the degree distribution
+//!   follows a power law (via `spider_stats::PowerLawFit`);
+//! * **connected components** — Table 3's component-size census (160
+//!   components, a 1,259-vertex giant) via union-find, with a BFS-labelling
+//!   alternative kept for the ablation benchmark;
+//! * **distance analysis** — the giant component's diameter (18 in the
+//!   paper) and the eccentricity-based *center* (§4.3.2 finds six projects
+//!   and six users at the center, reaching everything within 10 hops);
+//! * **closeness and betweenness centrality** — used to rank the liaison
+//!   entities (the staff who broker otherwise-distant projects).
+//!
+//! Vertices are dense indices: users occupy `0..num_users`, projects
+//! `num_users..num_users+num_projects`, which keeps every algorithm
+//! allocation-light (flat `Vec` state, no hashing in inner loops — see the
+//! perf-book guidance this workspace follows).
+
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod bipartite;
+pub mod components;
+pub mod degree;
+pub mod distance;
+pub mod unionfind;
+
+pub use betweenness::BetweennessScores;
+pub use bipartite::{BipartiteGraph, BipartiteGraphBuilder, VertexId};
+pub use components::{ComponentSet, Labeling};
+pub use degree::DegreeStats;
+pub use distance::{CenterInfo, DistanceStats};
+pub use unionfind::UnionFind;

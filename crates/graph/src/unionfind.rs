@@ -1,0 +1,119 @@
+//! Disjoint-set union with path halving and union by size.
+
+/// A union-find structure over `0..len` elements.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "element count exceeds u32 range");
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        let root = self.find(x);
+        self.size[root as usize]
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.size_of(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 3)); // already connected
+        assert_eq!(uf.component_count(), 3); // {0,1,2,3}, {4}, {5}
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 4));
+        assert_eq!(uf.size_of(2), 4);
+    }
+
+    #[test]
+    fn chain_unions() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.size_of(0), n as u32);
+        assert!(uf.connected(0, n as u32 - 1));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the graph algorithms.
+
+use proptest::prelude::*;
+use spider_graph::{
+    BipartiteGraphBuilder, ComponentSet, DistanceStats, Labeling, UnionFind,
+};
+
+fn graph_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32)>)> {
+    (1u32..40, 1u32..20).prop_flat_map(|(users, projects)| {
+        let edges = prop::collection::vec((0..users, 0..projects), 0..120);
+        (Just(users), Just(projects), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Degree sum equals twice the edge count; edges deduplicate.
+    #[test]
+    fn degree_sum_is_twice_edges((users, projects, edges) in graph_strategy()) {
+        let mut builder = BipartiteGraphBuilder::new(users, projects);
+        let mut unique = std::collections::BTreeSet::new();
+        for (u, p) in edges {
+            builder.add_edge(u, p);
+            unique.insert((u, p));
+        }
+        let graph = builder.build();
+        prop_assert_eq!(graph.num_edges(), unique.len() as u64);
+        let degree_sum: u64 = graph.degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(degree_sum, 2 * graph.num_edges());
+        // Bipartite: user neighbors are projects and vice versa.
+        for u in 0..users {
+            for &n in graph.neighbors(graph.user_vertex(u)) {
+                prop_assert!(!graph.is_user(n));
+            }
+        }
+    }
+
+    /// Union-find and BFS produce the same partition on any graph.
+    #[test]
+    fn component_algorithms_agree((users, projects, edges) in graph_strategy()) {
+        let mut builder = BipartiteGraphBuilder::new(users, projects);
+        for (u, p) in edges {
+            builder.add_edge(u, p);
+        }
+        let graph = builder.build();
+        let a = ComponentSet::compute(&graph, Labeling::UnionFind);
+        let b = ComponentSet::compute(&graph, Labeling::Bfs);
+        prop_assert_eq!(a.count(), b.count());
+        let n = graph.num_vertices() as usize;
+        for v in 0..n {
+            for w in (v + 1)..n {
+                prop_assert_eq!(
+                    a.labels()[v] == a.labels()[w],
+                    b.labels()[v] == b.labels()[w],
+                    "partition disagreement at {} vs {}", v, w
+                );
+            }
+        }
+        // Sizes sum to the vertex count.
+        prop_assert_eq!(a.sizes().iter().map(|&s| s as u64).sum::<u64>(), n as u64);
+    }
+
+    /// Metric sanity inside the largest component: radius <= diameter <=
+    /// 2*radius, and eccentricities are bounded by the diameter.
+    #[test]
+    fn distance_metric_sanity((users, projects, edges) in graph_strategy()) {
+        let mut builder = BipartiteGraphBuilder::new(users, projects);
+        for (u, p) in edges {
+            builder.add_edge(u, p);
+        }
+        let graph = builder.build();
+        let components = ComponentSet::compute(&graph, Labeling::UnionFind);
+        let Some(largest) = components.largest() else { return Ok(()); };
+        let members = components.members(largest);
+        let stats = DistanceStats::compute(&graph, &members);
+        prop_assert!(stats.radius <= stats.diameter);
+        if members.len() > 1 {
+            prop_assert!(stats.diameter <= 2 * stats.radius.max(1));
+        }
+        for &e in &stats.eccentricity {
+            prop_assert!(e <= stats.diameter);
+            prop_assert!(e >= stats.radius);
+        }
+        // Center vertices exist and have minimum eccentricity.
+        let center = stats.center();
+        prop_assert!(!center.center_vertices.is_empty());
+    }
+
+    /// Union-find size/count bookkeeping under random unions.
+    #[test]
+    fn union_find_bookkeeping(n in 1usize..80, unions in prop::collection::vec((any::<u32>(), any::<u32>()), 0..120)) {
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0;
+        for (a, b) in unions {
+            let (a, b) = (a % n as u32, b % n as u32);
+            if uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.component_count(), n - merges);
+        // Sizes of distinct roots sum to n.
+        let mut roots = std::collections::BTreeMap::new();
+        for x in 0..n as u32 {
+            let root = uf.find(x);
+            let size = uf.size_of(root);
+            roots.insert(root, size);
+        }
+        prop_assert_eq!(roots.values().map(|&s| s as usize).sum::<usize>(), n);
+        prop_assert_eq!(roots.len(), uf.component_count());
+    }
+}

@@ -1,0 +1,146 @@
+//! Terminal charts for figure series.
+//!
+//! The experiment runners print their figure data as CSV; for the console
+//! they can also render a quick ASCII line chart — enough to *see*
+//! Fig. 15's growth ramp or Fig. 16's age crossover without leaving the
+//! terminal.
+
+/// Renders one `(x, y)` series as an ASCII chart of the given size.
+///
+/// Columns are x-bins (each bin shows the mean of the points that fall in
+/// it); the y axis is annotated with the min and max. An optional
+/// horizontal `marker` line (e.g. the 90-day purge window in Fig. 16) is
+/// drawn with `-`.
+pub fn line_chart(
+    title: &str,
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    marker: Option<f64>,
+) -> String {
+    let width = width.clamp(8, 240);
+    let height = height.clamp(3, 60);
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if let Some(m) = marker {
+        y_min = y_min.min(m);
+        y_max = y_max.max(m);
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let x_span = (x_max - x_min).max(f64::EPSILON);
+
+    // Bin points into columns by x.
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0u32; width];
+    for &(x, y) in points {
+        let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+        sums[col] += y;
+        counts[col] += 1;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    if let Some(m) = marker {
+        let row = y_to_row(m, y_min, y_max, height);
+        for cell in &mut grid[row] {
+            *cell = '-';
+        }
+    }
+    for col in 0..width {
+        if counts[col] == 0 {
+            continue;
+        }
+        let y = sums[col] / counts[col] as f64;
+        let row = y_to_row(y, y_min, y_max, height);
+        grid[row][col] = '*';
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>10.1} |")
+        } else if r == height - 1 {
+            format!("{y_min:>10.1} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}  {}\n{:>10}  x: {x_min:.0} .. {x_max:.0}\n",
+        "",
+        "-".repeat(width),
+        ""
+    ));
+    out
+}
+
+fn y_to_row(y: f64, y_min: f64, y_max: f64, height: usize) -> usize {
+    let frac = (y - y_min) / (y_max - y_min);
+    let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+    row.min(height - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        let points: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let chart = line_chart("growth", &points, 40, 10, None);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0], "growth");
+        // Top row holds the max label, bottom data row the min label.
+        assert!(lines[1].trim_start().starts_with("98.0"));
+        assert!(lines[10].trim_start().starts_with("0.0"));
+        // The first data row (max) has a star near the right edge.
+        let top_star = lines[1].rfind('*').unwrap();
+        let bottom_star = lines[10].find('*').unwrap();
+        assert!(top_star > bottom_star);
+        assert!(chart.contains("x: 0 .. 49"));
+    }
+
+    #[test]
+    fn marker_line_is_drawn() {
+        let points = vec![(0.0, 0.0), (10.0, 100.0)];
+        let chart = line_chart("ages", &points, 20, 8, Some(50.0));
+        let marker_rows = chart.lines().filter(|l| l.contains("----")).count();
+        assert!(marker_rows >= 1);
+    }
+
+    #[test]
+    fn empty_series() {
+        let chart = line_chart("empty", &[], 20, 5, None);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let points = vec![(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let chart = line_chart("flat", &points, 12, 4, None);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn bounds_are_clamped() {
+        let points = vec![(0.0, 1.0)];
+        // Degenerate width/height requests are clamped, not panics.
+        let chart = line_chart("tiny", &points, 1, 1, None);
+        assert!(chart.contains('*'));
+    }
+}

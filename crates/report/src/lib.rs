@@ -1,0 +1,23 @@
+//! # spider-report
+//!
+//! Reporting utilities for the experiment runners: plain-text tables that
+//! mirror the paper's tables, CSV/JSON series emission for the figures,
+//! and **shape verdicts** — structured paper-vs-measured comparisons.
+//!
+//! Absolute numbers are not expected to match the paper (the substrate is
+//! a scaled simulator, not OLCF's production system); what must match is
+//! the *shape*: who is largest, which ratios hold, where crossovers fall.
+//! [`verdict::ShapeCheck`] encodes each such claim as a pass/fail record
+//! that EXPERIMENTS.md collects.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod series;
+pub mod table;
+pub mod verdict;
+
+pub use chart::line_chart;
+pub use series::SeriesWriter;
+pub use table::TextTable;
+pub use verdict::{ShapeCheck, VerdictSet};

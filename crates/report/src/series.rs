@@ -1,0 +1,128 @@
+//! CSV/JSON emission for figure series.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Builds CSV text for one figure: a shared x column plus one column per
+/// labelled series.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesWriter {
+    x_label: String,
+    labels: Vec<String>,
+    /// Rows keyed by x, values parallel to `labels` (None = missing).
+    rows: Vec<(f64, Vec<Option<f64>>)>,
+}
+
+impl SeriesWriter {
+    /// Creates a writer with the x-axis label.
+    pub fn new(x_label: impl Into<String>) -> Self {
+        SeriesWriter {
+            x_label: x_label.into(),
+            labels: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one series as `(x, y)` points; x values are merged with any
+    /// existing rows (exact match).
+    pub fn add_series(&mut self, label: impl Into<String>, points: &[(f64, f64)]) {
+        let slot = self.labels.len();
+        self.labels.push(label.into());
+        for row in &mut self.rows {
+            row.1.push(None);
+        }
+        for &(x, y) in points {
+            match self
+                .rows
+                .binary_search_by(|(rx, _)| rx.partial_cmp(&x).expect("finite x"))
+            {
+                Ok(i) => self.rows[i].1[slot] = Some(y),
+                Err(i) => {
+                    let mut cells = vec![None; self.labels.len()];
+                    cells[slot] = Some(y);
+                    self.rows.insert(i, (x, cells));
+                }
+            }
+        }
+    }
+
+    /// Renders the CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for label in &self.labels {
+            out.push(',');
+            out.push_str(&label.replace(',', ";"));
+        }
+        out.push('\n');
+        for (x, cells) in &self.rows {
+            let _ = write!(out, "{x}");
+            for cell in cells {
+                out.push(',');
+                if let Some(v) = cell {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of x rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Serializes any value to pretty JSON (for machine-readable experiment
+/// output files).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment outputs serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_series_csv() {
+        let mut w = SeriesWriter::new("day");
+        w.add_series("files", &[(0.0, 10.0), (7.0, 20.0)]);
+        assert_eq!(w.to_csv(), "day,files\n0,10\n7,20\n");
+    }
+
+    #[test]
+    fn multiple_series_align_on_x() {
+        let mut w = SeriesWriter::new("day");
+        w.add_series("a", &[(0.0, 1.0), (7.0, 2.0)]);
+        w.add_series("b", &[(7.0, 20.0), (14.0, 30.0)]);
+        let csv = w.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "day,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "7,2,20");
+        assert_eq!(lines[3], "14,,30");
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn commas_in_labels_are_sanitized() {
+        let mut w = SeriesWriter::new("x");
+        w.add_series("a,b", &[(0.0, 1.0)]);
+        assert!(w.to_csv().starts_with("x,a;b\n"));
+    }
+
+    #[test]
+    fn json_emission() {
+        #[derive(serde::Serialize)]
+        struct Out {
+            n: u32,
+        }
+        assert_eq!(to_json(&Out { n: 7 }), "{\n  \"n\": 7\n}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text tables in the style of the paper's tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers (all left-aligned
+    /// until [`TextTable::align`] is called).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment.
+    ///
+    /// # Panics
+    /// Panics if the slice length differs from the header count.
+    pub fn align(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment count must match column count"
+        );
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "cell count must match column count"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => line.push_str(&format!("{cell:<w$}", w = widths[i])),
+                    Align::Right => line.push_str(&format!("{cell:>w$}", w = widths[i])),
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals, rendering `None` as `-` (the
+/// paper's convention for below-threshold entries).
+pub fn opt_f64(value: Option<f64>, digits: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a count with thousands separators (`1,362`).
+pub fn grouped(value: u64) -> String {
+    let raw = value.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["name", "count"]).align(&[Align::Left, Align::Right]);
+        t.row_strs(&["alpha", "5"]);
+        t.row_strs(&["b", "12345"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert_eq!(lines[1], "name   count");
+        assert!(lines[2].chars().all(|c| c == '-'));
+        assert_eq!(lines[3], "alpha      5");
+        assert_eq!(lines[4], "b      12345");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn wrong_row_width_panics() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new("T", &["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(opt_f64(Some(0.4215), 3), "0.421");
+        assert_eq!(opt_f64(Some(0.4215), 3), "0.421");
+        assert_eq!(opt_f64(None, 3), "-");
+        assert_eq!(grouped(0), "0");
+        assert_eq!(grouped(999), "999");
+        assert_eq!(grouped(1_362), "1,362");
+        assert_eq!(grouped(4_069_223_934), "4,069,223,934");
+    }
+}

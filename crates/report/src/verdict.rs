@@ -1,0 +1,178 @@
+//! Shape verdicts: structured paper-vs-measured comparisons.
+//!
+//! Each experiment encodes the paper's qualitative claims — orderings,
+//! ratios, crossovers — as [`ShapeCheck`]s. EXPERIMENTS.md is generated
+//! from these records, and the `experiment_shapes` integration test fails
+//! if any required check regresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeCheck {
+    /// Short identifier (`fig16.median-age-exceeds-window`).
+    pub name: String,
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the shape holds.
+    pub pass: bool,
+}
+
+/// A named collection of checks for one experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VerdictSet {
+    /// Experiment id (`table1`, `fig13`, ...).
+    pub experiment: String,
+    /// The individual checks.
+    pub checks: Vec<ShapeCheck>,
+}
+
+impl VerdictSet {
+    /// Creates an empty set for an experiment.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        VerdictSet {
+            experiment: experiment.into(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Records a boolean check.
+    pub fn check(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        pass: bool,
+    ) {
+        self.checks.push(ShapeCheck {
+            name: name.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            pass,
+        });
+    }
+
+    /// Records "measured value must exceed `threshold`".
+    pub fn check_above(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: f64,
+        threshold: f64,
+    ) {
+        self.check(
+            name,
+            paper,
+            format!("{measured:.4} (required > {threshold})"),
+            measured > threshold,
+        );
+    }
+
+    /// Records "measured value must lie within `[lo, hi]`".
+    pub fn check_between(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: f64,
+        lo: f64,
+        hi: f64,
+    ) {
+        self.check(
+            name,
+            paper,
+            format!("{measured:.4} (required in [{lo}, {hi}])"),
+            (lo..=hi).contains(&measured),
+        );
+    }
+
+    /// Records an ordering claim `a > b`.
+    pub fn check_order(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        label_a: &str,
+        a: f64,
+        label_b: &str,
+        b: f64,
+    ) {
+        self.check(
+            name,
+            paper,
+            format!("{label_a}={a:.4} vs {label_b}={b:.4}"),
+            a > b,
+        );
+    }
+
+    /// True if every check passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Names of failed checks.
+    pub fn failures(&self) -> Vec<&str> {
+        self.checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Renders the markdown block for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.experiment);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| check | paper | measured | verdict |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                c.name,
+                c.paper,
+                c.measured,
+                if c.pass { "PASS" } else { "FAIL" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_helpers() {
+        let mut v = VerdictSet::new("fig16");
+        v.check_above("median-age", "138 days > 90-day window", 120.0, 90.0);
+        v.check_between("share", "~16%", 0.17, 0.10, 0.25);
+        v.check_order("reads-burstier", "read c_v ~100x lower", "write", 0.3, "read", 0.003);
+        assert!(v.all_pass());
+        assert!(v.failures().is_empty());
+
+        v.check_above("failing", "impossible", 1.0, 2.0);
+        assert!(!v.all_pass());
+        assert_eq!(v.failures(), vec!["failing"]);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut v = VerdictSet::new("table3");
+        v.check("one-giant", "a single giant component", "1 component at 72%", true);
+        let md = v.to_markdown();
+        assert!(md.contains("### table3"));
+        assert!(md.contains("| one-giant | a single giant component | 1 component at 72% | PASS |"));
+    }
+
+    #[test]
+    fn between_bounds_are_inclusive() {
+        let mut v = VerdictSet::new("x");
+        v.check_between("lo", "", 1.0, 1.0, 2.0);
+        v.check_between("hi", "", 2.0, 1.0, 2.0);
+        assert!(v.all_pass());
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use spider_fsmeta::PurgePolicy;
+use spider_workload::PopulationConfig;
+
+/// Full configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed (population and activity derive their own streams).
+    pub seed: u64,
+    /// Volume scale relative to the paper's absolute numbers. At 1.0 the
+    /// run would generate ~4.3 B entries over 500 days; the default of
+    /// `1/1000` yields a few million — the same distributional shape at
+    /// laptop scale.
+    pub scale: f64,
+    /// Observation window length in days (the paper: 500).
+    pub days: u32,
+    /// Snapshot cadence in days (the paper samples weekly).
+    pub snapshot_interval_days: u32,
+    /// Warm-up length in days before the observation window. The default
+    /// is 231 days (33 weeks): Spider II had been in production for years
+    /// before the study's window opened, so the first observed snapshot
+    /// must already contain old, still-read reference data (Fig. 16's
+    /// ages) and a purge-equilibrated churn population.
+    pub warmup_days: u32,
+    /// Population synthesis parameters.
+    pub population: PopulationConfig,
+    /// Purge policy (the paper: 90 days).
+    pub purge: PurgePolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x0197_3caf,
+            scale: 0.001,
+            days: 500,
+            snapshot_interval_days: 7,
+            warmup_days: 231,
+            population: PopulationConfig::default(),
+            purge: PurgePolicy::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration sized for unit/integration tests: a scaled-down
+    /// population and a short window, still covering several purge cycles
+    /// worth of churn behaviour per project.
+    pub fn test_small(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            scale: 0.0002,
+            days: 140,
+            snapshot_interval_days: 7,
+            warmup_days: 28,
+            population: PopulationConfig {
+                seed,
+                project_scale: 0.12,
+                ..PopulationConfig::default()
+            },
+            purge: PurgePolicy::default(),
+        }
+    }
+
+    /// Sets the volume scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the observation window length.
+    pub fn with_days(mut self, days: u32) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Sets the master seed (also seeds the population).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.population.seed = seed;
+        self
+    }
+
+    /// Number of snapshot dates in the observation window, including the
+    /// day-0 scan taken as the window opens (the paper: 72 dates over
+    /// 500 days).
+    pub fn snapshot_count(&self) -> u32 {
+        self.days / self.snapshot_interval_days + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_cadence() {
+        let c = SimConfig::default();
+        assert_eq!(c.days, 500);
+        assert_eq!(c.snapshot_interval_days, 7);
+        assert_eq!(c.purge.window_days, 90);
+        // 71 full weeks in 500 days plus the window-opening scan: the
+        // paper's 72 snapshot dates.
+        assert_eq!(c.snapshot_count(), 72);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::default().with_scale(0.5).with_days(70).with_seed(9);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.days, 70);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.population.seed, 9);
+        assert_eq!(c.snapshot_count(), 11);
+    }
+
+    #[test]
+    fn test_config_is_small() {
+        let c = SimConfig::test_small(1);
+        assert!(c.scale < 0.001);
+        assert!(c.days <= 150);
+        assert!(c.population.project_scale < 0.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # spider-sim
+//!
+//! The simulation driver: executes the `spider-workload` behavioral model
+//! against the `spider-fsmeta` substrate and emits weekly LustreDU
+//! snapshots through `spider-snapshot`, reproducing the data-collection
+//! side of the SC '17 Spider II study.
+//!
+//! The driver advances in **one-week steps** (the study's snapshot
+//! cadence). Each week it:
+//!
+//! 1. creates any new campaign directory chains each project needs (depth
+//!    targets from Table 1, directory share from Fig. 7b);
+//! 2. generates the week's events — file creations with
+//!    burstiness-calibrated `mtime` offsets, checkpoint updates, tightly
+//!    clustered read sessions, user deletions, and purge-dodging touch
+//!    scripts;
+//! 3. executes all events in global timestamp order (the simulated clock
+//!    only moves forward);
+//! 4. runs the 90-day purge engine (the nightly process, batched weekly —
+//!    the window is ~13× the batch interval, so the approximation error
+//!    is a few days of extra lifetime at most);
+//! 5. scans the namespace into a [`spider_snapshot::Snapshot`] and
+//!    persists it to a [`spider_snapshot::SnapshotStore`].
+//!
+//! A 13-week **warm-up** precedes the 500-day observation window so the
+//! first observed snapshot already sees a populated, purge-equilibrated
+//! file system (the real study joined Spider II mid-life).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+
+pub use config::SimConfig;
+pub use driver::{Simulation, SimulationOutcome, WeekStats};

@@ -1,0 +1,311 @@
+//! Adjacent-snapshot comparison — the engine behind the paper's file
+//! access-pattern breakdown (Fig. 13).
+//!
+//! For each weekly snapshot pair, every *regular file* path is classified:
+//!
+//! * **new** — present only in the newer snapshot;
+//! * **deleted** — present only in the older snapshot;
+//! * **readonly** — present in both, only `atime` changed;
+//! * **updated** — present in both, `mtime` and/or `ctime` changed;
+//! * **untouched** — present in both, all three timestamps identical.
+//!
+//! The five categories partition the union of the two snapshots' file
+//! paths (a property-tested invariant). Comparison is by *path*, like the
+//! paper ("we collected the intersection pathnames of regular file"), so a
+//! delete+recreate within a week classifies as updated/new depending on
+//! timestamps — the same blind spot the paper acknowledges.
+
+use crate::record::SnapshotRecord;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Indices into the two snapshots for each access category.
+///
+/// Index vectors refer into `old.records()` for `deleted` and into
+/// `new.records()` for every other category, letting the burstiness
+/// analysis reach the underlying timestamps without copying records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Files present only in the newer snapshot (indices into new).
+    pub new: Vec<u32>,
+    /// Files present only in the older snapshot (indices into old).
+    pub deleted: Vec<u32>,
+    /// Files whose `atime` alone advanced (indices into new).
+    pub readonly: Vec<u32>,
+    /// Files whose `mtime`/`ctime` changed (indices into new).
+    pub updated: Vec<u32>,
+    /// Files with identical timestamps (indices into new).
+    pub untouched: Vec<u32>,
+}
+
+/// Aggregate counts of a diff, as plotted in Fig. 13.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessBreakdown {
+    /// Newly created files.
+    pub new: u64,
+    /// Deleted files.
+    pub deleted: u64,
+    /// Read-only accesses.
+    pub readonly: u64,
+    /// Content/metadata updates.
+    pub updated: u64,
+    /// Files untouched within the interval.
+    pub untouched: u64,
+}
+
+impl AccessBreakdown {
+    /// Files present in the newer snapshot (everything but `deleted`).
+    pub fn live_total(&self) -> u64 {
+        self.new + self.readonly + self.updated + self.untouched
+    }
+
+    /// Share of each category relative to the union of both snapshots'
+    /// files, in the order (new, deleted, readonly, updated, untouched).
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let total = (self.live_total() + self.deleted) as f64;
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.new as f64 / total,
+            self.deleted as f64 / total,
+            self.readonly as f64 / total,
+            self.updated as f64 / total,
+            self.untouched as f64 / total,
+        )
+    }
+}
+
+impl SnapshotDiff {
+    /// Merge-joins two snapshots by path (both are sorted by construction)
+    /// and classifies every regular file.
+    pub fn compute(old: &Snapshot, new: &Snapshot) -> SnapshotDiff {
+        let a = old.records();
+        let b = new.records();
+        let mut diff = SnapshotDiff::default();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let order = match (a.get(i), b.get(j)) {
+                (Some(ra), Some(rb)) => ra.path.as_str().cmp(rb.path.as_str()),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => unreachable!(),
+            };
+            match order {
+                Ordering::Less => {
+                    if a[i].is_file() {
+                        diff.deleted.push(i as u32);
+                    }
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    if b[j].is_file() {
+                        diff.new.push(j as u32);
+                    }
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    // A path can change type between scans (rm file;
+                    // mkdir same-name): the file side of the transition
+                    // still counts as a delete or a create.
+                    match (a[i].is_file(), b[j].is_file()) {
+                        (true, true) => diff.classify_common(&a[i], j as u32, &b[j]),
+                        (true, false) => diff.deleted.push(i as u32),
+                        (false, true) => diff.new.push(j as u32),
+                        (false, false) => {}
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        diff
+    }
+
+    fn classify_common(&mut self, old: &SnapshotRecord, new_idx: u32, new: &SnapshotRecord) {
+        let atime_changed = old.atime != new.atime;
+        let write_changed = old.mtime != new.mtime || old.ctime != new.ctime;
+        if write_changed {
+            self.updated.push(new_idx);
+        } else if atime_changed {
+            self.readonly.push(new_idx);
+        } else {
+            self.untouched.push(new_idx);
+        }
+    }
+
+    /// Aggregate counts.
+    pub fn breakdown(&self) -> AccessBreakdown {
+        AccessBreakdown {
+            new: self.new.len() as u64,
+            deleted: self.deleted.len() as u64,
+            readonly: self.readonly.len() as u64,
+            updated: self.updated.len() as u64,
+            untouched: self.untouched.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, atime: u64, mtime: u64, ctime: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime,
+            ctime,
+            mtime,
+            uid: 1,
+            gid: 1,
+            mode: 0o100664,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    fn dir(path: &str) -> SnapshotRecord {
+        SnapshotRecord {
+            mode: 0o040770,
+            ..rec(path, 1, 1, 1)
+        }
+    }
+
+    #[test]
+    fn categories_cover_all_transitions() {
+        let old = Snapshot::new(
+            0,
+            100,
+            vec![
+                rec("/a", 10, 10, 10), // will be untouched
+                rec("/b", 10, 10, 10), // will be readonly
+                rec("/c", 10, 10, 10), // will be updated (write)
+                rec("/d", 10, 10, 10), // will be deleted
+            ],
+        );
+        let new = Snapshot::new(
+            7,
+            200,
+            vec![
+                rec("/a", 10, 10, 10),
+                rec("/b", 50, 10, 10),
+                rec("/c", 10, 60, 60),
+                rec("/e", 70, 70, 70), // new
+            ],
+        );
+        let diff = SnapshotDiff::compute(&old, &new);
+        let b = diff.breakdown();
+        assert_eq!(
+            (b.new, b.deleted, b.readonly, b.updated, b.untouched),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(new.records()[diff.new[0] as usize].path, "/e");
+        assert_eq!(old.records()[diff.deleted[0] as usize].path, "/d");
+        assert_eq!(new.records()[diff.readonly[0] as usize].path, "/b");
+        assert_eq!(new.records()[diff.updated[0] as usize].path, "/c");
+        assert_eq!(new.records()[diff.untouched[0] as usize].path, "/a");
+    }
+
+    #[test]
+    fn touch_counts_as_updated() {
+        // touch moves all three timestamps -> mtime/ctime changed -> updated.
+        let old = Snapshot::new(0, 0, vec![rec("/a", 10, 10, 10)]);
+        let new = Snapshot::new(7, 0, vec![rec("/a", 99, 99, 99)]);
+        let diff = SnapshotDiff::compute(&old, &new);
+        assert_eq!(diff.breakdown().updated, 1);
+    }
+
+    #[test]
+    fn restripe_counts_as_updated() {
+        // ctime-only change (metadata operation).
+        let old = Snapshot::new(0, 0, vec![rec("/a", 10, 10, 10)]);
+        let new = Snapshot::new(7, 0, vec![rec("/a", 10, 10, 55)]);
+        let diff = SnapshotDiff::compute(&old, &new);
+        assert_eq!(diff.breakdown().updated, 1);
+    }
+
+    #[test]
+    fn directories_are_excluded() {
+        let old = Snapshot::new(0, 0, vec![dir("/d1"), rec("/f", 1, 1, 1)]);
+        let new = Snapshot::new(7, 0, vec![dir("/d2"), rec("/f", 1, 1, 1)]);
+        let diff = SnapshotDiff::compute(&old, &new);
+        let b = diff.breakdown();
+        assert_eq!(b.new + b.deleted, 0);
+        assert_eq!(b.untouched, 1);
+    }
+
+    #[test]
+    fn type_change_counts_as_delete_and_create() {
+        // /x: file -> directory (the file died); /y: directory -> file.
+        let old = Snapshot::new(0, 0, vec![rec("/x", 1, 1, 1), dir("/y")]);
+        let new = Snapshot::new(7, 0, vec![dir("/x"), rec("/y", 9, 9, 9)]);
+        let diff = SnapshotDiff::compute(&old, &new);
+        let b = diff.breakdown();
+        assert_eq!(b.deleted, 1);
+        assert_eq!(b.new, 1);
+        assert_eq!(b.readonly + b.updated + b.untouched, 0);
+    }
+
+    #[test]
+    fn empty_snapshots() {
+        let empty = Snapshot::new(0, 0, vec![]);
+        let one = Snapshot::new(7, 0, vec![rec("/a", 1, 1, 1)]);
+        assert_eq!(SnapshotDiff::compute(&empty, &empty).breakdown(), AccessBreakdown::default());
+        assert_eq!(SnapshotDiff::compute(&empty, &one).breakdown().new, 1);
+        assert_eq!(SnapshotDiff::compute(&one, &empty).breakdown().deleted, 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = AccessBreakdown {
+            new: 22,
+            deleted: 13,
+            readonly: 3,
+            updated: 10,
+            untouched: 76,
+        };
+        let (n, d, r, u, t) = b.fractions();
+        assert!((n + d + r + u + t - 1.0).abs() < 1e-12);
+        assert_eq!(b.live_total(), 111);
+    }
+
+    #[test]
+    fn fractions_of_empty_breakdown() {
+        let (n, d, r, u, t) = AccessBreakdown::default().fractions();
+        assert_eq!((n, d, r, u, t), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn partition_invariant_on_interleaved_paths() {
+        // Union of file paths == sum of category counts.
+        let old = Snapshot::new(
+            0,
+            0,
+            (0..100)
+                .step_by(2)
+                .map(|i| rec(&format!("/f{i:03}"), i, i, i))
+                .collect(),
+        );
+        let new = Snapshot::new(
+            7,
+            0,
+            (0..100)
+                .step_by(3)
+                .map(|i| rec(&format!("/f{i:03}"), i + 1, i, i))
+                .collect(),
+        );
+        let diff = SnapshotDiff::compute(&old, &new);
+        let b = diff.breakdown();
+        let mut union: std::collections::BTreeSet<String> = old
+            .records()
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
+        union.extend(new.records().iter().map(|r| r.path.clone()));
+        assert_eq!(
+            b.new + b.deleted + b.readonly + b.updated + b.untouched,
+            union.len() as u64
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # spider-snapshot
+//!
+//! The snapshot layer of the Spider II study reproduction: everything
+//! between the live file system and the analysis engine.
+//!
+//! The original pipeline (paper §2.2 and Fig. 4):
+//!
+//! 1. **LustreDU** walks the entire namespace daily and emits a
+//!    pipe-separated (PSV) text snapshot — one record per inode with
+//!    `PATH|ATIME|CTIME|MTIME|UID|GID|MODE|INODE|OST`, *no size field*
+//!    (collecting sizes would require touching every OSS).
+//! 2. Snapshots are **converted to a columnar, compressed binary format**
+//!    (Parquet at OLCF; average 119 GB text → 28 GB columnar) before
+//!    analysis.
+//! 3. The study samples **one snapshot per week** from January 2015 to
+//!    August 2016 (72 snapshot dates over 500 days).
+//!
+//! This crate reproduces each stage:
+//!
+//! * [`scanner`] — walks a [`spider_fsmeta::FileSystem`] and produces a
+//!   [`Snapshot`] sorted by path (deterministic output, merge-joinable);
+//! * [`psv`] — the LustreDU text codec;
+//! * [`colf`] — "column file", our Parquet stand-in: front-coded path
+//!   column plus min-anchored varint integer columns;
+//! * [`store`] — an on-disk collection of weekly snapshots;
+//! * [`diff`] — adjacent-snapshot comparison classifying every regular
+//!   file as new / deleted / read-only / updated / untouched, exactly the
+//!   categories of Fig. 13.
+
+#![warn(missing_docs)]
+
+pub mod colf;
+pub mod diff;
+pub mod psv;
+pub mod record;
+pub mod scanner;
+pub mod snapshot;
+pub mod store;
+pub mod varint;
+
+pub use diff::{AccessBreakdown, SnapshotDiff};
+pub use record::SnapshotRecord;
+pub use scanner::scan;
+pub use snapshot::Snapshot;
+pub use store::SnapshotStore;

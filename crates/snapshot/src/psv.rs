@@ -1,0 +1,251 @@
+//! The LustreDU pipe-separated text codec.
+//!
+//! One record per line:
+//!
+//! ```text
+//! PATH|ATIME|CTIME|MTIME|UID|GID|MODE|INODE|OST
+//! /lustre/atlas1/p/u/f.dat|1478274632|1471400961|1471400961|13133|2329|100664|1073636389|755:190da77,720:19d4fe1
+//! ```
+//!
+//! `MODE` is octal; OST entries are `ost:objid_hex` pairs, empty for
+//! directories. This is the "original snapshot file" format of Fig. 4,
+//! which the study converts to a columnar format before analysis — we
+//! reproduce both directions to measure the same conversion.
+
+use crate::record::SnapshotRecord;
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced when parsing PSV text.
+#[derive(Debug)]
+pub enum PsvError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse(usize, String),
+    /// Records were not sorted by path (snapshot invariant).
+    Unsorted(String),
+}
+
+impl std::fmt::Display for PsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsvError::Io(e) => write!(f, "I/O error: {e}"),
+            PsvError::Parse(line, msg) => write!(f, "PSV parse error on line {line}: {msg}"),
+            PsvError::Unsorted(msg) => write!(f, "PSV records unsorted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PsvError {}
+
+impl From<io::Error> for PsvError {
+    fn from(e: io::Error) -> Self {
+        PsvError::Io(e)
+    }
+}
+
+/// Appends one record as a PSV line (without trailing newline handling —
+/// the caller writes the `\n`).
+pub fn format_record(record: &SnapshotRecord, out: &mut String) {
+    out.push_str(&record.path);
+    let _ = write!(
+        out,
+        "|{}|{}|{}|{}|{}|{:o}|{}|",
+        record.atime, record.ctime, record.mtime, record.uid, record.gid, record.mode, record.ino
+    );
+    for (i, (ost, obj)) in record.osts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{ost}:{obj:x}");
+    }
+}
+
+/// Writes a snapshot as PSV text. The header line carries the snapshot
+/// day and scan time (`#day|taken_at`), which LustreDU encodes in the
+/// file name instead.
+pub fn write_psv(snapshot: &Snapshot, mut out: impl Write) -> io::Result<()> {
+    let mut line = String::with_capacity(160);
+    let _ = writeln!(line, "#{}|{}", snapshot.day(), snapshot.taken_at());
+    out.write_all(line.as_bytes())?;
+    for record in snapshot.records() {
+        line.clear();
+        format_record(record, &mut line);
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Parses one PSV data line.
+pub fn parse_record(line: &str, lineno: usize) -> Result<SnapshotRecord, PsvError> {
+    let mut fields = line.split('|');
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .ok_or_else(|| PsvError::Parse(lineno, format!("missing field {name}")))
+    };
+    let path = next("PATH")?.to_string();
+    if path.is_empty() {
+        return Err(PsvError::Parse(lineno, "empty path".into()));
+    }
+    let parse_u64 = |s: &str, name: &str| {
+        s.parse::<u64>()
+            .map_err(|e| PsvError::Parse(lineno, format!("bad {name} {s:?}: {e}")))
+    };
+    let atime = parse_u64(next("ATIME")?, "ATIME")?;
+    let ctime = parse_u64(next("CTIME")?, "CTIME")?;
+    let mtime = parse_u64(next("MTIME")?, "MTIME")?;
+    let uid = parse_u64(next("UID")?, "UID")? as u32;
+    let gid = parse_u64(next("GID")?, "GID")? as u32;
+    let mode_str = next("MODE")?;
+    let mode = u32::from_str_radix(mode_str, 8)
+        .map_err(|e| PsvError::Parse(lineno, format!("bad MODE {mode_str:?}: {e}")))?;
+    let ino = parse_u64(next("INODE")?, "INODE")?;
+    let ost_field = next("OST")?;
+    let mut osts = Vec::new();
+    if !ost_field.is_empty() {
+        for pair in ost_field.split(',') {
+            let (ost, obj) = pair
+                .split_once(':')
+                .ok_or_else(|| PsvError::Parse(lineno, format!("bad OST pair {pair:?}")))?;
+            let ost = ost
+                .parse::<u16>()
+                .map_err(|e| PsvError::Parse(lineno, format!("bad OST id {ost:?}: {e}")))?;
+            let obj = u32::from_str_radix(obj, 16)
+                .map_err(|e| PsvError::Parse(lineno, format!("bad object id {obj:?}: {e}")))?;
+            osts.push((ost, obj));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(PsvError::Parse(lineno, "trailing fields".into()));
+    }
+    Ok(SnapshotRecord {
+        path,
+        atime,
+        ctime,
+        mtime,
+        uid,
+        gid,
+        mode,
+        ino,
+        osts,
+    })
+}
+
+/// Reads a PSV snapshot written by [`write_psv`].
+pub fn read_psv(input: impl BufRead) -> Result<Snapshot, PsvError> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| PsvError::Parse(0, "empty input".into()))??;
+    let header = header
+        .strip_prefix('#')
+        .ok_or_else(|| PsvError::Parse(1, "missing #day|taken_at header".into()))?;
+    let (day, taken_at) = header
+        .split_once('|')
+        .ok_or_else(|| PsvError::Parse(1, "malformed header".into()))?;
+    let day = day
+        .parse::<u32>()
+        .map_err(|e| PsvError::Parse(1, format!("bad day: {e}")))?;
+    let taken_at = taken_at
+        .parse::<u64>()
+        .map_err(|e| PsvError::Parse(1, format!("bad taken_at: {e}")))?;
+
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        records.push(parse_record(&line, i + 2)?);
+    }
+    Snapshot::from_sorted(day, taken_at, records).map_err(PsvError::Unsorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mk = |path: &str, mode: u32, osts: Vec<(u16, u32)>| SnapshotRecord {
+            path: path.to_string(),
+            atime: 1_478_274_632,
+            ctime: 1_471_400_961,
+            mtime: 1_471_400_961,
+            uid: 13_133,
+            gid: 2_329,
+            mode,
+            ino: 1_073_636_389,
+            osts,
+        };
+        Snapshot::new(
+            7,
+            1_421_000_000,
+            vec![
+                mk("/lustre/atlas1/p", 0o040770, vec![]),
+                mk("/lustre/atlas1/p/f.dat", 0o100664, vec![(755, 0x190da77), (720, 0x19d4fe1)]),
+                mk("/lustre/atlas1/p/g", 0o100600, vec![(3, 0xabc)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_psv(&snap, &mut buf).unwrap();
+        let parsed = read_psv(buf.as_slice()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn line_format_matches_lustredu_shape() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_psv(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "#7|1421000000");
+        assert_eq!(
+            lines[2],
+            "/lustre/atlas1/p/f.dat|1478274632|1471400961|1471400961|13133|2329|100664|1073636389|755:190da77,720:19d4fe1"
+        );
+        // Directory: empty OST list, octal dir mode.
+        assert!(lines[1].ends_with("|40770|1073636389|"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_record("", 1).is_err());
+        assert!(parse_record("/p|x|1|1|1|1|100644|1|", 1).is_err()); // bad atime
+        assert!(parse_record("/p|1|1|1|1|1|999999999|1|", 1).is_err()); // bad octal? (valid octal digits required)
+        assert!(parse_record("/p|1|1|1|1|1|100644|1|badpair", 1).is_err());
+        assert!(parse_record("/p|1|1|1|1|1|100644|1||extra", 1).is_err());
+        assert!(parse_record("/p|1|1|1", 1).is_err()); // missing fields
+    }
+
+    #[test]
+    fn read_rejects_missing_header() {
+        let err = read_psv("/p|1|1|1|1|1|100644|1|\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PsvError::Parse(1, _)));
+    }
+
+    #[test]
+    fn read_rejects_unsorted() {
+        let text = "#0|0\n/z|1|1|1|1|1|100644|1|\n/a|1|1|1|1|1|100644|1|\n";
+        assert!(matches!(
+            read_psv(text.as_bytes()).unwrap_err(),
+            PsvError::Unsorted(_)
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "#0|0\n/a|1|1|1|1|1|100644|1|\n\n/b|1|1|1|1|1|100644|1|\n";
+        let snap = read_psv(text.as_bytes()).unwrap();
+        assert_eq!(snap.len(), 2);
+    }
+}

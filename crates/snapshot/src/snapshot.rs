@@ -1,0 +1,168 @@
+//! A full-namespace snapshot, sorted by path.
+
+use crate::record::SnapshotRecord;
+use serde::{Deserialize, Serialize};
+
+/// One LustreDU snapshot: every live inode's metadata at a point in time,
+/// sorted by path.
+///
+/// The sort order is a structural invariant: the diff engine merge-joins
+/// adjacent snapshots by path, and the `colf` path column is front-coded,
+/// both of which require sorted input. [`Snapshot::new`] sorts; the
+/// deserializers validate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    day: u32,
+    taken_at: u64,
+    records: Vec<SnapshotRecord>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot, sorting records by path.
+    ///
+    /// # Panics
+    /// Panics if two records share a path (a namespace cannot contain
+    /// duplicate paths; upstream scan bugs should fail loudly).
+    pub fn new(day: u32, taken_at: u64, mut records: Vec<SnapshotRecord>) -> Self {
+        records.sort_unstable_by(|a, b| a.path.cmp(&b.path));
+        for w in records.windows(2) {
+            assert_ne!(w[0].path, w[1].path, "duplicate path in snapshot: {}", w[0].path);
+        }
+        Snapshot {
+            day,
+            taken_at,
+            records,
+        }
+    }
+
+    /// Builds from records already sorted by path (validated).
+    ///
+    /// Used by the deserializers, which write records in sorted order.
+    pub fn from_sorted(
+        day: u32,
+        taken_at: u64,
+        records: Vec<SnapshotRecord>,
+    ) -> Result<Self, String> {
+        for w in records.windows(2) {
+            if w[0].path >= w[1].path {
+                return Err(format!(
+                    "records not strictly sorted by path: {:?} >= {:?}",
+                    w[0].path, w[1].path
+                ));
+            }
+        }
+        Ok(Snapshot {
+            day,
+            taken_at,
+            records,
+        })
+    }
+
+    /// Simulation day the snapshot was taken.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Unix time of the scan.
+    pub fn taken_at(&self) -> u64 {
+        self.taken_at
+    }
+
+    /// The records, sorted by path.
+    pub fn records(&self) -> &[SnapshotRecord] {
+        &self.records
+    }
+
+    /// Number of records (files + directories).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the namespace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Count of regular files.
+    pub fn file_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.is_file()).count() as u64
+    }
+
+    /// Count of directories.
+    pub fn dir_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.is_dir()).count() as u64
+    }
+
+    /// Binary-search lookup by exact path.
+    pub fn find(&self, path: &str) -> Option<&SnapshotRecord> {
+        self.records
+            .binary_search_by(|r| r.path.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Consumes the snapshot, returning its records.
+    pub fn into_records(self) -> Vec<SnapshotRecord> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, mode: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: 10,
+            ctime: 10,
+            mtime: 10,
+            uid: 1,
+            gid: 1,
+            mode,
+            ino: 1,
+            osts: vec![],
+        }
+    }
+
+    #[test]
+    fn new_sorts_by_path() {
+        let s = Snapshot::new(
+            0,
+            100,
+            vec![rec("/b", 0o100644), rec("/a", 0o100644), rec("/c", 0o040755)],
+        );
+        let paths: Vec<&str> = s.records().iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["/a", "/b", "/c"]);
+        assert_eq!(s.file_count(), 2);
+        assert_eq!(s.dir_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate path")]
+    fn duplicate_paths_panic() {
+        let _ = Snapshot::new(0, 0, vec![rec("/a", 0o100644), rec("/a", 0o100644)]);
+    }
+
+    #[test]
+    fn from_sorted_validates() {
+        assert!(Snapshot::from_sorted(0, 0, vec![rec("/a", 0), rec("/b", 0)]).is_ok());
+        assert!(Snapshot::from_sorted(0, 0, vec![rec("/b", 0), rec("/a", 0)]).is_err());
+        assert!(Snapshot::from_sorted(0, 0, vec![rec("/a", 0), rec("/a", 0)]).is_err());
+    }
+
+    #[test]
+    fn find_by_path() {
+        let s = Snapshot::new(0, 0, vec![rec("/x/1", 0o100644), rec("/x/2", 0o100644)]);
+        assert_eq!(s.find("/x/2").unwrap().path, "/x/2");
+        assert!(s.find("/x/3").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::new(3, 42, vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.day(), 3);
+        assert_eq!(s.taken_at(), 42);
+    }
+}

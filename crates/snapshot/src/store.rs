@@ -1,0 +1,270 @@
+//! On-disk snapshot collections.
+//!
+//! OLCF accumulates daily snapshots and the study samples one per week; the
+//! aggregate (8.5 TB of text) cannot live in memory, so the analysis
+//! streams snapshots one at a time. `SnapshotStore` mirrors that: each
+//! snapshot is a `colf` file named `snap-<day>.colf` in a directory, and
+//! iteration loads at most one (the diff-based analyses hold two).
+
+use crate::colf;
+use crate::snapshot::Snapshot;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure.
+    Io(io::Error),
+    /// A stored snapshot failed to decode.
+    Colf(colf::ColfError),
+    /// A snapshot for the given day already exists.
+    DuplicateDay(u32),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Colf(e) => write!(f, "store decode error: {e}"),
+            StoreError::DuplicateDay(d) => write!(f, "snapshot for day {d} already stored"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<colf::ColfError> for StoreError {
+    fn from(e: colf::ColfError) -> Self {
+        StoreError::Colf(e)
+    }
+}
+
+/// A directory of `colf` snapshots, indexed by simulation day.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    days: Vec<u32>,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store at `dir`, indexing any snapshots
+    /// already present.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut days = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if let Some(day) = Self::parse_file_name(&entry.file_name()) {
+                days.push(day);
+            }
+        }
+        days.sort_unstable();
+        Ok(SnapshotStore { dir, days })
+    }
+
+    fn parse_file_name(name: &std::ffi::OsStr) -> Option<u32> {
+        let name = name.to_str()?;
+        name.strip_prefix("snap-")?
+            .strip_suffix(".colf")?
+            .parse()
+            .ok()
+    }
+
+    fn file_path(&self, day: u32) -> PathBuf {
+        self.dir.join(format!("snap-{day:05}.colf"))
+    }
+
+    /// Persists a snapshot. Days must be unique.
+    pub fn put(&mut self, snapshot: &Snapshot) -> Result<(), StoreError> {
+        let day = snapshot.day();
+        if self.days.binary_search(&day).is_ok() {
+            return Err(StoreError::DuplicateDay(day));
+        }
+        let bytes = colf::encode(snapshot);
+        let path = self.file_path(day);
+        let tmp = path.with_extension("colf.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        let pos = self.days.partition_point(|&d| d < day);
+        self.days.insert(pos, day);
+        Ok(())
+    }
+
+    /// Loads the snapshot for `day`, if present.
+    pub fn get(&self, day: u32) -> Result<Option<Snapshot>, StoreError> {
+        if self.days.binary_search(&day).is_err() {
+            return Ok(None);
+        }
+        let mut bytes = Vec::new();
+        fs::File::open(self.file_path(day))?.read_to_end(&mut bytes)?;
+        Ok(Some(colf::decode(&bytes)?))
+    }
+
+    /// Days with stored snapshots, ascending.
+    pub fn days(&self) -> &[u32] {
+        &self.days
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// True if the store holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// On-disk bytes of the snapshot for `day` (footprint accounting for
+    /// the Fig. 4 conversion experiment).
+    pub fn file_size(&self, day: u32) -> Result<Option<u64>, StoreError> {
+        if self.days.binary_search(&day).is_err() {
+            return Ok(None);
+        }
+        Ok(Some(fs::metadata(self.file_path(day))?.len()))
+    }
+
+    /// Streams snapshots in day order, loading one at a time.
+    pub fn iter(&self) -> impl Iterator<Item = Result<Snapshot, StoreError>> + '_ {
+        self.days.iter().map(move |&day| {
+            self.get(day)?
+                .ok_or_else(|| StoreError::Io(io::Error::other(format!("day {day} vanished"))))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SnapshotRecord;
+
+    fn snap(day: u32, n: usize) -> Snapshot {
+        let records = (0..n)
+            .map(|i| SnapshotRecord {
+                path: format!("/lustre/atlas1/p/f{i:04}"),
+                atime: day as u64 * 86_400 + i as u64,
+                ctime: 1,
+                mtime: 1,
+                uid: 1,
+                gid: 1,
+                mode: 0o100664,
+                ino: i as u64 + 1,
+                osts: vec![(1, 1)],
+            })
+            .collect();
+        Snapshot::new(day, day as u64 * 86_400, records)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spider-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        let s = snap(7, 50);
+        store.put(&s).unwrap();
+        assert_eq!(store.get(7).unwrap().unwrap(), s);
+        assert_eq!(store.get(8).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_day_rejected() {
+        let dir = temp_dir("dup");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        store.put(&snap(7, 1)).unwrap();
+        assert!(matches!(
+            store.put(&snap(7, 2)),
+            Err(StoreError::DuplicateDay(7))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_reindexes() {
+        let dir = temp_dir("reopen");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(14, 3)).unwrap();
+            store.put(&snap(0, 3)).unwrap();
+            store.put(&snap(7, 3)).unwrap();
+        }
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.days(), &[0, 7, 14]);
+        assert_eq!(store.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn iter_streams_in_day_order() {
+        let dir = temp_dir("iter");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        for day in [21, 0, 7, 14] {
+            store.put(&snap(day, 2)).unwrap();
+        }
+        let days: Vec<u32> = store.iter().map(|s| s.unwrap().day()).collect();
+        assert_eq!(days, vec![0, 7, 14, 21]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_size_reports_bytes() {
+        let dir = temp_dir("size");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        store.put(&snap(0, 100)).unwrap();
+        let size = store.file_size(0).unwrap().unwrap();
+        assert!(size > 0);
+        assert_eq!(store.file_size(99).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_surfaces_decode_error() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("snap-00003.colf"), b"definitely not colf").unwrap();
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.days(), &[3]);
+        assert!(matches!(store.get(3), Err(StoreError::Colf(_))));
+        // Streaming surfaces the same error instead of panicking.
+        let first = store.iter().next().unwrap();
+        assert!(first.is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrelated_files_are_ignored() {
+        let dir = temp_dir("noise");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("README.txt"), "not a snapshot").unwrap();
+        fs::write(dir.join("snap-abc.colf"), "bad name").unwrap();
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

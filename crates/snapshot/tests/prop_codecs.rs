@@ -1,0 +1,161 @@
+//! Property-based tests for the PSV and colf codecs and the diff engine.
+
+use proptest::prelude::*;
+use spider_snapshot::{colf, psv, Snapshot, SnapshotDiff, SnapshotRecord};
+
+/// A path component without separators or the PSV delimiter.
+fn component() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9._-]{1,12}".prop_filter("no dot-only names", |s| s != "." && s != "..")
+}
+
+fn record_strategy() -> impl Strategy<Value = SnapshotRecord> {
+    (
+        prop::collection::vec(component(), 1..6),
+        0u64..2_000_000_000,
+        0u64..2_000_000_000,
+        0u64..2_000_000_000,
+        any::<u32>(),
+        any::<u32>(),
+        prop::bool::ANY,
+        any::<u64>(),
+        prop::collection::vec((0u16..2016, any::<u32>()), 0..6),
+    )
+        .prop_map(
+            |(components, atime, ctime, mtime, uid, gid, is_dir, ino, osts)| SnapshotRecord {
+                path: format!("/{}", components.join("/")),
+                atime,
+                ctime,
+                mtime,
+                uid,
+                gid,
+                mode: if is_dir { 0o040770 } else { 0o100664 },
+                ino,
+                osts: if is_dir { vec![] } else { osts },
+            },
+        )
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (
+        0u32..1000,
+        0u64..2_000_000_000,
+        prop::collection::vec(record_strategy(), 0..60),
+    )
+        .prop_map(|(day, taken, mut records)| {
+            // Deduplicate paths (a namespace has unique paths).
+            records.sort_by(|a, b| a.path.cmp(&b.path));
+            records.dedup_by(|a, b| a.path == b.path);
+            Snapshot::new(day, taken, records)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PSV round-trips any snapshot.
+    #[test]
+    fn psv_roundtrip(snapshot in snapshot_strategy()) {
+        let mut bytes = Vec::new();
+        psv::write_psv(&snapshot, &mut bytes).unwrap();
+        let decoded = psv::read_psv(bytes.as_slice()).unwrap();
+        prop_assert_eq!(decoded, snapshot);
+    }
+
+    /// colf round-trips any snapshot.
+    #[test]
+    fn colf_roundtrip(snapshot in snapshot_strategy()) {
+        let decoded = colf::decode(&colf::encode(&snapshot)).unwrap();
+        prop_assert_eq!(decoded, snapshot);
+    }
+
+    /// Truncating a colf buffer anywhere yields an error, never a panic
+    /// or a silently wrong snapshot.
+    #[test]
+    fn colf_truncation_safe(snapshot in snapshot_strategy(), cut_frac in 0.0..1.0f64) {
+        let bytes = colf::encode(&snapshot);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(colf::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Bit-flipping the header magic or version is always rejected.
+    #[test]
+    fn colf_header_corruption_rejected(snapshot in snapshot_strategy(), byte in 0usize..5) {
+        let mut bytes = colf::encode(&snapshot);
+        bytes[byte] ^= 0xff;
+        prop_assert!(colf::decode(&bytes).is_err());
+    }
+
+    /// The diff's five categories partition the union of file paths.
+    #[test]
+    fn diff_partitions_the_union(a in snapshot_strategy(), b in snapshot_strategy()) {
+        // Re-label days so b is "after" a (irrelevant to the diff logic).
+        let diff = SnapshotDiff::compute(&a, &b);
+        let counts = diff.breakdown();
+        let mut union: std::collections::BTreeSet<&str> = a
+            .records()
+            .iter()
+            .filter(|r| r.is_file())
+            .map(|r| r.path.as_str())
+            .collect();
+        union.extend(
+            b.records()
+                .iter()
+                .filter(|r| r.is_file())
+                .map(|r| r.path.as_str()),
+        );
+        prop_assert_eq!(
+            counts.new + counts.deleted + counts.readonly + counts.updated + counts.untouched,
+            union.len() as u64
+        );
+        // Category index vectors point at real records of the right side.
+        for &i in &diff.deleted {
+            prop_assert!(a.records()[i as usize].is_file());
+        }
+        for &i in diff.new.iter().chain(&diff.readonly).chain(&diff.updated).chain(&diff.untouched) {
+            prop_assert!(b.records()[i as usize].is_file());
+        }
+    }
+
+    /// The PSV parser never panics on arbitrary input lines — it returns
+    /// errors (fuzz-style robustness).
+    #[test]
+    fn psv_parser_never_panics(line in ".{0,200}") {
+        let _ = psv::parse_record(&line, 1);
+    }
+
+    /// Full PSV documents of arbitrary text never panic the reader.
+    #[test]
+    fn psv_reader_never_panics(text in "[ -~\n|]{0,400}") {
+        let _ = psv::read_psv(text.as_bytes());
+    }
+
+    /// The colf decoder never panics on arbitrary bytes.
+    #[test]
+    fn colf_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = colf::decode(&bytes);
+    }
+
+    /// A valid header followed by arbitrary garbage never panics either.
+    #[test]
+    fn colf_decoder_survives_garbage_body(
+        snapshot in snapshot_strategy(),
+        garbage in prop::collection::vec(any::<u8>(), 1..100),
+        keep in 5usize..40,
+    ) {
+        let mut bytes = colf::encode(&snapshot);
+        bytes.truncate(keep.min(bytes.len()));
+        bytes.extend(garbage);
+        let _ = colf::decode(&bytes);
+    }
+
+    /// Diffing a snapshot against itself yields only untouched files.
+    #[test]
+    fn self_diff_is_untouched(snapshot in snapshot_strategy()) {
+        let diff = SnapshotDiff::compute(&snapshot, &snapshot);
+        let counts = diff.breakdown();
+        prop_assert_eq!(counts.new + counts.deleted + counts.readonly + counts.updated, 0);
+        prop_assert_eq!(counts.untouched, snapshot.file_count());
+    }
+}

@@ -1,0 +1,168 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 6(a,b), 8(a,b) of the paper are CDFs over discrete per-entity
+//! counts (projects per user, users per project, directory depth, files per
+//! user/project). This module provides an exact ECDF with evaluation,
+//! inverse lookup, and step-point extraction for plotting/CSV emission.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact empirical CDF over a finite sample.
+///
+/// ```
+/// use spider_stats::EmpiricalCdf;
+///
+/// // Projects per user: most users hold one project, some several.
+/// let cdf = EmpiricalCdf::new(vec![1.0, 1.0, 2.0, 2.0, 8.0]);
+/// assert_eq!(cdf.eval(1.0), 0.4);           // 40% hold exactly one
+/// assert_eq!(cdf.ccdf(1.0), 0.6);           // 60% hold more than one
+/// assert_eq!(cdf.inverse(0.9), Some(8.0));  // the 90th percentile user
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the ECDF; NaNs are dropped, the rest sorted.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        EmpiricalCdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `<= x`. Returns 0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Generalized inverse `F^{-1}(p)`: the smallest sample value whose
+    /// cumulative fraction reaches `p`. `None` if empty or `p` outside
+    /// `(0, 1]`.
+    pub fn inverse(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = (p * n as f64).ceil() as usize;
+        Some(self.sorted[rank.min(n) - 1])
+    }
+
+    /// Step points `(x, F(x))` at each distinct sample value, suitable for
+    /// plotting the CDF or writing a figure series.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < n && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Fraction of samples strictly greater than `x` (`1 - F(x)`), the
+    /// complementary CDF used for statements like "60% of users participated
+    /// in more than one project".
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            1.0 - self.eval(x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let c = EmpiricalCdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.inverse(0.5), None);
+        assert!(c.steps().is_empty());
+    }
+
+    #[test]
+    fn eval_simple() {
+        let c = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_simple() {
+        let c = EmpiricalCdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.inverse(0.25), Some(10.0));
+        assert_eq!(c.inverse(0.26), Some(20.0));
+        assert_eq!(c.inverse(1.0), Some(40.0));
+        assert_eq!(c.inverse(0.0), None);
+        assert_eq!(c.inverse(1.5), None);
+    }
+
+    #[test]
+    fn steps_collapse_duplicates() {
+        let c = EmpiricalCdf::new(vec![1.0, 1.0, 1.0, 2.0, 3.0, 3.0]);
+        let steps = c.steps();
+        assert_eq!(
+            steps,
+            vec![(1.0, 0.5), (2.0, 4.0 / 6.0), (3.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn steps_are_monotone_and_end_at_one() {
+        let c = EmpiricalCdf::new((0..50).map(|i| ((i * 13) % 7) as f64).collect());
+        let steps = c.steps();
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(steps.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let c = EmpiricalCdf::new(vec![1.0, 2.0, 2.0, 5.0]);
+        for x in [0.0, 1.0, 2.0, 3.0, 5.0, 6.0] {
+            assert!((c.eval(x) + c.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projects_per_user_style() {
+        // 40% of users in 1 project, 40% in 2, 20% in 3+ — paper-style claim
+        // "more than 60% participated in more than one project" fails here,
+        // but "exactly 60% in more than one" holds.
+        let mut v = vec![1.0; 4];
+        v.extend(vec![2.0; 4]);
+        v.extend(vec![8.0; 2]);
+        let c = EmpiricalCdf::new(v);
+        assert!((c.ccdf(1.0) - 0.6).abs() < 1e-12);
+        assert!((c.ccdf(2.0) - 0.2).abs() < 1e-12);
+    }
+}

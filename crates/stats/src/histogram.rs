@@ -1,0 +1,199 @@
+//! Fixed-width and logarithmic histograms.
+//!
+//! Degree distributions (Fig. 18b) and component-size distributions
+//! (Table 3) are heavy-tailed; log-binned histograms make the power-law
+//! visible while linear histograms serve bounded quantities like weekly
+//! access-pattern shares (Fig. 13).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` equal buckets plus
+/// underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` buckets.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((value - self.lo) / w) as usize;
+            // Guard against FP edge (value infinitesimally below hi).
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+}
+
+/// A base-2 logarithmic histogram for positive integer-ish quantities
+/// (degrees, file counts, component sizes). Bucket `k` covers
+/// `[2^k, 2^(k+1))`; zero values get a dedicated bucket.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    zero: u64,
+    counts: Vec<u64>,
+}
+
+impl LogHistogram {
+    /// Creates an empty log histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a non-negative observation.
+    pub fn push(&mut self, value: u64) {
+        if value == 0 {
+            self.zero += 1;
+            return;
+        }
+        let k = 63 - value.leading_zeros() as usize; // floor(log2(value))
+        if self.counts.len() <= k {
+            self.counts.resize(k + 1, 0);
+        }
+        self.counts[k] += 1;
+    }
+
+    /// Count of zero observations.
+    pub fn zeros(&self) -> u64 {
+        self.zero
+    }
+
+    /// `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.zero + self.counts.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.push(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.push(0.5);
+        h.push(3.0);
+        assert_eq!(h.centers(), vec![(1.0, 1), (3.0, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, 1024] {
+            h.push(v);
+        }
+        assert_eq!(h.zeros(), 1);
+        assert_eq!(
+            h.buckets(),
+            vec![(1, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]
+        );
+        assert_eq!(h.total(), 9);
+    }
+
+    #[test]
+    fn log_histogram_power_of_two_edges() {
+        let mut h = LogHistogram::new();
+        h.push(1);
+        h.push(2);
+        h.push(4);
+        h.push(u64::MAX);
+        let b = h.buckets();
+        assert_eq!(b[0], (1, 1));
+        assert_eq!(b[1], (2, 1));
+        assert_eq!(b[2], (4, 1));
+        assert_eq!(b[3], (1u64 << 63, 1));
+    }
+}

@@ -1,0 +1,41 @@
+//! # spider-stats
+//!
+//! Statistics primitives shared by the Spider II metadata-analysis
+//! reproduction (SC '17, "Scientific User Behavior and Data-Sharing Trends
+//! in a Petascale File System").
+//!
+//! The paper reports almost all of its findings through a small set of
+//! distributional summaries:
+//!
+//! * **empirical CDFs** (Figs. 6 and 8 — projects per user, users per
+//!   project, directory depth, file counts),
+//! * **quantile boxes** (Figs. 9 and 17 — min/25th/median/75th/max per
+//!   science domain),
+//! * **coefficient of variation** `c_v = σ/μ` of timestamp distributions
+//!   (Fig. 17 and Table 1 — burstiness of file operations),
+//! * **power-law degree fits** on a log–log scale (Fig. 18b), and
+//! * **time-series trends** (Figs. 10, 15, 16).
+//!
+//! This crate provides exactly those primitives, with an emphasis on
+//! single-pass streaming computation (the analysis engine scans multi-million
+//! row snapshot frames) and on numerical behaviour that is well-defined for
+//! the degenerate inputs a file-system scan produces (empty groups, constant
+//! timestamps, single-file projects).
+
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod histogram;
+pub mod linreg;
+pub mod moments;
+pub mod powerlaw;
+pub mod quantile;
+pub mod timeseries;
+
+pub use cdf::EmpiricalCdf;
+pub use histogram::{Histogram, LogHistogram};
+pub use linreg::LinearFit;
+pub use moments::StreamingMoments;
+pub use powerlaw::PowerLawFit;
+pub use quantile::{FiveNumber, Quantiles};
+pub use timeseries::TimeSeries;

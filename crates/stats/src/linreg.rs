@@ -1,0 +1,115 @@
+//! Ordinary least-squares linear regression.
+//!
+//! Used directly for trend lines over time series (Fig. 15 growth, Fig. 16
+//! file age) and indirectly by the power-law fitter (log–log regression of
+//! Fig. 18b).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `y = slope * x + intercept` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit). For a
+    /// constant-`y` input the residuals are zero and `r2` is defined as 1.
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits `(x, y)` pairs. Returns `None` with fewer than two points or
+    /// when all `x` are identical (vertical line).
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        let n = points.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for &(x, y) in points {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r2,
+            n,
+        })
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(100.0) - 302.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_y() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 4.0)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0)]).is_none());
+        // vertical line: identical x
+        assert!(LinearFit::fit(&[(1.0, 2.0), (1.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_line_has_r2_below_one() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+                (x, 2.0 * x + noise * 5.0)
+            })
+            .collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.1);
+        assert!(f.r2 < 1.0 && f.r2 > 0.9);
+    }
+
+    #[test]
+    fn negative_slope() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -1.5 * i as f64)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope + 1.5).abs() < 1e-12);
+    }
+}

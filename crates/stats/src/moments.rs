@@ -1,0 +1,249 @@
+//! Streaming first/second moments (Welford's algorithm) and the coefficient
+//! of variation used throughout the burstiness analysis (§4.2.4).
+//!
+//! The paper defines burstiness of file operations through
+//! `c_v = σ / μ` over the *mtime* distribution of newly created files
+//! (write burstiness) and the *atime* distribution of read-only files
+//! (read burstiness). Lower `c_v` means the operations are packed into
+//! shorter intervals, i.e. burstier behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass accumulator for count, mean, and variance.
+///
+/// ```
+/// use spider_stats::StreamingMoments;
+///
+/// let mut m = StreamingMoments::new();
+/// for offset in [3600.0, 3660.0, 3720.0] {
+///     m.push(offset); // mtime offsets packed into two minutes: bursty
+/// }
+/// let cv = m.coefficient_of_variation().unwrap();
+/// assert!(cv < 0.02); // low c_v == bursty, the paper's convention
+/// ```
+///
+/// Uses Welford's online algorithm, which is numerically stable for the
+/// large-magnitude inputs we feed it (Unix timestamps in seconds, file
+/// counts in the millions). Accumulators can be merged, which is what the
+/// parallel group-by in `spider-core` relies on (rayon `fold` + `reduce`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &v in values {
+            m.push(v);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// variance combination).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` if no observations were pushed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`m2 / n`), or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (`m2 / (n-1)`), or `None` for fewer than two samples.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Coefficient of variation `c_v = σ / μ` (population σ).
+    ///
+    /// Returns `None` when the accumulator is empty or when the mean is zero
+    /// (a `c_v` of a distribution centred at zero is undefined; the analysis
+    /// layer shifts timestamps to an epoch-relative offset before computing
+    /// `c_v`, matching how the paper treats mtime/atime distributions).
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        if mean == 0.0 {
+            return None;
+        }
+        Some(self.std_dev()? / mean.abs())
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn empty_accumulator_yields_none() {
+        let m = StreamingMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.variance(), None);
+        assert_eq!(m.coefficient_of_variation(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let m = StreamingMoments::from_slice(&[42.0]);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), Some(42.0));
+        assert_eq!(m.variance(), Some(0.0));
+        assert_eq!(m.sample_variance(), None);
+        assert_eq!(m.coefficient_of_variation(), Some(0.0));
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let m = StreamingMoments::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!(close(m.mean().unwrap(), 5.0));
+        assert!(close(m.variance().unwrap(), 4.0));
+        assert!(close(m.std_dev().unwrap(), 2.0));
+        assert!(close(m.coefficient_of_variation().unwrap(), 0.4));
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0 + 500.0).collect();
+        let whole = StreamingMoments::from_slice(&data);
+        let mut left = StreamingMoments::from_slice(&data[..317]);
+        let right = StreamingMoments::from_slice(&data[317..]);
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!(close(left.mean().unwrap(), whole.mean().unwrap()));
+        assert!(close(left.variance().unwrap(), whole.variance().unwrap()));
+        assert!(close(left.min().unwrap(), whole.min().unwrap()));
+        assert!(close(left.max().unwrap(), whole.max().unwrap()));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = StreamingMoments::from_slice(&[1.0, 2.0, 3.0]);
+        let before = m;
+        m.merge(&StreamingMoments::new());
+        assert_eq!(m, before);
+
+        let mut e = StreamingMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn cv_of_zero_mean_is_none() {
+        let m = StreamingMoments::from_slice(&[-1.0, 1.0]);
+        assert_eq!(m.coefficient_of_variation(), None);
+    }
+
+    #[test]
+    fn cv_shrinks_for_burstier_distributions() {
+        // Bursty: all events within a narrow window relative to the epoch
+        // offset. Dispersed: events spread across the whole window. The
+        // paper's convention: lower c_v == burstier.
+        let base = 1_000_000.0;
+        let bursty: Vec<f64> = (0..100).map(|i| base + i as f64).collect();
+        let dispersed: Vec<f64> = (0..100).map(|i| base + i as f64 * 10_000.0).collect();
+        let cv_bursty = StreamingMoments::from_slice(&bursty)
+            .coefficient_of_variation()
+            .unwrap();
+        let cv_dispersed = StreamingMoments::from_slice(&dispersed)
+            .coefficient_of_variation()
+            .unwrap();
+        assert!(cv_bursty < cv_dispersed);
+    }
+
+    #[test]
+    fn sum_is_consistent() {
+        let m = StreamingMoments::from_slice(&[1.5, 2.5, 6.0]);
+        assert!(close(m.sum(), 10.0));
+    }
+
+    #[test]
+    fn timestamps_do_not_lose_precision() {
+        // Unix timestamps around 1.47e9 (the paper's observation window).
+        let ts: Vec<f64> = (0..10_000).map(|i| 1_470_000_000.0 + i as f64).collect();
+        let m = StreamingMoments::from_slice(&ts);
+        assert!(close(m.mean().unwrap(), 1_470_000_000.0 + 4_999.5));
+        // Variance of 0..n-1 uniform grid = (n^2-1)/12.
+        let expect = (10_000.0f64 * 10_000.0 - 1.0) / 12.0;
+        assert!((m.variance().unwrap() - expect).abs() / expect < 1e-6);
+    }
+}

@@ -1,0 +1,146 @@
+//! Power-law detection on degree distributions.
+//!
+//! §4.3.1 of the paper observes "a descending linear slope in the log-log
+//! plot" of the file-generation network's degree distribution (Fig. 18b) and
+//! concludes the distribution follows a power law, like other real-world
+//! social networks. We reproduce that exact methodology: bucket the degree
+//! frequencies, regress `log(count)` on `log(degree)`, and report the slope
+//! (the negated exponent) and goodness of fit.
+
+use crate::linreg::LinearFit;
+use serde::{Deserialize, Serialize};
+
+/// Result of a log–log regression over a degree (or size) frequency
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Slope of `log10(freq)` vs `log10(value)`; negative for a power law.
+    pub slope: f64,
+    /// Intercept of the log–log regression.
+    pub intercept: f64,
+    /// Coefficient of determination of the log–log fit.
+    pub r2: f64,
+    /// Number of distinct values used in the regression.
+    pub distinct_values: usize,
+}
+
+impl PowerLawFit {
+    /// Fits the frequency distribution of `values` (e.g. vertex degrees).
+    ///
+    /// Zeros are ignored (log undefined); at least two distinct positive
+    /// values are required. Frequencies are computed exactly — no binning —
+    /// mirroring the paper's scatter of `(degree, #vertices)` points.
+    pub fn from_values(values: &[u64]) -> Option<PowerLawFit> {
+        let mut freq = std::collections::BTreeMap::new();
+        for &v in values {
+            if v > 0 {
+                *freq.entry(v).or_insert(0u64) += 1;
+            }
+        }
+        Self::from_frequencies(freq.into_iter())
+    }
+
+    /// Fits from pre-computed `(value, frequency)` pairs.
+    pub fn from_frequencies(pairs: impl Iterator<Item = (u64, u64)>) -> Option<PowerLawFit> {
+        let pts: Vec<(f64, f64)> = pairs
+            .filter(|&(v, c)| v > 0 && c > 0)
+            .map(|(v, c)| ((v as f64).log10(), (c as f64).log10()))
+            .collect();
+        let fit = LinearFit::fit(&pts)?;
+        Some(PowerLawFit {
+            slope: fit.slope,
+            intercept: fit.intercept,
+            r2: fit.r2,
+            distinct_values: pts.len(),
+        })
+    }
+
+    /// The paper's qualitative criterion: a clearly descending, reasonably
+    /// linear log–log trend. We encode "descending" as slope < -0.5 and
+    /// "linear" as `r2 >= min_r2`.
+    pub fn looks_power_law(&self, min_r2: f64) -> bool {
+        self.slope < -0.5 && self.r2 >= min_r2 && self.distinct_values >= 3
+    }
+
+    /// Estimated power-law exponent `alpha` (`P(k) ~ k^-alpha`).
+    pub fn alpha(&self) -> f64 {
+        -self.slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a sample whose frequency distribution is exactly
+    /// `freq(k) = round(C * k^-alpha)` for k = 1..=kmax.
+    fn synth_power_law(alpha: f64, c: f64, kmax: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for k in 1..=kmax {
+            let f = (c * (k as f64).powf(-alpha)).round() as u64;
+            for _ in 0..f {
+                out.push(k);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_exponent_on_synthetic_data() {
+        let values = synth_power_law(2.0, 10_000.0, 30);
+        let fit = PowerLawFit::from_values(&values).unwrap();
+        assert!((fit.alpha() - 2.0).abs() < 0.1, "alpha = {}", fit.alpha());
+        assert!(fit.r2 > 0.98);
+        assert!(fit.looks_power_law(0.9));
+    }
+
+    #[test]
+    fn uniform_distribution_is_not_power_law() {
+        // Every degree 1..=20 appears exactly 50 times: slope ~ 0.
+        let mut values = Vec::new();
+        for k in 1..=20u64 {
+            values.extend(std::iter::repeat_n(k, 50));
+        }
+        let fit = PowerLawFit::from_values(&values).unwrap();
+        assert!(fit.slope.abs() < 0.05);
+        assert!(!fit.looks_power_law(0.9));
+    }
+
+    #[test]
+    fn increasing_distribution_is_not_power_law() {
+        let mut values = Vec::new();
+        for k in 1..=10u64 {
+            values.extend(std::iter::repeat_n(k, (k * k) as usize));
+        }
+        let fit = PowerLawFit::from_values(&values).unwrap();
+        assert!(fit.slope > 0.0);
+        assert!(!fit.looks_power_law(0.5));
+    }
+
+    #[test]
+    fn zeros_are_ignored() {
+        let values = vec![0, 0, 0, 1, 1, 1, 1, 2, 2, 4];
+        let fit = PowerLawFit::from_values(&values).unwrap();
+        assert_eq!(fit.distinct_values, 3);
+    }
+
+    #[test]
+    fn insufficient_data_returns_none() {
+        assert!(PowerLawFit::from_values(&[]).is_none());
+        assert!(PowerLawFit::from_values(&[5, 5, 5]).is_none()); // one distinct value
+        assert!(PowerLawFit::from_values(&[0, 0]).is_none());
+    }
+
+    #[test]
+    fn from_frequencies_equals_from_values() {
+        let values = synth_power_law(1.5, 1000.0, 10);
+        let a = PowerLawFit::from_values(&values).unwrap();
+        let mut freq = std::collections::BTreeMap::new();
+        for &v in &values {
+            *freq.entry(v).or_insert(0u64) += 1;
+        }
+        let b = PowerLawFit::from_frequencies(freq.into_iter()).unwrap();
+        assert!((a.slope - b.slope).abs() < 1e-12);
+        assert!((a.r2 - b.r2).abs() < 1e-12);
+    }
+}

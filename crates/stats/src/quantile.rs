@@ -1,0 +1,206 @@
+//! Exact quantiles over owned samples.
+//!
+//! Figure 9 (directory depth per domain) and Figure 17 (burstiness per
+//! domain) report five-number summaries: minimum, 25th percentile, median,
+//! 75th percentile, and maximum. The snapshot analysis collects per-group
+//! samples (hundreds to a few million values per group), so exact
+//! `select_nth_unstable`-based quantiles are both affordable and free of
+//! sketch error.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of samples from which exact quantiles can be extracted.
+///
+/// Construction sorts the data once; all queries afterwards are O(1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+/// Five-number summary (min, q1, median, q3, max) as reported in the
+/// paper's box-style figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Minimum observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Builds a quantile set, sorting the input. NaN values are removed
+    /// (they arise from undefined `c_v` of empty subgroups and must not
+    /// poison the ordering).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Quantiles { sorted: values }
+    }
+
+    /// Number of (non-NaN) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The q-th quantile for `q` in `[0, 1]`, using linear interpolation
+    /// between closest ranks (type-7 quantile, the R/NumPy default).
+    ///
+    /// Returns `None` on an empty sample or if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let n = self.sorted.len();
+        if n == 1 {
+            return Some(self.sorted[0]);
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The five-number summary used by Figures 9 and 17.
+    pub fn five_number(&self) -> Option<FiveNumber> {
+        Some(FiveNumber {
+            min: self.min()?,
+            q1: self.quantile(0.25)?,
+            median: self.median()?,
+            q3: self.quantile(0.75)?,
+            max: self.max()?,
+        })
+    }
+
+    /// Fraction of samples strictly greater than `threshold`.
+    ///
+    /// Used for statements like "more than 30% of the projects have a
+    /// directory depth greater than 10" (Observation 3 context).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= threshold);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// Borrow the sorted samples.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FiveNumber {
+    /// Interquartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let q = Quantiles::new(vec![]);
+        assert!(q.is_empty());
+        assert_eq!(q.median(), None);
+        assert_eq!(q.five_number(), None);
+        assert_eq!(q.fraction_above(0.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let q = Quantiles::new(vec![7.0]);
+        let f = q.five_number().unwrap();
+        assert_eq!(f.min, 7.0);
+        assert_eq!(f.q1, 7.0);
+        assert_eq!(f.median, 7.0);
+        assert_eq!(f.q3, 7.0);
+        assert_eq!(f.max, 7.0);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let odd = Quantiles::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(odd.median(), Some(2.0));
+        let even = Quantiles::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(even.median(), Some(2.5));
+    }
+
+    #[test]
+    fn type7_interpolation() {
+        // For [1,2,3,4]: q1 at pos 0.75 => 1.75, q3 at pos 2.25 => 3.25.
+        let q = Quantiles::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(q.quantile(0.25), Some(1.75));
+        assert_eq!(q.quantile(0.75), Some(3.25));
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let q = Quantiles::new(vec![5.0, 1.0, 9.0]);
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.quantile(1.0), Some(9.0));
+        assert_eq!(q.quantile(-0.1), None);
+        assert_eq!(q.quantile(1.1), None);
+    }
+
+    #[test]
+    fn nan_values_are_dropped() {
+        let q = Quantiles::new(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.median(), Some(2.0));
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let q = Quantiles::new((1..=10).map(|i| i as f64).collect());
+        assert!((q.fraction_above(7.0) - 0.3).abs() < 1e-12);
+        assert_eq!(q.fraction_above(10.0), 0.0);
+        assert_eq!(q.fraction_above(0.0), 1.0);
+    }
+
+    #[test]
+    fn five_number_is_ordered() {
+        let q = Quantiles::new((0..100).map(|i| ((i * 37) % 100) as f64).collect());
+        let f = q.five_number().unwrap();
+        assert!(f.min <= f.q1 && f.q1 <= f.median && f.median <= f.q3 && f.q3 <= f.max);
+        assert!(f.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn directory_depth_style_input() {
+        // Depths akin to Table 1's [median, max] = [10, 22] domain.
+        let depths: Vec<f64> = vec![5., 6., 8., 9., 10., 10., 11., 12., 14., 22.];
+        let q = Quantiles::new(depths);
+        assert_eq!(q.median(), Some(10.0));
+        assert_eq!(q.max(), Some(22.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Time-indexed series of scalar observations.
+//!
+//! Figures 10, 15, and 16 plot weekly snapshot aggregates over the 500-day
+//! observation window (extension shares, file/dir counts, mean file age).
+//! `TimeSeries` carries `(day, value)` points, provides trend fitting, and
+//! answers the paper's threshold questions ("the average file age exceeded
+//! 90 days in 86% of the snapshot periods").
+
+use crate::linreg::LinearFit;
+use serde::{Deserialize, Serialize};
+
+/// An ordered series of `(day, value)` observations. Days are simulation
+/// days since epoch (the paper's x-axes are calendar dates; ours are day
+/// offsets into the observation window).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(u32, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from points, sorting by day and keeping the last
+    /// value for duplicate days.
+    pub fn from_points(mut points: Vec<(u32, f64)>) -> Self {
+        points.sort_by_key(|p| p.0);
+        // Keep the *last* value for each duplicated day (later pushes win).
+        let mut deduped: Vec<(u32, f64)> = Vec::with_capacity(points.len());
+        for p in points {
+            match deduped.last_mut() {
+                Some(last) if last.0 == p.0 => *last = p,
+                _ => deduped.push(p),
+            }
+        }
+        TimeSeries { points: deduped }
+    }
+
+    /// Appends an observation. Days must be pushed in non-decreasing order.
+    ///
+    /// # Panics
+    /// Panics if `day` precedes the last pushed day.
+    pub fn push(&mut self, day: u32, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(day >= last, "time series days must be non-decreasing");
+            if day == last {
+                self.points.pop();
+            }
+        }
+        self.points.push((day, value));
+    }
+
+    /// The observation points.
+    pub fn points(&self) -> &[(u32, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// First value, or `None` if empty.
+    pub fn first(&self) -> Option<(u32, f64)> {
+        self.points.first().copied()
+    }
+
+    /// Last value, or `None` if empty.
+    pub fn last(&self) -> Option<(u32, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Linear trend over the series.
+    pub fn trend(&self) -> Option<LinearFit> {
+        let pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|&(d, v)| (d as f64, v))
+            .collect();
+        LinearFit::fit(&pts)
+    }
+
+    /// Multiplicative growth `last/first`, or `None` when empty or the first
+    /// value is zero. Used for "files grew from 200 M to 1 B" (Obs. 7).
+    pub fn growth_factor(&self) -> Option<f64> {
+        let (_, first) = self.first()?;
+        let (_, last) = self.last()?;
+        if first == 0.0 {
+            return None;
+        }
+        Some(last / first)
+    }
+
+    /// Fraction of points whose value exceeds `threshold` ("the average file
+    /// age exceeded 90 days in 64 of 72 snapshot dates", Fig. 16).
+    pub fn fraction_exceeding(&self, threshold: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let n = self.points.iter().filter(|p| p.1 > threshold).count();
+        n as f64 / self.points.len() as f64
+    }
+
+    /// Maximum value point, or `None` if empty.
+    pub fn max(&self) -> Option<(u32, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in series"))
+    }
+
+    /// Median of the values, or `None` if empty.
+    pub fn median(&self) -> Option<f64> {
+        crate::quantile::Quantiles::new(self.points.iter().map(|p| p.1).collect()).median()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.growth_factor(), None);
+        assert_eq!(s.fraction_exceeding(0.0), 0.0);
+        assert!(s.trend().is_none());
+    }
+
+    #[test]
+    fn push_ordering_enforced() {
+        let mut s = TimeSeries::new();
+        s.push(0, 1.0);
+        s.push(7, 2.0);
+        let result = std::panic::catch_unwind(move || s.push(3, 9.0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn duplicate_day_keeps_last() {
+        let mut s = TimeSeries::new();
+        s.push(0, 1.0);
+        s.push(0, 5.0);
+        assert_eq!(s.points(), &[(0, 5.0)]);
+
+        let s2 = TimeSeries::from_points(vec![(7, 2.0), (0, 1.0), (7, 3.0)]);
+        assert_eq!(s2.points(), &[(0, 1.0), (7, 3.0)]);
+    }
+
+    #[test]
+    fn growth_factor_matches_paper_style_growth() {
+        // 200M -> 1B over the window: factor 5.
+        let s = TimeSeries::from_points(vec![(0, 200e6), (250, 500e6), (500, 1000e6)]);
+        assert!((s.growth_factor().unwrap() - 5.0).abs() < 1e-12);
+        assert!(s.trend().unwrap().slope > 0.0);
+    }
+
+    #[test]
+    fn fraction_exceeding_threshold() {
+        // 6 of 8 weeks above 90 days.
+        let s = TimeSeries::from_points(
+            (0..8).map(|i| (i * 7, if i < 6 { 120.0 } else { 80.0 })).collect(),
+        );
+        assert!((s.fraction_exceeding(90.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = TimeSeries::from_points(vec![(0, 1.0), (1, 3.0), (2, 2.0)]);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.median(), Some(2.0));
+        assert_eq!(s.max(), Some((1, 3.0)));
+        assert_eq!(s.first(), Some((0, 1.0)));
+        assert_eq!(s.last(), Some((2, 2.0)));
+    }
+}

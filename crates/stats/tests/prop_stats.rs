@@ -1,0 +1,106 @@
+//! Property-based tests for the statistics primitives.
+
+use proptest::prelude::*;
+use spider_stats::{EmpiricalCdf, LinearFit, Quantiles, StreamingMoments, TimeSeries};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e9..1.0e9f64, 0..max_len)
+}
+
+proptest! {
+    /// Merging split accumulators matches the single-pass result.
+    #[test]
+    fn moments_merge_equals_single_pass(data in finite_vec(200), split in 0usize..200) {
+        let split = split.min(data.len());
+        let whole = StreamingMoments::from_slice(&data);
+        let mut left = StreamingMoments::from_slice(&data[..split]);
+        let right = StreamingMoments::from_slice(&data[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        if let (Some(a), Some(b)) = (left.mean(), whole.mean()) {
+            prop_assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0));
+        }
+        if let (Some(a), Some(b)) = (left.variance(), whole.variance()) {
+            prop_assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0));
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_are_monotone(data in finite_vec(100)) {
+        let q = Quantiles::new(data.clone());
+        if q.is_empty() {
+            prop_assert_eq!(q.median(), None);
+            return Ok(());
+        }
+        let mut last = q.quantile(0.0).unwrap();
+        for step in 1..=20 {
+            let cur = q.quantile(step as f64 / 20.0).unwrap();
+            prop_assert!(cur >= last, "q not monotone: {cur} < {last}");
+            last = cur;
+        }
+        let five = q.five_number().unwrap();
+        prop_assert!(five.min <= five.q1 && five.q1 <= five.median);
+        prop_assert!(five.median <= five.q3 && five.q3 <= five.max);
+    }
+
+    /// The ECDF is a valid distribution function: within [0,1], monotone,
+    /// 0 below the min and 1 at/above the max.
+    #[test]
+    fn cdf_is_a_distribution(data in finite_vec(100), probe in -1.0e9..1.0e9f64) {
+        let cdf = EmpiricalCdf::new(data.clone());
+        let v = cdf.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((cdf.eval(probe) + cdf.ccdf(probe) - 1.0).abs() < 1e-12 || cdf.is_empty());
+        if !cdf.is_empty() {
+            let steps = cdf.steps();
+            prop_assert!((steps.last().unwrap().1 - 1.0).abs() < 1e-12);
+            for w in steps.windows(2) {
+                prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    /// The inverse CDF is a right-inverse: F(F^-1(p)) >= p.
+    #[test]
+    fn cdf_inverse_is_consistent(data in finite_vec(100), p in 0.01..1.0f64) {
+        let cdf = EmpiricalCdf::new(data);
+        if let Some(x) = cdf.inverse(p) {
+            prop_assert!(cdf.eval(x) >= p - 1e-12);
+        }
+    }
+
+    /// A linear fit on exactly linear data recovers slope and intercept.
+    #[test]
+    fn linear_fit_recovers_lines(
+        slope in -1.0e3..1.0e3f64,
+        intercept in -1.0e3..1.0e3f64,
+        n in 2usize..50,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| (i as f64, slope * i as f64 + intercept))
+            .collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+    }
+
+    /// TimeSeries::from_points sorts, dedups, and preserves the value set.
+    #[test]
+    fn timeseries_from_points_invariants(
+        points in prop::collection::vec((0u32..1000, -1.0e6..1.0e6f64), 0..50)
+    ) {
+        let series = TimeSeries::from_points(points.clone());
+        for w in series.points().windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        // Every day in the series appeared in the input.
+        for (day, _) in series.points() {
+            prop_assert!(points.iter().any(|(d, _)| d == day));
+        }
+        // fraction_exceeding is a fraction.
+        let f = series.fraction_exceeding(0.0);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

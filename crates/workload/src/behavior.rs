@@ -1,0 +1,566 @@
+//! Per-project behavioral parameters.
+//!
+//! [`ProjectBehavior`] translates a domain's calibration profile plus a
+//! project's volume share into the knobs the simulation driver executes
+//! every week: creation rates, burstiness targets, read/update/delete
+//! churn, purge-dodging touch scripts, stripe tuning, directory shapes,
+//! and file-name (extension) generation.
+//!
+//! The translation encodes the paper's §4.2 findings *generatively*:
+//!
+//! * **write burstiness** — new-file `mtime` offsets within a week are
+//!   drawn from a clamped normal whose relative dispersion equals the
+//!   domain's Table 1 write `c_v`;
+//! * **read burstiness** — read passes cluster `atime` offsets with the
+//!   (~100× smaller) read `c_v`;
+//! * **file age** (Fig. 16) — a *reference-dataset* fraction of files is
+//!   re-read for months after its last write, pushing median age past the
+//!   90-day purge window;
+//! * **churn** (Fig. 13) — weekly delete/update fractions produce the
+//!   new/deleted/updated/readonly/untouched mix;
+//! * **growth** (Fig. 15) — a linear activity ramp multiplies creation
+//!   rates ~5× across the window (200 M → 1 B live entries in the paper);
+//! * **extension surges** (Fig. 10) — nph's `.bb` burst in mid-2015 and
+//!   chp's `.xyz` burst in early 2016 are volume multipliers on those
+//!   domains' dominant allocations.
+
+use crate::population::Project;
+use crate::profiles::DomainProfile;
+use crate::rng::{clamped_normal, log_normal};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Days in the paper's observation window.
+pub const OBSERVATION_DAYS: u32 = 500;
+
+/// Activity ramp over the window: the live file count grows ~5× (Fig. 15),
+/// which a linear creation-rate ramp from 1× to ~5× reproduces under a
+/// fixed retention window.
+pub fn growth_multiplier(day: u32) -> f64 {
+    1.0 + 4.0 * (day.min(OBSERVATION_DAYS) as f64 / OBSERVATION_DAYS as f64)
+}
+
+/// The `.bb` surge window (Nuclear Physics, around July 2015 — paper
+/// Fig. 10), as simulation days.
+pub const BB_SURGE: (u32, u32) = (170, 230);
+/// The `.xyz` surge window (Physical Chemistry, February 2016).
+pub const XYZ_SURGE: (u32, u32) = (390, 440);
+
+/// What kind of name a generated file gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameKind {
+    /// A known extension from the domain mix (`out.xyz`); the payload
+    /// indexes into [`ExtensionMix::entries`].
+    Known(usize),
+    /// No extension at all (`RESTART`); ~16% of files in Fig. 10.
+    Bare,
+    /// Numeric checkpoint suffix (`result.0001`), which the paper notes
+    /// its extension analysis cannot classify.
+    Numeric,
+    /// A rare junk extension, landing in Fig. 10's "other" bucket.
+    Rare,
+}
+
+/// Weighted file-name generator for one project.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionMix {
+    /// `(extension, weight)` entries for known extensions; weights are
+    /// percentages and need not reach 100 — the remainder is split among
+    /// bare/numeric/rare names.
+    entries: Vec<(String, f64)>,
+    /// Cumulative weights in `[0, 1]`, parallel to `entries`.
+    cumulative: Vec<f64>,
+    /// Fraction of bare (extension-less) names.
+    bare_fraction: f64,
+    /// Fraction of numeric checkpoint suffixes.
+    numeric_fraction: f64,
+}
+
+/// Fraction of all files with no extension (Fig. 10: ~16%).
+const BARE_FRACTION: f64 = 0.16;
+/// Fraction of numeric checkpoint names (a slice of Fig. 10's "other").
+const NUMERIC_FRACTION: f64 = 0.08;
+
+impl ExtensionMix {
+    /// Builds the mix for a domain: Table 2's top extensions, a source-code
+    /// share for the domain's top-2 languages plus shell scripts (feeding
+    /// Figs. 11/12), and a common tail of generic data extensions.
+    pub fn for_profile(prof: &DomainProfile) -> ExtensionMix {
+        let mut entries: Vec<(String, f64)> = Vec::new();
+        let mut claimed = 0.0;
+        for &(ext, pct) in prof.extensions {
+            entries.push((ext.to_string(), pct));
+            claimed += pct;
+        }
+        // Source files: ~6% of entries, split 60/40 between the domain's
+        // top-2 languages, plus headers for C/C++ and 2% shell scripts.
+        let lang_exts: [(&str, f64); 2] = [
+            (
+                crate::languages::primary_extension(prof.languages[0]).unwrap_or("c"),
+                3.6,
+            ),
+            (
+                crate::languages::primary_extension(prof.languages[1]).unwrap_or("c"),
+                2.4,
+            ),
+        ];
+        for (ext, pct) in lang_exts {
+            merge_entry(&mut entries, ext, pct);
+            claimed += pct;
+        }
+        merge_entry(&mut entries, "sh", 2.0);
+        claimed += 2.0;
+
+        // Generic tail shared by every domain (the paper's top-20 list:
+        // txt, dat, log, png, gz, h5, o, xml, out, inp ...).
+        let tail: [(&str, f64); 10] = [
+            ("txt", 2.0),
+            ("dat", 2.0),
+            ("log", 2.0),
+            ("png", 1.5),
+            ("gz", 1.5),
+            ("h5", 1.0),
+            ("o", 1.0),
+            ("xml", 0.8),
+            ("out", 0.8),
+            ("inp", 0.5),
+        ];
+        for (ext, pct) in tail {
+            merge_entry(&mut entries, ext, pct);
+            claimed += pct;
+        }
+
+        // Normalize so known extensions never exceed the non-bare,
+        // non-numeric budget.
+        let budget = (1.0 - BARE_FRACTION - NUMERIC_FRACTION) * 100.0;
+        if claimed > budget {
+            let scale = budget / claimed;
+            for e in &mut entries {
+                e.1 *= scale;
+            }
+        }
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for e in &entries {
+            acc += e.1 / 100.0;
+            cumulative.push(acc);
+        }
+        ExtensionMix {
+            entries,
+            cumulative,
+            bare_fraction: BARE_FRACTION,
+            numeric_fraction: NUMERIC_FRACTION,
+        }
+    }
+
+    /// Draws the name kind for one new file.
+    pub fn sample(&self, rng: &mut impl Rng) -> NameKind {
+        let u: f64 = rng.random_range(0.0..1.0);
+        if let Some(idx) = self.cumulative.iter().position(|&c| u < c) {
+            return NameKind::Known(idx);
+        }
+        let rest = u - self.cumulative.last().copied().unwrap_or(0.0);
+        let span = 1.0 - self.cumulative.last().copied().unwrap_or(0.0);
+        let frac = if span > 0.0 { rest / span } else { 1.0 };
+        let bare_cut = self.bare_fraction
+            / (self.bare_fraction + self.numeric_fraction + rare_fraction_of(self));
+        let numeric_cut = bare_cut
+            + self.numeric_fraction
+                / (self.bare_fraction + self.numeric_fraction + rare_fraction_of(self));
+        if frac < bare_cut {
+            NameKind::Bare
+        } else if frac < numeric_cut {
+            NameKind::Numeric
+        } else {
+            NameKind::Rare
+        }
+    }
+
+    /// Generates a concrete file name for serial number `serial`.
+    pub fn sample_name(&self, rng: &mut impl Rng, serial: u64) -> String {
+        match self.sample(rng) {
+            NameKind::Known(idx) => format!("f{serial:07}.{}", self.entries[idx].0),
+            NameKind::Bare => format!("RESTART{serial:07}"),
+            NameKind::Numeric => {
+                let step = rng.random_range(0..10_000u32);
+                format!("result{serial:05}.{step:04}")
+            }
+            NameKind::Rare => {
+                // A long tail of junk extensions, distinct per draw.
+                let tag: u32 = rng.random_range(0..500);
+                format!("f{serial:07}.x{tag:03}")
+            }
+        }
+    }
+
+    /// The known-extension entries and weights.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+}
+
+fn rare_fraction_of(mix: &ExtensionMix) -> f64 {
+    (1.0 - mix.cumulative.last().copied().unwrap_or(0.0)
+        - mix.bare_fraction
+        - mix.numeric_fraction)
+        .max(0.0)
+}
+
+fn merge_entry(entries: &mut Vec<(String, f64)>, ext: &str, pct: f64) {
+    if let Some(e) = entries.iter_mut().find(|e| e.0 == ext) {
+        e.1 += pct;
+    } else {
+        entries.push((ext.to_string(), pct));
+    }
+}
+
+/// Stripe-tuning behaviour derived from the Table 1 `# OST` level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StripeTuning {
+    /// Fraction of files receiving a non-default stripe count.
+    pub tuned_fraction: f64,
+    /// Low end of the tuned stripe range.
+    pub min_stripe: u32,
+    /// High end of the tuned stripe range (≤ 1,008).
+    pub max_stripe: u32,
+}
+
+/// Fully resolved behavioural parameters for one project.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectBehavior {
+    /// Base files created per day at window start (before the growth ramp
+    /// and surge multipliers), already scaled by the simulation's scale
+    /// factor.
+    pub base_daily_files: f64,
+    /// Directory fraction of created entries (Fig. 7b).
+    pub dir_fraction: f64,
+    /// Target `c_v` of weekly new-file `mtime` offsets.
+    pub write_cv: f64,
+    /// Target `c_v` of weekly readonly-file `atime` offsets.
+    pub read_cv: f64,
+    /// Fraction of the project's live files deleted by users each week.
+    pub weekly_delete_fraction: f64,
+    /// Fraction of recent files rewritten (checkpoint updates) each week.
+    pub weekly_update_fraction: f64,
+    /// Fraction of newly created files that become long-lived reference
+    /// datasets (re-read for months; drives Fig. 16 file ages).
+    pub reference_fraction: f64,
+    /// Base re-read cycle for reference files, in weeks. Each file's
+    /// actual cycle is `base + (ino % 3)`, staggered by inode so read
+    /// sessions spread out. Cycles sit just inside the 90-day purge
+    /// window: references survive the purge while contributing only a
+    /// small weekly read-only share (Fig. 13's 3%) and ever-growing
+    /// `atime - mtime` ages (Fig. 16).
+    pub reference_cycle_weeks: u8,
+    /// True if this project's users run a purge-dodging touch script.
+    pub touch_script: bool,
+    /// Stripe tuning, or `None` for pure default-4 behaviour.
+    pub stripe_tuning: Option<StripeTuning>,
+    /// Median directory depth target (paths, in the paper's counting).
+    pub depth_median: u16,
+    /// Maximum directory depth target.
+    pub depth_max: u16,
+    /// File-name generator.
+    pub extensions: ExtensionMix,
+}
+
+impl ProjectBehavior {
+    /// Resolves behaviour for `project` under `profile`, at the given
+    /// simulation `scale` (fraction of the paper's absolute volume).
+    pub fn resolve(
+        project: &Project,
+        profile: &DomainProfile,
+        scale: f64,
+        rng: &mut impl Rng,
+    ) -> ProjectBehavior {
+        // volume_k is the project's unique-entry total (in thousands) over
+        // the 500-day window. With the linear 1x->5x ramp, the integral of
+        // growth_multiplier over the window is 3x the base rate, so:
+        //   total = base_daily * 3 * OBSERVATION_DAYS
+        let total_entries = project.volume_k * 1_000.0 * scale;
+        let base_daily_files =
+            (total_entries / (3.0 * OBSERVATION_DAYS as f64)).max(0.001);
+
+        let write_cv = profile.write_cv.unwrap_or(0.05);
+        let read_cv = profile.read_cv.unwrap_or(0.001).max(1e-4);
+
+        let stripe_tuning = match profile.ost_level {
+            4 => None,
+            level if level < 4 => Some(StripeTuning {
+                tuned_fraction: 0.5,
+                min_stripe: 1,
+                max_stripe: 2,
+            }),
+            level => {
+                let max_stripe = (level * 8).clamp(8, 1_008);
+                // Mean tuned stripe under log-uniform [8, max]:
+                let mean_tuned = ((8.0 * max_stripe as f64).sqrt()).max(8.0);
+                let fraction =
+                    ((level as f64 - 4.0) / (mean_tuned - 4.0)).clamp(0.02, 0.6);
+                Some(StripeTuning {
+                    tuned_fraction: fraction,
+                    min_stripe: 8,
+                    max_stripe,
+                })
+            }
+        };
+
+        ProjectBehavior {
+            base_daily_files,
+            dir_fraction: profile.dir_fraction,
+            write_cv,
+            read_cv,
+            weekly_delete_fraction: rng.random_range(0.12..0.18),
+            weekly_update_fraction: rng.random_range(0.06..0.10),
+            reference_fraction: 0.22,
+            reference_cycle_weeks: 10,
+            touch_script: rng.random_range(0.0..1.0) < 0.10,
+            stripe_tuning,
+            depth_median: profile.depth_median,
+            depth_max: profile.depth_max,
+            extensions: ExtensionMix::for_profile(profile),
+        }
+    }
+
+    /// Files to create on `day`, combining the base rate, the growth ramp,
+    /// and any extension-surge multiplier, as a Poisson draw.
+    pub fn files_for_day(&self, day: u32, surge: f64, rng: &mut impl Rng) -> u64 {
+        let lambda = self.base_daily_files * growth_multiplier(day) * surge;
+        crate::rng::poisson(rng, lambda)
+    }
+
+    /// `mtime` offset (seconds into the week) for a new file, matching the
+    /// write-burstiness target: a normal around mid-week with relative
+    /// dispersion `write_cv`, clamped into the week.
+    pub fn write_offset(&self, rng: &mut impl Rng, week_secs: f64) -> f64 {
+        let mu = week_secs / 2.0;
+        clamped_normal(rng, mu, self.write_cv * mu, 0.0, week_secs - 1.0)
+    }
+
+    /// `atime` offset for a read-pass access: tightly clustered around a
+    /// session point (~100× tighter than writes, §4.2.4).
+    pub fn read_offset(&self, rng: &mut impl Rng, week_secs: f64, session_center: f64) -> f64 {
+        clamped_normal(
+            rng,
+            session_center,
+            self.read_cv * session_center,
+            0.0,
+            week_secs - 1.0,
+        )
+    }
+
+    /// Draws the stripe count for a new file: `None` keeps the default.
+    pub fn sample_stripe(&self, rng: &mut impl Rng) -> Option<u32> {
+        let tuning = self.stripe_tuning?;
+        if rng.random_range(0.0..1.0) >= tuning.tuned_fraction {
+            return None;
+        }
+        // Log-uniform between min and max stripes.
+        let lo = (tuning.min_stripe as f64).ln();
+        let hi = (tuning.max_stripe as f64).ln();
+        let v = rng.random_range(lo..=hi).exp().round() as u32;
+        Some(v.clamp(tuning.min_stripe, tuning.max_stripe))
+    }
+
+    /// Target depth for a new campaign directory chain (a draw between the
+    /// user-directory floor of 5 and the domain's observed range).
+    pub fn sample_campaign_depth(&self, rng: &mut impl Rng) -> u16 {
+        let med = self.depth_median.max(6) as f64;
+        // Log-normal around the median keeps most campaigns near it while
+        // allowing the long tail Table 1 reports.
+        let depth = log_normal(rng, med, 0.25);
+        let cap = self.depth_max.min(80); // stress-test chains are separate
+        (depth.round() as u16).clamp(6, cap.max(6))
+    }
+
+    /// The surge multiplier for a domain on a given day (Fig. 10's `.bb`
+    /// and `.xyz` events). Applies to nph and chp respectively.
+    pub fn surge_multiplier(domain: crate::domain::ScienceDomain, day: u32) -> f64 {
+        use crate::domain::ScienceDomain::{Chp, Nph};
+        match domain {
+            Nph if (BB_SURGE.0..BB_SURGE.1).contains(&day) => 3.0,
+            Chp if (XYZ_SURGE.0..XYZ_SURGE.1).contains(&day) => 4.0,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ScienceDomain;
+    use crate::population::{Population, PopulationConfig};
+    use crate::profiles::profile;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn behavior_for(domain: ScienceDomain) -> ProjectBehavior {
+        let pop = Population::generate(&PopulationConfig {
+            project_scale: 1.0,
+            ..PopulationConfig::default()
+        });
+        let project = pop.domain_projects(domain).next().unwrap().clone();
+        ProjectBehavior::resolve(&project, profile(domain), 0.001, &mut rng())
+    }
+
+    #[test]
+    fn growth_ramp_endpoints() {
+        assert!((growth_multiplier(0) - 1.0).abs() < 1e-12);
+        assert!((growth_multiplier(250) - 3.0).abs() < 0.02);
+        assert!((growth_multiplier(500) - 5.0).abs() < 1e-12);
+        assert_eq!(growth_multiplier(9999), 5.0); // clamped past the window
+    }
+
+    #[test]
+    fn volume_to_rate_inversion() {
+        // Integrating the ramp recovers the project's total volume.
+        let b = behavior_for(ScienceDomain::Bip);
+        let total: f64 = (0..OBSERVATION_DAYS)
+            .map(|d| b.base_daily_files * growth_multiplier(d))
+            .sum();
+        let pop = Population::generate(&PopulationConfig::default());
+        let expected = pop
+            .domain_projects(ScienceDomain::Bip)
+            .next()
+            .unwrap()
+            .volume_k
+            * 1_000.0
+            * 0.001;
+        assert!((total - expected).abs() / expected < 0.02, "{total} vs {expected}");
+    }
+
+    #[test]
+    fn write_offsets_hit_cv_target() {
+        let b = behavior_for(ScienceDomain::Cli); // write_cv 0.421
+        let week = 7.0 * 86_400.0;
+        let mut r = rng();
+        let offsets: Vec<f64> = (0..20_000).map(|_| b.write_offset(&mut r, week)).collect();
+        let m = spider_stats::StreamingMoments::from_slice(&offsets);
+        let cv = m.coefficient_of_variation().unwrap();
+        // Clamping to the week shrinks the dispersion slightly.
+        assert!((cv - 0.421).abs() < 0.08, "cv {cv}");
+    }
+
+    #[test]
+    fn read_offsets_are_much_tighter_than_writes() {
+        let b = behavior_for(ScienceDomain::Cli);
+        let week = 7.0 * 86_400.0;
+        let mut r = rng();
+        let center = week * 0.6;
+        let reads: Vec<f64> = (0..5_000)
+            .map(|_| b.read_offset(&mut r, week, center))
+            .collect();
+        let writes: Vec<f64> = (0..5_000).map(|_| b.write_offset(&mut r, week)).collect();
+        let cv_r = spider_stats::StreamingMoments::from_slice(&reads)
+            .coefficient_of_variation()
+            .unwrap();
+        let cv_w = spider_stats::StreamingMoments::from_slice(&writes)
+            .coefficient_of_variation()
+            .unwrap();
+        assert!(cv_w / cv_r > 20.0, "write {cv_w} / read {cv_r}");
+    }
+
+    #[test]
+    fn default_domains_never_tune_stripes() {
+        let b = behavior_for(ScienceDomain::Bio); // ost_level 4
+        assert!(b.stripe_tuning.is_none());
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(b.sample_stripe(&mut r), None);
+        }
+    }
+
+    #[test]
+    fn tuning_domains_produce_wide_stripes() {
+        let b = behavior_for(ScienceDomain::Ast); // ost_level 122
+        let tuning = b.stripe_tuning.unwrap();
+        assert!(tuning.max_stripe <= 1_008);
+        assert!(tuning.max_stripe >= 500);
+        let mut r = rng();
+        let stripes: Vec<u32> = (0..5_000).filter_map(|_| b.sample_stripe(&mut r)).collect();
+        assert!(!stripes.is_empty());
+        assert!(stripes.iter().all(|&s| (8..=1_008).contains(&s)));
+        assert!(stripes.iter().any(|&s| s > 64), "no wide stripes drawn");
+    }
+
+    #[test]
+    fn understriping_domain() {
+        let b = behavior_for(ScienceDomain::Env); // ost_level 2
+        let tuning = b.stripe_tuning.unwrap();
+        assert_eq!((tuning.min_stripe, tuning.max_stripe), (1, 2));
+    }
+
+    #[test]
+    fn campaign_depths_respect_domain_range() {
+        for domain in [ScienceDomain::Mph, ScienceDomain::Csc, ScienceDomain::Stf] {
+            let b = behavior_for(domain);
+            let mut r = rng();
+            for _ in 0..500 {
+                let d = b.sample_campaign_depth(&mut r);
+                assert!(d >= 6, "{}: {d}", domain.id());
+                assert!(d <= b.depth_max.max(80), "{}: {d}", domain.id());
+            }
+        }
+    }
+
+    #[test]
+    fn extension_mix_prefers_table2_top() {
+        let b = behavior_for(ScienceDomain::Bio); // pdbqt at 97.6%
+        let mut r = rng();
+        let mut pdbqt = 0;
+        let n = 5_000;
+        for i in 0..n {
+            if b.extensions.sample_name(&mut r, i).ends_with(".pdbqt") {
+                pdbqt += 1;
+            }
+        }
+        let frac = pdbqt as f64 / n as f64;
+        // 97.6% claimed, rescaled under the 76% known-extension budget.
+        assert!(frac > 0.55, "pdbqt fraction {frac}");
+    }
+
+    #[test]
+    fn name_kinds_cover_bare_numeric_and_rare() {
+        let b = behavior_for(ScienceDomain::Aph); // tiny top-extension share
+        let mut r = rng();
+        let mut bare = 0;
+        let mut numeric = 0;
+        let mut rare = 0;
+        for _ in 0..10_000 {
+            match b.extensions.sample(&mut r) {
+                NameKind::Bare => bare += 1,
+                NameKind::Numeric => numeric += 1,
+                NameKind::Rare => rare += 1,
+                NameKind::Known(_) => {}
+            }
+        }
+        assert!(bare > 800, "bare {bare}"); // ~16%
+        assert!(numeric > 300, "numeric {numeric}"); // ~8%
+        assert!(rare > 100, "rare {rare}");
+    }
+
+    #[test]
+    fn surge_multipliers() {
+        use crate::domain::ScienceDomain::{Chp, Cli, Nph};
+        assert_eq!(ProjectBehavior::surge_multiplier(Nph, 200), 3.0);
+        assert_eq!(ProjectBehavior::surge_multiplier(Nph, 100), 1.0);
+        assert_eq!(ProjectBehavior::surge_multiplier(Chp, 400), 4.0);
+        assert_eq!(ProjectBehavior::surge_multiplier(Chp, 200), 1.0);
+        assert_eq!(ProjectBehavior::surge_multiplier(Cli, 200), 1.0);
+    }
+
+    #[test]
+    fn files_for_day_scales_with_ramp() {
+        let b = behavior_for(ScienceDomain::Bip);
+        let mut r = rng();
+        let early: u64 = (0..200).map(|_| b.files_for_day(10, 1.0, &mut r)).sum();
+        let late: u64 = (0..200).map(|_| b.files_for_day(490, 1.0, &mut r)).sum();
+        assert!(
+            late as f64 > early as f64 * 3.0,
+            "late {late} vs early {early}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The 35 science domains of the study (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A science domain, identified by the paper's three-letter prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are the paper's own domain ids
+pub enum ScienceDomain {
+    Aph, Ard, Ast, Atm, Bif, Bio, Bip, Chm, Chp, Cli, Cmb, Cph, Csc, Env,
+    Fus, Gen, Geo, Hep, Lgt, Lsc, Mat, Med, Mph, Nel, Nfi, Nfu, Nph, Nro,
+    Nti, Phy, Pss, Stf, Syb, Tur, Ven,
+}
+
+/// All 35 domains in Table 1 order.
+pub const ALL_DOMAINS: [ScienceDomain; 35] = [
+    ScienceDomain::Aph, ScienceDomain::Ard, ScienceDomain::Ast, ScienceDomain::Atm,
+    ScienceDomain::Bif, ScienceDomain::Bio, ScienceDomain::Bip, ScienceDomain::Chm,
+    ScienceDomain::Chp, ScienceDomain::Cli, ScienceDomain::Cmb, ScienceDomain::Cph,
+    ScienceDomain::Csc, ScienceDomain::Env, ScienceDomain::Fus, ScienceDomain::Gen,
+    ScienceDomain::Geo, ScienceDomain::Hep, ScienceDomain::Lgt, ScienceDomain::Lsc,
+    ScienceDomain::Mat, ScienceDomain::Med, ScienceDomain::Mph, ScienceDomain::Nel,
+    ScienceDomain::Nfi, ScienceDomain::Nfu, ScienceDomain::Nph, ScienceDomain::Nro,
+    ScienceDomain::Nti, ScienceDomain::Phy, ScienceDomain::Pss, ScienceDomain::Stf,
+    ScienceDomain::Syb, ScienceDomain::Tur, ScienceDomain::Ven,
+];
+
+impl ScienceDomain {
+    /// The paper's three-letter domain id (`aph`, `cli`, ...).
+    pub fn id(&self) -> &'static str {
+        match self {
+            ScienceDomain::Aph => "aph",
+            ScienceDomain::Ard => "ard",
+            ScienceDomain::Ast => "ast",
+            ScienceDomain::Atm => "atm",
+            ScienceDomain::Bif => "bif",
+            ScienceDomain::Bio => "bio",
+            ScienceDomain::Bip => "bip",
+            ScienceDomain::Chm => "chm",
+            ScienceDomain::Chp => "chp",
+            ScienceDomain::Cli => "cli",
+            ScienceDomain::Cmb => "cmb",
+            ScienceDomain::Cph => "cph",
+            ScienceDomain::Csc => "csc",
+            ScienceDomain::Env => "env",
+            ScienceDomain::Fus => "fus",
+            ScienceDomain::Gen => "gen",
+            ScienceDomain::Geo => "geo",
+            ScienceDomain::Hep => "hep",
+            ScienceDomain::Lgt => "lgt",
+            ScienceDomain::Lsc => "lsc",
+            ScienceDomain::Mat => "mat",
+            ScienceDomain::Med => "med",
+            ScienceDomain::Mph => "mph",
+            ScienceDomain::Nel => "nel",
+            ScienceDomain::Nfi => "nfi",
+            ScienceDomain::Nfu => "nfu",
+            ScienceDomain::Nph => "nph",
+            ScienceDomain::Nro => "nro",
+            ScienceDomain::Nti => "nti",
+            ScienceDomain::Phy => "phy",
+            ScienceDomain::Pss => "pss",
+            ScienceDomain::Stf => "stf",
+            ScienceDomain::Syb => "syb",
+            ScienceDomain::Tur => "tur",
+            ScienceDomain::Ven => "ven",
+        }
+    }
+
+    /// Full domain name as listed in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScienceDomain::Aph => "Accelerator Physics",
+            ScienceDomain::Ard => "Aerodynamics",
+            ScienceDomain::Ast => "Astrophysics",
+            ScienceDomain::Atm => "Atmospheric Science",
+            ScienceDomain::Bif => "Bioinformatics",
+            ScienceDomain::Bio => "Biology",
+            ScienceDomain::Bip => "Biophysics",
+            ScienceDomain::Chm => "Chemistry",
+            ScienceDomain::Chp => "Physical Chemistry",
+            ScienceDomain::Cli => "Climate Science",
+            ScienceDomain::Cmb => "Combustion",
+            ScienceDomain::Cph => "Condensed Matter Physics",
+            ScienceDomain::Csc => "Computer Science",
+            ScienceDomain::Env => "Plasma Physics",
+            ScienceDomain::Fus => "Fusion Energy",
+            ScienceDomain::Gen => "General",
+            ScienceDomain::Geo => "Geosciences",
+            ScienceDomain::Hep => "High Energy Physics",
+            ScienceDomain::Lgt => "Lattice Gauge Theory",
+            ScienceDomain::Lsc => "Life Sciences",
+            ScienceDomain::Mat => "Materials Science",
+            ScienceDomain::Med => "Medical Science",
+            ScienceDomain::Mph => "Molecular Physics",
+            ScienceDomain::Nel => "Nanoelectronics",
+            ScienceDomain::Nfi => "Nuclear Fission",
+            ScienceDomain::Nfu => "Nuclear Fusion",
+            ScienceDomain::Nph => "Nuclear Physics",
+            ScienceDomain::Nro => "Neuroscience",
+            ScienceDomain::Nti => "Nanoscience",
+            ScienceDomain::Phy => "Physics",
+            ScienceDomain::Pss => "Solar/Space Physics",
+            ScienceDomain::Stf => "Staff",
+            ScienceDomain::Syb => "Systems Biology",
+            ScienceDomain::Tur => "Turbulence",
+            ScienceDomain::Ven => "Vendor",
+        }
+    }
+
+    /// Parses a three-letter id.
+    pub fn from_id(id: &str) -> Option<ScienceDomain> {
+        ALL_DOMAINS.iter().copied().find(|d| d.id() == id)
+    }
+
+    /// Dense index of this domain in [`ALL_DOMAINS`].
+    pub fn index(&self) -> usize {
+        ALL_DOMAINS
+            .iter()
+            .position(|d| d == self)
+            .expect("every domain is in ALL_DOMAINS")
+    }
+
+    /// True for the non-science operational categories the paper sometimes
+    /// excludes: Staff, General, and Vendor (§3 and §4.3.3).
+    pub fn is_operational(&self) -> bool {
+        matches!(
+            self,
+            ScienceDomain::Stf | ScienceDomain::Gen | ScienceDomain::Ven
+        )
+    }
+
+    /// True if this domain counts as "computer science" in the Fig. 5(b)
+    /// expert-vs-CS split (csc plus the operational categories, which are
+    /// staffed by systems people).
+    pub fn is_computing(&self) -> bool {
+        matches!(self, ScienceDomain::Csc) || self.is_operational()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_35_domains() {
+        assert_eq!(ALL_DOMAINS.len(), 35);
+    }
+
+    #[test]
+    fn ids_are_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for d in ALL_DOMAINS {
+            assert!(seen.insert(d.id()), "duplicate id {}", d.id());
+            assert_eq!(ScienceDomain::from_id(d.id()), Some(d));
+            assert_eq!(d.id().len(), 3);
+            assert_eq!(ALL_DOMAINS[d.index()], d);
+        }
+        assert_eq!(ScienceDomain::from_id("xyz"), None);
+    }
+
+    #[test]
+    fn operational_categories() {
+        let ops: Vec<&str> = ALL_DOMAINS
+            .iter()
+            .filter(|d| d.is_operational())
+            .map(|d| d.id())
+            .collect();
+        assert_eq!(ops, vec!["gen", "stf", "ven"]);
+        assert!(ScienceDomain::Csc.is_computing());
+        assert!(!ScienceDomain::Cli.is_computing());
+    }
+
+    #[test]
+    fn names_are_nonempty() {
+        for d in ALL_DOMAINS {
+            assert!(!d.name().is_empty());
+        }
+        assert_eq!(ScienceDomain::Env.name(), "Plasma Physics");
+    }
+}

@@ -1,0 +1,205 @@
+//! Programming-language classification by file extension (§4.1.4).
+//!
+//! The paper counts files whose extensions belong to known programming
+//! languages and compares the resulting popularity ranking against the
+//! IEEE Spectrum list, highlighting that Fortran (IEEE rank 28) is 6th at
+//! OLCF, and that Prolog/COBOL/Ada rank far higher than in industry. It
+//! also notes the classification is extension-based and inherits that
+//! method's quirks (e.g. `.m` counted as Matlab, `.pl` as Prolog) — we
+//! reproduce the method, quirks included.
+
+use serde::{Deserialize, Serialize};
+
+/// A programming language with its IEEE Spectrum rank (Fig. 11's
+/// parenthesized numbers; `None` for languages outside that list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Language {
+    /// Display name.
+    pub name: &'static str,
+    /// Rank in the IEEE Spectrum list referenced by the paper.
+    pub ieee_rank: Option<u32>,
+}
+
+/// `(extension, language)` classification table.
+///
+/// Shell script is classified but typically *excluded* from rankings, as
+/// in Table 1's "Prog. Lang." column ("we excluded shell scripts").
+pub static LANGUAGE_EXTENSIONS: &[(&str, &str)] = &[
+    ("c", "C"),
+    ("h", "C"),
+    ("java", "JAVA"),
+    ("py", "Python"),
+    ("cpp", "C++"),
+    ("cc", "C++"),
+    ("cxx", "C++"),
+    ("hpp", "C++"),
+    ("hh", "C++"),
+    ("r", "R"),
+    ("f", "Fortran"),
+    ("f90", "Fortran"),
+    ("f77", "Fortran"),
+    ("for", "Fortran"),
+    ("sh", "Shell"),
+    ("bash", "Shell"),
+    ("csh", "Shell"),
+    ("pl", "Prolog"), // the paper's extension-method artifact, kept faithfully
+    ("pro", "Prolog"),
+    ("m", "Matlab"), // likewise ambiguous with Objective-C; Matlab at OLCF
+    ("js", "Javascript"),
+    ("php", "PHP"),
+    ("rb", "Ruby"),
+    ("go", "Go"),
+    ("scala", "Scala"),
+    ("swift", "Swift"),
+    ("cbl", "COBOL"),
+    ("cob", "COBOL"),
+    ("adb", "Ada"),
+    ("ads", "Ada"),
+    ("jl", "Julia"),
+    ("lua", "Lua"),
+    ("pas", "Pascal"),
+    ("lisp", "Lisp"),
+    ("hs", "Haskell"),
+    ("erl", "Erlang"),
+    ("cu", "CUDA"),
+    ("tcl", "Tcl"),
+    ("cs", "C#"),
+    ("d", "D"),
+];
+
+/// IEEE Spectrum ranks shown in Fig. 11's parentheses.
+pub static IEEE_RANKS: &[(&str, u32)] = &[
+    ("C", 1),
+    ("JAVA", 2),
+    ("Python", 3),
+    ("C++", 4),
+    ("R", 5),
+    ("C#", 6),
+    ("PHP", 7),
+    ("Javascript", 8),
+    ("Ruby", 9),
+    ("Go", 10),
+    ("Swift", 11),
+    ("Matlab", 13),
+    ("Scala", 15),
+    ("Lua", 17),
+    ("Fortran", 28),
+    ("D", 22),
+    ("Haskell", 26),
+    ("Pascal", 30),
+    ("Lisp", 32),
+    ("Erlang", 34),
+    ("Julia", 35),
+    ("Prolog", 37),
+    ("Ada", 40),
+    ("COBOL", 41),
+    ("Tcl", 43),
+];
+
+/// Classifies a file extension as a programming language; `None` for data
+/// and unknown extensions.
+pub fn language_of_extension(ext: &str) -> Option<&'static str> {
+    // Case-sensitive lowercase match except Fortran's traditional
+    // upper-case fixed-form extensions (.F, .F90).
+    if ext == "F" || ext == "F90" || ext == "F77" {
+        return Some("Fortran");
+    }
+    LANGUAGE_EXTENSIONS
+        .iter()
+        .find(|(e, _)| *e == ext)
+        .map(|(_, l)| *l)
+}
+
+/// True for shell scripts, which Table 1's per-domain language column
+/// excludes.
+pub fn is_shell(language: &str) -> bool {
+    language == "Shell"
+}
+
+/// The IEEE Spectrum rank for a language, if it is in the referenced list.
+pub fn ieee_rank(language: &str) -> Option<u32> {
+    IEEE_RANKS
+        .iter()
+        .find(|(l, _)| *l == language)
+        .map(|(_, r)| *r)
+}
+
+/// The canonical extension the generator uses when emitting a source file
+/// in `language`.
+pub fn primary_extension(language: &str) -> Option<&'static str> {
+    LANGUAGE_EXTENSIONS
+        .iter()
+        .find(|(_, l)| *l == language)
+        .map(|(e, _)| *e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_basics() {
+        assert_eq!(language_of_extension("c"), Some("C"));
+        assert_eq!(language_of_extension("h"), Some("C"));
+        assert_eq!(language_of_extension("py"), Some("Python"));
+        assert_eq!(language_of_extension("hpp"), Some("C++"));
+        assert_eq!(language_of_extension("f90"), Some("Fortran"));
+        assert_eq!(language_of_extension("F"), Some("Fortran"));
+        assert_eq!(language_of_extension("m"), Some("Matlab"));
+        assert_eq!(language_of_extension("pl"), Some("Prolog"));
+        assert_eq!(language_of_extension("nc"), None);
+        assert_eq!(language_of_extension("dat"), None);
+        assert_eq!(language_of_extension(""), None);
+    }
+
+    #[test]
+    fn shell_is_classified_but_flagged() {
+        assert_eq!(language_of_extension("sh"), Some("Shell"));
+        assert!(is_shell("Shell"));
+        assert!(!is_shell("C"));
+    }
+
+    #[test]
+    fn ieee_ranks_match_figure() {
+        assert_eq!(ieee_rank("C"), Some(1));
+        assert_eq!(ieee_rank("Fortran"), Some(28));
+        assert_eq!(ieee_rank("Prolog"), Some(37));
+        assert_eq!(ieee_rank("COBOL"), Some(41));
+        assert_eq!(ieee_rank("Ada"), Some(40));
+        assert_eq!(ieee_rank("Shell"), None);
+    }
+
+    #[test]
+    fn every_profile_language_is_classifiable() {
+        // Every language named in Table 1's Prog. Lang. column must be
+        // producible by some extension, or the generator could never emit
+        // the files that make that column true.
+        for p in &crate::profiles::PROFILES {
+            for lang in p.languages {
+                assert!(
+                    LANGUAGE_EXTENSIONS.iter().any(|(_, l)| *l == lang),
+                    "no extension maps to {lang}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extension_table_has_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for (e, _) in LANGUAGE_EXTENSIONS {
+            assert!(seen.insert(*e), "duplicate extension {e}");
+        }
+    }
+
+    /// An extension that maps to a language for each language, used by the
+    /// generator to emit source files.
+    #[test]
+    fn primary_extension_exists_for_each_language() {
+        let langs: std::collections::HashSet<&str> =
+            LANGUAGE_EXTENSIONS.iter().map(|(_, l)| *l).collect();
+        for lang in langs {
+            assert!(crate::languages::primary_extension(lang).is_some(), "{lang}");
+        }
+    }
+}

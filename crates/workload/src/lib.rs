@@ -1,0 +1,35 @@
+//! # spider-workload
+//!
+//! The **behavioral population model** replacing the proprietary side of
+//! the SC '17 Spider II study: 1,362 active users across 380 projects in
+//! 35 science domains, and the per-domain activity patterns that produced
+//! the published file-system trends.
+//!
+//! The paper's input data cannot be redistributed, so this crate is
+//! calibrated to the paper's *published statistics* instead (Tables 1–2,
+//! Figs. 5–7): every domain carries its real project count, entry volume,
+//! directory-depth range, extension mix, programming languages, stripe
+//! tuning level, burstiness targets, and network/collaboration structure,
+//! transcribed in [`profiles::PROFILES`]. Generators in [`population`] and
+//! [`behavior`] turn those numbers into a concrete user/project population
+//! and per-project weekly activity parameters; the `spider-sim` crate
+//! executes them against the `spider-fsmeta` substrate.
+//!
+//! Everything is deterministic under a seed — the same configuration
+//! always produces byte-identical snapshots downstream.
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod domain;
+pub mod languages;
+pub mod orgs;
+pub mod population;
+pub mod profiles;
+pub mod rng;
+
+pub use behavior::{ExtensionMix, NameKind, ProjectBehavior, StripeTuning, OBSERVATION_DAYS};
+pub use domain::{ScienceDomain, ALL_DOMAINS};
+pub use orgs::Organization;
+pub use population::{Population, PopulationConfig, Project, ProjectId, User, UserId};
+pub use profiles::{profile, DomainProfile, PROFILES};

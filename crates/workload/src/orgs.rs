@@ -1,0 +1,96 @@
+//! User organization types (Fig. 5a).
+//!
+//! "More than 50% of the users belong to national laboratories and other
+//! government research facilities ... academic organizations, about 24%,
+//! followed by industry users accounting for about 19%", with the rest
+//! mostly international research institutions.
+
+use serde::{Deserialize, Serialize};
+
+/// The organization categories of Fig. 5(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Organization {
+    /// U.S. national laboratories and government research facilities.
+    Government,
+    /// Universities and academic institutes.
+    Academia,
+    /// Industry users.
+    Industry,
+    /// Mostly international research institutions.
+    Other,
+}
+
+/// All categories with their Fig. 5(a) population shares (fractions
+/// summing to 1).
+pub const ORG_MIX: [(Organization, f64); 4] = [
+    (Organization::Government, 0.52),
+    (Organization::Academia, 0.24),
+    (Organization::Industry, 0.19),
+    (Organization::Other, 0.05),
+];
+
+impl Organization {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Organization::Government => "Government",
+            Organization::Academia => "Academia",
+            Organization::Industry => "Industry",
+            Organization::Other => "Other",
+        }
+    }
+
+    /// Samples an organization from the Fig. 5(a) mix given a uniform
+    /// `[0, 1)` draw.
+    pub fn sample(u: f64) -> Organization {
+        let mut acc = 0.0;
+        for &(org, share) in &ORG_MIX {
+            acc += share;
+            if u < acc {
+                return org;
+            }
+        }
+        Organization::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_one() {
+        let total: f64 = ORG_MIX.iter().map(|m| m.1).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_boundaries() {
+        assert_eq!(Organization::sample(0.0), Organization::Government);
+        assert_eq!(Organization::sample(0.519), Organization::Government);
+        assert_eq!(Organization::sample(0.53), Organization::Academia);
+        assert_eq!(Organization::sample(0.80), Organization::Industry);
+        assert_eq!(Organization::sample(0.96), Organization::Other);
+        assert_eq!(Organization::sample(1.0), Organization::Other);
+    }
+
+    #[test]
+    fn sampling_reproduces_mix() {
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            let u = i as f64 / n as f64;
+            *counts.entry(Organization::sample(u)).or_insert(0u32) += 1;
+        }
+        for &(org, share) in &ORG_MIX {
+            let got = counts[&org] as f64 / n as f64;
+            assert!((got - share).abs() < 0.01, "{org:?}: {got} vs {share}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Organization::Government.label(), "Government");
+        assert_eq!(Organization::Other.label(), "Other");
+    }
+}

@@ -1,0 +1,288 @@
+//! Per-domain calibration profiles, transcribed from the paper.
+//!
+//! Each [`DomainProfile`] carries the published per-domain statistics the
+//! generator is calibrated against:
+//!
+//! * Table 1 — project count, entry volume (in thousands, over 500 days),
+//!   directory depth `[median, max]`, top extension, top-2 programming
+//!   languages, `# OST` level, write/read `c_v`, largest-component
+//!   probability (`Network %`), and pairwise collaboration share
+//!   (`Collab %`);
+//! * Table 2 — the top-3 file extensions with their popularity;
+//! * Fig. 6(c) — approximate median team size per domain;
+//! * Fig. 7(b) — approximate directory fraction of entries.
+//!
+//! Missing `c_v` entries (`-` in Table 1: atm, pss write, syb) are `None`;
+//! those domains fall below the paper's ≥ 100-files-per-week analysis
+//! threshold, and the generator gives them correspondingly sparse activity.
+
+use crate::domain::ScienceDomain;
+#[cfg(test)]
+use crate::domain::ALL_DOMAINS;
+
+/// Calibration data for one science domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainProfile {
+    /// The domain.
+    pub domain: ScienceDomain,
+    /// Number of project allocations (Table 1).
+    pub projects: u32,
+    /// Unique entries over 500 days, in thousands (Table 1 `# Entries (K)`).
+    pub entries_k: f64,
+    /// Median directory depth (Table 1 `Dir. Depth` first element).
+    pub depth_median: u16,
+    /// Maximum directory depth (Table 1 `Dir. Depth` second element).
+    pub depth_max: u16,
+    /// Top-3 file extensions with popularity percentages (Table 2).
+    pub extensions: &'static [(&'static str, f64)],
+    /// Top-2 programming languages (Table 1 `Prog. Lang.`).
+    pub languages: [&'static str; 2],
+    /// The Table 1 `# OST` level — 4 means the domain leaves striping at
+    /// the Lustre default; larger values indicate active tuning.
+    pub ost_level: u32,
+    /// Target coefficient of variation of new-file `mtime` offsets
+    /// (Table 1 `Write (c_v)`); `None` where the paper reports `-`.
+    pub write_cv: Option<f64>,
+    /// Target `c_v` of readonly-file `atime` offsets (Table 1 `Read (c_v)`).
+    pub read_cv: Option<f64>,
+    /// Probability (0-100) of a project appearing in the largest connected
+    /// component (Table 1 `Network (%)`).
+    pub network_pct: f64,
+    /// Percentage of collaborating user pairs sharing a project in this
+    /// domain (Table 1 `Collab. (%)`, Fig. 20).
+    pub collab_pct: f64,
+    /// Approximate median users per project (Fig. 6c).
+    pub team_median: u32,
+    /// Approximate fraction of entries that are directories (Fig. 7b;
+    /// ~0.15 on average, 0.90 for atm, 0.67 for hep).
+    pub dir_fraction: f64,
+}
+
+macro_rules! profile {
+    ($dom:ident, $projects:expr, $entries_k:expr, [$dmed:expr, $dmax:expr],
+     [$(($ext:expr, $pct:expr)),+], [$l1:expr, $l2:expr], $ost:expr,
+     $wcv:expr, $rcv:expr, $net:expr, $collab:expr, $team:expr, $dirs:expr) => {
+        DomainProfile {
+            domain: ScienceDomain::$dom,
+            projects: $projects,
+            entries_k: $entries_k,
+            depth_median: $dmed,
+            depth_max: $dmax,
+            extensions: &[$(($ext, $pct)),+],
+            languages: [$l1, $l2],
+            ost_level: $ost,
+            write_cv: $wcv,
+            read_cv: $rcv,
+            network_pct: $net,
+            collab_pct: $collab,
+            team_median: $team,
+            dir_fraction: $dirs,
+        }
+    };
+}
+
+/// The full calibration table, in Table 1 order.
+pub static PROFILES: [DomainProfile; 35] = [
+    profile!(Aph, 4, 3_367.0, [10, 22], [("h5", 1.3), ("png", 1.1), ("py", 0.7)],
+        ["Python", "C"], 4, Some(0.052), Some(0.001), 0.00, 0.02, 2, 0.15),
+    profile!(Ard, 16, 39_443.0, [10, 24], [("png", 11.0), ("gz", 8.3), ("dat", 4.2)],
+        ["Python", "C"], 4, Some(0.209), Some(0.002), 43.75, 0.60, 3, 0.15),
+    profile!(Ast, 15, 75_365.0, [9, 24], [("bin", 3.5), ("txt", 2.0), ("ascii", 1.8)],
+        ["Python", "C"], 122, Some(0.247), Some(0.002), 20.00, 1.95, 3, 0.12),
+    profile!(Atm, 4, 4_959.0, [15, 18], [("png", 8.4), ("o", 8.3), ("svn-base", 6.4)],
+        ["Fortran", "C"], 4, None, None, 50.00, 0.24, 2, 0.90),
+    profile!(Bif, 5, 243_339.0, [9, 23], [("fasta", 41.3), ("fa", 23.1), ("sif", 9.2)],
+        ["Prolog", "Matlab"], 4, Some(0.295), Some(0.002), 40.00, 0.56, 3, 0.08),
+    profile!(Bio, 3, 62_009.0, [10, 18], [("pdbqt", 97.6), ("coor", 0.2), ("xsc", 0.2)],
+        ["C++", "C"], 4, Some(0.104), Some(0.001), 66.67, 0.10, 3, 0.02),
+    profile!(Bip, 37, 595_564.0, [11, 67], [("bz2", 54.8), ("xyz", 23.3), ("domtab", 5.4)],
+        ["Python", "C"], 4, Some(0.415), Some(0.003), 40.54, 2.24, 4, 0.08),
+    profile!(Chm, 14, 37_272.0, [8, 17], [("xvg", 21.8), ("txt", 5.7), ("label", 5.5)],
+        ["C", "Fortran"], 4, Some(0.262), Some(0.001), 50.00, 0.25, 3, 0.15),
+    profile!(Chp, 2, 379_867.0, [8, 21], [("xyz", 63.4), ("GraphGeod", 16.6), ("Graph", 16.5)],
+        ["C", "Python"], 4, Some(0.397), Some(0.003), 100.00, 2.09, 11, 0.05),
+    profile!(Cli, 21, 211_876.0, [11, 50], [("nc", 40.3), ("mat", 19.3), ("txt", 3.6)],
+        ["Matlab", "C"], 4, Some(0.421), Some(0.003), 76.19, 45.80, 11, 0.12),
+    profile!(Cmb, 24, 254_813.0, [11, 27], [("png", 4.0), ("h5", 2.0), ("gz", 1.6)],
+        ["C", "C++"], 5, Some(0.304), Some(0.003), 66.67, 7.91, 6, 0.12),
+    profile!(Cph, 13, 26_488.0, [10, 30], [("dat", 10.2), ("h5", 4.9), ("gz", 4.0)],
+        ["C", "C++"], 4, Some(0.366), Some(0.002), 46.15, 2.22, 3, 0.15),
+    profile!(Csc, 62, 445_189.0, [15, 40], [("h", 10.3), ("py", 7.8), ("txt", 4.9)],
+        ["C", "Python"], 33, Some(0.267), Some(0.003), 61.29, 38.54, 4, 0.30),
+    profile!(Env, 1, 26_389.0, [11, 24], [("gz", 2.1), ("bp", 0.8), ("def", 0.8)],
+        ["Fortran", "C"], 2, Some(0.511), Some(0.003), 100.00, 1.96, 12, 0.15),
+    profile!(Fus, 16, 92_844.0, [8, 25], [("psc", 13.8), ("gda", 1.0), ("hpp", 0.5)],
+        ["C++", "C"], 13, Some(0.346), Some(0.003), 62.50, 3.70, 5, 0.12),
+    profile!(Gen, 4, 833.0, [10, 432], [("data", 40.4), ("index", 40.2), ("F", 9.5)],
+        ["Fortran", "C"], 4, Some(0.262), Some(0.004), 25.00, 0.06, 2, 0.25),
+    profile!(Geo, 12, 308_767.0, [9, 21], [("sac", 43.0), ("mseed", 14.3), ("xml", 11.9)],
+        ["C", "Fortran"], 29, Some(0.342), Some(0.002), 50.00, 2.44, 4, 0.10),
+    profile!(Hep, 3, 2_181.0, [14, 22], [("0", 3.1), ("svn-base", 1.9), ("py", 1.0)],
+        ["Python", "C"], 4, Some(0.343), Some(0.003), 33.33, 0.45, 2, 0.67),
+    profile!(Lgt, 3, 16_710.0, [10, 20], [("dat", 24.8), ("vml", 11.1), ("actual", 9.4)],
+        ["C", "C++"], 4, Some(0.495), Some(0.003), 33.33, 0.31, 3, 0.15),
+    profile!(Lsc, 4, 30_351.0, [8, 24], [("map", 43.7), ("gpf", 14.8), ("dpf", 8.5)],
+        ["C", "C++"], 4, Some(0.196), Some(0.001), 25.00, 0.30, 3, 0.12),
+    profile!(Mat, 34, 202_809.0, [16, 29], [("dat", 44.2), ("d", 15.9), ("txt", 14.9)],
+        ["Fortran", "Prolog"], 4, Some(0.339), Some(0.003), 58.82, 5.45, 4, 0.15),
+    profile!(Med, 3, 538.0, [7, 18], [("txt", 69.4), ("py", 3.2), ("dat", 2.9)],
+        ["Python", "C"], 4, Some(0.004), Some(0.000), 0.00, 0.00, 2, 0.15),
+    profile!(Mph, 4, 2_267.0, [5, 15], [("out", 17.6), ("vtr", 17.4), ("gen", 13.6)],
+        ["Fortran", "C++"], 4, Some(0.404), Some(0.002), 50.00, 0.22, 2, 0.15),
+    profile!(Nel, 4, 808.0, [11, 17], [("dat", 1.9), ("bin", 1.8), ("o", 1.5)],
+        ["Fortran", "C++"], 4, Some(0.462), Some(0.003), 50.00, 0.18, 2, 0.15),
+    profile!(Nfi, 9, 22_158.0, [11, 26], [("hpp", 8.0), ("cpp", 8.0), ("h", 6.3)],
+        ["C++", "C"], 4, Some(0.338), Some(0.002), 77.78, 14.95, 11, 0.20),
+    profile!(Nfu, 2, 301.0, [11, 14], [("m", 3.9), ("1", 0.7), ("inp", 0.6)],
+        ["Matlab", "C"], 4, Some(0.221), Some(0.001), 100.00, 0.02, 2, 0.15),
+    profile!(Nph, 14, 286_523.0, [7, 23], [("bb", 79.1), ("xml", 1.8), ("vml", 1.6)],
+        ["C", "C++"], 13, Some(0.385), Some(0.003), 92.86, 2.65, 5, 0.05),
+    profile!(Nro, 1, 10_935.0, [9, 19], [("txt", 53.7), ("swc", 19.6), ("log", 15.4)],
+        ["Matlab", "C"], 4, Some(0.361), Some(0.003), 100.00, 0.11, 3, 0.15),
+    profile!(Nti, 6, 3_359.0, [11, 18], [("cif", 3.5), ("POSCAR", 2.3), ("svn-base", 1.9)],
+        ["Fortran", "C"], 4, Some(0.335), Some(0.002), 16.67, 1.09, 2, 0.15),
+    profile!(Phy, 9, 8_155.0, [8, 20], [("rst", 32.6), ("jld", 18.2), ("txt", 13.5)],
+        ["C++", "Fortran"], 5, Some(0.333), Some(0.002), 55.56, 0.53, 3, 0.15),
+    profile!(Pss, 1, 0.09, [3, 4], [("nc", 45.3), ("m", 44.1), ("tar", 6.5)],
+        ["Matlab", "Prolog"], 4, None, Some(0.000), 0.00, 0.00, 2, 0.15),
+    profile!(Stf, 9, 631_468.0, [12, 2030], [("log", 10.3), ("inp", 4.3), ("pn", 3.9)],
+        ["Matlab", "C++"], 7, Some(0.249), Some(0.002), 77.78, 22.61, 18, 0.20),
+    profile!(Syb, 2, 451.0, [8, 17], [("txt", 24.0), ("npy", 10.4), ("c", 5.7)],
+        ["C", "Python"], 4, None, None, 50.00, 0.07, 2, 0.15),
+    profile!(Tur, 9, 320_295.0, [8, 16], [("water", 0.9), ("h5", 0.6), ("vtr", 0.4)],
+        ["Python", "C++"], 44, Some(0.340), Some(0.002), 33.33, 0.30, 4, 0.05),
+    profile!(Ven, 10, 1_271.0, [12, 26], [("hpp", 6.0), ("html", 5.3), ("o", 5.1)],
+        ["C++", "C"], 4, Some(0.082), Some(0.003), 30.00, 1.23, 2, 0.30),
+];
+
+/// The profile for a domain.
+pub fn profile(domain: ScienceDomain) -> &'static DomainProfile {
+    &PROFILES[domain.index()]
+}
+
+/// Total projects across all domains (380 in the paper).
+pub fn total_projects() -> u32 {
+    PROFILES.iter().map(|p| p.projects).sum()
+}
+
+/// Total entries over the observation window, in thousands (Table 1 sum).
+pub fn total_entries_k() -> f64 {
+    PROFILES.iter().map(|p| p.entries_k).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_domains_in_order() {
+        assert_eq!(PROFILES.len(), 35);
+        for (i, p) in PROFILES.iter().enumerate() {
+            assert_eq!(p.domain, ALL_DOMAINS[i], "row {i} out of order");
+            assert_eq!(profile(p.domain), p);
+        }
+    }
+
+    #[test]
+    fn project_total_matches_paper() {
+        assert_eq!(total_projects(), 380);
+    }
+
+    #[test]
+    fn entry_total_matches_paper_scale() {
+        // Figure 7 caption: 4,069,223,934 files + 274,797,413 dirs unique
+        // over the window, i.e. ~4.34 B entries. Table 1's per-domain
+        // column sums to the same order.
+        let total = total_entries_k() * 1e3;
+        assert!(total > 3.5e9 && total < 4.7e9, "total {total}");
+    }
+
+    #[test]
+    fn depth_bounds_are_ordered() {
+        for p in &PROFILES {
+            assert!(
+                p.depth_median <= p.depth_max,
+                "{}: median {} > max {}",
+                p.domain.id(),
+                p.depth_median,
+                p.depth_max
+            );
+            assert!(p.depth_median >= 3, "{}", p.domain.id());
+        }
+        // The staff stress-test project reached depth 2,030.
+        assert_eq!(profile(ScienceDomain::Stf).depth_max, 2030);
+        assert_eq!(profile(ScienceDomain::Gen).depth_max, 432);
+    }
+
+    #[test]
+    fn extension_shares_are_sane() {
+        for p in &PROFILES {
+            assert!(!p.extensions.is_empty(), "{}", p.domain.id());
+            let sum: f64 = p.extensions.iter().map(|e| e.1).sum();
+            assert!(sum <= 100.0 + 1e-9, "{} sums to {sum}", p.domain.id());
+            // Table 2 lists extensions in descending popularity.
+            for w in p.extensions.windows(2) {
+                assert!(w[0].1 >= w[1].1, "{} not descending", p.domain.id());
+            }
+        }
+        assert_eq!(profile(ScienceDomain::Bio).extensions[0], ("pdbqt", 97.6));
+        assert_eq!(profile(ScienceDomain::Cli).extensions[0], ("nc", 40.3));
+    }
+
+    #[test]
+    fn cv_values_within_published_range() {
+        for p in &PROFILES {
+            if let Some(w) = p.write_cv {
+                assert!((0.0..=1.0).contains(&w), "{}", p.domain.id());
+            }
+            if let Some(r) = p.read_cv {
+                assert!((0.0..=0.01).contains(&r), "{}", p.domain.id());
+            }
+            // The paper's headline: reads are ~100x burstier than writes.
+            if let (Some(w), Some(r)) = (p.write_cv, p.read_cv) {
+                if r > 0.0 {
+                    assert!(w / r > 10.0, "{}: write {w} read {r}", p.domain.id());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_and_collab_percentages() {
+        for p in &PROFILES {
+            assert!((0.0..=100.0).contains(&p.network_pct), "{}", p.domain.id());
+            assert!((0.0..=100.0).contains(&p.collab_pct), "{}", p.domain.id());
+        }
+        // Fully-networked domains per Table 1.
+        for d in [ScienceDomain::Chp, ScienceDomain::Env, ScienceDomain::Nfu, ScienceDomain::Nro] {
+            assert_eq!(profile(d).network_pct, 100.0, "{}", d.id());
+        }
+        // Climate science dominates collaboration (Fig. 20).
+        let cli = profile(ScienceDomain::Cli).collab_pct;
+        for p in &PROFILES {
+            assert!(p.collab_pct <= cli, "{} exceeds cli", p.domain.id());
+        }
+    }
+
+    #[test]
+    fn ost_levels() {
+        // 11 domains at the pure default is the paper's observation 6
+        // context ("in 11 science domains the OST counts remain unchanged
+        // from the default value 4"). Table 1 has more domains *listed* at
+        // 4 (their average rounds to it); the tuners stand out.
+        assert_eq!(profile(ScienceDomain::Ast).ost_level, 122);
+        assert_eq!(profile(ScienceDomain::Tur).ost_level, 44);
+        assert_eq!(profile(ScienceDomain::Csc).ost_level, 33);
+        assert_eq!(profile(ScienceDomain::Env).ost_level, 2);
+        let tuned = PROFILES.iter().filter(|p| p.ost_level != 4).count();
+        assert!(tuned >= 8, "{tuned} tuning domains");
+    }
+
+    #[test]
+    fn biggest_volume_domains_match_table() {
+        let mut by_volume: Vec<&DomainProfile> = PROFILES.iter().collect();
+        by_volume.sort_by(|a, b| b.entries_k.partial_cmp(&a.entries_k).unwrap());
+        let top: Vec<&str> = by_volume[..3].iter().map(|p| p.domain.id()).collect();
+        assert_eq!(top, vec!["stf", "bip", "csc"]);
+    }
+}

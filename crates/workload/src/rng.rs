@@ -1,0 +1,220 @@
+//! Sampling utilities over [`rand`]'s `StdRng`.
+//!
+//! The offline crate set carries `rand` but not `rand_distr`, so the
+//! handful of distributions the generator needs — truncated normal,
+//! log-normal, Poisson, Zipf, and weighted choice — are implemented here.
+//! All samplers take `&mut impl Rng`, so every workload is reproducible
+//! from a seed (a hard requirement: the determinism integration test
+//! simulates twice and diffs snapshots).
+
+use rand::{Rng, RngExt};
+
+/// A standard-normal draw via Box–Muller (one value per call; the second
+/// is discarded for simplicity — the generator is not normal-bound).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Guard u1 away from zero so ln is finite.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal draw with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A normal draw clamped to `[lo, hi]`.
+pub fn clamped_normal(rng: &mut impl Rng, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// A log-normal draw parameterized by the *median* (`exp(mu)`) and the
+/// log-space sigma. Heavy-tailed quantities (files per burst, team sizes)
+/// use this.
+pub fn log_normal(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// A Poisson draw (Knuth's method; intended for small `lambda` such as
+/// events-per-day rates).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation for large rates.
+        return normal(rng, lambda, lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.random_range(0.0..1.0);
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.random_range(0.0..1.0f64);
+        count += 1;
+    }
+    count
+}
+
+/// A Zipf draw over `1..=n` with exponent `s`, via inverse-CDF on the
+/// precomputed weights. O(n) setup is avoided by the caller holding a
+/// [`ZipfSampler`] when drawing repeatedly.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over ranks `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cumulative.partition_point(|&c| c < u) + 1
+    }
+}
+
+/// Weighted index choice: returns `i` with probability `weights[i] /
+/// sum(weights)`. Returns `None` for empty or all-zero weights.
+pub fn weighted_choice(rng: &mut impl Rng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights.iter().rposition(|&w| w.is_finite() && w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = clamped_normal(&mut r, 0.0, 100.0, -5.0, 5.0);
+            assert!((-5.0..=5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 50.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 50.0).abs() / 50.0 < 0.1, "median {median}");
+        assert!(samples.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = rng();
+        for lambda in [0.5, 3.0, 12.0, 100.0] {
+            let n = 10_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn zipf_is_rank_frequency_decreasing() {
+        let mut r = rng();
+        let sampler = ZipfSampler::new(20, 1.2);
+        let mut counts = [0u32; 21];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[5]);
+        assert!(counts[5] > counts[15]);
+        // Rough exponent recovery on the head ranks.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0f64.powf(1.2)).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_empty_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn weighted_choice_proportions() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[weighted_choice(&mut r, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_choice_degenerate() {
+        let mut r = rng();
+        assert_eq!(weighted_choice(&mut r, &[]), None);
+        assert_eq!(weighted_choice(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(weighted_choice(&mut r, &[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut a, 5.0), poisson(&mut b, 5.0));
+        }
+    }
+}

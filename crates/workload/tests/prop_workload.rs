@@ -1,0 +1,113 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spider_workload::{
+    profile, ExtensionMix, Population, PopulationConfig, ProjectBehavior, ALL_DOMAINS,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated file names are always valid namespace components: no
+    /// separators, no PSV delimiter, non-empty.
+    #[test]
+    fn generated_names_are_valid_components(
+        domain_idx in 0usize..35,
+        seed in any::<u64>(),
+        serials in prop::collection::vec(0u64..1_000_000, 1..40),
+    ) {
+        let mix = ExtensionMix::for_profile(profile(ALL_DOMAINS[domain_idx]));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for serial in serials {
+            let name = mix.sample_name(&mut rng, serial);
+            prop_assert!(!name.is_empty());
+            prop_assert!(!name.contains('/'), "{name}");
+            prop_assert!(!name.contains('|'), "{name}");
+            prop_assert!(name != "." && name != "..");
+        }
+    }
+
+    /// Extension mixes keep every weight positive and the cumulative mass
+    /// within the known-extension budget.
+    #[test]
+    fn extension_mix_mass_is_bounded(domain_idx in 0usize..35) {
+        let mix = ExtensionMix::for_profile(profile(ALL_DOMAINS[domain_idx]));
+        let total: f64 = mix.entries().iter().map(|e| e.1).sum();
+        prop_assert!(total > 0.0);
+        prop_assert!(total <= 76.0 + 1e-9, "known mass {total}"); // 1 - 16% bare - 8% numeric
+        for (ext, weight) in mix.entries() {
+            prop_assert!(*weight > 0.0, "{ext} has zero weight");
+            prop_assert!(!ext.is_empty());
+        }
+    }
+
+    /// Behaviour resolution produces sane parameters for every domain at
+    /// any scale.
+    #[test]
+    fn behavior_parameters_are_sane(
+        domain_idx in 0usize..35,
+        scale in 1e-6..1e-2f64,
+        seed in any::<u64>(),
+    ) {
+        let domain = ALL_DOMAINS[domain_idx];
+        let pop = Population::generate(&PopulationConfig::default());
+        let project = pop.domain_projects(domain).next().expect("every domain has a project");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = ProjectBehavior::resolve(project, profile(domain), scale, &mut rng);
+        prop_assert!(b.base_daily_files > 0.0);
+        prop_assert!(b.base_daily_files.is_finite());
+        prop_assert!((0.0..1.0).contains(&b.dir_fraction));
+        prop_assert!(b.write_cv > 0.0 && b.write_cv <= 1.0);
+        prop_assert!(b.read_cv > 0.0 && b.read_cv <= 0.01);
+        prop_assert!((0.0..0.5).contains(&b.weekly_delete_fraction));
+        prop_assert!((0.0..0.5).contains(&b.weekly_update_fraction));
+        prop_assert!(b.depth_median <= b.depth_max);
+        if let Some(t) = b.stripe_tuning {
+            prop_assert!(t.min_stripe >= 1);
+            prop_assert!(t.max_stripe <= 1_008);
+            prop_assert!(t.min_stripe <= t.max_stripe);
+            prop_assert!((0.0..=1.0).contains(&t.tuned_fraction));
+        }
+    }
+
+    /// Population generation respects structural invariants at any
+    /// project scale and seed.
+    #[test]
+    fn population_invariants(seed in any::<u64>(), scale in 0.05..1.0f64) {
+        let pop = Population::generate(&PopulationConfig {
+            seed,
+            project_scale: scale,
+            ..PopulationConfig::default()
+        });
+        prop_assert!(pop.project_count() >= 35); // every domain keeps one
+        // gids and names are unique.
+        let mut gids: Vec<u32> = pop.projects.iter().map(|p| p.gid).collect();
+        gids.sort_unstable();
+        gids.dedup();
+        prop_assert_eq!(gids.len(), pop.project_count());
+        // Members reference real users, teams deduplicate.
+        for p in &pop.projects {
+            prop_assert!(!p.members.is_empty());
+            let mut m = p.members.clone();
+            m.sort();
+            m.dedup();
+            prop_assert_eq!(m.len(), p.members.len());
+            for u in &p.members {
+                prop_assert!((u.0 as usize) < pop.user_count());
+            }
+            prop_assert!(p.volume_k >= 0.0);
+        }
+        // Every user belongs to at least one project.
+        let counts = pop.projects_per_user();
+        prop_assert!(counts.iter().all(|&c| c >= 1));
+        // Domain volumes sum back to the profile totals.
+        for &domain in &ALL_DOMAINS {
+            let total: f64 = pop.domain_projects(domain).map(|p| p.volume_k).sum();
+            let expected = profile(domain).entries_k;
+            prop_assert!((total - expected).abs() / expected.max(1e-9) < 1e-6,
+                "{}: {total} vs {expected}", domain.id());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Ad-hoc queries — the interactive, SparkSQL-flavoured side of the
+//! pipeline (§3's analysis framework), on a freshly scanned snapshot.
+//!
+//! Each block below is the Rust equivalent of a SQL statement the study's
+//! analysts would have run against the Parquet tables.
+//!
+//! ```sh
+//! cargo run --release --example adhoc_queries
+//! ```
+
+use spider_core::{AnalysisContext, Query, SnapshotFrame};
+use spider_sim::{SimConfig, Simulation};
+
+fn main() {
+    // Build a populated namespace and scan it.
+    let mut sim = Simulation::new(SimConfig::test_small(13).with_scale(0.0003));
+    for _ in 0..10 {
+        sim.run_week();
+    }
+    let snapshot = sim.snapshot(0);
+    let frame = SnapshotFrame::build(&snapshot);
+    let ctx = AnalysisContext::new(sim.population());
+    println!(
+        "snapshot: {} rows ({} files / {} dirs)\n",
+        frame.len(),
+        frame.file_count(),
+        frame.dir_count()
+    );
+
+    // SELECT gid, COUNT(*) FROM snapshot WHERE is_file GROUP BY gid
+    // ORDER BY count DESC LIMIT 5;
+    println!("-- top 5 projects by live files --");
+    for (gid, count) in Query::over(&frame).files().top_k_groups(|f, i| Some(f.gid[i]), 5) {
+        println!(
+            "  {:<8} {:>8} files",
+            ctx.project_name(gid).unwrap_or("?"),
+            count
+        );
+    }
+
+    // SELECT domain, AVG(stripe_count) ... GROUP BY domain (join on the
+    // accounts database) — the Fig. 14 question as one query.
+    println!("\n-- mean stripe count per domain (top 5) --");
+    let mean_stripes = Query::over(&frame).files().group_mean(
+        |f, i| ctx.domain_of_gid(f.gid[i]),
+        |f, i| f.stripe_count[i] as f64,
+    );
+    let mut rows: Vec<_> = mean_stripes.into_iter().collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (domain, mean) in rows.into_iter().take(5) {
+        println!("  {:<4} {mean:>6.1}", domain.id());
+    }
+
+    // SELECT uid, COUNT(*) WHERE atime > mtime + 90d — who keeps reading
+    // old data? (the purge-pressure question).
+    println!("\n-- users re-reading data older than 90 days (top 5) --");
+    const NINETY_DAYS: u64 = 90 * 86_400;
+    let old_readers = Query::over(&frame)
+        .files()
+        .filter(|f, i| f.atime[i] > f.mtime[i] + NINETY_DAYS)
+        .top_k_groups(|f, i| Some(f.uid[i]), 5);
+    if old_readers.is_empty() {
+        println!("  (none at this scale)");
+    }
+    for (uid, count) in old_readers {
+        println!("  uid {uid:<8} {count:>8} old-but-read files");
+    }
+
+    // SELECT MAX(depth) GROUP BY domain — the Table 1 depth column.
+    println!("\n-- max directory depth per domain (top 5) --");
+    let depths = Query::over(&frame).group_max(
+        |f, i| ctx.domain_of_gid(f.gid[i]),
+        |f, i| f.depth[i] as u64,
+    );
+    let mut rows: Vec<_> = depths.into_iter().collect();
+    rows.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+    for (domain, depth) in rows.into_iter().take(5) {
+        println!("  {:<4} depth {depth}", domain.id());
+    }
+}

@@ -1,0 +1,94 @@
+//! Collaboration mapping — the paper's §4.3 use case: find the
+//! communities and the liaison entities in the file generation network.
+//!
+//! ```sh
+//! cargo run --release --example collaboration_map
+//! ```
+
+use spider_core::sharing::collaboration::CollaborationReport;
+use spider_core::sharing::components::ComponentReport;
+use spider_core::sharing::FileGenNetwork;
+use spider_core::{stream_store, AnalysisContext};
+use spider_graph::DistanceStats;
+use spider_sim::{SimConfig, Simulation};
+use spider_snapshot::SnapshotStore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("spider-collab-map");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = SnapshotStore::open(&dir)?;
+    let mut sim = Simulation::new(SimConfig::test_small(3).with_scale(0.0002));
+    sim.run(&mut store)?;
+    let ctx = AnalysisContext::new(sim.population());
+
+    // Build the file generation network from the snapshots alone.
+    let mut network = FileGenNetwork::new(ctx.clone());
+    let mut collab_network = FileGenNetwork::without_staff(ctx);
+    stream_store(&store, &mut [&mut network, &mut collab_network])?;
+    let built = network.build();
+
+    println!(
+        "file generation network: {} users, {} projects, {} edges",
+        built.user_count(),
+        built.project_count(),
+        built.graph.num_edges()
+    );
+
+    // Communities.
+    let components = ComponentReport::compute(&built);
+    println!(
+        "\ncommunities: {} (largest holds {:.0}% of vertices: {} users + {} projects)",
+        components.component_count,
+        100.0 * components.largest_fraction,
+        components.largest_users,
+        components.largest_projects
+    );
+    println!(
+        "largest community: diameter {}, radius {}",
+        components.diameter, components.radius
+    );
+
+    // The center: liaison candidates (at OLCF these turned out to be the
+    // application-optimization staff).
+    let cs = spider_graph::ComponentSet::compute(&built.graph, spider_graph::Labeling::UnionFind);
+    let largest = cs.largest().expect("network non-empty");
+    let stats = DistanceStats::compute(&built.graph, &cs.members(largest));
+    println!("\nmost central entities (closeness):");
+    for (vertex, closeness) in stats.by_closeness().into_iter().take(5) {
+        match built.graph.as_project(vertex) {
+            Some(p) => {
+                let gid = built.gids[p as usize];
+                println!(
+                    "  project {:<10} (domain {}, closeness {closeness:.3})",
+                    sim.population()
+                        .project_by_gid(gid)
+                        .map(|pr| pr.name.as_str())
+                        .unwrap_or("?"),
+                    built.domains[p as usize].id()
+                );
+            }
+            None => {
+                let uid = built.uids[vertex as usize];
+                println!("  user uid={uid:<8} (closeness {closeness:.3})");
+            }
+        }
+    }
+
+    // Collaboration hot spots.
+    let collab = CollaborationReport::compute(&collab_network.build());
+    println!(
+        "\ncollaborating pairs: {} of {} possible ({:.2}%)",
+        collab.collaborating_pairs,
+        collab.total_pairs,
+        100.0 * collab.collaborating_fraction()
+    );
+    println!("domains where collaborating pairs meet:");
+    let mut by_pct = collab.pct_by_domain.clone();
+    by_pct.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (domain, pct) in by_pct.into_iter().take(5) {
+        println!("  {:<4} {pct:>5.1}%  ({})", domain.id(), domain.name());
+    }
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

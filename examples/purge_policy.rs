@@ -1,0 +1,74 @@
+//! Purge-policy design study — the paper's motivating administrative use
+//! case (§4.2.3): *is the 90-day purge window right?*
+//!
+//! We run the same workload under several purge windows and report, for
+//! each: files purged, live population at the end, and the file-age
+//! profile. The paper's Fig. 16 finding (median file age 138 days > the
+//! 90-day window) implies tighter windows destroy data scientists still
+//! read — which the sweep makes visible as purged-file counts rising
+//! sharply while ages stay pinned at the window.
+//!
+//! ```sh
+//! cargo run --release --example purge_policy
+//! ```
+
+use spider_core::behavior::{FileAgeAnalysis, PurgeAdvisor};
+use spider_core::stream_store;
+use spider_fsmeta::PurgePolicy;
+use spider_sim::{SimConfig, Simulation};
+use spider_snapshot::SnapshotStore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("purge window sweep (same workload, same seed):\n");
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>14}  {:>16}",
+        "window", "purged", "live files", "mean age (end)", "median mean age"
+    );
+
+    for window_days in [30u32, 60, 90, 120, 180] {
+        let mut config = SimConfig::test_small(7).with_scale(0.0002);
+        config.purge = PurgePolicy { window_days };
+
+        let dir = std::env::temp_dir().join(format!("spider-purge-{window_days}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = SnapshotStore::open(&dir)?;
+        let mut sim = Simulation::new(config);
+        let outcome = sim.run(&mut store)?;
+
+        let purged: u64 = outcome.weeks.iter().map(|w| w.purged).sum();
+        let live = outcome.weeks.last().map(|w| w.live_files).unwrap_or(0);
+
+        let mut age = FileAgeAnalysis::new();
+        let mut advisor = PurgeAdvisor::new();
+        stream_store(&store, &mut [&mut age, &mut advisor])?;
+        let end_age = age
+            .mean_age_days()
+            .last()
+            .map(|(_, v)| v)
+            .unwrap_or(0.0);
+        let median_age = age.median_of_means().unwrap_or(0.0);
+
+        println!(
+            "{:>7}d  {:>10}  {:>12}  {:>13.1}d  {:>15.1}d",
+            window_days, purged, live, end_age, median_age
+        );
+        if window_days == 90 {
+            if let Some(rec) = advisor.recommend(0.9, window_days) {
+                println!(
+                    "          -> advisor: keeping 90% of re-reads alive needs a {}-day window; \
+                     this policy severs {:.1}% of observed re-reads",
+                    rec.window_days,
+                    100.0 * rec.baseline_miss_fraction
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir)?;
+    }
+
+    println!(
+        "\nReading the sweep: shrinking the window purges dramatically more data\n\
+         while the age profile shows files are still being read near (and past)\n\
+         the 90-day mark — the paper's Observation 8 argument for a longer window."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: simulate a small synthetic Spider II, take weekly
+//! snapshots, and run a few analyses.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spider_core::behavior::GrowthAnalysis;
+use spider_core::trends::census::UniqueCensus;
+use spider_core::{stream_store, AnalysisContext};
+use spider_sim::{SimConfig, Simulation};
+use spider_snapshot::SnapshotStore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Configure a deliberately small run: ~20 weeks, 1/5000 of the
+    //    paper's volume.
+    let config = SimConfig::test_small(1).with_scale(0.0002);
+    println!(
+        "simulating {} days (+{} warm-up) across {} science domains ...",
+        config.days,
+        config.warmup_days,
+        spider_workload::ALL_DOMAINS.len()
+    );
+
+    // 2. Run the simulation, persisting weekly LustreDU-style snapshots.
+    let dir = std::env::temp_dir().join("spider-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = SnapshotStore::open(&dir)?;
+    let mut sim = Simulation::new(config);
+    let outcome = sim.run(&mut store)?;
+    println!(
+        "created {} files; {} weekly snapshots in {}",
+        outcome.total_created,
+        store.len(),
+        dir.display()
+    );
+
+    // 3. Stream the snapshots through two analyses in one pass.
+    let ctx = AnalysisContext::new(sim.population());
+    let mut census = UniqueCensus::new(ctx);
+    let mut growth = GrowthAnalysis::new();
+    stream_store(&store, &mut [&mut census, &mut growth])?;
+
+    println!(
+        "\nunique entries observed: {} files + {} directories",
+        census.unique_files(),
+        census.unique_dirs()
+    );
+    println!(
+        "file population grew {:.1}x across the window",
+        growth.file_growth_factor().unwrap_or(0.0)
+    );
+    println!("\ntop-5 extensions across all domains:");
+    for (ext, pct) in census.top_extensions_global(5) {
+        println!("  .{ext:<10} {pct:>5.1}%");
+    }
+    println!("\nbusiest domains by unique entries:");
+    let mut by_volume: Vec<_> = spider_workload::ALL_DOMAINS
+        .iter()
+        .map(|&d| (d, census.domain_counts(d).total()))
+        .collect();
+    by_volume.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (domain, count) in by_volume.into_iter().take(5) {
+        println!("  {:<4} {:>9} entries  ({})", domain.id(), count, domain.name());
+    }
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Population-level calibration: the generated population reproduces the
+//! paper's structural targets at full project scale (no simulation).
+
+use spider_graph::{BipartiteGraphBuilder, ComponentSet, Labeling};
+use spider_workload::{Population, PopulationConfig, ScienceDomain};
+
+fn population() -> Population {
+    Population::generate(&PopulationConfig::default())
+}
+
+#[test]
+fn population_scale_matches_paper() {
+    let pop = population();
+    assert_eq!(pop.project_count(), 380, "the paper's 380 projects");
+    let users = pop.user_count();
+    assert!(
+        (900..=1900).contains(&users),
+        "user count {users} out of band (paper: 1,362)"
+    );
+}
+
+#[test]
+fn membership_graph_has_paper_structure() {
+    let pop = population();
+    let mut builder =
+        BipartiteGraphBuilder::new(pop.user_count() as u32, pop.project_count() as u32);
+    for p in &pop.projects {
+        for m in &p.members {
+            builder.add_edge(m.0, p.id.0);
+        }
+    }
+    let graph = builder.build();
+    let components = ComponentSet::compute(&graph, Labeling::UnionFind);
+
+    // One giant component holding most vertices (paper: 72%).
+    let largest = components.largest().unwrap();
+    let giant = components.sizes()[largest as usize] as f64;
+    let frac = giant / graph.num_vertices() as f64;
+    assert!(
+        (0.45..=0.92).contains(&frac),
+        "giant fraction {frac} (paper 0.72)"
+    );
+
+    // A fringe of many small components (paper: 160 total, 60%+ pairs).
+    assert!(components.count() >= 30, "{} components", components.count());
+    let pairs = components
+        .size_distribution()
+        .iter()
+        .filter(|&&(s, _)| s <= 2)
+        .map(|&(_, c)| c)
+        .sum::<u32>();
+    assert!(
+        pairs as f64 / components.count() as f64 > 0.4,
+        "pair components {pairs}/{}",
+        components.count()
+    );
+}
+
+#[test]
+fn networked_flags_respect_table1_network_column() {
+    let pop = population();
+    for (domain, expect_all) in [
+        (ScienceDomain::Chp, true),
+        (ScienceDomain::Env, true),
+        (ScienceDomain::Nfu, true),
+        (ScienceDomain::Nro, true),
+    ] {
+        let all_networked = pop.domain_projects(domain).all(|p| p.networked);
+        assert_eq!(all_networked, expect_all, "{}", domain.id());
+    }
+    for domain in [ScienceDomain::Aph, ScienceDomain::Med, ScienceDomain::Pss] {
+        assert!(
+            pop.domain_projects(domain).all(|p| !p.networked),
+            "{} should be isolated",
+            domain.id()
+        );
+    }
+}
+
+#[test]
+fn volume_split_reproduces_heavy_projects() {
+    let pop = population();
+    // The paper's heaviest projects: a 505M-file stf project and a 372M
+    // chp project. In paper-absolute terms our top projects must also be
+    // in the hundreds of millions.
+    let mut volumes: Vec<(f64, &str)> = pop
+        .projects
+        .iter()
+        .map(|p| (p.volume_k, p.domain.id()))
+        .collect();
+    volumes.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    assert!(volumes[0].0 > 100_000.0, "top project {volumes:?}");
+    let top5_domains: Vec<&str> = volumes[..5].iter().map(|v| v.1).collect();
+    assert!(
+        top5_domains.iter().any(|d| ["stf", "chp", "bip", "csc"].contains(d)),
+        "top-5 volume domains {top5_domains:?}"
+    );
+}
+
+#[test]
+fn projects_per_user_distribution() {
+    let pop = population();
+    let counts = pop.projects_per_user();
+    let multi = counts.iter().filter(|&&c| c > 1).count() as f64 / counts.len() as f64;
+    assert!(multi > 0.4, "multi-project fraction {multi} (paper >60%)");
+    let heavy = counts.iter().filter(|&&c| c >= 8).count() as f64 / counts.len() as f64;
+    assert!(heavy > 0.002, "heavy-user fraction {heavy} (paper ~2%)");
+    assert!(*counts.iter().max().unwrap() >= 6);
+}

@@ -1,0 +1,62 @@
+//! Determinism: the same seed yields byte-identical snapshots and
+//! identical analysis results; different seeds diverge.
+
+use spider_experiments::{Lab, LabConfig};
+use spider_sim::{SimConfig, Simulation};
+use spider_snapshot::{colf, SnapshotStore};
+
+fn dir_for(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spider-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn same_seed_same_snapshot_bytes() {
+    let run = |tag: &str| {
+        let dir = dir_for(tag);
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        let mut sim = Simulation::new(SimConfig::test_small(77));
+        sim.run(&mut store).unwrap();
+        let last = *store.days().last().unwrap();
+        let snap = store.get(last).unwrap().unwrap();
+        let bytes = colf::encode(&snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+        bytes
+    };
+    assert_eq!(run("a"), run("b"));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let run = |seed: u64, tag: &str| {
+        let dir = dir_for(tag);
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        let mut sim = Simulation::new(SimConfig::test_small(seed));
+        let outcome = sim.run(&mut store).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        outcome.total_created
+    };
+    assert_ne!(run(1, "s1"), run(2, "s2"));
+}
+
+#[test]
+fn analyses_are_deterministic() {
+    let summarize = |tag: &str| {
+        let dir = dir_for(tag);
+        let lab = Lab::prepare(LabConfig::test_small(&dir, 42)).unwrap();
+        let a = lab.analyses();
+        let result = (
+            a.census.unique_files(),
+            a.census.unique_dirs(),
+            a.users.active_users,
+            a.components.component_count,
+            a.components.largest_size,
+            a.collaboration.collaborating_pairs,
+            serde_json::to_string(&a.summary).unwrap(),
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        result
+    };
+    assert_eq!(summarize("x"), summarize("y"));
+}

@@ -1,0 +1,82 @@
+//! Every experiment runner executes on a shared small-scale lab and
+//! produces well-formed output; the scale-robust shape checks must pass
+//! even at test scale. (The full-scale shape validation is recorded in
+//! EXPERIMENTS.md by the `repro` binary.)
+
+use spider_experiments::{all_experiments, Lab, LabConfig};
+use std::sync::OnceLock;
+
+fn shared_lab() -> &'static Lab {
+    static LAB: OnceLock<Lab> = OnceLock::new();
+    LAB.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "spider-shapes-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Lab::prepare(LabConfig::test_small(dir, 7)).expect("lab prepares")
+    })
+}
+
+#[test]
+fn all_runners_produce_output() {
+    let lab = shared_lab();
+    let experiments = all_experiments();
+    assert_eq!(experiments.len(), 21);
+    for (id, run) in experiments {
+        let out = run(lab);
+        assert_eq!(out.id, id);
+        assert!(!out.title.is_empty(), "{id}: empty title");
+        assert!(!out.text.is_empty(), "{id}: empty text");
+        assert!(
+            !out.verdicts.checks.is_empty(),
+            "{id}: no shape checks recorded"
+        );
+        if let Some(csv) = &out.csv {
+            assert!(csv.lines().count() >= 2, "{id}: csv has no data rows");
+        }
+    }
+}
+
+#[test]
+fn runner_lookup_by_id() {
+    assert!(spider_experiments::experiment_by_id("table1").is_some());
+    assert!(spider_experiments::experiment_by_id("fig16").is_some());
+    assert!(spider_experiments::experiment_by_id("nope").is_none());
+}
+
+/// Checks that are robust to the reduced test scale. Anything tied to
+/// absolute volume (e.g. the scaled-100M census) is validated only in the
+/// full-scale repro run.
+#[test]
+fn scale_robust_shapes_hold() {
+    let lab = shared_lab();
+    let robust: &[(&str, &[&str])] = &[
+        ("table3", &["giant-component-share", "sparse-diameter"]),
+        ("fig05", &["government-majority", "domain-experts-dominate"]),
+        ("fig07", &["dirs-are-minority"]),
+        ("fig09", &["floor-at-user-dirs"]),
+        ("fig13", &["untouched-dominates", "more-new-than-readonly"]),
+        ("fig14", &["default-only-domains"]),
+        ("fig15", &["dirs-grow-slower"]),
+        ("fig18", &["descending-loglog-slope"]),
+        ("pipeline", &["columnar-compression", "conversion-lossless", "psv-codec-lossless"]),
+    ];
+    let mut failures = Vec::new();
+    for (id, names) in robust {
+        let run = spider_experiments::experiment_by_id(id).unwrap();
+        let out = run(lab);
+        for name in *names {
+            let check = out
+                .verdicts
+                .checks
+                .iter()
+                .find(|c| c.name == *name)
+                .unwrap_or_else(|| panic!("{id}: check {name} missing"));
+            if !check.pass {
+                failures.push(format!("{id}/{name}: measured {}", check.measured));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "shape regressions:\n{}", failures.join("\n"));
+}

@@ -1,0 +1,98 @@
+//! End-to-end pipeline test: simulate -> snapshot store -> stream analyses.
+//!
+//! Exercises the full reproduction stack at a small scale and checks the
+//! structural invariants that hold at any scale.
+
+use spider_experiments::{Lab, LabConfig};
+
+fn lab_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spider-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_pipeline_produces_consistent_analyses() {
+    let dir = lab_dir("pipeline");
+    let lab = Lab::prepare(LabConfig::test_small(&dir, 11)).expect("lab prepares");
+    let a = lab.analyses();
+
+    // The simulation ran (not cached) and persisted the expected cadence.
+    let outcome = lab.outcome().expect("fresh run");
+    assert_eq!(
+        outcome.snapshot_days.len() as u32,
+        lab.config().sim.snapshot_count()
+    );
+    assert!(outcome.total_created > 1_000);
+
+    // Census consistency: per-domain counts sum to the global counts, and
+    // nothing was unattributed.
+    let per_domain: u64 = spider_workload::ALL_DOMAINS
+        .iter()
+        .map(|&d| a.census.domain_counts(d).total())
+        .sum();
+    assert_eq!(per_domain, a.census.unique_entries());
+    assert_eq!(a.census.unattributed, 0);
+
+    // Ownership consistency: files per user and per project both sum to
+    // the unique file total.
+    let by_user: u64 = a.census.files_per_user().values().sum();
+    let by_project: u64 = a.census.files_per_project().values().sum();
+    assert_eq!(by_user, a.census.unique_files());
+    assert_eq!(by_project, a.census.unique_files());
+
+    // Unique files >= peak live files (deletions inflate the census).
+    let peak_live = a
+        .growth
+        .files()
+        .points()
+        .iter()
+        .map(|&(_, v)| v as u64)
+        .max()
+        .unwrap();
+    assert!(a.census.unique_files() >= peak_live);
+
+    // Active users are a subset of the registered population and > 0.
+    assert!(a.users.active_users > 0);
+    assert!(a.users.active_users <= lab.population().user_count() as u64);
+
+    // The growth series covers every snapshot.
+    assert_eq!(
+        a.growth.files().len() as u32,
+        lab.config().sim.snapshot_count()
+    );
+
+    // Access breakdowns exist for every adjacent pair.
+    assert_eq!(
+        a.access.weeks().len() as u32,
+        lab.config().sim.snapshot_count() - 1
+    );
+
+    // The network has both sides populated and a giant component.
+    assert!(a.network.user_count() > 10);
+    assert!(a.network.project_count() > 10);
+    assert!(a.components.largest_size > 10);
+    assert!(a.components.largest_fraction > 0.2);
+
+    // Table 1 has all 35 rows and nonzero volume in the big domains.
+    assert_eq!(a.summary.rows.len(), 35);
+    assert!(a.summary.row(spider_workload::ScienceDomain::Bip).entries_k > 0.0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lab_cache_reuses_the_store() {
+    let dir = lab_dir("cache");
+    let config = LabConfig::test_small(&dir, 12);
+    let first = Lab::prepare(config.clone()).expect("first run");
+    assert!(first.outcome().is_some(), "first run simulates");
+    let first_files = first.analyses().census.unique_files();
+    drop(first);
+
+    let second = Lab::prepare(config).expect("cached run");
+    assert!(second.outcome().is_none(), "second run reuses the store");
+    assert_eq!(second.analyses().census.unique_files(), first_files);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
