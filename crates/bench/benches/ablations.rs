@@ -4,12 +4,16 @@
 //! 2. parallel vs sequential group-by in the engine;
 //! 3. union-find vs BFS component labelling;
 //! 4. front-coded path column vs the plain-text path encoding (measured
-//!    as bytes, reported through the codec benches' sizes).
+//!    as bytes, reported through the codec benches' sizes);
+//! 5. lazy fused scan vs the eager row-list materialization the old
+//!    `Query` used;
+//! 6. morsel-driven group-fold vs the per-element baseline;
+//! 7. one-pass `MultiAgg` vs one scan per aggregate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use spider_bench::fixture;
 use spider_core::engine::Engine;
-use spider_core::SnapshotFrame;
+use spider_core::{Scan, SnapshotFrame};
 use spider_graph::{ComponentSet, Labeling};
 use std::hint::black_box;
 
@@ -58,7 +62,10 @@ fn bench_engine_modes(c: &mut Criterion) {
     let frame = SnapshotFrame::build(snapshot);
     let mut group = c.benchmark_group("ablation_engine");
     group.throughput(Throughput::Elements(frame.len() as u64));
-    for (label, engine) in [("parallel", Engine::Parallel), ("sequential", Engine::Sequential)] {
+    for (label, engine) in [
+        ("parallel", Engine::Parallel),
+        ("sequential", Engine::Sequential),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let groups: rustc_hash::FxHashMap<u32, u64> = engine.group_fold(
@@ -97,7 +104,10 @@ fn bench_striping_engines(c: &mut Criterion) {
     let frame = SnapshotFrame::build(last);
     let mut group = c.benchmark_group("ablation_striping");
     group.throughput(Throughput::Elements(frame.len() as u64));
-    for (label, engine) in [("parallel", Engine::Parallel), ("sequential", Engine::Sequential)] {
+    for (label, engine) in [
+        ("parallel", Engine::Parallel),
+        ("sequential", Engine::Sequential),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut striping = StripingAnalysis::with_engine(f.ctx.clone(), engine);
@@ -114,11 +124,115 @@ fn bench_striping_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation 5: the same filtered count, once through the lazy fused scan
+/// (filters evaluated inside the fold) and once through the old eager
+/// shape (materialize a row-id list, `retain` per filter, then count).
+fn bench_fused_vs_materialized(c: &mut Criterion) {
+    let f = fixture();
+    let snapshot = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(snapshot);
+    let cutoff = frame.mtime[frame.len() / 2];
+    let mut group = c.benchmark_group("ablation_fused");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+    group.bench_function("fused_scan", |b| {
+        b.iter(|| {
+            let n = Scan::over(&frame)
+                .files()
+                .filter(|f, i| f.mtime[i] <= cutoff)
+                .filter(|f, i| f.stripe_count[i] >= 1)
+                .count();
+            black_box(n)
+        })
+    });
+    group.bench_function("materialized_rows", |b| {
+        b.iter(|| {
+            let mut rows: Vec<u32> = (0..frame.len() as u32).collect();
+            rows.retain(|&i| frame.is_file[i as usize]);
+            rows.retain(|&i| frame.mtime[i as usize] <= cutoff);
+            rows.retain(|&i| frame.stripe_count[i as usize] >= 1);
+            black_box(rows.len() as u64)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 6: morsel-driven group-fold vs the per-element parallel
+/// baseline it replaced.
+fn bench_morsel_vs_per_element(c: &mut Criterion) {
+    let f = fixture();
+    let snapshot = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(snapshot);
+    let mut group = c.benchmark_group("ablation_morsel");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+    group.bench_function("morsel", |b| {
+        b.iter(|| {
+            let groups: rustc_hash::FxHashMap<u32, u64> = Engine::Parallel.group_fold(
+                frame.len(),
+                |i| frame.is_file[i].then_some(frame.gid[i]),
+                |acc: &mut u64, _| *acc += 1,
+                |a, b| *a += b,
+            );
+            black_box(groups.len())
+        })
+    });
+    group.bench_function("per_element", |b| {
+        b.iter(|| {
+            let groups: rustc_hash::FxHashMap<u32, u64> = Engine::Parallel.group_fold_per_element(
+                frame.len(),
+                |i| frame.is_file[i].then_some(frame.gid[i]),
+                |acc: &mut u64, _| *acc += 1,
+                |a, b| *a += b,
+            );
+            black_box(groups.len())
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 7: four aggregates per gid — one fused `MultiAgg` pass vs
+/// four single-aggregate scans.
+fn bench_multiagg_one_pass(c: &mut Criterion) {
+    let f = fixture();
+    let snapshot = f.snapshots.last().unwrap();
+    let frame = SnapshotFrame::build(snapshot);
+    let mut group = c.benchmark_group("ablation_multiagg");
+    group.throughput(Throughput::Elements(frame.len() as u64));
+    group.bench_function("one_pass", |b| {
+        b.iter(|| {
+            let stats = Scan::over(&frame)
+                .multi(|f, i| Some(f.gid[i]))
+                .count("entries")
+                .sum_opt("files", |f, i| f.is_file[i].then_some(1.0))
+                .mean("mtime", |f, i| f.mtime[i] as f64)
+                .max("depth", |f, i| f.depth[i] as f64)
+                .run();
+            black_box(stats.len())
+        })
+    });
+    group.bench_function("four_scans", |b| {
+        b.iter(|| {
+            let entries = Scan::over(&frame).group_count(|f, i| Some(f.gid[i]));
+            let files = Scan::over(&frame)
+                .files()
+                .group_count(|f, i| Some(f.gid[i]));
+            let mtime =
+                Scan::over(&frame).group_mean(|f, i| Some(f.gid[i]), |f, i| f.mtime[i] as f64);
+            let depth =
+                Scan::over(&frame).group_max(|f, i| Some(f.gid[i]), |f, i| f.depth[i] as u64);
+            black_box(entries.len() + files.len() + mtime.len() + depth.len())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_columnar_vs_row,
     bench_engine_modes,
     bench_component_labelling,
-    bench_striping_engines
+    bench_striping_engines,
+    bench_fused_vs_materialized,
+    bench_morsel_vs_per_element,
+    bench_multiagg_one_pass
 );
 criterion_main!(benches);

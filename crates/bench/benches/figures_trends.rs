@@ -47,7 +47,9 @@ fn bench_fig07_census(c: &mut Criterion) {
 /// Fig. 8(a)/9: depth report finalization.
 fn bench_fig08_fig09(c: &mut Criterion) {
     let f = fixture();
-    c.bench_function("fig08/depth_finish", |b| b.iter(|| black_box(f.depth.finish())));
+    c.bench_function("fig08/depth_finish", |b| {
+        b.iter(|| black_box(f.depth.finish()))
+    });
 }
 
 /// Fig. 10: one snapshot step of the extension-share trend.

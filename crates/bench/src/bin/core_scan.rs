@@ -1,0 +1,161 @@
+//! Standalone scan-engine benchmark (plain `std::time`, no criterion):
+//! builds a ≥1M-row synthetic snapshot frame and times the redesign's
+//! three headline match-ups —
+//!
+//! 1. lazy fused scan vs eager row-list materialization,
+//! 2. morsel-driven group-fold vs the per-element parallel baseline,
+//! 3. one-pass `MultiAgg` vs one scan per aggregate —
+//!
+//! then writes the medians to `BENCH_core_scan.json` (or the path given
+//! as the first argument). Each pair also cross-checks that both sides
+//! produce the same answer, so a speedup can never come from computing
+//! something different.
+
+use spider_core::{Engine, Scan, SnapshotFrame};
+use spider_snapshot::{Snapshot, SnapshotRecord};
+use std::time::Instant;
+
+/// Synthetic frame size: 2^20 rows ≈ 1.05 M, the ISSUE's floor.
+const ROWS: usize = 1 << 20;
+/// Timing repetitions per case (medians reported).
+const REPS: usize = 7;
+
+fn synthetic_snapshot() -> Snapshot {
+    let mut records = Vec::with_capacity(ROWS);
+    for d in 0..64u64 {
+        records.push(SnapshotRecord {
+            path: format!("/d{d:02}"),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid: 1,
+            gid: d as u32 % 16,
+            mode: 0o040770,
+            ino: d,
+            osts: vec![],
+        });
+    }
+    for i in 64..ROWS as u64 {
+        // A cheap deterministic scramble stands in for Date-free "random"
+        // timestamps and stripe widths.
+        let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        records.push(SnapshotRecord {
+            path: format!("/d{:02}/f{i}", i % 64),
+            atime: 1_000_000 + (h >> 20) % 500_000,
+            ctime: 1_000_000,
+            mtime: 1_000_000 + (h >> 8) % 400_000,
+            uid: (h % 97) as u32,
+            gid: (i % 61) as u32,
+            mode: 0o100664,
+            ino: i,
+            osts: (0..(1 + h % 8)).map(|s| (s as u16, s as u32)).collect(),
+        });
+    }
+    Snapshot::new(0, 0, records)
+}
+
+/// Times `f` REPS times and returns (median ns/iter, last result).
+fn time<F: FnMut() -> u64>(mut f: F) -> (u64, u64) {
+    let mut samples = Vec::with_capacity(REPS);
+    let mut last = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        last = std::hint::black_box(f());
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    (samples[REPS / 2], last)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_core_scan.json".to_string());
+    eprintln!("building {ROWS}-row synthetic frame ...");
+    let snapshot = synthetic_snapshot();
+    let frame = SnapshotFrame::build(&snapshot);
+    let cutoff = 1_000_000 + 200_000u64;
+    let mut cases: Vec<(&str, u64, u64)> = Vec::new();
+
+    // 1. Fused vs materialized filtered count.
+    let (fused_ns, fused_n) = time(|| {
+        Scan::over(&frame)
+            .files()
+            .filter(|f, i| f.mtime[i] <= cutoff)
+            .filter(|f, i| f.stripe_count[i] >= 2)
+            .count()
+    });
+    let (mat_ns, mat_n) = time(|| {
+        let mut rows: Vec<u32> = (0..frame.len() as u32).collect();
+        rows.retain(|&i| frame.is_file[i as usize]);
+        rows.retain(|&i| frame.mtime[i as usize] <= cutoff);
+        rows.retain(|&i| frame.stripe_count[i as usize] >= 2);
+        rows.len() as u64
+    });
+    assert_eq!(fused_n, mat_n, "fused and materialized counts must agree");
+    cases.push(("fused_scan", fused_ns, fused_n));
+    cases.push(("materialized_rows", mat_ns, mat_n));
+
+    // 2. Morsel-driven vs per-element group-fold.
+    let key = |i: usize| frame.is_file[i].then_some(frame.gid[i]);
+    let (morsel_ns, morsel_n) = time(|| {
+        let g: rustc_hash::FxHashMap<u32, u64> =
+            Engine::Parallel.group_fold(frame.len(), key, |a: &mut u64, _| *a += 1, |a, b| *a += b);
+        g.len() as u64
+    });
+    let (elem_ns, elem_n) = time(|| {
+        let g: rustc_hash::FxHashMap<u32, u64> = Engine::Parallel.group_fold_per_element(
+            frame.len(),
+            key,
+            |a: &mut u64, _| *a += 1,
+            |a, b| *a += b,
+        );
+        g.len() as u64
+    });
+    assert_eq!(morsel_n, elem_n, "group counts must agree");
+    cases.push(("group_fold_morsel", morsel_ns, morsel_n));
+    cases.push(("group_fold_per_element", elem_ns, elem_n));
+
+    // 3. One-pass MultiAgg vs four single-aggregate scans.
+    let (multi_ns, multi_n) = time(|| {
+        Scan::over(&frame)
+            .multi(|f, i| Some(f.gid[i]))
+            .count("entries")
+            .sum_opt("files", |f, i| f.is_file[i].then_some(1.0))
+            .mean("mtime", |f, i| f.mtime[i] as f64)
+            .max("depth", |f, i| f.depth[i] as f64)
+            .run()
+            .len() as u64
+    });
+    let (four_ns, four_n) = time(|| {
+        let entries = Scan::over(&frame).group_count(|f, i| Some(f.gid[i]));
+        let files = Scan::over(&frame)
+            .files()
+            .group_count(|f, i| Some(f.gid[i]));
+        let mtime = Scan::over(&frame).group_mean(|f, i| Some(f.gid[i]), |f, i| f.mtime[i] as f64);
+        let depth = Scan::over(&frame).group_max(|f, i| Some(f.gid[i]), |f, i| f.depth[i] as u64);
+        (entries
+            .len()
+            .max(files.len())
+            .max(mtime.len())
+            .max(depth.len())) as u64
+    });
+    assert_eq!(multi_n, four_n, "group cardinality must agree");
+    cases.push(("multiagg_one_pass", multi_ns, multi_n));
+    cases.push(("four_single_scans", four_ns, four_n));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"rows\": {ROWS},\n  \"reps\": {REPS},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (name, ns, check)) in cases.iter().enumerate() {
+        let mrows_s = ROWS as f64 / (*ns as f64 / 1e9) / 1e6;
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {ns}, \"mrows_per_s\": {mrows_s:.1}, \"check\": {check}}}{}\n",
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+}

@@ -7,7 +7,9 @@
 
 #![warn(missing_docs)]
 
-use spider_core::behavior::{BurstinessAnalysis, FileAgeAnalysis, GrowthAnalysis, StripingAnalysis};
+use spider_core::behavior::{
+    BurstinessAnalysis, FileAgeAnalysis, GrowthAnalysis, StripingAnalysis,
+};
 use spider_core::sharing::FileGenNetwork;
 use spider_core::trends::census::UniqueCensus;
 use spider_core::trends::depth::DepthAnalysis;

@@ -274,10 +274,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
         fanout.median, fanout.widest_dir, fanout.max, fanout.empty_dirs
     );
 
-    let load = spider_core::behavior::ost_load::ost_load(
-        &snapshot,
-        spider_fsmeta::SPIDER_OST_COUNT,
-    );
+    let load =
+        spider_core::behavior::ost_load::ost_load(&snapshot, spider_fsmeta::SPIDER_OST_COUNT);
     println!(
         "OST load: {} objects across {} OSTs, imbalance {:.2}x",
         load.total_objects, load.populated_osts, load.imbalance

@@ -31,7 +31,14 @@ fn run(args: &[&str]) -> (bool, String) {
 fn list_shows_all_experiments() {
     let (ok, text) = run(&["list"]);
     assert!(ok);
-    for id in ["table1", "table3", "fig10", "fig16", "pipeline", "observations"] {
+    for id in [
+        "table1",
+        "table3",
+        "fig10",
+        "fig16",
+        "pipeline",
+        "observations",
+    ] {
         assert!(text.contains(id), "missing {id} in:\n{text}");
     }
 }

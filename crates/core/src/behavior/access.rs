@@ -6,6 +6,11 @@
 //! on average. The paper's averages: 22% new, 13% deleted, 3% readonly,
 //! 10% updated, 76% untouched (each relative to its own base population,
 //! which is why they exceed 100% summed).
+//!
+//! This visitor consumes only the precomputed [`AccessBreakdown`] counters
+//! of each diff — there is no per-row scan to fuse, so unlike the other
+//! analyses it takes no [`crate::Engine`] and is trivially identical
+//! under both execution modes.
 
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
 use serde::{Deserialize, Serialize};
@@ -130,9 +135,9 @@ mod tests {
             7,
             7,
             vec![
-                rec("/a", 1, 1),  // untouched
-                rec("/b", 9, 1),  // readonly
-                rec("/d", 9, 9),  // new (c deleted)
+                rec("/a", 1, 1), // untouched
+                rec("/b", 9, 1), // readonly
+                rec("/d", 9, 9), // new (c deleted)
             ],
         );
         let mut analysis = AccessPatternAnalysis::new();
@@ -151,7 +156,10 @@ mod tests {
     #[test]
     fn first_snapshot_produces_no_week() {
         let mut analysis = AccessPatternAnalysis::new();
-        stream_snapshots(&[Snapshot::new(0, 0, vec![rec("/a", 1, 1)])], &mut [&mut analysis]);
+        stream_snapshots(
+            &[Snapshot::new(0, 0, vec![rec("/a", 1, 1)])],
+            &mut [&mut analysis],
+        );
         assert!(analysis.weeks().is_empty());
         assert_eq!(analysis.average_shares(), AverageShares::default());
     }

@@ -8,6 +8,7 @@
 //! recent snapshots, recommend the smallest window that would have kept a
 //! target fraction of *still-read* data alive.
 
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
 use spider_stats::Quantiles;
 
@@ -20,6 +21,7 @@ const DAY_SECS_F: f64 = 86_400.0;
 /// snapshots. Those are precisely the accesses a purge window can sever.
 #[derive(Debug, Clone, Default)]
 pub struct PurgeAdvisor {
+    engine: Engine,
     read_ages_days: Vec<f64>,
 }
 
@@ -38,9 +40,17 @@ pub struct WindowRecommendation {
 }
 
 impl PurgeAdvisor {
-    /// Creates an empty advisor.
+    /// Creates an empty advisor (parallel engine).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty advisor with an explicit engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        PurgeAdvisor {
+            engine,
+            ..Self::default()
+        }
     }
 
     /// Number of re-read observations collected.
@@ -79,11 +89,25 @@ impl SnapshotVisitor for PurgeAdvisor {
         // Readonly accesses: atime moved without a write. The age at read
         // time is exactly what the purge clock race is about — had the
         // window been shorter than this age, the file would be gone.
-        for &idx in &diff.readonly {
-            let r = &records[idx as usize];
-            let age = r.atime.saturating_sub(r.mtime) as f64 / DAY_SECS_F;
-            self.read_ages_days.push(age);
-        }
+        // Morsels of the readonly index list fold into private vectors;
+        // concatenating up the fixed tree preserves diff order exactly.
+        let readonly = &diff.readonly;
+        let ages = self.engine.fold_morsels(
+            readonly.len(),
+            Vec::new,
+            |mut acc: Vec<f64>, rows| {
+                acc.extend(rows.map(|j| {
+                    let r = &records[readonly[j] as usize];
+                    r.atime.saturating_sub(r.mtime) as f64 / DAY_SECS_F
+                }));
+                acc
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        self.read_ages_days.extend(ages);
     }
 }
 

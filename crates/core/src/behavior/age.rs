@@ -6,7 +6,9 @@
 //! (median 138 days, maximum 214), concluding the window "potentially
 //! needs to be increased".
 
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use spider_stats::{Quantiles, TimeSeries};
 
 /// Seconds per day, for age conversions.
@@ -15,14 +17,23 @@ const DAY_SECS_F: f64 = 86_400.0;
 /// Streaming file-age analysis.
 #[derive(Debug, Clone, Default)]
 pub struct FileAgeAnalysis {
+    engine: Engine,
     mean_age_days: TimeSeries,
     median_age_days: TimeSeries,
 }
 
 impl FileAgeAnalysis {
-    /// Creates the analysis.
+    /// Creates the analysis (parallel engine).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates the analysis with an explicit engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        FileAgeAnalysis {
+            engine,
+            ..Self::default()
+        }
     }
 
     /// Per-snapshot mean file age in days (the Fig. 16 series).
@@ -55,22 +66,19 @@ impl FileAgeAnalysis {
 impl SnapshotVisitor for FileAgeAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
         let frame = ctx.frame;
-        let mut ages: Vec<f64> = Vec::new();
-        let mut sum = 0.0f64;
-        for i in 0..frame.len() {
-            if !frame.is_file[i] {
-                continue;
-            }
-            let age = frame.atime[i].saturating_sub(frame.mtime[i]) as f64 / DAY_SECS_F;
-            sum += age;
-            ages.push(age);
-        }
+        // The exact median needs every age anyway, so one fused column
+        // extraction feeds both statistics; the mean sums in row order,
+        // identically for both engines.
+        let ages: Vec<f64> = Scan::with_engine(frame, self.engine)
+            .files()
+            .column(|f, i| f.atime[i].saturating_sub(f.mtime[i]) as f64 / DAY_SECS_F);
         let day = frame.day();
         if ages.is_empty() {
             self.mean_age_days.push(day, 0.0);
             self.median_age_days.push(day, 0.0);
             return;
         }
+        let sum: f64 = ages.iter().sum();
         self.mean_age_days.push(day, sum / ages.len() as f64);
         let median = Quantiles::new(ages).median().expect("non-empty");
         self.median_age_days.push(day, median);

@@ -15,6 +15,7 @@
 //! summary of those distributions, with *lower `c_v` = burstier*.
 
 use crate::context::AnalysisContext;
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
 use rustc_hash::FxHashMap;
 use spider_stats::{FiveNumber, Quantiles, StreamingMoments};
@@ -23,6 +24,7 @@ use spider_workload::{ScienceDomain, ALL_DOMAINS};
 /// Streaming burstiness analysis.
 pub struct BurstinessAnalysis {
     ctx: AnalysisContext,
+    engine: Engine,
     /// Minimum files per (project, week, category) for inclusion.
     pub min_files: usize,
     write_samples: Vec<Vec<f64>>,
@@ -47,8 +49,14 @@ impl BurstinessAnalysis {
     /// Creates the analysis with a custom inclusion threshold (scaled-down
     /// simulations use smaller ones).
     pub fn with_min_files(ctx: AnalysisContext, min_files: usize) -> Self {
+        Self::with_engine(ctx, min_files, Engine::Parallel)
+    }
+
+    /// Creates the analysis with an explicit engine.
+    pub fn with_engine(ctx: AnalysisContext, min_files: usize, engine: Engine) -> Self {
         BurstinessAnalysis {
             ctx,
+            engine,
             min_files,
             write_samples: vec![Vec::new(); ALL_DOMAINS.len()],
             read_samples: vec![Vec::new(); ALL_DOMAINS.len()],
@@ -88,24 +96,31 @@ impl BurstinessAnalysis {
 impl SnapshotVisitor for BurstinessAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
         let Some(diff) = ctx.diff else { return };
-        let Some((prev_snapshot, _)) = ctx.prev else { return };
+        let Some((prev_snapshot, _)) = ctx.prev else {
+            return;
+        };
         let base = prev_snapshot.taken_at();
         let records = ctx.snapshot.records();
 
-        // Offsets per project for the week's new files (write path).
-        let mut write_offsets: FxHashMap<u32, Vec<f64>> = FxHashMap::default();
-        for &idx in &diff.new {
-            let r = &records[idx as usize];
-            let offset = r.mtime.saturating_sub(base) as f64;
-            write_offsets.entry(r.gid).or_default().push(offset);
-        }
-        // Offsets per project for readonly files (read path).
-        let mut read_offsets: FxHashMap<u32, Vec<f64>> = FxHashMap::default();
-        for &idx in &diff.readonly {
-            let r = &records[idx as usize];
-            let offset = r.atime.saturating_sub(base) as f64;
-            read_offsets.entry(r.gid).or_default().push(offset);
-        }
+        // Offsets per project, grouped by one fused pass over each diff
+        // index list. Appending morsel vectors up the fixed tree keeps the
+        // offsets in diff order for both engines.
+        let group_offsets = |indexes: &[u32],
+                             time_of: &(dyn Fn(&spider_snapshot::SnapshotRecord) -> u64 + Sync)|
+         -> FxHashMap<u32, Vec<f64>> {
+            self.engine.group_fold(
+                indexes.len(),
+                |j| Some(records[indexes[j] as usize].gid),
+                |acc: &mut Vec<f64>, j| {
+                    let r = &records[indexes[j] as usize];
+                    acc.push(time_of(r).saturating_sub(base) as f64);
+                },
+                |a, b| a.extend(b),
+            )
+        };
+        // New files carry the week's writes; readonly files its reads.
+        let write_offsets = group_offsets(&diff.new, &|r| r.mtime);
+        let read_offsets = group_offsets(&diff.readonly, &|r| r.atime);
 
         for (samples, offsets) in [
             (&mut self.write_samples, write_offsets),
@@ -118,9 +133,7 @@ impl SnapshotVisitor for BurstinessAnalysis {
                 let Some(domain) = self.ctx.domain_of_gid(gid) else {
                     continue;
                 };
-                if let Some(cv) =
-                    StreamingMoments::from_slice(&values).coefficient_of_variation()
-                {
+                if let Some(cv) = StreamingMoments::from_slice(&values).coefficient_of_variation() {
                     samples[domain.index()].push(cv);
                 }
             }

@@ -4,20 +4,31 @@
 //! increasing, reaching a billion entries at the peak ... the directory
 //! count stays rather steady compared to the growth of the file count."
 
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use spider_stats::TimeSeries;
 
 /// Per-snapshot file/directory population tracker.
 #[derive(Debug, Clone, Default)]
 pub struct GrowthAnalysis {
+    engine: Engine,
     files: TimeSeries,
     dirs: TimeSeries,
 }
 
 impl GrowthAnalysis {
-    /// Creates the analysis.
+    /// Creates the analysis (parallel engine).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates the analysis with an explicit engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        GrowthAnalysis {
+            engine,
+            ..Self::default()
+        }
     }
 
     /// Live-file count series.
@@ -51,8 +62,9 @@ impl GrowthAnalysis {
 impl SnapshotVisitor for GrowthAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
         let day = ctx.frame.day();
-        self.files.push(day, ctx.frame.file_count() as f64);
-        self.dirs.push(day, ctx.frame.dir_count() as f64);
+        let files = Scan::with_engine(ctx.frame, self.engine).files().count();
+        self.files.push(day, files as f64);
+        self.dirs.push(day, (ctx.frame.len() as u64 - files) as f64);
     }
 }
 

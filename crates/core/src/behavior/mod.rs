@@ -10,10 +10,10 @@
 
 pub mod access;
 pub mod advisor;
-pub mod ost_load;
 pub mod age;
 pub mod burstiness;
 pub mod growth;
+pub mod ost_load;
 pub mod striping;
 
 pub use access::AccessPatternAnalysis;

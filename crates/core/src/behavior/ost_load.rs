@@ -6,6 +6,7 @@
 //! diagnose for free; this analysis reports per-OST object counts and the
 //! imbalance ratio.
 
+use crate::engine::Engine;
 use spider_snapshot::Snapshot;
 
 /// Per-OST load summary for one snapshot.
@@ -21,19 +22,38 @@ pub struct OstLoadReport {
     pub imbalance: f64,
 }
 
-/// Computes the OST load of one snapshot. `ost_count` sizes the output
-/// (Spider II: 2,016).
+/// Computes the OST load of one snapshot (parallel engine). `ost_count`
+/// sizes the output (Spider II: 2,016).
 pub fn ost_load(snapshot: &Snapshot, ost_count: u32) -> OstLoadReport {
-    let mut counts = vec![0u64; ost_count as usize];
-    let mut total = 0u64;
-    for record in snapshot.records() {
-        for &(ost, _) in &record.osts {
-            if (ost as u32) < ost_count {
-                counts[ost as usize] += 1;
-                total += 1;
+    ost_load_with_engine(snapshot, ost_count, Engine::Parallel)
+}
+
+/// Computes the OST load with an explicit engine: each morsel of records
+/// folds into a private count vector, vectors merge elementwise up the
+/// deterministic tree.
+pub fn ost_load_with_engine(snapshot: &Snapshot, ost_count: u32, engine: Engine) -> OstLoadReport {
+    let records = snapshot.records();
+    let (counts, total) = engine.fold_morsels(
+        records.len(),
+        || (vec![0u64; ost_count as usize], 0u64),
+        |(mut counts, mut total), rows| {
+            for i in rows {
+                for &(ost, _) in &records[i].osts {
+                    if (ost as u32) < ost_count {
+                        counts[ost as usize] += 1;
+                        total += 1;
+                    }
+                }
             }
-        }
-    }
+            (counts, total)
+        },
+        |(mut a, at), (b, bt)| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            (a, at + bt)
+        },
+    );
     let populated = counts.iter().filter(|&&c| c > 0).count() as u32;
     let imbalance = if populated == 0 {
         0.0
@@ -92,7 +112,10 @@ mod tests {
         let snap = Snapshot::new(
             0,
             0,
-            vec![rec("/a", vec![(0, 1), (1, 1)]), rec("/b", vec![(2, 1), (3, 1)])],
+            vec![
+                rec("/a", vec![(0, 1), (1, 1)]),
+                rec("/b", vec![(2, 1), (3, 1)]),
+            ],
         );
         let report = ost_load(&snap, 4);
         assert_eq!(report.imbalance, 1.0);

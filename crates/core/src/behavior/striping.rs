@@ -9,6 +9,7 @@
 use crate::context::AnalysisContext;
 use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use spider_workload::{ScienceDomain, ALL_DOMAINS};
 
 /// Per-domain stripe statistics accumulator.
@@ -117,17 +118,11 @@ impl StripingAnalysis {
 
 impl SnapshotVisitor for StripingAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
-        let frame = ctx.frame;
         let join = &self.ctx;
-        let groups = self.engine.group_fold(
-            frame.len(),
-            |i| {
-                frame.is_file[i]
-                    .then(|| join.domain_of_gid(frame.gid[i]))
-                    .flatten()
-            },
-            |acc: &mut StripeAcc, i| acc.push(frame.stripe_count[i]),
-            |a, b| a.merge(b),
+        let groups = Scan::with_engine(ctx.frame, self.engine).files().group_agg(
+            |f, i| join.domain_of_gid(f.gid[i]),
+            |acc: &mut StripeAcc, f, i| acc.push(f.stripe_count[i]),
+            StripeAcc::merge,
         );
         for (domain, acc) in groups {
             self.by_domain[domain.index()].merge(acc);
@@ -195,7 +190,13 @@ mod tests {
             0,
             0,
             (0..200)
-                .map(|i| rec(&format!("/f{i:03}"), if i % 3 == 0 { ast } else { bio }, 1 + i % 9))
+                .map(|i| {
+                    rec(
+                        &format!("/f{i:03}"),
+                        if i % 3 == 0 { ast } else { bio },
+                        1 + i % 9,
+                    )
+                })
                 .collect(),
         );
         let mut par = StripingAnalysis::with_engine(ctx.clone(), Engine::Parallel);

@@ -21,11 +21,7 @@ pub struct AnalysisContext {
 impl AnalysisContext {
     /// Builds the join tables from the population ("accounts database").
     pub fn new(population: &Population) -> AnalysisContext {
-        let uid_to_org = population
-            .users
-            .iter()
-            .map(|u| (u.uid, u.org))
-            .collect();
+        let uid_to_org = population.users.iter().map(|u| (u.uid, u.org)).collect();
         let gid_to_domain = population
             .projects
             .iter()

@@ -1,16 +1,38 @@
-//! Parallel fold/reduce over frame columns.
+//! Morsel-driven parallel fold/reduce over frame columns.
 //!
 //! The study's scalability came from partition-parallel scans in Spark;
-//! the shared-memory equivalent is a rayon `fold` + `reduce`. Every
-//! group-by in the analyses funnels through [`Engine::group_fold`], which
-//! shards per-thread `FxHashMap`s and merges them — the pattern the
-//! perf-book guidance recommends for hot aggregation. The sequential mode
-//! exists for the `bench_ablations` comparison and for deterministic
-//! debugging.
+//! the shared-memory equivalent here is a **morsel-driven fold**: the row
+//! range is cut into fixed-size chunks ([`MORSEL_ROWS`] rows), each morsel
+//! run is folded into a private accumulator, and accumulators are merged
+//! pairwise up a *fixed* binary tree. Two properties fall out of that
+//! shape:
+//!
+//! * **Low overhead.** Rayon tasks are per-morsel-range, not per-row, so
+//!   the scheduler cost amortizes over thousands of rows and per-chunk
+//!   `FxHashMap` shards stay cache-resident while they are hot.
+//! * **Determinism.** The tree's split points depend only on `n`, never on
+//!   work stealing. [`Engine::Sequential`] walks the *same* tree without
+//!   spawning, so parallel and sequential runs perform bit-identical
+//!   reductions — including floating-point sums, where association order
+//!   matters. This is what lets every analysis assert
+//!   `Parallel == Sequential` exactly.
+//!
+//! Every group-by in the analyses funnels through [`Engine::group_fold`];
+//! free-form reductions use [`Engine::fold_morsels`] directly. The
+//! sequential mode exists for the `bench_ablations` comparison and for
+//! single-threaded debugging.
 
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
+use std::fmt::Debug;
 use std::hash::Hash;
+use std::ops::Range;
+
+/// Rows per morsel. Small enough that a shard of every column of a morsel
+/// fits comfortably in L2, large enough that rayon's per-task overhead is
+/// noise. Chunk boundaries — and therefore reduction order — depend only
+/// on the row count.
+pub const MORSEL_ROWS: usize = 4096;
 
 /// Execution mode for scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,15 +40,116 @@ pub enum Engine {
     /// Rayon data-parallel scans (default).
     #[default]
     Parallel,
-    /// Single-threaded scans (ablation baseline).
+    /// Single-threaded scans (ablation baseline). Walks the same morsel
+    /// tree as [`Engine::Parallel`], so results are bit-identical.
     Sequential,
 }
 
+/// Folds `rows` over a fixed binary tree of morsel-aligned splits.
+///
+/// The split point is always the morsel boundary nearest the midpoint, so
+/// the tree shape is a pure function of the range — both engines reduce in
+/// exactly the same order.
+fn fold_tree<A, I, F, M>(rows: Range<usize>, parallel: bool, init: &I, fold: &F, merge: &M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, Range<usize>) -> A + Sync,
+    M: Fn(A, A) -> A + Sync,
+{
+    let len = rows.end - rows.start;
+    if len <= MORSEL_ROWS {
+        return fold(init(), rows);
+    }
+    let morsels = len.div_ceil(MORSEL_ROWS);
+    let mid = rows.start + (morsels / 2) * MORSEL_ROWS;
+    let (left, right) = (rows.start..mid, mid..rows.end);
+    let (a, b) = if parallel {
+        rayon::join(
+            || fold_tree(left, true, init, fold, merge),
+            || fold_tree(right, true, init, fold, merge),
+        )
+    } else {
+        (
+            fold_tree(left, false, init, fold, merge),
+            fold_tree(right, false, init, fold, merge),
+        )
+    };
+    merge(a, b)
+}
+
 impl Engine {
+    /// The morsel-driven fold primitive: fold row ranges into per-morsel
+    /// accumulators, merge them pairwise up a fixed tree.
+    ///
+    /// `fold` receives an accumulator plus a contiguous row range (at most
+    /// [`MORSEL_ROWS`] long) and must fold the rows **in order**; `merge`
+    /// combines a left subtree's result with a right subtree's. Because
+    /// the tree shape depends only on `n`, the reduction order — and hence
+    /// the result, even for floating-point accumulators — is identical for
+    /// both engines.
+    pub fn fold_morsels<A>(
+        &self,
+        n: usize,
+        init: impl Fn() -> A + Sync + Send,
+        fold: impl Fn(A, Range<usize>) -> A + Sync + Send,
+        merge: impl Fn(A, A) -> A + Sync + Send,
+    ) -> A
+    where
+        A: Send,
+    {
+        fold_tree(0..n, *self == Engine::Parallel, &init, &fold, &merge)
+    }
+
     /// Groups row indices `0..n` by `key(i)` (rows where `key` returns
     /// `None` are skipped) and folds each group with `fold`, starting from
     /// `A::default()`; shards are merged with `merge`.
+    ///
+    /// Runs morsel-driven: each chunk of [`MORSEL_ROWS`] rows builds a
+    /// private `FxHashMap` shard, and shards merge pairwise in a fixed
+    /// order, so both engines produce identical maps.
     pub fn group_fold<K, A>(
+        &self,
+        n: usize,
+        key: impl Fn(usize) -> Option<K> + Sync + Send,
+        fold: impl Fn(&mut A, usize) + Sync + Send,
+        merge: impl Fn(&mut A, A) + Sync + Send,
+    ) -> FxHashMap<K, A>
+    where
+        K: Eq + Hash + Send,
+        A: Default + Send,
+    {
+        self.fold_morsels(
+            n,
+            FxHashMap::default,
+            |mut acc: FxHashMap<K, A>, rows| {
+                for i in rows {
+                    if let Some(k) = key(i) {
+                        fold(acc.entry(k).or_default(), i);
+                    }
+                }
+                acc
+            },
+            |mut a, b| {
+                for (k, v) in b {
+                    match a.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                a
+            },
+        )
+    }
+
+    /// Per-element variant of [`Engine::group_fold`] (one rayon item per
+    /// row, library-chosen reduction order). Kept only as the ablation
+    /// baseline for the morsel-vs-per-element bench; not deterministic for
+    /// non-commutative merges.
+    #[doc(hidden)]
+    pub fn group_fold_per_element<K, A>(
         &self,
         n: usize,
         key: impl Fn(usize) -> Option<K> + Sync + Send,
@@ -71,8 +194,17 @@ impl Engine {
         }
     }
 
-    /// Maps rows `0..n` and reduces with a commutative, associative `op`
-    /// starting from `identity`.
+    /// Maps rows `0..n` and reduces with `op` starting from `identity`.
+    ///
+    /// # Contract
+    ///
+    /// `(T, op, identity)` must form a **commutative monoid**: `op` is
+    /// associative and commutative, and `identity` is a true identity
+    /// (`op(identity, x) == x` for all `x`). The identity is cloned once
+    /// per morsel-tree leaf, so a non-idempotent "identity" (e.g. a
+    /// non-zero seed value) would be counted once per leaf rather than
+    /// once per reduction — debug builds assert `op(id, id) == id` to
+    /// catch exactly that misuse.
     pub fn map_reduce<T>(
         &self,
         n: usize,
@@ -81,20 +213,43 @@ impl Engine {
         op: impl Fn(T, T) -> T + Sync + Send,
     ) -> T
     where
-        T: Send + Sync + Clone,
+        T: Send + Sync + Clone + PartialEq + Debug,
     {
-        match self {
-            Engine::Sequential => (0..n).map(map).fold(identity, op),
-            Engine::Parallel => (0..n)
-                .into_par_iter()
-                .map(map)
-                .reduce(|| identity.clone(), op),
-        }
+        debug_assert!(
+            op(identity.clone(), identity.clone()) == identity,
+            "map_reduce identity is not idempotent under op: \
+             op(id, id) != id for id = {identity:?}"
+        );
+        self.fold_morsels(
+            n,
+            || identity.clone(),
+            |acc, rows| rows.map(&map).fold(acc, &op),
+            |a, b| op(a, b),
+        )
     }
 
-    /// Counts rows matching a predicate.
+    /// Counts rows matching a predicate, fused into a single morsel scan
+    /// (no per-row `map` allocation of intermediate values).
     pub fn count_where(&self, n: usize, pred: impl Fn(usize) -> bool + Sync + Send) -> u64 {
-        self.map_reduce(n, 0u64, |i| pred(i) as u64, |a, b| a + b)
+        self.fold_morsels(
+            n,
+            || 0u64,
+            |acc, rows| acc + rows.filter(|&i| pred(i)).count() as u64,
+            |a, b| a + b,
+        )
+    }
+
+    /// Whether any row matches the predicate. Short-circuits: the parallel
+    /// engine stops spawning once a match is found, the sequential engine
+    /// returns at the first match.
+    pub fn any(&self, n: usize, pred: impl Fn(usize) -> bool + Sync + Send) -> bool {
+        match self {
+            Engine::Sequential => (0..n).any(pred),
+            Engine::Parallel => (0..n)
+                .into_par_iter()
+                .with_min_len(MORSEL_ROWS)
+                .any(|i| pred(i)),
+        }
     }
 }
 
@@ -144,10 +299,75 @@ mod tests {
     }
 
     #[test]
+    fn float_sums_are_bit_identical_across_engines() {
+        // Association order changes f64 sums; the fixed morsel tree makes
+        // both engines associate identically, so equality here is exact.
+        let data: Vec<f64> = (0..100_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |engine: Engine| {
+            engine.fold_morsels(
+                data.len(),
+                || 0.0f64,
+                |acc, rows| rows.fold(acc, |a, i| a + data[i]),
+                |a, b| a + b,
+            )
+        };
+        assert_eq!(
+            run(Engine::Parallel).to_bits(),
+            run(Engine::Sequential).to_bits()
+        );
+    }
+
+    #[test]
+    fn fold_morsels_sees_every_row_exactly_once_in_order() {
+        for engine in BOTH {
+            for n in [
+                0usize,
+                1,
+                MORSEL_ROWS,
+                MORSEL_ROWS + 1,
+                3 * MORSEL_ROWS + 17,
+            ] {
+                // Per-leaf ranges must tile 0..n in order; concatenating
+                // sorted-by-start leaf vectors must give 0..n.
+                let rows: Vec<Vec<usize>> = engine.fold_morsels(
+                    n,
+                    Vec::new,
+                    |mut acc: Vec<Vec<usize>>, rows| {
+                        acc.push(rows.collect());
+                        acc
+                    },
+                    |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    },
+                );
+                let flat: Vec<usize> = rows.iter().flatten().copied().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "{engine:?} n={n}");
+                for leaf in &rows {
+                    assert!(leaf.len() <= MORSEL_ROWS);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn count_where() {
         for engine in BOTH {
             assert_eq!(engine.count_where(100, |i| i % 3 == 0), 34);
             assert_eq!(engine.count_where(0, |_| true), 0);
+            assert_eq!(
+                engine.count_where(10 * MORSEL_ROWS, |i| i % 2 == 0),
+                5 * MORSEL_ROWS as u64
+            );
+        }
+    }
+
+    #[test]
+    fn any_short_circuits_and_agrees() {
+        for engine in BOTH {
+            assert!(engine.any(100, |i| i == 99));
+            assert!(!engine.any(100, |_| false));
+            assert!(!engine.any(0, |_| true));
         }
     }
 
@@ -165,5 +385,34 @@ mod tests {
             assert_eq!(groups[&0], 6.0);
             assert_eq!(groups[&1], 30.0);
         }
+    }
+
+    #[test]
+    fn group_fold_matches_per_element_baseline() {
+        let n = 2 * MORSEL_ROWS + 123;
+        for engine in BOTH {
+            let morsel: FxHashMap<usize, u64> = engine.group_fold(
+                n,
+                |i| Some(i % 7),
+                |acc: &mut u64, i| *acc += i as u64,
+                |a, b| *a += b,
+            );
+            let per_element: FxHashMap<usize, u64> = engine.group_fold_per_element(
+                n,
+                |i| Some(i % 7),
+                |acc: &mut u64, i| *acc += i as u64,
+                |a, b| *a += b,
+            );
+            assert_eq!(morsel, per_element, "{engine:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identity is not idempotent")]
+    #[cfg(debug_assertions)]
+    fn map_reduce_rejects_non_idempotent_identity() {
+        // 1 is not an identity for +: the old per-thread clone would have
+        // silently added it once per shard.
+        Engine::Sequential.map_reduce(10, 1u64, |i| i as u64, |a, b| a + b);
     }
 }

@@ -24,8 +24,13 @@
 //! * [`frame::SnapshotFrame`] — a columnar view of one snapshot
 //!   (timestamps, ids, depths, stripe counts in dense arrays; extensions
 //!   resolved once), the in-memory analogue of the study's Parquet tables;
-//! * [`engine`] — rayon-parallel fold/reduce over columns with a
-//!   sequential mode kept for the ablation benchmarks;
+//! * [`engine`] — morsel-driven parallel fold/reduce over columns with a
+//!   deterministic reduction tree, so the sequential ablation mode is
+//!   bit-identical to the parallel default;
+//! * [`query::Scan`] — the lazy, fused query surface: filters compose
+//!   into one statically-dispatched predicate evaluated inside the scan,
+//!   and [`agg::MultiAgg`] computes several named aggregates in a single
+//!   pass;
 //! * [`pipeline`] — a streaming driver that loads each stored snapshot
 //!   once (plus its predecessor for diff-based analyses) and feeds any
 //!   number of [`pipeline::SnapshotVisitor`]s, so a full multi-gigabyte
@@ -39,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod behavior;
 pub mod context;
 pub mod engine;
@@ -49,8 +55,14 @@ pub mod sharing;
 pub mod summary;
 pub mod trends;
 
+pub use agg::{AggValue, MultiAgg, MultiAggResult};
 pub use context::AnalysisContext;
+pub use engine::Engine;
 pub use frame::SnapshotFrame;
+pub use pipeline::{
+    stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx,
+};
+#[allow(deprecated)]
 pub use query::Query;
-pub use pipeline::{stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx};
-pub use summary::{DomainSummaryRow, SummaryTable};
+pub use query::Scan;
+pub use summary::{domain_frame_stats, DomainScanStats, DomainSummaryRow, SummaryTable};

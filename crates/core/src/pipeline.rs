@@ -62,10 +62,7 @@ pub fn stream_store(
 }
 
 /// Streams in-memory snapshots (tests and examples) through `visitors`.
-pub fn stream_snapshots(
-    snapshots: &[Snapshot],
-    visitors: &mut [&mut dyn SnapshotVisitor],
-) -> u32 {
+pub fn stream_snapshots(snapshots: &[Snapshot], visitors: &mut [&mut dyn SnapshotVisitor]) -> u32 {
     let mut prev: Option<(&Snapshot, SnapshotFrame)> = None;
     for snapshot in snapshots {
         let frame = SnapshotFrame::build(snapshot);
@@ -189,9 +186,9 @@ pub fn stream_store_prefetch(
             }
         };
         for day in days {
-            let item = reader.get(day).map(|opt| {
-                opt.unwrap_or_else(|| panic!("day {day} vanished during analysis"))
-            });
+            let item = reader
+                .get(day)
+                .map(|opt| opt.unwrap_or_else(|| panic!("day {day} vanished during analysis")));
             if tx.send(item).is_err() {
                 return; // consumer bailed on an error
             }
@@ -268,10 +265,7 @@ mod prefetch_tests {
 
     #[test]
     fn prefetch_matches_plain_streaming() {
-        let dir = std::env::temp_dir().join(format!(
-            "spider-prefetch-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("spider-prefetch-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut store = SnapshotStore::open(&dir).unwrap();
         for day in [0u32, 7, 14, 21] {
@@ -289,10 +283,8 @@ mod prefetch_tests {
 
     #[test]
     fn prefetch_on_empty_store() {
-        let dir = std::env::temp_dir().join(format!(
-            "spider-prefetch-empty-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("spider-prefetch-empty-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = SnapshotStore::open(&dir).unwrap();
         let steps = stream_store_prefetch(&store, &mut []).unwrap();

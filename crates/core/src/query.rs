@@ -1,15 +1,19 @@
-//! Ad-hoc queries over snapshot frames — the SparkSQL-flavoured surface
+//! Lazy fused scans over snapshot frames — the SparkSQL-flavoured surface
 //! of the pipeline.
 //!
 //! The study ran interactive SQL over the converted snapshots ("SELECT
-//! gid, COUNT(*) ... GROUP BY gid"-style questions). [`Query`] provides
-//! the same select → filter → group-by → aggregate shape over a
-//! [`SnapshotFrame`], executing scans through the [`Engine`] (parallel by
-//! default). The accounts-database join of §4.1.1 is the
-//! [`crate::AnalysisContext`] passed into key functions.
+//! gid, COUNT(*) ... GROUP BY gid"-style questions). [`Scan`] provides the
+//! same select → filter → group-by → aggregate shape over a
+//! [`SnapshotFrame`], but **lazily**: `filter`, `files`, and `dirs` only
+//! *compose* a statically-dispatched predicate — nothing runs and no row
+//! list is materialized until a terminal aggregate (`count`, `group_count`,
+//! [`Scan::multi`], ...) executes one fused, morsel-driven pass through
+//! the [`Engine`]. The predicate is evaluated inside the parallel fold,
+//! so a filtered group-by touches each row exactly once, with no
+//! intermediate `Vec<u32>` selection and no sequential filtering step.
 //!
 //! ```
-//! use spider_core::{SnapshotFrame, query::Query};
+//! use spider_core::{Scan, SnapshotFrame};
 //! use spider_snapshot::{Snapshot, SnapshotRecord};
 //!
 //! let snapshot = Snapshot::new(0, 0, vec![SnapshotRecord {
@@ -17,66 +21,205 @@
 //!     uid: 7, gid: 42, mode: 0o100664, ino: 1, osts: vec![(1, 1)],
 //! }]);
 //! let frame = SnapshotFrame::build(&snapshot);
-//! let files_per_project = Query::over(&frame)
+//!
+//! // One aggregate: a single fused scan.
+//! let files_per_project = Scan::over(&frame)
 //!     .files()
 //!     .group_count(|f, i| Some(f.gid[i]));
 //! assert_eq!(files_per_project[&42], 1);
+//!
+//! // Several aggregates: still a single fused scan, via `multi`.
+//! let stats = Scan::over(&frame)
+//!     .files()
+//!     .multi(|f, i| Some(f.gid[i]))
+//!     .count("files")
+//!     .mean("atime", |f, i| f.atime[i] as f64)
+//!     .max("stripes", |f, i| f.stripe_count[i] as f64)
+//!     .run();
+//! assert_eq!(stats.count(&42, "files"), Some(1));
+//! assert_eq!(stats.mean(&42, "atime"), Some(9.0));
 //! ```
+//!
+//! The accounts-database join of §4.1.1 is the [`crate::AnalysisContext`]
+//! passed into key functions. The eager [`Query`] type is a deprecated
+//! shim kept so pre-redesign call sites still compile; it delegates to the
+//! fused paths internally.
 
+use crate::agg::MultiAgg;
 use crate::engine::Engine;
 use crate::frame::SnapshotFrame;
 use rustc_hash::FxHashMap;
 
-/// A row selection over one frame, ready for aggregation.
-#[derive(Clone)]
-pub struct Query<'f> {
-    frame: &'f SnapshotFrame,
-    engine: Engine,
-    rows: Vec<u32>,
+// ---------------------------------------------------------------------------
+// Predicate composition
+// ---------------------------------------------------------------------------
+
+/// A composable row predicate, statically dispatched so filter stacks fuse
+/// into the scan loop with no boxing or indirect calls.
+pub trait RowPred: Sync + Send {
+    /// Whether row `i` of `frame` is selected.
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool;
 }
 
-impl<'f> Query<'f> {
-    /// Starts a query selecting every row, with the parallel engine.
-    pub fn over(frame: &'f SnapshotFrame) -> Query<'f> {
+/// Selects every row (the starting predicate of [`Scan::over`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct All;
+
+impl RowPred for All {
+    #[inline]
+    fn test(&self, _frame: &SnapshotFrame, _i: usize) -> bool {
+        true
+    }
+}
+
+/// Selects regular files.
+#[derive(Debug, Clone, Copy)]
+pub struct FilesOnly;
+
+impl RowPred for FilesOnly {
+    #[inline]
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool {
+        frame.is_file[i]
+    }
+}
+
+/// Selects directories.
+#[derive(Debug, Clone, Copy)]
+pub struct DirsOnly;
+
+impl RowPred for DirsOnly {
+    #[inline]
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool {
+        !frame.is_file[i]
+    }
+}
+
+/// Wraps a closure as a predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct FnPred<F>(pub F);
+
+impl<F> RowPred for FnPred<F>
+where
+    F: Fn(&SnapshotFrame, usize) -> bool + Sync + Send,
+{
+    #[inline]
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool {
+        (self.0)(frame, i)
+    }
+}
+
+/// Conjunction of two predicates, short-circuiting left to right.
+#[derive(Debug, Clone, Copy)]
+pub struct And<A, B>(pub A, pub B);
+
+impl<A: RowPred, B: RowPred> RowPred for And<A, B> {
+    #[inline]
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool {
+        self.0.test(frame, i) && self.1.test(frame, i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+/// A lazy, fused scan over one frame.
+///
+/// Holds only a frame reference, an engine, and a composed predicate;
+/// terminal aggregates run one morsel-driven pass. Because both engines
+/// reduce over the same fixed morsel tree, every aggregate — including
+/// floating-point means and sums — is bit-identical between
+/// [`Engine::Parallel`] and [`Engine::Sequential`].
+#[derive(Clone, Copy)]
+pub struct Scan<'f, P = All> {
+    frame: &'f SnapshotFrame,
+    engine: Engine,
+    pred: P,
+}
+
+impl<'f> Scan<'f, All> {
+    /// Starts a scan selecting every row, with the parallel engine.
+    pub fn over(frame: &'f SnapshotFrame) -> Scan<'f, All> {
         Self::with_engine(frame, Engine::Parallel)
     }
 
-    /// Starts a query with an explicit engine.
-    pub fn with_engine(frame: &'f SnapshotFrame, engine: Engine) -> Query<'f> {
-        Query {
+    /// Starts a scan with an explicit engine.
+    pub fn with_engine(frame: &'f SnapshotFrame, engine: Engine) -> Scan<'f, All> {
+        Scan {
             frame,
             engine,
-            rows: (0..frame.len() as u32).collect(),
+            pred: All,
         }
     }
+}
 
-    /// Keeps rows matching the predicate.
-    pub fn filter(mut self, pred: impl Fn(&SnapshotFrame, usize) -> bool + Sync + Send) -> Self {
-        let frame = self.frame;
-        self.rows.retain(|&i| pred(frame, i as usize));
+impl<'f, P: RowPred> Scan<'f, P> {
+    /// The frame under scan.
+    pub fn frame(&self) -> &'f SnapshotFrame {
+        self.frame
+    }
+
+    /// Replaces the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
+    /// Adds a filter. Purely compositional: the predicate is evaluated
+    /// inside the fused scan of the terminal aggregate, not here.
+    pub fn filter<F>(self, pred: F) -> Scan<'f, And<P, FnPred<F>>>
+    where
+        F: Fn(&SnapshotFrame, usize) -> bool + Sync + Send,
+    {
+        Scan {
+            frame: self.frame,
+            engine: self.engine,
+            pred: And(self.pred, FnPred(pred)),
+        }
+    }
+
     /// Keeps only regular files.
-    pub fn files(self) -> Self {
-        self.filter(|f, i| f.is_file[i])
+    pub fn files(self) -> Scan<'f, And<P, FilesOnly>> {
+        Scan {
+            frame: self.frame,
+            engine: self.engine,
+            pred: And(self.pred, FilesOnly),
+        }
     }
 
     /// Keeps only directories.
-    pub fn dirs(self) -> Self {
-        self.filter(|f, i| !f.is_file[i])
+    pub fn dirs(self) -> Scan<'f, And<P, DirsOnly>> {
+        Scan {
+            frame: self.frame,
+            engine: self.engine,
+            pred: And(self.pred, DirsOnly),
+        }
     }
 
-    /// Number of selected rows.
+    /// Number of selected rows (one fused counting pass).
     pub fn count(&self) -> u64 {
-        self.rows.len() as u64
+        let (frame, pred) = (self.frame, &self.pred);
+        self.engine
+            .count_where(frame.len(), |i| pred.test(frame, i))
     }
 
-    /// Extracts a column from the selection.
+    /// Whether any row is selected. Short-circuits on the first match.
+    pub fn any(&self) -> bool {
+        let (frame, pred) = (self.frame, &self.pred);
+        self.engine.any(frame.len(), |i| pred.test(frame, i))
+    }
+
+    /// Whether no row is selected.
+    pub fn is_empty(&self) -> bool {
+        !self.any()
+    }
+
+    /// Extracts a column from the selection, in row order.
     pub fn column<T>(&self, get: impl Fn(&SnapshotFrame, usize) -> T) -> Vec<T> {
-        self.rows
-            .iter()
-            .map(|&i| get(self.frame, i as usize))
+        let (frame, pred) = (self.frame, &self.pred);
+        (0..frame.len())
+            .filter(|&i| pred.test(frame, i))
+            .map(|i| get(frame, i))
             .collect()
     }
 
@@ -88,12 +231,41 @@ impl<'f> Query<'f> {
     where
         K: Eq + std::hash::Hash + Send,
     {
-        let frame = self.frame;
-        let rows = &self.rows;
+        let (frame, pred) = (self.frame, &self.pred);
         self.engine.group_fold(
-            rows.len(),
-            |slot| key(frame, rows[slot] as usize),
+            frame.len(),
+            |i| {
+                if pred.test(frame, i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
             |acc: &mut u64, _| *acc += 1,
+            |a, b| *a += b,
+        )
+    }
+
+    /// `GROUP BY key -> SUM(value)`.
+    pub fn group_sum<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        value: impl Fn(&SnapshotFrame, usize) -> f64 + Sync + Send,
+    ) -> FxHashMap<K, f64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let (frame, pred) = (self.frame, &self.pred);
+        self.engine.group_fold(
+            frame.len(),
+            |i| {
+                if pred.test(frame, i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut f64, i| *acc += value(frame, i),
             |a, b| *a += b,
         )
     }
@@ -107,13 +279,18 @@ impl<'f> Query<'f> {
     where
         K: Eq + std::hash::Hash + Send,
     {
-        let frame = self.frame;
-        let rows = &self.rows;
+        let (frame, pred) = (self.frame, &self.pred);
         let sums: FxHashMap<K, (f64, u64)> = self.engine.group_fold(
-            rows.len(),
-            |slot| key(frame, rows[slot] as usize),
-            |acc: &mut (f64, u64), slot| {
-                acc.0 += value(frame, rows[slot] as usize);
+            frame.len(),
+            |i| {
+                if pred.test(frame, i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut (f64, u64), i| {
+                acc.0 += value(frame, i);
                 acc.1 += 1;
             },
             |a, b| {
@@ -126,6 +303,42 @@ impl<'f> Query<'f> {
             .collect()
     }
 
+    /// `GROUP BY key -> MIN(value)`.
+    pub fn group_min<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        value: impl Fn(&SnapshotFrame, usize) -> u64 + Sync + Send,
+    ) -> FxHashMap<K, u64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let (frame, pred) = (self.frame, &self.pred);
+        let mins: FxHashMap<K, Option<u64>> = self.engine.group_fold(
+            frame.len(),
+            |i| {
+                if pred.test(frame, i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut Option<u64>, i| {
+                let v = value(frame, i);
+                *acc = Some(acc.map_or(v, |a| a.min(v)));
+            },
+            |a, b| {
+                if let Some(v) = b {
+                    *a = Some(a.map_or(v, |x| x.min(v)));
+                }
+            },
+        );
+        // Groups only exist where at least one row folded, so the inner
+        // Option is always Some.
+        mins.into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
     /// `GROUP BY key -> MAX(value)`.
     pub fn group_max<K>(
         &self,
@@ -135,13 +348,47 @@ impl<'f> Query<'f> {
     where
         K: Eq + std::hash::Hash + Send,
     {
-        let frame = self.frame;
-        let rows = &self.rows;
+        let (frame, pred) = (self.frame, &self.pred);
         self.engine.group_fold(
-            rows.len(),
-            |slot| key(frame, rows[slot] as usize),
-            |acc: &mut u64, slot| *acc = (*acc).max(value(frame, rows[slot] as usize)),
+            frame.len(),
+            |i| {
+                if pred.test(frame, i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut u64, i| *acc = (*acc).max(value(frame, i)),
             |a, b| *a = (*a).max(b),
+        )
+    }
+
+    /// `GROUP BY key` folding each group with a custom accumulator —
+    /// the escape hatch for analyses whose state is richer than one
+    /// numeric aggregate. `fold` must process rows in the order given;
+    /// `merge` combines a left shard with a right shard.
+    pub fn group_agg<K, A>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        fold: impl Fn(&mut A, &SnapshotFrame, usize) + Sync + Send,
+        merge: impl Fn(&mut A, A) + Sync + Send,
+    ) -> FxHashMap<K, A>
+    where
+        K: Eq + std::hash::Hash + Send,
+        A: Default + Send,
+    {
+        let (frame, pred) = (self.frame, &self.pred);
+        self.engine.group_fold(
+            frame.len(),
+            |i| {
+                if pred.test(frame, i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut A, i| fold(acc, frame, i),
+            merge,
         )
     }
 
@@ -155,6 +402,203 @@ impl<'f> Query<'f> {
     where
         K: Eq + std::hash::Hash + Send + Ord,
     {
+        let mut groups: Vec<(K, u64)> = self.group_count(key).into_iter().collect();
+        groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        groups.truncate(k);
+        groups
+    }
+
+    /// Starts a [`MultiAgg`] builder: several named aggregates, one group
+    /// key, one fused scan.
+    pub fn multi<K, KF>(self, key: KF) -> MultiAgg<'f, K, P, KF>
+    where
+        K: Eq + std::hash::Hash + Send,
+        KF: Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+    {
+        MultiAgg::new(self.frame, self.engine, self.pred, key)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated eager shim
+// ---------------------------------------------------------------------------
+
+/// Eager row-selection query — **deprecated** in favour of [`Scan`].
+///
+/// Kept so the pre-redesign `Query::over(...).files().group_count(...)`
+/// shape still compiles during migration. Filters are boxed and the
+/// aggregates delegate to the fused engine paths, so results match
+/// [`Scan`] exactly; only the composition is dynamically dispatched.
+///
+/// Migration is mechanical: replace `Query::over` with [`Scan::over`]
+/// (and `Query::with_engine` with [`Scan::with_engine`]) — the builder
+/// surface is a superset.
+#[deprecated(since = "0.2.0", note = "use `Scan`, the lazy fused equivalent")]
+pub struct Query<'f> {
+    frame: &'f SnapshotFrame,
+    engine: Engine,
+    preds: Vec<Box<dyn Fn(&SnapshotFrame, usize) -> bool + Sync + Send + 'f>>,
+}
+
+#[allow(deprecated)]
+impl<'f> Query<'f> {
+    /// Starts a query selecting every row, with the parallel engine.
+    #[deprecated(since = "0.2.0", note = "use `Scan::over`")]
+    pub fn over(frame: &'f SnapshotFrame) -> Query<'f> {
+        #[allow(deprecated)]
+        Self::with_engine(frame, Engine::Parallel)
+    }
+
+    /// Starts a query with an explicit engine.
+    #[deprecated(since = "0.2.0", note = "use `Scan::with_engine`")]
+    pub fn with_engine(frame: &'f SnapshotFrame, engine: Engine) -> Query<'f> {
+        Query {
+            frame,
+            engine,
+            preds: Vec::new(),
+        }
+    }
+
+    fn matches(&self, i: usize) -> bool {
+        self.preds.iter().all(|p| p(self.frame, i))
+    }
+
+    /// Keeps rows matching the predicate.
+    #[deprecated(since = "0.2.0", note = "use `Scan::filter` (lazy, fused)")]
+    pub fn filter(
+        mut self,
+        pred: impl Fn(&SnapshotFrame, usize) -> bool + Sync + Send + 'f,
+    ) -> Self {
+        self.preds.push(Box::new(pred));
+        self
+    }
+
+    /// Keeps only regular files.
+    #[deprecated(since = "0.2.0", note = "use `Scan::files`")]
+    pub fn files(self) -> Self {
+        #[allow(deprecated)]
+        self.filter(|f, i| f.is_file[i])
+    }
+
+    /// Keeps only directories.
+    #[deprecated(since = "0.2.0", note = "use `Scan::dirs`")]
+    pub fn dirs(self) -> Self {
+        #[allow(deprecated)]
+        self.filter(|f, i| !f.is_file[i])
+    }
+
+    /// Number of selected rows.
+    #[deprecated(since = "0.2.0", note = "use `Scan::count`")]
+    pub fn count(&self) -> u64 {
+        self.engine
+            .count_where(self.frame.len(), |i| self.matches(i))
+    }
+
+    /// Extracts a column from the selection.
+    #[deprecated(since = "0.2.0", note = "use `Scan::column`")]
+    pub fn column<T>(&self, get: impl Fn(&SnapshotFrame, usize) -> T) -> Vec<T> {
+        let frame = self.frame;
+        (0..frame.len())
+            .filter(|&i| self.matches(i))
+            .map(|i| get(frame, i))
+            .collect()
+    }
+
+    /// `GROUP BY key -> COUNT(*)`. Rows whose key is `None` are skipped.
+    #[deprecated(since = "0.2.0", note = "use `Scan::group_count`")]
+    pub fn group_count<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+    ) -> FxHashMap<K, u64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let frame = self.frame;
+        self.engine.group_fold(
+            frame.len(),
+            |i| {
+                if self.matches(i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut u64, _| *acc += 1,
+            |a, b| *a += b,
+        )
+    }
+
+    /// `GROUP BY key -> AVG(value)`.
+    #[deprecated(since = "0.2.0", note = "use `Scan::group_mean`")]
+    pub fn group_mean<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        value: impl Fn(&SnapshotFrame, usize) -> f64 + Sync + Send,
+    ) -> FxHashMap<K, f64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let frame = self.frame;
+        let sums: FxHashMap<K, (f64, u64)> = self.engine.group_fold(
+            frame.len(),
+            |i| {
+                if self.matches(i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut (f64, u64), i| {
+                acc.0 += value(frame, i);
+                acc.1 += 1;
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+            },
+        );
+        sums.into_iter()
+            .map(|(k, (sum, n))| (k, sum / n as f64))
+            .collect()
+    }
+
+    /// `GROUP BY key -> MAX(value)`.
+    #[deprecated(since = "0.2.0", note = "use `Scan::group_max`")]
+    pub fn group_max<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        value: impl Fn(&SnapshotFrame, usize) -> u64 + Sync + Send,
+    ) -> FxHashMap<K, u64>
+    where
+        K: Eq + std::hash::Hash + Send,
+    {
+        let frame = self.frame;
+        self.engine.group_fold(
+            frame.len(),
+            |i| {
+                if self.matches(i) {
+                    key(frame, i)
+                } else {
+                    None
+                }
+            },
+            |acc: &mut u64, i| *acc = (*acc).max(value(frame, i)),
+            |a, b| *a = (*a).max(b),
+        )
+    }
+
+    /// The `k` groups with the highest counts, descending (ties broken by
+    /// key for determinism).
+    #[deprecated(since = "0.2.0", note = "use `Scan::top_k_groups`")]
+    pub fn top_k_groups<K>(
+        &self,
+        key: impl Fn(&SnapshotFrame, usize) -> Option<K> + Sync + Send,
+        k: usize,
+    ) -> Vec<(K, u64)>
+    where
+        K: Eq + std::hash::Hash + Send + Ord,
+    {
+        #[allow(deprecated)]
         let mut groups: Vec<(K, u64)> = self.group_count(key).into_iter().collect();
         groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         groups.truncate(k);
@@ -220,19 +664,29 @@ mod tests {
     #[test]
     fn filter_and_count() {
         let f = frame();
-        assert_eq!(Query::over(&f).count(), 4);
-        assert_eq!(Query::over(&f).files().count(), 3);
-        assert_eq!(Query::over(&f).dirs().count(), 1);
+        assert_eq!(Scan::over(&f).count(), 4);
+        assert_eq!(Scan::over(&f).files().count(), 3);
+        assert_eq!(Scan::over(&f).dirs().count(), 1);
         assert_eq!(
-            Query::over(&f).files().filter(|f, i| f.gid[i] == 10).count(),
+            Scan::over(&f).files().filter(|f, i| f.gid[i] == 10).count(),
             2
         );
     }
 
     #[test]
+    fn any_and_is_empty_short_circuit() {
+        let f = frame();
+        assert!(Scan::over(&f).files().any());
+        assert!(!Scan::over(&f).files().is_empty());
+        let none = Scan::over(&f).filter(|f, i| f.gid[i] == 99);
+        assert!(!none.any());
+        assert!(none.is_empty());
+    }
+
+    #[test]
     fn group_count_per_project() {
         let f = frame();
-        let per_gid = Query::over(&f).files().group_count(|f, i| Some(f.gid[i]));
+        let per_gid = Scan::over(&f).files().group_count(|f, i| Some(f.gid[i]));
         assert_eq!(per_gid[&10], 2);
         assert_eq!(per_gid[&11], 1);
     }
@@ -240,12 +694,12 @@ mod tests {
     #[test]
     fn group_mean_and_max() {
         let f = frame();
-        let mean_atime = Query::over(&f)
+        let mean_atime = Scan::over(&f)
             .files()
             .group_mean(|f, i| Some(f.uid[i]), |f, i| f.atime[i] as f64);
         assert_eq!(mean_atime[&1], 10.0);
         assert_eq!(mean_atime[&2], 25.0);
-        let max_stripes = Query::over(&f)
+        let max_stripes = Scan::over(&f)
             .files()
             .group_max(|f, i| Some(f.gid[i]), |f, i| f.stripe_count[i] as u64);
         assert_eq!(max_stripes[&10], 2);
@@ -253,21 +707,64 @@ mod tests {
     }
 
     #[test]
+    fn group_sum_and_min() {
+        let f = frame();
+        let sum_atime = Scan::over(&f)
+            .files()
+            .group_sum(|f, i| Some(f.gid[i]), |f, i| f.atime[i] as f64);
+        assert_eq!(sum_atime[&10], 30.0);
+        assert_eq!(sum_atime[&11], 30.0);
+        let min_stripes = Scan::over(&f)
+            .files()
+            .group_min(|f, i| Some(f.gid[i]), |f, i| f.stripe_count[i] as u64);
+        assert_eq!(min_stripes[&10], 1);
+        assert_eq!(min_stripes[&11], 1);
+    }
+
+    #[test]
+    fn group_agg_custom_accumulator() {
+        let f = frame();
+        // (min, max) atime per gid in one pass.
+        let spans: FxHashMap<u32, (u64, u64)> = Scan::over(&f).files().group_agg(
+            |f, i| Some(f.gid[i]),
+            |acc: &mut (u64, u64), f, i| {
+                let a = f.atime[i];
+                if acc.1 == 0 && acc.0 == 0 {
+                    *acc = (a, a);
+                } else {
+                    acc.0 = acc.0.min(a);
+                    acc.1 = acc.1.max(a);
+                }
+            },
+            |a, b| {
+                a.0 = a.0.min(b.0);
+                a.1 = a.1.max(b.1);
+            },
+        );
+        assert_eq!(spans[&10], (10, 20));
+        assert_eq!(spans[&11], (30, 30));
+    }
+
+    #[test]
     fn top_k_ordering_is_deterministic() {
         let f = frame();
-        let top = Query::over(&f).files().top_k_groups(|f, i| Some(f.gid[i]), 5);
+        let top = Scan::over(&f)
+            .files()
+            .top_k_groups(|f, i| Some(f.gid[i]), 5);
         assert_eq!(top, vec![(10, 2), (11, 1)]);
-        let top1 = Query::over(&f).files().top_k_groups(|f, i| Some(f.gid[i]), 1);
+        let top1 = Scan::over(&f)
+            .files()
+            .top_k_groups(|f, i| Some(f.gid[i]), 1);
         assert_eq!(top1, vec![(10, 2)]);
     }
 
     #[test]
     fn engines_agree() {
         let f = frame();
-        let par = Query::with_engine(&f, Engine::Parallel)
+        let par = Scan::with_engine(&f, Engine::Parallel)
             .files()
             .group_count(|f, i| Some(f.uid[i]));
-        let seq = Query::with_engine(&f, Engine::Sequential)
+        let seq = Scan::with_engine(&f, Engine::Sequential)
             .files()
             .group_count(|f, i| Some(f.uid[i]));
         assert_eq!(par, seq);
@@ -276,7 +773,7 @@ mod tests {
     #[test]
     fn none_keys_are_skipped() {
         let f = frame();
-        let groups = Query::over(&f).group_count(|f, i| (f.gid[i] == 10).then_some(0u8));
+        let groups = Scan::over(&f).group_count(|f, i| (f.gid[i] == 10).then_some(0u8));
         assert_eq!(groups[&0], 3);
         assert_eq!(groups.len(), 1);
     }
@@ -284,9 +781,37 @@ mod tests {
     #[test]
     fn column_extraction() {
         let f = frame();
+        let atimes = Scan::over(&f).files().column(|f, i| f.atime[i]);
+        // Lazy scans keep row order — no sort needed.
+        assert_eq!(atimes, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_query_shim_still_works() {
+        let f = frame();
+        // The old eager shape compiles untouched and agrees with Scan.
+        assert_eq!(Query::over(&f).files().count(), 3);
+        let per_gid = Query::over(&f).files().group_count(|f, i| Some(f.gid[i]));
+        assert_eq!(
+            per_gid,
+            Scan::over(&f).files().group_count(|f, i| Some(f.gid[i]))
+        );
+        let mean = Query::with_engine(&f, Engine::Sequential)
+            .files()
+            .group_mean(|f, i| Some(f.uid[i]), |f, i| f.atime[i] as f64);
+        assert_eq!(mean[&2], 25.0);
+        let max = Query::over(&f)
+            .files()
+            .group_max(|f, i| Some(f.gid[i]), |f, i| f.stripe_count[i] as u64);
+        assert_eq!(max[&10], 2);
+        assert_eq!(
+            Query::over(&f)
+                .files()
+                .top_k_groups(|f, i| Some(f.gid[i]), 1),
+            vec![(10, 2)]
+        );
         let atimes = Query::over(&f).files().column(|f, i| f.atime[i]);
-        let mut sorted = atimes.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![10, 20, 30]);
+        assert_eq!(atimes, vec![10, 20, 30]);
     }
 }

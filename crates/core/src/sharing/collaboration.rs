@@ -8,6 +8,7 @@
 //! six projects (five of them Climate Science). Staff is excluded, as in
 //! the paper.
 
+use crate::engine::Engine;
 use crate::sharing::BuiltNetwork;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spider_workload::{ScienceDomain, ALL_DOMAINS};
@@ -30,27 +31,47 @@ pub struct CollaborationReport {
 }
 
 impl CollaborationReport {
-    /// Computes collaboration statistics. The network should be built
-    /// with Staff excluded for paper parity.
+    /// Computes collaboration statistics (parallel engine). The network
+    /// should be built with Staff excluded for paper parity.
     pub fn compute(network: &BuiltNetwork) -> CollaborationReport {
+        Self::compute_with_engine(network, Engine::Parallel)
+    }
+
+    /// Computes collaboration statistics with an explicit engine.
+    pub fn compute_with_engine(network: &BuiltNetwork, engine: Engine) -> CollaborationReport {
         let graph = &network.graph;
         let n_users = graph.num_users() as u64;
         let total_pairs = n_users * n_users.saturating_sub(1) / 2;
 
-        // pair -> per-domain shared-project counts. Enumerate within each
-        // project: members choose-2.
-        let mut pair_domains: FxHashMap<(u32, u32), FxHashMap<u8, u32>> =
-            FxHashMap::default();
-        for p in 0..graph.num_projects() {
-            let members = graph.users_of_project(p);
-            let domain = network.domains[p as usize].index() as u8;
-            for (i, &a) in members.iter().enumerate() {
-                for &b in &members[i + 1..] {
-                    let key = (a.min(b), a.max(b));
-                    *pair_domains.entry(key).or_default().entry(domain).or_insert(0) += 1;
+        // pair -> per-domain shared-project counts. Each morsel of
+        // projects enumerates its members' choose-2 pairs into a private
+        // map; maps merge pairwise up the deterministic tree.
+        let pair_domains: FxHashMap<(u32, u32), FxHashMap<u8, u32>> = engine.fold_morsels(
+            graph.num_projects() as usize,
+            FxHashMap::default,
+            |mut acc: FxHashMap<(u32, u32), FxHashMap<u8, u32>>, projects| {
+                for p in projects {
+                    let members = graph.users_of_project(p as u32);
+                    let domain = network.domains[p].index() as u8;
+                    for (i, &a) in members.iter().enumerate() {
+                        for &b in &members[i + 1..] {
+                            let key = (a.min(b), a.max(b));
+                            *acc.entry(key).or_default().entry(domain).or_insert(0) += 1;
+                        }
+                    }
                 }
-            }
-        }
+                acc
+            },
+            |mut a, b| {
+                for (key, domains) in b {
+                    let into = a.entry(key).or_default();
+                    for (d, c) in domains {
+                        *into.entry(d).or_insert(0) += c;
+                    }
+                }
+                a
+            },
+        );
 
         let collaborating_pairs = pair_domains.len() as u64;
         let mut domain_pairs = vec![0u64; ALL_DOMAINS.len()];

@@ -192,10 +192,7 @@ mod tests {
         assert_eq!(report.membership_pct(ScienceDomain::Cli), Some(100.0));
         assert_eq!(report.membership_pct(ScienceDomain::Aph), Some(0.0));
         assert_eq!(report.membership_pct(ScienceDomain::Bio), None);
-        assert_eq!(
-            report.largest_by_domain,
-            vec![(ScienceDomain::Cli, 2)]
-        );
+        assert_eq!(report.largest_by_domain, vec![(ScienceDomain::Cli, 2)]);
     }
 
     #[test]

@@ -194,21 +194,9 @@ mod tests {
     fn staff_exclusion() {
         let pop = Population::generate(&PopulationConfig::default());
         let ctx = AnalysisContext::new(&pop);
-        let stf = pop
-            .domain_projects(ScienceDomain::Stf)
-            .next()
-            .unwrap()
-            .gid;
-        let cli = pop
-            .domain_projects(ScienceDomain::Cli)
-            .next()
-            .unwrap()
-            .gid;
-        let snap = Snapshot::new(
-            0,
-            0,
-            vec![rec("/a", 10_000, stf), rec("/b", 10_000, cli)],
-        );
+        let stf = pop.domain_projects(ScienceDomain::Stf).next().unwrap().gid;
+        let cli = pop.domain_projects(ScienceDomain::Cli).next().unwrap().gid;
+        let snap = Snapshot::new(0, 0, vec![rec("/a", 10_000, stf), rec("/b", 10_000, cli)]);
         let mut with_staff = FileGenNetwork::new(AnalysisContext::new(&pop));
         let mut without = FileGenNetwork::without_staff(ctx);
         stream_snapshots(&[snap], &mut [&mut with_staff, &mut without]);
@@ -221,11 +209,7 @@ mod tests {
         let pop = Population::generate(&PopulationConfig::default());
         let g1 = pop.projects[0].gid;
         let g2 = pop.projects[1].gid;
-        let snap = Snapshot::new(
-            0,
-            0,
-            vec![rec("/a", 10_005, g2), rec("/b", 10_001, g1)],
-        );
+        let snap = Snapshot::new(0, 0, vec![rec("/a", 10_005, g2), rec("/b", 10_001, g1)]);
         let build = || {
             let mut n = FileGenNetwork::new(AnalysisContext::new(&pop));
             stream_snapshots(std::slice::from_ref(&snap), &mut [&mut n]);

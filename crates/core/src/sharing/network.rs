@@ -30,8 +30,7 @@ impl NetworkOverview {
             .take(top_k)
             .filter(|&(deg, _)| deg > 0)
             .map(|(deg, u)| {
-                let mut counts =
-                    rustc_hash::FxHashMap::<ScienceDomain, u32>::default();
+                let mut counts = rustc_hash::FxHashMap::<ScienceDomain, u32>::default();
                 for p in network.graph.projects_of_user(u) {
                     *counts.entry(network.domains[p as usize]).or_insert(0) += 1;
                 }

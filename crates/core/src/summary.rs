@@ -1,6 +1,14 @@
-//! Assembly of the paper's Table 1 from the three analysis dimensions.
+//! Assembly of the paper's Table 1 from the three analysis dimensions,
+//! plus [`domain_frame_stats`] — the fused one-pass computation of the
+//! table's per-domain scan statistics via [`crate::MultiAgg`].
 
+use crate::agg::MultiAggResult;
 use crate::behavior::{BurstinessAnalysis, StripingAnalysis};
+use crate::context::AnalysisContext;
+use crate::engine::Engine;
+use crate::frame::SnapshotFrame;
+use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use crate::sharing::collaboration::CollaborationReport;
 use crate::sharing::components::ComponentReport;
 use crate::trends::census::UniqueCensus;
@@ -93,6 +101,113 @@ impl SummaryTable {
     }
 }
 
+/// Group key for rows whose gid maps to no project domain (Table 1 has
+/// no such row, but the entries still count toward frame totals).
+pub const UNATTRIBUTED_DOMAIN: u8 = u8::MAX;
+
+/// Seconds per day, for the age aggregate.
+const DAY_SECS_F: f64 = 86_400.0;
+
+/// Computes the per-domain scan statistics behind Table 1 in **one**
+/// fused pass over the frame.
+///
+/// Nine named aggregates share a single group key (the domain index, or
+/// [`UNATTRIBUTED_DOMAIN`]) and a single morsel-driven traversal:
+/// `entries`, `files`, `dirs`, `depth_max`, `depth_q` (a quantile sketch),
+/// `stripe_min` / `stripe_mean` / `stripe_max` (files only), and
+/// `age_days` (mean `atime - mtime` over files). With single-aggregate
+/// queries the same table costs nine frame scans; this is the
+/// [`crate::MultiAgg`] showcase the engine redesign was built for.
+pub fn domain_frame_stats(
+    frame: &SnapshotFrame,
+    ctx: &AnalysisContext,
+    engine: Engine,
+) -> MultiAggResult<u8> {
+    let file_stripe = |f: &SnapshotFrame, i: usize| f.is_file[i].then(|| f.stripe_count[i] as f64);
+    Scan::with_engine(frame, engine)
+        .multi(move |f, i| {
+            Some(match ctx.domain_of_gid(f.gid[i]) {
+                Some(d) => d.index() as u8,
+                None => UNATTRIBUTED_DOMAIN,
+            })
+        })
+        .count("entries")
+        .sum_opt("files", |f, i| f.is_file[i].then_some(1.0))
+        .sum_opt("dirs", |f, i| (!f.is_file[i]).then_some(1.0))
+        .max("depth_max", |f, i| f.depth[i] as f64)
+        .quantile("depth_q", |f, i| Some(f.depth[i] as f64))
+        .min_opt("stripe_min", file_stripe)
+        .mean_opt("stripe_mean", file_stripe)
+        .max_opt("stripe_max", file_stripe)
+        .mean_opt("age_days", |f, i| {
+            f.is_file[i].then(|| f.atime[i].saturating_sub(f.mtime[i]) as f64 / DAY_SECS_F)
+        })
+        .run()
+}
+
+/// Streaming wrapper around [`domain_frame_stats`]. Table 1 describes the
+/// state at the end of the observation window, so the visitor keeps the
+/// statistics of the most recent frame (recomputing per snapshot keeps it
+/// restartable mid-stream).
+pub struct DomainScanStats {
+    ctx: AnalysisContext,
+    engine: Engine,
+    latest: Option<MultiAggResult<u8>>,
+    latest_len: usize,
+}
+
+impl DomainScanStats {
+    /// Creates the visitor (parallel engine).
+    pub fn new(ctx: AnalysisContext) -> Self {
+        Self::with_engine(ctx, Engine::Parallel)
+    }
+
+    /// Creates the visitor with an explicit engine.
+    pub fn with_engine(ctx: AnalysisContext, engine: Engine) -> Self {
+        DomainScanStats {
+            ctx,
+            engine,
+            latest: None,
+            latest_len: 0,
+        }
+    }
+
+    /// The fused statistics of the most recently visited frame.
+    pub fn latest(&self) -> Option<&MultiAggResult<u8>> {
+        self.latest.as_ref()
+    }
+
+    /// One statistic of one domain from the latest frame, as a number
+    /// (quantile sketches yield their median).
+    pub fn stat(&self, domain: ScienceDomain, name: &str) -> Option<f64> {
+        self.latest
+            .as_ref()?
+            .value(&(domain.index() as u8), name)?
+            .numeric()
+    }
+
+    /// Sum of the `entries` counts over every group of the latest frame.
+    pub fn total_entries(&self) -> u64 {
+        self.latest
+            .as_ref()
+            .map(|s| s.keys().filter_map(|k| s.count(k, "entries")).sum())
+            .unwrap_or(0)
+    }
+
+    /// Whether the grouped entry counts add back up to the latest frame's
+    /// row count — the conservation check the Table 1 runner asserts.
+    pub fn covers_frame(&self) -> bool {
+        self.total_entries() == self.latest_len as u64
+    }
+}
+
+impl SnapshotVisitor for DomainScanStats {
+    fn visit(&mut self, ctx: &VisitCtx<'_>) {
+        self.latest = Some(domain_frame_stats(ctx.frame, &self.ctx, self.engine));
+        self.latest_len = ctx.frame.len();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,11 +284,116 @@ mod tests {
         assert_eq!(cli_row.ost, Some(4));
         assert_eq!(cli_row.network_pct, Some(100.0));
         assert!(cli_row.write_cv.is_some()); // one new file, min_files 1
-        // A domain with no data has empty/None fields, like Table 1's '-'.
+                                             // A domain with no data has empty/None fields, like Table 1's '-'.
         let aph_row = table.row(ScienceDomain::Aph);
         assert_eq!(aph_row.entries_k, 0.0);
         assert_eq!(aph_row.write_cv, None);
         assert_eq!(aph_row.depth_median, None);
         assert_eq!(aph_row.network_pct, None);
+    }
+
+    fn stats_snapshot(cli: u32, aph: u32) -> Snapshot {
+        let mut records = vec![SnapshotRecord {
+            mode: 0o040770,
+            osts: vec![],
+            ..rec("/p", 10_000, cli, 0, 0)
+        }];
+        for i in 0..50u64 {
+            let gid = if i % 3 == 0 { aph } else { cli };
+            records.push(SnapshotRecord {
+                osts: (0..(1 + i % 7)).map(|s| (s as u16, s as u32)).collect(),
+                ..rec(
+                    &format!("/p/f{i:02}.nc"),
+                    10_000 + i as u32 % 4,
+                    gid,
+                    1_000 + i * 86_400,
+                    1_000,
+                )
+            });
+        }
+        // One record outside every project: the unattributed group.
+        records.push(rec("/p/stray", 10_000, 4_000_000, 2_000, 1_000));
+        Snapshot::new(0, 0, records)
+    }
+
+    #[test]
+    fn fused_domain_stats_match_individual_queries() {
+        use crate::frame::SnapshotFrame;
+        use crate::query::Scan;
+        use crate::Engine;
+
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let cli = pop.domain_projects(ScienceDomain::Cli).next().unwrap().gid;
+        let aph = pop.domain_projects(ScienceDomain::Aph).next().unwrap().gid;
+        let frame = SnapshotFrame::build(&stats_snapshot(cli, aph));
+        let stats = domain_frame_stats(&frame, &ctx, Engine::Parallel);
+
+        // Entry conservation: grouped counts cover the whole frame.
+        let total: u64 = stats.keys().filter_map(|k| stats.count(k, "entries")).sum();
+        assert_eq!(total, frame.len() as u64);
+        assert!(stats.contains(&UNATTRIBUTED_DOMAIN));
+
+        // Each fused aggregate equals the equivalent single-agg query.
+        let join = &ctx;
+        let key =
+            |f: &SnapshotFrame, i: usize| join.domain_of_gid(f.gid[i]).map(|d| d.index() as u8);
+        let files = Scan::over(&frame).files().group_count(key);
+        let depth_max = Scan::over(&frame).group_max(
+            |f, i| Some(key(f, i).unwrap_or(UNATTRIBUTED_DOMAIN)),
+            |f, i| f.depth[i] as u64,
+        );
+        let stripe_mean = Scan::over(&frame)
+            .files()
+            .group_mean(key, |f, i| f.stripe_count[i] as f64);
+        for domain in [ScienceDomain::Cli, ScienceDomain::Aph] {
+            let k = domain.index() as u8;
+            assert_eq!(stats.sum(&k, "files"), Some(files[&k] as f64));
+            assert_eq!(stats.max(&k, "depth_max"), Some(depth_max[&k] as f64));
+            assert_eq!(stats.mean(&k, "stripe_mean"), Some(stripe_mean[&k]));
+        }
+        // Quantile sketch stays within its bound of the exact median.
+        // "/p/fNN.nc" = 2 components + root = depth 3.
+        let q = stats
+            .quantile(&(ScienceDomain::Cli.index() as u8), "depth_q", 0.5)
+            .unwrap();
+        assert!((q - 3.0).abs() < 0.1, "median depth {q}");
+    }
+
+    #[test]
+    fn domain_scan_stats_engines_agree_exactly() {
+        use crate::Engine;
+
+        let pop = Population::generate(&PopulationConfig::default());
+        let ctx = AnalysisContext::new(&pop);
+        let cli = pop.domain_projects(ScienceDomain::Cli).next().unwrap().gid;
+        let aph = pop.domain_projects(ScienceDomain::Aph).next().unwrap().gid;
+        let snap = stats_snapshot(cli, aph);
+
+        let mut par = DomainScanStats::with_engine(ctx.clone(), Engine::Parallel);
+        let mut seq = DomainScanStats::with_engine(ctx, Engine::Sequential);
+        stream_snapshots(std::slice::from_ref(&snap), &mut [&mut par]);
+        stream_snapshots(&[snap], &mut [&mut seq]);
+
+        assert!(par.covers_frame() && seq.covers_frame());
+        for domain in [ScienceDomain::Cli, ScienceDomain::Aph] {
+            for name in [
+                "entries",
+                "files",
+                "dirs",
+                "depth_max",
+                "depth_q",
+                "stripe_min",
+                "stripe_mean",
+                "stripe_max",
+                "age_days",
+            ] {
+                assert_eq!(
+                    par.stat(domain, name).map(f64::to_bits),
+                    seq.stat(domain, name).map(f64::to_bits),
+                    "{domain:?} {name}"
+                );
+            }
+        }
     }
 }

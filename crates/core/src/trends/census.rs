@@ -13,13 +13,69 @@
 //!
 //! One `u64` hash per unique path is the whole memory bill; at the
 //! default 1/1000 scale that is a few million entries.
+//!
+//! Execution is split in two: the first-sight dedup (a global mutable
+//! hash set) runs sequentially, marking which rows are fresh; everything
+//! downstream — domain attribution, file/dir tallies, per-uid/gid counts,
+//! extension popularity — is **one fused [`Scan::group_agg`]** keyed by
+//! domain, with a [`CensusShard`] accumulator per domain merged up the
+//! engine's deterministic morsel tree.
 
 use crate::context::AnalysisContext;
-use crate::frame::{path_hash, EXT_NONE};
+use crate::engine::Engine;
+use crate::frame::{path_hash, ExtId, EXT_NONE};
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spider_workload::languages::language_of_extension;
 use spider_workload::ScienceDomain;
+
+/// Group key for rows whose gid maps to no registered project.
+const UNATTRIBUTED: u8 = u8::MAX;
+
+/// Per-domain accumulator of one fused census scan (per-frame state; ext
+/// ids are only meaningful within the frame that interned them).
+#[derive(Debug, Default)]
+struct CensusShard {
+    files: u64,
+    dirs: u64,
+    files_per_uid: FxHashMap<u32, u64>,
+    files_per_gid: FxHashMap<u32, u64>,
+    ext_files: FxHashMap<ExtId, u64>,
+    files_without_extension: u64,
+}
+
+impl CensusShard {
+    fn fold(&mut self, frame: &crate::frame::SnapshotFrame, i: usize) {
+        if frame.is_file[i] {
+            self.files += 1;
+            *self.files_per_uid.entry(frame.uid[i]).or_insert(0) += 1;
+            *self.files_per_gid.entry(frame.gid[i]).or_insert(0) += 1;
+            if frame.ext[i] == EXT_NONE {
+                self.files_without_extension += 1;
+            } else {
+                *self.ext_files.entry(frame.ext[i]).or_insert(0) += 1;
+            }
+        } else {
+            self.dirs += 1;
+        }
+    }
+
+    fn merge(&mut self, other: CensusShard) {
+        self.files += other.files;
+        self.dirs += other.dirs;
+        self.files_without_extension += other.files_without_extension;
+        for (k, v) in other.files_per_uid {
+            *self.files_per_uid.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.files_per_gid {
+            *self.files_per_gid.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.ext_files {
+            *self.ext_files.entry(k).or_insert(0) += v;
+        }
+    }
+}
 
 /// Per-domain unique-entry counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +105,7 @@ impl DomainEntryCounts {
 /// The streaming census visitor.
 pub struct UniqueCensus {
     ctx: AnalysisContext,
+    engine: Engine,
     seen: FxHashSet<u64>,
     /// Domain index → file/dir counts.
     by_domain: Vec<DomainEntryCounts>,
@@ -67,10 +124,16 @@ pub struct UniqueCensus {
 }
 
 impl UniqueCensus {
-    /// Creates an empty census.
+    /// Creates an empty census (parallel engine).
     pub fn new(ctx: AnalysisContext) -> Self {
+        Self::with_engine(ctx, Engine::Parallel)
+    }
+
+    /// Creates an empty census with an explicit engine.
+    pub fn with_engine(ctx: AnalysisContext, engine: Engine) -> Self {
         UniqueCensus {
             ctx,
+            engine,
             seen: FxHashSet::default(),
             by_domain: vec![DomainEntryCounts::default(); spider_workload::ALL_DOMAINS.len()],
             unattributed: 0,
@@ -182,34 +245,49 @@ impl SnapshotVisitor for UniqueCensus {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
         let frame = ctx.frame;
         let records = ctx.snapshot.records();
-        for (i, record) in records.iter().enumerate() {
-            let hash = path_hash(&record.path);
-            if !self.seen.insert(hash) {
+        // Phase 1 (sequential by nature): global first-sight dedup.
+        let fresh: Vec<bool> = records
+            .iter()
+            .map(|r| self.seen.insert(path_hash(&r.path)))
+            .collect();
+
+        // Phase 2: one fused scan — filter on freshness, group by domain,
+        // fold every census statistic into one shard per domain.
+        let analysis_ctx = &self.ctx;
+        let shards: FxHashMap<u8, CensusShard> = Scan::with_engine(frame, self.engine)
+            .filter(|_, i| fresh[i])
+            .group_agg(
+                |f, i| {
+                    Some(match analysis_ctx.domain_of_gid(f.gid[i]) {
+                        Some(domain) => domain.index() as u8,
+                        None => UNATTRIBUTED,
+                    })
+                },
+                |acc: &mut CensusShard, f, i| acc.fold(f, i),
+                CensusShard::merge,
+            );
+
+        // Phase 3: merge per-frame shards into the running census,
+        // translating interned extension ids while the frame is at hand.
+        for (key, shard) in shards {
+            if key == UNATTRIBUTED {
+                self.unattributed += shard.files + shard.dirs;
                 continue;
             }
-            let Some(domain) = self.ctx.domain_of_gid(frame.gid[i]) else {
-                self.unattributed += 1;
-                continue;
-            };
-            let counts = &mut self.by_domain[domain.index()];
-            if frame.is_file[i] {
-                counts.files += 1;
-                *self.files_per_uid.entry(frame.uid[i]).or_insert(0) += 1;
-                *self.files_per_gid.entry(frame.gid[i]).or_insert(0) += 1;
-                if frame.ext[i] == EXT_NONE {
-                    self.files_without_extension += 1;
-                } else {
-                    let ext = frame
-                        .extension_str(frame.ext[i])
-                        .expect("interned extension");
-                    *self
-                        .ext_by_domain
-                        .entry((domain.index() as u8, ext.into()))
-                        .or_insert(0) += 1;
-                    *self.ext_global.entry(ext.into()).or_insert(0) += 1;
-                }
-            } else {
-                counts.dirs += 1;
+            let counts = &mut self.by_domain[key as usize];
+            counts.files += shard.files;
+            counts.dirs += shard.dirs;
+            self.files_without_extension += shard.files_without_extension;
+            for (uid, n) in shard.files_per_uid {
+                *self.files_per_uid.entry(uid).or_insert(0) += n;
+            }
+            for (gid, n) in shard.files_per_gid {
+                *self.files_per_gid.entry(gid).or_insert(0) += n;
+            }
+            for (ext_id, n) in shard.ext_files {
+                let ext = frame.extension_str(ext_id).expect("interned extension");
+                *self.ext_by_domain.entry((key, ext.into())).or_insert(0) += n;
+                *self.ext_global.entry(ext.into()).or_insert(0) += n;
             }
         }
     }
@@ -219,8 +297,8 @@ impl SnapshotVisitor for UniqueCensus {
 mod tests {
     use super::*;
     use crate::pipeline::stream_snapshots;
-    use spider_workload::{Population, PopulationConfig};
     use spider_snapshot::{Snapshot, SnapshotRecord};
+    use spider_workload::{Population, PopulationConfig};
 
     fn test_ctx() -> (AnalysisContext, u32, u32) {
         let pop = Population::generate(&PopulationConfig {
@@ -311,7 +389,13 @@ mod tests {
         let mut census = UniqueCensus::new(ctx);
         let records: Vec<SnapshotRecord> = (0..10)
             .map(|i| {
-                let ext = if i < 6 { "nc" } else if i < 9 { "mat" } else { "txt" };
+                let ext = if i < 6 {
+                    "nc"
+                } else if i < 9 {
+                    "mat"
+                } else {
+                    "txt"
+                };
                 rec(&format!("/p/f{i}.{ext}"), 0o100664, 10_000, cli)
             })
             .collect();

@@ -8,7 +8,9 @@
 //! knee at five: `/root/lustre/atlas1/<project>/<user>`.
 
 use crate::context::AnalysisContext;
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use rustc_hash::FxHashMap;
 use spider_stats::{EmpiricalCdf, FiveNumber, Quantiles};
 use spider_workload::ScienceDomain;
@@ -16,6 +18,7 @@ use spider_workload::ScienceDomain;
 /// Streaming per-project maximum-depth tracker.
 pub struct DepthAnalysis {
     ctx: AnalysisContext,
+    engine: Engine,
     max_depth_per_gid: FxHashMap<u32, u16>,
 }
 
@@ -37,10 +40,16 @@ pub struct DepthReport {
 }
 
 impl DepthAnalysis {
-    /// Creates the analysis.
+    /// Creates the analysis (parallel engine).
     pub fn new(ctx: AnalysisContext) -> Self {
+        Self::with_engine(ctx, Engine::Parallel)
+    }
+
+    /// Creates the analysis with an explicit engine.
+    pub fn with_engine(ctx: AnalysisContext, engine: Engine) -> Self {
         DepthAnalysis {
             ctx,
+            engine,
             max_depth_per_gid: FxHashMap::default(),
         }
     }
@@ -95,10 +104,13 @@ impl DepthAnalysis {
 
 impl SnapshotVisitor for DepthAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
-        let frame = ctx.frame;
-        for i in 0..frame.len() {
-            let entry = self.max_depth_per_gid.entry(frame.gid[i]).or_insert(0);
-            *entry = (*entry).max(frame.depth[i]);
+        // One fused scan per frame; the per-frame maxima then fold into
+        // the cross-window running maxima.
+        let frame_max = Scan::with_engine(ctx.frame, self.engine)
+            .group_max(|f, i| Some(f.gid[i]), |f, i| f.depth[i] as u64);
+        for (gid, depth) in frame_max {
+            let entry = self.max_depth_per_gid.entry(gid).or_insert(0);
+            *entry = (*entry).max(depth as u16);
         }
     }
 }
@@ -139,11 +151,7 @@ mod tests {
         let g1 = pop.projects[0].gid;
         let g2 = pop.projects[1].gid;
         let mut analysis = DepthAnalysis::new(ctx);
-        let week0 = Snapshot::new(
-            0,
-            0,
-            vec![rec(&deep_path(7), g1), rec(&deep_path(4), g2)],
-        );
+        let week0 = Snapshot::new(0, 0, vec![rec(&deep_path(7), g1), rec(&deep_path(4), g2)]);
         let week1 = Snapshot::new(7, 7, vec![rec(&deep_path(11), g1)]);
         stream_snapshots(&[week0, week1], &mut [&mut analysis]);
         let report = analysis.finish();

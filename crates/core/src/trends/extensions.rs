@@ -6,8 +6,10 @@
 //! average ~half of all files). The `.bb` and `.xyz` surges stand out as
 //! step changes in those series.
 
-use crate::frame::EXT_NONE;
+use crate::engine::Engine;
+use crate::frame::{ExtId, EXT_NONE};
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use rustc_hash::FxHashMap;
 use spider_stats::TimeSeries;
 
@@ -19,6 +21,7 @@ use spider_stats::TimeSeries;
 /// two-step procedure.
 pub struct ExtensionTrend {
     tracked: Vec<String>,
+    engine: Engine,
     /// Per tracked extension: (day, live-share) series.
     series: Vec<TimeSeries>,
     /// Share of files with no extension.
@@ -30,9 +33,15 @@ pub struct ExtensionTrend {
 impl ExtensionTrend {
     /// Creates a trend tracker for the given (typically top-20) list.
     pub fn new(tracked: Vec<String>) -> Self {
+        Self::with_engine(tracked, Engine::Parallel)
+    }
+
+    /// Creates a trend tracker with an explicit engine.
+    pub fn with_engine(tracked: Vec<String>, engine: Engine) -> Self {
         let n = tracked.len();
         ExtensionTrend {
             tracked,
+            engine,
             series: vec![TimeSeries::new(); n],
             none_series: TimeSeries::new(),
             other_series: TimeSeries::new(),
@@ -79,7 +88,14 @@ impl ExtensionTrend {
 impl SnapshotVisitor for ExtensionTrend {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
         let frame = ctx.frame;
-        // Interned ids are per-frame: map tracked strings -> frame ids.
+        // One fused scan groups files by interned id; the per-id counts
+        // (a map no bigger than the frame's intern table) are translated
+        // to tracked slots afterwards. EXT_NONE is just another key, so
+        // the file total is the sum of all counts.
+        let per_ext: FxHashMap<ExtId, u64> = Scan::with_engine(frame, self.engine)
+            .files()
+            .group_count(|f, i| Some(f.ext[i]));
+        let files: u64 = per_ext.values().sum();
         let mut id_of: FxHashMap<&str, usize> = FxHashMap::default();
         for (slot, ext) in self.tracked.iter().enumerate() {
             id_of.insert(ext.as_str(), slot);
@@ -87,19 +103,14 @@ impl SnapshotVisitor for ExtensionTrend {
         let mut counts = vec![0u64; self.tracked.len()];
         let mut none = 0u64;
         let mut other = 0u64;
-        let mut files = 0u64;
-        for i in 0..frame.len() {
-            if !frame.is_file[i] {
-                continue;
-            }
-            files += 1;
-            if frame.ext[i] == EXT_NONE {
-                none += 1;
+        for (ext_id, n) in per_ext {
+            if ext_id == EXT_NONE {
+                none += n;
             } else {
-                let ext = frame.extension_str(frame.ext[i]).expect("interned");
+                let ext = frame.extension_str(ext_id).expect("interned");
                 match id_of.get(ext) {
-                    Some(&slot) => counts[slot] += 1,
-                    None => other += 1,
+                    Some(&slot) => counts[slot] += n,
+                    None => other += n,
                 }
             }
         }

@@ -7,6 +7,7 @@
 //! child-count distribution of one snapshot (wide directories are the
 //! stress case for MDS design, one of the §5 Spider III sizing inputs).
 
+use crate::engine::Engine;
 use rustc_hash::FxHashMap;
 use spider_snapshot::Snapshot;
 use spider_stats::{EmpiricalCdf, LogHistogram, Quantiles};
@@ -32,23 +33,36 @@ pub struct FanoutReport {
     pub log_profile: LogHistogram,
 }
 
-/// Computes the fan-out distribution of a snapshot.
+/// Computes the fan-out distribution of a snapshot (parallel engine).
 ///
 /// A directory's fan-out counts its *direct* children (files and
 /// subdirectories), derived from each entry's parent path.
 pub fn fanout_distribution(snapshot: &Snapshot) -> FanoutReport {
-    let mut children: FxHashMap<&str, u64> = FxHashMap::default();
-    let mut all_dirs: Vec<&str> = Vec::new();
-    for record in snapshot.records() {
-        if record.is_dir() {
-            all_dirs.push(record.path.as_str());
-        }
-        if let Some(idx) = record.path.rfind('/') {
-            if idx > 0 {
-                *children.entry(&record.path[..idx]).or_insert(0) += 1;
+    fanout_distribution_with_engine(snapshot, Engine::Parallel)
+}
+
+/// Computes the fan-out distribution with an explicit engine: one fused
+/// group-count of records by parent path, one fused count of empty
+/// directories.
+pub fn fanout_distribution_with_engine(snapshot: &Snapshot, engine: Engine) -> FanoutReport {
+    let records = snapshot.records();
+    let children: FxHashMap<&str, u64> = engine.group_fold(
+        records.len(),
+        |i| {
+            let path = records[i].path.as_str();
+            match path.rfind('/') {
+                Some(idx) if idx > 0 => Some(&path[..idx]),
+                _ => None,
             }
-        }
-    }
+        },
+        |acc: &mut u64, _| *acc += 1,
+        |a, b| *a += b,
+    );
+    let all_dirs: Vec<&str> = records
+        .iter()
+        .filter(|r| r.is_dir())
+        .map(|r| r.path.as_str())
+        .collect();
     let (mut max, mut widest) = (0u64, "");
     for (&dir, &count) in &children {
         if count > max || (count == max && dir < widest) {
@@ -62,10 +76,7 @@ pub fn fanout_distribution(snapshot: &Snapshot) -> FanoutReport {
     }
     let counts: Vec<f64> = children.values().map(|&c| c as f64).collect();
     let median = Quantiles::new(counts.clone()).median().unwrap_or(0.0);
-    let empty_dirs = all_dirs
-        .iter()
-        .filter(|d| !children.contains_key(*d))
-        .count() as u64;
+    let empty_dirs = engine.count_where(all_dirs.len(), |i| !children.contains_key(all_dirs[i]));
     FanoutReport {
         entries_per_dir: EmpiricalCdf::new(counts),
         median,

@@ -7,7 +7,9 @@
 //! (Fig. 6c).
 
 use crate::context::AnalysisContext;
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spider_stats::{EmpiricalCdf, Quantiles};
 use spider_workload::ScienceDomain;
@@ -15,6 +17,7 @@ use spider_workload::ScienceDomain;
 /// Membership extraction from streamed snapshots.
 pub struct ParticipationAnalysis {
     ctx: AnalysisContext,
+    engine: Engine,
     edges: FxHashSet<(u32, u32)>,
 }
 
@@ -32,10 +35,16 @@ pub struct ParticipationReport {
 }
 
 impl ParticipationAnalysis {
-    /// Creates the analysis.
+    /// Creates the analysis (parallel engine).
     pub fn new(ctx: AnalysisContext) -> Self {
+        Self::with_engine(ctx, Engine::Parallel)
+    }
+
+    /// Creates the analysis with an explicit engine.
+    pub fn with_engine(ctx: AnalysisContext, engine: Engine) -> Self {
         ParticipationAnalysis {
             ctx,
+            engine,
             edges: FxHashSet::default(),
         }
     }
@@ -69,8 +78,11 @@ impl ParticipationAnalysis {
                 Some((spider_workload::ALL_DOMAINS[d as usize], median))
             })
             .collect();
-        median_team_by_domain
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.id().cmp(b.0.id())));
+        median_team_by_domain.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| a.0.id().cmp(b.0.id()))
+        });
 
         let team_values: Vec<f64> = per_project.values().map(|&c| c as f64).collect();
         let mean_team = if team_values.is_empty() {
@@ -79,9 +91,7 @@ impl ParticipationAnalysis {
             team_values.iter().sum::<f64>() / team_values.len() as f64
         };
         ParticipationReport {
-            projects_per_user: EmpiricalCdf::new(
-                per_user.values().map(|&c| c as f64).collect(),
-            ),
+            projects_per_user: EmpiricalCdf::new(per_user.values().map(|&c| c as f64).collect()),
             users_per_project: EmpiricalCdf::new(team_values),
             median_team_by_domain,
             mean_team,
@@ -91,12 +101,12 @@ impl ParticipationAnalysis {
 
 impl SnapshotVisitor for ParticipationAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
-        let frame = ctx.frame;
-        for i in 0..frame.len() {
-            if frame.uid[i] != 0 {
-                self.edges.insert((frame.uid[i], frame.gid[i]));
-            }
-        }
+        // The fused scan dedups (uid, gid) pairs within the frame; only
+        // the distinct keys hit the global edge set.
+        let frame_edges = Scan::with_engine(ctx.frame, self.engine)
+            .filter(|f, i| f.uid[i] != 0)
+            .group_count(|f, i| Some((f.uid[i], f.gid[i])));
+        self.edges.extend(frame_edges.into_keys());
     }
 }
 

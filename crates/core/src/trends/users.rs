@@ -9,13 +9,16 @@
 //! most of their entries).
 
 use crate::context::AnalysisContext;
+use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
+use crate::query::Scan;
 use rustc_hash::FxHashMap;
 use spider_workload::{Organization, ScienceDomain, ALL_DOMAINS};
 
 /// The active-user census.
 pub struct ActiveUsersAnalysis {
     ctx: AnalysisContext,
+    engine: Engine,
     /// (uid, domain index) → entry count.
     uid_domain_counts: FxHashMap<(u32, u8), u64>,
 }
@@ -35,10 +38,16 @@ pub struct ActiveUsersReport {
 }
 
 impl ActiveUsersAnalysis {
-    /// Creates the analysis.
+    /// Creates the analysis (parallel engine).
     pub fn new(ctx: AnalysisContext) -> Self {
+        Self::with_engine(ctx, Engine::Parallel)
+    }
+
+    /// Creates the analysis with an explicit engine.
+    pub fn with_engine(ctx: AnalysisContext, engine: Engine) -> Self {
         ActiveUsersAnalysis {
             ctx,
+            engine,
             uid_domain_counts: FxHashMap::default(),
         }
     }
@@ -83,19 +92,18 @@ impl ActiveUsersAnalysis {
 
 impl SnapshotVisitor for ActiveUsersAnalysis {
     fn visit(&mut self, ctx: &VisitCtx<'_>) {
-        let frame = ctx.frame;
-        for i in 0..frame.len() {
-            if let Some(domain) = self.ctx.domain_of_gid(frame.gid[i]) {
-                // Skip the root-owned project directory skeleton: uid 0 is
-                // the system, not a scientist.
-                if frame.uid[i] == 0 {
-                    continue;
-                }
-                *self
-                    .uid_domain_counts
-                    .entry((frame.uid[i], domain.index() as u8))
-                    .or_insert(0) += 1;
-            }
+        // uid 0 is the root-owned project skeleton — the system, not a
+        // scientist; rows with unregistered gids carry no domain.
+        let analysis_ctx = &self.ctx;
+        let frame_counts = Scan::with_engine(ctx.frame, self.engine)
+            .filter(|f, i| f.uid[i] != 0)
+            .group_count(|f, i| {
+                analysis_ctx
+                    .domain_of_gid(f.gid[i])
+                    .map(|domain| (f.uid[i], domain.index() as u8))
+            });
+        for (key, n) in frame_counts {
+            *self.uid_domain_counts.entry(key).or_insert(0) += n;
         }
     }
 }

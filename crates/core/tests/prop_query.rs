@@ -1,0 +1,248 @@
+//! Property-based equivalence tests for the lazy fused scan engine:
+//!
+//! * fused aggregates ≡ a naive materialized reference (collect matching
+//!   rows first, then aggregate the list — the pre-redesign shape);
+//! * `Engine::Parallel` ≡ `Engine::Sequential`, bit-for-bit, on every
+//!   aggregate (the deterministic morsel tree at work);
+//! * one-pass `MultiAgg` ≡ the equivalent single-aggregate queries.
+//!
+//! Timestamps are integer-valued, so float sums stay exact regardless of
+//! association and the reference comparison can use strict equality.
+
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+use spider_core::{Engine, Scan, SnapshotFrame};
+use spider_snapshot::{Snapshot, SnapshotRecord};
+
+/// A runtime description of one filter, applied both to the fused scan
+/// (as a composed predicate) and to the naive reference loop.
+#[derive(Debug, Clone, Copy)]
+enum FilterSpec {
+    FilesOnly,
+    DirsOnly,
+    MtimeAtMost(u64),
+    GidIs(u32),
+}
+
+impl FilterSpec {
+    fn matches(self, f: &SnapshotFrame, i: usize) -> bool {
+        match self {
+            FilterSpec::FilesOnly => f.is_file[i],
+            FilterSpec::DirsOnly => !f.is_file[i],
+            FilterSpec::MtimeAtMost(t) => f.mtime[i] <= t,
+            FilterSpec::GidIs(g) => f.gid[i] == g,
+        }
+    }
+}
+
+fn filter_strategy() -> impl Strategy<Value = FilterSpec> {
+    prop_oneof![
+        Just(FilterSpec::FilesOnly),
+        Just(FilterSpec::DirsOnly),
+        (0u64..5_000).prop_map(FilterSpec::MtimeAtMost),
+        (0u32..6).prop_map(FilterSpec::GidIs),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = SnapshotRecord> {
+    (
+        any::<bool>(),
+        0u32..6,
+        0u64..5_000,
+        0u64..5_000,
+        0usize..5,
+        0u64..1_000,
+    )
+        .prop_map(
+            |(is_file, gid, atime, mtime, stripes, tag)| SnapshotRecord {
+                path: if is_file {
+                    format!("/p/f{tag}")
+                } else {
+                    format!("/d{tag}")
+                },
+                atime,
+                ctime: mtime,
+                mtime,
+                uid: gid + 100,
+                gid,
+                mode: if is_file { 0o100664 } else { 0o040770 },
+                ino: tag,
+                osts: (0..stripes).map(|s| (s as u16, s as u32)).collect(),
+            },
+        )
+}
+
+fn frame_strategy() -> impl Strategy<Value = SnapshotFrame> {
+    prop::collection::vec(record_strategy(), 0..300).prop_map(|mut records| {
+        // Paths must be unique within a snapshot (`Snapshot::new` asserts);
+        // suffix each with its position, which keeps the file/dir shape.
+        for (i, r) in records.iter_mut().enumerate() {
+            r.path = format!("{}_{i}", r.path);
+        }
+        SnapshotFrame::build(&Snapshot::new(0, 0, records))
+    })
+}
+
+/// Applies up to three runtime filters as composed static predicates.
+/// Each arm has a distinct `Scan<_, P>` type — the composition is still
+/// zero-boxing, the test just enumerates the shapes.
+fn fused_count(frame: &SnapshotFrame, engine: Engine, specs: &[FilterSpec]) -> u64 {
+    let scan = Scan::with_engine(frame, engine);
+    match *specs {
+        [] => scan.count(),
+        [a] => scan.filter(move |f, i| a.matches(f, i)).count(),
+        [a, b] => scan
+            .filter(move |f, i| a.matches(f, i))
+            .filter(move |f, i| b.matches(f, i))
+            .count(),
+        [a, b, c] => scan
+            .filter(move |f, i| a.matches(f, i))
+            .filter(move |f, i| b.matches(f, i))
+            .filter(move |f, i| c.matches(f, i))
+            .count(),
+        _ => unreachable!("strategy caps the stack at 3"),
+    }
+}
+
+fn naive_rows(frame: &SnapshotFrame, specs: &[FilterSpec]) -> Vec<usize> {
+    // The pre-redesign shape: materialize the row list, retain per filter.
+    let mut rows: Vec<usize> = (0..frame.len()).collect();
+    for spec in specs {
+        rows.retain(|&i| spec.matches(frame, i));
+    }
+    rows
+}
+
+proptest! {
+    /// Fused filtered counts equal the materialized reference, under both
+    /// engines.
+    #[test]
+    fn fused_count_matches_materialized_reference(
+        frame in frame_strategy(),
+        specs in prop::collection::vec(filter_strategy(), 0..=3),
+    ) {
+        let expected = naive_rows(&frame, &specs).len() as u64;
+        prop_assert_eq!(fused_count(&frame, Engine::Parallel, &specs), expected);
+        prop_assert_eq!(fused_count(&frame, Engine::Sequential, &specs), expected);
+    }
+
+    /// Grouped aggregates (count / sum / min / max) equal the reference
+    /// maps, and the two engines agree bit-for-bit.
+    #[test]
+    fn grouped_aggregates_match_reference(
+        frame in frame_strategy(),
+        spec in filter_strategy(),
+    ) {
+        let rows = naive_rows(&frame, &[spec]);
+        let mut ref_count: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut ref_sum: FxHashMap<u32, f64> = FxHashMap::default();
+        let mut ref_min: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut ref_max: FxHashMap<u32, u64> = FxHashMap::default();
+        for &i in &rows {
+            let g = frame.gid[i];
+            *ref_count.entry(g).or_insert(0) += 1;
+            *ref_sum.entry(g).or_insert(0.0) += frame.mtime[i] as f64;
+            let m = ref_min.entry(g).or_insert(u64::MAX);
+            *m = (*m).min(frame.atime[i]);
+            let x = ref_max.entry(g).or_insert(0);
+            *x = (*x).max(frame.atime[i]);
+        }
+        for engine in [Engine::Parallel, Engine::Sequential] {
+            let scan = Scan::with_engine(&frame, engine).filter(move |f, i| spec.matches(f, i));
+            prop_assert_eq!(&scan.group_count(|f, i| Some(f.gid[i])), &ref_count);
+            // Integer-valued sums are exact: strict equality is sound.
+            prop_assert_eq!(
+                &scan.group_sum(|f, i| Some(f.gid[i]), |f, i| f.mtime[i] as f64),
+                &ref_sum
+            );
+            prop_assert_eq!(
+                &scan.group_min(|f, i| Some(f.gid[i]), |f, i| f.atime[i]),
+                &ref_min
+            );
+            prop_assert_eq!(
+                &scan.group_max(|f, i| Some(f.gid[i]), |f, i| f.atime[i]),
+                &ref_max
+            );
+        }
+    }
+
+    /// `any` / `is_empty` agree with the reference and short-circuiting
+    /// changes nothing across engines.
+    #[test]
+    fn any_matches_reference(
+        frame in frame_strategy(),
+        spec in filter_strategy(),
+    ) {
+        let expected = !naive_rows(&frame, &[spec]).is_empty();
+        for engine in [Engine::Parallel, Engine::Sequential] {
+            let scan = Scan::with_engine(&frame, engine).filter(move |f, i| spec.matches(f, i));
+            prop_assert_eq!(scan.any(), expected);
+            prop_assert_eq!(scan.is_empty(), !expected);
+        }
+    }
+
+    /// One-pass `MultiAgg` equals the individual single-aggregate queries
+    /// and is bit-identical across engines.
+    #[test]
+    fn multiagg_matches_individual_queries(frame in frame_strategy()) {
+        let run = |engine: Engine| {
+            Scan::with_engine(&frame, engine)
+                .multi(|f: &SnapshotFrame, i| Some(f.gid[i]))
+                .count("entries")
+                .sum("mtime_sum", |f, i| f.mtime[i] as f64)
+                .mean("mtime_mean", |f, i| f.mtime[i] as f64)
+                .min_opt("file_atime_min", |f, i| {
+                    f.is_file[i].then(|| f.atime[i] as f64)
+                })
+                .max("atime_max", |f, i| f.atime[i] as f64)
+                .run()
+        };
+        let par = run(Engine::Parallel);
+        let seq = run(Engine::Sequential);
+
+        let scan = Scan::over(&frame);
+        let counts = scan.group_count(|f, i| Some(f.gid[i]));
+        let sums = scan.group_sum(|f, i| Some(f.gid[i]), |f, i| f.mtime[i] as f64);
+        let means = scan.group_mean(|f, i| Some(f.gid[i]), |f, i| f.mtime[i] as f64);
+        let file_mins = Scan::over(&frame)
+            .files()
+            .group_min(|f, i| Some(f.gid[i]), |f, i| f.atime[i]);
+        let maxes = scan.group_max(|f, i| Some(f.gid[i]), |f, i| f.atime[i]);
+
+        prop_assert_eq!(par.len(), counts.len());
+        for (&g, &n) in &counts {
+            prop_assert_eq!(par.count(&g, "entries"), Some(n));
+            prop_assert_eq!(par.sum(&g, "mtime_sum"), Some(sums[&g]));
+            prop_assert_eq!(
+                par.mean(&g, "mtime_mean").map(f64::to_bits),
+                Some(means[&g].to_bits())
+            );
+            prop_assert_eq!(
+                par.min(&g, "file_atime_min"),
+                file_mins.get(&g).map(|&v| v as f64)
+            );
+            prop_assert_eq!(par.max(&g, "atime_max"), Some(maxes[&g] as f64));
+
+            // Engines agree bit-for-bit on every aggregate.
+            for name in ["entries", "mtime_sum", "mtime_mean", "file_atime_min", "atime_max"] {
+                let a = par.value(&g, name).and_then(|v| v.numeric()).map(f64::to_bits);
+                let b = seq.value(&g, name).and_then(|v| v.numeric()).map(f64::to_bits);
+                prop_assert_eq!(a, b, "engine mismatch on {}", name);
+            }
+        }
+    }
+
+    /// `top_k_groups` is deterministic and consistent across engines.
+    #[test]
+    fn top_k_is_deterministic(frame in frame_strategy(), k in 0usize..8) {
+        let par = Scan::with_engine(&frame, Engine::Parallel)
+            .top_k_groups(|f, i| Some(f.gid[i]), k);
+        let seq = Scan::with_engine(&frame, Engine::Sequential)
+            .top_k_groups(|f, i| Some(f.gid[i]), k);
+        prop_assert_eq!(&par, &seq);
+        // Descending by count, ties broken by ascending key.
+        for w in par.windows(2) {
+            prop_assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+        }
+    }
+}

@@ -22,7 +22,10 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         org_table.row(&[
             org.label().to_string(),
             count.to_string(),
-            format!("{:.1}", 100.0 * count as f64 / users.active_users.max(1) as f64),
+            format!(
+                "{:.1}",
+                100.0 * count as f64 / users.active_users.max(1) as f64
+            ),
         ]);
     }
     text.push_str(&org_table.render());

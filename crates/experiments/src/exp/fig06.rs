@@ -40,10 +40,7 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     text.push_str(&team_table.render());
 
     let mut csv = SeriesWriter::new("count");
-    csv.add_series(
-        "cdf_projects_per_user",
-        &p.projects_per_user.steps(),
-    );
+    csv.add_series("cdf_projects_per_user", &p.projects_per_user.steps());
     csv.add_series("cdf_users_per_project", &p.users_per_project.steps());
 
     let mut v = VerdictSet::new("fig06");
@@ -81,7 +78,10 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         .map(|(d, _)| d.id())
         .collect();
     let expected_big = ["stf", "env", "nfi", "chp", "cli"];
-    let hits = expected_big.iter().filter(|d| top_teams.contains(d)).count();
+    let hits = expected_big
+        .iter()
+        .filter(|d| top_teams.contains(d))
+        .count();
     v.check(
         "big-team-domains",
         "env, nfi, chp, cli (and stf) have median teams above 10",

@@ -61,8 +61,7 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         max_of(ScienceDomain::Gen).unwrap_or(0.0) > 60.0,
     );
     // Deep vs shallow domain ordering: mat/csc above mph.
-    if let (Some(mat), Some(mph)) = (median_of(ScienceDomain::Mat), median_of(ScienceDomain::Mph))
-    {
+    if let (Some(mat), Some(mph)) = (median_of(ScienceDomain::Mat), median_of(ScienceDomain::Mph)) {
         v.check_order(
             "mat-deeper-than-mph",
             "Materials Science (median 16) is deeper than Molecular Physics (median 5)",

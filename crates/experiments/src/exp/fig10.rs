@@ -36,11 +36,7 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     let none_mean = trend.none_series().mean().unwrap_or(0.0);
     let other_mean = trend.other_series().mean().unwrap_or(0.0);
     let mut text = String::new();
-    let _ = writeln!(
-        text,
-        "tracked top-20 extensions: {:?}",
-        trend.tracked()
-    );
+    let _ = writeln!(text, "tracked top-20 extensions: {:?}", trend.tracked());
     let _ = writeln!(
         text,
         "average shares: no-extension {:.1}%, other {:.1}%",

@@ -27,7 +27,11 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     v.check(
         "many-domains-tune",
         "scientists in 20 of 35 domains adjust the OST count",
-        format!("{} tuning domains: {:?}", tuning.len(), tuning.iter().map(|d| d.id()).collect::<Vec<_>>()),
+        format!(
+            "{} tuning domains: {:?}",
+            tuning.len(),
+            tuning.iter().map(|d| d.id()).collect::<Vec<_>>()
+        ),
         tuning.len() >= 8,
     );
     let ast = striping.summary(ScienceDomain::Ast);

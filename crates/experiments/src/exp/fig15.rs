@@ -17,7 +17,11 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         );
     }
     if let Some(share) = growth.final_dir_share() {
-        let _ = writeln!(text, "final directory share of entries: {:.1}%", 100.0 * share);
+        let _ = writeln!(
+            text,
+            "final directory share of entries: {:.1}%",
+            100.0 * share
+        );
     }
 
     let mut csv = SeriesWriter::new("day");

@@ -23,7 +23,11 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         100.0 * frac
     );
 
-    if let Some(rec) = lab.analyses().advisor.recommend(0.9, lab.config().sim.purge.window_days) {
+    if let Some(rec) = lab
+        .analyses()
+        .advisor
+        .recommend(0.9, lab.config().sim.purge.window_days)
+    {
         let _ = writeln!(
             text,
             "advisor: retaining 90% of observed re-reads needs a {}-day window; the \

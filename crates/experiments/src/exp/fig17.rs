@@ -15,7 +15,13 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         &["domain", "write cv", "read cv"],
     )
     .align(&[Align::Left, Align::Left, Align::Left]);
-    let read_of = |d: ScienceDomain| report.read.iter().find(|(dom, _)| *dom == d).map(|(_, f)| *f);
+    let read_of = |d: ScienceDomain| {
+        report
+            .read
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, f)| *f)
+    };
     for (domain, w) in &report.write {
         let read = read_of(*domain)
             .map(|f| format!("{:.4} [{:.4}, {:.4}]", f.median, f.q1, f.q3))
@@ -32,11 +38,16 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     let write_medians: Vec<f64> = report.write.iter().map(|(_, f)| f.median).collect();
     let read_medians: Vec<f64> = report.read.iter().map(|(_, f)| f.median).collect();
     let wm = Quantiles::new(write_medians).median().unwrap_or(0.0);
-    let rm = Quantiles::new(read_medians).median().unwrap_or(f64::INFINITY);
+    let rm = Quantiles::new(read_medians)
+        .median()
+        .unwrap_or(f64::INFINITY);
     v.check(
         "reads-100x-burstier",
         "atime c_v is approximately 100x lower than mtime c_v",
-        format!("median write cv {wm:.3} vs read cv {rm:.5} ({:.0}x)", wm / rm.max(1e-9)),
+        format!(
+            "median write cv {wm:.3} vs read cv {rm:.5} ({:.0}x)",
+            wm / rm.max(1e-9)
+        ),
         rm.is_finite() && wm / rm.max(1e-9) > 20.0,
     );
     // Write c_v lands in the paper's 0.1..1.0 quartile band for most

@@ -25,7 +25,11 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
 
     let mut v = VerdictSet::new("fig19");
     // csc contributes the most projects to the largest component.
-    let top_contributor = c.largest_by_domain.first().map(|(d, _)| d.id()).unwrap_or("-");
+    let top_contributor = c
+        .largest_by_domain
+        .first()
+        .map(|(d, _)| d.id())
+        .unwrap_or("-");
     v.check(
         "csc-contributes-most",
         "Computer Science has the most projects in the largest component (18%)",

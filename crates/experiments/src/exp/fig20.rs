@@ -76,7 +76,10 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     v.check(
         "extreme-pair-domain",
         "the extreme pair's shared projects concentrate in Climate Science",
-        format!("{:?}", collab.max_pair_domains.first().map(|(d, c)| (d.id(), *c))),
+        format!(
+            "{:?}",
+            collab.max_pair_domains.first().map(|(d, c)| (d.id(), *c))
+        ),
         extreme_is_cli,
     );
 

@@ -11,8 +11,8 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     let mut v = VerdictSet::new("observations");
 
     // O1: sizeable academia+industry share.
-    let acad_ind = a.users.org_fraction(Organization::Academia)
-        + a.users.org_fraction(Organization::Industry);
+    let acad_ind =
+        a.users.org_fraction(Organization::Academia) + a.users.org_fraction(Organization::Industry);
     v.check_between(
         "obs1-academia-industry",
         "academia and industry account for ~42% of users",
@@ -56,8 +56,12 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         .into_iter()
         .map(|(e, _)| e)
         .collect();
-    let has_scientific = top20.iter().any(|e| ["nc", "h5", "mat", "xyz", "bb", "bz2", "fasta"].contains(&e.as_str()));
-    let has_generic = top20.iter().any(|e| ["txt", "png", "dat", "log", "gz"].contains(&e.as_str()));
+    let has_scientific = top20
+        .iter()
+        .any(|e| ["nc", "h5", "mat", "xyz", "bb", "bz2", "fasta"].contains(&e.as_str()));
+    let has_generic = top20
+        .iter()
+        .any(|e| ["txt", "png", "dat", "log", "gz"].contains(&e.as_str()));
     v.check(
         "obs4-format-mix",
         "scientific formats (.nc, .mat) and generic formats (.png, .txt) share the top 20",

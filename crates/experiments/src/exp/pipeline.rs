@@ -18,7 +18,12 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     let mut v = VerdictSet::new("pipeline");
 
     let Some(&last_day) = store.days().last() else {
-        v.check("snapshot-available", "a snapshot exists", "store empty", false);
+        v.check(
+            "snapshot-available",
+            "a snapshot exists",
+            "store empty",
+            false,
+        );
         return ExperimentOutput {
             id: "pipeline",
             title: "Fig. 4: PSV -> columnar conversion",
@@ -52,7 +57,9 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         ratio,
         2.0,
     );
-    let roundtrip = colf::decode(&colf_bytes).map(|d| d == snapshot).unwrap_or(false);
+    let roundtrip = colf::decode(&colf_bytes)
+        .map(|d| d == snapshot)
+        .unwrap_or(false);
     v.check(
         "conversion-lossless",
         "analysis runs on converted data without loss",

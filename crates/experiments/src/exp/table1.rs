@@ -15,8 +15,16 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     let mut table = TextTable::new(
         "Table 1 — key observations per science domain (scaled reproduction)",
         &[
-            "domain", "entries(K)", "depth", "ext(%)", "langs", "OST", "write cv", "read cv",
-            "network%", "collab%",
+            "domain",
+            "entries(K)",
+            "depth",
+            "ext(%)",
+            "langs",
+            "OST",
+            "write cv",
+            "read cv",
+            "network%",
+            "collab%",
         ],
     )
     .align(&[
@@ -122,6 +130,32 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         "Astrophysics' average OST level (122) far above the default 4",
         format!("mean OST {ast_ost}"),
         ast_ost > 8,
+    );
+    // The fused one-pass MultiAgg scan accounts for every entry of the
+    // final frame: grouped counts conserve the frame total.
+    v.check(
+        "fused-scan-covers-frame",
+        "one-pass per-domain stats conserve the final frame's entry count",
+        format!("{} entries", a.domain_stats.total_entries()),
+        a.domain_stats.covers_frame(),
+    );
+    // And its per-domain depth maxima never exceed the window-wide maxima
+    // Table 1 reports (the final frame is a subset of the window).
+    let depth_consistent = ALL_DOMAINS.iter().all(|&d| {
+        match (
+            a.domain_stats.stat(d, "depth_max"),
+            a.summary.row(d).depth_max,
+        ) {
+            (Some(frame_max), Some(window_max)) => frame_max <= window_max as f64,
+            (Some(_), None) => false,
+            _ => true,
+        }
+    });
+    v.check(
+        "fused-scan-depth-consistent",
+        "fused final-frame depth maxima bounded by window-wide maxima",
+        format!("consistent: {depth_consistent}"),
+        depth_consistent,
     );
 
     ExperimentOutput {

@@ -12,7 +12,13 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
         "Table 2 — top-3 file extensions per domain (measured %, paper's #1 in parens)",
         &["domain", "1st", "2nd", "3rd", "paper 1st"],
     )
-    .align(&[Align::Left, Align::Left, Align::Left, Align::Left, Align::Left]);
+    .align(&[
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Left,
+    ]);
 
     for &domain in &ALL_DOMAINS {
         let top = a.census.top_extensions(domain, 3);

@@ -28,7 +28,7 @@ use spider_core::trends::depth::{DepthAnalysis, DepthReport};
 use spider_core::trends::extensions::ExtensionTrend;
 use spider_core::trends::participation::{ParticipationAnalysis, ParticipationReport};
 use spider_core::trends::users::{ActiveUsersAnalysis, ActiveUsersReport};
-use spider_core::{stream_store_prefetch, AnalysisContext, SummaryTable};
+use spider_core::{stream_store_prefetch, AnalysisContext, DomainScanStats, SummaryTable};
 use spider_sim::{SimConfig, Simulation, SimulationOutcome};
 use spider_snapshot::SnapshotStore;
 use spider_workload::Population;
@@ -104,6 +104,9 @@ pub struct Analyses {
     pub collaboration: CollaborationReport,
     /// The assembled Table 1.
     pub summary: SummaryTable,
+    /// Fused one-pass per-domain scan statistics of the final frame
+    /// (the `MultiAgg` cross-check behind Table 1).
+    pub domain_stats: DomainScanStats,
 }
 
 /// The prepared lab.
@@ -166,10 +169,10 @@ impl Lab {
         let mut growth = GrowthAnalysis::new();
         let mut access = AccessPatternAnalysis::new();
         let mut age = FileAgeAnalysis::new();
-        let mut burstiness =
-            BurstinessAnalysis::with_min_files(ctx.clone(), burstiness_min_files);
+        let mut burstiness = BurstinessAnalysis::with_min_files(ctx.clone(), burstiness_min_files);
         let mut advisor = PurgeAdvisor::new();
         let mut network = FileGenNetwork::new(ctx.clone());
+        let mut domain_stats = DomainScanStats::new(ctx.clone());
         let mut collab_network = FileGenNetwork::without_staff(ctx);
         stream_store_prefetch(
             store,
@@ -186,6 +189,7 @@ impl Lab {
                 &mut advisor,
                 &mut network,
                 &mut collab_network,
+                &mut domain_stats,
             ],
         )?;
 
@@ -230,6 +234,7 @@ impl Lab {
             collab_network: built_collab,
             collaboration,
             summary,
+            domain_stats,
         })
     }
 

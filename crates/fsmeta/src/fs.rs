@@ -264,11 +264,7 @@ impl FileSystem {
 
     /// Sets a directory's default stripe count (`lfs setstripe <dir> -c N`),
     /// inherited by files created beneath it.
-    pub fn set_dir_stripe_default(
-        &mut self,
-        dir: InodeId,
-        count: u32,
-    ) -> Result<(), FsError> {
+    pub fn set_dir_stripe_default(&mut self, dir: InodeId, count: u32) -> Result<(), FsError> {
         let node = self.ns.get(dir)?;
         if !node.is_dir() {
             return Err(FsError::NotADirectory(dir));
@@ -509,9 +505,27 @@ mod tests {
         assert_eq!(fs.effective_dir_stripe(sub).unwrap(), 2);
 
         let f = fs.create(sub, "big.bin", Uid(1), Gid(1), None).unwrap();
-        assert_eq!(fs.inode(f).unwrap().stripes.as_ref().unwrap().stripe_count(), 2);
-        let g = fs.create(sub, "wide.bin", Uid(1), Gid(1), Some(16)).unwrap();
-        assert_eq!(fs.inode(g).unwrap().stripes.as_ref().unwrap().stripe_count(), 16);
+        assert_eq!(
+            fs.inode(f)
+                .unwrap()
+                .stripes
+                .as_ref()
+                .unwrap()
+                .stripe_count(),
+            2
+        );
+        let g = fs
+            .create(sub, "wide.bin", Uid(1), Gid(1), Some(16))
+            .unwrap();
+        assert_eq!(
+            fs.inode(g)
+                .unwrap()
+                .stripes
+                .as_ref()
+                .unwrap()
+                .stripe_count(),
+            16
+        );
     }
 
     #[test]

@@ -382,7 +382,10 @@ mod tests {
             ns.remove_dir(ROOT_INO),
             Err(FsError::DirectoryNotEmpty(_))
         ));
-        assert!(matches!(ns.remove_file(ROOT_INO), Err(FsError::IsADirectory(_))));
+        assert!(matches!(
+            ns.remove_file(ROOT_INO),
+            Err(FsError::IsADirectory(_))
+        ));
     }
 
     #[test]
@@ -401,9 +404,7 @@ mod tests {
         let d = ns.insert(ROOT_INO, "d", dir_template(1, 1)).unwrap();
         let mut expect = Vec::new();
         for i in 0..10 {
-            expect.push(
-                ns.insert(d, &format!("f{i}"), file_template(1, 1)).unwrap(),
-            );
+            expect.push(ns.insert(d, &format!("f{i}"), file_template(1, 1)).unwrap());
         }
         let mut got: Vec<InodeId> = ns.children(d).unwrap().collect();
         got.sort();
@@ -417,7 +418,9 @@ mod tests {
         let mut ns = Namespace::new(0);
         let mut cur = ROOT_INO;
         for i in 0..50 {
-            cur = ns.insert(cur, &format!("d{i}"), dir_template(1, 1)).unwrap();
+            cur = ns
+                .insert(cur, &format!("d{i}"), dir_template(1, 1))
+                .unwrap();
         }
         let p = ns.path(cur).unwrap();
         assert!(p.starts_with("/lustre/atlas1/d0/d1/"));

@@ -60,13 +60,15 @@ fn apply_ops(ops: &[Op]) -> FileSystem {
                 files.push(f);
             }
             Op::Write(t) if !files.is_empty() => {
-                fs.write(files[t as usize % files.len()]).expect("live file");
+                fs.write(files[t as usize % files.len()])
+                    .expect("live file");
             }
             Op::Read(t) if !files.is_empty() => {
                 fs.read(files[t as usize % files.len()]).expect("live file");
             }
             Op::Touch(t) if !files.is_empty() => {
-                fs.touch(files[t as usize % files.len()]).expect("live file");
+                fs.touch(files[t as usize % files.len()])
+                    .expect("live file");
             }
             Op::Unlink(t) if !files.is_empty() => {
                 let idx = t as usize % files.len();

@@ -154,7 +154,7 @@ mod tests {
         b.add_edge(1, 1); // component {u1, u2, p1}
         b.add_edge(2, 1);
         b.add_edge(4, 2); // component {u4, p2}
-        // u3 isolated singleton
+                          // u3 isolated singleton
         b.build()
     }
 

@@ -172,7 +172,7 @@ mod tests {
         let stats = DistanceStats::compute(&g, &members);
         let ranked = stats.by_closeness();
         assert_eq!(ranked[0].0, 1); // user 1 is most central
-        // Ends of the path are least central.
+                                    // Ends of the path are least central.
         let last_two: Vec<u32> = ranked[3..].iter().map(|r| r.0).collect();
         assert!(last_two.contains(&0) && last_two.contains(&2));
     }

@@ -1,9 +1,7 @@
 //! Property-based tests on the graph algorithms.
 
 use proptest::prelude::*;
-use spider_graph::{
-    BipartiteGraphBuilder, ComponentSet, DistanceStats, Labeling, UnionFind,
-};
+use spider_graph::{BipartiteGraphBuilder, ComponentSet, DistanceStats, Labeling, UnionFind};
 
 fn graph_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32)>)> {
     (1u32..40, 1u32..20).prop_flat_map(|(users, projects)| {

@@ -150,7 +150,14 @@ mod tests {
         let mut v = VerdictSet::new("fig16");
         v.check_above("median-age", "138 days > 90-day window", 120.0, 90.0);
         v.check_between("share", "~16%", 0.17, 0.10, 0.25);
-        v.check_order("reads-burstier", "read c_v ~100x lower", "write", 0.3, "read", 0.003);
+        v.check_order(
+            "reads-burstier",
+            "read c_v ~100x lower",
+            "write",
+            0.3,
+            "read",
+            0.003,
+        );
         assert!(v.all_pass());
         assert!(v.failures().is_empty());
 
@@ -162,7 +169,12 @@ mod tests {
     #[test]
     fn markdown_rendering() {
         let mut v = VerdictSet::new("table3");
-        v.check("one-giant", "a single giant component", "1 component at 72%", true);
+        v.check(
+            "one-giant",
+            "a single giant component",
+            "1 component at 72%",
+            true,
+        );
         let md = v.to_markdown();
         assert!(md.contains("### table3"));
         assert!(md.contains("| one-giant | a single giant component | 1 component at 72% | PASS |"));

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = SimConfig::default().with_scale(0.5).with_days(70).with_seed(9);
+        let c = SimConfig::default()
+            .with_scale(0.5)
+            .with_days(70)
+            .with_seed(9);
         assert_eq!(c.scale, 0.5);
         assert_eq!(c.days, 70);
         assert_eq!(c.seed, 9);

@@ -55,7 +55,9 @@ enum Event {
     Write(InodeId),
     Read(InodeId),
     Touch(InodeId),
-    Delete { ino: InodeId },
+    Delete {
+        ino: InodeId,
+    },
 }
 
 /// Per-project runtime state.
@@ -120,7 +122,12 @@ impl Simulation {
             for member in &project.members {
                 let user = &population.users[member.0 as usize];
                 let user_dir = fs
-                    .mkdir(proj_dir, &format!("u{}", user.uid), Uid(user.uid), Gid(project.gid))
+                    .mkdir(
+                        proj_dir,
+                        &format!("u{}", user.uid),
+                        Uid(user.uid),
+                        Gid(project.gid),
+                    )
                     .expect("member uids are unique within a project");
                 campaign_dirs.push(user_dir);
             }
@@ -296,9 +303,11 @@ impl Simulation {
         let mut n_new = 0u64;
         for d in 0..interval_days {
             let state = &self.states[pi];
-            n_new += state
-                .behavior
-                .files_for_day(ramp_day.saturating_sub(interval_days - 1 - d), surge, &mut self.rng);
+            n_new += state.behavior.files_for_day(
+                ramp_day.saturating_sub(interval_days - 1 - d),
+                surge,
+                &mut self.rng,
+            );
         }
 
         // Directory budget to hold the week's files at the domain's
@@ -309,18 +318,18 @@ impl Simulation {
         for _ in 0..n_new {
             let offset = state.behavior.write_offset(&mut self.rng, week_secs as f64) as u64;
             let dir = *pick(&mut self.rng, &state.campaign_dirs);
-            let name = state.behavior.extensions.sample_name(&mut self.rng, state.serial);
+            let name = state
+                .behavior
+                .extensions
+                .sample_name(&mut self.rng, state.serial);
             state.serial += 1;
-            let member_idx = spider_workload::rng::weighted_choice(
-                &mut self.rng,
-                &state.member_weights,
-            )
-            .expect("projects have members");
+            let member_idx =
+                spider_workload::rng::weighted_choice(&mut self.rng, &state.member_weights)
+                    .expect("projects have members");
             let member = project.members[member_idx];
             let uid = spider_workload::population::UID_BASE + member.0;
             let stripe = state.behavior.sample_stripe(&mut self.rng);
-            let reference =
-                self.rng.random_range(0.0..1.0) < state.behavior.reference_fraction;
+            let reference = self.rng.random_range(0.0..1.0) < state.behavior.reference_fraction;
             events.push((
                 week_start + offset,
                 Event::Create {
@@ -359,19 +368,19 @@ impl Simulation {
             })
             .collect();
         for ino in ref_inos {
-            let offset =
-                state
-                    .behavior
-                    .read_offset(&mut self.rng, week_secs as f64, session_center) as u64;
+            let offset = state
+                .behavior
+                .read_offset(&mut self.rng, week_secs as f64, session_center)
+                as u64;
             events.push((week_start + offset, Event::Read(ino)));
         }
         let n_recent_reads = (state.recent_files.len() as f64 * 0.04) as usize;
         for _ in 0..n_recent_reads {
             let ino = *pick(&mut self.rng, &state.recent_files);
-            let offset =
-                state
-                    .behavior
-                    .read_offset(&mut self.rng, week_secs as f64, session_center) as u64;
+            let offset = state
+                .behavior
+                .read_offset(&mut self.rng, week_secs as f64, session_center)
+                as u64;
             events.push((week_start + offset, Event::Read(ino)));
         }
 
@@ -403,8 +412,7 @@ impl Simulation {
     fn ensure_directories(&mut self, pi: usize, project: &Project, incoming_files: u64) {
         let state = &mut self.states[pi];
         let df = state.behavior.dir_fraction.clamp(0.01, 0.95);
-        let target_dirs =
-            ((state.files_created + incoming_files) as f64 * df / (1.0 - df)) as u64;
+        let target_dirs = ((state.files_created + incoming_files) as f64 * df / (1.0 - df)) as u64;
         let mut to_create = target_dirs.saturating_sub(state.dirs_created);
         // Always keep at least one active campaign dir beyond the user
         // dirs once files start flowing.
@@ -458,7 +466,9 @@ impl Simulation {
             state.dirs_created += 1;
         }
         // A single marker file at the bottom, as a stress test would leave.
-        let _ = self.fs.create(cur, "probe.log", Uid(uid), Gid(project.gid), None);
+        let _ = self
+            .fs
+            .create(cur, "probe.log", Uid(uid), Gid(project.gid), None);
     }
 
     fn execute(&mut self, event: Event) -> Result<Option<Outcome>, FsError> {
@@ -508,9 +518,10 @@ impl Simulation {
             let fs = &self.fs;
             state.live_files.retain(|&ino| fs.inode(ino).is_ok());
             state.reference_files.retain(|&ino| fs.inode(ino).is_ok());
-            let keep_from = state.recent_files.len().saturating_sub(
-                (state.behavior.base_daily_files * 28.0) as usize + 64,
-            );
+            let keep_from = state
+                .recent_files
+                .len()
+                .saturating_sub((state.behavior.base_daily_files * 28.0) as usize + 64);
             state.recent_files.drain(..keep_from);
             state.recent_files.retain(|&ino| fs.inode(ino).is_ok());
 
@@ -565,7 +576,11 @@ mod tests {
         // project dirs + user dirs + root
         let expected_dirs: u64 = 1
             + pop.project_count() as u64
-            + pop.projects.iter().map(|p| p.members.len() as u64).sum::<u64>();
+            + pop
+                .projects
+                .iter()
+                .map(|p| p.members.len() as u64)
+                .sum::<u64>();
         assert_eq!(fs.dir_count(), expected_dirs);
         assert_eq!(fs.file_count(), 0);
     }
@@ -628,7 +643,11 @@ mod tests {
                 sim.run_week();
             }
             let snap = sim.snapshot(0);
-            (snap.len(), snap.records().first().cloned(), sim.total_created)
+            (
+                snap.len(),
+                snap.records().first().cloned(),
+                sim.total_created,
+            )
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -682,19 +701,10 @@ mod tests {
             sim.run_week();
         }
         let snap = sim.snapshot(0);
-        let max_depth = snap
-            .records()
-            .iter()
-            .map(|r| r.depth())
-            .max()
-            .unwrap_or(0);
+        let max_depth = snap.records().iter().map(|r| r.depth()).max().unwrap_or(0);
         assert!(max_depth > 500, "max depth {max_depth}");
         // And the probe file sits at the bottom of a very long path.
-        let deepest = snap
-            .records()
-            .iter()
-            .max_by_key(|r| r.depth())
-            .unwrap();
+        let deepest = snap.records().iter().max_by_key(|r| r.depth()).unwrap();
         assert!(deepest.path.len() > 2_000);
     }
 
@@ -718,9 +728,7 @@ mod tests {
         }
         assert!(last.live_files > 0);
         // Deleted + purged never exceeds created.
-        let total_removed: u64 = sim
-            .file_system()
-            .unlinked_files();
+        let total_removed: u64 = sim.file_system().unlinked_files();
         assert!(total_removed <= sim.total_created());
     }
 

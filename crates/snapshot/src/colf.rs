@@ -252,7 +252,13 @@ mod tests {
     fn sample_snapshot(n: usize) -> Snapshot {
         let records: Vec<SnapshotRecord> = (0..n)
             .map(|i| SnapshotRecord {
-                path: format!("/lustre/atlas1/proj{:03}/user{:02}/run{}/f.{:08}", i % 7, i % 13, i % 3, i),
+                path: format!(
+                    "/lustre/atlas1/proj{:03}/user{:02}/run{}/f.{:08}",
+                    i % 7,
+                    i % 13,
+                    i % 3,
+                    i
+                ),
                 atime: 1_460_000_000 + i as u64 * 37,
                 ctime: 1_450_000_000 + i as u64 * 11,
                 mtime: 1_450_000_000 + i as u64 * 13,
@@ -263,7 +269,9 @@ mod tests {
                 osts: if i % 10 == 0 {
                     vec![]
                 } else {
-                    (0..4).map(|k| ((i * 4 + k) as u16 % 2016, (i * 7 + k) as u32)).collect()
+                    (0..4)
+                        .map(|k| ((i * 4 + k) as u16 % 2016, (i * 7 + k) as u32))
+                        .collect()
                 },
             })
             .collect();

@@ -251,7 +251,10 @@ mod tests {
     fn empty_snapshots() {
         let empty = Snapshot::new(0, 0, vec![]);
         let one = Snapshot::new(7, 0, vec![rec("/a", 1, 1, 1)]);
-        assert_eq!(SnapshotDiff::compute(&empty, &empty).breakdown(), AccessBreakdown::default());
+        assert_eq!(
+            SnapshotDiff::compute(&empty, &empty).breakdown(),
+            AccessBreakdown::default()
+        );
         assert_eq!(SnapshotDiff::compute(&empty, &one).breakdown().new, 1);
         assert_eq!(SnapshotDiff::compute(&one, &empty).breakdown().deleted, 1);
     }
@@ -297,11 +300,8 @@ mod tests {
         );
         let diff = SnapshotDiff::compute(&old, &new);
         let b = diff.breakdown();
-        let mut union: std::collections::BTreeSet<String> = old
-            .records()
-            .iter()
-            .map(|r| r.path.clone())
-            .collect();
+        let mut union: std::collections::BTreeSet<String> =
+            old.records().iter().map(|r| r.path.clone()).collect();
         union.extend(new.records().iter().map(|r| r.path.clone()));
         assert_eq!(
             b.new + b.deleted + b.readonly + b.updated + b.untouched,

@@ -186,7 +186,11 @@ mod tests {
             1_421_000_000,
             vec![
                 mk("/lustre/atlas1/p", 0o040770, vec![]),
-                mk("/lustre/atlas1/p/f.dat", 0o100664, vec![(755, 0x190da77), (720, 0x19d4fe1)]),
+                mk(
+                    "/lustre/atlas1/p/f.dat",
+                    0o100664,
+                    vec![(755, 0x190da77), (720, 0x19d4fe1)],
+                ),
                 mk("/lustre/atlas1/p/g", 0o100600, vec![(3, 0xabc)]),
             ],
         )

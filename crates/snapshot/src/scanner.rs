@@ -56,8 +56,10 @@ mod tests {
         let root = fs.root();
         let proj = fs.mkdir(root, "bip001", Uid(0), Gid(100)).unwrap();
         let user = fs.mkdir(proj, "u17", Uid(17), Gid(100)).unwrap();
-        fs.create(user, "traj.bz2", Uid(17), Gid(100), None).unwrap();
-        fs.create(user, "traj.xyz", Uid(17), Gid(100), Some(8)).unwrap();
+        fs.create(user, "traj.bz2", Uid(17), Gid(100), None)
+            .unwrap();
+        fs.create(user, "traj.xyz", Uid(17), Gid(100), Some(8))
+            .unwrap();
         fs
     }
 

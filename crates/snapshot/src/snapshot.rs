@@ -26,7 +26,11 @@ impl Snapshot {
     pub fn new(day: u32, taken_at: u64, mut records: Vec<SnapshotRecord>) -> Self {
         records.sort_unstable_by(|a, b| a.path.cmp(&b.path));
         for w in records.windows(2) {
-            assert_ne!(w[0].path, w[1].path, "duplicate path in snapshot: {}", w[0].path);
+            assert_ne!(
+                w[0].path, w[1].path,
+                "duplicate path in snapshot: {}",
+                w[0].path
+            );
         }
         Snapshot {
             day,
@@ -130,7 +134,11 @@ mod tests {
         let s = Snapshot::new(
             0,
             100,
-            vec![rec("/b", 0o100644), rec("/a", 0o100644), rec("/c", 0o040755)],
+            vec![
+                rec("/b", 0o100644),
+                rec("/a", 0o100644),
+                rec("/c", 0o040755),
+            ],
         );
         let paths: Vec<&str> = s.records().iter().map(|r| r.path.as_str()).collect();
         assert_eq!(paths, vec!["/a", "/b", "/c"]);

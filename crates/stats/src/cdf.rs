@@ -128,10 +128,7 @@ mod tests {
     fn steps_collapse_duplicates() {
         let c = EmpiricalCdf::new(vec![1.0, 1.0, 1.0, 2.0, 3.0, 3.0]);
         let steps = c.steps();
-        assert_eq!(
-            steps,
-            vec![(1.0, 0.5), (2.0, 4.0 / 6.0), (3.0, 1.0)]
-        );
+        assert_eq!(steps, vec![(1.0, 0.5), (2.0, 4.0 / 6.0), (3.0, 1.0)]);
     }
 
     #[test]

@@ -176,10 +176,7 @@ mod tests {
             h.push(v);
         }
         assert_eq!(h.zeros(), 1);
-        assert_eq!(
-            h.buckets(),
-            vec![(1, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]
-        );
+        assert_eq!(h.buckets(), vec![(1, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]);
         assert_eq!(h.total(), 9);
     }
 

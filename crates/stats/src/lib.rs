@@ -30,6 +30,7 @@ pub mod linreg;
 pub mod moments;
 pub mod powerlaw;
 pub mod quantile;
+pub mod sketch;
 pub mod timeseries;
 
 pub use cdf::EmpiricalCdf;
@@ -38,4 +39,5 @@ pub use linreg::LinearFit;
 pub use moments::StreamingMoments;
 pub use powerlaw::PowerLawFit;
 pub use quantile::{FiveNumber, Quantiles};
+pub use sketch::QuantileSketch;
 pub use timeseries::TimeSeries;

@@ -46,7 +46,11 @@ impl LinearFit {
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
-        let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        let r2 = if syy == 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
         Some(LinearFit {
             slope,
             intercept,

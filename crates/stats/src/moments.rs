@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn merge_matches_single_pass() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0 + 500.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64).sin() * 100.0 + 500.0)
+            .collect();
         let whole = StreamingMoments::from_slice(&data);
         let mut left = StreamingMoments::from_slice(&data[..317]);
         let right = StreamingMoments::from_slice(&data[317..]);

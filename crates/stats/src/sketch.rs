@@ -1,0 +1,229 @@
+//! Mergeable quantile sketch for one-pass multi-aggregate scans.
+//!
+//! The exact [`crate::Quantiles`] needs every sample in memory and a sort;
+//! that is fine per-analysis, but the fused scan engine computes many
+//! aggregates per group in a single morsel-driven pass, where per-group
+//! accumulators must be small, cheap to update, and **exactly mergeable**
+//! (the morsel tree merges shards pairwise, and parallel and sequential
+//! engines must agree bit-for-bit).
+//!
+//! [`QuantileSketch`] is a DDSketch-style log-bucketed histogram: positive
+//! values land in bucket `ceil(ln(v) / ln(γ))`, which bounds the relative
+//! error of any reported quantile by `(γ − 1) / (γ + 1)`. Buckets hold
+//! integer counts, so merging is exact addition — the sketch of a
+//! concatenation equals the merge of the sketches, independent of split
+//! points. Zero and negative values are clamped into a dedicated zero
+//! bucket (snapshot-frame values — ages, depths, stripe widths — are
+//! non-negative); NaN is ignored.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default relative-error bound (1%): `γ = (1 + ε) / (1 − ε)`.
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// A mergeable, bounded-relative-error quantile sketch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Configured relative-error bound ε.
+    relative_error: f64,
+    /// log(γ) for the bucket mapping, derived from ε.
+    gamma_ln: f64,
+    /// Count of values ≤ 0 (clamped to the "zero" bucket).
+    zero_count: u64,
+    /// Total count of ingested (non-NaN) values.
+    count: u64,
+    /// Log-bucket index → count. BTreeMap keeps quantile walks ordered
+    /// and makes equality/merge deterministic.
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_RELATIVE_ERROR)
+    }
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with the given relative-error bound ε (clamped to
+    /// `[1e-6, 0.5]`).
+    pub fn new(relative_error: f64) -> Self {
+        let eps = relative_error.clamp(1e-6, 0.5);
+        let gamma = (1.0 + eps) / (1.0 - eps);
+        QuantileSketch {
+            relative_error: eps,
+            gamma_ln: gamma.ln(),
+            zero_count: 0,
+            count: 0,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn relative_error(&self) -> f64 {
+        self.relative_error
+    }
+
+    /// Number of ingested values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the sketch has seen no values.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Ingests one value. Values ≤ 0 land in the zero bucket; NaN is
+    /// dropped.
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count += 1;
+        if v <= 0.0 {
+            self.zero_count += 1;
+        } else {
+            let idx = (v.ln() / self.gamma_ln).ceil() as i32;
+            *self.buckets.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Merges another sketch into this one. Exact: bucket counts add, so
+    /// `sketch(a ++ b) == merge(sketch(a), sketch(b))`. Both sketches must
+    /// share the same ε (debug-asserted).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        debug_assert_eq!(
+            self.relative_error, other.relative_error,
+            "merging quantile sketches with different error bounds"
+        );
+        self.count += other.count;
+        self.zero_count += other.zero_count;
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+    }
+
+    /// The value of bucket `idx`: the log-midpoint `2 γ^idx / (γ + 1)`,
+    /// within ε relative error of every value mapped to the bucket.
+    fn bucket_value(&self, idx: i32) -> f64 {
+        let gamma = self.gamma_ln.exp();
+        2.0 * (idx as f64 * self.gamma_ln).exp() / (gamma + 1.0)
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), or `None` when empty or `q` is
+    /// out of range. Positive results carry at most ε relative error;
+    /// ranks falling in the zero bucket return exactly `0.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // 0-based rank of the requested order statistic.
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        if rank < self.zero_count {
+            return Some(0.0);
+        }
+        let mut cum = self.zero_count;
+        for (&idx, &c) in &self.buckets {
+            cum += c;
+            if rank < cum {
+                return Some(self.bucket_value(idx));
+            }
+        }
+        // Unreachable when counts are consistent; fall back to the top
+        // bucket defensively.
+        self.buckets
+            .last_key_value()
+            .map(|(&idx, _)| self.bucket_value(idx))
+            .or(Some(0.0))
+    }
+
+    /// The median, within ε relative error.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: f64, want: f64, eps: f64) {
+        if want == 0.0 {
+            assert_eq!(got, 0.0);
+        } else {
+            let rel = (got - want).abs() / want;
+            assert!(rel <= eps, "got {got}, want {want} (rel err {rel})");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::default();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.median(), None);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut s = QuantileSketch::new(0.01);
+        for i in 1..=10_000u32 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.count(), 10_000);
+        for (q, want) in [(0.0, 1.0), (0.25, 2_500.0), (0.5, 5_000.0), (1.0, 10_000.0)] {
+            // 2ε slack: ε from the bucket plus the rank-rounding step.
+            assert_close(s.quantile(q).unwrap(), want, 0.025);
+        }
+    }
+
+    #[test]
+    fn zeros_and_negatives_land_in_zero_bucket() {
+        let mut s = QuantileSketch::default();
+        for v in [-3.0, 0.0, 0.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_close(s.quantile(1.0).unwrap(), 5.0, 0.01);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut s = QuantileSketch::default();
+        s.push(f64::NAN);
+        s.push(2.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn merge_equals_sketch_of_concatenation_exactly() {
+        let a: Vec<f64> = (0..500).map(|i| (i % 37) as f64).collect();
+        let b: Vec<f64> = (0..700).map(|i| (i * i % 113) as f64).collect();
+        let mut whole = QuantileSketch::default();
+        for &v in a.iter().chain(&b) {
+            whole.push(v);
+        }
+        let mut left = QuantileSketch::default();
+        a.iter().for_each(|&v| left.push(v));
+        let mut right = QuantileSketch::default();
+        b.iter().for_each(|&v| right.push(v));
+        left.merge(&right);
+        // PartialEq over the full bucket state: merge is exact, not
+        // approximate.
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn median_of_skewed_data() {
+        let mut s = QuantileSketch::new(0.01);
+        // Log-uniform spread over six decades — the regime log buckets
+        // are built for.
+        for i in 0..6_000u32 {
+            s.push(10f64.powf(i as f64 / 1_000.0));
+        }
+        let m = s.median().unwrap();
+        assert_close(m, 10f64.powf(3.0), 0.03);
+    }
+}

@@ -87,11 +87,7 @@ impl TimeSeries {
 
     /// Linear trend over the series.
     pub fn trend(&self) -> Option<LinearFit> {
-        let pts: Vec<(f64, f64)> = self
-            .points
-            .iter()
-            .map(|&(d, v)| (d as f64, v))
-            .collect();
+        let pts: Vec<(f64, f64)> = self.points.iter().map(|&(d, v)| (d as f64, v)).collect();
         LinearFit::fit(&pts)
     }
 
@@ -176,7 +172,9 @@ mod tests {
     fn fraction_exceeding_threshold() {
         // 6 of 8 weeks above 90 days.
         let s = TimeSeries::from_points(
-            (0..8).map(|i| (i * 7, if i < 6 { 120.0 } else { 80.0 })).collect(),
+            (0..8)
+                .map(|i| (i * 7, if i < 6 { 120.0 } else { 80.0 }))
+                .collect(),
         );
         assert!((s.fraction_exceeding(90.0) - 0.75).abs() < 1e-12);
     }

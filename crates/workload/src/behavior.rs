@@ -200,9 +200,7 @@ impl ExtensionMix {
 }
 
 fn rare_fraction_of(mix: &ExtensionMix) -> f64 {
-    (1.0 - mix.cumulative.last().copied().unwrap_or(0.0)
-        - mix.bare_fraction
-        - mix.numeric_fraction)
+    (1.0 - mix.cumulative.last().copied().unwrap_or(0.0) - mix.bare_fraction - mix.numeric_fraction)
         .max(0.0)
 }
 
@@ -278,8 +276,7 @@ impl ProjectBehavior {
         // growth_multiplier over the window is 3x the base rate, so:
         //   total = base_daily * 3 * OBSERVATION_DAYS
         let total_entries = project.volume_k * 1_000.0 * scale;
-        let base_daily_files =
-            (total_entries / (3.0 * OBSERVATION_DAYS as f64)).max(0.001);
+        let base_daily_files = (total_entries / (3.0 * OBSERVATION_DAYS as f64)).max(0.001);
 
         let write_cv = profile.write_cv.unwrap_or(0.05);
         let read_cv = profile.read_cv.unwrap_or(0.001).max(1e-4);
@@ -295,8 +292,7 @@ impl ProjectBehavior {
                 let max_stripe = (level * 8).clamp(8, 1_008);
                 // Mean tuned stripe under log-uniform [8, max]:
                 let mean_tuned = ((8.0 * max_stripe as f64).sqrt()).max(8.0);
-                let fraction =
-                    ((level as f64 - 4.0) / (mean_tuned - 4.0)).clamp(0.02, 0.6);
+                let fraction = ((level as f64 - 4.0) / (mean_tuned - 4.0)).clamp(0.02, 0.6);
                 Some(StripeTuning {
                     tuned_fraction: fraction,
                     min_stripe: 8,
@@ -429,7 +425,10 @@ mod tests {
             .volume_k
             * 1_000.0
             * 0.001;
-        assert!((total - expected).abs() / expected < 0.02, "{total} vs {expected}");
+        assert!(
+            (total - expected).abs() / expected < 0.02,
+            "{total} vs {expected}"
+        );
     }
 
     #[test]

@@ -6,22 +6,80 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)] // variants are the paper's own domain ids
 pub enum ScienceDomain {
-    Aph, Ard, Ast, Atm, Bif, Bio, Bip, Chm, Chp, Cli, Cmb, Cph, Csc, Env,
-    Fus, Gen, Geo, Hep, Lgt, Lsc, Mat, Med, Mph, Nel, Nfi, Nfu, Nph, Nro,
-    Nti, Phy, Pss, Stf, Syb, Tur, Ven,
+    Aph,
+    Ard,
+    Ast,
+    Atm,
+    Bif,
+    Bio,
+    Bip,
+    Chm,
+    Chp,
+    Cli,
+    Cmb,
+    Cph,
+    Csc,
+    Env,
+    Fus,
+    Gen,
+    Geo,
+    Hep,
+    Lgt,
+    Lsc,
+    Mat,
+    Med,
+    Mph,
+    Nel,
+    Nfi,
+    Nfu,
+    Nph,
+    Nro,
+    Nti,
+    Phy,
+    Pss,
+    Stf,
+    Syb,
+    Tur,
+    Ven,
 }
 
 /// All 35 domains in Table 1 order.
 pub const ALL_DOMAINS: [ScienceDomain; 35] = [
-    ScienceDomain::Aph, ScienceDomain::Ard, ScienceDomain::Ast, ScienceDomain::Atm,
-    ScienceDomain::Bif, ScienceDomain::Bio, ScienceDomain::Bip, ScienceDomain::Chm,
-    ScienceDomain::Chp, ScienceDomain::Cli, ScienceDomain::Cmb, ScienceDomain::Cph,
-    ScienceDomain::Csc, ScienceDomain::Env, ScienceDomain::Fus, ScienceDomain::Gen,
-    ScienceDomain::Geo, ScienceDomain::Hep, ScienceDomain::Lgt, ScienceDomain::Lsc,
-    ScienceDomain::Mat, ScienceDomain::Med, ScienceDomain::Mph, ScienceDomain::Nel,
-    ScienceDomain::Nfi, ScienceDomain::Nfu, ScienceDomain::Nph, ScienceDomain::Nro,
-    ScienceDomain::Nti, ScienceDomain::Phy, ScienceDomain::Pss, ScienceDomain::Stf,
-    ScienceDomain::Syb, ScienceDomain::Tur, ScienceDomain::Ven,
+    ScienceDomain::Aph,
+    ScienceDomain::Ard,
+    ScienceDomain::Ast,
+    ScienceDomain::Atm,
+    ScienceDomain::Bif,
+    ScienceDomain::Bio,
+    ScienceDomain::Bip,
+    ScienceDomain::Chm,
+    ScienceDomain::Chp,
+    ScienceDomain::Cli,
+    ScienceDomain::Cmb,
+    ScienceDomain::Cph,
+    ScienceDomain::Csc,
+    ScienceDomain::Env,
+    ScienceDomain::Fus,
+    ScienceDomain::Gen,
+    ScienceDomain::Geo,
+    ScienceDomain::Hep,
+    ScienceDomain::Lgt,
+    ScienceDomain::Lsc,
+    ScienceDomain::Mat,
+    ScienceDomain::Med,
+    ScienceDomain::Mph,
+    ScienceDomain::Nel,
+    ScienceDomain::Nfi,
+    ScienceDomain::Nfu,
+    ScienceDomain::Nph,
+    ScienceDomain::Nro,
+    ScienceDomain::Nti,
+    ScienceDomain::Phy,
+    ScienceDomain::Pss,
+    ScienceDomain::Stf,
+    ScienceDomain::Syb,
+    ScienceDomain::Tur,
+    ScienceDomain::Ven,
 ];
 
 impl ScienceDomain {

@@ -199,7 +199,10 @@ mod tests {
         let langs: std::collections::HashSet<&str> =
             LANGUAGE_EXTENSIONS.iter().map(|(_, l)| *l).collect();
         for lang in langs {
-            assert!(crate::languages::primary_extension(lang).is_some(), "{lang}");
+            assert!(
+                crate::languages::primary_extension(lang).is_some(),
+                "{lang}"
+            );
         }
     }
 }

@@ -237,17 +237,16 @@ impl<'a> Generator<'a> {
                         .copied()
                         .filter(|&i| i != home && self.projects[i].domain == home_domain)
                         .collect();
-                    let pool: Vec<usize> = if !same_domain.is_empty()
-                        && self.rng.random_range(0.0..1.0) < 0.5
-                    {
-                        same_domain
-                    } else {
-                        networked_projects
-                            .iter()
-                            .copied()
-                            .filter(|&i| i != home)
-                            .collect()
-                    };
+                    let pool: Vec<usize> =
+                        if !same_domain.is_empty() && self.rng.random_range(0.0..1.0) < 0.5 {
+                            same_domain
+                        } else {
+                            networked_projects
+                                .iter()
+                                .copied()
+                                .filter(|&i| i != home)
+                                .collect()
+                        };
                     if !pool.is_empty() {
                         let target = pool[self.rng.random_range(0..pool.len())];
                         if !self.projects[target].members.contains(&user) {
@@ -278,8 +277,7 @@ impl<'a> Generator<'a> {
 
     fn generate_domain(&mut self, prof: &DomainProfile) {
         let count = ((prof.projects as f64 * self.config.project_scale).round() as u32).max(1);
-        let networked_count =
-            ((count as f64) * prof.network_pct / 100.0).round() as u32;
+        let networked_count = ((count as f64) * prof.network_pct / 100.0).round() as u32;
         // Zipf split of the domain's volume across its projects: the
         // first allocation dominates (the paper's 505 M / 372 M outliers).
         let zipf_weights: Vec<f64> = (1..=count as usize)
@@ -293,8 +291,7 @@ impl<'a> Generator<'a> {
             let project_id = ProjectId(self.projects.len() as u32);
             let gid = GID_BASE + project_id.0;
             let name = format!("{}{:03}", prof.domain.id(), serial + 1);
-            let volume_k =
-                prof.entries_k * zipf_weights[serial as usize] / weight_total;
+            let volume_k = prof.entries_k * zipf_weights[serial as usize] / weight_total;
 
             let mut members = Vec::with_capacity(team_size as usize);
             for slot in 0..team_size {
@@ -359,9 +356,7 @@ impl<'a> Generator<'a> {
     fn pick_networked(&mut self, prof: &DomainProfile, members: &[UserId]) -> Option<UserId> {
         let domain_bias = (prof.collab_pct / 50.0).min(0.9);
         let from_domain = self.rng.random_range(0.0..1.0) < domain_bias;
-        let pool: &[UserId] = if from_domain
-            && !self.domain_users[prof.domain.index()].is_empty()
-        {
+        let pool: &[UserId] = if from_domain && !self.domain_users[prof.domain.index()].is_empty() {
             &self.domain_users[prof.domain.index()]
         } else {
             &self.networked_users
@@ -520,8 +515,7 @@ mod tests {
     fn collaboration_domains_have_larger_teams() {
         let pop = default_pop();
         let median_team = |d: ScienceDomain| {
-            let mut sizes: Vec<usize> =
-                pop.domain_projects(d).map(|p| p.members.len()).collect();
+            let mut sizes: Vec<usize> = pop.domain_projects(d).map(|p| p.members.len()).collect();
             sizes.sort_unstable();
             sizes[sizes.len() / 2]
         };

@@ -83,76 +83,531 @@ macro_rules! profile {
 
 /// The full calibration table, in Table 1 order.
 pub static PROFILES: [DomainProfile; 35] = [
-    profile!(Aph, 4, 3_367.0, [10, 22], [("h5", 1.3), ("png", 1.1), ("py", 0.7)],
-        ["Python", "C"], 4, Some(0.052), Some(0.001), 0.00, 0.02, 2, 0.15),
-    profile!(Ard, 16, 39_443.0, [10, 24], [("png", 11.0), ("gz", 8.3), ("dat", 4.2)],
-        ["Python", "C"], 4, Some(0.209), Some(0.002), 43.75, 0.60, 3, 0.15),
-    profile!(Ast, 15, 75_365.0, [9, 24], [("bin", 3.5), ("txt", 2.0), ("ascii", 1.8)],
-        ["Python", "C"], 122, Some(0.247), Some(0.002), 20.00, 1.95, 3, 0.12),
-    profile!(Atm, 4, 4_959.0, [15, 18], [("png", 8.4), ("o", 8.3), ("svn-base", 6.4)],
-        ["Fortran", "C"], 4, None, None, 50.00, 0.24, 2, 0.90),
-    profile!(Bif, 5, 243_339.0, [9, 23], [("fasta", 41.3), ("fa", 23.1), ("sif", 9.2)],
-        ["Prolog", "Matlab"], 4, Some(0.295), Some(0.002), 40.00, 0.56, 3, 0.08),
-    profile!(Bio, 3, 62_009.0, [10, 18], [("pdbqt", 97.6), ("coor", 0.2), ("xsc", 0.2)],
-        ["C++", "C"], 4, Some(0.104), Some(0.001), 66.67, 0.10, 3, 0.02),
-    profile!(Bip, 37, 595_564.0, [11, 67], [("bz2", 54.8), ("xyz", 23.3), ("domtab", 5.4)],
-        ["Python", "C"], 4, Some(0.415), Some(0.003), 40.54, 2.24, 4, 0.08),
-    profile!(Chm, 14, 37_272.0, [8, 17], [("xvg", 21.8), ("txt", 5.7), ("label", 5.5)],
-        ["C", "Fortran"], 4, Some(0.262), Some(0.001), 50.00, 0.25, 3, 0.15),
-    profile!(Chp, 2, 379_867.0, [8, 21], [("xyz", 63.4), ("GraphGeod", 16.6), ("Graph", 16.5)],
-        ["C", "Python"], 4, Some(0.397), Some(0.003), 100.00, 2.09, 11, 0.05),
-    profile!(Cli, 21, 211_876.0, [11, 50], [("nc", 40.3), ("mat", 19.3), ("txt", 3.6)],
-        ["Matlab", "C"], 4, Some(0.421), Some(0.003), 76.19, 45.80, 11, 0.12),
-    profile!(Cmb, 24, 254_813.0, [11, 27], [("png", 4.0), ("h5", 2.0), ("gz", 1.6)],
-        ["C", "C++"], 5, Some(0.304), Some(0.003), 66.67, 7.91, 6, 0.12),
-    profile!(Cph, 13, 26_488.0, [10, 30], [("dat", 10.2), ("h5", 4.9), ("gz", 4.0)],
-        ["C", "C++"], 4, Some(0.366), Some(0.002), 46.15, 2.22, 3, 0.15),
-    profile!(Csc, 62, 445_189.0, [15, 40], [("h", 10.3), ("py", 7.8), ("txt", 4.9)],
-        ["C", "Python"], 33, Some(0.267), Some(0.003), 61.29, 38.54, 4, 0.30),
-    profile!(Env, 1, 26_389.0, [11, 24], [("gz", 2.1), ("bp", 0.8), ("def", 0.8)],
-        ["Fortran", "C"], 2, Some(0.511), Some(0.003), 100.00, 1.96, 12, 0.15),
-    profile!(Fus, 16, 92_844.0, [8, 25], [("psc", 13.8), ("gda", 1.0), ("hpp", 0.5)],
-        ["C++", "C"], 13, Some(0.346), Some(0.003), 62.50, 3.70, 5, 0.12),
-    profile!(Gen, 4, 833.0, [10, 432], [("data", 40.4), ("index", 40.2), ("F", 9.5)],
-        ["Fortran", "C"], 4, Some(0.262), Some(0.004), 25.00, 0.06, 2, 0.25),
-    profile!(Geo, 12, 308_767.0, [9, 21], [("sac", 43.0), ("mseed", 14.3), ("xml", 11.9)],
-        ["C", "Fortran"], 29, Some(0.342), Some(0.002), 50.00, 2.44, 4, 0.10),
-    profile!(Hep, 3, 2_181.0, [14, 22], [("0", 3.1), ("svn-base", 1.9), ("py", 1.0)],
-        ["Python", "C"], 4, Some(0.343), Some(0.003), 33.33, 0.45, 2, 0.67),
-    profile!(Lgt, 3, 16_710.0, [10, 20], [("dat", 24.8), ("vml", 11.1), ("actual", 9.4)],
-        ["C", "C++"], 4, Some(0.495), Some(0.003), 33.33, 0.31, 3, 0.15),
-    profile!(Lsc, 4, 30_351.0, [8, 24], [("map", 43.7), ("gpf", 14.8), ("dpf", 8.5)],
-        ["C", "C++"], 4, Some(0.196), Some(0.001), 25.00, 0.30, 3, 0.12),
-    profile!(Mat, 34, 202_809.0, [16, 29], [("dat", 44.2), ("d", 15.9), ("txt", 14.9)],
-        ["Fortran", "Prolog"], 4, Some(0.339), Some(0.003), 58.82, 5.45, 4, 0.15),
-    profile!(Med, 3, 538.0, [7, 18], [("txt", 69.4), ("py", 3.2), ("dat", 2.9)],
-        ["Python", "C"], 4, Some(0.004), Some(0.000), 0.00, 0.00, 2, 0.15),
-    profile!(Mph, 4, 2_267.0, [5, 15], [("out", 17.6), ("vtr", 17.4), ("gen", 13.6)],
-        ["Fortran", "C++"], 4, Some(0.404), Some(0.002), 50.00, 0.22, 2, 0.15),
-    profile!(Nel, 4, 808.0, [11, 17], [("dat", 1.9), ("bin", 1.8), ("o", 1.5)],
-        ["Fortran", "C++"], 4, Some(0.462), Some(0.003), 50.00, 0.18, 2, 0.15),
-    profile!(Nfi, 9, 22_158.0, [11, 26], [("hpp", 8.0), ("cpp", 8.0), ("h", 6.3)],
-        ["C++", "C"], 4, Some(0.338), Some(0.002), 77.78, 14.95, 11, 0.20),
-    profile!(Nfu, 2, 301.0, [11, 14], [("m", 3.9), ("1", 0.7), ("inp", 0.6)],
-        ["Matlab", "C"], 4, Some(0.221), Some(0.001), 100.00, 0.02, 2, 0.15),
-    profile!(Nph, 14, 286_523.0, [7, 23], [("bb", 79.1), ("xml", 1.8), ("vml", 1.6)],
-        ["C", "C++"], 13, Some(0.385), Some(0.003), 92.86, 2.65, 5, 0.05),
-    profile!(Nro, 1, 10_935.0, [9, 19], [("txt", 53.7), ("swc", 19.6), ("log", 15.4)],
-        ["Matlab", "C"], 4, Some(0.361), Some(0.003), 100.00, 0.11, 3, 0.15),
-    profile!(Nti, 6, 3_359.0, [11, 18], [("cif", 3.5), ("POSCAR", 2.3), ("svn-base", 1.9)],
-        ["Fortran", "C"], 4, Some(0.335), Some(0.002), 16.67, 1.09, 2, 0.15),
-    profile!(Phy, 9, 8_155.0, [8, 20], [("rst", 32.6), ("jld", 18.2), ("txt", 13.5)],
-        ["C++", "Fortran"], 5, Some(0.333), Some(0.002), 55.56, 0.53, 3, 0.15),
-    profile!(Pss, 1, 0.09, [3, 4], [("nc", 45.3), ("m", 44.1), ("tar", 6.5)],
-        ["Matlab", "Prolog"], 4, None, Some(0.000), 0.00, 0.00, 2, 0.15),
-    profile!(Stf, 9, 631_468.0, [12, 2030], [("log", 10.3), ("inp", 4.3), ("pn", 3.9)],
-        ["Matlab", "C++"], 7, Some(0.249), Some(0.002), 77.78, 22.61, 18, 0.20),
-    profile!(Syb, 2, 451.0, [8, 17], [("txt", 24.0), ("npy", 10.4), ("c", 5.7)],
-        ["C", "Python"], 4, None, None, 50.00, 0.07, 2, 0.15),
-    profile!(Tur, 9, 320_295.0, [8, 16], [("water", 0.9), ("h5", 0.6), ("vtr", 0.4)],
-        ["Python", "C++"], 44, Some(0.340), Some(0.002), 33.33, 0.30, 4, 0.05),
-    profile!(Ven, 10, 1_271.0, [12, 26], [("hpp", 6.0), ("html", 5.3), ("o", 5.1)],
-        ["C++", "C"], 4, Some(0.082), Some(0.003), 30.00, 1.23, 2, 0.30),
+    profile!(
+        Aph,
+        4,
+        3_367.0,
+        [10, 22],
+        [("h5", 1.3), ("png", 1.1), ("py", 0.7)],
+        ["Python", "C"],
+        4,
+        Some(0.052),
+        Some(0.001),
+        0.00,
+        0.02,
+        2,
+        0.15
+    ),
+    profile!(
+        Ard,
+        16,
+        39_443.0,
+        [10, 24],
+        [("png", 11.0), ("gz", 8.3), ("dat", 4.2)],
+        ["Python", "C"],
+        4,
+        Some(0.209),
+        Some(0.002),
+        43.75,
+        0.60,
+        3,
+        0.15
+    ),
+    profile!(
+        Ast,
+        15,
+        75_365.0,
+        [9, 24],
+        [("bin", 3.5), ("txt", 2.0), ("ascii", 1.8)],
+        ["Python", "C"],
+        122,
+        Some(0.247),
+        Some(0.002),
+        20.00,
+        1.95,
+        3,
+        0.12
+    ),
+    profile!(
+        Atm,
+        4,
+        4_959.0,
+        [15, 18],
+        [("png", 8.4), ("o", 8.3), ("svn-base", 6.4)],
+        ["Fortran", "C"],
+        4,
+        None,
+        None,
+        50.00,
+        0.24,
+        2,
+        0.90
+    ),
+    profile!(
+        Bif,
+        5,
+        243_339.0,
+        [9, 23],
+        [("fasta", 41.3), ("fa", 23.1), ("sif", 9.2)],
+        ["Prolog", "Matlab"],
+        4,
+        Some(0.295),
+        Some(0.002),
+        40.00,
+        0.56,
+        3,
+        0.08
+    ),
+    profile!(
+        Bio,
+        3,
+        62_009.0,
+        [10, 18],
+        [("pdbqt", 97.6), ("coor", 0.2), ("xsc", 0.2)],
+        ["C++", "C"],
+        4,
+        Some(0.104),
+        Some(0.001),
+        66.67,
+        0.10,
+        3,
+        0.02
+    ),
+    profile!(
+        Bip,
+        37,
+        595_564.0,
+        [11, 67],
+        [("bz2", 54.8), ("xyz", 23.3), ("domtab", 5.4)],
+        ["Python", "C"],
+        4,
+        Some(0.415),
+        Some(0.003),
+        40.54,
+        2.24,
+        4,
+        0.08
+    ),
+    profile!(
+        Chm,
+        14,
+        37_272.0,
+        [8, 17],
+        [("xvg", 21.8), ("txt", 5.7), ("label", 5.5)],
+        ["C", "Fortran"],
+        4,
+        Some(0.262),
+        Some(0.001),
+        50.00,
+        0.25,
+        3,
+        0.15
+    ),
+    profile!(
+        Chp,
+        2,
+        379_867.0,
+        [8, 21],
+        [("xyz", 63.4), ("GraphGeod", 16.6), ("Graph", 16.5)],
+        ["C", "Python"],
+        4,
+        Some(0.397),
+        Some(0.003),
+        100.00,
+        2.09,
+        11,
+        0.05
+    ),
+    profile!(
+        Cli,
+        21,
+        211_876.0,
+        [11, 50],
+        [("nc", 40.3), ("mat", 19.3), ("txt", 3.6)],
+        ["Matlab", "C"],
+        4,
+        Some(0.421),
+        Some(0.003),
+        76.19,
+        45.80,
+        11,
+        0.12
+    ),
+    profile!(
+        Cmb,
+        24,
+        254_813.0,
+        [11, 27],
+        [("png", 4.0), ("h5", 2.0), ("gz", 1.6)],
+        ["C", "C++"],
+        5,
+        Some(0.304),
+        Some(0.003),
+        66.67,
+        7.91,
+        6,
+        0.12
+    ),
+    profile!(
+        Cph,
+        13,
+        26_488.0,
+        [10, 30],
+        [("dat", 10.2), ("h5", 4.9), ("gz", 4.0)],
+        ["C", "C++"],
+        4,
+        Some(0.366),
+        Some(0.002),
+        46.15,
+        2.22,
+        3,
+        0.15
+    ),
+    profile!(
+        Csc,
+        62,
+        445_189.0,
+        [15, 40],
+        [("h", 10.3), ("py", 7.8), ("txt", 4.9)],
+        ["C", "Python"],
+        33,
+        Some(0.267),
+        Some(0.003),
+        61.29,
+        38.54,
+        4,
+        0.30
+    ),
+    profile!(
+        Env,
+        1,
+        26_389.0,
+        [11, 24],
+        [("gz", 2.1), ("bp", 0.8), ("def", 0.8)],
+        ["Fortran", "C"],
+        2,
+        Some(0.511),
+        Some(0.003),
+        100.00,
+        1.96,
+        12,
+        0.15
+    ),
+    profile!(
+        Fus,
+        16,
+        92_844.0,
+        [8, 25],
+        [("psc", 13.8), ("gda", 1.0), ("hpp", 0.5)],
+        ["C++", "C"],
+        13,
+        Some(0.346),
+        Some(0.003),
+        62.50,
+        3.70,
+        5,
+        0.12
+    ),
+    profile!(
+        Gen,
+        4,
+        833.0,
+        [10, 432],
+        [("data", 40.4), ("index", 40.2), ("F", 9.5)],
+        ["Fortran", "C"],
+        4,
+        Some(0.262),
+        Some(0.004),
+        25.00,
+        0.06,
+        2,
+        0.25
+    ),
+    profile!(
+        Geo,
+        12,
+        308_767.0,
+        [9, 21],
+        [("sac", 43.0), ("mseed", 14.3), ("xml", 11.9)],
+        ["C", "Fortran"],
+        29,
+        Some(0.342),
+        Some(0.002),
+        50.00,
+        2.44,
+        4,
+        0.10
+    ),
+    profile!(
+        Hep,
+        3,
+        2_181.0,
+        [14, 22],
+        [("0", 3.1), ("svn-base", 1.9), ("py", 1.0)],
+        ["Python", "C"],
+        4,
+        Some(0.343),
+        Some(0.003),
+        33.33,
+        0.45,
+        2,
+        0.67
+    ),
+    profile!(
+        Lgt,
+        3,
+        16_710.0,
+        [10, 20],
+        [("dat", 24.8), ("vml", 11.1), ("actual", 9.4)],
+        ["C", "C++"],
+        4,
+        Some(0.495),
+        Some(0.003),
+        33.33,
+        0.31,
+        3,
+        0.15
+    ),
+    profile!(
+        Lsc,
+        4,
+        30_351.0,
+        [8, 24],
+        [("map", 43.7), ("gpf", 14.8), ("dpf", 8.5)],
+        ["C", "C++"],
+        4,
+        Some(0.196),
+        Some(0.001),
+        25.00,
+        0.30,
+        3,
+        0.12
+    ),
+    profile!(
+        Mat,
+        34,
+        202_809.0,
+        [16, 29],
+        [("dat", 44.2), ("d", 15.9), ("txt", 14.9)],
+        ["Fortran", "Prolog"],
+        4,
+        Some(0.339),
+        Some(0.003),
+        58.82,
+        5.45,
+        4,
+        0.15
+    ),
+    profile!(
+        Med,
+        3,
+        538.0,
+        [7, 18],
+        [("txt", 69.4), ("py", 3.2), ("dat", 2.9)],
+        ["Python", "C"],
+        4,
+        Some(0.004),
+        Some(0.000),
+        0.00,
+        0.00,
+        2,
+        0.15
+    ),
+    profile!(
+        Mph,
+        4,
+        2_267.0,
+        [5, 15],
+        [("out", 17.6), ("vtr", 17.4), ("gen", 13.6)],
+        ["Fortran", "C++"],
+        4,
+        Some(0.404),
+        Some(0.002),
+        50.00,
+        0.22,
+        2,
+        0.15
+    ),
+    profile!(
+        Nel,
+        4,
+        808.0,
+        [11, 17],
+        [("dat", 1.9), ("bin", 1.8), ("o", 1.5)],
+        ["Fortran", "C++"],
+        4,
+        Some(0.462),
+        Some(0.003),
+        50.00,
+        0.18,
+        2,
+        0.15
+    ),
+    profile!(
+        Nfi,
+        9,
+        22_158.0,
+        [11, 26],
+        [("hpp", 8.0), ("cpp", 8.0), ("h", 6.3)],
+        ["C++", "C"],
+        4,
+        Some(0.338),
+        Some(0.002),
+        77.78,
+        14.95,
+        11,
+        0.20
+    ),
+    profile!(
+        Nfu,
+        2,
+        301.0,
+        [11, 14],
+        [("m", 3.9), ("1", 0.7), ("inp", 0.6)],
+        ["Matlab", "C"],
+        4,
+        Some(0.221),
+        Some(0.001),
+        100.00,
+        0.02,
+        2,
+        0.15
+    ),
+    profile!(
+        Nph,
+        14,
+        286_523.0,
+        [7, 23],
+        [("bb", 79.1), ("xml", 1.8), ("vml", 1.6)],
+        ["C", "C++"],
+        13,
+        Some(0.385),
+        Some(0.003),
+        92.86,
+        2.65,
+        5,
+        0.05
+    ),
+    profile!(
+        Nro,
+        1,
+        10_935.0,
+        [9, 19],
+        [("txt", 53.7), ("swc", 19.6), ("log", 15.4)],
+        ["Matlab", "C"],
+        4,
+        Some(0.361),
+        Some(0.003),
+        100.00,
+        0.11,
+        3,
+        0.15
+    ),
+    profile!(
+        Nti,
+        6,
+        3_359.0,
+        [11, 18],
+        [("cif", 3.5), ("POSCAR", 2.3), ("svn-base", 1.9)],
+        ["Fortran", "C"],
+        4,
+        Some(0.335),
+        Some(0.002),
+        16.67,
+        1.09,
+        2,
+        0.15
+    ),
+    profile!(
+        Phy,
+        9,
+        8_155.0,
+        [8, 20],
+        [("rst", 32.6), ("jld", 18.2), ("txt", 13.5)],
+        ["C++", "Fortran"],
+        5,
+        Some(0.333),
+        Some(0.002),
+        55.56,
+        0.53,
+        3,
+        0.15
+    ),
+    profile!(
+        Pss,
+        1,
+        0.09,
+        [3, 4],
+        [("nc", 45.3), ("m", 44.1), ("tar", 6.5)],
+        ["Matlab", "Prolog"],
+        4,
+        None,
+        Some(0.000),
+        0.00,
+        0.00,
+        2,
+        0.15
+    ),
+    profile!(
+        Stf,
+        9,
+        631_468.0,
+        [12, 2030],
+        [("log", 10.3), ("inp", 4.3), ("pn", 3.9)],
+        ["Matlab", "C++"],
+        7,
+        Some(0.249),
+        Some(0.002),
+        77.78,
+        22.61,
+        18,
+        0.20
+    ),
+    profile!(
+        Syb,
+        2,
+        451.0,
+        [8, 17],
+        [("txt", 24.0), ("npy", 10.4), ("c", 5.7)],
+        ["C", "Python"],
+        4,
+        None,
+        None,
+        50.00,
+        0.07,
+        2,
+        0.15
+    ),
+    profile!(
+        Tur,
+        9,
+        320_295.0,
+        [8, 16],
+        [("water", 0.9), ("h5", 0.6), ("vtr", 0.4)],
+        ["Python", "C++"],
+        44,
+        Some(0.340),
+        Some(0.002),
+        33.33,
+        0.30,
+        4,
+        0.05
+    ),
+    profile!(
+        Ven,
+        10,
+        1_271.0,
+        [12, 26],
+        [("hpp", 6.0), ("html", 5.3), ("o", 5.1)],
+        ["C++", "C"],
+        4,
+        Some(0.082),
+        Some(0.003),
+        30.00,
+        1.23,
+        2,
+        0.30
+    ),
 ];
 
 /// The profile for a domain.
@@ -254,7 +709,12 @@ mod tests {
             assert!((0.0..=100.0).contains(&p.collab_pct), "{}", p.domain.id());
         }
         // Fully-networked domains per Table 1.
-        for d in [ScienceDomain::Chp, ScienceDomain::Env, ScienceDomain::Nfu, ScienceDomain::Nro] {
+        for d in [
+            ScienceDomain::Chp,
+            ScienceDomain::Env,
+            ScienceDomain::Nfu,
+            ScienceDomain::Nro,
+        ] {
             assert_eq!(profile(d).network_pct, 100.0, "{}", d.id());
         }
         // Climate science dominates collaboration (Fig. 20).

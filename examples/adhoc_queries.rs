@@ -30,7 +30,10 @@ fn main() {
     // SELECT gid, COUNT(*) FROM snapshot WHERE is_file GROUP BY gid
     // ORDER BY count DESC LIMIT 5;
     println!("-- top 5 projects by live files --");
-    for (gid, count) in Query::over(&frame).files().top_k_groups(|f, i| Some(f.gid[i]), 5) {
+    for (gid, count) in Query::over(&frame)
+        .files()
+        .top_k_groups(|f, i| Some(f.gid[i]), 5)
+    {
         println!(
             "  {:<8} {:>8} files",
             ctx.project_name(gid).unwrap_or("?"),
@@ -68,10 +71,8 @@ fn main() {
 
     // SELECT MAX(depth) GROUP BY domain — the Table 1 depth column.
     println!("\n-- max directory depth per domain (top 5) --");
-    let depths = Query::over(&frame).group_max(
-        |f, i| ctx.domain_of_gid(f.gid[i]),
-        |f, i| f.depth[i] as u64,
-    );
+    let depths =
+        Query::over(&frame).group_max(|f, i| ctx.domain_of_gid(f.gid[i]), |f, i| f.depth[i] as u64);
     let mut rows: Vec<_> = depths.into_iter().collect();
     rows.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
     for (domain, depth) in rows.into_iter().take(5) {

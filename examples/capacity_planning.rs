@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (first_day, first) = growth.files().first().expect("snapshots exist");
     let (last_day, last) = growth.files().last().expect("snapshots exist");
-    println!(
-        "observed: {first:.0} files (day {first_day}) -> {last:.0} files (day {last_day})"
-    );
+    println!("observed: {first:.0} files (day {first_day}) -> {last:.0} files (day {last_day})");
     println!(
         "growth factor {:.2}x over {} days",
         growth.file_growth_factor().unwrap_or(0.0),

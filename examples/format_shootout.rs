@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(colf_decoded, snapshot);
 
     let per_record = |bytes: usize| bytes as f64 / snapshot.len().max(1) as f64;
-    println!("{:<8} {:>12} {:>10} {:>12} {:>12}", "format", "bytes", "B/record", "encode", "decode");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>12}",
+        "format", "bytes", "B/record", "encode", "decode"
+    );
     println!(
         "{:<8} {:>12} {:>10.1} {:>12.2?} {:>12.2?}",
         "psv",

@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut age = FileAgeAnalysis::new();
         let mut advisor = PurgeAdvisor::new();
         stream_store(&store, &mut [&mut age, &mut advisor])?;
-        let end_age = age
-            .mean_age_days()
-            .last()
-            .map(|(_, v)| v)
-            .unwrap_or(0.0);
+        let end_age = age.mean_age_days().last().map(|(_, v)| v).unwrap_or(0.0);
         let median_age = age.median_of_means().unwrap_or(0.0);
 
         println!(

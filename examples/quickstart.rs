@@ -61,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     by_volume.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     for (domain, count) in by_volume.into_iter().take(5) {
-        println!("  {:<4} {:>9} entries  ({})", domain.id(), count, domain.name());
+        println!(
+            "  {:<4} {:>9} entries  ({})",
+            domain.id(),
+            count,
+            domain.name()
+        );
     }
 
     std::fs::remove_dir_all(&dir)?;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint, format — in that order, fail-fast.
+#
+# The full gate needs the crates registry (crates.io or a mirror) to
+# fetch third-party dependencies. Environments without registry access
+# degrade to the subset that runs without it (rustfmt) and say so
+# loudly instead of failing on a DNS error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if timeout 90 cargo fetch --quiet 2>/dev/null; then
+    echo "== cargo build --release"
+    cargo build --release
+    echo "== cargo test -q"
+    cargo test -q
+    echo "== cargo clippy --all-targets (deny warnings)"
+    cargo clippy --all-targets -- -D warnings
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+    echo "tier-1 gate: PASS"
+else
+    echo "WARNING: crates registry unreachable; running the offline subset only." >&2
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+    echo "tier-1 gate: OFFLINE (fmt only) — rerun with registry access for the full gate" >&2
+fi

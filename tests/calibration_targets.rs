@@ -42,7 +42,11 @@ fn membership_graph_has_paper_structure() {
     );
 
     // A fringe of many small components (paper: 160 total, 60%+ pairs).
-    assert!(components.count() >= 30, "{} components", components.count());
+    assert!(
+        components.count() >= 30,
+        "{} components",
+        components.count()
+    );
     let pairs = components
         .size_distribution()
         .iter()
@@ -92,7 +96,9 @@ fn volume_split_reproduces_heavy_projects() {
     assert!(volumes[0].0 > 100_000.0, "top project {volumes:?}");
     let top5_domains: Vec<&str> = volumes[..5].iter().map(|v| v.1).collect();
     assert!(
-        top5_domains.iter().any(|d| ["stf", "chp", "bip", "csc"].contains(d)),
+        top5_domains
+            .iter()
+            .any(|d| ["stf", "chp", "bip", "csc"].contains(d)),
         "top-5 volume domains {top5_domains:?}"
     );
 }

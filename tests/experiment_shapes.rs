@@ -9,10 +9,7 @@ use std::sync::OnceLock;
 fn shared_lab() -> &'static Lab {
     static LAB: OnceLock<Lab> = OnceLock::new();
     LAB.get_or_init(|| {
-        let dir = std::env::temp_dir().join(format!(
-            "spider-shapes-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("spider-shapes-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         Lab::prepare(LabConfig::test_small(dir, 7)).expect("lab prepares")
     })
@@ -60,7 +57,14 @@ fn scale_robust_shapes_hold() {
         ("fig14", &["default-only-domains"]),
         ("fig15", &["dirs-grow-slower"]),
         ("fig18", &["descending-loglog-slope"]),
-        ("pipeline", &["columnar-compression", "conversion-lossless", "psv-codec-lossless"]),
+        (
+            "pipeline",
+            &[
+                "columnar-compression",
+                "conversion-lossless",
+                "psv-codec-lossless",
+            ],
+        ),
     ];
     let mut failures = Vec::new();
     for (id, names) in robust {
@@ -78,5 +82,9 @@ fn scale_robust_shapes_hold() {
             }
         }
     }
-    assert!(failures.is_empty(), "shape regressions:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "shape regressions:\n{}",
+        failures.join("\n")
+    );
 }
