@@ -15,9 +15,10 @@
 
 use spider_experiments::{all_experiments, experiment_by_id, Lab, LabConfig};
 use spider_sim::{SimConfig, Simulation};
-use spider_snapshot::SnapshotStore;
+use spider_snapshot::{FaultFs, OsIo, RetryPolicy, SnapshotStore, StoreIo};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "repro" => cmd_repro(&args[1..]),
         "exp" => cmd_exp(&args[1..]),
         "inspect" => cmd_inspect(&args[1..]),
+        "store-health" => cmd_store_health(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "export" => cmd_export(&args[1..]),
@@ -55,13 +57,18 @@ Trends in a Petascale File System' (SC'17) on a synthetic substrate
 
 USAGE:
   spider-metalab list
-  spider-metalab simulate --dir DIR [--scale F] [--days N] [--seed N]
+  spider-metalab simulate --dir DIR [--scale F] [--days N] [--seed N] [--fault-seed N]
   spider-metalab repro    --dir DIR [--out DIR] [--scale F] [--seed N] [--quick]
   spider-metalab exp ID   --dir DIR [--quick]
   spider-metalab inspect  --dir DIR [--day N]
+  spider-metalab store-health --dir DIR [--fault-seed N]
   spider-metalab analyze  --dir DIR [--day N]
   spider-metalab convert  --psv FILE --dir DIR
-  spider-metalab export   --dir DIR --psv FILE [--day N]";
+  spider-metalab export   --dir DIR --psv FILE [--day N]
+
+`--fault-seed N` routes store I/O through the deterministic fault
+injector (seeded bit flips, truncations, torn writes, transient
+errors) to exercise the retry/quarantine machinery end to end.";
 
 type AnyError = Box<dyn std::error::Error>;
 
@@ -74,6 +81,24 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Fault-plan horizon for `--fault-seed`: how many leading read and
+/// write operations are eligible for an injected fault. Large enough to
+/// cover a quick simulate plus a scrub of its store.
+const FAULT_HORIZON: u64 = 256;
+
+/// The store I/O layer selected by `--fault-seed`: the real filesystem,
+/// optionally wrapped in the deterministic fault injector.
+fn store_io(args: &[String]) -> Result<Arc<dyn StoreIo>, AnyError> {
+    match flag_value(args, "--fault-seed") {
+        Some(seed) => {
+            let seed = seed.parse::<u64>()?;
+            eprintln!("fault injection on (seed {seed}, horizon {FAULT_HORIZON} ops)");
+            Ok(Arc::new(FaultFs::seeded(OsIo, seed, FAULT_HORIZON)))
+        }
+        None => Ok(Arc::new(OsIo)),
+    }
 }
 
 fn parse_sim_config(args: &[String]) -> Result<SimConfig, AnyError> {
@@ -125,7 +150,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
     std::fs::create_dir_all(&dir)?;
     let store_dir = dir.join("snapshots");
     let _ = std::fs::remove_dir_all(&store_dir);
-    let mut store = SnapshotStore::open(&store_dir)?;
+    let io = store_io(args)?;
+    let mut store = SnapshotStore::open_with_io(&store_dir, io, RetryPolicy::default())?;
     eprintln!(
         "simulating {} observation days (+{} warm-up) at scale {} ...",
         config.days, config.warmup_days, config.scale
@@ -145,6 +171,67 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
         outcome.total_created,
         last.live_files,
         last.live_dirs
+    );
+    if !outcome.dropped_days.is_empty() {
+        println!(
+            "dropped {} week(s) to persistent write failures: {:?}",
+            outcome.dropped_days.len(),
+            outcome.dropped_days
+        );
+    }
+    if store.transient_retries() > 0 {
+        println!(
+            "recovered from {} transient I/O error(s) by retrying",
+            store.transient_retries()
+        );
+    }
+    Ok(())
+}
+
+/// Scrubs an existing store and reports its verified condition: healthy,
+/// degraded (checksum-failed sections dropped), and quarantined days,
+/// plus the nearest-healthy-day substitution plan.
+fn cmd_store_health(args: &[String]) -> Result<(), AnyError> {
+    let dir = required_dir(args)?;
+    let io = store_io(args)?;
+    let mut store = SnapshotStore::open_lenient(dir.join("snapshots"), io, RetryPolicy::default())?;
+    if store.is_empty() {
+        return Err("store is empty; run `simulate` first".into());
+    }
+    let indexed = store.len();
+    let health = store.scrub();
+    println!(
+        "scrubbed {indexed} snapshot(s): {} healthy, {} degraded, {} quarantined",
+        health.healthy_days.len(),
+        health.degraded.len(),
+        health.quarantined.len()
+    );
+    for d in &health.degraded {
+        println!(
+            "  degraded day {}: lost sections {:?} (kept; lost columns read as defaults)",
+            d.day, d.lost_sections
+        );
+    }
+    for q in &health.quarantined {
+        print!("  quarantined day {}: {}", q.day, q.reason);
+        match health.substitute_for(q.day) {
+            Some(sub) => println!(" -> substitute day {sub}"),
+            None => println!(" -> no healthy substitute remains"),
+        }
+    }
+    if health.transient_retries > 0 {
+        println!(
+            "  recovered from {} transient I/O error(s) by retrying",
+            health.transient_retries
+        );
+    }
+    println!(
+        "status: {}",
+        if health.is_clean() {
+            "CLEAN"
+        } else {
+            "DEGRADED (analyses still run; substitutions recorded in verdicts)"
+        }
     );
     Ok(())
 }

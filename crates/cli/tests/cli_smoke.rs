@@ -104,3 +104,81 @@ fn simulate_inspect_analyze_export_convert_roundtrip() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir2);
 }
+
+#[test]
+fn store_health_scrubs_and_quarantines() {
+    let dir = temp_dir("health");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "simulate", "--dir", dir_s, "--quick", "--scale", "0.00005", "--days", "28",
+    ]);
+    assert!(ok, "simulate failed:\n{text}");
+
+    let (ok, text) = run(&["store-health", "--dir", dir_s]);
+    assert!(ok, "store-health failed:\n{text}");
+    assert!(
+        text.contains("status: CLEAN"),
+        "expected clean store:\n{text}"
+    );
+
+    // Rot one snapshot on disk; the next scrub must quarantine it and
+    // name a substitute, not fail.
+    let store_dir = dir.join("snapshots");
+    let victim = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "colf"))
+        .expect("store holds snapshots");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..16]).unwrap();
+
+    let (ok, text) = run(&["store-health", "--dir", dir_s]);
+    assert!(ok, "store-health on rotted store failed:\n{text}");
+    assert!(
+        text.contains("quarantined day"),
+        "no quarantine in:\n{text}"
+    );
+    assert!(
+        text.contains("substitute day"),
+        "no substitution in:\n{text}"
+    );
+    assert!(text.contains("DEGRADED"), "no degraded status in:\n{text}");
+    assert!(
+        store_dir.join("quarantine").is_dir(),
+        "quarantine directory missing"
+    );
+
+    // The surviving weeks still serve reads.
+    let (ok, text) = run(&["inspect", "--dir", dir_s]);
+    assert!(ok, "inspect after quarantine failed:\n{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_injected_simulate_survives() {
+    let dir = temp_dir("faultsim");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "simulate",
+        "--dir",
+        dir_s,
+        "--quick",
+        "--scale",
+        "0.00005",
+        "--days",
+        "28",
+        "--fault-seed",
+        "7",
+    ]);
+    assert!(ok, "fault-injected simulate failed:\n{text}");
+    assert!(text.contains("fault injection on"), "no banner in:\n{text}");
+
+    // Whatever the injector did, the store must scrub without failing.
+    let (ok, text) = run(&["store-health", "--dir", dir_s]);
+    assert!(ok, "store-health after faulted sim failed:\n{text}");
+    assert!(text.contains("scrubbed"), "no scrub summary in:\n{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

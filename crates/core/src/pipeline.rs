@@ -174,11 +174,16 @@ pub fn stream_store_prefetch(
 ) -> Result<u32, StoreError> {
     let days: Vec<u32> = store.days().to_vec();
     let dir = store.dir().to_path_buf();
+    let io = store.io();
+    let retry = store.retry_policy();
     let (tx, rx) = crossbeam::channel::bounded::<Result<Snapshot, StoreError>>(1);
     let producer = std::thread::spawn(move || {
-        // A private handle onto the same directory; the store is
-        // read-only during analysis.
-        let reader = match SnapshotStore::open(&dir) {
+        // A private handle onto the same directory, sharing the parent
+        // store's I/O seam and retry policy so fault injection and
+        // retry accounting stay under one regime; the store is
+        // read-only during analysis. Lenient open: the parent already
+        // cross-checked header days at its own open.
+        let reader = match SnapshotStore::open_lenient(&dir, io, retry) {
             Ok(r) => r,
             Err(e) => {
                 let _ = tx.send(Err(e));
@@ -186,9 +191,13 @@ pub fn stream_store_prefetch(
             }
         };
         for day in days {
-            let item = reader
-                .get(day)
-                .map(|opt| opt.unwrap_or_else(|| panic!("day {day} vanished during analysis")));
+            let item = reader.get(day).and_then(|opt| {
+                opt.ok_or_else(|| {
+                    StoreError::Io(std::io::Error::other(format!(
+                        "day {day} vanished during analysis"
+                    )))
+                })
+            });
             if tx.send(item).is_err() {
                 return; // consumer bailed on an error
             }
@@ -278,6 +287,46 @@ mod prefetch_tests {
         assert_eq!(plain_steps, fetched_steps);
         assert_eq!(plain.days, fetched.days);
         assert_eq!(plain.new_counts, fetched.new_counts);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefetch_shares_the_fault_injected_io_seam() {
+        use spider_snapshot::faultfs::{FaultFs, FaultKind};
+        use spider_snapshot::io::OsIo;
+        use spider_snapshot::store::RetryPolicy;
+        use std::sync::Arc;
+
+        let dir =
+            std::env::temp_dir().join(format!("spider-prefetch-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            for day in [0u32, 7, 14] {
+                store.put(&snap(day, 20)).unwrap();
+            }
+        }
+        let ffs = Arc::new(FaultFs::new(OsIo, 17));
+        let store = SnapshotStore::open_with_io(
+            &dir,
+            ffs.clone() as Arc<dyn spider_snapshot::io::StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        // Ops 0..=2 were the open-time peeks; fault the producer thread's
+        // second snapshot read. If the producer opened its own OsIo
+        // handle instead of sharing the seam, this fault would never
+        // fire and the assertion on the log below would fail.
+        ffs.plan_read(4, FaultKind::TransientEio);
+        let mut fetched = Collector::default();
+        let steps = stream_store_prefetch(&store, &mut [&mut fetched]).unwrap();
+        assert_eq!(steps, 3);
+        assert_eq!(fetched.days, vec![0, 7, 14]);
+        assert_eq!(
+            ffs.injected().len(),
+            1,
+            "fault must fire through the shared seam"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -17,11 +17,65 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
     let mut text = String::new();
     let mut v = VerdictSet::new("pipeline");
 
-    let Some(&last_day) = store.days().last() else {
+    // The pre-analysis scrub report: quarantined weeks and their
+    // nearest-healthy-day substitutes go on record here, the paper's
+    // own fallback for an unusable weekly dump (§2.2).
+    let health = lab.store_health();
+    for q in &health.quarantined {
+        match health.substitute_for(q.day) {
+            Some(sub) => v.note(format!(
+                "week (day {}) quarantined: {}; substituted nearest healthy day {sub}",
+                q.day, q.reason
+            )),
+            None => v.note(format!(
+                "week (day {}) quarantined: {}; no healthy substitute remained",
+                q.day, q.reason
+            )),
+        }
+    }
+    for d in &health.degraded {
+        v.note(format!(
+            "week (day {}) degraded: lost sections {:?}",
+            d.day, d.lost_sections
+        ));
+    }
+    v.check(
+        "store-survives-scrub",
+        "every weekly dump is usable or substituted",
+        format!(
+            "{} healthy, {} degraded, {} quarantined ({} substituted)",
+            health.healthy_days.len(),
+            health.degraded.len(),
+            health.quarantined.len(),
+            health.substitutions.len()
+        ),
+        !store.is_empty()
+            && health
+                .quarantined
+                .iter()
+                .all(|q| health.substitute_for(q.day).is_some()),
+    );
+
+    // Work on the latest *readable* snapshot: a week that rots after the
+    // scrub falls back to the nearest earlier one, on record.
+    let mut picked = None;
+    for &day in store.days().iter().rev() {
+        match store.get(day) {
+            Ok(Some(snapshot)) => {
+                picked = Some((day, snapshot));
+                break;
+            }
+            Ok(None) => {}
+            Err(e) => v.note(format!(
+                "day {day} unreadable at experiment time ({e}); trying an earlier snapshot"
+            )),
+        }
+    }
+    let Some((last_day, snapshot)) = picked else {
         v.check(
             "snapshot-available",
             "a snapshot exists",
-            "store empty",
+            "no readable snapshot in store",
             false,
         );
         return ExperimentOutput {
@@ -32,10 +86,6 @@ pub fn run(lab: &Lab) -> ExperimentOutput {
             verdicts: v,
         };
     };
-    let snapshot = store
-        .get(last_day)
-        .expect("store readable")
-        .expect("day indexed");
 
     let mut psv_bytes = Vec::new();
     psv::write_psv(&snapshot, &mut psv_bytes).expect("in-memory write");

@@ -30,9 +30,10 @@ use spider_core::trends::participation::{ParticipationAnalysis, ParticipationRep
 use spider_core::trends::users::{ActiveUsersAnalysis, ActiveUsersReport};
 use spider_core::{stream_store_prefetch, AnalysisContext, DomainScanStats, SummaryTable};
 use spider_sim::{SimConfig, Simulation, SimulationOutcome};
-use spider_snapshot::SnapshotStore;
+use spider_snapshot::{OsIo, RetryPolicy, SnapshotStore, StoreHealth};
 use spider_workload::Population;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Lab configuration: the sim config plus where to keep the store.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -115,11 +116,18 @@ pub struct Lab {
     population: Population,
     outcome: Option<SimulationOutcome>,
     store: SnapshotStore,
+    health: StoreHealth,
     analyses: Analyses,
 }
 
 impl Lab {
-    /// Prepares the lab: simulate (or reuse a cached store) and analyze.
+    /// Prepares the lab: simulate (or reuse a cached store), scrub the
+    /// store, and analyze what survives.
+    ///
+    /// The scrub runs before analysis so a damaged cached archive is
+    /// healed — corrupted weeks are quarantined and deindexed — instead
+    /// of failing mid-stream. The resulting [`StoreHealth`] is kept for
+    /// experiment verdicts.
     pub fn prepare(config: LabConfig) -> Result<Lab, Box<dyn std::error::Error>> {
         std::fs::create_dir_all(&config.dir)?;
         let marker = config.dir.join("lab-config.json");
@@ -129,8 +137,11 @@ impl Lab {
             && std::fs::read_to_string(&marker)? == config_json
             && store_dir.is_dir();
 
-        let (population, outcome, store) = if cached {
-            let store = SnapshotStore::open(&store_dir)?;
+        let (population, outcome, mut store) = if cached {
+            // Lenient open: a cached file whose name and header disagree
+            // is quarantined by the scrub below rather than aborting.
+            let store =
+                SnapshotStore::open_lenient(&store_dir, Arc::new(OsIo), RetryPolicy::default())?;
             let population = Population::generate(&config.sim.population);
             (population, None, store)
         } else {
@@ -143,12 +154,14 @@ impl Lab {
             (population, Some(outcome), store)
         };
 
+        let health = store.scrub();
         let analyses = Self::analyze(&population, &store, config.burstiness_min_files)?;
         Ok(Lab {
             config,
             population,
             outcome,
             store,
+            health,
             analyses,
         })
     }
@@ -256,6 +269,13 @@ impl Lab {
     /// The snapshot store.
     pub fn store(&self) -> &SnapshotStore {
         &self.store
+    }
+
+    /// The pre-analysis scrub report: which weeks were healthy, which
+    /// decoded with lost sections, and which were quarantined (with
+    /// their nearest-healthy-day substitutes).
+    pub fn store_health(&self) -> &StoreHealth {
+        &self.health
     }
 
     /// The finalized analyses.

@@ -28,6 +28,11 @@ pub struct VerdictSet {
     pub experiment: String,
     /// The individual checks.
     pub checks: Vec<ShapeCheck>,
+    /// Free-form run annotations that are not pass/fail claims — e.g.
+    /// "week 14 quarantined; substituted day 7". Rendered under the
+    /// check table so degraded runs stay auditable.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub notes: Vec<String>,
 }
 
 impl VerdictSet {
@@ -36,7 +41,13 @@ impl VerdictSet {
         VerdictSet {
             experiment: experiment.into(),
             checks: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Records a run annotation (no pass/fail semantics).
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
     }
 
     /// Records a boolean check.
@@ -137,6 +148,12 @@ impl VerdictSet {
                 if c.pass { "PASS" } else { "FAIL" }
             );
         }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+            for n in &self.notes {
+                let _ = writeln!(out, "> note: {n}");
+            }
+        }
         out
     }
 }
@@ -178,6 +195,20 @@ mod tests {
         let md = v.to_markdown();
         assert!(md.contains("### table3"));
         assert!(md.contains("| one-giant | a single giant component | 1 component at 72% | PASS |"));
+        assert!(!md.contains("> note:"));
+
+        v.note("week 14 quarantined; substituted day 7");
+        let md = v.to_markdown();
+        assert!(md.contains("> note: week 14 quarantined; substituted day 7"));
+    }
+
+    #[test]
+    fn notes_do_not_affect_verdicts() {
+        let mut v = VerdictSet::new("store");
+        v.note("snapshot for day 21 degraded: lost osts");
+        assert!(v.all_pass());
+        assert!(v.failures().is_empty());
+        assert_eq!(v.notes.len(), 1);
     }
 
     #[test]

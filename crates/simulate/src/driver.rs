@@ -37,6 +37,10 @@ pub struct SimulationOutcome {
     pub weeks: Vec<WeekStats>,
     /// Days (observation) on which snapshots were persisted.
     pub snapshot_days: Vec<u32>,
+    /// Observation days whose snapshot could not be persisted even
+    /// after retries (transient storage failure); the analysis degrades
+    /// to the surviving days, like the paper skipping unusable dumps.
+    pub dropped_days: Vec<u32>,
     /// Total files ever created.
     pub total_created: u64,
 }
@@ -261,20 +265,29 @@ impl Simulation {
     pub fn run(&mut self, store: &mut SnapshotStore) -> Result<SimulationOutcome, StoreError> {
         let mut weeks = Vec::new();
         let mut snapshot_days = Vec::new();
+        let mut dropped_days = Vec::new();
         let total_weeks =
             (self.config.warmup_days + self.config.days) / self.config.snapshot_interval_days;
         for _ in 0..total_weeks {
             let stats = self.run_week();
             if stats.observation_day >= 0 {
                 let day = stats.observation_day as u32;
-                store.put(&self.snapshot(day))?;
-                snapshot_days.push(day);
+                match store.put(&self.snapshot(day)) {
+                    Ok(()) => snapshot_days.push(day),
+                    // A persistently failing write (the store already
+                    // retried transients) loses this week's dump, not
+                    // the run: record the gap and keep simulating, the
+                    // way the study worked around unusable snapshots.
+                    Err(StoreError::Io(_)) => dropped_days.push(day),
+                    Err(e) => return Err(e),
+                }
             }
             weeks.push(stats);
         }
         Ok(SimulationOutcome {
             weeks,
             snapshot_days,
+            dropped_days,
             total_created: self.total_created,
         })
     }
@@ -632,6 +645,41 @@ mod tests {
         let snap = store.get(last).unwrap().unwrap();
         assert!(snap.len() > 100);
         assert!(outcome.total_created > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_write_failure_drops_the_week_not_the_run() {
+        use spider_snapshot::faultfs::{FaultFs, FaultKind};
+        use spider_snapshot::io::OsIo;
+        use spider_snapshot::store::RetryPolicy;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("spider-sim-drop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ffs = Arc::new(FaultFs::new(OsIo, 21));
+        let mut store = SnapshotStore::open_with_io(
+            &dir,
+            ffs.clone() as Arc<dyn spider_snapshot::io::StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        // Fail every write attempt of the first snapshot put (the store
+        // retries three times), so that week's dump is lost for good.
+        for op in 0..3 {
+            ffs.plan_write(op, FaultKind::TransientEio);
+        }
+        let mut sim = small_sim(5);
+        let outcome = sim.run(&mut store).unwrap();
+        let expected_snaps = sim.config().snapshot_count() as usize;
+        assert_eq!(outcome.dropped_days.len(), 1, "one week should drop");
+        assert_eq!(outcome.snapshot_days.len(), expected_snaps - 1);
+        assert_eq!(store.len(), expected_snaps - 1);
+        // The dropped day is the first observation day and is absent
+        // from the persisted set.
+        let dropped = outcome.dropped_days[0];
+        assert!(!outcome.snapshot_days.contains(&dropped));
+        assert!(store.get(dropped).unwrap().is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,6 +20,26 @@ use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
+/// Marks a diff computed across a sampling gap: the intended baseline
+/// day was quarantined or missing, so the nearest healthy neighbor was
+/// substituted — the paper's own fallback when a weekly dump was
+/// unusable (§2.2). Consumers use the flag to annotate (or exclude) the
+/// affected interval rather than silently reporting it as a normal week.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffGap {
+    /// The baseline day the comparison was supposed to use.
+    pub intended_day: u32,
+    /// The substitute day actually compared against.
+    pub actual_day: u32,
+}
+
+impl DiffGap {
+    /// How far the substitute sits from the intended day, in days.
+    pub fn width(&self) -> u32 {
+        self.intended_day.abs_diff(self.actual_day)
+    }
+}
+
 /// Indices into the two snapshots for each access category.
 ///
 /// Index vectors refer into `old.records()` for `deleted` and into
@@ -37,6 +57,9 @@ pub struct SnapshotDiff {
     pub updated: Vec<u32>,
     /// Files with identical timestamps (indices into new).
     pub untouched: Vec<u32>,
+    /// Set when the baseline was a substituted neighbor, not the
+    /// intended day.
+    pub gap: Option<DiffGap>,
 }
 
 /// Aggregate counts of a diff, as plotted in Fig. 13.
@@ -121,6 +144,30 @@ impl SnapshotDiff {
             }
         }
         diff
+    }
+
+    /// Like [`SnapshotDiff::compute`], but records that `old` stands in
+    /// for the (quarantined or never-captured) day `intended_old_day`.
+    /// When `old` actually *is* the intended day, no gap is flagged and
+    /// the result equals a plain `compute`.
+    pub fn compute_substituted(
+        old: &Snapshot,
+        new: &Snapshot,
+        intended_old_day: u32,
+    ) -> SnapshotDiff {
+        let mut diff = SnapshotDiff::compute(old, new);
+        if old.day() != intended_old_day {
+            diff.gap = Some(DiffGap {
+                intended_day: intended_old_day,
+                actual_day: old.day(),
+            });
+        }
+        diff
+    }
+
+    /// True when this diff was computed against a substituted baseline.
+    pub fn is_gap(&self) -> bool {
+        self.gap.is_some()
     }
 
     fn classify_common(&mut self, old: &SnapshotRecord, new_idx: u32, new: &SnapshotRecord) {
@@ -277,6 +324,43 @@ mod tests {
     fn fractions_of_empty_breakdown() {
         let (n, d, r, u, t) = AccessBreakdown::default().fractions();
         assert_eq!((n, d, r, u, t), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn substituted_baseline_flags_the_gap() {
+        // Day 7's dump was quarantined; day 0 stands in for it when
+        // diffing toward day 14. Classification must match a plain diff
+        // against the substitute, with the gap recorded on top.
+        let day0 = Snapshot::new(0, 0, vec![rec("/a", 10, 10, 10), rec("/b", 10, 10, 10)]);
+        let day14 = Snapshot::new(14, 0, vec![rec("/a", 10, 10, 10), rec("/c", 9, 9, 9)]);
+        let diff = SnapshotDiff::compute_substituted(&day0, &day14, 7);
+        assert!(diff.is_gap());
+        let gap = diff.gap.unwrap();
+        assert_eq!(gap.intended_day, 7);
+        assert_eq!(gap.actual_day, 0);
+        assert_eq!(gap.width(), 7);
+        let plain = SnapshotDiff::compute(&day0, &day14);
+        assert_eq!(diff.breakdown(), plain.breakdown());
+        assert_eq!(diff.new, plain.new);
+        assert_eq!(diff.deleted, plain.deleted);
+    }
+
+    #[test]
+    fn intended_baseline_flags_no_gap() {
+        let day7 = Snapshot::new(7, 0, vec![rec("/a", 1, 1, 1)]);
+        let day14 = Snapshot::new(14, 0, vec![rec("/a", 1, 1, 1)]);
+        let diff = SnapshotDiff::compute_substituted(&day7, &day14, 7);
+        assert!(!diff.is_gap());
+        assert_eq!(diff, SnapshotDiff::compute(&day7, &day14));
+    }
+
+    #[test]
+    fn gap_width_is_symmetric() {
+        // A later neighbor substituting for an earlier intended day.
+        let day21 = Snapshot::new(21, 0, vec![]);
+        let day28 = Snapshot::new(28, 0, vec![]);
+        let diff = SnapshotDiff::compute_substituted(&day21, &day28, 14);
+        assert_eq!(diff.gap.unwrap().width(), 7);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Deterministic fault injection for the snapshot store.
+//!
+//! Real 500-day snapshot archives do not fail politely: disks flip bits
+//! at rest, dumps get truncated by full filesystems, writers die mid
+//! file, and NFS returns `EIO` once and then works fine. [`FaultFs`]
+//! wraps any [`StoreIo`] and injects exactly those five failure modes —
+//! [`FaultKind::BitFlip`], [`FaultKind::Truncate`], [`FaultKind::TornWrite`],
+//! [`FaultKind::TransientEio`], [`FaultKind::ShortRead`] — at planned
+//! operation indices, with every random choice (which bit, how much
+//! tail, how long a torn prefix) drawn from a seeded SplitMix64 stream.
+//! Same seed, same plan, same faults: a failing fault-matrix cell
+//! reproduces exactly.
+//!
+//! Faults come in two durabilities:
+//!
+//! * **at rest** — `BitFlip` and `Truncate` rewrite the underlying file,
+//!   so retries see the same damage; only checksums + quarantine help;
+//! * **transient** — `TransientEio` and `ShortRead` perturb one
+//!   operation; a retry succeeds. `TornWrite` persists a prefix and
+//!   fails the call, modeling a crash mid-write.
+//!
+//! Every triggered fault is appended to a log ([`FaultFs::injected`]),
+//! which the fault-matrix suite reconciles against store health: each
+//! injected fault must be *recovered* or *quarantined*, never ignored.
+
+use crate::io::StoreIo;
+use std::collections::BTreeMap;
+use std::ffi::OsString;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The injectable failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One bit of the file flips at rest (read returns — and the file
+    /// keeps — the corrupted bytes).
+    BitFlip,
+    /// The file loses its tail at rest (up to a quarter of its length).
+    Truncate,
+    /// A write persists only a prefix and reports failure, as if the
+    /// writer crashed mid-call.
+    TornWrite,
+    /// One operation fails with `EIO`; the next attempt succeeds.
+    TransientEio,
+    /// One read returns fewer bytes than the file holds; the next
+    /// attempt returns them all.
+    ShortRead,
+}
+
+impl FaultKind {
+    /// Fault kinds applicable to the read stream.
+    pub const READ_KINDS: [FaultKind; 4] = [
+        FaultKind::BitFlip,
+        FaultKind::Truncate,
+        FaultKind::TransientEio,
+        FaultKind::ShortRead,
+    ];
+
+    /// Fault kinds applicable to the write stream.
+    pub const WRITE_KINDS: [FaultKind; 2] = [FaultKind::TornWrite, FaultKind::TransientEio];
+}
+
+/// One fault that actually fired.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The file it hit.
+    pub path: PathBuf,
+    /// Human-readable specifics (bit position, bytes dropped, ...).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct State {
+    rng: u64,
+    read_ops: u64,
+    write_ops: u64,
+    read_plan: BTreeMap<u64, FaultKind>,
+    write_plan: BTreeMap<u64, FaultKind>,
+    fail_next_rename: bool,
+    injected: Vec<InjectedFault>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`StoreIo`] wrapper that injects planned faults; see the module
+/// docs for the failure model.
+#[derive(Debug)]
+pub struct FaultFs<I: StoreIo> {
+    inner: I,
+    state: Mutex<State>,
+}
+
+impl<I: StoreIo> FaultFs<I> {
+    /// Wraps `inner` with an empty fault plan (every operation passes
+    /// through until faults are planned).
+    pub fn new(inner: I, seed: u64) -> Self {
+        FaultFs {
+            inner,
+            state: Mutex::new(State {
+                rng: seed ^ 0x5EED_5EED_5EED_5EED,
+                read_ops: 0,
+                write_ops: 0,
+                read_plan: BTreeMap::new(),
+                write_plan: BTreeMap::new(),
+                fail_next_rename: false,
+                injected: Vec::new(),
+            }),
+        }
+    }
+
+    /// Wraps `inner` with a pseudo-random plan derived from `seed`:
+    /// roughly one in three of the first `horizon` reads and one in four
+    /// of the first `horizon` writes get a random applicable fault.
+    pub fn seeded(inner: I, seed: u64, horizon: u64) -> Self {
+        let fs = FaultFs::new(inner, seed);
+        {
+            let mut s = fs.state.lock().expect("fault state poisoned");
+            let mut rng = seed;
+            for op in 0..horizon {
+                if splitmix(&mut rng) % 3 == 0 {
+                    let kind = FaultKind::READ_KINDS[(splitmix(&mut rng) % 4) as usize];
+                    s.read_plan.insert(op, kind);
+                }
+                if splitmix(&mut rng) % 4 == 0 {
+                    let kind = FaultKind::WRITE_KINDS[(splitmix(&mut rng) % 2) as usize];
+                    s.write_plan.insert(op, kind);
+                }
+            }
+        }
+        fs
+    }
+
+    /// Plans `kind` for the `index`-th read operation (0-based).
+    ///
+    /// # Panics
+    /// If `kind` is not a read-stream fault.
+    pub fn plan_read(&self, index: u64, kind: FaultKind) {
+        assert!(
+            FaultKind::READ_KINDS.contains(&kind),
+            "{kind:?} is not a read fault"
+        );
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .read_plan
+            .insert(index, kind);
+    }
+
+    /// Plans `kind` for the `index`-th write operation (0-based).
+    ///
+    /// # Panics
+    /// If `kind` is not a write-stream fault.
+    pub fn plan_write(&self, index: u64, kind: FaultKind) {
+        assert!(
+            FaultKind::WRITE_KINDS.contains(&kind),
+            "{kind:?} is not a write fault"
+        );
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .write_plan
+            .insert(index, kind);
+    }
+
+    /// Makes the next rename fail with `EIO` (exercises the store's
+    /// quarantine fallback when even the move is refused).
+    pub fn fail_next_rename(&self) {
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .fail_next_rename = true;
+    }
+
+    /// Every fault that has fired so far.
+    pub fn injected(&self) -> Vec<InjectedFault> {
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .injected
+            .clone()
+    }
+
+    /// Planned faults that have not fired yet (their operation index was
+    /// never reached).
+    pub fn pending(&self) -> usize {
+        let s = self.state.lock().expect("fault state poisoned");
+        s.read_plan.len() + s.write_plan.len()
+    }
+
+    fn eio(what: &str) -> io::Error {
+        io::Error::other(format!("injected transient EIO during {what}"))
+    }
+}
+
+impl<I: StoreIo> StoreIo for FaultFs<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let fault = {
+            let mut s = self.state.lock().expect("fault state poisoned");
+            let op = s.read_ops;
+            s.read_ops += 1;
+            s.read_plan.remove(&op)
+        };
+        let Some(kind) = fault else {
+            return self.inner.read(path);
+        };
+        match kind {
+            FaultKind::TransientEio => {
+                self.state
+                    .lock()
+                    .expect("fault state poisoned")
+                    .injected
+                    .push(InjectedFault {
+                        kind,
+                        path: path.to_path_buf(),
+                        detail: "read failed once".into(),
+                    });
+                Err(Self::eio("read"))
+            }
+            FaultKind::ShortRead => {
+                let bytes = self.inner.read(path)?;
+                let mut s = self.state.lock().expect("fault state poisoned");
+                let keep = if bytes.is_empty() {
+                    0
+                } else {
+                    (splitmix(&mut s.rng) % bytes.len() as u64) as usize
+                };
+                s.injected.push(InjectedFault {
+                    kind,
+                    path: path.to_path_buf(),
+                    detail: format!("returned {keep} of {} bytes", bytes.len()),
+                });
+                Ok(bytes[..keep].to_vec())
+            }
+            FaultKind::BitFlip => {
+                let mut bytes = self.inner.read(path)?;
+                if bytes.is_empty() {
+                    return Ok(bytes);
+                }
+                let (pos, bit) = {
+                    let mut s = self.state.lock().expect("fault state poisoned");
+                    let r = splitmix(&mut s.rng);
+                    ((r % bytes.len() as u64) as usize, (r >> 32) % 8)
+                };
+                bytes[pos] ^= 1 << bit;
+                // At-rest corruption: persist the damage so retries see it.
+                self.inner.write(path, &bytes)?;
+                self.state
+                    .lock()
+                    .expect("fault state poisoned")
+                    .injected
+                    .push(InjectedFault {
+                        kind,
+                        path: path.to_path_buf(),
+                        detail: format!("flipped bit {bit} of byte {pos}"),
+                    });
+                Ok(bytes)
+            }
+            FaultKind::Truncate => {
+                let mut bytes = self.inner.read(path)?;
+                if bytes.is_empty() {
+                    return Ok(bytes);
+                }
+                let drop = {
+                    let mut s = self.state.lock().expect("fault state poisoned");
+                    (splitmix(&mut s.rng) % (bytes.len() as u64 / 4 + 1) + 1) as usize
+                };
+                let keep = bytes.len().saturating_sub(drop);
+                bytes.truncate(keep);
+                self.inner.write(path, &bytes)?;
+                self.state
+                    .lock()
+                    .expect("fault state poisoned")
+                    .injected
+                    .push(InjectedFault {
+                        kind,
+                        path: path.to_path_buf(),
+                        detail: format!("dropped {drop} tail bytes, {keep} remain"),
+                    });
+                Ok(bytes)
+            }
+            FaultKind::TornWrite => unreachable!("torn write planned on read stream"),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let fault = {
+            let mut s = self.state.lock().expect("fault state poisoned");
+            let op = s.write_ops;
+            s.write_ops += 1;
+            s.write_plan.remove(&op)
+        };
+        let Some(kind) = fault else {
+            return self.inner.write(path, bytes);
+        };
+        match kind {
+            FaultKind::TransientEio => {
+                self.state
+                    .lock()
+                    .expect("fault state poisoned")
+                    .injected
+                    .push(InjectedFault {
+                        kind,
+                        path: path.to_path_buf(),
+                        detail: "write failed once, nothing persisted".into(),
+                    });
+                Err(Self::eio("write"))
+            }
+            FaultKind::TornWrite => {
+                let keep = {
+                    let mut s = self.state.lock().expect("fault state poisoned");
+                    (splitmix(&mut s.rng) % (bytes.len() as u64 + 1)) as usize
+                };
+                self.inner.write(path, &bytes[..keep])?;
+                self.state
+                    .lock()
+                    .expect("fault state poisoned")
+                    .injected
+                    .push(InjectedFault {
+                        kind,
+                        path: path.to_path_buf(),
+                        detail: format!("persisted {keep} of {} bytes, then failed", bytes.len()),
+                    });
+                Err(io::Error::other("injected torn write"))
+            }
+            other => unreachable!("{other:?} planned on write stream"),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let fail = {
+            let mut s = self.state.lock().expect("fault state poisoned");
+            std::mem::take(&mut s.fail_next_rename)
+        };
+        if fail {
+            self.state
+                .lock()
+                .expect("fault state poisoned")
+                .injected
+                .push(InjectedFault {
+                    kind: FaultKind::TransientEio,
+                    path: from.to_path_buf(),
+                    detail: "rename refused".into(),
+                });
+            return Err(Self::eio("rename"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<OsString>> {
+        self.inner.list(dir)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.len(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::OsIo;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spider-faultfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn transient_eio_fires_once() {
+        let dir = temp_dir("eio");
+        let file = dir.join("x");
+        fs::write(&file, b"payload").unwrap();
+        let ffs = FaultFs::new(OsIo, 1);
+        ffs.plan_read(0, FaultKind::TransientEio);
+        assert!(ffs.read(&file).is_err());
+        assert_eq!(ffs.read(&file).unwrap(), b"payload");
+        assert_eq!(ffs.injected().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_persistent() {
+        let dir = temp_dir("flip");
+        let file = dir.join("x");
+        let original = vec![0u8; 64];
+        fs::write(&file, &original).unwrap();
+        let ffs = FaultFs::new(OsIo, 42);
+        ffs.plan_read(0, FaultKind::BitFlip);
+        let first = ffs.read(&file).unwrap();
+        assert_ne!(first, original);
+        // The damage survives a clean retry: at-rest corruption.
+        let second = ffs.read(&file).unwrap();
+        assert_eq!(first, second);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_is_transient() {
+        let dir = temp_dir("short");
+        let file = dir.join("x");
+        let data: Vec<u8> = (0..100).collect();
+        fs::write(&file, &data).unwrap();
+        let ffs = FaultFs::new(OsIo, 7);
+        ffs.plan_read(0, FaultKind::ShortRead);
+        let first = ffs.read(&file).unwrap();
+        assert!(first.len() < data.len());
+        assert_eq!(data[..first.len()], first[..]);
+        assert_eq!(ffs.read(&file).unwrap(), data);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_persists_a_shorter_file() {
+        let dir = temp_dir("trunc");
+        let file = dir.join("x");
+        fs::write(&file, vec![9u8; 200]).unwrap();
+        let ffs = FaultFs::new(OsIo, 3);
+        ffs.plan_read(0, FaultKind::Truncate);
+        let got = ffs.read(&file).unwrap();
+        assert!(got.len() < 200 && got.len() >= 150, "len {}", got.len());
+        assert_eq!(fs::read(&file).unwrap().len(), got.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_fails() {
+        let dir = temp_dir("torn");
+        let file = dir.join("x");
+        let ffs = FaultFs::new(OsIo, 11);
+        ffs.plan_write(0, FaultKind::TornWrite);
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert!(ffs.write(&file, &data).is_err());
+        let on_disk = fs::read(&file).unwrap();
+        assert!(on_disk.len() < data.len());
+        assert_eq!(data[..on_disk.len()], on_disk[..]);
+        // Retry (next write op) goes through.
+        ffs.write(&file, &data).unwrap();
+        assert_eq!(fs::read(&file).unwrap(), data);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        for _ in 0..2 {
+            let dir = temp_dir("determinism");
+            let file = dir.join("x");
+            fs::write(&file, vec![5u8; 500]).unwrap();
+            let run = |seed: u64| {
+                let ffs = FaultFs::new(OsIo, seed);
+                ffs.plan_read(0, FaultKind::BitFlip);
+                ffs.read(&file).unwrap()
+            };
+            fs::write(&file, vec![5u8; 500]).unwrap();
+            let a = run(99);
+            fs::write(&file, vec![5u8; 500]).unwrap();
+            let b = run(99);
+            fs::write(&file, vec![5u8; 500]).unwrap();
+            let c = run(100);
+            assert_eq!(a, b);
+            assert_ne!(a, c);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_nonempty() {
+        let a = FaultFs::seeded(OsIo, 1234, 32);
+        let b = FaultFs::seeded(OsIo, 1234, 32);
+        let sa = a.state.lock().unwrap();
+        let sb = b.state.lock().unwrap();
+        assert_eq!(sa.read_plan, sb.read_plan);
+        assert_eq!(sa.write_plan, sb.write_plan);
+        assert!(!sa.read_plan.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! The store's I/O seam.
+//!
+//! Every byte the [`crate::store::SnapshotStore`] moves goes through a
+//! [`StoreIo`] implementation. Production uses [`OsIo`] (plain `std::fs`);
+//! the fault-matrix suite swaps in [`crate::faultfs::FaultFs`] to inject
+//! bit rot, torn writes, and transient errors deterministically. The
+//! trait is object-safe so a store and its prefetch threads can share
+//! one handle behind an `Arc<dyn StoreIo>`.
+
+use std::ffi::OsString;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Filesystem operations the snapshot store needs, as an injectable
+/// seam. Implementations must be thread-safe: the prefetching reader
+/// calls them from a producer thread.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Reads at most `len` bytes from the start of the file. The default
+    /// routes through [`StoreIo::read`], so injected read faults apply
+    /// to prefix reads too.
+    fn read_prefix(&self, path: &Path, len: usize) -> io::Result<Vec<u8>> {
+        let mut bytes = self.read(path)?;
+        bytes.truncate(len);
+        Ok(bytes)
+    }
+
+    /// Creates (or replaces) the file at `path` with `bytes`, flushed to
+    /// stable storage.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Recursively creates `path` as a directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// File names (not paths) of directory entries.
+    fn list(&self, dir: &Path) -> io::Result<Vec<OsString>>;
+
+    /// Size in bytes of the file at `path`.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsIo;
+
+impl StoreIo for OsIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_prefix(&self, path: &Path, len: usize) -> io::Result<Vec<u8>> {
+        let mut file = fs::File::open(path)?;
+        let mut bytes = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match file.read(&mut bytes[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        bytes.truncate(filled);
+        Ok(bytes)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<OsString>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            names.push(entry?.file_name());
+        }
+        Ok(names)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spider-io-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn os_io_roundtrip_and_list() {
+        let dir = temp_dir("roundtrip");
+        let io = OsIo;
+        io.create_dir_all(&dir).unwrap();
+        let file = dir.join("a.bin");
+        io.write(&file, b"hello world").unwrap();
+        assert_eq!(io.read(&file).unwrap(), b"hello world");
+        assert_eq!(io.read_prefix(&file, 5).unwrap(), b"hello");
+        assert_eq!(io.read_prefix(&file, 999).unwrap(), b"hello world");
+        assert_eq!(io.len(&file).unwrap(), 11);
+        let renamed = dir.join("b.bin");
+        io.rename(&file, &renamed).unwrap();
+        let names = io.list(&dir).unwrap();
+        assert_eq!(names, vec![OsString::from("b.bin")]);
+        io.remove(&renamed).unwrap();
+        assert!(io.read(&renamed).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

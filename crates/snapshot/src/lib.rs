@@ -31,15 +31,20 @@
 
 pub mod colf;
 pub mod diff;
+pub mod faultfs;
+pub mod io;
 pub mod psv;
 pub mod record;
 pub mod scanner;
 pub mod snapshot;
 pub mod store;
 pub mod varint;
+pub mod xxh;
 
-pub use diff::{AccessBreakdown, SnapshotDiff};
+pub use diff::{AccessBreakdown, DiffGap, SnapshotDiff};
+pub use faultfs::{FaultFs, FaultKind};
+pub use io::{OsIo, StoreIo};
 pub use record::SnapshotRecord;
 pub use scanner::scan;
 pub use snapshot::Snapshot;
-pub use store::SnapshotStore;
+pub use store::{RetryPolicy, SnapshotStore, StoreHealth};

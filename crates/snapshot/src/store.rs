@@ -1,26 +1,53 @@
 //! On-disk snapshot collections.
 //!
-//! OLCF accumulates daily snapshots and the study samples one per week; the
-//! aggregate (8.5 TB of text) cannot live in memory, so the analysis
+//! OLCF accumulates daily snapshots and the study samples one per week;
+//! the aggregate (8.5 TB of text) cannot live in memory, so the analysis
 //! streams snapshots one at a time. `SnapshotStore` mirrors that: each
 //! snapshot is a `colf` file named `snap-<day>.colf` in a directory, and
 //! iteration loads at most one (the diff-based analyses hold two).
+//!
+//! Operational archives also *rot* — the paper's team simply skipped
+//! unusable dumps and sampled the nearest good day. The store owns that
+//! policy end to end:
+//!
+//! * all I/O goes through an injectable [`StoreIo`] seam and transient
+//!   failures are **retried with exponential backoff** ([`RetryPolicy`]);
+//! * [`SnapshotStore::scrub`] verifies every snapshot, moving
+//!   undecodable ones to a `quarantine/` subdirectory and reporting a
+//!   [`StoreHealth`] with a **substitution plan**: each lost day mapped
+//!   to the nearest healthy one, exactly the paper's sampling fallback;
+//! * [`SnapshotStore::open`] cross-checks each file name's day against
+//!   the day stored in the colf header, so a misnamed (or misrenamed)
+//!   snapshot cannot silently masquerade as a different date.
 
 use crate::colf;
+use crate::io::{OsIo, StoreIo};
 use crate::snapshot::Snapshot;
-use std::fs;
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Name of the subdirectory holding quarantined snapshot files.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Errors from store operations.
 #[derive(Debug)]
 pub enum StoreError {
-    /// Filesystem-level failure.
+    /// Filesystem-level failure (after retries were exhausted).
     Io(io::Error),
     /// A stored snapshot failed to decode.
     Colf(colf::ColfError),
     /// A snapshot for the given day already exists.
     DuplicateDay(u32),
+    /// A file's name claims one day but its header records another.
+    DayMismatch {
+        /// Day parsed from the `snap-<day>.colf` file name.
+        file_day: u32,
+        /// Day stored in the colf header.
+        header_day: u32,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -29,6 +56,13 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::Colf(e) => write!(f, "store decode error: {e}"),
             StoreError::DuplicateDay(d) => write!(f, "snapshot for day {d} already stored"),
+            StoreError::DayMismatch {
+                file_day,
+                header_day,
+            } => write!(
+                f,
+                "file named for day {file_day} but header records day {header_day}"
+            ),
         }
     }
 }
@@ -47,28 +81,164 @@ impl From<colf::ColfError> for StoreError {
     }
 }
 
+/// How the store retries transient I/O failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Default attempt count with no sleeping — what tests want.
+    pub fn immediate() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// A snapshot that decoded only partially: some checksummed sections
+/// were lost and replaced with defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedDay {
+    /// The snapshot's day.
+    pub day: u32,
+    /// Sections that failed their checksum and were dropped.
+    pub lost_sections: Vec<&'static str>,
+}
+
+/// A snapshot that could not be decoded at all and was moved out of the
+/// store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedDay {
+    /// The day the file claimed to hold.
+    pub day: u32,
+    /// Why it was quarantined.
+    pub reason: String,
+}
+
+/// The nearest-healthy-day stand-in for a quarantined snapshot — the
+/// paper's own fallback when a weekly dump was unusable (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Substitution {
+    /// The day that was lost.
+    pub day: u32,
+    /// The nearest remaining healthy day (ties break earlier).
+    pub substitute: u32,
+}
+
+/// Result of a [`SnapshotStore::scrub`]: the store's verified condition
+/// plus the degradation plan downstream consumers should follow.
+#[derive(Debug, Clone, Default)]
+pub struct StoreHealth {
+    /// Days that decoded bit-perfectly.
+    pub healthy_days: Vec<u32>,
+    /// Days that decoded with lost sections (kept in the store).
+    pub degraded: Vec<DegradedDay>,
+    /// Days whose files were quarantined.
+    pub quarantined: Vec<QuarantinedDay>,
+    /// Replacement day for each quarantined day, when any healthy or
+    /// degraded day remains.
+    pub substitutions: Vec<Substitution>,
+    /// Transient I/O retries the store performed while scrubbing (and
+    /// before it, since open).
+    pub transient_retries: u64,
+}
+
+impl StoreHealth {
+    /// True when every snapshot decoded bit-perfectly.
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty() && self.quarantined.is_empty()
+    }
+
+    /// The substitute day for `day`, if it was quarantined and one exists.
+    pub fn substitute_for(&self, day: u32) -> Option<u32> {
+        self.substitutions
+            .iter()
+            .find(|s| s.day == day)
+            .map(|s| s.substitute)
+    }
+}
+
 /// A directory of `colf` snapshots, indexed by simulation day.
 #[derive(Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
     days: Vec<u32>,
+    io: Arc<dyn StoreIo>,
+    retry: RetryPolicy,
+    retries: AtomicU64,
 }
 
 impl SnapshotStore {
-    /// Opens (creating if needed) a store at `dir`, indexing any snapshots
-    /// already present.
+    /// Opens (creating if needed) a store at `dir` over the real
+    /// filesystem, indexing any snapshots already present.
+    ///
+    /// Every indexed file's header day is cross-checked against its file
+    /// name; a mismatch is an error (use [`SnapshotStore::scrub`] after
+    /// [`SnapshotStore::open_with_io`] on a store opened leniently to
+    /// quarantine instead — see `open_lenient`).
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with_io(dir, Arc::new(OsIo), RetryPolicy::default())
+    }
+
+    /// Opens a store routing all I/O through `io` with the given retry
+    /// policy. Same day cross-check as [`SnapshotStore::open`].
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+    ) -> Result<Self, StoreError> {
+        let store = Self::open_lenient(dir, io, retry)?;
+        for &day in &store.days {
+            if let Some(header_day) = store.peek_header_day(day)? {
+                if header_day != day {
+                    return Err(StoreError::DayMismatch {
+                        file_day: day,
+                        header_day,
+                    });
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Opens without the day cross-check, so a damaged archive can be
+    /// indexed and then healed via [`SnapshotStore::scrub`] (which
+    /// quarantines mismatched files rather than refusing to open).
+    pub fn open_lenient(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+    ) -> Result<Self, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         let mut days = Vec::new();
-        for entry in fs::read_dir(&dir)? {
-            let entry = entry?;
-            if let Some(day) = Self::parse_file_name(&entry.file_name()) {
+        for name in io.list(&dir)? {
+            if let Some(day) = Self::parse_file_name(&name) {
                 days.push(day);
             }
         }
         days.sort_unstable();
-        Ok(SnapshotStore { dir, days })
+        Ok(SnapshotStore {
+            dir,
+            days,
+            io,
+            retry,
+            retries: AtomicU64::new(0),
+        })
     }
 
     fn parse_file_name(name: &std::ffi::OsStr) -> Option<u32> {
@@ -83,7 +253,41 @@ impl SnapshotStore {
         self.dir.join(format!("snap-{day:05}.colf"))
     }
 
-    /// Persists a snapshot. Days must be unique.
+    /// Runs `op`, retrying transient failures per the policy. Not-found
+    /// errors are permanent and returned immediately.
+    fn with_retry<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut delay = self.retry.backoff;
+        let mut last = None;
+        for attempt in 0..self.retry.attempts.max(1) {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(e),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < self.retry.attempts.max(1) {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                            delay *= 2;
+                        }
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Header day of the stored file for `day`, or `None` when the
+    /// prefix is not parseable (deferred to decode-time diagnosis).
+    fn peek_header_day(&self, day: u32) -> Result<Option<u32>, StoreError> {
+        let path = self.file_path(day);
+        let prefix = self.with_retry(|| self.io.read_prefix(&path, colf::PEEK_PREFIX_LEN))?;
+        Ok(colf::peek_day(&prefix))
+    }
+
+    /// Persists a snapshot. Days must be unique. The write is atomic
+    /// (tmp file + rename) and retried on transient failure, so a torn
+    /// write can never leave a half-written `.colf` in the index.
     pub fn put(&mut self, snapshot: &Snapshot) -> Result<(), StoreError> {
         let day = snapshot.day();
         if self.days.binary_search(&day).is_ok() {
@@ -92,25 +296,138 @@ impl SnapshotStore {
         let bytes = colf::encode(snapshot);
         let path = self.file_path(day);
         let tmp = path.with_extension("colf.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
+        let result = self.with_retry(|| {
+            self.io.write(&tmp, &bytes)?;
+            self.io.rename(&tmp, &path)
+        });
+        if let Err(e) = result {
+            // Best-effort cleanup of a torn tmp file; the store itself
+            // is untouched (nothing under the snap-*.colf namespace).
+            let _ = self.io.remove(&tmp);
+            return Err(e.into());
         }
-        fs::rename(&tmp, &path)?;
         let pos = self.days.partition_point(|&d| d < day);
         self.days.insert(pos, day);
         Ok(())
     }
 
-    /// Loads the snapshot for `day`, if present.
+    fn read_day(&self, day: u32) -> Result<Vec<u8>, StoreError> {
+        let path = self.file_path(day);
+        Ok(self.with_retry(|| self.io.read(&path))?)
+    }
+
+    /// Loads the snapshot for `day`, if present. Strict: a failed
+    /// checksum anywhere is an error. Transparently retries the read
+    /// once more when the first decode fails, which heals short reads
+    /// without masking at-rest corruption.
     pub fn get(&self, day: u32) -> Result<Option<Snapshot>, StoreError> {
         if self.days.binary_search(&day).is_err() {
             return Ok(None);
         }
-        let mut bytes = Vec::new();
-        fs::File::open(self.file_path(day))?.read_to_end(&mut bytes)?;
-        Ok(Some(colf::decode(&bytes)?))
+        match colf::decode(&self.read_day(day)?) {
+            Ok(snap) => Ok(Some(snap)),
+            Err(_) => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(colf::decode(&self.read_day(day)?)?))
+            }
+        }
+    }
+
+    /// Loads the snapshot for `day` with lossy section recovery: corrupt
+    /// non-spine sections are dropped (and named) instead of failing the
+    /// whole snapshot.
+    pub fn get_lossy(&self, day: u32) -> Result<Option<colf::LossyDecode>, StoreError> {
+        if self.days.binary_search(&day).is_err() {
+            return Ok(None);
+        }
+        match colf::decode_lossy(&self.read_day(day)?) {
+            Ok(d) => Ok(Some(d)),
+            Err(_) => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(colf::decode_lossy(&self.read_day(day)?)?))
+            }
+        }
+    }
+
+    /// Verifies every stored snapshot, quarantining the unrecoverable
+    /// and reporting the store's health with a substitution plan.
+    ///
+    /// * decodes bit-perfectly → healthy;
+    /// * decodes with lost sections → degraded (file kept);
+    /// * fails decode, misreports its day, or cannot be read → the file
+    ///   is moved to `quarantine/` and the day mapped to the nearest
+    ///   surviving day (ties break earlier), mirroring the paper's
+    ///   skip-to-nearest-dump sampling.
+    pub fn scrub(&mut self) -> StoreHealth {
+        let mut health = StoreHealth::default();
+        for day in self.days.clone() {
+            match self.get_lossy(day) {
+                Ok(Some(lossy)) => {
+                    if lossy.snapshot.day() != day {
+                        self.quarantine_day(
+                            day,
+                            format!(
+                                "header records day {} but file is named for day {day}",
+                                lossy.snapshot.day()
+                            ),
+                            &mut health,
+                        );
+                    } else if lossy.lost_sections.is_empty() {
+                        health.healthy_days.push(day);
+                    } else {
+                        health.degraded.push(DegradedDay {
+                            day,
+                            lost_sections: lossy.lost_sections,
+                        });
+                    }
+                }
+                Ok(None) => unreachable!("scrub iterates indexed days"),
+                Err(e) => self.quarantine_day(day, e.to_string(), &mut health),
+            }
+        }
+        // Substitutions: nearest surviving day for each quarantined one.
+        for q in &health.quarantined {
+            if let Some(substitute) = self.nearest_day(q.day) {
+                health.substitutions.push(Substitution {
+                    day: q.day,
+                    substitute,
+                });
+            }
+        }
+        health.transient_retries = self.retries.load(Ordering::Relaxed);
+        health
+    }
+
+    /// Moves the file for `day` into `quarantine/` and drops it from the
+    /// index. Never panics: if even the move fails, the file stays put
+    /// but the day is still deindexed and the failure recorded.
+    fn quarantine_day(&mut self, day: u32, reason: String, health: &mut StoreHealth) {
+        let from = self.file_path(day);
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let to = qdir.join(format!("snap-{day:05}.colf"));
+        let moved = self
+            .io
+            .create_dir_all(&qdir)
+            .and_then(|()| self.io.rename(&from, &to));
+        let reason = match moved {
+            Ok(()) => reason,
+            Err(e) => format!("{reason} (quarantine move failed: {e}; file left in place)"),
+        };
+        if let Ok(pos) = self.days.binary_search(&day) {
+            self.days.remove(pos);
+        }
+        health.quarantined.push(QuarantinedDay { day, reason });
+    }
+
+    /// The indexed day closest to `day` (itself excluded); ties break to
+    /// the earlier day, matching the paper's preference for the older
+    /// dump when two are equally near.
+    pub fn nearest_day(&self, day: u32) -> Option<u32> {
+        self.days
+            .iter()
+            .copied()
+            .filter(|&d| d != day)
+            .min_by_key(|&d| (d.abs_diff(day), d))
     }
 
     /// Days with stored snapshots, ascending.
@@ -133,13 +450,30 @@ impl SnapshotStore {
         &self.dir
     }
 
+    /// The I/O seam this store routes through — share it to open helper
+    /// views (e.g. the prefetching reader) under the same fault regime.
+    pub fn io(&self) -> Arc<dyn StoreIo> {
+        Arc::clone(&self.io)
+    }
+
+    /// The store's retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Transient I/O retries performed so far.
+    pub fn transient_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
     /// On-disk bytes of the snapshot for `day` (footprint accounting for
     /// the Fig. 4 conversion experiment).
     pub fn file_size(&self, day: u32) -> Result<Option<u64>, StoreError> {
         if self.days.binary_search(&day).is_err() {
             return Ok(None);
         }
-        Ok(Some(fs::metadata(self.file_path(day))?.len()))
+        let path = self.file_path(day);
+        Ok(Some(self.with_retry(|| self.io.len(&path))?))
     }
 
     /// Streams snapshots in day order, loading one at a time.
@@ -154,7 +488,9 @@ impl SnapshotStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultfs::{FaultFs, FaultKind};
     use crate::record::SnapshotRecord;
+    use std::fs;
 
     fn snap(day: u32, n: usize) -> Snapshot {
         let records = (0..n)
@@ -178,6 +514,13 @@ mod tests {
             std::env::temp_dir().join(format!("spider-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn fault_store(dir: &Path, seed: u64) -> (SnapshotStore, Arc<FaultFs<OsIo>>) {
+        let ffs = Arc::new(FaultFs::new(OsIo, seed));
+        let store =
+            SnapshotStore::open_with_io(dir, ffs.clone(), RetryPolicy::immediate()).unwrap();
+        (store, ffs)
     }
 
     #[test]
@@ -263,6 +606,196 @@ mod tests {
         fs::write(dir.join("snap-abc.colf"), "bad name").unwrap();
         let store = SnapshotStore::open(&dir).unwrap();
         assert!(store.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn misnamed_file_is_rejected_at_open() {
+        let dir = temp_dir("mismatch");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(7, 5)).unwrap();
+        }
+        // Rename day 7's file to claim day 9.
+        fs::rename(dir.join("snap-00007.colf"), dir.join("snap-00009.colf")).unwrap();
+        match SnapshotStore::open(&dir) {
+            Err(StoreError::DayMismatch {
+                file_day,
+                header_day,
+            }) => {
+                assert_eq!(file_day, 9);
+                assert_eq!(header_day, 7);
+            }
+            other => panic!("expected DayMismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_quarantines_misnamed_file() {
+        let dir = temp_dir("mismatch-scrub");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(7, 5)).unwrap();
+            store.put(&snap(14, 5)).unwrap();
+        }
+        fs::rename(dir.join("snap-00007.colf"), dir.join("snap-00009.colf")).unwrap();
+        let mut store =
+            SnapshotStore::open_lenient(&dir, Arc::new(OsIo), RetryPolicy::immediate()).unwrap();
+        let health = store.scrub();
+        assert_eq!(health.healthy_days, vec![14]);
+        assert_eq!(health.quarantined.len(), 1);
+        assert_eq!(health.quarantined[0].day, 9);
+        assert_eq!(health.substitute_for(9), Some(14));
+        assert!(dir.join(QUARANTINE_DIR).join("snap-00009.colf").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_on_clean_store_is_clean() {
+        let dir = temp_dir("clean");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        for day in [0, 7, 14] {
+            store.put(&snap(day, 10)).unwrap();
+        }
+        let health = store.scrub();
+        assert!(health.is_clean());
+        assert_eq!(health.healthy_days, vec![0, 7, 14]);
+        assert!(health.substitutions.is_empty());
+        assert_eq!(health.transient_retries, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_degrades_on_corrupt_osts_and_quarantines_corrupt_paths() {
+        let dir = temp_dir("scrub");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            for day in [0, 7, 14, 21] {
+                store.put(&snap(day, 40)).unwrap();
+            }
+        }
+        let corrupt_section = |day: u32, section: &str| {
+            let path = dir.join(format!("snap-{day:05}.colf"));
+            let mut bytes = fs::read(&path).unwrap();
+            let spans = colf::section_table(&bytes).unwrap();
+            let span = spans.iter().find(|s| s.name == section).unwrap();
+            bytes[span.offset + span.len / 2] ^= 0xFF;
+            fs::write(&path, bytes).unwrap();
+        };
+        corrupt_section(7, "osts"); // recoverable: every other column survives
+        corrupt_section(14, "paths"); // unrecoverable: the record spine
+
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        let health = store.scrub();
+        assert_eq!(health.healthy_days, vec![0, 21]);
+        assert_eq!(
+            health.degraded,
+            vec![DegradedDay {
+                day: 7,
+                lost_sections: vec!["osts"]
+            }]
+        );
+        assert_eq!(health.quarantined.len(), 1);
+        assert_eq!(health.quarantined[0].day, 14);
+        // Nearest surviving day to 14: tie between 7 and 21 breaks earlier.
+        assert_eq!(health.substitute_for(14), Some(7));
+        assert_eq!(store.days(), &[0, 7, 21]);
+        assert!(dir.join(QUARANTINE_DIR).join("snap-00014.colf").exists());
+        // The degraded day still serves lossy reads.
+        let lossy = store.get_lossy(7).unwrap().unwrap();
+        assert_eq!(lossy.lost_sections, vec!["osts"]);
+        assert_eq!(lossy.snapshot.len(), 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_read_error_is_retried() {
+        let dir = temp_dir("transient");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(7, 20)).unwrap();
+        }
+        let (store, ffs) = fault_store(&dir, 5);
+        // Read op 0 was the open-time header peek; the get is op 1.
+        ffs.plan_read(1, FaultKind::TransientEio);
+        assert_eq!(store.get(7).unwrap().unwrap(), snap(7, 20));
+        assert!(store.transient_retries() >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_is_healed_by_reread() {
+        let dir = temp_dir("shortread");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(7, 20)).unwrap();
+        }
+        let (store, ffs) = fault_store(&dir, 5);
+        ffs.plan_read(1, FaultKind::ShortRead);
+        assert_eq!(store.get(7).unwrap().unwrap(), snap(7, 20));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_the_index() {
+        let dir = temp_dir("torn");
+        let (mut store, ffs) = fault_store(&dir, 9);
+        // Tear every attempt: the put must fail cleanly.
+        for i in 0..8 {
+            ffs.plan_write(i, FaultKind::TornWrite);
+        }
+        assert!(store.put(&snap(7, 30)).is_err());
+        assert!(store.is_empty());
+        // A fresh open sees no snapshot and no stray tmp artifacts
+        // indexed; the next put succeeds.
+        drop(store);
+        let (mut store, _ffs) = fault_store(&dir, 10);
+        assert!(store.is_empty());
+        store.put(&snap(7, 30)).unwrap();
+        assert_eq!(store.get(7).unwrap().unwrap(), snap(7, 30));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_rename_failure_does_not_panic() {
+        let dir = temp_dir("qfail");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(7, 30)).unwrap();
+            store.put(&snap(14, 30)).unwrap();
+        }
+        // Corrupt day 7's paths section so scrub must quarantine it.
+        let path = dir.join("snap-00007.colf");
+        let mut bytes = fs::read(&path).unwrap();
+        let spans = colf::section_table(&bytes).unwrap();
+        let span = spans.iter().find(|s| s.name == "paths").unwrap();
+        bytes[span.offset] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+
+        let (mut store, ffs) = fault_store(&dir, 3);
+        ffs.fail_next_rename();
+        let health = store.scrub();
+        assert_eq!(health.quarantined.len(), 1);
+        assert!(health.quarantined[0]
+            .reason
+            .contains("quarantine move failed"));
+        // Deindexed even though the file could not be moved.
+        assert_eq!(store.days(), &[14]);
+        assert!(path.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nearest_day_prefers_earlier_on_tie() {
+        let dir = temp_dir("nearest");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        for day in [0, 7, 21] {
+            store.put(&snap(day, 1)).unwrap();
+        }
+        assert_eq!(store.nearest_day(14), Some(7)); // 7 and 21 both 7 away
+        assert_eq!(store.nearest_day(20), Some(21));
+        assert_eq!(store.nearest_day(7), Some(0)); // itself excluded
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,385 @@
+//! The corruption matrix: every injected fault must be *fully
+//! recovered* or *cleanly quarantined* — never a panic, never silently
+//! wrong numbers.
+//!
+//! Three layers of coverage:
+//!
+//! 1. **Section matrix** — for every checksummed region of a v2 colf
+//!    file (header, section table, each of the nine columns) and every
+//!    at-rest mutation (bit flip, byte smash, truncation at the
+//!    section), the store's scrub must land the file in exactly the
+//!    right bucket: spine damage (header / table / paths) quarantines
+//!    with a nearest-day substitution; column damage degrades with the
+//!    column reported lost and every surviving column bit-exact.
+//! 2. **I/O fault kinds** — each [`FaultKind`] injected through
+//!    [`FaultFs`] at the operation level: transients recover via retry,
+//!    at-rest damage is detected, torn writes never corrupt the index.
+//! 3. **Seeded soak** — a pseudo-random fault plan over a whole
+//!    store lifecycle; every outcome reconciled against the originals.
+//!
+//! The seed comes from `SPIDER_FAULT_SEED` when set (CI runs three
+//! fixed seeds); otherwise three defaults run.
+
+use spider_snapshot::colf;
+use spider_snapshot::faultfs::{FaultFs, FaultKind};
+use spider_snapshot::io::OsIo;
+use spider_snapshot::record::SnapshotRecord;
+use spider_snapshot::snapshot::Snapshot;
+use spider_snapshot::store::{RetryPolicy, SnapshotStore, StoreError, QUARANTINE_DIR};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("SPIDER_FAULT_SEED") {
+        Ok(raw) => vec![raw.parse().expect("SPIDER_FAULT_SEED must be a u64")],
+        Err(_) => vec![0xA11CE, 0xB0B5_1ED5, 0xC0FF_EE42],
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sample_snapshot(day: u32, n: usize) -> Snapshot {
+    let records: Vec<SnapshotRecord> = (0..n)
+        .map(|i| SnapshotRecord {
+            path: format!(
+                "/lustre/atlas1/proj{:02}/u{:02}/d{day}/f.{i:06}",
+                i % 5,
+                i % 9
+            ),
+            atime: 1_420_000_000 + day as u64 * 86_400 + i as u64 * 31,
+            ctime: 1_420_000_000 + i as u64 * 17,
+            mtime: 1_420_000_000 + i as u64 * 19,
+            uid: 10_000 + (i % 23) as u32,
+            gid: 2_000 + (i % 7) as u32,
+            mode: if i % 9 == 0 { 0o040770 } else { 0o100664 },
+            ino: day as u64 * 1_000_000 + i as u64,
+            osts: ((i % 4) as u16..4)
+                .map(|k| (k * 97, i as u32 + k as u32))
+                .collect(),
+        })
+        .collect();
+    Snapshot::new(day, 1_420_000_000 + day as u64 * 86_400, records)
+}
+
+const STORE_DAYS: [u32; 6] = [0, 7, 14, 21, 28, 35];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("spider-fault-matrix-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a clean six-snapshot store and returns the originals.
+fn seed_store(dir: &Path) -> BTreeMap<u32, Snapshot> {
+    let mut store = SnapshotStore::open(dir).expect("open clean store");
+    let mut originals = BTreeMap::new();
+    for day in STORE_DAYS {
+        let snap = sample_snapshot(day, 40);
+        store.put(&snap).expect("put clean snapshot");
+        originals.insert(day, snap);
+    }
+    originals
+}
+
+/// Asserts that `got`'s surviving columns equal `want`'s, given the
+/// sections reported lost. Lost numeric columns read as zero, lost osts
+/// as empty — the documented defaults, detectably absent rather than
+/// silently wrong.
+fn assert_surviving_columns_exact(got: &Snapshot, want: &Snapshot, lost: &[&str]) {
+    assert_eq!(got.len(), want.len(), "record count changed");
+    for (g, w) in got.records().iter().zip(want.records()) {
+        assert_eq!(g.path, w.path, "paths are the spine; never lossy");
+        macro_rules! check {
+            ($field:ident, $name:literal, $default:expr) => {
+                if lost.contains(&$name) {
+                    assert_eq!(g.$field, $default, "lost {} must read as default", $name);
+                } else {
+                    assert_eq!(g.$field, w.$field, "surviving {} must be exact", $name);
+                }
+            };
+        }
+        check!(atime, "atime", 0);
+        check!(ctime, "ctime", 0);
+        check!(mtime, "mtime", 0);
+        check!(ino, "ino", 0);
+        check!(uid, "uid", 0);
+        check!(gid, "gid", 0);
+        check!(mode, "mode", 0);
+        check!(osts, "osts", Vec::new());
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// XOR one bit somewhere in the section.
+    BitFlip,
+    /// XOR up to four bytes with 0xFF.
+    ByteSmash,
+    /// Cut the file inside the section.
+    TruncateAt,
+}
+
+fn mutate(bytes: &mut Vec<u8>, span: &colf::SectionSpan, mutation: Mutation, rng: &mut u64) {
+    assert!(span.len > 0, "cannot mutate empty section {}", span.name);
+    let pos = span.offset + (splitmix(rng) % span.len as u64) as usize;
+    match mutation {
+        Mutation::BitFlip => bytes[pos] ^= 1 << (splitmix(rng) % 8),
+        Mutation::ByteSmash => {
+            let end = (pos + 4).min(span.offset + span.len);
+            for b in &mut bytes[pos..end] {
+                *b ^= 0xFF;
+            }
+        }
+        Mutation::TruncateAt => bytes.truncate(pos),
+    }
+}
+
+/// The section × mutation × seed matrix.
+#[test]
+fn section_matrix_recovers_or_quarantines_every_cell() {
+    // Spine sections: damage is unrecoverable by design.
+    let spine = ["header", "section-table", "paths"];
+    for seed in seeds() {
+        let mut rng = seed;
+        let names: Vec<&str> = {
+            let probe = colf::encode(&sample_snapshot(14, 40));
+            colf::section_table(&probe)
+                .unwrap()
+                .iter()
+                .map(|s| s.name)
+                .collect()
+        };
+        for target in &names {
+            for mutation in [Mutation::BitFlip, Mutation::ByteSmash, Mutation::TruncateAt] {
+                let dir = temp_dir(&format!("sec-{seed:x}-{target}-{mutation:?}"));
+                let originals = seed_store(&dir);
+
+                // Corrupt day 14's file at the target section.
+                let victim = dir.join("snap-00014.colf");
+                let mut bytes = fs::read(&victim).unwrap();
+                let spans = colf::section_table(&bytes).unwrap();
+                let span = spans.iter().find(|s| s.name == *target).unwrap().clone();
+                mutate(&mut bytes, &span, mutation, &mut rng);
+                fs::write(&victim, &bytes).unwrap();
+
+                let mut store =
+                    SnapshotStore::open_lenient(&dir, Arc::new(OsIo), RetryPolicy::immediate())
+                        .unwrap();
+                let health = store.scrub();
+
+                let cell = format!("seed={seed:#x} section={target} mutation={mutation:?}");
+                let quarantined: Vec<u32> = health.quarantined.iter().map(|q| q.day).collect();
+                let degraded_day = health.degraded.iter().find(|d| d.day == 14);
+
+                if spine.contains(target) {
+                    // Spine damage: exactly day 14 quarantined, moved to
+                    // quarantine/, substitution to the nearest survivor.
+                    assert_eq!(quarantined, vec![14], "{cell}: expected quarantine");
+                    assert!(degraded_day.is_none(), "{cell}: must not also degrade");
+                    assert_eq!(health.substitute_for(14), Some(7), "{cell}: substitution");
+                    assert!(
+                        dir.join(QUARANTINE_DIR).join("snap-00014.colf").exists(),
+                        "{cell}: file must move to quarantine/"
+                    );
+                    assert!(store.get(14).unwrap().is_none(), "{cell}: deindexed");
+                } else {
+                    // Column damage: day 14 degraded, never quarantined.
+                    assert!(
+                        quarantined.is_empty(),
+                        "{cell}: {quarantined:?} quarantined"
+                    );
+                    let degraded = degraded_day.unwrap_or_else(|| {
+                        panic!("{cell}: day 14 should be degraded, health {health:?}")
+                    });
+                    // Truncation takes the target section and everything
+                    // after it; point mutations take exactly the target.
+                    assert!(
+                        degraded.lost_sections.contains(target),
+                        "{cell}: lost {:?}",
+                        degraded.lost_sections
+                    );
+                    if !matches!(mutation, Mutation::TruncateAt) {
+                        assert_eq!(degraded.lost_sections, vec![*target], "{cell}");
+                    }
+                    let lossy = store.get_lossy(14).unwrap().unwrap();
+                    assert_surviving_columns_exact(
+                        &lossy.snapshot,
+                        &originals[&14],
+                        &degraded.lost_sections,
+                    );
+                }
+
+                // Every other day is untouched and healthy.
+                for day in STORE_DAYS.iter().filter(|&&d| d != 14) {
+                    assert!(
+                        health.healthy_days.contains(day),
+                        "{cell}: day {day} should stay healthy"
+                    );
+                    assert_eq!(
+                        store.get(*day).unwrap().unwrap(),
+                        originals[day],
+                        "{cell}: day {day} changed"
+                    );
+                }
+                fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+}
+
+/// Each I/O-level fault kind, injected through the FaultFs shim.
+#[test]
+fn io_fault_kinds_recover_or_quarantine() {
+    for seed in seeds() {
+        for kind in FaultKind::READ_KINDS {
+            let dir = temp_dir(&format!("io-{seed:x}-{kind:?}"));
+            let originals = seed_store(&dir);
+
+            let ffs = Arc::new(FaultFs::new(OsIo, seed));
+            let store = SnapshotStore::open_with_io(
+                &dir,
+                ffs.clone() as Arc<dyn spider_snapshot::io::StoreIo>,
+                RetryPolicy::immediate(),
+            )
+            .unwrap();
+            // Open peeked one prefix per day; the next read is op 6.
+            let first_get_op = STORE_DAYS.len() as u64;
+            ffs.plan_read(first_get_op, kind);
+
+            let cell = format!("seed={seed:#x} kind={kind:?}");
+            match kind {
+                FaultKind::TransientEio | FaultKind::ShortRead => {
+                    // Transient: the store must heal it invisibly.
+                    let got = store.get(14).unwrap().unwrap();
+                    assert_eq!(got, originals[&14], "{cell}: recovered value wrong");
+                    assert_eq!(ffs.injected().len(), 1, "{cell}: fault must fire");
+                }
+                FaultKind::BitFlip | FaultKind::Truncate => {
+                    // At rest: strict reads must fail loudly (never wrong
+                    // numbers), and scrub must then classify the damage.
+                    match store.get(14) {
+                        Ok(Some(got)) => {
+                            assert_eq!(got, originals[&14], "{cell}: silent corruption")
+                        }
+                        Ok(None) => panic!("{cell}: day vanished"),
+                        Err(StoreError::Colf(_)) | Err(StoreError::Io(_)) => {}
+                        Err(e) => panic!("{cell}: unexpected error {e}"),
+                    }
+                    let mut store = SnapshotStore::open_lenient(
+                        &dir,
+                        ffs.clone() as Arc<dyn spider_snapshot::io::StoreIo>,
+                        RetryPolicy::immediate(),
+                    )
+                    .unwrap();
+                    let health = store.scrub();
+                    let accounted = health.healthy_days.contains(&14)
+                        || health.degraded.iter().any(|d| d.day == 14)
+                        || health.quarantined.iter().any(|q| q.day == 14);
+                    assert!(accounted, "{cell}: day 14 unaccounted, health {health:?}");
+                    for q in &health.quarantined {
+                        assert!(
+                            health.substitute_for(q.day).is_some(),
+                            "{cell}: quarantined day {} has no substitute",
+                            q.day
+                        );
+                    }
+                }
+                FaultKind::TornWrite => unreachable!("not a read kind"),
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
+
+        // Torn writes: the put fails (or retries through), and the store
+        // index never holds a half-written file.
+        let dir = temp_dir(&format!("io-{seed:x}-torn"));
+        let ffs = Arc::new(FaultFs::new(OsIo, seed));
+        let mut store = SnapshotStore::open_with_io(
+            &dir,
+            ffs.clone() as Arc<dyn spider_snapshot::io::StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        ffs.plan_write(0, FaultKind::TornWrite);
+        let snap = sample_snapshot(7, 40);
+        // First write attempt tears; the retry succeeds.
+        store
+            .put(&snap)
+            .expect("retry should absorb one torn write");
+        assert_eq!(store.get(7).unwrap().unwrap(), snap);
+        assert_eq!(ffs.injected().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Whole-lifecycle soak under a pseudo-random seeded fault plan.
+#[test]
+fn seeded_soak_never_panics_and_never_lies() {
+    for seed in seeds() {
+        let dir = temp_dir(&format!("soak-{seed:x}"));
+        // Establish originals with clean I/O first.
+        let originals = seed_store(&dir);
+
+        // Re-open the archive through a faulty lens and scrub it.
+        let ffs = Arc::new(FaultFs::seeded(OsIo, seed, 64));
+        let mut store = SnapshotStore::open_lenient(
+            &dir,
+            ffs.clone() as Arc<dyn spider_snapshot::io::StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        let health = store.scrub();
+
+        // Every day accounted for exactly once.
+        let mut seen: Vec<u32> = health.healthy_days.clone();
+        seen.extend(health.degraded.iter().map(|d| d.day));
+        seen.extend(health.quarantined.iter().map(|q| q.day));
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            STORE_DAYS.to_vec(),
+            "seed {seed:#x}: days unaccounted"
+        );
+
+        // Healthy days must read back exactly — or fail loudly if a
+        // later planned fault hits; an Ok that differs is the one
+        // forbidden outcome.
+        for &day in &health.healthy_days {
+            match store.get(day) {
+                Ok(Some(got)) => assert_eq!(got, originals[&day], "seed {seed:#x} day {day}"),
+                Ok(None) => panic!("seed {seed:#x}: healthy day {day} vanished"),
+                Err(_) => {} // a fresh injected fault; loud is fine
+            }
+        }
+        // Degraded days: surviving sections exact, lost ones defaulted.
+        for d in &health.degraded {
+            if let Ok(Some(lossy)) = store.get_lossy(d.day) {
+                if lossy.lost_sections == d.lost_sections {
+                    assert_surviving_columns_exact(
+                        &lossy.snapshot,
+                        &originals[&d.day],
+                        &d.lost_sections,
+                    );
+                }
+            }
+        }
+        // Quarantined days have substitutes as long as anything survived.
+        if health.quarantined.len() < STORE_DAYS.len() {
+            for q in &health.quarantined {
+                let sub = health
+                    .substitute_for(q.day)
+                    .unwrap_or_else(|| panic!("seed {seed:#x}: no substitute for {}", q.day));
+                assert!(STORE_DAYS.contains(&sub) && sub != q.day);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

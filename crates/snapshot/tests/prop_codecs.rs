@@ -87,6 +87,61 @@ proptest! {
         prop_assert!(colf::decode(&bytes).is_err());
     }
 
+    /// The section-checksum guarantee: XOR-ing any single byte of a valid
+    /// colf buffer with any nonzero pattern either fails to decode or
+    /// decodes to the identical record set — never a silently *different*
+    /// snapshot. (The deterministic exhaustive variant lives in the colf
+    /// unit tests; this one samples random positions and patterns.)
+    #[test]
+    fn colf_single_byte_mutation_detected_or_harmless(
+        snapshot in snapshot_strategy(),
+        pos_frac in 0.0..1.0f64,
+        pattern in 1u8..,
+    ) {
+        let bytes = colf::encode(&snapshot);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= pattern;
+        match colf::decode(&mutated) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(
+                decoded.records(),
+                snapshot.records(),
+                "byte {} ^ {:#x} changed the decode", pos, pattern
+            ),
+        }
+    }
+
+    /// Lossy decode under the same mutation: when it succeeds, every
+    /// section it does NOT report lost must be byte-identical to the
+    /// original column — degradation is explicit, never silent.
+    #[test]
+    fn colf_lossy_mutation_reports_what_it_lost(
+        snapshot in snapshot_strategy(),
+        pos_frac in 0.0..1.0f64,
+        pattern in 1u8..,
+    ) {
+        let bytes = colf::encode(&snapshot);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= pattern;
+        if let Ok(lossy) = colf::decode_lossy(&mutated) {
+            prop_assert_eq!(lossy.snapshot.len(), snapshot.len());
+            let lost = &lossy.lost_sections;
+            for (got, orig) in lossy.snapshot.records().iter().zip(snapshot.records()) {
+                prop_assert_eq!(&got.path, &orig.path, "paths are never lossy");
+                if !lost.contains(&"atime") { prop_assert_eq!(got.atime, orig.atime); }
+                if !lost.contains(&"ctime") { prop_assert_eq!(got.ctime, orig.ctime); }
+                if !lost.contains(&"mtime") { prop_assert_eq!(got.mtime, orig.mtime); }
+                if !lost.contains(&"ino") { prop_assert_eq!(got.ino, orig.ino); }
+                if !lost.contains(&"uid") { prop_assert_eq!(got.uid, orig.uid); }
+                if !lost.contains(&"gid") { prop_assert_eq!(got.gid, orig.gid); }
+                if !lost.contains(&"mode") { prop_assert_eq!(got.mode, orig.mode); }
+                if !lost.contains(&"osts") { prop_assert_eq!(&got.osts, &orig.osts); }
+            }
+        }
+    }
+
     /// The diff's five categories partition the union of file paths.
     #[test]
     fn diff_partitions_the_union(a in snapshot_strategy(), b in snapshot_strategy()) {

@@ -13,6 +13,14 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
     cargo build --release
     echo "== cargo test -q"
     cargo test -q
+    # The corruption harness again under three pinned seeds (decimal for
+    # 0xA11CE, 0xB0B51ED5, 0xC0FFEE42), so the fault plans CI exercises
+    # never drift with the defaults.
+    echo "== fault matrix (pinned seeds)"
+    for seed in 660942 2964594389 3237998146; do
+        echo "   -- SPIDER_FAULT_SEED=$seed"
+        SPIDER_FAULT_SEED=$seed cargo test -q -p spider-snapshot --test fault_matrix
+    done
     echo "== cargo clippy --all-targets (deny warnings)"
     cargo clippy --all-targets -- -D warnings
     echo "== cargo fmt --check"

@@ -1,0 +1,40 @@
+//! crossbeam stand-in for the offline harness: `channel::bounded` over
+//! `std::sync::mpsc::sync_channel`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}

@@ -1,0 +1,123 @@
+//! rayon stand-in for the offline harness: everything runs sequentially
+//! on the calling thread. The morsel-tree reduction in `spider_core`
+//! produces identical results either way by design, so sequential
+//! execution changes wall-clock only, never values.
+
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential wrapper exposing the rayon adapter surface in use.
+pub struct SeqIter<I: Iterator>(I);
+
+impl<I: Iterator> SeqIter<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+        SeqIter(self.0.filter(f))
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// rayon-style fold: one accumulator per "thread" — exactly one here.
+    pub fn fold<T, ID, F>(self, init: ID, f: F) -> SeqIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        SeqIter(std::iter::once(self.0.fold(init(), f)))
+    }
+
+    /// rayon-style reduce with an identity factory.
+    pub fn reduce<ID, F>(mut self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        match self.0.next() {
+            None => identity(),
+            Some(first) => self.0.fold(first, op),
+        }
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.any(f)
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.all(f)
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+}
+
+pub mod prelude {
+    use super::SeqIter;
+
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> SeqIter<Self::Iter>;
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Iter = std::ops::Range<T>;
+        type Item = T;
+        fn into_par_iter(self) -> SeqIter<Self::Iter> {
+            SeqIter(self)
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> SeqIter<Self::Iter> {
+            SeqIter(self.into_iter())
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
+            SeqIter(self.iter())
+        }
+    }
+
+    impl<T> ParallelSlice<T> for Vec<T> {
+        fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
+            SeqIter(self.iter())
+        }
+    }
+}

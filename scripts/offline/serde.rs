@@ -1,0 +1,20 @@
+//! serde stand-in for the offline harness.
+//!
+//! Marker traits satisfied by every type, plus re-exported no-op
+//! derives. Anything bounded on `Serialize`/`Deserialize` compiles; the
+//! stub `serde_json` renders placeholders instead of real JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub use super::Deserialize;
+}
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,33 @@
+//! serde_json stand-in for the offline harness.
+//!
+//! Real serialization needs the real serde data model; offline we only
+//! need the call sites to compile and produce *deterministic* strings
+//! (the lab cache compares marker files for equality). `Debug` output
+//! of the value type name is stable enough for that.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn placeholder<T: ?Sized>(_value: &T) -> String {
+    // Deterministic for a given type; values of the same type compare
+    // equal, which keeps cache-marker logic consistent offline.
+    format!("{{\"offline-stub\":{:?}}}", std::any::type_name::<T>())
+}
+
+pub fn to_string<T: ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(placeholder(value))
+}
+
+pub fn to_string_pretty<T: ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(placeholder(value))
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Offline workspace gate: compile every crate and run its tests with
+# plain rustc against the API stubs in scripts/offline/ (see the README
+# there). Used when the crates registry is unreachable; with registry
+# access, prefer scripts/check.sh.
+#
+# Usage:
+#   bash scripts/offline_check.sh            # everything
+#   bash scripts/offline_check.sh snapshot   # crates matching "snapshot"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+OUT=target/offline
+DEPS="$OUT/deps"
+mkdir -p "$DEPS"
+
+EDITION=2021
+RUSTC="rustc --edition $EDITION -O -A warnings --out-dir $DEPS -L $DEPS"
+
+say() { printf '\n\033[1m== %s\033[0m\n' "$*"; }
+
+# ---- stubs ----------------------------------------------------------------
+say "stubs"
+rustc --edition $EDITION -O -A warnings --crate-type proc-macro \
+    --crate-name serde_derive scripts/offline/serde_derive.rs --out-dir "$DEPS"
+for stub in serde bytes rand rayon rustc_hash crossbeam; do
+    $RUSTC --crate-type rlib --crate-name $stub scripts/offline/$stub.rs \
+        $( [ $stub = serde ] && echo "--extern serde_derive=$DEPS/libserde_derive.so" )
+done
+$RUSTC --crate-type rlib --crate-name serde_json scripts/offline/serde_json.rs
+
+ext() { echo "--extern $1=$DEPS/lib$1.rlib"; }
+
+# Workspace crates in dependency order: "name:lib_path:deps"
+CRATES=(
+    "spider_stats:crates/stats/src/lib.rs:serde"
+    "spider_fsmeta:crates/fsmeta/src/lib.rs:rustc_hash serde"
+    "spider_snapshot:crates/snapshot/src/lib.rs:spider_fsmeta bytes rayon rustc_hash serde"
+    "spider_workload:crates/workload/src/lib.rs:spider_stats spider_fsmeta rand rustc_hash serde"
+    "spider_graph:crates/graph/src/lib.rs:spider_stats rayon rustc_hash"
+    "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_workload rand rustc_hash serde"
+    "spider_core:crates/core/src/lib.rs:spider_stats spider_fsmeta spider_snapshot spider_graph spider_workload rayon crossbeam rustc_hash serde"
+    "spider_report:crates/report/src/lib.rs:serde serde_json"
+    "spider_experiments:crates/experiments/src/lib.rs:spider_stats spider_fsmeta spider_snapshot spider_graph spider_workload spider_sim spider_core spider_report rand rayon rustc_hash serde serde_json"
+)
+
+# Integration tests runnable offline (no proptest/criterion):
+# "test_name:path:deps"
+ITESTS=(
+    "fault_matrix:crates/snapshot/tests/fault_matrix.rs:spider_snapshot spider_fsmeta"
+    "golden_fixtures:crates/snapshot/tests/golden_fixtures.rs:spider_snapshot"
+    "pipeline_end_to_end:tests/pipeline_end_to_end.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
+    "determinism:tests/determinism.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
+    "experiment_shapes:tests/experiment_shapes.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
+    "calibration_targets:tests/calibration_targets.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
+)
+
+build_crate() {
+    local name=$1 path=$2 deps=$3 externs=""
+    for d in $deps; do externs+=" $(ext $d)"; done
+    say "build $name"
+    $RUSTC --crate-type rlib --crate-name "$name" "$path" $externs \
+        --extern serde_derive="$DEPS/libserde_derive.so"
+}
+
+# Tests that assert on behaviour the stubs deliberately do not
+# reproduce (real serde_json rendering, real rand streams). Skipped
+# offline; they run under the full cargo gate.
+stub_sensitive_skips() {
+    case $1 in
+        spider_report) echo "--skip json_emission" ;;
+        *) echo "" ;;
+    esac
+}
+
+test_crate() {
+    local name=$1 path=$2 deps=$3 externs=""
+    for d in $deps; do externs+=" $(ext $d)"; done
+    say "test $name"
+    $RUSTC --test --crate-name "${name}_tests" "$path" $externs \
+        --extern serde_derive="$DEPS/libserde_derive.so" \
+        -o "$OUT/${name}_tests"
+    "$OUT/${name}_tests" --test-threads=4 -q $(stub_sensitive_skips "$name")
+}
+
+for entry in "${CRATES[@]}"; do
+    IFS=: read -r name path deps <<<"$entry"
+    if [ -n "$FILTER" ] && [[ "$name" != *"$FILTER"* ]]; then
+        # Still build (later crates need the rlib), just skip its tests.
+        build_crate "$name" "$path" "$deps"
+        continue
+    fi
+    build_crate "$name" "$path" "$deps"
+    test_crate "$name" "$path" "$deps"
+done
+
+# CLI binary (library deps of spider_experiments plus itself).
+if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
+    say "build spider-metalab binary"
+    CLI_DEPS="spider_fsmeta spider_snapshot spider_workload spider_sim spider_core spider_graph spider_report spider_experiments spider_stats serde_json"
+    externs=""
+    for d in $CLI_DEPS; do externs+=" $(ext $d)"; done
+    $RUSTC --crate-name spider_metalab crates/cli/src/main.rs $externs \
+        -o "$OUT/spider-metalab"
+
+    say "test cli_smoke"
+    # env!("CARGO_BIN_EXE_spider-metalab") is read at *compile* time; the
+    # variable name contains a dash, so it needs env(1) to set.
+    env "CARGO_BIN_EXE_spider-metalab=$PWD/$OUT/spider-metalab" \
+        $RUSTC --test --crate-name cli_smoke_tests crates/cli/tests/cli_smoke.rs \
+        $externs -o "$OUT/cli_smoke_tests"
+    "$OUT/cli_smoke_tests" --test-threads=2 -q
+fi
+
+for entry in "${ITESTS[@]}"; do
+    IFS=: read -r name path deps <<<"$entry"
+    [ -f "$path" ] || continue
+    if [ -n "$FILTER" ] && [[ "$name" != *"$FILTER"* ]]; then continue; fi
+    externs=""
+    for d in $deps; do externs+=" $(ext $d)"; done
+    say "itest $name"
+    $RUSTC --test --crate-name "it_${name}" "$path" $externs \
+        --extern serde_derive="$DEPS/libserde_derive.so" \
+        -o "$OUT/it_${name}"
+    "$OUT/it_${name}" --test-threads=4 -q
+done
+
+say "offline gate: PASS"

@@ -82,6 +82,50 @@ fn full_pipeline_produces_consistent_analyses() {
 }
 
 #[test]
+fn lab_heals_a_rotted_cached_store() {
+    let dir = lab_dir("rot");
+    let config = LabConfig::test_small(&dir, 13);
+    let first = Lab::prepare(config.clone()).expect("first run");
+    assert!(first.store_health().is_clean(), "fresh store scrubs clean");
+    let days: Vec<u32> = first.store().days().to_vec();
+    assert!(days.len() >= 3);
+    let store_dir = first.store_dir().to_path_buf();
+    drop(first);
+
+    // Rot the middle week in place: keep the header but destroy the body,
+    // the way a torn write or media fault would.
+    let victim = days[days.len() / 2];
+    let path = store_dir.join(format!("snap-{victim:05}.colf"));
+    let bytes = std::fs::read(&path).expect("victim file exists");
+    std::fs::write(&path, &bytes[..bytes.len().min(16)]).unwrap();
+
+    let healed = Lab::prepare(config).expect("cached run heals instead of failing");
+    assert!(healed.outcome().is_none(), "store cache was reused");
+    let health = healed.store_health();
+    assert_eq!(health.quarantined.len(), 1);
+    assert_eq!(health.quarantined[0].day, victim);
+    let substitute = health
+        .substitute_for(victim)
+        .expect("a healthy neighbor substitutes");
+    assert!(days.contains(&substitute) && substitute != victim);
+    assert!(!healed.store().days().contains(&victim));
+    assert!(store_dir
+        .join("quarantine")
+        .join(format!("snap-{victim:05}.colf"))
+        .is_file());
+
+    // Analyses still ran over the surviving weeks.
+    assert!(healed.analyses().census.unique_files() > 0);
+    assert_eq!(
+        healed.analyses().growth.files().len(),
+        days.len() - 1,
+        "growth series covers every surviving week"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn lab_cache_reuses_the_store() {
     let dir = lab_dir("cache");
     let config = LabConfig::test_small(&dir, 12);
