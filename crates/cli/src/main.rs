@@ -13,6 +13,7 @@
 //! seconds) for smoke runs; published numbers come from the default
 //! configuration.
 
+use spider_core::FrameLoader;
 use spider_experiments::{all_experiments, experiment_by_id, Lab, LabConfig};
 use spider_sim::{SimConfig, Simulation};
 use spider_snapshot::{FaultFs, OsIo, RetryPolicy, SnapshotStore, StoreIo};
@@ -179,6 +180,17 @@ fn cmd_simulate(args: &[String]) -> Result<(), AnyError> {
             outcome.dropped_days
         );
     }
+    println!(
+        "verified {} rows reading every snapshot back through the columnar fast path",
+        outcome.verified_rows
+    );
+    if !outcome.unverified_days.is_empty() {
+        println!(
+            "{} persisted day(s) failed read-back verification: {:?}",
+            outcome.unverified_days.len(),
+            outcome.unverified_days
+        );
+    }
     if store.transient_retries() > 0 {
         println!(
             "recovered from {} transient I/O error(s) by retrying",
@@ -310,18 +322,27 @@ fn cmd_inspect(args: &[String]) -> Result<(), AnyError> {
         Some(d) => d.parse::<u32>()?,
         None => *store.days().last().expect("non-empty"),
     };
-    let snapshot = store
-        .get(day)?
+    // One parse through the fast path yields both the frame (counts)
+    // and the rows (samples); lossy, so degraded days still inspect.
+    let loader = FrameLoader::new(&store)?;
+    let loaded = loader
+        .load_with_rows(day)?
         .ok_or_else(|| format!("no snapshot for day {day}; have {:?}", store.days()))?;
     println!(
         "day {day}: {} records ({} files, {} dirs), scanned at {}",
-        snapshot.len(),
-        snapshot.file_count(),
-        snapshot.dir_count(),
-        snapshot.taken_at()
+        loaded.frame.len(),
+        loaded.frame.file_count(),
+        loaded.frame.dir_count(),
+        loaded.frame.taken_at()
     );
+    if !loaded.lost_sections.is_empty() {
+        println!(
+            "degraded: sections {:?} failed their checksums and read as defaults",
+            loaded.lost_sections
+        );
+    }
     println!("sample records:");
-    for record in snapshot.records().iter().take(5) {
+    for record in loaded.snapshot.records().iter().take(5) {
         println!(
             "  {} uid={} gid={} mode={:o} stripes={}",
             record.path,
@@ -346,33 +367,43 @@ fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
         Some(d) => d.parse::<u32>()?,
         None => *store.days().last().expect("non-empty"),
     };
-    let snapshot = store
-        .get(day)?
+    let loader = FrameLoader::new(&store)?;
+    let loaded = loader
+        .load_with_rows(day)?
         .ok_or_else(|| format!("no snapshot for day {day}"))?;
+    let frame = &loaded.frame;
     println!(
         "day {day}: {} files, {} directories",
-        snapshot.file_count(),
-        snapshot.dir_count()
+        frame.file_count(),
+        frame.dir_count()
     );
+    if !loaded.lost_sections.is_empty() {
+        println!(
+            "degraded: sections {:?} failed their checksums and read as defaults",
+            loaded.lost_sections
+        );
+    }
 
-    let fanout = spider_core::trends::fanout::fanout_distribution(&snapshot);
+    // Namespace-shaped analyses still need the row snapshot (paths and
+    // stripe objects); the scalar ones below run on frame columns.
+    let fanout = spider_core::trends::fanout::fanout_distribution(&loaded.snapshot);
     println!(
         "fan-out: median {:.0} entries/dir, widest {} with {} entries, {} empty dirs",
         fanout.median, fanout.widest_dir, fanout.max, fanout.empty_dirs
     );
 
-    let load =
-        spider_core::behavior::ost_load::ost_load(&snapshot, spider_fsmeta::SPIDER_OST_COUNT);
+    let load = spider_core::behavior::ost_load::ost_load(
+        &loaded.snapshot,
+        spider_fsmeta::SPIDER_OST_COUNT,
+    );
     println!(
         "OST load: {} objects across {} OSTs, imbalance {:.2}x",
         load.total_objects, load.populated_osts, load.imbalance
     );
 
-    let ages: Vec<f64> = snapshot
-        .records()
-        .iter()
-        .filter(|r| r.is_file())
-        .map(|r| r.file_age_secs() as f64 / 86_400.0)
+    let ages: Vec<f64> = frame
+        .file_rows()
+        .map(|i| frame.atime[i].saturating_sub(frame.mtime[i]) as f64 / 86_400.0)
         .collect();
     if let Some(five) = spider_stats::Quantiles::new(ages).five_number() {
         println!(

@@ -2,8 +2,9 @@
 //!
 //! The study's scalability came from partition-parallel scans in Spark;
 //! the shared-memory equivalent here is a **morsel-driven fold**: the row
-//! range is cut into fixed-size chunks ([`MORSEL_ROWS`] rows), each morsel
-//! run is folded into a private accumulator, and accumulators are merged
+//! range is cut into equal chunks (a multiple of [`MORSEL_ROWS`] rows,
+//! sized for the thread pool by [`morsel_rows_for`]), each morsel run is
+//! folded into a private accumulator, and accumulators are merged
 //! pairwise up a *fixed* binary tree. Two properties fall out of that
 //! shape:
 //!
@@ -28,11 +29,38 @@ use std::fmt::Debug;
 use std::hash::Hash;
 use std::ops::Range;
 
-/// Rows per morsel. Small enough that a shard of every column of a morsel
-/// fits comfortably in L2, large enough that rayon's per-task overhead is
-/// noise. Chunk boundaries — and therefore reduction order — depend only
-/// on the row count.
+/// Minimum rows per morsel and the quantum all morsel sizes are rounded
+/// to. Small enough that a shard of every column of a morsel fits
+/// comfortably in L2, large enough that rayon's per-task overhead is
+/// noise.
 pub const MORSEL_ROWS: usize = 4096;
+
+/// Target morsels per worker thread: enough slack for work stealing to
+/// even out skew, few enough that per-morsel state (the `group_fold`
+/// hash shards in particular) stays cheap to merge.
+const MORSELS_PER_THREAD: usize = 4;
+
+/// The morsel length used for an `n`-row scan: always a multiple of
+/// [`MORSEL_ROWS`] (and at least one quantum), sized so the scan splits
+/// into about [`rayon::current_num_threads`]` × 4` morsels.
+///
+/// The old fixed 4096-row morsel meant a 1M-row `group_fold` always
+/// built and merged 256 hash shards — pure overhead on low-thread runs
+/// (the `group_fold_morsel` regression recorded in
+/// `BENCH_core_scan.json`). Adapting the morsel length to the pool keeps
+/// shard count proportional to parallelism: a single-threaded run now
+/// builds 4 shards, an 8-thread run 32.
+///
+/// Chunk boundaries — and therefore reduction order — depend only on `n`
+/// and the pool size, never on scheduling, so `Parallel == Sequential`
+/// stays bit-exact within a process. Across *differently sized pools*
+/// floating-point association may differ; integer/hash analyses are
+/// unaffected.
+pub fn morsel_rows_for(n: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    let per = n.div_ceil((threads * MORSELS_PER_THREAD).max(1));
+    per.div_ceil(MORSEL_ROWS).max(1) * MORSEL_ROWS
+}
 
 /// Execution mode for scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,7 +78,14 @@ pub enum Engine {
 /// The split point is always the morsel boundary nearest the midpoint, so
 /// the tree shape is a pure function of the range — both engines reduce in
 /// exactly the same order.
-fn fold_tree<A, I, F, M>(rows: Range<usize>, parallel: bool, init: &I, fold: &F, merge: &M) -> A
+fn fold_tree<A, I, F, M>(
+    rows: Range<usize>,
+    morsel: usize,
+    parallel: bool,
+    init: &I,
+    fold: &F,
+    merge: &M,
+) -> A
 where
     A: Send,
     I: Fn() -> A + Sync,
@@ -58,21 +93,21 @@ where
     M: Fn(A, A) -> A + Sync,
 {
     let len = rows.end - rows.start;
-    if len <= MORSEL_ROWS {
+    if len <= morsel {
         return fold(init(), rows);
     }
-    let morsels = len.div_ceil(MORSEL_ROWS);
-    let mid = rows.start + (morsels / 2) * MORSEL_ROWS;
+    let morsels = len.div_ceil(morsel);
+    let mid = rows.start + (morsels / 2) * morsel;
     let (left, right) = (rows.start..mid, mid..rows.end);
     let (a, b) = if parallel {
         rayon::join(
-            || fold_tree(left, true, init, fold, merge),
-            || fold_tree(right, true, init, fold, merge),
+            || fold_tree(left, morsel, true, init, fold, merge),
+            || fold_tree(right, morsel, true, init, fold, merge),
         )
     } else {
         (
-            fold_tree(left, false, init, fold, merge),
-            fold_tree(right, false, init, fold, merge),
+            fold_tree(left, morsel, false, init, fold, merge),
+            fold_tree(right, morsel, false, init, fold, merge),
         )
     };
     merge(a, b)
@@ -83,11 +118,11 @@ impl Engine {
     /// accumulators, merge them pairwise up a fixed tree.
     ///
     /// `fold` receives an accumulator plus a contiguous row range (at most
-    /// [`MORSEL_ROWS`] long) and must fold the rows **in order**; `merge`
-    /// combines a left subtree's result with a right subtree's. Because
-    /// the tree shape depends only on `n`, the reduction order — and hence
-    /// the result, even for floating-point accumulators — is identical for
-    /// both engines.
+    /// [`morsel_rows_for`]`(n)` long) and must fold the rows **in order**;
+    /// `merge` combines a left subtree's result with a right subtree's.
+    /// Because the tree shape depends only on `n` and the pool size, the
+    /// reduction order — and hence the result, even for floating-point
+    /// accumulators — is identical for both engines.
     pub fn fold_morsels<A>(
         &self,
         n: usize,
@@ -98,16 +133,25 @@ impl Engine {
     where
         A: Send,
     {
-        fold_tree(0..n, *self == Engine::Parallel, &init, &fold, &merge)
+        let morsel = morsel_rows_for(n);
+        fold_tree(
+            0..n,
+            morsel,
+            *self == Engine::Parallel,
+            &init,
+            &fold,
+            &merge,
+        )
     }
 
     /// Groups row indices `0..n` by `key(i)` (rows where `key` returns
     /// `None` are skipped) and folds each group with `fold`, starting from
     /// `A::default()`; shards are merged with `merge`.
     ///
-    /// Runs morsel-driven: each chunk of [`MORSEL_ROWS`] rows builds a
-    /// private `FxHashMap` shard, and shards merge pairwise in a fixed
-    /// order, so both engines produce identical maps.
+    /// Runs morsel-driven: each morsel of rows builds a private
+    /// `FxHashMap` shard, and shards merge pairwise in a fixed order, so
+    /// both engines produce identical maps. The shard count tracks the
+    /// thread pool (see [`morsel_rows_for`]), not the row count.
     pub fn group_fold<K, A>(
         &self,
         n: usize,
@@ -344,10 +388,38 @@ mod tests {
                 let flat: Vec<usize> = rows.iter().flatten().copied().collect();
                 assert_eq!(flat, (0..n).collect::<Vec<_>>(), "{engine:?} n={n}");
                 for leaf in &rows {
-                    assert!(leaf.len() <= MORSEL_ROWS);
+                    assert!(leaf.len() <= morsel_rows_for(n));
                 }
             }
         }
+    }
+
+    #[test]
+    fn morsel_size_is_quantized_and_tracks_the_pool() {
+        let threads = rayon::current_num_threads().max(1);
+        for n in [0usize, 1, MORSEL_ROWS, 1 << 20, 10_000_000] {
+            let morsel = morsel_rows_for(n);
+            assert!(morsel >= MORSEL_ROWS, "n={n}");
+            assert_eq!(morsel % MORSEL_ROWS, 0, "n={n}");
+            // The scan splits into at most ~4 morsels per thread (the
+            // quantum rounding can only shrink the count).
+            assert!(
+                n.div_ceil(morsel) <= threads * 4,
+                "n={n}: {} morsels for {threads} threads",
+                n.div_ceil(morsel)
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_no_longer_scales_with_rows() {
+        // The BENCH_core_scan regression: 1M rows used to mean 256 hash
+        // shards regardless of parallelism. Count actual leaves now.
+        let n = 1 << 20;
+        let leaves =
+            Engine::Sequential.fold_morsels(n, || 0usize, |acc, _rows| acc + 1, |a, b| a + b);
+        assert_eq!(leaves, n.div_ceil(morsel_rows_for(n)));
+        assert!(leaves <= rayon::current_num_threads().max(1) * 4);
     }
 
     #[test]

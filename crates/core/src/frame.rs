@@ -10,7 +10,9 @@
 //! `spider-bench` quantifies the difference).
 
 use rustc_hash::FxHashMap;
-use spider_snapshot::{Snapshot, SnapshotRecord};
+use spider_fsmeta::inode::extension_of;
+use spider_fsmeta::{FileKind, Mode};
+use spider_snapshot::{FrameColumns, Snapshot, SnapshotRecord};
 
 /// Interned file-extension id; `EXT_NONE` means "no extension".
 pub type ExtId = u32;
@@ -74,9 +76,60 @@ impl SnapshotFrame {
             frame.mtime.push(r.mtime);
             frame.uid.push(r.uid);
             frame.gid.push(r.gid);
-            frame.stripe_count.push(r.stripe_count() as u16);
+            frame
+                .stripe_count
+                .push(r.stripe_count().min(u16::MAX as u32) as u16);
             frame.depth.push(r.depth().min(u16::MAX as u32) as u16);
             let ext_id = match r.extension() {
+                None => EXT_NONE,
+                Some(e) => *intern.entry(e).or_insert_with(|| {
+                    frame.extensions.push(e.into());
+                    (frame.extensions.len() - 1) as ExtId
+                }),
+            };
+            frame.ext.push(ext_id);
+        }
+        frame
+    }
+
+    /// Builds the frame straight from decoded column views — the
+    /// columnar fast path. No [`SnapshotRecord`] is ever constructed:
+    /// `is_file`, `depth`, and the interned extension are derived from
+    /// the column vectors and the path arena during this single pass,
+    /// using the exact same expressions as the row path so the result is
+    /// bit-identical to `build(&snapshot)` over the same bytes (the
+    /// equivalence suite and `frame_path` bench cross-checks hold the
+    /// two paths to that contract).
+    pub fn from_columns(cols: &FrameColumns) -> SnapshotFrame {
+        let n = cols.len();
+        let mut frame = SnapshotFrame {
+            day: cols.day(),
+            taken_at: cols.taken_at(),
+            len: n,
+            is_file: Vec::with_capacity(n),
+            atime: cols.atime.clone(),
+            ctime: cols.ctime.clone(),
+            mtime: cols.mtime.clone(),
+            uid: cols.uid.clone(),
+            gid: cols.gid.clone(),
+            stripe_count: Vec::with_capacity(n),
+            depth: Vec::with_capacity(n),
+            ext: Vec::with_capacity(n),
+            extensions: Vec::new(),
+        };
+        let mut intern: FxHashMap<&str, ExtId> = FxHashMap::default();
+        for i in 0..n {
+            frame
+                .is_file
+                .push(Mode(cols.mode[i]).kind() == Some(FileKind::Regular));
+            frame
+                .stripe_count
+                .push(cols.stripe_count[i].min(u16::MAX as u32) as u16);
+            let path = cols.path(i);
+            let depth = path.split('/').filter(|c| !c.is_empty()).count() as u32 + 1;
+            frame.depth.push(depth.min(u16::MAX as u32) as u16);
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let ext_id = match extension_of(name) {
                 None => EXT_NONE,
                 Some(e) => *intern.entry(e).or_insert_with(|| {
                     frame.extensions.push(e.into());
@@ -137,6 +190,30 @@ impl SnapshotFrame {
         self.len as u64 - self.file_count()
     }
 }
+
+/// Equality compares the resolved extension *string* per row rather than
+/// the raw interned ids, so two frames built by different paths (rows vs
+/// columns) compare equal exactly when every observable column agrees —
+/// intern-table ordering is an implementation detail.
+impl PartialEq for SnapshotFrame {
+    fn eq(&self, other: &SnapshotFrame) -> bool {
+        self.day == other.day
+            && self.taken_at == other.taken_at
+            && self.len == other.len
+            && self.is_file == other.is_file
+            && self.atime == other.atime
+            && self.ctime == other.ctime
+            && self.mtime == other.mtime
+            && self.uid == other.uid
+            && self.gid == other.gid
+            && self.stripe_count == other.stripe_count
+            && self.depth == other.depth
+            && (0..self.len)
+                .all(|i| self.extension_str(self.ext[i]) == other.extension_str(other.ext[i]))
+    }
+}
+
+impl Eq for SnapshotFrame {}
 
 /// A stable 64-bit path hash used for unique-entry accounting across
 /// snapshots (4 billion unique paths hashed into 64 bits have a collision
@@ -233,6 +310,48 @@ mod tests {
         let f = SnapshotFrame::build(&Snapshot::new(0, 0, vec![]));
         assert!(f.is_empty());
         assert_eq!(f.file_count(), 0);
+    }
+
+    #[test]
+    fn stripe_count_saturates_at_u16_max() {
+        // A record striped past 65535 OSTs (not physical on Spider II,
+        // but reachable through a corrupted or adversarial colf file)
+        // must clamp, not wrap: 65_546 % 65_536 == 10 would silently
+        // report a nearly-unstriped file.
+        let wide = rec(
+            "/lustre/atlas1/p1/wide",
+            0o100664,
+            5,
+            10,
+            u16::MAX as usize + 10,
+        );
+        let exact = rec(
+            "/lustre/atlas1/p1/exact",
+            0o100664,
+            5,
+            10,
+            u16::MAX as usize,
+        );
+        let snap = Snapshot::new(1, 1, vec![exact, wide]);
+        let f = SnapshotFrame::build(&snap);
+        assert_eq!(f.stripe_count, vec![u16::MAX, u16::MAX]);
+        let cols = FrameColumns::decode(&spider_snapshot::colf::encode(&snap)).unwrap();
+        assert_eq!(
+            SnapshotFrame::from_columns(&cols).stripe_count,
+            f.stripe_count
+        );
+    }
+
+    #[test]
+    fn from_columns_equals_build() {
+        let snap = sample();
+        let bytes = spider_snapshot::colf::encode(&snap);
+        let cols = FrameColumns::decode(&bytes).unwrap();
+        let fast = SnapshotFrame::from_columns(&cols);
+        let slow = SnapshotFrame::build(&snap);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.extension_count(), slow.extension_count());
+        assert_eq!(fast.file_count(), slow.file_count());
     }
 
     #[test]

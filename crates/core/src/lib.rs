@@ -27,6 +27,11 @@
 //! * [`engine`] — morsel-driven parallel fold/reduce over columns with a
 //!   deterministic reduction tree, so the sequential ablation mode is
 //!   bit-identical to the parallel default;
+//! * [`loader::FrameLoader`] — the columnar fast path from disk to
+//!   frame: raw `colf` bytes decode straight into
+//!   [`spider_snapshot::FrameColumns`] (no row materialization), days
+//!   load rayon-parallel under a bounded batch budget, and decoded
+//!   frames persist in a checksum-keyed LRU [`loader::FrameCache`];
 //! * [`query::Scan`] — the lazy, fused query surface: filters compose
 //!   into one statically-dispatched predicate evaluated inside the scan,
 //!   and [`agg::MultiAgg`] computes several named aggregates in a single
@@ -49,6 +54,7 @@ pub mod behavior;
 pub mod context;
 pub mod engine;
 pub mod frame;
+pub mod loader;
 pub mod pipeline;
 pub mod query;
 pub mod sharing;
@@ -59,8 +65,9 @@ pub use agg::{AggValue, MultiAgg, MultiAggResult};
 pub use context::AnalysisContext;
 pub use engine::Engine;
 pub use frame::SnapshotFrame;
+pub use loader::{FrameCache, FrameLoader, LoadedDay};
 pub use pipeline::{
-    stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx,
+    stream_loader, stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx,
 };
 #[allow(deprecated)]
 pub use query::Query;

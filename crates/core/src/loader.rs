@@ -1,0 +1,522 @@
+//! Parallel multi-day frame loading with a checksum-keyed cache.
+//!
+//! The study's scans were only tractable because Spark loaded Parquet
+//! partitions in parallel; [`FrameLoader`] is the shared-memory twin for
+//! our store. It reads raw `colf` bytes ([`SnapshotStore::read_raw`]),
+//! decodes them straight into column views
+//! ([`spider_snapshot::FrameColumns`]) and builds
+//! [`SnapshotFrame`]s via [`SnapshotFrame::from_columns`] — no
+//! [`spider_snapshot::SnapshotRecord`] is materialized anywhere on this
+//! path — with N days in flight at once under a bounded batch budget.
+//!
+//! Decoded frames land in an LRU [`FrameCache`] keyed by
+//! `(day, section digest of the file's bytes)`. Keying by content
+//! digest rather than by day alone means the cache can never serve a
+//! stale frame: a day that was quarantined and later healed (or
+//! re-written by a fresh simulation) hashes differently, misses, and is
+//! re-decoded, while byte-identical reloads hit without any explicit
+//! invalidation protocol.
+//!
+//! Corruption composes with the integrity layer: decoding is lossy
+//! ([`spider_snapshot::FrameColumns::decode_lossy`]), so a corrupt
+//! non-spine column yields a frame with that column defaulted — the same
+//! salvage semantics as the row reader — and the lost sections are
+//! reported on [`LoadedDay`]. Spine-corrupt days fail with the decode
+//! error, exactly like `SnapshotStore::get_lossy`.
+
+use crate::frame::SnapshotFrame;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use spider_snapshot::columns::FrameColumns;
+use spider_snapshot::store::StoreError;
+use spider_snapshot::xxh::section_digest;
+use spider_snapshot::{Snapshot, SnapshotStore};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: `(day, section digest of the colf bytes)`.
+pub type FrameKey = (u32, u64);
+
+#[derive(Default)]
+struct CacheInner {
+    map: FxHashMap<FrameKey, (Arc<SnapshotFrame>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A small LRU cache of decoded frames, keyed by [`FrameKey`] so entries
+/// self-invalidate whenever a day's bytes change on disk.
+pub struct FrameCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl FrameCache {
+    /// Creates a cache holding at most `capacity` frames. Capacity 0
+    /// disables caching entirely (every lookup misses, nothing is kept).
+    pub fn new(capacity: usize) -> FrameCache {
+        FrameCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a frame, refreshing its recency on a hit.
+    pub fn get(&self, key: FrameKey) -> Option<Arc<SnapshotFrame>> {
+        let mut inner = self.inner.lock().expect("frame cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some((frame, last_used)) => {
+                *last_used = tick;
+                let frame = Arc::clone(frame);
+                inner.hits += 1;
+                Some(frame)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a frame, evicting the least-recently-used entry when the
+    /// cache is full. A no-op at capacity 0.
+    pub fn insert(&self, key: FrameKey, frame: Arc<SnapshotFrame>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("frame cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // O(len) scan; the cache holds at most a few hundred days, so
+            // a heap would be more code than the scan is cost.
+            if let Some(&oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, (frame, tick));
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("frame cache poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` since creation or the last [`FrameCache::clear`].
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("frame cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("frame cache poisoned");
+        inner.map.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+/// One day loaded with rows *and* frame from a single parse.
+pub struct LoadedDay {
+    /// Row-materialized snapshot (needed for diff-based analyses).
+    pub snapshot: Snapshot,
+    /// The columnar frame (shared with the cache).
+    pub frame: Arc<SnapshotFrame>,
+    /// Sections the lossy decode could not recover (empty = clean).
+    pub lost_sections: Vec<&'static str>,
+    /// True when the frame came out of the cache rather than a build.
+    pub from_cache: bool,
+}
+
+/// Parallel frame loader over a [`SnapshotStore`] directory.
+///
+/// Holds its own lenient store handle onto the same directory, sharing
+/// the parent's I/O seam and retry policy so fault injection and retry
+/// accounting stay under one regime (the construction performs no
+/// reads). All loading goes through lossy decoding, so degraded days
+/// are salvaged rather than refused.
+pub struct FrameLoader {
+    store: SnapshotStore,
+    cache: FrameCache,
+    batch: usize,
+}
+
+impl FrameLoader {
+    /// Creates a loader sharing `store`'s directory, I/O seam, and retry
+    /// policy. Defaults: cache capacity = number of stored days (every
+    /// repeated pass over the store hits), batch = rayon pool size.
+    pub fn new(store: &SnapshotStore) -> Result<FrameLoader, StoreError> {
+        let handle = SnapshotStore::open_lenient(store.dir(), store.io(), store.retry_policy())?;
+        let cache = FrameCache::new(handle.len());
+        Ok(FrameLoader {
+            store: handle,
+            cache,
+            batch: rayon::current_num_threads().max(1),
+        })
+    }
+
+    /// Replaces the cache with one of the given capacity (0 disables).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> FrameLoader {
+        self.cache = FrameCache::new(capacity);
+        self
+    }
+
+    /// Sets how many days may decode concurrently — the bounded-memory
+    /// morsel budget for multi-day loads (at most `batch` snapshots'
+    /// worth of decoded columns live at once). Clamped to ≥ 1.
+    pub fn with_batch(mut self, batch: usize) -> FrameLoader {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Days indexed by the underlying store handle, ascending.
+    pub fn days(&self) -> &[u32] {
+        self.store.days()
+    }
+
+    /// The frame cache (hit/miss stats, explicit clearing).
+    pub fn cache(&self) -> &FrameCache {
+        &self.cache
+    }
+
+    /// Loads the frame for `day` through the fast path: raw bytes →
+    /// column views → frame, with a cache lookup keyed by the bytes'
+    /// digest in between. Lossy: corrupt non-spine sections are
+    /// defaulted (use [`FrameLoader::load_with_rows`] to see which).
+    ///
+    /// Mirrors `SnapshotStore::get`'s healing: when a decode fails, the
+    /// file is re-read and decoded once more before the error is
+    /// returned, which recovers transient short reads.
+    pub fn frame(&self, day: u32) -> Result<Option<Arc<SnapshotFrame>>, StoreError> {
+        let Some(bytes) = self.store.read_raw(day)? else {
+            return Ok(None);
+        };
+        match self.frame_from_bytes(day, &bytes) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(_) => {
+                let Some(bytes) = self.store.read_raw(day)? else {
+                    return Ok(None);
+                };
+                self.frame_from_bytes(day, &bytes).map(Some)
+            }
+        }
+    }
+
+    fn frame_from_bytes(&self, day: u32, bytes: &[u8]) -> Result<Arc<SnapshotFrame>, StoreError> {
+        let key = (day, section_digest(bytes));
+        if let Some(frame) = self.cache.get(key) {
+            return Ok(frame);
+        }
+        let cols = FrameColumns::decode_lossy(bytes)?;
+        let frame = Arc::new(SnapshotFrame::from_columns(&cols));
+        self.cache.insert(key, Arc::clone(&frame));
+        Ok(frame)
+    }
+
+    /// Loads frames for `days` in parallel, failing fast on the first
+    /// error (a requested day that is not in the store is an error —
+    /// callers pass days they obtained from [`FrameLoader::days`]).
+    ///
+    /// Days are processed in batches of [`FrameLoader::with_batch`]
+    /// size: within a batch, reads and decodes run on the rayon pool;
+    /// across batches the loader is sequential, bounding peak memory at
+    /// `batch` decoded days regardless of how many are requested.
+    pub fn frames(&self, days: &[u32]) -> Result<Vec<Arc<SnapshotFrame>>, StoreError> {
+        let mut out = Vec::with_capacity(days.len());
+        for chunk in days.chunks(self.batch) {
+            let loaded: Result<Vec<_>, StoreError> = chunk
+                .par_iter()
+                .map(|&day| {
+                    self.frame(day)?.ok_or_else(|| {
+                        StoreError::Io(std::io::Error::other(format!(
+                            "day {day} is not in the store"
+                        )))
+                    })
+                })
+                .collect();
+            out.extend(loaded?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`FrameLoader::frames`], but per-day tolerant: every day
+    /// yields its own `Result`, so one unreadable day does not abort the
+    /// sweep. Order matches the input.
+    pub fn try_frames(&self, days: &[u32]) -> Vec<(u32, Result<Arc<SnapshotFrame>, StoreError>)> {
+        let mut out = Vec::with_capacity(days.len());
+        for chunk in days.chunks(self.batch) {
+            let loaded: Vec<_> = chunk
+                .par_iter()
+                .map(|&day| {
+                    let result = self.frame(day).and_then(|opt| {
+                        opt.ok_or_else(|| {
+                            StoreError::Io(std::io::Error::other(format!(
+                                "day {day} is not in the store"
+                            )))
+                        })
+                    });
+                    (day, result)
+                })
+                .collect();
+            out.extend(loaded);
+        }
+        out
+    }
+
+    /// Loads rows *and* frame for `day` from one parse — the streaming
+    /// pipeline needs row snapshots for diffs, but there is no reason to
+    /// decode the file twice (or to re-derive the frame when its bytes
+    /// are already cached).
+    pub fn load_with_rows(&self, day: u32) -> Result<Option<LoadedDay>, StoreError> {
+        let Some(bytes) = self.store.read_raw(day)? else {
+            return Ok(None);
+        };
+        match self.loaded_from_bytes(day, &bytes) {
+            Ok(loaded) => Ok(Some(loaded)),
+            Err(_) => {
+                let Some(bytes) = self.store.read_raw(day)? else {
+                    return Ok(None);
+                };
+                self.loaded_from_bytes(day, &bytes).map(Some)
+            }
+        }
+    }
+
+    fn loaded_from_bytes(&self, day: u32, bytes: &[u8]) -> Result<LoadedDay, StoreError> {
+        let key = (day, section_digest(bytes));
+        let cols = FrameColumns::decode_lossy_with_rows(bytes)?;
+        let lost_sections = cols.lost_sections().to_vec();
+        let (frame, from_cache) = match self.cache.get(key) {
+            Some(frame) => (frame, true),
+            None => {
+                let frame = Arc::new(SnapshotFrame::from_columns(&cols));
+                self.cache.insert(key, Arc::clone(&frame));
+                (frame, false)
+            }
+        };
+        let snapshot = cols.into_snapshot()?;
+        Ok(LoadedDay {
+            snapshot,
+            frame,
+            lost_sections,
+            from_cache,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_snapshot::SnapshotRecord;
+
+    fn snap(day: u32, n: usize) -> Snapshot {
+        let records = (0..n)
+            .map(|i| SnapshotRecord {
+                path: format!("/lustre/atlas1/proj{:02}/f{i:05}.dat", i % 7),
+                atime: day as u64 * 86_400 + i as u64,
+                ctime: 10,
+                mtime: 20 + i as u64,
+                uid: 100 + (i % 3) as u32,
+                gid: 200,
+                mode: if i % 11 == 0 { 0o040770 } else { 0o100664 },
+                ino: i as u64 + 1,
+                osts: (0..(i % 4)).map(|k| (k as u16, k as u32)).collect(),
+            })
+            .collect();
+        Snapshot::new(day, day as u64 * 86_400, records)
+    }
+
+    fn store_with_days(tag: &str, days: &[u32]) -> (std::path::PathBuf, SnapshotStore) {
+        let dir = std::env::temp_dir().join(format!("spider-loader-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        for &day in days {
+            store.put(&snap(day, 120 + day as usize)).unwrap();
+        }
+        (dir, store)
+    }
+
+    #[test]
+    fn fast_path_equals_row_path() {
+        let (dir, store) = store_with_days("equiv", &[0, 7, 14]);
+        let loader = FrameLoader::new(&store).unwrap();
+        for &day in store.days() {
+            let fast = loader.frame(day).unwrap().unwrap();
+            let slow = SnapshotFrame::build(&store.get(day).unwrap().unwrap());
+            assert_eq!(*fast, slow, "day {day}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_frames_match_sequential_and_preserve_order() {
+        let (dir, store) = store_with_days("par", &[0, 7, 14, 21, 28]);
+        let loader = FrameLoader::new(&store).unwrap().with_batch(2);
+        let days = loader.days().to_vec();
+        let frames = loader.frames(&days).unwrap();
+        assert_eq!(frames.len(), days.len());
+        for (frame, &day) in frames.iter().zip(&days) {
+            assert_eq!(frame.day(), day);
+            let slow = SnapshotFrame::build(&store.get(day).unwrap().unwrap());
+            assert_eq!(**frame, slow);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_hits_on_reload_and_stats_add_up() {
+        let (dir, store) = store_with_days("cache", &[0, 7]);
+        let loader = FrameLoader::new(&store).unwrap();
+        let days = loader.days().to_vec();
+        let first = loader.frames(&days).unwrap();
+        let again = loader.frames(&days).unwrap();
+        let (hits, misses) = loader.cache().stats();
+        assert_eq!(misses, 2, "one miss per day on the cold pass");
+        assert_eq!(hits, 2, "one hit per day on the warm pass");
+        // Hits return the very same allocation.
+        for (a, b) in first.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewritten_day_invalidates_by_checksum() {
+        let (dir, store) = store_with_days("rekey", &[0]);
+        let loader = FrameLoader::new(&store).unwrap();
+        let before = loader.frame(0).unwrap().unwrap();
+        // Overwrite day 0 with different content, bypassing the store
+        // API (simulates an external heal/re-sync of the file).
+        let replacement = snap(0, 13);
+        std::fs::write(
+            dir.join("snap-00000.colf"),
+            spider_snapshot::colf::encode(&replacement),
+        )
+        .unwrap();
+        let after = loader.frame(0).unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "stale frame served");
+        assert_eq!(after.len(), 13);
+        let (hits, misses) = loader.cache().stats();
+        assert_eq!((hits, misses), (0, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_cache_disables_caching() {
+        let (dir, store) = store_with_days("nocache", &[0]);
+        let loader = FrameLoader::new(&store).unwrap().with_cache_capacity(0);
+        let a = loader.frame(0).unwrap().unwrap();
+        let b = loader.frame(0).unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(loader.cache().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = FrameCache::new(2);
+        let f = Arc::new(SnapshotFrame::build(&snap(0, 1)));
+        cache.insert((0, 0), Arc::clone(&f));
+        cache.insert((1, 0), Arc::clone(&f));
+        assert!(cache.get((0, 0)).is_some()); // 0 is now most recent
+        cache.insert((2, 0), Arc::clone(&f)); // evicts 1
+        assert!(cache.get((1, 0)).is_none());
+        assert!(cache.get((0, 0)).is_some());
+        assert!(cache.get((2, 0)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn degraded_day_is_salvaged_with_lost_sections() {
+        use spider_snapshot::colf::section_table;
+        let (dir, store) = store_with_days("degraded", &[0]);
+        // Corrupt the uid section on disk.
+        let path = dir.join("snap-00000.colf");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let spans = section_table(&bytes).unwrap();
+        let uid = spans.iter().find(|s| s.name == "uid").unwrap();
+        bytes[uid.offset + uid.len / 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loader = FrameLoader::new(&store).unwrap();
+        let loaded = loader.load_with_rows(0).unwrap().unwrap();
+        assert_eq!(loaded.lost_sections, ["uid"]);
+        assert!(loaded.frame.uid.iter().all(|&u| u == 0));
+        // The frame agrees with the row path's lossy salvage.
+        let lossy = store.get_lossy(0).unwrap().unwrap();
+        assert_eq!(*loaded.frame, SnapshotFrame::build(&lossy.snapshot));
+        assert_eq!(loaded.snapshot, lossy.snapshot);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn try_frames_isolates_a_bad_day() {
+        use spider_snapshot::colf::section_table;
+        let (dir, store) = store_with_days("tolerant", &[0, 7, 14]);
+        // Destroy day 7's path spine — unrecoverable even lossily.
+        let path = dir.join("snap-00007.colf");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let spans = section_table(&bytes).unwrap();
+        let paths = spans.iter().find(|s| s.name == "paths").unwrap();
+        bytes[paths.offset + 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loader = FrameLoader::new(&store).unwrap();
+        let results = loader.try_frames(&[0, 7, 14]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].1.is_ok());
+        assert!(results[1].1.is_err(), "day 7 must fail alone");
+        assert!(results[2].1.is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loader_shares_the_fault_injected_io_seam() {
+        use spider_snapshot::faultfs::{FaultFs, FaultKind};
+        use spider_snapshot::io::{OsIo, StoreIo};
+        use spider_snapshot::store::RetryPolicy;
+
+        let dir = std::env::temp_dir().join(format!("spider-loader-seam-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(0, 30)).unwrap();
+        }
+        let ffs = Arc::new(FaultFs::new(OsIo, 23));
+        let store = SnapshotStore::open_with_io(
+            &dir,
+            ffs.clone() as Arc<dyn StoreIo>,
+            RetryPolicy::immediate(),
+        )
+        .unwrap();
+        // Op 0 is the open-time peek; op 1 is the loader's first read.
+        ffs.plan_read(1, FaultKind::TransientEio);
+        let loader = FrameLoader::new(&store).unwrap();
+        let frame = loader.frame(0).unwrap().unwrap();
+        assert_eq!(frame.day(), 0);
+        assert_eq!(
+            ffs.injected().len(),
+            1,
+            "fault must fire through the shared seam"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

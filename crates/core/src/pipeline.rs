@@ -9,8 +9,10 @@
 //! full 72-snapshot reproduction a single-digit-minutes job.
 
 use crate::frame::SnapshotFrame;
+use crate::loader::{FrameLoader, LoadedDay};
 use spider_snapshot::store::StoreError;
 use spider_snapshot::{Snapshot, SnapshotDiff, SnapshotStore};
+use std::sync::Arc;
 
 /// Everything a visitor may inspect for one snapshot step.
 pub struct VisitCtx<'a> {
@@ -166,73 +168,82 @@ mod tests {
 /// Streams `store` like [`stream_store`], but loads and decodes the next
 /// snapshot on a producer thread while the visitors process the current
 /// one — pipeline parallelism over the I/O + decode stage. Results are
-/// identical to [`stream_store`]; on multi-core hosts the wall-clock win
-/// approaches the smaller of (decode time, analysis time).
+/// identical to [`stream_store`] for healthy stores; on multi-core hosts
+/// the wall-clock win approaches the smaller of (decode time, analysis
+/// time).
+///
+/// A convenience wrapper over [`stream_loader`] with a loader derived
+/// from `store` (decoding is lossy, so degraded-but-salvageable days
+/// stream through instead of aborting the pass — the same semantics
+/// `scrub()` promises when it keeps a degraded file in the index).
 pub fn stream_store_prefetch(
     store: &SnapshotStore,
     visitors: &mut [&mut dyn SnapshotVisitor],
 ) -> Result<u32, StoreError> {
-    let days: Vec<u32> = store.days().to_vec();
-    let dir = store.dir().to_path_buf();
-    let io = store.io();
-    let retry = store.retry_policy();
-    let (tx, rx) = crossbeam::channel::bounded::<Result<Snapshot, StoreError>>(1);
-    let producer = std::thread::spawn(move || {
-        // A private handle onto the same directory, sharing the parent
-        // store's I/O seam and retry policy so fault injection and
-        // retry accounting stay under one regime; the store is
-        // read-only during analysis. Lenient open: the parent already
-        // cross-checked header days at its own open.
-        let reader = match SnapshotStore::open_lenient(&dir, io, retry) {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = tx.send(Err(e));
-                return;
-            }
-        };
-        for day in days {
-            let item = reader.get(day).and_then(|opt| {
-                opt.ok_or_else(|| {
-                    StoreError::Io(std::io::Error::other(format!(
-                        "day {day} vanished during analysis"
-                    )))
-                })
-            });
-            if tx.send(item).is_err() {
-                return; // consumer bailed on an error
-            }
-        }
-    });
+    stream_loader(&FrameLoader::new(store)?, visitors)
+}
 
-    let mut prev: Option<(Snapshot, SnapshotFrame)> = None;
+/// Streams every day of `loader`'s store through `visitors`, prefetching
+/// on a producer thread.
+///
+/// The producer runs the columnar fast path per day
+/// ([`FrameLoader::load_with_rows`]): one raw read, one decode that
+/// yields the row snapshot (for diffs) *and* the frame, with the frame
+/// cache consulted first — so a second pass over the same loader skips
+/// every frame build. Frames reach visitors via [`VisitCtx`] exactly as
+/// in [`stream_store`]; memory high-water stays two snapshots plus two
+/// frames (plus whatever the cache retains), independent of store size.
+pub fn stream_loader(
+    loader: &FrameLoader,
+    visitors: &mut [&mut dyn SnapshotVisitor],
+) -> Result<u32, StoreError> {
+    let days: Vec<u32> = loader.days().to_vec();
     let mut steps = 0;
     let mut result = Ok(());
-    for item in rx.iter() {
-        let snapshot = match item {
-            Ok(s) => s,
-            Err(e) => {
-                result = Err(e);
-                break;
+    std::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::bounded::<Result<LoadedDay, StoreError>>(1);
+        scope.spawn(move || {
+            for day in days {
+                let item = loader.load_with_rows(day).and_then(|opt| {
+                    opt.ok_or_else(|| {
+                        StoreError::Io(std::io::Error::other(format!(
+                            "day {day} vanished during analysis"
+                        )))
+                    })
+                });
+                if tx.send(item).is_err() {
+                    return; // consumer bailed on an error
+                }
             }
-        };
-        let frame = SnapshotFrame::build(&snapshot);
-        let diff = prev
-            .as_ref()
-            .map(|(ps, _)| SnapshotDiff::compute(ps, &snapshot));
-        let ctx = VisitCtx {
-            snapshot: &snapshot,
-            frame: &frame,
-            prev: prev.as_ref().map(|(s, f)| (s, f)),
-            diff: diff.as_ref(),
-        };
-        for v in visitors.iter_mut() {
-            v.visit(&ctx);
+        });
+
+        let mut prev: Option<(Snapshot, Arc<SnapshotFrame>)> = None;
+        for item in rx.iter() {
+            let loaded = match item {
+                Ok(l) => l,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            let diff = prev
+                .as_ref()
+                .map(|(ps, _)| SnapshotDiff::compute(ps, &loaded.snapshot));
+            let ctx = VisitCtx {
+                snapshot: &loaded.snapshot,
+                frame: &loaded.frame,
+                prev: prev.as_ref().map(|(s, f)| (s, &**f)),
+                diff: diff.as_ref(),
+            };
+            for v in visitors.iter_mut() {
+                v.visit(&ctx);
+            }
+            prev = Some((loaded.snapshot, loaded.frame));
+            steps += 1;
         }
-        prev = Some((snapshot, frame));
-        steps += 1;
-    }
-    drop(rx);
-    producer.join().expect("producer thread does not panic");
+        // rx drops here; a still-running producer unblocks on the closed
+        // channel and exits before the scope joins it.
+    });
     result.map(|()| steps)
 }
 
@@ -327,6 +338,29 @@ mod prefetch_tests {
             1,
             "fault must fire through the shared seam"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_loader_pass_reuses_cached_frames() {
+        use crate::loader::FrameLoader;
+        let dir =
+            std::env::temp_dir().join(format!("spider-prefetch-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        for day in [0u32, 7, 14] {
+            store.put(&snap(day, 25)).unwrap();
+        }
+        let loader = FrameLoader::new(&store).unwrap();
+        let mut first = Collector::default();
+        let mut second = Collector::default();
+        stream_loader(&loader, &mut [&mut first]).unwrap();
+        stream_loader(&loader, &mut [&mut second]).unwrap();
+        assert_eq!(first.days, second.days);
+        assert_eq!(first.new_counts, second.new_counts);
+        let (hits, misses) = loader.cache().stats();
+        assert_eq!(misses, 3, "cold pass decodes every day once");
+        assert_eq!(hits, 3, "warm pass serves every frame from cache");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

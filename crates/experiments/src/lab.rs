@@ -28,7 +28,7 @@ use spider_core::trends::depth::{DepthAnalysis, DepthReport};
 use spider_core::trends::extensions::ExtensionTrend;
 use spider_core::trends::participation::{ParticipationAnalysis, ParticipationReport};
 use spider_core::trends::users::{ActiveUsersAnalysis, ActiveUsersReport};
-use spider_core::{stream_store_prefetch, AnalysisContext, DomainScanStats, SummaryTable};
+use spider_core::{stream_loader, AnalysisContext, DomainScanStats, FrameLoader, SummaryTable};
 use spider_sim::{SimConfig, Simulation, SimulationOutcome};
 use spider_snapshot::{OsIo, RetryPolicy, SnapshotStore, StoreHealth};
 use spider_workload::Population;
@@ -116,6 +116,7 @@ pub struct Lab {
     population: Population,
     outcome: Option<SimulationOutcome>,
     store: SnapshotStore,
+    loader: FrameLoader,
     health: StoreHealth,
     analyses: Analyses,
 }
@@ -155,12 +156,17 @@ impl Lab {
         };
 
         let health = store.scrub();
-        let analyses = Self::analyze(&population, &store, config.burstiness_min_files)?;
+        // The loader opens after the scrub so its day index reflects the
+        // post-quarantine store; the cache spans both analysis passes, so
+        // pass 2 re-streams frames without re-decoding a single day.
+        let loader = FrameLoader::new(&store)?;
+        let analyses = Self::analyze(&population, &loader, config.burstiness_min_files)?;
         Ok(Lab {
             config,
             population,
             outcome,
             store,
+            loader,
             health,
             analyses,
         })
@@ -168,7 +174,7 @@ impl Lab {
 
     fn analyze(
         population: &Population,
-        store: &SnapshotStore,
+        loader: &FrameLoader,
         burstiness_min_files: usize,
     ) -> Result<Analyses, Box<dyn std::error::Error>> {
         let ctx = AnalysisContext::new(population);
@@ -187,8 +193,8 @@ impl Lab {
         let mut network = FileGenNetwork::new(ctx.clone());
         let mut domain_stats = DomainScanStats::new(ctx.clone());
         let mut collab_network = FileGenNetwork::without_staff(ctx);
-        stream_store_prefetch(
-            store,
+        stream_loader(
+            loader,
             &mut [
                 &mut census,
                 &mut users,
@@ -213,7 +219,7 @@ impl Lab {
             .map(|(e, _)| e)
             .collect();
         let mut ext_trend = ExtensionTrend::new(top20);
-        stream_store_prefetch(store, &mut [&mut ext_trend])?;
+        stream_loader(loader, &mut [&mut ext_trend])?;
 
         let built_network = network.build();
         let built_collab = collab_network.build();
@@ -269,6 +275,11 @@ impl Lab {
     /// The snapshot store.
     pub fn store(&self) -> &SnapshotStore {
         &self.store
+    }
+
+    /// The frame loader (and its cache) the analyses streamed through.
+    pub fn loader(&self) -> &FrameLoader {
+        &self.loader
     }
 
     /// The pre-analysis scrub report: which weeks were healthy, which

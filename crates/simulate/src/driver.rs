@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use spider_core::FrameLoader;
 use spider_fsmeta::{
     FileSystem, FsError, Gid, InodeId, PurgeEngine, SimClock, Timestamp, Uid, DAY_SECS,
 };
@@ -43,6 +44,14 @@ pub struct SimulationOutcome {
     pub dropped_days: Vec<u32>,
     /// Total files ever created.
     pub total_created: u64,
+    /// Total rows confirmed readable by the post-run verification sweep
+    /// (every persisted day loaded back through the columnar fast path).
+    #[serde(default)]
+    pub verified_rows: u64,
+    /// Persisted days the verification sweep could not load back (the
+    /// write landed but the bytes no longer decode, even lossily).
+    #[serde(default)]
+    pub unverified_days: Vec<u32>,
 }
 
 /// One simulated event inside a week.
@@ -284,11 +293,27 @@ impl Simulation {
             }
             weeks.push(stats);
         }
+        // Verification sweep: load every persisted day back through the
+        // columnar fast path, in parallel. Per-day tolerant — a day that
+        // fails to read back is reported, not fatal, matching the
+        // dropped-days philosophy above (and under fault injection a
+        // day may well be unreadable by design).
+        let mut verified_rows = 0u64;
+        let mut unverified_days = Vec::new();
+        let loader = FrameLoader::new(store)?;
+        for (day, result) in loader.try_frames(&snapshot_days) {
+            match result {
+                Ok(frame) => verified_rows += frame.len() as u64,
+                Err(_) => unverified_days.push(day),
+            }
+        }
         Ok(SimulationOutcome {
             weeks,
             snapshot_days,
             dropped_days,
             total_created: self.total_created,
+            verified_rows,
+            unverified_days,
         })
     }
 

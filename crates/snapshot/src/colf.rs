@@ -45,8 +45,8 @@ use crate::xxh::section_digest;
 use bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 4] = b"COLF";
-const VERSION_V1: u8 = 1;
-const VERSION: u8 = 2;
+pub(crate) const VERSION_V1: u8 = 1;
+pub(crate) const VERSION: u8 = 2;
 
 /// Column sections of a v2 file, in storage order. Index + 1 is the
 /// on-disk section id.
@@ -218,7 +218,8 @@ pub fn encode_v1(snapshot: &Snapshot) -> Vec<u8> {
     buf.to_vec()
 }
 
-// ---- column parsers (shared by v1 and v2) --------------------------------
+// ---- column parsers (shared by v1 and v2, and by the columnar fast
+// ---- path in `columns`) --------------------------------------------------
 
 fn parse_paths(buf: &mut &[u8], count: usize) -> Result<Vec<String>, ColfError> {
     let mut paths = Vec::with_capacity(count);
@@ -244,7 +245,7 @@ fn parse_paths(buf: &mut &[u8], count: usize) -> Result<Vec<String>, ColfError> 
     Ok(paths)
 }
 
-fn parse_anchored(
+pub(crate) fn parse_anchored(
     buf: &mut &[u8],
     count: usize,
     what: &'static str,
@@ -261,7 +262,7 @@ fn parse_anchored(
     Ok(col)
 }
 
-fn parse_plain_u32(
+pub(crate) fn parse_plain_u32(
     buf: &mut &[u8],
     count: usize,
     what: &'static str,
@@ -274,7 +275,7 @@ fn parse_plain_u32(
     Ok(col)
 }
 
-type OstColumn = Vec<Vec<(u16, u32)>>;
+pub(crate) type OstColumn = Vec<Vec<(u16, u32)>>;
 
 fn parse_osts(buf: &mut &[u8], count: usize) -> Result<OstColumn, ColfError> {
     let mut osts_col = Vec::with_capacity(count);
@@ -389,14 +390,15 @@ pub struct SectionSpan {
     pub len: usize,
 }
 
-/// Parsed v2 skeleton: header fields plus the located sections.
-struct Layout<'a> {
-    day: u32,
-    taken_at: u64,
-    count: usize,
+/// Parsed v2 skeleton: header fields plus the located sections. Shared
+/// with the columnar fast path in [`crate::columns`].
+pub(crate) struct Layout<'a> {
+    pub(crate) day: u32,
+    pub(crate) taken_at: u64,
+    pub(crate) count: usize,
     /// `(name, absolute_offset, payload_or_none, stored_digest)`;
     /// `None` payload means the file is too short for this section.
-    sections: Vec<(&'static str, usize, Option<&'a [u8]>, u64)>,
+    pub(crate) sections: Vec<(&'static str, usize, Option<&'a [u8]>, u64)>,
 }
 
 fn read_digest(buf: &mut &[u8], what: &'static str) -> Result<u64, ColfError> {
@@ -411,7 +413,7 @@ fn read_digest(buf: &mut &[u8], what: &'static str) -> Result<u64, ColfError> {
 
 /// Parses the v2 header and section table (both checksummed); does not
 /// verify or parse section payloads.
-fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
+pub(crate) fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
     let mut buf = &full[5..]; // past magic + version
     let header_len = get_uvarint(&mut buf).ok_or(ColfError::Truncated("header"))? as usize;
     let header_off = full.len() - buf.remaining();
@@ -603,7 +605,7 @@ fn decode_v2(full: &[u8], lossy: bool) -> Result<LossyDecode, ColfError> {
 
 // ---- public decode entry points ------------------------------------------
 
-fn version_of(buf: &[u8]) -> Result<u8, ColfError> {
+pub(crate) fn version_of(buf: &[u8]) -> Result<u8, ColfError> {
     if buf.len() < 5 || &buf[..4] != MAGIC {
         return Err(ColfError::BadMagic);
     }

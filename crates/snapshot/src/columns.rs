@@ -1,0 +1,661 @@
+//! Zero-rehydration column views over `colf` bytes — the fast path from
+//! disk to a columnar frame.
+//!
+//! [`crate::colf::decode`] materializes one [`crate::SnapshotRecord`] per
+//! inode (a heap `String` path plus a per-row stripe `Vec`) only for the
+//! analysis layer to immediately re-transpose those rows into dense
+//! columns. That round trip through rows is the eager-row anti-pattern
+//! the study's Parquet conversion exists to avoid (§2.2): at a billion
+//! inodes you never rehydrate rows you don't need.
+//!
+//! [`FrameColumns`] decodes a `colf` buffer (v1 or v2) straight into
+//! column vectors in a single parse:
+//!
+//! * **paths** land in one contiguous byte **arena** plus an offset
+//!   table — no per-row `String`, no per-row clone of the front-coding
+//!   predecessor; row `i`'s path is `arena[offsets[i]..offsets[i+1]]`;
+//! * integer columns decode directly into `Vec<u64>` / `Vec<u32>`;
+//! * the `osts` section is reduced to a **stripe-count column** while it
+//!   is parsed — the per-row `(ost, object)` lists are retained only
+//!   when rows will actually be needed ([`FrameColumns::decode_lossy_with_rows`]),
+//!   in which case [`FrameColumns::into_snapshot`] materializes records
+//!   from the same single parse.
+//!
+//! Corruption semantics mirror the row reader exactly: strict decoding
+//! fails on any checksum mismatch, lossy decoding salvages every intact
+//! section and reports the rest in [`FrameColumns::lost_sections`]
+//! (paths remain the unrecoverable spine). The equivalence suite in
+//! `spider-core` holds the two readers bit-identical, including on
+//! corrupt-section fixtures.
+
+use crate::colf::{
+    parse_anchored, parse_layout, parse_plain_u32, version_of, ColfError, OstColumn, VERSION,
+    VERSION_V1,
+};
+use crate::record::SnapshotRecord;
+use crate::snapshot::Snapshot;
+use crate::varint::get_uvarint;
+use crate::xxh::section_digest;
+use bytes::Buf;
+
+/// Decoded columns of one snapshot, never materialized as rows.
+#[derive(Debug, Clone)]
+pub struct FrameColumns {
+    day: u32,
+    taken_at: u64,
+    len: usize,
+    /// All paths, concatenated; see `path_offsets`.
+    path_arena: Vec<u8>,
+    /// `len + 1` offsets into the arena; path `i` spans
+    /// `path_arena[path_offsets[i]..path_offsets[i + 1]]`.
+    path_offsets: Vec<u32>,
+    /// Last-access times.
+    pub atime: Vec<u64>,
+    /// Status-change times.
+    pub ctime: Vec<u64>,
+    /// Modification times.
+    pub mtime: Vec<u64>,
+    /// Inode numbers.
+    pub ino: Vec<u64>,
+    /// Owner uids.
+    pub uid: Vec<u32>,
+    /// Owner gids.
+    pub gid: Vec<u32>,
+    /// Full mode words.
+    pub mode: Vec<u32>,
+    /// Stripe counts (0 for directories), derived while the `osts`
+    /// section is parsed — the pair lists themselves are not retained
+    /// unless rows were requested.
+    pub stripe_count: Vec<u32>,
+    /// Full `(ost, object)` lists, present only for
+    /// [`FrameColumns::decode_lossy_with_rows`].
+    osts: Option<OstColumn>,
+    /// Sections dropped by a lossy decode (empty = full recovery).
+    lost_sections: Vec<&'static str>,
+}
+
+impl FrameColumns {
+    /// Strictly decodes a `colf` buffer (v1 or v2) into column views.
+    /// Any corrupt or truncated section is an error, exactly like
+    /// [`crate::colf::decode`].
+    pub fn decode(buf: &[u8]) -> Result<FrameColumns, ColfError> {
+        match version_of(buf)? {
+            VERSION_V1 => decode_v1_columns(&buf[5..], false),
+            VERSION => decode_v2_columns(buf, false, false),
+            v => Err(ColfError::BadVersion(v)),
+        }
+    }
+
+    /// Lossy decode: salvages every checksummed section that verifies,
+    /// defaulting the rest (zeros / zero stripes) and naming them in
+    /// [`FrameColumns::lost_sections`]. Paths are the spine — without
+    /// them the decode fails, lossy or not. v1 files carry no checksums
+    /// and decode strictly, mirroring [`crate::colf::decode_lossy`].
+    pub fn decode_lossy(buf: &[u8]) -> Result<FrameColumns, ColfError> {
+        match version_of(buf)? {
+            VERSION_V1 => decode_v1_columns(&buf[5..], false),
+            VERSION => decode_v2_columns(buf, true, false),
+            v => Err(ColfError::BadVersion(v)),
+        }
+    }
+
+    /// Like [`FrameColumns::decode_lossy`], but additionally retains the
+    /// full per-row stripe lists so [`FrameColumns::into_snapshot`] can
+    /// materialize exact records from this same single parse. Use this
+    /// when a consumer needs rows (diff-based analyses) *and* the frame;
+    /// use the plain variants when only columns are needed.
+    pub fn decode_lossy_with_rows(buf: &[u8]) -> Result<FrameColumns, ColfError> {
+        match version_of(buf)? {
+            VERSION_V1 => decode_v1_columns(&buf[5..], true),
+            VERSION => decode_v2_columns(buf, true, true),
+            v => Err(ColfError::BadVersion(v)),
+        }
+    }
+
+    /// Observation day from the header.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Scan time from the header.
+    pub fn taken_at(&self) -> u64 {
+        self.taken_at
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `i`'s path, borrowed from the arena.
+    pub fn path(&self, i: usize) -> &str {
+        let span = self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize;
+        std::str::from_utf8(&self.path_arena[span]).expect("arena validated at decode")
+    }
+
+    /// All paths in row order, borrowed from the arena.
+    pub fn paths(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len).map(move |i| self.path(i))
+    }
+
+    /// Total bytes of the path arena (diagnostics and benchmarks).
+    pub fn path_arena_len(&self) -> usize {
+        self.path_arena.len()
+    }
+
+    /// Sections a lossy decode could not recover (empty = clean).
+    pub fn lost_sections(&self) -> &[&'static str] {
+        &self.lost_sections
+    }
+
+    /// True when the full stripe lists were retained, i.e. the columns
+    /// came from [`FrameColumns::decode_lossy_with_rows`].
+    pub fn has_rows(&self) -> bool {
+        self.osts.is_some()
+    }
+
+    /// Materializes row records from the decoded columns — the single
+    /// parse already happened, so this is pure assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns were decoded without stripe lists (use
+    /// [`FrameColumns::decode_lossy_with_rows`]); reconstructing records
+    /// with silently emptied stripes would corrupt diff results.
+    pub fn into_snapshot(self) -> Result<Snapshot, ColfError> {
+        let mut osts = self
+            .osts
+            .expect("into_snapshot requires decode_lossy_with_rows");
+        let records: Vec<SnapshotRecord> = (0..self.len)
+            .map(|i| {
+                let span = self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize;
+                SnapshotRecord {
+                    path: std::str::from_utf8(&self.path_arena[span])
+                        .expect("arena validated at decode")
+                        .to_string(),
+                    atime: self.atime[i],
+                    ctime: self.ctime[i],
+                    mtime: self.mtime[i],
+                    uid: self.uid[i],
+                    gid: self.gid[i],
+                    mode: self.mode[i],
+                    ino: self.ino[i],
+                    osts: std::mem::take(&mut osts[i]),
+                }
+            })
+            .collect();
+        Snapshot::from_sorted(self.day, self.taken_at, records).map_err(ColfError::Unsorted)
+    }
+
+    fn empty(day: u32, taken_at: u64, count: usize, keep_rows: bool) -> FrameColumns {
+        FrameColumns {
+            day,
+            taken_at,
+            len: count,
+            path_arena: Vec::new(),
+            path_offsets: vec![0; count + 1],
+            atime: vec![0; count],
+            ctime: vec![0; count],
+            mtime: vec![0; count],
+            ino: vec![0; count],
+            uid: vec![0; count],
+            gid: vec![0; count],
+            mode: vec![0; count],
+            stripe_count: vec![0; count],
+            osts: keep_rows.then(|| vec![Vec::new(); count]),
+            lost_sections: Vec::new(),
+        }
+    }
+}
+
+/// Parses the front-coded path section into `(arena, offsets)`.
+///
+/// The per-row work is two varints, one `extend_from_within` for the
+/// shared prefix and one `extend_from_slice` for the suffix — no `String`
+/// and no clone of the predecessor. Validation matches the row parser:
+/// prefix length bounded by the previous path, suffix must be UTF-8, and
+/// (stricter than the row parser, which would panic) the shared prefix
+/// must end on a character boundary of the predecessor so every arena
+/// span is valid UTF-8. The sorted-path invariant is checked in place,
+/// mirroring `Snapshot::from_sorted`.
+fn parse_paths_arena(buf: &mut &[u8], count: usize) -> Result<(Vec<u8>, Vec<u32>), ColfError> {
+    let mut arena: Vec<u8> = Vec::with_capacity(count * 16);
+    let mut offsets = Vec::with_capacity(count + 1);
+    offsets.push(0u32);
+    let mut prev_start = 0usize;
+    for _ in 0..count {
+        let shared = get_uvarint(buf).ok_or(ColfError::Truncated("path prefix"))? as usize;
+        let suffix_len = get_uvarint(buf).ok_or(ColfError::Truncated("path suffix len"))? as usize;
+        let start = arena.len();
+        let prev_len = start - prev_start;
+        if shared > prev_len {
+            return Err(ColfError::BadValue("path prefix length"));
+        }
+        if buf.remaining() < suffix_len {
+            return Err(ColfError::Truncated("path suffix"));
+        }
+        std::str::from_utf8(&buf[..suffix_len]).map_err(|_| ColfError::BadValue("path utf-8"))?;
+        // A prefix of valid UTF-8 cut at a character boundary is valid
+        // UTF-8; a cut mid-character would start the new path with a
+        // continuation byte.
+        if shared < prev_len && (arena[prev_start + shared] & 0xC0) == 0x80 {
+            return Err(ColfError::BadValue("path utf-8"));
+        }
+        arena.extend_from_within(prev_start..prev_start + shared);
+        arena.extend_from_slice(&buf[..suffix_len]);
+        buf.advance(suffix_len);
+        if offsets.len() > 1 {
+            let (head, cur) = arena.split_at(start);
+            let prev = &head[prev_start..];
+            if prev >= cur {
+                return Err(ColfError::Unsorted(format!(
+                    "path at record {} is not greater than its predecessor",
+                    offsets.len() - 1
+                )));
+            }
+        }
+        prev_start = start;
+        let end = u32::try_from(arena.len()).map_err(|_| ColfError::BadValue("path arena size"))?;
+        offsets.push(end);
+    }
+    Ok((arena, offsets))
+}
+
+/// Parses the `osts` section into a stripe-count column, optionally
+/// retaining the pair lists. Validation is byte-for-byte the same as the
+/// row parser so both readers accept and reject identical inputs.
+fn parse_ost_counts(
+    buf: &mut &[u8],
+    count: usize,
+    keep: bool,
+) -> Result<(Vec<u32>, Option<OstColumn>), ColfError> {
+    let mut counts = Vec::with_capacity(count);
+    let mut lists = keep.then(|| Vec::with_capacity(count));
+    for _ in 0..count {
+        let n = get_uvarint(buf).ok_or(ColfError::Truncated("ost count"))? as usize;
+        if n > buf.remaining() + 1 {
+            return Err(ColfError::BadValue("ost count"));
+        }
+        let mut osts = keep.then(|| Vec::with_capacity(n));
+        for _ in 0..n {
+            let ost = get_uvarint(buf).ok_or(ColfError::Truncated("ost id"))?;
+            let obj = get_uvarint(buf).ok_or(ColfError::Truncated("ost object"))?;
+            let pair = (
+                u16::try_from(ost).map_err(|_| ColfError::BadValue("ost id"))?,
+                u32::try_from(obj).map_err(|_| ColfError::BadValue("ost object"))?,
+            );
+            if let Some(list) = osts.as_mut() {
+                list.push(pair);
+            }
+        }
+        // Same wrap as `SnapshotRecord::stripe_count` (`len() as u32`).
+        counts.push(n as u32);
+        if let (Some(lists), Some(osts)) = (lists.as_mut(), osts) {
+            lists.push(osts);
+        }
+    }
+    Ok((counts, lists))
+}
+
+enum ParsedColumns {
+    Paths(Vec<u8>, Vec<u32>),
+    U64(Vec<u64>),
+    U32(Vec<u32>),
+    Osts(Vec<u32>, Option<OstColumn>),
+}
+
+fn parse_section_columns(
+    name: &str,
+    mut payload: &[u8],
+    count: usize,
+    keep_rows: bool,
+) -> Result<ParsedColumns, ColfError> {
+    let buf = &mut payload;
+    let parsed = match name {
+        "paths" => {
+            let (arena, offsets) = parse_paths_arena(buf, count)?;
+            ParsedColumns::Paths(arena, offsets)
+        }
+        "atime" | "ctime" | "mtime" | "ino" => {
+            ParsedColumns::U64(parse_anchored(buf, count, "anchored column")?)
+        }
+        "uid" | "gid" | "mode" => ParsedColumns::U32(parse_plain_u32(buf, count, "plain column")?),
+        "osts" => {
+            let (counts, lists) = parse_ost_counts(buf, count, keep_rows)?;
+            ParsedColumns::Osts(counts, lists)
+        }
+        _ => unreachable!("unknown section {name}"),
+    };
+    if buf.has_remaining() {
+        // Same misalignment rule as the row reader.
+        return Err(ColfError::BadValue("section length"));
+    }
+    Ok(parsed)
+}
+
+fn store_parsed(fc: &mut FrameColumns, name: &'static str, parsed: ParsedColumns) {
+    match parsed {
+        ParsedColumns::Paths(arena, offsets) => {
+            fc.path_arena = arena;
+            fc.path_offsets = offsets;
+        }
+        ParsedColumns::U64(col) => match name {
+            "atime" => fc.atime = col,
+            "ctime" => fc.ctime = col,
+            "mtime" => fc.mtime = col,
+            _ => fc.ino = col,
+        },
+        ParsedColumns::U32(col) => match name {
+            "uid" => fc.uid = col,
+            "gid" => fc.gid = col,
+            _ => fc.mode = col,
+        },
+        ParsedColumns::Osts(counts, lists) => {
+            fc.stripe_count = counts;
+            if lists.is_some() {
+                fc.osts = lists;
+            }
+        }
+    }
+}
+
+fn decode_v2_columns(full: &[u8], lossy: bool, keep_rows: bool) -> Result<FrameColumns, ColfError> {
+    let layout = parse_layout(full)?;
+    let mut fc = FrameColumns::empty(layout.day, layout.taken_at, layout.count, keep_rows);
+    let mut have_paths = false;
+    let paths_offset = layout.sections.first().map(|s| s.1).unwrap_or(0);
+    for &(name, offset, payload, digest) in &layout.sections {
+        let intact = payload.is_some_and(|p| section_digest(p) == digest);
+        let parsed = if intact {
+            parse_section_columns(
+                name,
+                payload.expect("intact implies present"),
+                layout.count,
+                keep_rows,
+            )
+        } else if payload.is_none() {
+            Err(ColfError::Truncated(name))
+        } else {
+            Err(ColfError::Corrupt {
+                section: name,
+                offset,
+            })
+        };
+        match parsed {
+            Ok(parsed) => {
+                if matches!(parsed, ParsedColumns::Paths(..)) {
+                    have_paths = true;
+                }
+                store_parsed(&mut fc, name, parsed);
+            }
+            Err(e) => {
+                if !lossy {
+                    return Err(e);
+                }
+                fc.lost_sections.push(name);
+            }
+        }
+    }
+    if !have_paths {
+        return Err(ColfError::Corrupt {
+            section: "paths",
+            offset: paths_offset,
+        });
+    }
+    Ok(fc)
+}
+
+fn decode_v1_columns(mut buf: &[u8], keep_rows: bool) -> Result<FrameColumns, ColfError> {
+    if buf.remaining() < 4 {
+        return Err(ColfError::Truncated("header"));
+    }
+    let day = buf.get_u32_le();
+    let taken_at = get_uvarint(&mut buf).ok_or(ColfError::Truncated("taken_at"))?;
+    let count = get_uvarint(&mut buf).ok_or(ColfError::Truncated("count"))? as usize;
+    // Same hostile-header preallocation bound as the row reader.
+    if count > buf.remaining() / 2 + 1 {
+        return Err(ColfError::BadValue("record count"));
+    }
+    let mut fc = FrameColumns::empty(day, taken_at, count, keep_rows);
+    let (arena, offsets) = parse_paths_arena(&mut buf, count)?;
+    fc.path_arena = arena;
+    fc.path_offsets = offsets;
+    fc.atime = parse_anchored(&mut buf, count, "atime")?;
+    fc.ctime = parse_anchored(&mut buf, count, "ctime")?;
+    fc.mtime = parse_anchored(&mut buf, count, "mtime")?;
+    fc.ino = parse_anchored(&mut buf, count, "ino")?;
+    fc.uid = parse_plain_u32(&mut buf, count, "uid")?;
+    fc.gid = parse_plain_u32(&mut buf, count, "gid")?;
+    fc.mode = parse_plain_u32(&mut buf, count, "mode")?;
+    let (counts, lists) = parse_ost_counts(&mut buf, count, keep_rows)?;
+    fc.stripe_count = counts;
+    if lists.is_some() {
+        fc.osts = lists;
+    }
+    Ok(fc)
+}
+
+/// Convenience twin of [`crate::colf::section_table`] re-exported here so fast
+/// path consumers can target test corruption without importing `colf`.
+pub use crate::colf::section_table;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colf::{decode, decode_lossy, encode, encode_v1};
+
+    fn sample_snapshot(n: usize) -> Snapshot {
+        let records: Vec<SnapshotRecord> = (0..n)
+            .map(|i| SnapshotRecord {
+                path: format!("/lustre/atlas1/proj{:03}/αβ{:02}/f.{:06}", i % 5, i % 11, i),
+                atime: 1_460_000_000 + i as u64 * 31,
+                ctime: 1_450_000_000 + i as u64 * 7,
+                mtime: 1_450_000_000 + i as u64 * 17,
+                uid: 10_000 + (i % 40) as u32,
+                gid: 2_000 + (i % 16) as u32,
+                mode: if i % 9 == 0 { 0o040770 } else { 0o100664 },
+                ino: 5_000_000 + i as u64,
+                osts: if i % 9 == 0 {
+                    vec![]
+                } else {
+                    (0..(i % 5)).map(|k| (k as u16, (i + k) as u32)).collect()
+                },
+            })
+            .collect();
+        Snapshot::new(21, 1_423_000_000, records)
+    }
+
+    fn assert_matches_rows(cols: &FrameColumns, snap: &Snapshot) {
+        assert_eq!(cols.day(), snap.day());
+        assert_eq!(cols.taken_at(), snap.taken_at());
+        assert_eq!(cols.len(), snap.len());
+        for (i, r) in snap.records().iter().enumerate() {
+            assert_eq!(cols.path(i), r.path, "row {i}");
+            assert_eq!(cols.atime[i], r.atime);
+            assert_eq!(cols.ctime[i], r.ctime);
+            assert_eq!(cols.mtime[i], r.mtime);
+            assert_eq!(cols.ino[i], r.ino);
+            assert_eq!(cols.uid[i], r.uid);
+            assert_eq!(cols.gid[i], r.gid);
+            assert_eq!(cols.mode[i], r.mode);
+            assert_eq!(cols.stripe_count[i], r.stripe_count());
+        }
+    }
+
+    #[test]
+    fn columns_match_rows_v2() {
+        let snap = sample_snapshot(200);
+        let bytes = encode(&snap);
+        let cols = FrameColumns::decode(&bytes).unwrap();
+        assert_matches_rows(&cols, &snap);
+        assert!(cols.lost_sections().is_empty());
+        assert!(!cols.has_rows());
+    }
+
+    #[test]
+    fn columns_match_rows_v1() {
+        let snap = sample_snapshot(80);
+        let bytes = encode_v1(&snap);
+        let cols = FrameColumns::decode(&bytes).unwrap();
+        assert_matches_rows(&cols, &snap);
+    }
+
+    #[test]
+    fn empty_snapshot_decodes() {
+        let snap = Snapshot::new(0, 0, vec![]);
+        let cols = FrameColumns::decode(&encode(&snap)).unwrap();
+        assert!(cols.is_empty());
+        assert_eq!(cols.paths().count(), 0);
+    }
+
+    #[test]
+    fn arena_is_front_coded_not_cloned() {
+        // The arena holds full paths (offsets are per-path spans), so its
+        // size equals the sum of path lengths — not the compressed size —
+        // but with zero per-row allocations.
+        let snap = sample_snapshot(50);
+        let cols = FrameColumns::decode(&encode(&snap)).unwrap();
+        let total: usize = snap.records().iter().map(|r| r.path.len()).sum();
+        assert_eq!(cols.path_arena_len(), total);
+    }
+
+    #[test]
+    fn into_snapshot_roundtrips_exactly() {
+        let snap = sample_snapshot(120);
+        let bytes = encode(&snap);
+        let cols = FrameColumns::decode_lossy_with_rows(&bytes).unwrap();
+        assert!(cols.has_rows());
+        assert_eq!(cols.into_snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "into_snapshot requires decode_lossy_with_rows")]
+    fn into_snapshot_without_rows_panics() {
+        let bytes = encode(&sample_snapshot(3));
+        let cols = FrameColumns::decode(&bytes).unwrap();
+        let _ = cols.into_snapshot();
+    }
+
+    #[test]
+    fn lossy_corrupt_osts_defaults_stripes() {
+        let snap = sample_snapshot(60);
+        let bytes = encode(&snap);
+        let spans = section_table(&bytes).unwrap();
+        let osts = spans.iter().find(|s| s.name == "osts").unwrap();
+        let mut corrupted = bytes.clone();
+        corrupted[osts.offset + osts.len / 2] ^= 0xFF;
+
+        assert!(matches!(
+            FrameColumns::decode(&corrupted),
+            Err(ColfError::Corrupt {
+                section: "osts",
+                ..
+            })
+        ));
+        let cols = FrameColumns::decode_lossy(&corrupted).unwrap();
+        assert_eq!(cols.lost_sections(), ["osts"]);
+        assert!(cols.stripe_count.iter().all(|&c| c == 0));
+        // Everything else matches the row reader's lossy salvage.
+        let lossy = decode_lossy(&corrupted).unwrap();
+        assert_matches_rows_lossy(&cols, &lossy.snapshot);
+    }
+
+    fn assert_matches_rows_lossy(cols: &FrameColumns, snap: &Snapshot) {
+        assert_eq!(cols.len(), snap.len());
+        for (i, r) in snap.records().iter().enumerate() {
+            assert_eq!(cols.path(i), r.path);
+            assert_eq!(cols.atime[i], r.atime);
+            assert_eq!(cols.mode[i], r.mode);
+            assert_eq!(cols.stripe_count[i], r.stripe_count());
+        }
+    }
+
+    #[test]
+    fn corrupt_paths_is_unrecoverable() {
+        let snap = sample_snapshot(30);
+        let bytes = encode(&snap);
+        let spans = section_table(&bytes).unwrap();
+        let paths = spans.iter().find(|s| s.name == "paths").unwrap();
+        let mut corrupted = bytes.clone();
+        corrupted[paths.offset + 2] ^= 0xFF;
+        assert!(FrameColumns::decode(&corrupted).is_err());
+        assert!(FrameColumns::decode_lossy(&corrupted).is_err());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        for bytes in [
+            encode(&sample_snapshot(20)),
+            encode_v1(&sample_snapshot(20)),
+        ] {
+            for cut in 0..bytes.len() {
+                assert!(
+                    FrameColumns::decode(&bytes[..cut]).is_err(),
+                    "cut at {cut} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strictness_agrees_with_row_reader_under_mutation() {
+        // On every single-byte corruption, the two strict readers must
+        // agree on acceptance, and both lossy readers must agree on what
+        // was lost. (The columns reader additionally rejects a handful
+        // of inputs where the row reader would panic on a mid-character
+        // front-coding prefix; checksums keep those unreachable here.)
+        let snap = sample_snapshot(30);
+        let bytes = encode(&snap);
+        for pos in (0..bytes.len()).step_by(3) {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x41;
+            let row = decode(&mutated);
+            let col = FrameColumns::decode(&mutated);
+            assert_eq!(
+                row.is_ok(),
+                col.is_ok(),
+                "strict disagreement at byte {pos}"
+            );
+            match (decode_lossy(&mutated), FrameColumns::decode_lossy(&mutated)) {
+                (Ok(r), Ok(c)) => {
+                    assert_eq!(r.lost_sections, c.lost_sections, "at byte {pos}");
+                    assert_matches_rows_lossy(&c, &r.snapshot);
+                }
+                (Err(_), Err(_)) => {}
+                (r, c) => panic!(
+                    "lossy disagreement at byte {pos}: row {:?} vs columns {:?}",
+                    r.is_ok(),
+                    c.is_ok()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_paths_rejected() {
+        // Hand-roll a v1 buffer with out-of-order paths (the encoders
+        // can't produce one — `Snapshot::new` sorts): the arena parser
+        // must reject it like `Snapshot::from_sorted` does.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"COLF");
+        buf.push(crate::colf::VERSION_V1);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // day
+        buf.push(0); // taken_at
+        buf.push(2); // count
+        for path in ["/b", "/a"] {
+            buf.push(0); // shared
+            buf.push(path.len() as u8);
+            buf.extend_from_slice(path.as_bytes());
+        }
+        // The parser fails on ordering before reaching later columns.
+        assert!(matches!(
+            FrameColumns::decode(&buf),
+            Err(ColfError::Unsorted(_))
+        ));
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`psv`] — the LustreDU text codec;
 //! * [`colf`] — "column file", our Parquet stand-in: front-coded path
 //!   column plus min-anchored varint integer columns;
+//! * [`columns`] — zero-rehydration column views over `colf` bytes
+//!   ([`FrameColumns`]): the fast path that skips row materialization
+//!   entirely, decoding paths into a contiguous arena;
 //! * [`store`] — an on-disk collection of weekly snapshots;
 //! * [`diff`] — adjacent-snapshot comparison classifying every regular
 //!   file as new / deleted / read-only / updated / untouched, exactly the
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod colf;
+pub mod columns;
 pub mod diff;
 pub mod faultfs;
 pub mod io;
@@ -41,6 +45,7 @@ pub mod store;
 pub mod varint;
 pub mod xxh;
 
+pub use columns::FrameColumns;
 pub use diff::{AccessBreakdown, DiffGap, SnapshotDiff};
 pub use faultfs::{FaultFs, FaultKind};
 pub use io::{OsIo, StoreIo};

@@ -316,6 +316,17 @@ impl SnapshotStore {
         Ok(self.with_retry(|| self.io.read(&path))?)
     }
 
+    /// Reads the raw `colf` bytes for `day` without decoding, if the day
+    /// is indexed. This is the entry point for the columnar fast path
+    /// (`spider-core`'s `FrameLoader`), which decodes the bytes straight
+    /// into column views and keys its cache by their section digest.
+    pub fn read_raw(&self, day: u32) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.days.binary_search(&day).is_err() {
+            return Ok(None);
+        }
+        self.read_day(day).map(Some)
+    }
+
     /// Loads the snapshot for `day`, if present. Strict: a failed
     /// checksum anywhere is an error. Transparently retries the read
     /// once more when the first decode fails, which heals short reads

@@ -21,6 +21,15 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
         echo "   -- SPIDER_FAULT_SEED=$seed"
         SPIDER_FAULT_SEED=$seed cargo test -q -p spider-snapshot --test fault_matrix
     done
+    # The columnar fast path must stay bit-identical to the row path,
+    # including under corruption; run the dedicated suites explicitly so
+    # a failure names them, then smoke the benchmark's cross-checks.
+    echo "== frame equivalence (deterministic + property suites)"
+    cargo test -q -p spider-core --test frame_equivalence
+    cargo test -q -p spider-core --test prop_frame
+    echo "== frame_path bench smoke"
+    cargo run --release -q -p spider-bench --bin frame_path -- \
+        target/BENCH_frame_path_smoke.json --days 2 --rows 2000 --reps 1 >/dev/null
     echo "== cargo clippy --all-targets (deny warnings)"
     cargo clippy --all-targets -- -D warnings
     echo "== cargo fmt --check"

@@ -3,6 +3,11 @@
 //! produces identical results either way by design, so sequential
 //! execution changes wall-clock only, never values.
 
+/// Sequential stand-in: the "pool" is the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,

@@ -39,8 +39,8 @@ CRATES=(
     "spider_snapshot:crates/snapshot/src/lib.rs:spider_fsmeta bytes rayon rustc_hash serde"
     "spider_workload:crates/workload/src/lib.rs:spider_stats spider_fsmeta rand rustc_hash serde"
     "spider_graph:crates/graph/src/lib.rs:spider_stats rayon rustc_hash"
-    "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_workload rand rustc_hash serde"
     "spider_core:crates/core/src/lib.rs:spider_stats spider_fsmeta spider_snapshot spider_graph spider_workload rayon crossbeam rustc_hash serde"
+    "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_workload spider_core rand rustc_hash serde"
     "spider_report:crates/report/src/lib.rs:serde serde_json"
     "spider_experiments:crates/experiments/src/lib.rs:spider_stats spider_fsmeta spider_snapshot spider_graph spider_workload spider_sim spider_core spider_report rand rayon rustc_hash serde serde_json"
 )
@@ -50,6 +50,7 @@ CRATES=(
 ITESTS=(
     "fault_matrix:crates/snapshot/tests/fault_matrix.rs:spider_snapshot spider_fsmeta"
     "golden_fixtures:crates/snapshot/tests/golden_fixtures.rs:spider_snapshot"
+    "frame_equivalence:crates/core/tests/frame_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
     "pipeline_end_to_end:tests/pipeline_end_to_end.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "determinism:tests/determinism.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "experiment_shapes:tests/experiment_shapes.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
@@ -111,6 +112,19 @@ if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
         $RUSTC --test --crate-name cli_smoke_tests crates/cli/tests/cli_smoke.rs \
         $externs -o "$OUT/cli_smoke_tests"
     "$OUT/cli_smoke_tests" --test-threads=2 -q
+fi
+
+# Columnar fast-path benchmark smoke: tiny run, asserts the row-path /
+# fast-path fingerprint cross-checks internally (sequential under the
+# rayon stub, so timings here are not representative — see BENCH notes).
+if [ -z "$FILTER" ] || [[ "frame_path" == *"$FILTER"* ]]; then
+    say "build + smoke frame_path bench"
+    BENCH_DEPS="spider_core spider_snapshot spider_fsmeta rustc_hash"
+    externs=""
+    for d in $BENCH_DEPS; do externs+=" $(ext $d)"; done
+    $RUSTC --crate-name frame_path crates/bench/src/bin/frame_path.rs $externs \
+        -o "$OUT/frame_path"
+    "$OUT/frame_path" "$OUT/BENCH_frame_path_smoke.json" --days 2 --rows 2000 --reps 1 >/dev/null
 fi
 
 for entry in "${ITESTS[@]}"; do
