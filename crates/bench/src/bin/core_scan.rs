@@ -144,6 +144,27 @@ fn main() {
     cases.push(("multiagg_one_pass", multi_ns, multi_n));
     cases.push(("four_single_scans", four_ns, four_n));
 
+    // Non-timed: one instrumented run of the fused-scan and MultiAgg
+    // workloads. The timed cases above ran with telemetry disabled (its
+    // default), so the medians measure the uninstrumented hot path; this
+    // pass embeds engine/scan-stage attribution in the report.
+    let tel = spider_telemetry::global();
+    tel.enable();
+    let _ = Scan::over(&frame)
+        .files()
+        .filter(|f, i| f.mtime[i] <= cutoff)
+        .filter(|f, i| f.stripe_count[i] >= 2)
+        .count();
+    let _ = Scan::over(&frame)
+        .multi(|f, i| Some(f.gid[i]))
+        .count("entries")
+        .sum_opt("files", |f, i| f.is_file[i].then_some(1.0))
+        .mean("mtime", |f, i| f.mtime[i] as f64)
+        .max("depth", |f, i| f.depth[i] as f64)
+        .run();
+    tel.disable();
+    let telemetry = spider_telemetry::TelemetrySnapshot::capture(tel).to_json();
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"rows\": {ROWS},\n  \"reps\": {REPS},\n"));
     json.push_str("  \"results\": [\n");
@@ -154,7 +175,9 @@ fn main() {
             if i + 1 == cases.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"telemetry\": {}\n", telemetry.trim_end()));
+    json.push_str("}\n");
     std::fs::write(&out, &json).expect("write benchmark json");
     eprintln!("wrote {out}");
     print!("{json}");

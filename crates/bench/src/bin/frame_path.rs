@@ -215,6 +215,21 @@ fn main() {
         );
     }
 
+    // --- non-timed: one instrumented cold + cached pass ---
+    // All timed cases above ran with telemetry disabled (its default),
+    // so the headline numbers measure the uninstrumented hot path. This
+    // extra pass re-runs the multi-day workload with the registry on and
+    // embeds the snapshot, giving perf PRs per-stage attribution (decode
+    // latency, cache hit/miss/eviction, batch occupancy) alongside the
+    // medians.
+    let tel = spider_telemetry::global();
+    tel.enable();
+    loader.cache().clear();
+    let _ = loader.frames(&all_days).unwrap(); // cold: decodes every day
+    let _ = loader.frames(&all_days).unwrap(); // cached: hits every day
+    tel.disable();
+    let telemetry = spider_telemetry::TelemetrySnapshot::capture(tel).to_json();
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"rows\": {rows},\n  \"days\": {days},\n  \"reps\": {reps},\n"
@@ -227,7 +242,9 @@ fn main() {
             if i + 1 == cases.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"telemetry\": {}\n", telemetry.trim_end()));
+    json.push_str("}\n");
     std::fs::write(&out, &json).expect("write benchmark json");
     let _ = std::fs::remove_dir_all(&dir);
     eprintln!("wrote {out}");

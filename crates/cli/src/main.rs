@@ -7,6 +7,7 @@
 //! spider-metalab repro    --dir runs/full [--out results] [--scale 0.001] [--quick]
 //! spider-metalab exp fig16 --dir runs/full [--quick]
 //! spider-metalab inspect  --dir runs/full [--day 497]
+//! spider-metalab telemetry --dir runs/full [--quick] [--json] [--check]
 //! ```
 //!
 //! `--quick` switches to the small test-scale configuration (minutes →
@@ -22,7 +23,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_mode = extract_telemetry_flag(&mut args);
+    if telemetry_mode.is_some() {
+        spider_telemetry::global().enable();
+    }
     let Some(command) = args.first().map(|s| s.as_str()) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -37,17 +42,63 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "export" => cmd_export(&args[1..]),
+        "telemetry" => cmd_telemetry(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     };
+    if let Some(mode) = telemetry_mode {
+        report_telemetry(&args, mode);
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// How `--telemetry` asked for the report to be rendered.
+#[derive(Clone, Copy, PartialEq)]
+enum TelemetryMode {
+    Table,
+    Json,
+}
+
+/// Removes `--telemetry[=json|table]` from `args` (it is global, and the
+/// per-command parsers must not see it) and returns the requested mode.
+fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<TelemetryMode> {
+    let mut mode = None;
+    args.retain(|a| match a.as_str() {
+        "--telemetry" | "--telemetry=table" => {
+            mode = Some(TelemetryMode::Table);
+            false
+        }
+        "--telemetry=json" => {
+            mode = Some(TelemetryMode::Json);
+            false
+        }
+        _ => true,
+    });
+    mode
+}
+
+/// Prints the end-of-run telemetry report and, when the command had a
+/// `--dir`, exports the same snapshot to `<dir>/telemetry.json`.
+fn report_telemetry(args: &[String], mode: TelemetryMode) {
+    let snapshot = spider_telemetry::TelemetrySnapshot::capture(spider_telemetry::global());
+    match mode {
+        TelemetryMode::Table => println!("\n---- telemetry ----\n{}", snapshot.to_table()),
+        TelemetryMode::Json => println!("{}", snapshot.to_json()),
+    }
+    if let Some(dir) = flag_value(args, "--dir") {
+        let path = PathBuf::from(dir).join("telemetry.json");
+        match std::fs::write(&path, snapshot.to_json()) {
+            Ok(()) => eprintln!("telemetry snapshot written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
     }
 }
@@ -66,10 +117,18 @@ USAGE:
   spider-metalab analyze  --dir DIR [--day N]
   spider-metalab convert  --psv FILE --dir DIR
   spider-metalab export   --dir DIR --psv FILE [--day N]
+  spider-metalab telemetry --dir DIR [--quick] [--json] [--check]
 
 `--fault-seed N` routes store I/O through the deterministic fault
 injector (seeded bit flips, truncations, torn writes, transient
-errors) to exercise the retry/quarantine machinery end to end.";
+errors) to exercise the retry/quarantine machinery end to end.
+
+`--telemetry[=table|json]` works with every command: it instruments the
+run (spans, counters, latency histograms), prints the report when the
+command finishes, and — when the command takes `--dir` — exports the
+snapshot to `<dir>/telemetry.json`. The `telemetry` subcommand runs the
+full pipeline under instrumentation in one step; `--check` validates
+the snapshot (CI smoke).";
 
 type AnyError = Box<dyn std::error::Error>;
 
@@ -308,6 +367,70 @@ fn cmd_exp(args: &[String]) -> Result<(), AnyError> {
             check.name,
             check.measured
         );
+    }
+    Ok(())
+}
+
+/// Runs the full pipeline (simulate — or reuse a cached store — then
+/// scrub, load, analyze) with telemetry enabled and reports where the
+/// time went. `--check` additionally validates the snapshot the way the
+/// CI smoke job does: stable schema, parent spans covering their
+/// sequential children, and no unaccounted pipeline bucket over 10%
+/// (the phase checks assume a fresh `--dir`, so the simulate phase runs).
+fn cmd_telemetry(args: &[String]) -> Result<(), AnyError> {
+    let tel = spider_telemetry::global();
+    tel.enable();
+    let config = lab_config(args)?;
+    let dir = config.dir.clone();
+    let _lab = Lab::prepare(config)?;
+    let snapshot = spider_telemetry::TelemetrySnapshot::capture(tel);
+    if has_flag(args, "--json") {
+        println!("{}", snapshot.to_json());
+    } else {
+        println!("{}", snapshot.to_table());
+    }
+    let path = dir.join("telemetry.json");
+    std::fs::write(&path, snapshot.to_json())?;
+    eprintln!("telemetry snapshot written to {}", path.display());
+    if has_flag(args, "--check") {
+        check_telemetry(&snapshot)?;
+        println!("telemetry check: OK");
+    }
+    Ok(())
+}
+
+/// The CI smoke validation behind `telemetry --check`.
+fn check_telemetry(snapshot: &spider_telemetry::TelemetrySnapshot) -> Result<(), AnyError> {
+    if snapshot.schema_version != spider_telemetry::SCHEMA_VERSION {
+        return Err("telemetry snapshot has an unexpected schema version".into());
+    }
+    let violations = snapshot.span_sum_violations();
+    if !violations.is_empty() {
+        return Err(format!("span accounting violations: {violations:?}").into());
+    }
+    let pipeline = snapshot
+        .spans
+        .iter()
+        .find(|s| s.name == "pipeline")
+        .ok_or("no `pipeline` root span recorded")?;
+    for phase in ["simulate", "scrub", "analyze"] {
+        if !pipeline.children.iter().any(|c| c.name == phase) {
+            return Err(format!("phase span {phase:?} missing under `pipeline`").into());
+        }
+    }
+    if pipeline.total_ns > 0 && pipeline.self_ns * 10 > pipeline.total_ns {
+        return Err(format!(
+            "unaccounted pipeline self-time {} exceeds 10% of total {}",
+            spider_telemetry::fmt_ns(pipeline.self_ns),
+            spider_telemetry::fmt_ns(pipeline.total_ns),
+        )
+        .into());
+    }
+    if snapshot.counters.is_empty() {
+        return Err("no counters recorded".into());
+    }
+    if snapshot.histograms.is_empty() {
+        return Err("no histograms recorded".into());
     }
     Ok(())
 }

@@ -157,6 +157,52 @@ fn store_health_scrubs_and_quarantines() {
 }
 
 #[test]
+fn telemetry_subcommand_reports_and_checks() {
+    let dir = temp_dir("telemetry");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "telemetry", "--dir", dir_s, "--quick", "--scale", "0.00005", "--days", "28", "--check",
+    ]);
+    assert!(ok, "telemetry run failed:\n{text}");
+    assert!(text.contains("pipeline"), "no pipeline span in:\n{text}");
+    assert!(text.contains("simulate"), "no simulate span in:\n{text}");
+    assert!(text.contains("analyze"), "no analyze span in:\n{text}");
+    assert!(text.contains("telemetry check: OK"), "check failed:\n{text}");
+
+    let json = std::fs::read_to_string(dir.join("telemetry.json")).expect("export written");
+    assert!(json.contains("\"schema_version\""), "bad export:\n{json}");
+    assert!(json.contains("\"spans\""), "bad export:\n{json}");
+
+    // JSON mode prints the document itself.
+    let (ok, text) = run(&["telemetry", "--dir", dir_s, "--quick", "--scale", "0.00005",
+        "--days", "28", "--json"]);
+    assert!(ok, "telemetry --json failed:\n{text}");
+    assert!(text.contains("\"schema_version\""), "no JSON in:\n{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn global_telemetry_flag_reports_after_any_command() {
+    let dir = temp_dir("telemetry-flag");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "simulate", "--dir", dir_s, "--quick", "--scale", "0.00005", "--days", "28",
+        "--telemetry",
+    ]);
+    assert!(ok, "simulate --telemetry failed:\n{text}");
+    assert!(text.contains("---- telemetry ----"), "no report in:\n{text}");
+    assert!(text.contains("simulate"), "no simulate span in:\n{text}");
+    assert!(dir.join("telemetry.json").exists(), "no export written");
+
+    let (ok, text) = run(&["analyze", "--dir", dir_s, "--telemetry=json"]);
+    assert!(ok, "analyze --telemetry=json failed:\n{text}");
+    assert!(text.contains("\"counters\""), "no JSON report in:\n{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fault_injected_simulate_survives() {
     let dir = temp_dir("faultsim");
     let dir_s = dir.to_str().unwrap();

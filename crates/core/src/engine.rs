@@ -134,6 +134,12 @@ impl Engine {
         A: Send,
     {
         let morsel = morsel_rows_for(n);
+        // Scan telemetry is pure arithmetic per *scan*, not per row: the
+        // morsel count and row count are known before the tree runs.
+        let tel = spider_telemetry::global();
+        tel.incr("engine.scans", 1);
+        tel.incr("engine.morsels", n.div_ceil(morsel) as u64);
+        tel.incr("engine.rows_scanned", n as u64);
         fold_tree(
             0..n,
             morsel,

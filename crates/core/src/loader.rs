@@ -31,6 +31,7 @@ use spider_snapshot::columns::FrameColumns;
 use spider_snapshot::store::StoreError;
 use spider_snapshot::xxh::section_digest;
 use spider_snapshot::{Snapshot, SnapshotStore};
+use spider_telemetry as telemetry;
 use std::sync::{Arc, Mutex};
 
 /// Cache key: `(day, section digest of the colf bytes)`.
@@ -42,6 +43,7 @@ struct CacheInner {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// A small LRU cache of decoded frames, keyed by [`FrameKey`] so entries
@@ -49,15 +51,24 @@ struct CacheInner {
 pub struct FrameCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    // Pre-resolved global-registry mirrors of the local counters, so the
+    // telemetry report sees cache behaviour without polling every cache.
+    tel_hits: telemetry::Counter,
+    tel_misses: telemetry::Counter,
+    tel_evictions: telemetry::Counter,
 }
 
 impl FrameCache {
     /// Creates a cache holding at most `capacity` frames. Capacity 0
     /// disables caching entirely (every lookup misses, nothing is kept).
     pub fn new(capacity: usize) -> FrameCache {
+        let tel = telemetry::global();
         FrameCache {
             inner: Mutex::new(CacheInner::default()),
             capacity,
+            tel_hits: tel.counter("cache.hits"),
+            tel_misses: tel.counter("cache.misses"),
+            tel_evictions: tel.counter("cache.evictions"),
         }
     }
 
@@ -71,10 +82,12 @@ impl FrameCache {
                 *last_used = tick;
                 let frame = Arc::clone(frame);
                 inner.hits += 1;
+                self.tel_hits.incr();
                 Some(frame)
             }
             None => {
                 inner.misses += 1;
+                self.tel_misses.incr();
                 None
             }
         }
@@ -99,6 +112,8 @@ impl FrameCache {
                 .map(|(k, _)| k)
             {
                 inner.map.remove(&oldest);
+                inner.evictions += 1;
+                self.tel_evictions.incr();
             }
         }
         inner.map.insert(key, (frame, tick));
@@ -119,18 +134,20 @@ impl FrameCache {
         self.capacity
     }
 
-    /// `(hits, misses)` since creation or the last [`FrameCache::clear`].
-    pub fn stats(&self) -> (u64, u64) {
+    /// `(hits, misses, evictions)` since creation or the last
+    /// [`FrameCache::clear`].
+    pub fn stats(&self) -> (u64, u64, u64) {
         let inner = self.inner.lock().expect("frame cache poisoned");
-        (inner.hits, inner.misses)
+        (inner.hits, inner.misses, inner.evictions)
     }
 
-    /// Drops every entry and resets the hit/miss counters.
+    /// Drops every entry and resets the hit/miss/eviction counters.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("frame cache poisoned");
         inner.map.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 }
 
@@ -225,8 +242,13 @@ impl FrameLoader {
         if let Some(frame) = self.cache.get(key) {
             return Ok(frame);
         }
+        let tel = telemetry::global();
+        let sw = tel.stopwatch();
         let cols = FrameColumns::decode_lossy(bytes)?;
         let frame = Arc::new(SnapshotFrame::from_columns(&cols));
+        if let Some(ns) = tel.elapsed_ns(sw) {
+            tel.record("loader.decode_ns", ns);
+        }
         self.cache.insert(key, Arc::clone(&frame));
         Ok(frame)
     }
@@ -240,8 +262,10 @@ impl FrameLoader {
     /// across batches the loader is sequential, bounding peak memory at
     /// `batch` decoded days regardless of how many are requested.
     pub fn frames(&self, days: &[u32]) -> Result<Vec<Arc<SnapshotFrame>>, StoreError> {
+        let tel = telemetry::global();
         let mut out = Vec::with_capacity(days.len());
         for chunk in days.chunks(self.batch) {
+            tel.record("loader.batch_occupancy", chunk.len() as u64);
             let loaded: Result<Vec<_>, StoreError> = chunk
                 .par_iter()
                 .map(|&day| {
@@ -261,8 +285,10 @@ impl FrameLoader {
     /// yields its own `Result`, so one unreadable day does not abort the
     /// sweep. Order matches the input.
     pub fn try_frames(&self, days: &[u32]) -> Vec<(u32, Result<Arc<SnapshotFrame>, StoreError>)> {
+        let tel = telemetry::global();
         let mut out = Vec::with_capacity(days.len());
         for chunk in days.chunks(self.batch) {
+            tel.record("loader.batch_occupancy", chunk.len() as u64);
             let loaded: Vec<_> = chunk
                 .par_iter()
                 .map(|&day| {
@@ -302,7 +328,12 @@ impl FrameLoader {
 
     fn loaded_from_bytes(&self, day: u32, bytes: &[u8]) -> Result<LoadedDay, StoreError> {
         let key = (day, section_digest(bytes));
+        let tel = telemetry::global();
+        let sw = tel.stopwatch();
         let cols = FrameColumns::decode_lossy_with_rows(bytes)?;
+        if let Some(ns) = tel.elapsed_ns(sw) {
+            tel.record("loader.decode_ns", ns);
+        }
         let lost_sections = cols.lost_sections().to_vec();
         let (frame, from_cache) = match self.cache.get(key) {
             Some(frame) => (frame, true),
@@ -388,9 +419,10 @@ mod tests {
         let days = loader.days().to_vec();
         let first = loader.frames(&days).unwrap();
         let again = loader.frames(&days).unwrap();
-        let (hits, misses) = loader.cache().stats();
+        let (hits, misses, evictions) = loader.cache().stats();
         assert_eq!(misses, 2, "one miss per day on the cold pass");
         assert_eq!(hits, 2, "one hit per day on the warm pass");
+        assert_eq!(evictions, 0, "capacity covers every day");
         // Hits return the very same allocation.
         for (a, b) in first.iter().zip(&again) {
             assert!(Arc::ptr_eq(a, b));
@@ -414,7 +446,7 @@ mod tests {
         let after = loader.frame(0).unwrap().unwrap();
         assert!(!Arc::ptr_eq(&before, &after), "stale frame served");
         assert_eq!(after.len(), 13);
-        let (hits, misses) = loader.cache().stats();
+        let (hits, misses, _) = loader.cache().stats();
         assert_eq!((hits, misses), (0, 2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -442,6 +474,10 @@ mod tests {
         assert!(cache.get((0, 0)).is_some());
         assert!(cache.get((2, 0)).is_some());
         assert_eq!(cache.len(), 2);
+        let (hits, misses, evictions) = cache.stats();
+        assert_eq!((hits, misses, evictions), (3, 1, 1));
+        cache.clear();
+        assert_eq!(cache.stats(), (0, 0, 0));
     }
 
     #[test]

@@ -200,9 +200,15 @@ pub fn stream_loader(
     let days: Vec<u32> = loader.days().to_vec();
     let mut steps = 0;
     let mut result = Ok(());
+    // The producer runs on its own thread, so its span is attached under
+    // the consumer's current span path explicitly and flagged concurrent
+    // (it overlaps the visitors' wall-clock instead of nesting inside it).
+    let span_parent = spider_telemetry::global().current_path();
     std::thread::scope(|scope| {
         let (tx, rx) = crossbeam::channel::bounded::<Result<LoadedDay, StoreError>>(1);
+        let span_parent = &span_parent;
         scope.spawn(move || {
+            let _load = spider_telemetry::global().span_at(span_parent, "load");
             for day in days {
                 let item = loader.load_with_rows(day).and_then(|opt| {
                     opt.ok_or_else(|| {
@@ -358,9 +364,10 @@ mod prefetch_tests {
         stream_loader(&loader, &mut [&mut second]).unwrap();
         assert_eq!(first.days, second.days);
         assert_eq!(first.new_counts, second.new_counts);
-        let (hits, misses) = loader.cache().stats();
+        let (hits, misses, evictions) = loader.cache().stats();
         assert_eq!(misses, 3, "cold pass decodes every day once");
         assert_eq!(hits, 3, "warm pass serves every frame from cache");
+        assert_eq!(evictions, 0, "default capacity never evicts here");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -49,6 +49,7 @@ use crate::agg::MultiAgg;
 use crate::engine::Engine;
 use crate::frame::SnapshotFrame;
 use rustc_hash::FxHashMap;
+use spider_telemetry as telemetry;
 
 // ---------------------------------------------------------------------------
 // Predicate composition
@@ -119,6 +120,51 @@ impl<A: RowPred, B: RowPred> RowPred for And<A, B> {
     }
 }
 
+/// Telemetry counter names for the first predicate stages of a scan;
+/// deeper stacks all charge the last name. Static so the per-stage
+/// counters resolve without allocation.
+const SCAN_STAGE_NAMES: [&str; 6] = [
+    "scan.stage0.matched",
+    "scan.stage1.matched",
+    "scan.stage2.matched",
+    "scan.stage3.matched",
+    "scan.stage4.matched",
+    "scan.stage5.matched",
+];
+
+/// A predicate stage that counts its matches into the telemetry
+/// registry. The counter handle is resolved once, at *composition*
+/// time — and only when telemetry was enabled then, so a disabled
+/// pipeline pays one `Option` branch per row and no atomics.
+#[derive(Debug, Clone)]
+pub struct Counted<P> {
+    inner: P,
+    matched: Option<telemetry::Counter>,
+}
+
+impl<P> Counted<P> {
+    fn new(inner: P, stage: usize) -> Counted<P> {
+        let tel = telemetry::global();
+        let matched = tel
+            .is_enabled()
+            .then(|| tel.counter(SCAN_STAGE_NAMES[stage.min(SCAN_STAGE_NAMES.len() - 1)]));
+        Counted { inner, matched }
+    }
+}
+
+impl<P: RowPred> RowPred for Counted<P> {
+    #[inline]
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool {
+        let hit = self.inner.test(frame, i);
+        if hit {
+            if let Some(counter) = &self.matched {
+                counter.incr();
+            }
+        }
+        hit
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scan
 // ---------------------------------------------------------------------------
@@ -135,6 +181,9 @@ pub struct Scan<'f, P = All> {
     frame: &'f SnapshotFrame,
     engine: Engine,
     pred: P,
+    /// Number of predicate stages composed so far — indexes the
+    /// per-stage telemetry counters.
+    stage: usize,
 }
 
 impl<'f> Scan<'f, All> {
@@ -149,6 +198,7 @@ impl<'f> Scan<'f, All> {
             frame,
             engine,
             pred: All,
+            stage: 0,
         }
     }
 }
@@ -166,33 +216,38 @@ impl<'f, P: RowPred> Scan<'f, P> {
     }
 
     /// Adds a filter. Purely compositional: the predicate is evaluated
-    /// inside the fused scan of the terminal aggregate, not here.
-    pub fn filter<F>(self, pred: F) -> Scan<'f, And<P, FnPred<F>>>
+    /// inside the fused scan of the terminal aggregate, not here. When
+    /// telemetry is enabled at composition time, rows this stage passes
+    /// are counted under `scan.stage<N>.matched`.
+    pub fn filter<F>(self, pred: F) -> Scan<'f, And<P, Counted<FnPred<F>>>>
     where
         F: Fn(&SnapshotFrame, usize) -> bool + Sync + Send,
     {
         Scan {
             frame: self.frame,
             engine: self.engine,
-            pred: And(self.pred, FnPred(pred)),
+            pred: And(self.pred, Counted::new(FnPred(pred), self.stage)),
+            stage: self.stage + 1,
         }
     }
 
     /// Keeps only regular files.
-    pub fn files(self) -> Scan<'f, And<P, FilesOnly>> {
+    pub fn files(self) -> Scan<'f, And<P, Counted<FilesOnly>>> {
         Scan {
             frame: self.frame,
             engine: self.engine,
-            pred: And(self.pred, FilesOnly),
+            pred: And(self.pred, Counted::new(FilesOnly, self.stage)),
+            stage: self.stage + 1,
         }
     }
 
     /// Keeps only directories.
-    pub fn dirs(self) -> Scan<'f, And<P, DirsOnly>> {
+    pub fn dirs(self) -> Scan<'f, And<P, Counted<DirsOnly>>> {
         Scan {
             frame: self.frame,
             engine: self.engine,
-            pred: And(self.pred, DirsOnly),
+            pred: And(self.pred, Counted::new(DirsOnly, self.stage)),
+            stage: self.stage + 1,
         }
     }
 

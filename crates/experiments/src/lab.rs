@@ -130,6 +130,8 @@ impl Lab {
     /// of failing mid-stream. The resulting [`StoreHealth`] is kept for
     /// experiment verdicts.
     pub fn prepare(config: LabConfig) -> Result<Lab, Box<dyn std::error::Error>> {
+        let tel = spider_telemetry::global();
+        let _pipeline = tel.span("pipeline");
         std::fs::create_dir_all(&config.dir)?;
         let marker = config.dir.join("lab-config.json");
         let store_dir = config.dir.join("snapshots");
@@ -155,7 +157,10 @@ impl Lab {
             (population, Some(outcome), store)
         };
 
+        // The store's scrub opens its own "scrub" span, which nests under
+        // "pipeline" here because spans stack per thread.
         let health = store.scrub();
+        tel.incr("lab.substituted_days", health.substitutions.len() as u64);
         // The loader opens after the scrub so its day index reflects the
         // post-quarantine store; the cache spans both analysis passes, so
         // pass 2 re-streams frames without re-decoding a single day.
@@ -177,6 +182,8 @@ impl Lab {
         loader: &FrameLoader,
         burstiness_min_files: usize,
     ) -> Result<Analyses, Box<dyn std::error::Error>> {
+        let tel = spider_telemetry::global();
+        let _analyze = tel.span("analyze");
         let ctx = AnalysisContext::new(population);
 
         // Pass 1: all single-pass analyses.
@@ -193,24 +200,27 @@ impl Lab {
         let mut network = FileGenNetwork::new(ctx.clone());
         let mut domain_stats = DomainScanStats::new(ctx.clone());
         let mut collab_network = FileGenNetwork::without_staff(ctx);
-        stream_loader(
-            loader,
-            &mut [
-                &mut census,
-                &mut users,
-                &mut participation,
-                &mut depth,
-                &mut striping,
-                &mut growth,
-                &mut access,
-                &mut age,
-                &mut burstiness,
-                &mut advisor,
-                &mut network,
-                &mut collab_network,
-                &mut domain_stats,
-            ],
-        )?;
+        {
+            let _pass1 = tel.span("pass1");
+            stream_loader(
+                loader,
+                &mut [
+                    &mut census,
+                    &mut users,
+                    &mut participation,
+                    &mut depth,
+                    &mut striping,
+                    &mut growth,
+                    &mut access,
+                    &mut age,
+                    &mut burstiness,
+                    &mut advisor,
+                    &mut network,
+                    &mut collab_network,
+                    &mut domain_stats,
+                ],
+            )?;
+        }
 
         // Pass 2: extension trend over pass 1's global top-20.
         let top20: Vec<String> = census
@@ -219,7 +229,10 @@ impl Lab {
             .map(|(e, _)| e)
             .collect();
         let mut ext_trend = ExtensionTrend::new(top20);
-        stream_loader(loader, &mut [&mut ext_trend])?;
+        {
+            let _pass2 = tel.span("pass2");
+            stream_loader(loader, &mut [&mut ext_trend])?;
+        }
 
         let built_network = network.build();
         let built_collab = collab_network.build();

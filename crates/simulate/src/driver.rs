@@ -272,22 +272,31 @@ impl Simulation {
     /// Runs the full configured simulation (warm-up + observation),
     /// persisting observation-window snapshots into `store`.
     pub fn run(&mut self, store: &mut SnapshotStore) -> Result<SimulationOutcome, StoreError> {
+        let tel = spider_telemetry::global();
+        let _simulate = tel.span("simulate");
         let mut weeks = Vec::new();
         let mut snapshot_days = Vec::new();
         let mut dropped_days = Vec::new();
         let total_weeks =
             (self.config.warmup_days + self.config.days) / self.config.snapshot_interval_days;
         for _ in 0..total_weeks {
-            let stats = self.run_week();
+            let stats = {
+                let _generate = tel.span("generate");
+                self.run_week()
+            };
             if stats.observation_day >= 0 {
                 let day = stats.observation_day as u32;
+                let _write = tel.span("write");
                 match store.put(&self.snapshot(day)) {
                     Ok(()) => snapshot_days.push(day),
                     // A persistently failing write (the store already
                     // retried transients) loses this week's dump, not
                     // the run: record the gap and keep simulating, the
                     // way the study worked around unusable snapshots.
-                    Err(StoreError::Io(_)) => dropped_days.push(day),
+                    Err(StoreError::Io(_)) => {
+                        tel.incr("sim.dropped_days", 1);
+                        dropped_days.push(day);
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -298,13 +307,17 @@ impl Simulation {
         // fails to read back is reported, not fatal, matching the
         // dropped-days philosophy above (and under fault injection a
         // day may well be unreadable by design).
+        let _verify = tel.span("verify");
         let mut verified_rows = 0u64;
         let mut unverified_days = Vec::new();
         let loader = FrameLoader::new(store)?;
         for (day, result) in loader.try_frames(&snapshot_days) {
             match result {
                 Ok(frame) => verified_rows += frame.len() as u64,
-                Err(_) => unverified_days.push(day),
+                Err(_) => {
+                    tel.incr("sim.unverified_days", 1);
+                    unverified_days.push(day);
+                }
             }
         }
         Ok(SimulationOutcome {
@@ -705,6 +718,31 @@ mod tests {
         let dropped = outcome.dropped_days[0];
         assert!(!outcome.snapshot_days.contains(&dropped));
         assert!(store.get(dropped).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_records_phase_spans_when_telemetry_is_on() {
+        let dir = std::env::temp_dir().join(format!("spider-sim-tel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        let tel = spider_telemetry::global();
+        tel.enable();
+        let mut sim = small_sim(6);
+        sim.run(&mut store).unwrap();
+        tel.disable();
+        let spans = tel.span_stats();
+        for path in [
+            vec!["simulate"],
+            vec!["simulate", "generate"],
+            vec!["simulate", "write"],
+            vec!["simulate", "verify"],
+        ] {
+            assert!(
+                spans.iter().any(|(p, _)| *p == path),
+                "missing span {path:?}"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

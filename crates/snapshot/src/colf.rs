@@ -612,14 +612,42 @@ pub(crate) fn version_of(buf: &[u8]) -> Result<u8, ColfError> {
     Ok(buf[4])
 }
 
+/// The telemetry counter charged when section `name` is lost by a lossy
+/// decode. Static per section so recording allocates nothing; shared by
+/// the row decoder here and the columnar decoder in `columns`.
+pub(crate) fn lost_section_counter(name: &str) -> &'static str {
+    match name {
+        "paths" => "colf.lost.paths",
+        "atime" => "colf.lost.atime",
+        "ctime" => "colf.lost.ctime",
+        "mtime" => "colf.lost.mtime",
+        "ino" => "colf.lost.ino",
+        "uid" => "colf.lost.uid",
+        "gid" => "colf.lost.gid",
+        "mode" => "colf.lost.mode",
+        "osts" => "colf.lost.osts",
+        _ => "colf.lost.other",
+    }
+}
+
 /// Deserializes a `colf` buffer (v1 or v2) back into a snapshot.
 /// Strict: any corrupt or truncated section is an error.
 pub fn decode(buf: &[u8]) -> Result<Snapshot, ColfError> {
-    match version_of(buf)? {
+    let result = version_of(buf).and_then(|v| match v {
         VERSION_V1 => decode_v1(&buf[5..]),
         VERSION => decode_v2(buf, false).map(|d| d.snapshot),
         v => Err(ColfError::BadVersion(v)),
+    });
+    let tel = spider_telemetry::global();
+    match &result {
+        Ok(snap) => {
+            tel.incr("colf.decode.strict_ok", 1);
+            tel.incr("colf.decode.bytes", buf.len() as u64);
+            tel.incr("colf.decode.rows", snap.len() as u64);
+        }
+        Err(_) => tel.incr("colf.decode.failed", 1),
     }
+    result
 }
 
 /// Lossy deserialization: recovers everything the checksums vouch for,
@@ -627,14 +655,31 @@ pub fn decode(buf: &[u8]) -> Result<Snapshot, ColfError> {
 /// them. v1 files carry no checksums, so they decode strictly (a v1
 /// success is a full recovery).
 pub fn decode_lossy(buf: &[u8]) -> Result<LossyDecode, ColfError> {
-    match version_of(buf)? {
+    let result = version_of(buf).and_then(|v| match v {
         VERSION_V1 => decode_v1(&buf[5..]).map(|snapshot| LossyDecode {
             snapshot,
             lost_sections: Vec::new(),
         }),
         VERSION => decode_v2(buf, true),
         v => Err(ColfError::BadVersion(v)),
+    });
+    let tel = spider_telemetry::global();
+    match &result {
+        Ok(d) => {
+            if d.lost_sections.is_empty() {
+                tel.incr("colf.decode.lossy_clean", 1);
+            } else {
+                tel.incr("colf.decode.lossy_degraded", 1);
+                for name in &d.lost_sections {
+                    tel.incr(lost_section_counter(name), 1);
+                }
+            }
+            tel.incr("colf.decode.bytes", buf.len() as u64);
+            tel.incr("colf.decode.rows", d.snapshot.len() as u64);
+        }
+        Err(_) => tel.incr("colf.decode.failed", 1),
     }
+    result
 }
 
 /// Locations of all checksummed regions in a v2 buffer: `"header"`,

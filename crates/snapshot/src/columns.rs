@@ -79,11 +79,13 @@ impl FrameColumns {
     /// Any corrupt or truncated section is an error, exactly like
     /// [`crate::colf::decode`].
     pub fn decode(buf: &[u8]) -> Result<FrameColumns, ColfError> {
-        match version_of(buf)? {
+        let result = version_of(buf).and_then(|v| match v {
             VERSION_V1 => decode_v1_columns(&buf[5..], false),
             VERSION => decode_v2_columns(buf, false, false),
             v => Err(ColfError::BadVersion(v)),
-        }
+        });
+        Self::tally_decode(&result, buf.len(), "frame.decode.strict_ok");
+        result
     }
 
     /// Lossy decode: salvages every checksummed section that verifies,
@@ -92,11 +94,13 @@ impl FrameColumns {
     /// them the decode fails, lossy or not. v1 files carry no checksums
     /// and decode strictly, mirroring [`crate::colf::decode_lossy`].
     pub fn decode_lossy(buf: &[u8]) -> Result<FrameColumns, ColfError> {
-        match version_of(buf)? {
+        let result = version_of(buf).and_then(|v| match v {
             VERSION_V1 => decode_v1_columns(&buf[5..], false),
             VERSION => decode_v2_columns(buf, true, false),
             v => Err(ColfError::BadVersion(v)),
-        }
+        });
+        Self::tally_decode(&result, buf.len(), "frame.decode.lossy_clean");
+        result
     }
 
     /// Like [`FrameColumns::decode_lossy`], but additionally retains the
@@ -105,10 +109,35 @@ impl FrameColumns {
     /// when a consumer needs rows (diff-based analyses) *and* the frame;
     /// use the plain variants when only columns are needed.
     pub fn decode_lossy_with_rows(buf: &[u8]) -> Result<FrameColumns, ColfError> {
-        match version_of(buf)? {
+        let result = version_of(buf).and_then(|v| match v {
             VERSION_V1 => decode_v1_columns(&buf[5..], true),
             VERSION => decode_v2_columns(buf, true, true),
             v => Err(ColfError::BadVersion(v)),
+        });
+        Self::tally_decode(&result, buf.len(), "frame.decode.lossy_clean");
+        result
+    }
+
+    /// Telemetry accounting shared by the three decode entry points.
+    /// `clean` is the counter charged on a fully-recovered decode; one
+    /// with lost sections is charged to `frame.decode.lossy_degraded`
+    /// plus one per-section loss counter.
+    fn tally_decode(result: &Result<FrameColumns, ColfError>, bytes: usize, clean: &'static str) {
+        let tel = spider_telemetry::global();
+        match result {
+            Ok(fc) => {
+                if fc.lost_sections.is_empty() {
+                    tel.incr(clean, 1);
+                } else {
+                    tel.incr("frame.decode.lossy_degraded", 1);
+                    for name in &fc.lost_sections {
+                        tel.incr(crate::colf::lost_section_counter(name), 1);
+                    }
+                }
+                tel.incr("frame.decode.bytes", bytes as u64);
+                tel.incr("frame.decode.rows", fc.len as u64);
+            }
+            Err(_) => tel.incr("frame.decode.failed", 1),
         }
     }
 

@@ -23,6 +23,7 @@
 use crate::colf;
 use crate::io::{OsIo, StoreIo};
 use crate::snapshot::Snapshot;
+use spider_telemetry as telemetry;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,8 +87,12 @@ impl From<colf::ColfError> for StoreError {
 pub struct RetryPolicy {
     /// Total attempts per operation (1 = no retry).
     pub attempts: u32,
-    /// Sleep before the first retry; doubles each further retry.
+    /// Sleep before the first retry; doubles each further retry, up to
+    /// [`RetryPolicy::max_backoff`].
     pub backoff: Duration,
+    /// Ceiling on any single backoff sleep, so a generously configured
+    /// attempt count cannot grow the doubling delay without bound.
+    pub max_backoff: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -95,6 +100,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             attempts: 3,
             backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
         }
     }
 }
@@ -105,6 +111,46 @@ impl RetryPolicy {
         RetryPolicy {
             attempts: 3,
             backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// The operation kinds the store distinguishes in its retry/latency
+/// telemetry. Each maps to static counter/histogram names so recording
+/// needs no allocation.
+#[derive(Debug, Clone, Copy)]
+enum StoreOp {
+    /// Whole-file and prefix reads.
+    Read,
+    /// Snapshot writes (tmp write + rename).
+    Write,
+    /// Metadata lookups (file sizes).
+    Meta,
+}
+
+impl StoreOp {
+    fn attempts_counter(self) -> &'static str {
+        match self {
+            StoreOp::Read => "store.read.attempts",
+            StoreOp::Write => "store.write.attempts",
+            StoreOp::Meta => "store.meta.attempts",
+        }
+    }
+
+    fn retries_counter(self) -> &'static str {
+        match self {
+            StoreOp::Read => "store.read.retries",
+            StoreOp::Write => "store.write.retries",
+            StoreOp::Meta => "store.meta.retries",
+        }
+    }
+
+    fn latency_histogram(self) -> &'static str {
+        match self {
+            StoreOp::Read => "store.read_ns",
+            StoreOp::Write => "store.write_ns",
+            StoreOp::Meta => "store.meta_ns",
         }
     }
 }
@@ -254,21 +300,32 @@ impl SnapshotStore {
     }
 
     /// Runs `op`, retrying transient failures per the policy. Not-found
-    /// errors are permanent and returned immediately.
-    fn with_retry<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    /// errors are permanent and returned immediately. Each attempt's
+    /// latency, each retry, and each backoff sleep is recorded against
+    /// `kind`'s telemetry names.
+    fn with_retry<T>(&self, kind: StoreOp, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let tel = telemetry::global();
         let mut delay = self.retry.backoff;
         let mut last = None;
         for attempt in 0..self.retry.attempts.max(1) {
-            match op() {
+            tel.incr(kind.attempts_counter(), 1);
+            let sw = tel.stopwatch();
+            let result = op();
+            if let Some(ns) = tel.elapsed_ns(sw) {
+                tel.record(kind.latency_histogram(), ns);
+            }
+            match result {
                 Ok(v) => return Ok(v),
                 Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(e),
                 Err(e) => {
                     last = Some(e);
                     if attempt + 1 < self.retry.attempts.max(1) {
                         self.retries.fetch_add(1, Ordering::Relaxed);
+                        tel.incr(kind.retries_counter(), 1);
                         if !delay.is_zero() {
                             std::thread::sleep(delay);
-                            delay *= 2;
+                            tel.record("store.backoff_ns", delay.as_nanos() as u64);
+                            delay = (delay * 2).min(self.retry.max_backoff);
                         }
                     }
                 }
@@ -281,7 +338,8 @@ impl SnapshotStore {
     /// prefix is not parseable (deferred to decode-time diagnosis).
     fn peek_header_day(&self, day: u32) -> Result<Option<u32>, StoreError> {
         let path = self.file_path(day);
-        let prefix = self.with_retry(|| self.io.read_prefix(&path, colf::PEEK_PREFIX_LEN))?;
+        let prefix =
+            self.with_retry(StoreOp::Read, || self.io.read_prefix(&path, colf::PEEK_PREFIX_LEN))?;
         Ok(colf::peek_day(&prefix))
     }
 
@@ -296,7 +354,7 @@ impl SnapshotStore {
         let bytes = colf::encode(snapshot);
         let path = self.file_path(day);
         let tmp = path.with_extension("colf.tmp");
-        let result = self.with_retry(|| {
+        let result = self.with_retry(StoreOp::Write, || {
             self.io.write(&tmp, &bytes)?;
             self.io.rename(&tmp, &path)
         });
@@ -313,7 +371,7 @@ impl SnapshotStore {
 
     fn read_day(&self, day: u32) -> Result<Vec<u8>, StoreError> {
         let path = self.file_path(day);
-        Ok(self.with_retry(|| self.io.read(&path))?)
+        Ok(self.with_retry(StoreOp::Read, || self.io.read(&path))?)
     }
 
     /// Reads the raw `colf` bytes for `day` without decoding, if the day
@@ -339,6 +397,7 @@ impl SnapshotStore {
             Ok(snap) => Ok(Some(snap)),
             Err(_) => {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                telemetry::global().incr("store.decode_heals", 1);
                 Ok(Some(colf::decode(&self.read_day(day)?)?))
             }
         }
@@ -355,6 +414,7 @@ impl SnapshotStore {
             Ok(d) => Ok(Some(d)),
             Err(_) => {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                telemetry::global().incr("store.decode_heals", 1);
                 Ok(Some(colf::decode_lossy(&self.read_day(day)?)?))
             }
         }
@@ -370,6 +430,7 @@ impl SnapshotStore {
     ///   surviving day (ties break earlier), mirroring the paper's
     ///   skip-to-nearest-dump sampling.
     pub fn scrub(&mut self) -> StoreHealth {
+        let _span = telemetry::global().span("scrub");
         let mut health = StoreHealth::default();
         for day in self.days.clone() {
             match self.get_lossy(day) {
@@ -427,6 +488,7 @@ impl SnapshotStore {
         if let Ok(pos) = self.days.binary_search(&day) {
             self.days.remove(pos);
         }
+        telemetry::global().incr("store.quarantined_days", 1);
         health.quarantined.push(QuarantinedDay { day, reason });
     }
 
@@ -484,7 +546,7 @@ impl SnapshotStore {
             return Ok(None);
         }
         let path = self.file_path(day);
-        Ok(Some(self.with_retry(|| self.io.len(&path))?))
+        Ok(Some(self.with_retry(StoreOp::Meta, || self.io.len(&path))?))
     }
 
     /// Streams snapshots in day order, loading one at a time.
@@ -732,6 +794,45 @@ mod tests {
         ffs.plan_read(1, FaultKind::TransientEio);
         assert_eq!(store.get(7).unwrap().unwrap(), snap(7, 20));
         assert!(store.transient_retries() >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backoff_caps_at_max_and_is_recorded() {
+        let dir = temp_dir("backoff-cap");
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&snap(7, 5)).unwrap();
+        }
+        let ffs = Arc::new(FaultFs::new(OsIo, 5));
+        let policy = RetryPolicy {
+            attempts: 5,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let store = SnapshotStore::open_with_io(&dir, ffs.clone(), policy).unwrap();
+        // Read op 0 was the open-time header peek; fail the get's first
+        // four attempts so every backoff sleep happens.
+        for op in 1..5 {
+            ffs.plan_read(op, FaultKind::TransientEio);
+        }
+        let tel = telemetry::global();
+        let backoff = tel.histogram("store.backoff_ns");
+        let attempts = tel.counter("store.read.attempts");
+        let retries = tel.counter("store.read.retries");
+        let (count0, sum0, _) = backoff.core().totals();
+        let (attempts0, retries0) = (attempts.get(), retries.get());
+        tel.enable();
+        let got = store.get(7);
+        tel.disable();
+        assert_eq!(got.unwrap().unwrap(), snap(7, 5));
+        // Sleeps were 1ms, then 2ms capped: 2ms, 2ms — never 4ms/8ms.
+        let (count1, sum1, max) = backoff.core().totals();
+        assert_eq!(count1 - count0, 4);
+        assert_eq!(sum1 - sum0, 7_000_000);
+        assert_eq!(max, 2_000_000);
+        assert!(attempts.get() - attempts0 >= 5);
+        assert!(retries.get() - retries0 >= 4);
         fs::remove_dir_all(&dir).unwrap();
     }
 

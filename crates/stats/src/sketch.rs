@@ -89,6 +89,24 @@ impl QuantileSketch {
         }
     }
 
+    /// Ingests `count` copies of one value in O(1) — the bulk form of
+    /// [`QuantileSketch::push`], used when ingesting pre-bucketed data
+    /// (e.g. telemetry's log2 histograms feed each bucket's midpoint
+    /// here with the bucket's population). NaN and `count == 0` are
+    /// dropped.
+    pub fn push_weighted(&mut self, v: f64, count: u64) {
+        if v.is_nan() || count == 0 {
+            return;
+        }
+        self.count += count;
+        if v <= 0.0 {
+            self.zero_count += count;
+        } else {
+            let idx = (v.ln() / self.gamma_ln).ceil() as i32;
+            *self.buckets.entry(idx).or_insert(0) += count;
+        }
+    }
+
     /// Merges another sketch into this one. Exact: bucket counts add, so
     /// `sketch(a ++ b) == merge(sketch(a), sketch(b))`. Both sketches must
     /// share the same ε (debug-asserted).
@@ -213,6 +231,24 @@ mod tests {
         // PartialEq over the full bucket state: merge is exact, not
         // approximate.
         assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn push_weighted_equals_repeated_push() {
+        let mut bulk = QuantileSketch::default();
+        bulk.push_weighted(42.0, 100);
+        bulk.push_weighted(0.0, 7);
+        bulk.push_weighted(f64::NAN, 3);
+        bulk.push_weighted(9.0, 0);
+        let mut loop_pushed = QuantileSketch::default();
+        for _ in 0..100 {
+            loop_pushed.push(42.0);
+        }
+        for _ in 0..7 {
+            loop_pushed.push(0.0);
+        }
+        assert_eq!(bulk, loop_pushed);
+        assert_eq!(bulk.count(), 107);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The clock seam.
+//!
+//! All span timing and latency measurement goes through [`Clock`], so
+//! tests can swap the process-wide monotonic clock for a [`MockClock`]
+//! they advance by hand — span durations in tests are then exact
+//! constants, not wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// Implementations must be monotone non-decreasing; the registry
+/// subtracts readings to obtain durations and never interprets the
+/// absolute origin.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's (arbitrary) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: `std::time::Instant` anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+///
+/// Shared by `Arc`: the test keeps one handle to advance time while the
+/// registry under test reads it.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock starting at 0 ns.
+    pub fn new() -> MockClock {
+        MockClock::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading. Panics if that would move
+    /// time backwards (mock or not, the clock stays monotonic).
+    pub fn set_ns(&self, ns: u64) {
+        let prev = self.now.swap(ns, Ordering::SeqCst);
+        assert!(prev <= ns, "MockClock moved backwards: {prev} -> {ns}");
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances_deterministically() {
+        let clock = Arc::new(MockClock::new());
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance_ns(250);
+        assert_eq!(clock.now_ns(), 250);
+        clock.set_ns(1_000);
+        assert_eq!(clock.now_ns(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn mock_clock_rejects_backwards_set() {
+        let clock = MockClock::new();
+        clock.set_ns(10);
+        clock.set_ns(5);
+    }
+}

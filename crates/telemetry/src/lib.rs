@@ -1,0 +1,144 @@
+//! spider-telemetry: pipeline-wide spans, counters, and histograms.
+//!
+//! Every runtime layer of the reproduction — snapshot store, colf
+//! decode, frame loader, scan engine, simulation driver, lab — records
+//! into one process-wide [`TelemetryRegistry`] (see [`global`]). The
+//! registry is **disabled by default** and designed so that leaving the
+//! instrumentation compiled in costs one relaxed atomic load per call
+//! site; nothing allocates, locks, or reads a clock until the CLI's
+//! `--telemetry` flag (or a bench/test harness) enables it.
+//!
+//! Three primitives:
+//!
+//! * **Spans** — hierarchical RAII timers ([`TelemetryRegistry::span`])
+//!   nesting via a per-thread stack, with [`TelemetryRegistry::span_at`]
+//!   for work on helper threads (marked concurrent so the span tree's
+//!   "parent covers children" invariant still holds).
+//! * **Counters** — named `u64` cells with pre-resolvable handles
+//!   ([`Counter`]) for hot paths.
+//! * **Histograms** — lock-free log2-bucketed distributions
+//!   ([`Histogram`]) whose p50/p95/p99 are read out through
+//!   `spider_stats`' quantile sketch.
+//!
+//! [`TelemetrySnapshot`] freezes a registry into a span tree plus
+//! counter/histogram tables, renders a human report
+//! ([`TelemetrySnapshot::to_table`]) or a stable, hand-rendered JSON
+//! document ([`TelemetrySnapshot::to_json`]) for `telemetry.json` and
+//! the `BENCH_*.json` embeds.
+//!
+//! Clocks are a seam ([`Clock`]): production uses [`MonotonicClock`],
+//! tests drive a [`MockClock`] for exact, deterministic durations.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod registry;
+pub mod report;
+
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use registry::{
+    global, Counter, Histogram, HistogramCore, SpanGuard, SpanPath, SpanStat, Stopwatch,
+    TelemetryRegistry, HISTOGRAM_BUCKETS,
+};
+pub use report::{
+    fmt_ns, CounterSnapshot, HistogramSnapshot, SpanNode, TelemetrySnapshot, SCHEMA_VERSION,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = TelemetryRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        c.add(10);
+        h.record(10);
+        reg.incr("by_name", 3);
+        reg.record("by_name_h", 3);
+        {
+            let _s = reg.span("root");
+        }
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.core().totals(), (0, 0, 0));
+        let snap = TelemetrySnapshot::capture(&reg);
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.iter().all(|c| c.value == 0));
+        assert!(snap.histograms.iter().all(|h| h.count == 0));
+        assert!(reg.elapsed_ns(reg.stopwatch()).is_none());
+    }
+
+    #[test]
+    fn handles_merge_across_threads() {
+        let reg = Arc::new(TelemetryRegistry::new());
+        reg.enable();
+        let c = reg.counter("ops");
+        let h = reg.histogram("lat");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        c.incr();
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        let (count, _sum, max) = h.core().totals();
+        assert_eq!(count, 4000);
+        assert_eq!(max, 3999);
+    }
+
+    #[test]
+    fn spans_nest_independently_per_thread() {
+        let clock = Arc::new(MockClock::new());
+        let reg = Arc::new(TelemetryRegistry::with_clock(clock.clone()));
+        reg.enable();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let reg = Arc::clone(&reg);
+                let clock = Arc::clone(&clock);
+                scope.spawn(move || {
+                    let _outer = reg.span("work");
+                    let _inner = reg.span("step");
+                    clock.advance_ns(5);
+                });
+            }
+        });
+        let stats = reg.span_stats();
+        // Both threads rooted their own "work" span — no cross-thread
+        // nesting under the other thread's stack.
+        assert!(stats.contains_key(&vec!["work"]));
+        assert!(stats.contains_key(&vec!["work", "step"]));
+        assert_eq!(stats[&vec!["work"]].count, 2);
+        assert_eq!(stats[&vec!["work", "step"]].count, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let reg = TelemetryRegistry::new();
+        reg.enable();
+        let c = reg.counter("n");
+        c.add(7);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        assert_eq!(c.get(), 2);
+        assert_eq!(reg.counter("n").get(), 2, "same cell after reset");
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton_and_disabled() {
+        let a = global() as *const TelemetryRegistry;
+        let b = global() as *const TelemetryRegistry;
+        assert_eq!(a, b);
+        // Default-off is the whole cost story; nothing in this test
+        // enables it, and other tests use local registries.
+        assert!(!global().is_enabled());
+    }
+}

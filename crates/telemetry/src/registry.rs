@@ -1,0 +1,424 @@
+//! The aggregation point: counters, histograms, and hierarchical spans.
+//!
+//! Everything funnels into one [`TelemetryRegistry`]. The registry is
+//! **off by default** and cheap while off: every recording operation
+//! starts with one relaxed atomic load, and the disabled path performs
+//! no allocation, no locking, and no clock read. Hot call sites
+//! pre-resolve [`Counter`] / [`Histogram`] handles once (an `Arc` to an
+//! atomic cell) so recording is a single `fetch_add` with no name
+//! lookup; coarse call sites may use the by-name convenience methods,
+//! which take a short mutex on the name table.
+//!
+//! Spans are deliberately coarse — pipeline phases, not per-row work —
+//! so their open/close cost (a mutex'd per-thread stack plus two clock
+//! reads) is irrelevant next to what they measure.
+
+use crate::clock::{Clock, MonotonicClock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`, so 64 value buckets cover all of
+/// `u64` plus the zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A span's identity: the chain of names from the root.
+pub type SpanPath = Vec<&'static str>;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times a span with this path closed.
+    pub count: u64,
+    /// Total nanoseconds across all closes.
+    pub total_ns: u64,
+    /// True when the span ran concurrently with its parent (recorded via
+    /// [`TelemetryRegistry::span_at`]), so its time must not be summed
+    /// against siblings when checking parent totals.
+    pub concurrent: bool,
+}
+
+/// A pre-resolved counter handle: one relaxed `fetch_add` per increment,
+/// gated on the registry's enabled flag. Clone freely; clones share the
+/// same cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` when telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 when telemetry is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The lock-free core of a log2 histogram.
+#[derive(Debug)]
+pub struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index for a value: 0 for 0, else `log2(v) + 1`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// `(count, sum, max)` observed so far.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A copy of the bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A pre-resolved histogram handle. Recording is four relaxed atomic
+/// operations, gated on the enabled flag; no allocation, ever.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one observation when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.core.record(v);
+        }
+    }
+
+    /// The shared core (snapshot/test inspection).
+    pub fn core(&self) -> &HistogramCore {
+        &self.core
+    }
+}
+
+/// A started measurement from [`TelemetryRegistry::stopwatch`]:
+/// `None` when telemetry was disabled at the start, so the stop side
+/// also costs nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<u64>);
+
+/// RAII guard for a timed span; records on drop.
+pub struct SpanGuard<'a> {
+    registry: Option<&'a TelemetryRegistry>,
+    path: SpanPath,
+    start_ns: u64,
+    on_stack: bool,
+    concurrent: bool,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(registry) = self.registry else {
+            return;
+        };
+        let elapsed = registry.clock.now_ns().saturating_sub(self.start_ns);
+        if self.on_stack {
+            let mut stacks = registry.stacks.lock().expect("span stacks poisoned");
+            if let Some(stack) = stacks.get_mut(&std::thread::current().id()) {
+                if stack.last() == self.path.last() {
+                    stack.pop();
+                }
+            }
+        }
+        let mut spans = registry.spans.lock().expect("span table poisoned");
+        let stat = spans.entry(std::mem::take(&mut self.path)).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed;
+        stat.concurrent |= self.concurrent;
+    }
+}
+
+/// The aggregation registry. See the module docs for the cost model.
+pub struct TelemetryRegistry {
+    enabled: Arc<AtomicBool>,
+    clock: Arc<dyn Clock>,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCore>>>,
+    spans: Mutex<BTreeMap<SpanPath, SpanStat>>,
+    stacks: Mutex<HashMap<ThreadId, Vec<&'static str>>>,
+}
+
+impl std::fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryRegistry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for TelemetryRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRegistry {
+    /// A disabled registry over the production monotonic clock.
+    pub fn new() -> TelemetryRegistry {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A disabled registry over the given clock (tests pass a
+    /// [`crate::MockClock`] here).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> TelemetryRegistry {
+        TelemetryRegistry {
+            enabled: Arc::new(AtomicBool::new(false)),
+            clock,
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            stacks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off (existing data is kept; see
+    /// [`TelemetryRegistry::reset`]).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter, histogram, and span. Pre-resolved handles
+    /// stay valid (they share the zeroed cells).
+    pub fn reset(&self) {
+        for cell in self.counters.lock().expect("counter table").values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for core in self.histograms.lock().expect("histogram table").values() {
+            core.reset();
+        }
+        self.spans.lock().expect("span table").clear();
+        self.stacks.lock().expect("span stacks").clear();
+    }
+
+    /// Resolves (registering on first use) a counter handle.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let cell = Arc::clone(
+            self.counters
+                .lock()
+                .expect("counter table")
+                .entry(name)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        );
+        Counter {
+            enabled: Arc::clone(&self.enabled),
+            value: cell,
+        }
+    }
+
+    /// Resolves (registering on first use) a histogram handle.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let core = Arc::clone(
+            self.histograms
+                .lock()
+                .expect("histogram table")
+                .entry(name)
+                .or_insert_with(|| Arc::new(HistogramCore::new())),
+        );
+        Histogram {
+            enabled: Arc::clone(&self.enabled),
+            core,
+        }
+    }
+
+    /// By-name increment for coarse call sites (one mutex'd lookup).
+    /// Disabled cost: a single atomic load.
+    pub fn incr(&self, name: &'static str, n: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// By-name histogram record for coarse call sites.
+    pub fn record(&self, name: &'static str, v: u64) {
+        if self.is_enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// Starts a measurement; pair with [`TelemetryRegistry::elapsed_ns`].
+    /// Returns an inert stopwatch (no clock read) when disabled.
+    pub fn stopwatch(&self) -> Stopwatch {
+        if self.is_enabled() {
+            Stopwatch(Some(self.clock.now_ns()))
+        } else {
+            Stopwatch(None)
+        }
+    }
+
+    /// Nanoseconds since `sw` was started, or `None` for an inert
+    /// stopwatch.
+    pub fn elapsed_ns(&self, sw: Stopwatch) -> Option<u64> {
+        sw.0.map(|start| self.clock.now_ns().saturating_sub(start))
+    }
+
+    /// Opens a timed span nested under this thread's innermost open span
+    /// (threads start at the root). Returns an inert guard when disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                registry: None,
+                path: Vec::new(),
+                start_ns: 0,
+                on_stack: false,
+                concurrent: false,
+            };
+        }
+        let path = {
+            let mut stacks = self.stacks.lock().expect("span stacks poisoned");
+            let stack = stacks.entry(std::thread::current().id()).or_default();
+            stack.push(name);
+            stack.clone()
+        };
+        SpanGuard {
+            registry: Some(self),
+            path,
+            start_ns: self.clock.now_ns(),
+            on_stack: true,
+            concurrent: false,
+        }
+    }
+
+    /// Opens a span at an explicit parent path, for work that runs on a
+    /// *different thread* than its logical parent (e.g. a prefetch
+    /// producer). The span is marked concurrent: report consumers must
+    /// not add its time to sequential siblings when checking that a
+    /// parent's total covers its children.
+    pub fn span_at(&self, parent: &[&'static str], name: &'static str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                registry: None,
+                path: Vec::new(),
+                start_ns: 0,
+                on_stack: false,
+                concurrent: false,
+            };
+        }
+        let mut path = parent.to_vec();
+        path.push(name);
+        SpanGuard {
+            registry: Some(self),
+            path,
+            start_ns: self.clock.now_ns(),
+            on_stack: false,
+            concurrent: true,
+        }
+    }
+
+    /// This thread's current span path (for handing to
+    /// [`TelemetryRegistry::span_at`] on a helper thread). Empty when
+    /// disabled or outside any span.
+    pub fn current_path(&self) -> SpanPath {
+        if !self.is_enabled() {
+            return Vec::new();
+        }
+        self.stacks
+            .lock()
+            .expect("span stacks poisoned")
+            .get(&std::thread::current().id())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// A point-in-time copy of every counter value, name-ordered.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .expect("counter table")
+            .iter()
+            .map(|(&name, cell)| (name, cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// A point-in-time copy of every histogram core, name-ordered.
+    pub fn histogram_cores(&self) -> Vec<(&'static str, Arc<HistogramCore>)> {
+        self.histograms
+            .lock()
+            .expect("histogram table")
+            .iter()
+            .map(|(&name, core)| (name, Arc::clone(core)))
+            .collect()
+    }
+
+    /// A point-in-time copy of the span table.
+    pub fn span_stats(&self) -> BTreeMap<SpanPath, SpanStat> {
+        self.spans.lock().expect("span table").clone()
+    }
+}
+
+/// The process-wide registry every pipeline layer records into.
+///
+/// Disabled until something (the CLI `--telemetry` flag, a bench bin, a
+/// test) calls [`TelemetryRegistry::enable`] on it; while disabled, all
+/// instrumentation in the pipeline is a relaxed atomic load per call.
+pub fn global() -> &'static TelemetryRegistry {
+    static GLOBAL: OnceLock<TelemetryRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(TelemetryRegistry::new)
+}

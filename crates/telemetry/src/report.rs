@@ -1,0 +1,615 @@
+//! Snapshots and human/machine readouts.
+//!
+//! [`TelemetrySnapshot`] is the stable export format: a span tree with
+//! self/total time, counters, and histogram summaries whose p50/p95/p99
+//! come from [`spider_stats::QuantileSketch`] fed with the log2 bucket
+//! counts (weighted at each bucket's geometric midpoint, so the sketch's
+//! relative-error bound composes with the bucket width).
+//!
+//! Two renderers:
+//!
+//! * [`TelemetrySnapshot::to_json`] — hand-rendered, field-order-stable
+//!   JSON (`schema_version` 1). Rendering is deliberately independent of
+//!   `serde_json` so the export is byte-stable everywhere the crate
+//!   builds, and golden-testable; the types still derive `serde` traits
+//!   for embedding in larger documents under cargo builds.
+//! * [`TelemetrySnapshot::to_table`] — the `--telemetry=table` CLI
+//!   report: the span tree with total/self time and counts, then counter
+//!   and histogram tables.
+
+use crate::registry::{SpanPath, SpanStat, TelemetryRegistry, HISTOGRAM_BUCKETS};
+use serde::{Deserialize, Serialize};
+use spider_stats::QuantileSketch;
+
+/// Version stamp of the JSON export; bump on any field change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One node of the span tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name (last path element).
+    pub name: String,
+    /// Times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across closes.
+    pub total_ns: u64,
+    /// Nanoseconds not covered by sequential children:
+    /// `total - Σ non-concurrent child totals`, clamped at 0.
+    pub self_ns: u64,
+    /// True when the span ran concurrently with its parent (its time is
+    /// excluded from the parent's `self_ns` accounting).
+    pub concurrent: bool,
+    /// Child spans, name-ordered.
+    pub children: Vec<SpanNode>,
+}
+
+/// One counter reading.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value (exact).
+    pub max: u64,
+    /// Median, from the quantile sketch (clamped to `max`).
+    pub p50: u64,
+    /// 95th percentile (clamped to `max`).
+    pub p95: u64,
+    /// 99th percentile (clamped to `max`).
+    pub p99: u64,
+}
+
+/// A stable point-in-time export of a registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Export format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Root spans, name-ordered, children nested.
+    pub spans: Vec<SpanNode>,
+    /// All counters, name-ordered. Zero-valued counters are included:
+    /// a registered-but-never-hit counter is a signal, not noise.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, name-ordered.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the registry's current state.
+    pub fn capture(registry: &TelemetryRegistry) -> TelemetrySnapshot {
+        let counters = registry
+            .counter_values()
+            .into_iter()
+            .map(|(name, value)| CounterSnapshot {
+                name: name.to_string(),
+                value,
+            })
+            .collect();
+        let histograms = registry
+            .histogram_cores()
+            .into_iter()
+            .map(|(name, core)| {
+                let (count, sum, max) = core.totals();
+                let (p50, p95, p99) = bucket_quantiles(&core.bucket_counts(), max);
+                HistogramSnapshot {
+                    name: name.to_string(),
+                    count,
+                    sum,
+                    max,
+                    p50,
+                    p95,
+                    p99,
+                }
+            })
+            .collect();
+        TelemetrySnapshot {
+            schema_version: SCHEMA_VERSION,
+            spans: build_tree(&registry.span_stats()),
+            counters,
+            histograms,
+        }
+    }
+
+    /// Every span node in depth-first order (the tree, flattened).
+    pub fn walk_spans(&self) -> Vec<&SpanNode> {
+        fn walk<'a>(nodes: &'a [SpanNode], out: &mut Vec<&'a SpanNode>) {
+            for n in nodes {
+                out.push(n);
+                walk(&n.children, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.spans, &mut out);
+        out
+    }
+
+    /// Checks the structural invariant the CI smoke asserts: every
+    /// span's total covers the sum of its *sequential* children's
+    /// totals. Returns the offending span names, empty when consistent.
+    pub fn span_sum_violations(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for node in self.walk_spans() {
+            let sequential: u64 = node
+                .children
+                .iter()
+                .filter(|c| !c.concurrent)
+                .map(|c| c.total_ns)
+                .sum();
+            if sequential > node.total_ns {
+                bad.push(node.name.clone());
+            }
+        }
+        bad
+    }
+
+    /// Renders the stable JSON document. Field order is fixed, keys are
+    /// plain ASCII identifiers, every value is an integer, bool, string,
+    /// array, or object — byte-identical for equal snapshots on every
+    /// platform.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"spans\": [",
+            self.schema_version
+        ));
+        render_span_list(&self.spans, 1, &mut out);
+        out.push_str("],\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"value\": {}}}",
+                escape(&c.name),
+                c.value
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape(&h.name),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable `--telemetry=table` report.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spans (total / self / count; ∥ = concurrent with parent):\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for root in &self.spans {
+            render_span_table(root, 0, &mut out);
+        }
+        out.push_str("\ncounters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0);
+        for c in &self.counters {
+            out.push_str(&format!("  {:<width$}  {}\n", c.name, c.value));
+        }
+        out.push_str("\nhistograms (count / p50 / p95 / p99 / max):\n");
+        if self.histograms.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        let width = self
+            .histograms
+            .iter()
+            .map(|h| h.name.len())
+            .max()
+            .unwrap_or(0);
+        for h in &self.histograms {
+            // Only histograms recording nanoseconds (the `_ns` naming
+            // convention) get time units; the rest are plain quantities
+            // (bytes, occupancy, ...).
+            let fmt = |v: u64| {
+                if h.name.ends_with("_ns") {
+                    fmt_ns(v)
+                } else {
+                    v.to_string()
+                }
+            };
+            out.push_str(&format!(
+                "  {:<width$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                h.name,
+                h.count,
+                fmt(h.p50),
+                fmt(h.p95),
+                fmt(h.p99),
+                fmt(h.max),
+            ));
+        }
+        out
+    }
+}
+
+/// p50/p95/p99 from log2 bucket counts via the shared quantile sketch.
+/// Each bucket contributes its count at the bucket's geometric midpoint;
+/// results are clamped to the exact observed max.
+fn bucket_quantiles(buckets: &[u64; HISTOGRAM_BUCKETS], max: u64) -> (u64, u64, u64) {
+    let mut sketch = QuantileSketch::default();
+    for (idx, &count) in buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let rep = if idx == 0 {
+            0.0
+        } else {
+            // Bucket idx covers [2^(idx-1), 2^idx); geometric midpoint.
+            2f64.powi(idx as i32 - 1) * std::f64::consts::SQRT_2
+        };
+        sketch.push_weighted(rep, count);
+    }
+    let q = |p: f64| {
+        sketch
+            .quantile(p)
+            .map(|v| (v.round() as u64).min(max))
+            .unwrap_or(0)
+    };
+    (q(0.50), q(0.95), q(0.99))
+}
+
+/// Assembles the nested tree from the flat path-keyed span table.
+fn build_tree(stats: &std::collections::BTreeMap<SpanPath, SpanStat>) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    // BTreeMap iterates paths lexicographically, so parents always
+    // precede their children; missing intermediate nodes (a child span
+    // recorded without its parent ever closing) are synthesized with
+    // zero counts.
+    for (path, stat) in stats {
+        let mut level = &mut roots;
+        for (depth, &name) in path.iter().enumerate() {
+            let pos = match level.iter().position(|n| n.name == name) {
+                Some(pos) => pos,
+                None => {
+                    let insert_at = level.partition_point(|n| n.name.as_str() < name);
+                    level.insert(
+                        insert_at,
+                        SpanNode {
+                            name: name.to_string(),
+                            count: 0,
+                            total_ns: 0,
+                            self_ns: 0,
+                            concurrent: false,
+                            children: Vec::new(),
+                        },
+                    );
+                    insert_at
+                }
+            };
+            let node = &mut level[pos];
+            if depth + 1 == path.len() {
+                node.count += stat.count;
+                node.total_ns += stat.total_ns;
+                node.concurrent |= stat.concurrent;
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    fn fill_self(nodes: &mut [SpanNode]) {
+        for n in nodes {
+            fill_self(&mut n.children);
+            let sequential: u64 = n
+                .children
+                .iter()
+                .filter(|c| !c.concurrent)
+                .map(|c| c.total_ns)
+                .sum();
+            n.self_ns = n.total_ns.saturating_sub(sequential);
+        }
+    }
+    fill_self(&mut roots);
+    roots
+}
+
+fn render_span_list(nodes: &[SpanNode], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth + 1);
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{pad}  {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \
+             \"self_ns\": {}, \"concurrent\": {}, \"children\": [",
+            escape(&n.name),
+            n.count,
+            n.total_ns,
+            n.self_ns,
+            n.concurrent
+        ));
+        render_span_list(&n.children, depth + 2, out);
+        out.push_str("]}");
+    }
+    if !nodes.is_empty() {
+        out.push('\n');
+        out.push_str(&pad);
+    }
+}
+
+fn render_span_table(node: &SpanNode, depth: usize, out: &mut String) {
+    let label = format!(
+        "{}{}{}",
+        "  ".repeat(depth + 1),
+        node.name,
+        if node.concurrent { " ∥" } else { "" }
+    );
+    out.push_str(&format!(
+        "{label:<36} {:>10}  {:>10}  {:>6}\n",
+        fmt_ns(node.total_ns),
+        fmt_ns(node.self_ns),
+        node.count
+    ));
+    for child in &node.children {
+        render_span_table(child, depth + 1, out);
+    }
+}
+
+/// Human-scales a nanosecond figure.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use std::sync::Arc;
+
+    fn mock_registry() -> (TelemetryRegistry, Arc<MockClock>) {
+        let clock = Arc::new(MockClock::new());
+        let reg = TelemetryRegistry::with_clock(clock.clone());
+        reg.enable();
+        (reg, clock)
+    }
+
+    #[test]
+    fn tree_assembles_nested_paths() {
+        let (reg, clock) = mock_registry();
+        {
+            let _root = reg.span("pipeline");
+            clock.advance_ns(10);
+            {
+                let _child = reg.span("simulate");
+                clock.advance_ns(30);
+            }
+            {
+                let _child = reg.span("analyze");
+                clock.advance_ns(50);
+            }
+            clock.advance_ns(10);
+        }
+        let snap = TelemetrySnapshot::capture(&reg);
+        assert_eq!(snap.spans.len(), 1);
+        let root = &snap.spans[0];
+        assert_eq!(root.name, "pipeline");
+        assert_eq!(root.total_ns, 100);
+        assert_eq!(root.self_ns, 20);
+        assert_eq!(root.count, 1);
+        // Children are name-ordered: analyze before simulate.
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["analyze", "simulate"]);
+        assert_eq!(root.children[0].total_ns, 50);
+        assert_eq!(root.children[1].total_ns, 30);
+        assert!(snap.span_sum_violations().is_empty());
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let (reg, clock) = mock_registry();
+        for _ in 0..3 {
+            let _s = reg.span("week");
+            clock.advance_ns(7);
+        }
+        let snap = TelemetrySnapshot::capture(&reg);
+        assert_eq!(snap.spans[0].count, 3);
+        assert_eq!(snap.spans[0].total_ns, 21);
+    }
+
+    #[test]
+    fn concurrent_spans_do_not_break_parent_sums() {
+        let (reg, clock) = mock_registry();
+        let parent_path = {
+            let _p = reg.span("analyze");
+            let path = reg.current_path();
+            // A "producer" records more time under the parent than the
+            // parent itself spans — legal for concurrent children.
+            {
+                let _load = reg.span_at(&path, "load");
+                clock.advance_ns(500);
+            }
+            path
+        };
+        assert_eq!(parent_path, vec!["analyze"]);
+        let snap = TelemetrySnapshot::capture(&reg);
+        let root = &snap.spans[0];
+        assert_eq!(root.total_ns, 500); // parent closed after the child here
+        assert!(root.children[0].concurrent);
+        assert_eq!(root.self_ns, root.total_ns, "concurrent child excluded");
+        assert!(snap.span_sum_violations().is_empty());
+    }
+
+    #[test]
+    fn sum_violation_is_detected_for_sequential_children() {
+        let snap = TelemetrySnapshot {
+            schema_version: SCHEMA_VERSION,
+            spans: vec![SpanNode {
+                name: "root".into(),
+                count: 1,
+                total_ns: 10,
+                self_ns: 0,
+                concurrent: false,
+                children: vec![SpanNode {
+                    name: "child".into(),
+                    count: 1,
+                    total_ns: 25,
+                    self_ns: 25,
+                    concurrent: false,
+                    children: vec![],
+                }],
+            }],
+            counters: vec![],
+            histograms: vec![],
+        };
+        assert_eq!(snap.span_sum_violations(), vec!["root".to_string()]);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_buckets() {
+        let (reg, _clock) = mock_registry();
+        let h = reg.histogram("lat");
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let snap = TelemetrySnapshot::capture(&reg);
+        let hist = &snap.histograms[0];
+        assert_eq!(hist.count, 100);
+        assert_eq!(hist.max, 100_000);
+        // p50 lands in 100's bucket [64, 128), p99 in 100k's bucket.
+        assert!((64..128).contains(&hist.p50), "p50 = {}", hist.p50);
+        assert!(hist.p99 > 60_000, "p99 = {}", hist.p99);
+        assert!(hist.p99 <= 100_000);
+    }
+
+    #[test]
+    fn json_is_stable_and_schema_shaped() {
+        let (reg, clock) = mock_registry();
+        reg.counter("c.one").add(5);
+        reg.histogram("h.one").record(3);
+        {
+            let _s = reg.span("root");
+            clock.advance_ns(40);
+        }
+        let a = TelemetrySnapshot::capture(&reg).to_json();
+        let b = TelemetrySnapshot::capture(&reg).to_json();
+        assert_eq!(a, b, "same state must render identically");
+        for needle in [
+            "\"schema_version\": 1",
+            "\"spans\": [",
+            "\"counters\": [",
+            "\"histograms\": [",
+            "\"total_ns\": 40",
+            "\"name\": \"c.one\", \"value\": 5",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    /// The golden document: any change to field names, ordering,
+    /// indentation, or number rendering is a schema change and must bump
+    /// [`SCHEMA_VERSION`] — this test is the tripwire.
+    #[test]
+    fn json_golden_document() {
+        let (reg, clock) = mock_registry();
+        reg.counter("cache.hits").add(3);
+        reg.histogram("store.read_ns").record(1024);
+        {
+            let _pipeline = reg.span("pipeline");
+            {
+                let _scrub = reg.span("scrub");
+                clock.advance_ns(10);
+            }
+            clock.advance_ns(5);
+        }
+        let expected = r#"{
+  "schema_version": 1,
+  "spans": [
+      {"name": "pipeline", "count": 1, "total_ns": 15, "self_ns": 5, "concurrent": false, "children": [
+          {"name": "scrub", "count": 1, "total_ns": 10, "self_ns": 10, "concurrent": false, "children": []}
+        ]}
+    ],
+  "counters": [
+    {"name": "cache.hits", "value": 3}
+  ],
+  "histograms": [
+    {"name": "store.read_ns", "count": 1, "sum": 1024, "max": 1024, "p50": 1024, "p95": 1024, "p99": 1024}
+  ]
+}
+"#;
+        assert_eq!(TelemetrySnapshot::capture(&reg).to_json(), expected);
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let (reg, clock) = mock_registry();
+        reg.counter("hits").add(2);
+        reg.histogram("ns").record(1500);
+        {
+            let _s = reg.span("phase");
+            clock.advance_ns(2_000_000);
+        }
+        let table = TelemetrySnapshot::capture(&reg).to_table();
+        assert!(table.contains("phase"));
+        assert!(table.contains("2.0ms"));
+        assert!(table.contains("hits"));
+        assert!(table.contains("ns"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

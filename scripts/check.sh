@@ -30,6 +30,14 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
     echo "== frame_path bench smoke"
     cargo run --release -q -p spider-bench --bin frame_path -- \
         target/BENCH_frame_path_smoke.json --days 2 --rows 2000 --reps 1 >/dev/null
+    # Instrumented pipeline run; --check validates the exported snapshot
+    # (schema version, span sums cover children, no unaccounted pipeline
+    # bucket over 10%).
+    echo "== telemetry smoke"
+    rm -rf target/telemetry-smoke
+    cargo run --release -q -p spider-cli --bin spider-metalab -- \
+        telemetry --dir target/telemetry-smoke --quick --scale 0.00005 \
+        --days 28 --json --check >/dev/null
     echo "== cargo clippy --all-targets (deny warnings)"
     cargo clippy --all-targets -- -D warnings
     echo "== cargo fmt --check"

@@ -35,14 +35,15 @@ ext() { echo "--extern $1=$DEPS/lib$1.rlib"; }
 # Workspace crates in dependency order: "name:lib_path:deps"
 CRATES=(
     "spider_stats:crates/stats/src/lib.rs:serde"
+    "spider_telemetry:crates/telemetry/src/lib.rs:spider_stats serde"
     "spider_fsmeta:crates/fsmeta/src/lib.rs:rustc_hash serde"
-    "spider_snapshot:crates/snapshot/src/lib.rs:spider_fsmeta bytes rayon rustc_hash serde"
+    "spider_snapshot:crates/snapshot/src/lib.rs:spider_fsmeta spider_telemetry bytes rayon rustc_hash serde"
     "spider_workload:crates/workload/src/lib.rs:spider_stats spider_fsmeta rand rustc_hash serde"
     "spider_graph:crates/graph/src/lib.rs:spider_stats rayon rustc_hash"
-    "spider_core:crates/core/src/lib.rs:spider_stats spider_fsmeta spider_snapshot spider_graph spider_workload rayon crossbeam rustc_hash serde"
-    "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_workload spider_core rand rustc_hash serde"
+    "spider_core:crates/core/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_graph spider_workload rayon crossbeam rustc_hash serde"
+    "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_telemetry spider_workload spider_core rand rustc_hash serde"
     "spider_report:crates/report/src/lib.rs:serde serde_json"
-    "spider_experiments:crates/experiments/src/lib.rs:spider_stats spider_fsmeta spider_snapshot spider_graph spider_workload spider_sim spider_core spider_report rand rayon rustc_hash serde serde_json"
+    "spider_experiments:crates/experiments/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_graph spider_workload spider_sim spider_core spider_report rand rayon rustc_hash serde serde_json"
 )
 
 # Integration tests runnable offline (no proptest/criterion):
@@ -99,7 +100,7 @@ done
 # CLI binary (library deps of spider_experiments plus itself).
 if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
     say "build spider-metalab binary"
-    CLI_DEPS="spider_fsmeta spider_snapshot spider_workload spider_sim spider_core spider_graph spider_report spider_experiments spider_stats serde_json"
+    CLI_DEPS="spider_fsmeta spider_snapshot spider_telemetry spider_workload spider_sim spider_core spider_graph spider_report spider_experiments spider_stats serde_json"
     externs=""
     for d in $CLI_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name spider_metalab crates/cli/src/main.rs $externs \
@@ -112,6 +113,14 @@ if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
         $RUSTC --test --crate-name cli_smoke_tests crates/cli/tests/cli_smoke.rs \
         $externs -o "$OUT/cli_smoke_tests"
     "$OUT/cli_smoke_tests" --test-threads=2 -q
+
+    # Instrumented pipeline run; --check validates the exported snapshot
+    # (schema version, span sums cover children, no unaccounted pipeline
+    # bucket over 10%).
+    say "telemetry smoke"
+    rm -rf "$OUT/telemetry-smoke"
+    "$OUT/spider-metalab" telemetry --dir "$OUT/telemetry-smoke" --quick \
+        --scale 0.00005 --days 28 --json --check >/dev/null
 fi
 
 # Columnar fast-path benchmark smoke: tiny run, asserts the row-path /
@@ -119,7 +128,7 @@ fi
 # rayon stub, so timings here are not representative — see BENCH notes).
 if [ -z "$FILTER" ] || [[ "frame_path" == *"$FILTER"* ]]; then
     say "build + smoke frame_path bench"
-    BENCH_DEPS="spider_core spider_snapshot spider_fsmeta rustc_hash"
+    BENCH_DEPS="spider_core spider_snapshot spider_telemetry spider_fsmeta rustc_hash"
     externs=""
     for d in $BENCH_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name frame_path crates/bench/src/bin/frame_path.rs $externs \
