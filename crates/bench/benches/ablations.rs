@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use spider_bench::fixture;
 use spider_core::engine::Engine;
-use spider_core::{Scan, SnapshotFrame};
+use spider_core::{Pred, Scan, SnapshotFrame};
 use spider_graph::{ComponentSet, Labeling};
 use std::hint::black_box;
 
@@ -138,8 +138,8 @@ fn bench_fused_vs_materialized(c: &mut Criterion) {
         b.iter(|| {
             let n = Scan::over(&frame)
                 .files()
-                .filter(|f, i| f.mtime[i] <= cutoff)
-                .filter(|f, i| f.stripe_count[i] >= 1)
+                .filter_pred(&Pred::mtime(..=cutoff))
+                .filter_pred(&Pred::stripes(1..))
                 .count();
             black_box(n)
         })

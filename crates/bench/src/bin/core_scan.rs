@@ -11,7 +11,7 @@
 //! produce the same answer, so a speedup can never come from computing
 //! something different.
 
-use spider_core::{Engine, Scan, SnapshotFrame};
+use spider_core::{Engine, Pred, Scan, SnapshotFrame};
 use spider_snapshot::{Snapshot, SnapshotRecord};
 use std::time::Instant;
 
@@ -81,8 +81,8 @@ fn main() {
     let (fused_ns, fused_n) = time(|| {
         Scan::over(&frame)
             .files()
-            .filter(|f, i| f.mtime[i] <= cutoff)
-            .filter(|f, i| f.stripe_count[i] >= 2)
+            .filter_pred(&Pred::mtime(..=cutoff))
+            .filter_pred(&Pred::stripes(2..))
             .count()
     });
     let (mat_ns, mat_n) = time(|| {
@@ -152,8 +152,8 @@ fn main() {
     tel.enable();
     let _ = Scan::over(&frame)
         .files()
-        .filter(|f, i| f.mtime[i] <= cutoff)
-        .filter(|f, i| f.stripe_count[i] >= 2)
+        .filter_pred(&Pred::mtime(..=cutoff))
+        .filter_pred(&Pred::stripes(2..))
         .count();
     let _ = Scan::over(&frame)
         .multi(|f, i| Some(f.gid[i]))

@@ -9,15 +9,20 @@
 //! 3. **fast path, cached** — the same loader with a warm checksum-keyed
 //!    cache, i.e. the steady state of repeated experiments.
 //!
-//! Single-day and whole-store variants of each, written to
-//! `BENCH_frame_path.json` (or the path given as the first argument).
-//! Every pairing cross-checks a fingerprint over all frame columns, so a
-//! speedup can never come from computing a different frame. A non-timed
-//! corrupt-section case asserts the salvage equivalence too.
+//! Single-day and whole-store variants of each, plus a **selective
+//! scan** section — the same typed predicate answered by a cold pruned
+//! load (`frames_pruned`, colf v3 zone maps skipping whole zones), a
+//! cold unpruned load (full decode then `filter_pred`), and a warm
+//! pruned cache — written to `BENCH_frame_path.json` (or the path given
+//! as the first argument). Every pairing cross-checks a fingerprint
+//! over all frame columns (selective cases over the surviving rows), so
+//! a speedup can never come from computing a different answer. A
+//! non-timed corrupt-section case asserts the salvage equivalence too.
 //!
 //! Usage: `frame_path [OUT.json] [--days N] [--rows N] [--reps N]`
 
-use spider_core::{FrameLoader, SnapshotFrame};
+use spider_core::query::RowPred;
+use spider_core::{FrameLoader, FramePred, Pred, SnapshotFrame};
 use spider_snapshot::colf::{self, section_table};
 use spider_snapshot::columns::FrameColumns;
 use spider_snapshot::{Snapshot, SnapshotRecord, SnapshotStore};
@@ -61,7 +66,11 @@ fn synthetic_snapshot(day: u32, rows: usize) -> Snapshot {
             ctime: 1_000_000,
             mtime: 1_000_000 + (h >> 8) % 400_000,
             uid: (h % 97) as u32,
-            gid: (i % 61) as u32,
+            // gid equals the directory index: paths sort into per-dir
+            // runs, so zone maps see tight gid ranges — the clustered
+            // shape real project trees have, and what makes gid
+            // predicates prunable.
+            gid: (i % 64) as u32,
             mode: 0o100664,
             ino: i,
             osts: (0..(1 + h % 8)).map(|s| (s as u16, s as u32)).collect(),
@@ -89,6 +98,31 @@ fn frame_fingerprint(frame: &SnapshotFrame) -> u64 {
     for i in 0..frame.len() {
         frame.extension_str(frame.ext[i]).hash(&mut h);
     }
+    h.finish()
+}
+
+/// Order-sensitive fingerprint over the given rows of a frame; the
+/// selective-scan twin of [`frame_fingerprint`], so a pruned frame and
+/// the matching rows of a full frame hash identically.
+fn selected_fingerprint(frame: &SnapshotFrame, rows: impl Iterator<Item = usize>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = rustc_hash::FxHasher::default();
+    frame.day().hash(&mut h);
+    frame.taken_at().hash(&mut h);
+    let mut n = 0u64;
+    for i in rows {
+        frame.is_file[i].hash(&mut h);
+        frame.atime[i].hash(&mut h);
+        frame.ctime[i].hash(&mut h);
+        frame.mtime[i].hash(&mut h);
+        frame.uid[i].hash(&mut h);
+        frame.gid[i].hash(&mut h);
+        frame.stripe_count[i].hash(&mut h);
+        frame.depth[i].hash(&mut h);
+        frame.extension_str(frame.ext[i]).hash(&mut h);
+        n += 1;
+    }
+    n.hash(&mut h);
     h.finish()
 }
 
@@ -194,6 +228,54 @@ fn main() {
     assert_eq!(cached_fp, row_fp, "multi-day cached reload diverged");
     cases.push(("fast_path_multi_day_cached", total, ns, cached_fp));
 
+    // --- selective scan: predicate pushdown vs decode-then-filter ---
+    // One project's files (gid clusters with the directory layout, so
+    // zone maps can prune) on the most recent half of the store — the
+    // shape of most of the paper's analyses.
+    let pred = Pred::and(vec![Pred::gid(5..=5), Pred::day(all_days[days / 2]..)]);
+    let (ns, unpruned_fp) = time(&mut || {
+        loader.cache().clear();
+        loader
+            .frames(&all_days)
+            .unwrap()
+            .iter()
+            // The baseline decodes every day in full; only the fold
+            // mirrors the pruned load's day-range skip, so the two
+            // sides fingerprint the same surviving frames.
+            .filter(|f| pred.matches_day(f.day()))
+            .map(|f| {
+                let compiled = FramePred::compile(&pred, f);
+                selected_fingerprint(f, (0..f.len()).filter(|&i| compiled.test(f, i)))
+            })
+            .fold(0u64, |a, fp| a ^ fp.rotate_left(17))
+    });
+    cases.push(("selective_scan_cold_unpruned", total, ns, unpruned_fp));
+
+    let (ns, pruned_fp) = time(&mut || {
+        loader.cache().clear();
+        loader
+            .frames_pruned(&all_days, &pred)
+            .unwrap()
+            .iter()
+            .map(|f| selected_fingerprint(f, 0..f.len()))
+            .fold(0u64, |a, fp| a ^ fp.rotate_left(17))
+    });
+    assert_eq!(pruned_fp, unpruned_fp, "selective pruned scan diverged");
+    cases.push(("selective_scan_cold_pruned", total, ns, pruned_fp));
+
+    loader.cache().clear();
+    let _ = loader.frames_pruned(&all_days, &pred).unwrap(); // warm
+    let (ns, warm_fp) = time(&mut || {
+        loader
+            .frames_pruned(&all_days, &pred)
+            .unwrap()
+            .iter()
+            .map(|f| selected_fingerprint(f, 0..f.len()))
+            .fold(0u64, |a, fp| a ^ fp.rotate_left(17))
+    });
+    assert_eq!(warm_fp, unpruned_fp, "warm pruned scan diverged");
+    cases.push(("selective_scan_warm_pruned", total, ns, warm_fp));
+
     // --- non-timed: corrupt-section salvage equivalence ---
     {
         let bytes = std::fs::read(dir.join(format!("snap-{last_day:05}.colf"))).unwrap();
@@ -227,6 +309,8 @@ fn main() {
     loader.cache().clear();
     let _ = loader.frames(&all_days).unwrap(); // cold: decodes every day
     let _ = loader.frames(&all_days).unwrap(); // cached: hits every day
+    loader.cache().clear();
+    let _ = loader.frames_pruned(&all_days, &pred).unwrap(); // pushdown counters
     tel.disable();
     let telemetry = spider_telemetry::TelemetrySnapshot::capture(tel).to_json();
 

@@ -14,7 +14,7 @@
 //! seconds) for smoke runs; published numbers come from the default
 //! configuration.
 
-use spider_core::FrameLoader;
+use spider_core::{FrameLoader, Pred};
 use spider_experiments::{all_experiments, experiment_by_id, Lab, LabConfig};
 use spider_sim::{SimConfig, Simulation};
 use spider_snapshot::{FaultFs, OsIo, RetryPolicy, SnapshotStore, StoreIo};
@@ -114,7 +114,8 @@ USAGE:
   spider-metalab exp ID   --dir DIR [--quick]
   spider-metalab inspect  --dir DIR [--day N]
   spider-metalab store-health --dir DIR [--fault-seed N]
-  spider-metalab analyze  --dir DIR [--day N]
+  spider-metalab analyze  --dir DIR [--day N] [--uid N[..M]] [--gid N[..M]]
+                          [--ext E1[,E2...]|none]
   spider-metalab convert  --psv FILE --dir DIR
   spider-metalab export   --dir DIR --psv FILE [--day N]
   spider-metalab telemetry --dir DIR [--quick] [--json] [--check]
@@ -122,6 +123,12 @@ USAGE:
 `--fault-seed N` routes store I/O through the deterministic fault
 injector (seeded bit flips, truncations, torn writes, transient
 errors) to exercise the retry/quarantine machinery end to end.
+
+`analyze` accepts typed predicates (`--uid`/`--gid` take a value or an
+inclusive `lo..hi` range; `--ext` a comma-separated extension list, or
+`none` for extension-less files). They are pushed down into the colf
+decode: zone maps prune non-matching regions before their bytes are
+parsed, and the report covers only the matching records.
 
 `--telemetry[=table|json]` works with every command: it instruments the
 run (spans, counters, latency histograms), prints the report when the
@@ -141,6 +148,45 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parses `N` or an inclusive `LO..HI` range.
+fn parse_u32_range(raw: &str, flag: &str) -> Result<(u32, u32), AnyError> {
+    let parse = |s: &str| -> Result<u32, AnyError> {
+        s.parse()
+            .map_err(|_| format!("{flag}: {s:?} is not a u32").into())
+    };
+    match raw.split_once("..") {
+        Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+        None => parse(raw).map(|v| (v, v)),
+    }
+}
+
+/// Builds the typed predicate from `--uid`/`--gid`/`--ext` flags;
+/// `None` when no predicate flag was given.
+fn pred_from_flags(args: &[String]) -> Result<Option<Pred>, AnyError> {
+    let mut parts = Vec::new();
+    for flag in ["--uid", "--gid"] {
+        if let Some(raw) = flag_value(args, flag) {
+            let (lo, hi) = parse_u32_range(&raw, flag)?;
+            parts.push(match flag {
+                "--uid" => Pred::uid(lo..=hi),
+                _ => Pred::gid(lo..=hi),
+            });
+        }
+    }
+    if let Some(raw) = flag_value(args, "--ext") {
+        parts.push(if raw == "none" {
+            Pred::ext_none()
+        } else {
+            Pred::ext_in(raw.split(','))
+        });
+    }
+    Ok(if parts.is_empty() {
+        None
+    } else {
+        Some(Pred::and(parts))
+    })
 }
 
 /// Fault-plan horizon for `--fault-seed`: how many leading read and
@@ -491,6 +537,33 @@ fn cmd_analyze(args: &[String]) -> Result<(), AnyError> {
         None => *store.days().last().expect("non-empty"),
     };
     let loader = FrameLoader::new(&store)?;
+
+    // Typed predicate flags take the pushdown path: the pruned load
+    // decodes only the zones the zone maps cannot rule out, and the
+    // column analyses below run on the matching rows alone.
+    if let Some(pred) = pred_from_flags(args)? {
+        let frame = loader
+            .frame_pruned(day, &pred)?
+            .ok_or_else(|| format!("no snapshot for day {day}"))?;
+        println!(
+            "day {day}: {} matching records ({} files, {} directories)",
+            frame.len(),
+            frame.file_count(),
+            frame.dir_count()
+        );
+        let ages: Vec<f64> = frame
+            .file_rows()
+            .map(|i| frame.atime[i].saturating_sub(frame.mtime[i]) as f64 / 86_400.0)
+            .collect();
+        if let Some(five) = spider_stats::Quantiles::new(ages).five_number() {
+            println!(
+                "file age (days): min {:.0} / q1 {:.0} / median {:.0} / q3 {:.0} / max {:.0}",
+                five.min, five.q1, five.median, five.q3, five.max
+            );
+        }
+        return Ok(());
+    }
+
     let loaded = loader
         .load_with_rows(day)?
         .ok_or_else(|| format!("no snapshot for day {day}"))?;

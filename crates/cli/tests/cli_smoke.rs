@@ -78,6 +78,23 @@ fn simulate_inspect_analyze_export_convert_roundtrip() {
     assert!(text.contains("fan-out"));
     assert!(text.contains("OST load"));
 
+    // Typed predicate flags route through the pruned (pushdown) load.
+    let (ok, text) = run(&["analyze", "--dir", dir_s, "--uid", "0..4294967295"]);
+    assert!(ok, "analyze --uid failed:\n{text}");
+    assert!(
+        text.contains("matching records"),
+        "no match line in:\n{text}"
+    );
+    let (ok, text) = run(&["analyze", "--dir", dir_s, "--gid", "4294967295"]);
+    assert!(ok, "analyze --gid failed:\n{text}");
+    assert!(
+        text.contains("0 matching records"),
+        "impossible gid matched in:\n{text}"
+    );
+    let (ok, text) = run(&["analyze", "--dir", dir_s, "--uid", "not-a-uid"]);
+    assert!(!ok, "bad --uid must fail");
+    assert!(text.contains("not a u32"), "unexpected error:\n{text}");
+
     // Export the last snapshot to PSV, then convert it into a new store.
     let psv = dir.join("export.psv");
     let psv_s = psv.to_str().unwrap();
@@ -161,21 +178,41 @@ fn telemetry_subcommand_reports_and_checks() {
     let dir = temp_dir("telemetry");
     let dir_s = dir.to_str().unwrap();
     let (ok, text) = run(&[
-        "telemetry", "--dir", dir_s, "--quick", "--scale", "0.00005", "--days", "28", "--check",
+        "telemetry",
+        "--dir",
+        dir_s,
+        "--quick",
+        "--scale",
+        "0.00005",
+        "--days",
+        "28",
+        "--check",
     ]);
     assert!(ok, "telemetry run failed:\n{text}");
     assert!(text.contains("pipeline"), "no pipeline span in:\n{text}");
     assert!(text.contains("simulate"), "no simulate span in:\n{text}");
     assert!(text.contains("analyze"), "no analyze span in:\n{text}");
-    assert!(text.contains("telemetry check: OK"), "check failed:\n{text}");
+    assert!(
+        text.contains("telemetry check: OK"),
+        "check failed:\n{text}"
+    );
 
     let json = std::fs::read_to_string(dir.join("telemetry.json")).expect("export written");
     assert!(json.contains("\"schema_version\""), "bad export:\n{json}");
     assert!(json.contains("\"spans\""), "bad export:\n{json}");
 
     // JSON mode prints the document itself.
-    let (ok, text) = run(&["telemetry", "--dir", dir_s, "--quick", "--scale", "0.00005",
-        "--days", "28", "--json"]);
+    let (ok, text) = run(&[
+        "telemetry",
+        "--dir",
+        dir_s,
+        "--quick",
+        "--scale",
+        "0.00005",
+        "--days",
+        "28",
+        "--json",
+    ]);
     assert!(ok, "telemetry --json failed:\n{text}");
     assert!(text.contains("\"schema_version\""), "no JSON in:\n{text}");
 
@@ -187,11 +224,21 @@ fn global_telemetry_flag_reports_after_any_command() {
     let dir = temp_dir("telemetry-flag");
     let dir_s = dir.to_str().unwrap();
     let (ok, text) = run(&[
-        "simulate", "--dir", dir_s, "--quick", "--scale", "0.00005", "--days", "28",
+        "simulate",
+        "--dir",
+        dir_s,
+        "--quick",
+        "--scale",
+        "0.00005",
+        "--days",
+        "28",
         "--telemetry",
     ]);
     assert!(ok, "simulate --telemetry failed:\n{text}");
-    assert!(text.contains("---- telemetry ----"), "no report in:\n{text}");
+    assert!(
+        text.contains("---- telemetry ----"),
+        "no report in:\n{text}"
+    );
     assert!(text.contains("simulate"), "no simulate span in:\n{text}");
     assert!(dir.join("telemetry.json").exists(), "no export written");
 

@@ -117,6 +117,17 @@ impl SnapshotFrame {
             ext: Vec::with_capacity(n),
             extensions: Vec::new(),
         };
+        // When the colf v3 extension dictionary survived decoding,
+        // extension interning is one table lookup per row instead of a
+        // string parse + hash. Ids are still assigned in first-appearance
+        // order, so the intern table matches the path-derived one for
+        // rows that actually appear (which is what `PartialEq` and
+        // `extension_count` observe).
+        let dict = cols.ext_dict();
+        let mut code_to_id: Vec<Option<ExtId>> = cols
+            .ext_code()
+            .map(|_| vec![None; dict.len() + 1])
+            .unwrap_or_default();
         let mut intern: FxHashMap<&str, ExtId> = FxHashMap::default();
         for i in 0..n {
             frame
@@ -128,13 +139,33 @@ impl SnapshotFrame {
             let path = cols.path(i);
             let depth = path.split('/').filter(|c| !c.is_empty()).count() as u32 + 1;
             frame.depth.push(depth.min(u16::MAX as u32) as u16);
-            let name = path.rsplit('/').next().unwrap_or(path);
-            let ext_id = match extension_of(name) {
-                None => EXT_NONE,
-                Some(e) => *intern.entry(e).or_insert_with(|| {
-                    frame.extensions.push(e.into());
-                    (frame.extensions.len() - 1) as ExtId
-                }),
+            let ext_id = match cols.ext_code() {
+                Some(codes) => {
+                    let c = codes[i] as usize;
+                    if c == 0 {
+                        EXT_NONE
+                    } else {
+                        match code_to_id[c] {
+                            Some(id) => id,
+                            None => {
+                                frame.extensions.push(dict[c - 1].as_str().into());
+                                let id = (frame.extensions.len() - 1) as ExtId;
+                                code_to_id[c] = Some(id);
+                                id
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let name = path.rsplit('/').next().unwrap_or(path);
+                    match extension_of(name) {
+                        None => EXT_NONE,
+                        Some(e) => *intern.entry(e).or_insert_with(|| {
+                            frame.extensions.push(e.into());
+                            (frame.extensions.len() - 1) as ExtId
+                        }),
+                    }
+                }
             };
             frame.ext.push(ext_id);
         }
@@ -173,6 +204,17 @@ impl SnapshotFrame {
     /// Number of distinct extensions in this frame.
     pub fn extension_count(&self) -> usize {
         self.extensions.len()
+    }
+
+    /// The interned id of an extension string in this frame, if any row
+    /// carries it. Used to compile [`spider_snapshot::Pred`] extension
+    /// sets down to per-row `u32` comparisons; `None` means no row of
+    /// this frame can match that extension.
+    pub fn ext_id_of(&self, ext: &str) -> Option<ExtId> {
+        self.extensions
+            .iter()
+            .position(|e| &**e == ext)
+            .map(|i| i as ExtId)
     }
 
     /// Row indices of regular files.

@@ -35,7 +35,10 @@
 //! * [`query::Scan`] — the lazy, fused query surface: filters compose
 //!   into one statically-dispatched predicate evaluated inside the scan,
 //!   and [`agg::MultiAgg`] computes several named aggregates in a single
-//!   pass;
+//!   pass. Typed [`spider_snapshot::Pred`] filters
+//!   ([`query::Scan::filter_pred`]) additionally push down through
+//!   [`loader::FrameLoader::frames_pruned`], skipping whole days and
+//!   colf v3 zones before any column bytes are decoded;
 //! * [`pipeline`] — a streaming driver that loads each stored snapshot
 //!   once (plus its predecessor for diff-based analyses) and feeds any
 //!   number of [`pipeline::SnapshotVisitor`]s, so a full multi-gigabyte
@@ -69,7 +72,6 @@ pub use loader::{FrameCache, FrameLoader, LoadedDay};
 pub use pipeline::{
     stream_loader, stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx,
 };
-#[allow(deprecated)]
-pub use query::Query;
-pub use query::Scan;
+pub use query::{FramePred, Scan};
+pub use spider_snapshot::Pred;
 pub use summary::{domain_frame_stats, DomainScanStats, DomainSummaryRow, SummaryTable};

@@ -10,12 +10,23 @@
 //! path — with N days in flight at once under a bounded batch budget.
 //!
 //! Decoded frames land in an LRU [`FrameCache`] keyed by
-//! `(day, section digest of the file's bytes)`. Keying by content
-//! digest rather than by day alone means the cache can never serve a
-//! stale frame: a day that was quarantined and later healed (or
-//! re-written by a fresh simulation) hashes differently, misses, and is
-//! re-decoded, while byte-identical reloads hit without any explicit
-//! invalidation protocol.
+//! `(day, section digest of the file's bytes, predicate fingerprint)`.
+//! Keying by content digest rather than by day alone means the cache can
+//! never serve a stale frame: a day that was quarantined and later
+//! healed (or re-written by a fresh simulation) hashes differently,
+//! misses, and is re-decoded, while byte-identical reloads hit without
+//! any explicit invalidation protocol. The third component is `0` for
+//! full frames and the [`spider_snapshot::Pred`] fingerprint for frames
+//! loaded through [`FrameLoader::frame_pruned`] — a late-materialized
+//! partial frame holds only the predicate's surviving rows, so it must
+//! never alias a full-frame load (or a load under a different
+//! predicate) of the same bytes.
+//!
+//! Predicate pushdown starts here: [`FrameLoader::frames_pruned`] tests
+//! each requested day against the predicate's day range *before opening
+//! the file* (counted under `pushdown.days_skipped`), then decodes
+//! survivors through [`FrameColumns::decode_pruned`], which consults the
+//! colf v3 zone maps to skip whole zones without touching their bytes.
 //!
 //! Corruption composes with the integrity layer: decoding is lossy
 //! ([`spider_snapshot::FrameColumns::decode_lossy`]), so a corrupt
@@ -30,12 +41,14 @@ use rustc_hash::FxHashMap;
 use spider_snapshot::columns::FrameColumns;
 use spider_snapshot::store::StoreError;
 use spider_snapshot::xxh::section_digest;
-use spider_snapshot::{Snapshot, SnapshotStore};
+use spider_snapshot::{Pred, Snapshot, SnapshotStore};
 use spider_telemetry as telemetry;
 use std::sync::{Arc, Mutex};
 
-/// Cache key: `(day, section digest of the colf bytes)`.
-pub type FrameKey = (u32, u64);
+/// Cache key: `(day, section digest of the colf bytes, predicate
+/// fingerprint — 0 for full frames)`. See [`Pred::fingerprint`] (always
+/// non-zero) for why partial frames can never collide with full ones.
+pub type FrameKey = (u32, u64, u64);
 
 #[derive(Default)]
 struct CacheInner {
@@ -238,13 +251,68 @@ impl FrameLoader {
     }
 
     fn frame_from_bytes(&self, day: u32, bytes: &[u8]) -> Result<Arc<SnapshotFrame>, StoreError> {
-        let key = (day, section_digest(bytes));
+        let key = (day, section_digest(bytes), 0);
         if let Some(frame) = self.cache.get(key) {
             return Ok(frame);
         }
         let tel = telemetry::global();
         let sw = tel.stopwatch();
         let cols = FrameColumns::decode_lossy(bytes)?;
+        let frame = Arc::new(SnapshotFrame::from_columns(&cols));
+        if let Some(ns) = tel.elapsed_ns(sw) {
+            tel.record("loader.decode_ns", ns);
+        }
+        self.cache.insert(key, Arc::clone(&frame));
+        Ok(frame)
+    }
+
+    /// Loads the frame for `day` with `pred` pushed down into the
+    /// decode: v3 zone maps prune whole zones, the predicate evaluates
+    /// on just the columns it references, and only surviving rows are
+    /// materialized. The result is a **partial frame** — exactly the
+    /// rows of [`FrameLoader::frame`]'s result that match `pred` — and
+    /// is cached under the predicate's fingerprint so it can never
+    /// satisfy a full-frame (or different-predicate) lookup.
+    ///
+    /// Returns `Ok(None)` when the day is not in the store *or* when
+    /// `pred`'s day range excludes `day` — in the latter case the file
+    /// is never opened (counted under `pushdown.days_skipped`).
+    pub fn frame_pruned(
+        &self,
+        day: u32,
+        pred: &Pred,
+    ) -> Result<Option<Arc<SnapshotFrame>>, StoreError> {
+        if !pred.matches_day(day) {
+            telemetry::global().incr("pushdown.days_skipped", 1);
+            return Ok(None);
+        }
+        let Some(bytes) = self.store.read_raw(day)? else {
+            return Ok(None);
+        };
+        match self.pruned_from_bytes(day, &bytes, pred) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(_) => {
+                let Some(bytes) = self.store.read_raw(day)? else {
+                    return Ok(None);
+                };
+                self.pruned_from_bytes(day, &bytes, pred).map(Some)
+            }
+        }
+    }
+
+    fn pruned_from_bytes(
+        &self,
+        day: u32,
+        bytes: &[u8],
+        pred: &Pred,
+    ) -> Result<Arc<SnapshotFrame>, StoreError> {
+        let key = (day, section_digest(bytes), pred.fingerprint());
+        if let Some(frame) = self.cache.get(key) {
+            return Ok(frame);
+        }
+        let tel = telemetry::global();
+        let sw = tel.stopwatch();
+        let cols = FrameColumns::decode_pruned(bytes, pred)?;
         let frame = Arc::new(SnapshotFrame::from_columns(&cols));
         if let Some(ns) = tel.elapsed_ns(sw) {
             tel.record("loader.decode_ns", ns);
@@ -270,6 +338,49 @@ impl FrameLoader {
                 .par_iter()
                 .map(|&day| {
                     self.frame(day)?.ok_or_else(|| {
+                        StoreError::Io(std::io::Error::other(format!(
+                            "day {day} is not in the store"
+                        )))
+                    })
+                })
+                .collect();
+            out.extend(loaded?);
+        }
+        Ok(out)
+    }
+
+    /// Loads pruned frames for `days` in parallel under the same batch
+    /// budget as [`FrameLoader::frames`], with `pred` pushed down the
+    /// whole way: days outside the predicate's day range are dropped
+    /// without opening their files (`pushdown.days_skipped`), and the
+    /// rest decode through the zone-map-pruning path. The returned
+    /// frames are the surviving days in input order, each holding only
+    /// the rows matching `pred`. A requested day that is missing from
+    /// the store is an error, matching [`FrameLoader::frames`].
+    pub fn frames_pruned(
+        &self,
+        days: &[u32],
+        pred: &Pred,
+    ) -> Result<Vec<Arc<SnapshotFrame>>, StoreError> {
+        let tel = telemetry::global();
+        let candidates: Vec<u32> = days
+            .iter()
+            .copied()
+            .filter(|&day| {
+                let hit = pred.matches_day(day);
+                if !hit {
+                    tel.incr("pushdown.days_skipped", 1);
+                }
+                hit
+            })
+            .collect();
+        let mut out = Vec::with_capacity(candidates.len());
+        for chunk in candidates.chunks(self.batch) {
+            tel.record("loader.batch_occupancy", chunk.len() as u64);
+            let loaded: Result<Vec<_>, StoreError> = chunk
+                .par_iter()
+                .map(|&day| {
+                    self.frame_pruned(day, pred)?.ok_or_else(|| {
                         StoreError::Io(std::io::Error::other(format!(
                             "day {day} is not in the store"
                         )))
@@ -327,7 +438,7 @@ impl FrameLoader {
     }
 
     fn loaded_from_bytes(&self, day: u32, bytes: &[u8]) -> Result<LoadedDay, StoreError> {
-        let key = (day, section_digest(bytes));
+        let key = (day, section_digest(bytes), 0);
         let tel = telemetry::global();
         let sw = tel.stopwatch();
         let cols = FrameColumns::decode_lossy_with_rows(bytes)?;
@@ -466,13 +577,13 @@ mod tests {
     fn lru_evicts_oldest() {
         let cache = FrameCache::new(2);
         let f = Arc::new(SnapshotFrame::build(&snap(0, 1)));
-        cache.insert((0, 0), Arc::clone(&f));
-        cache.insert((1, 0), Arc::clone(&f));
-        assert!(cache.get((0, 0)).is_some()); // 0 is now most recent
-        cache.insert((2, 0), Arc::clone(&f)); // evicts 1
-        assert!(cache.get((1, 0)).is_none());
-        assert!(cache.get((0, 0)).is_some());
-        assert!(cache.get((2, 0)).is_some());
+        cache.insert((0, 0, 0), Arc::clone(&f));
+        cache.insert((1, 0, 0), Arc::clone(&f));
+        assert!(cache.get((0, 0, 0)).is_some()); // 0 is now most recent
+        cache.insert((2, 0, 0), Arc::clone(&f)); // evicts 1
+        assert!(cache.get((1, 0, 0)).is_none());
+        assert!(cache.get((0, 0, 0)).is_some());
+        assert!(cache.get((2, 0, 0)).is_some());
         assert_eq!(cache.len(), 2);
         let (hits, misses, evictions) = cache.stats();
         assert_eq!((hits, misses, evictions), (3, 1, 1));
@@ -521,6 +632,91 @@ mod tests {
         assert!(results[0].1.is_ok());
         assert!(results[1].1.is_err(), "day 7 must fail alone");
         assert!(results[2].1.is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_frames_equal_filtered_full_frames() {
+        use crate::query::{FramePred, RowPred, Scan};
+        let (dir, store) = store_with_days("pruned", &[0, 7, 14]);
+        let loader = FrameLoader::new(&store).unwrap();
+        let preds = [
+            Pred::uid(100..=101),
+            Pred::and(vec![Pred::day(7..), Pred::stripes(1..)]),
+            Pred::ext("dat"),
+            Pred::ext_none(),
+        ];
+        for pred in &preds {
+            let pruned = loader.frames_pruned(&[0, 7, 14], pred).unwrap();
+            let mut at = 0;
+            for &day in &[0u32, 7, 14] {
+                if !pred.matches_day(day) {
+                    continue;
+                }
+                let full = loader.frame(day).unwrap().unwrap();
+                let compiled = FramePred::compile(pred, &full);
+                let expected = Scan::over(&full).filter_pred(pred).count();
+                assert_eq!(pruned[at].len() as u64, expected, "{pred:?} day {day}");
+                // Row-for-row: the pruned frame is the full frame's
+                // matching subsequence.
+                let survivors: Vec<usize> = (0..full.len())
+                    .filter(|&i| compiled.test(&full, i))
+                    .collect();
+                for (j, &i) in survivors.iter().enumerate() {
+                    assert_eq!(pruned[at].uid[j], full.uid[i]);
+                    assert_eq!(pruned[at].mtime[j], full.mtime[i]);
+                    assert_eq!(pruned[at].depth[j], full.depth[i]);
+                    assert_eq!(pruned[at].is_file[j], full.is_file[i]);
+                }
+                at += 1;
+            }
+            assert_eq!(at, pruned.len());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn day_range_skips_without_opening_files() {
+        let (dir, store) = store_with_days("dayskip", &[0, 7, 14]);
+        let loader = FrameLoader::new(&store).unwrap();
+        let pred = Pred::day(7..=7);
+        let frames = loader.frames_pruned(&[0, 7, 14], &pred).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].day(), 7);
+        // Days 0 and 14 never reached the cache (no miss recorded).
+        let (_, misses, _) = loader.cache().stats();
+        assert_eq!(misses, 1);
+        assert!(loader.frame_pruned(0, &pred).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_frames_never_alias_full_frames_in_cache() {
+        // The aliasing hazard: a pruned (partial) frame cached under the
+        // same key as the full frame would silently shrink later
+        // full-frame loads. Keys carry the predicate fingerprint, so the
+        // three loads below are three distinct entries.
+        let (dir, store) = store_with_days("alias", &[0]);
+        let loader = FrameLoader::new(&store).unwrap().with_cache_capacity(8);
+        let pred_a = Pred::uid(100..=100);
+        let pred_b = Pred::uid(100..=101);
+        let partial_a = loader.frame_pruned(0, &pred_a).unwrap().unwrap();
+        let full = loader.frame(0).unwrap().unwrap();
+        let partial_b = loader.frame_pruned(0, &pred_b).unwrap().unwrap();
+        assert!(partial_a.len() < full.len());
+        assert!(partial_b.len() < full.len());
+        assert_ne!(partial_a.len(), partial_b.len());
+        // Re-loads hit their own entries and return the same allocations.
+        assert!(Arc::ptr_eq(&full, &loader.frame(0).unwrap().unwrap()));
+        assert!(Arc::ptr_eq(
+            &partial_a,
+            &loader.frame_pruned(0, &pred_a).unwrap().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &partial_b,
+            &loader.frame_pruned(0, &pred_b).unwrap().unwrap()
+        ));
+        assert_eq!(loader.cache().len(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

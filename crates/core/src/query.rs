@@ -40,15 +40,25 @@
 //! assert_eq!(stats.mean(&42, "atime"), Some(9.0));
 //! ```
 //!
+//! Filters come in two forms that compose freely: opaque closures
+//! ([`Scan::filter`], the escape hatch — anything goes, nothing can be
+//! pushed) and typed [`Pred`] trees ([`Scan::filter_pred`]), which are
+//! inspectable and therefore *pushable* — hand the same predicate to
+//! [`crate::FrameLoader::frames_pruned`] and day-level pruning plus colf
+//! v3 zone-map pruning happen before the frame is even built, while the
+//! compiled [`FramePred`] keeps per-frame evaluation exact.
+//!
 //! The accounts-database join of §4.1.1 is the [`crate::AnalysisContext`]
 //! passed into key functions. The eager [`Query`] type is a deprecated
-//! shim kept so pre-redesign call sites still compile; it delegates to the
-//! fused paths internally.
+//! shim kept so pre-redesign call sites still compile; it delegates to
+//! the fused paths internally and is no longer exported from the crate
+//! root (reach it as `spider_core::query::Query` during migration).
 
 use crate::agg::MultiAgg;
 use crate::engine::Engine;
 use crate::frame::SnapshotFrame;
 use rustc_hash::FxHashMap;
+use spider_snapshot::Pred;
 use spider_telemetry as telemetry;
 
 // ---------------------------------------------------------------------------
@@ -165,6 +175,95 @@ impl<P: RowPred> RowPred for Counted<P> {
     }
 }
 
+/// A typed [`Pred`] compiled against one frame: the `Day` leaf folds to
+/// a constant, extension names resolve to this frame's interned ids
+/// (extension equality is one `u32` comparison per row), and everything
+/// else reads dense columns directly. Built by [`Scan::filter_pred`];
+/// because the source predicate is inspectable, callers that load
+/// through [`crate::FrameLoader::frame_pruned`] can hand the *same*
+/// `Pred` to the loader and have whole zones and days skipped before
+/// this per-row form ever runs.
+#[derive(Debug, Clone)]
+pub enum FramePred {
+    /// Fully decided at compile time (e.g. a day range vs. this frame's
+    /// day, or an extension set with no member in this frame).
+    Const(bool),
+    /// `uid` within the inclusive range.
+    Uid(u32, u32),
+    /// `gid` within the inclusive range.
+    Gid(u32, u32),
+    /// Path depth within the inclusive range.
+    Depth(u32, u32),
+    /// Stripe count within the inclusive range.
+    Stripes(u32, u32),
+    /// `mtime` within the inclusive range.
+    Mtime(u64, u64),
+    /// `atime` within the inclusive range.
+    Atime(u64, u64),
+    /// Extension id is one of these (sorted for binary search).
+    ExtIn(Vec<crate::frame::ExtId>),
+    /// Row has no extension.
+    ExtNone,
+    /// All children match.
+    And(Vec<FramePred>),
+    /// Any child matches.
+    Or(Vec<FramePred>),
+}
+
+impl FramePred {
+    /// Compiles `pred` for `frame`. Must agree row-for-row with
+    /// [`Pred::matches_record`] over the records the frame was built
+    /// from — the pushdown equivalence suite enforces this.
+    pub fn compile(pred: &Pred, frame: &SnapshotFrame) -> FramePred {
+        match pred {
+            Pred::Day { lo, hi } => FramePred::Const((*lo..=*hi).contains(&frame.day())),
+            Pred::Uid { lo, hi } => FramePred::Uid(*lo, *hi),
+            Pred::Gid { lo, hi } => FramePred::Gid(*lo, *hi),
+            Pred::Depth { lo, hi } => FramePred::Depth(*lo, *hi),
+            Pred::Stripes { lo, hi } => FramePred::Stripes(*lo, *hi),
+            Pred::Mtime { lo, hi } => FramePred::Mtime(*lo, *hi),
+            Pred::Atime { lo, hi } => FramePred::Atime(*lo, *hi),
+            Pred::ExtIn(names) => {
+                let mut ids: Vec<crate::frame::ExtId> =
+                    names.iter().filter_map(|n| frame.ext_id_of(n)).collect();
+                if ids.is_empty() {
+                    // The intern table lists every extension present in
+                    // the frame, so an unresolvable set matches nothing.
+                    return FramePred::Const(false);
+                }
+                ids.sort_unstable();
+                FramePred::ExtIn(ids)
+            }
+            Pred::ExtNone => FramePred::ExtNone,
+            Pred::And(ps) => {
+                FramePred::And(ps.iter().map(|p| FramePred::compile(p, frame)).collect())
+            }
+            Pred::Or(ps) => {
+                FramePred::Or(ps.iter().map(|p| FramePred::compile(p, frame)).collect())
+            }
+        }
+    }
+}
+
+impl RowPred for FramePred {
+    #[inline]
+    fn test(&self, frame: &SnapshotFrame, i: usize) -> bool {
+        match self {
+            FramePred::Const(b) => *b,
+            FramePred::Uid(lo, hi) => (*lo..=*hi).contains(&frame.uid[i]),
+            FramePred::Gid(lo, hi) => (*lo..=*hi).contains(&frame.gid[i]),
+            FramePred::Depth(lo, hi) => (*lo..=*hi).contains(&(frame.depth[i] as u32)),
+            FramePred::Stripes(lo, hi) => (*lo..=*hi).contains(&(frame.stripe_count[i] as u32)),
+            FramePred::Mtime(lo, hi) => (*lo..=*hi).contains(&frame.mtime[i]),
+            FramePred::Atime(lo, hi) => (*lo..=*hi).contains(&frame.atime[i]),
+            FramePred::ExtIn(ids) => ids.binary_search(&frame.ext[i]).is_ok(),
+            FramePred::ExtNone => frame.ext[i] == crate::frame::EXT_NONE,
+            FramePred::And(ps) => ps.iter().all(|p| p.test(frame, i)),
+            FramePred::Or(ps) => ps.iter().any(|p| p.test(frame, i)),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scan
 // ---------------------------------------------------------------------------
@@ -227,6 +326,23 @@ impl<'f, P: RowPred> Scan<'f, P> {
             frame: self.frame,
             engine: self.engine,
             pred: And(self.pred, Counted::new(FnPred(pred), self.stage)),
+            stage: self.stage + 1,
+        }
+    }
+
+    /// Adds a **typed** filter. Like [`Scan::filter`], this is purely
+    /// compositional, but because a [`Pred`] is inspectable it is also
+    /// *pushable*: hand the same predicate to
+    /// [`crate::FrameLoader::frame_pruned`] and the loader skips days
+    /// and zones before the frame is ever built, while this compiled
+    /// per-row form keeps the scan result exact. Typed and closure
+    /// filters compose freely in one scan.
+    pub fn filter_pred(self, pred: &Pred) -> Scan<'f, And<P, Counted<FramePred>>> {
+        let compiled = FramePred::compile(pred, self.frame);
+        Scan {
+            frame: self.frame,
+            engine: self.engine,
+            pred: And(self.pred, Counted::new(compiled, self.stage)),
             stage: self.stage + 1,
         }
     }
@@ -839,6 +955,110 @@ mod tests {
         let atimes = Scan::over(&f).files().column(|f, i| f.atime[i]);
         // Lazy scans keep row order — no sort needed.
         assert_eq!(atimes, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn filter_pred_agrees_with_closure() {
+        let f = frame();
+        assert_eq!(
+            Scan::over(&f).filter_pred(&Pred::gid(10..=10)).count(),
+            Scan::over(&f).filter(|f, i| f.gid[i] == 10).count(),
+        );
+        assert_eq!(
+            Scan::over(&f).files().filter_pred(&Pred::uid(2..)).count(),
+            2
+        );
+        // Day folds to a constant against this frame (day 0).
+        assert_eq!(Scan::over(&f).filter_pred(&Pred::day(1..)).count(), 0);
+        assert_eq!(Scan::over(&f).filter_pred(&Pred::day(..=0)).count(), 4);
+        // Extension sets compile to interned-id comparisons.
+        assert_eq!(Scan::over(&f).filter_pred(&Pred::ext("nc")).count(), 2);
+        assert_eq!(
+            Scan::over(&f)
+                .filter_pred(&Pred::ext_in(["nc", "dat", "h5"]))
+                .count(),
+            3
+        );
+        assert_eq!(Scan::over(&f).filter_pred(&Pred::ext("h5")).count(), 0);
+        assert_eq!(Scan::over(&f).filter_pred(&Pred::ext_none()).count(), 1);
+        // Typed and closure filters compose in one scan.
+        let composed = Scan::over(&f)
+            .filter_pred(&Pred::and(vec![Pred::gid(10..=11), Pred::stripes(1..)]))
+            .filter(|f, i| f.atime[i] >= 20)
+            .count();
+        assert_eq!(composed, 2);
+    }
+
+    #[test]
+    fn filter_pred_matches_record_oracle() {
+        let f = frame();
+        let snap = {
+            // Rebuild the same records to run the record-level oracle.
+            use spider_snapshot::{Snapshot, SnapshotRecord};
+            let records = vec![
+                SnapshotRecord {
+                    path: "/p".into(),
+                    atime: 0,
+                    ctime: 0,
+                    mtime: 0,
+                    uid: 1,
+                    gid: 10,
+                    mode: 0o040770,
+                    ino: 1,
+                    osts: vec![],
+                },
+                SnapshotRecord {
+                    path: "/p/a.nc".into(),
+                    atime: 10,
+                    ctime: 5,
+                    mtime: 5,
+                    uid: 1,
+                    gid: 10,
+                    mode: 0o100664,
+                    ino: 2,
+                    osts: vec![(1, 1), (2, 2)],
+                },
+                SnapshotRecord {
+                    path: "/p/b.nc".into(),
+                    atime: 20,
+                    ctime: 7,
+                    mtime: 7,
+                    uid: 2,
+                    gid: 10,
+                    mode: 0o100664,
+                    ino: 3,
+                    osts: vec![(3, 3)],
+                },
+                SnapshotRecord {
+                    path: "/q/c.dat".into(),
+                    atime: 30,
+                    ctime: 9,
+                    mtime: 9,
+                    uid: 2,
+                    gid: 11,
+                    mode: 0o100664,
+                    ino: 4,
+                    osts: vec![(4, 4)],
+                },
+            ];
+            Snapshot::new(0, 0, records)
+        };
+        let preds = [
+            Pred::uid(1..=1),
+            Pred::depth(..=2),
+            Pred::or(vec![Pred::ext("dat"), Pred::ext_none()]),
+            Pred::and(vec![Pred::mtime(5..=7), Pred::stripes(2..)]),
+        ];
+        for pred in &preds {
+            let compiled = FramePred::compile(pred, &f);
+            for (i, r) in snap.records().iter().enumerate() {
+                assert_eq!(
+                    compiled.test(&f, i),
+                    pred.matches_record(r, snap.day()),
+                    "{pred:?} row {i}"
+                );
+            }
+        }
     }
 
     #[test]

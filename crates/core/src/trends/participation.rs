@@ -11,6 +11,7 @@ use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
 use crate::query::Scan;
 use rustc_hash::{FxHashMap, FxHashSet};
+use spider_snapshot::Pred;
 use spider_stats::{EmpiricalCdf, Quantiles};
 use spider_workload::ScienceDomain;
 
@@ -104,7 +105,7 @@ impl SnapshotVisitor for ParticipationAnalysis {
         // The fused scan dedups (uid, gid) pairs within the frame; only
         // the distinct keys hit the global edge set.
         let frame_edges = Scan::with_engine(ctx.frame, self.engine)
-            .filter(|f, i| f.uid[i] != 0)
+            .filter_pred(&Pred::uid(1..))
             .group_count(|f, i| Some((f.uid[i], f.gid[i])));
         self.edges.extend(frame_edges.into_keys());
     }

@@ -13,6 +13,7 @@ use crate::engine::Engine;
 use crate::pipeline::{SnapshotVisitor, VisitCtx};
 use crate::query::Scan;
 use rustc_hash::FxHashMap;
+use spider_snapshot::Pred;
 use spider_workload::{Organization, ScienceDomain, ALL_DOMAINS};
 
 /// The active-user census.
@@ -96,7 +97,7 @@ impl SnapshotVisitor for ActiveUsersAnalysis {
         // scientist; rows with unregistered gids carry no domain.
         let analysis_ctx = &self.ctx;
         let frame_counts = Scan::with_engine(ctx.frame, self.engine)
-            .filter(|f, i| f.uid[i] != 0)
+            .filter_pred(&Pred::uid(1..))
             .group_count(|f, i| {
                 analysis_ctx
                     .domain_of_gid(f.gid[i])

@@ -35,8 +35,29 @@
 //!   osts:   count x (n, n x (ost, object))
 //! ```
 //!
-//! v1 files (no checksums, columns concatenated directly after a bare
-//! header) remain readable; [`decode`] dispatches on the version byte.
+//! Version 3 adds **predicate pushdown support**: every column section
+//! is chunked into fixed-row *zones* (a varint length table followed by
+//! the per-zone blobs, each encoded exactly like a v2 column over only
+//! that zone's rows), and two new sections appear:
+//!
+//! * `extc` — per-row extension dictionary codes (one varint per row,
+//!   `0` = no extension, `k` = the k-1'th entry of the sorted distinct
+//!   extension dictionary), so extension equality compares one integer
+//!   instead of a string per row;
+//! * `zonemap` — the extension dictionary plus per-zone min/max
+//!   statistics (uid, gid, depth, stripe count, mtime, atime) and a
+//!   per-zone extension presence bitmap. A selective decode tests its
+//!   predicate against these statistics and skips whole zones — in
+//!   every column section — without touching their bytes.
+//!
+//! Zone framing costs a handful of bytes per 4096 rows; the zone map is
+//! ~30 bytes per zone. Both are checksummed like any other section, and
+//! both are *advisory*: a corrupt `zonemap` or `extc` section degrades
+//! to a full-section decode (reported in `lost_sections`), never to a
+//! wrong answer.
+//!
+//! v1 and v2 files (no checksums / no zones) remain readable; [`decode`]
+//! dispatches on the version byte.
 
 use crate::record::SnapshotRecord;
 use crate::snapshot::Snapshot;
@@ -46,13 +67,33 @@ use bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 4] = b"COLF";
 pub(crate) const VERSION_V1: u8 = 1;
-pub(crate) const VERSION: u8 = 2;
+pub(crate) const VERSION_V2: u8 = 2;
+pub(crate) const VERSION_V3: u8 = 3;
 
 /// Column sections of a v2 file, in storage order. Index + 1 is the
 /// on-disk section id.
 pub const SECTION_NAMES: [&str; 9] = [
     "paths", "atime", "ctime", "mtime", "ino", "uid", "gid", "mode", "osts",
 ];
+
+/// Column sections of a v3 file, in storage order. The first nine match
+/// v2; `extc` (per-row extension dictionary codes) and `zonemap`
+/// (dictionary + per-zone statistics) are new.
+pub const SECTION_NAMES_V3: [&str; 11] = [
+    "paths", "atime", "ctime", "mtime", "ino", "uid", "gid", "mode", "osts", "extc", "zonemap",
+];
+
+/// Rows per zone written by [`encode`]. Small enough that a selective
+/// scan skips most of a day's bytes, large enough that front-coding
+/// restarts and per-zone anchors cost well under 1% of the payload.
+pub const DEFAULT_ZONE_ROWS: usize = 4096;
+
+/// Hard cap on the extension dictionary. A snapshot with more distinct
+/// extensions than this (pathological for a real file system — the
+/// paper's Fig. 9 operates on a few dozen classes) is written with an
+/// *inexact* dictionary: `extc` is absent and extension predicates fall
+/// back to evaluating path suffixes.
+pub(crate) const MAX_EXT_DICT: usize = 1024;
 
 /// Errors from decoding a `colf` buffer.
 #[derive(Debug, PartialEq, Eq)]
@@ -169,8 +210,198 @@ fn column_payloads(records: &[SnapshotRecord]) -> [Vec<u8>; 9] {
     ]
 }
 
-/// Serializes a snapshot to `colf` v2 bytes (checksummed sections).
+// ---- v3 zone machinery ---------------------------------------------------
+
+/// Saturation bound shared with the frame's u16 columns; zone statistics
+/// store the saturated values so pushdown agrees with frame evaluation.
+pub(crate) const ZONE_U16_CAP: u32 = u16::MAX as u32;
+
+/// The sorted distinct-extension dictionary of one snapshot. `exact`
+/// is false when the snapshot overflowed [`MAX_EXT_DICT`], in which
+/// case `names` is empty and extension pushdown is disabled.
+pub(crate) struct ExtDict {
+    pub(crate) names: Vec<String>,
+    pub(crate) exact: bool,
+}
+
+fn build_ext_dict(records: &[SnapshotRecord]) -> ExtDict {
+    let mut set = std::collections::BTreeSet::new();
+    for r in records {
+        if let Some(e) = r.extension() {
+            if !set.contains(e) {
+                if set.len() == MAX_EXT_DICT {
+                    return ExtDict {
+                        names: Vec::new(),
+                        exact: false,
+                    };
+                }
+                set.insert(e.to_string());
+            }
+        }
+    }
+    ExtDict {
+        names: set.into_iter().collect(),
+        exact: true,
+    }
+}
+
+impl ExtDict {
+    /// 1-based dictionary code of `ext`; 0 = no extension.
+    fn code_of(&self, ext: Option<&str>) -> u64 {
+        match ext {
+            Some(e) => match self.names.binary_search_by(|n| n.as_str().cmp(e)) {
+                Ok(i) => i as u64 + 1,
+                Err(_) => 0,
+            },
+            None => 0,
+        }
+    }
+}
+
+/// Chunks `records` into `zone_rows`-sized zones, encodes each with
+/// `enc`, and frames them as a varint length table + concatenated blobs.
+fn zone_framed(
+    records: &[SnapshotRecord],
+    zone_rows: usize,
+    enc: impl Fn(&[SnapshotRecord]) -> Vec<u8>,
+) -> Vec<u8> {
+    let blobs: Vec<Vec<u8>> = records.chunks(zone_rows).map(|z| enc(z)).collect();
+    let mut out = Vec::with_capacity(blobs.iter().map(|b| b.len() + 2).sum());
+    for b in &blobs {
+        put_uvarint(&mut out, b.len() as u64);
+    }
+    for b in &blobs {
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+fn encode_extc(records: &[SnapshotRecord], zone_rows: usize, dict: &ExtDict) -> Vec<u8> {
+    if !dict.exact {
+        return vec![0];
+    }
+    let mut out = vec![1u8];
+    let framed = zone_framed(records, zone_rows, |zone| {
+        let mut blob = Vec::with_capacity(zone.len());
+        for r in zone {
+            put_uvarint(&mut blob, dict.code_of(r.extension()));
+        }
+        blob
+    });
+    out.extend_from_slice(&framed);
+    out
+}
+
+fn encode_zonemap(records: &[SnapshotRecord], zone_rows: usize, dict: &ExtDict) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + records.len() / zone_rows.max(1) * 36);
+    out.push(dict.exact as u8);
+    put_uvarint(&mut out, dict.names.len() as u64);
+    for n in &dict.names {
+        put_uvarint(&mut out, n.len() as u64);
+        out.extend_from_slice(n.as_bytes());
+    }
+    let n_zones = if records.is_empty() {
+        0
+    } else {
+        (records.len() - 1) / zone_rows + 1
+    };
+    put_uvarint(&mut out, n_zones as u64);
+    let bitmap_len = dict.names.len().div_euclid(8) + usize::from(dict.names.len() % 8 != 0);
+    for zone in records.chunks(zone_rows) {
+        let mut uid = (u32::MAX, 0u32);
+        let mut gid = (u32::MAX, 0u32);
+        let mut depth = (u32::MAX, 0u32);
+        let mut stripes = (u32::MAX, 0u32);
+        let mut mtime = (u64::MAX, 0u64);
+        let mut atime = (u64::MAX, 0u64);
+        let mut has_ext_none = false;
+        let mut bitmap = vec![0u8; bitmap_len];
+        for r in zone {
+            uid = (uid.0.min(r.uid), uid.1.max(r.uid));
+            gid = (gid.0.min(r.gid), gid.1.max(r.gid));
+            let d = r.depth().min(ZONE_U16_CAP);
+            depth = (depth.0.min(d), depth.1.max(d));
+            let s = r.stripe_count().min(ZONE_U16_CAP);
+            stripes = (stripes.0.min(s), stripes.1.max(s));
+            mtime = (mtime.0.min(r.mtime), mtime.1.max(r.mtime));
+            atime = (atime.0.min(r.atime), atime.1.max(r.atime));
+            match dict.code_of(r.extension()) {
+                0 => has_ext_none = true,
+                code => {
+                    let k = code as usize - 1;
+                    bitmap[k / 8] |= 1 << (k % 8);
+                }
+            }
+        }
+        for v in [
+            uid.0, uid.1, gid.0, gid.1, depth.0, depth.1, stripes.0, stripes.1,
+        ] {
+            put_uvarint(&mut out, v as u64);
+        }
+        for v in [mtime.0, mtime.1, atime.0, atime.1] {
+            put_uvarint(&mut out, v);
+        }
+        out.push(has_ext_none as u8);
+        if dict.exact {
+            out.extend_from_slice(&bitmap);
+        }
+    }
+    out
+}
+
+/// Serializes a snapshot to `colf` v3 bytes (checksummed zone-chunked
+/// sections with zone maps) at [`DEFAULT_ZONE_ROWS`] rows per zone.
 pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    encode_with_zone_rows(snapshot, DEFAULT_ZONE_ROWS)
+}
+
+/// [`encode`] with an explicit zone size — exposed so tests and
+/// benchmarks can exercise many-zone files without millions of rows.
+pub fn encode_with_zone_rows(snapshot: &Snapshot, zone_rows: usize) -> Vec<u8> {
+    let zone_rows = zone_rows.max(1);
+    let records = snapshot.records();
+    let dict = build_ext_dict(records);
+
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(SECTION_NAMES_V3.len());
+    payloads.push(zone_framed(records, zone_rows, encode_paths));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_anchored(z, |r| r.atime)
+    }));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_anchored(z, |r| r.ctime)
+    }));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_anchored(z, |r| r.mtime)
+    }));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_anchored(z, |r| r.ino)
+    }));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_plain(z, |r| r.uid as u64)
+    }));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_plain(z, |r| r.gid as u64)
+    }));
+    payloads.push(zone_framed(records, zone_rows, |z| {
+        encode_plain(z, |r| r.mode as u64)
+    }));
+    payloads.push(zone_framed(records, zone_rows, encode_osts));
+    payloads.push(encode_extc(records, zone_rows, &dict));
+    payloads.push(encode_zonemap(records, zone_rows, &dict));
+
+    let mut header = Vec::with_capacity(20);
+    header.extend_from_slice(&snapshot.day().to_le_bytes());
+    put_uvarint(&mut header, snapshot.taken_at());
+    put_uvarint(&mut header, records.len() as u64);
+    put_uvarint(&mut header, zone_rows as u64);
+
+    assemble_sections(VERSION_V3, &header, &payloads)
+}
+
+/// Serializes a snapshot to `colf` v2 bytes (checksummed sections, no
+/// zones). Kept so compatibility tests and fixtures can regenerate
+/// previous-format files.
+pub fn encode_v2(snapshot: &Snapshot) -> Vec<u8> {
     let records = snapshot.records();
     let payloads = column_payloads(records);
 
@@ -179,6 +410,10 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
     put_uvarint(&mut header, snapshot.taken_at());
     put_uvarint(&mut header, records.len() as u64);
 
+    assemble_sections(VERSION_V2, &header, &payloads)
+}
+
+fn assemble_sections(version: u8, header: &[u8], payloads: &[Vec<u8>]) -> Vec<u8> {
     let mut table = Vec::with_capacity(payloads.len() * 12);
     for (i, payload) in payloads.iter().enumerate() {
         table.push(i as u8 + 1);
@@ -189,14 +424,14 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
     let total: usize = payloads.iter().map(Vec::len).sum();
     let mut buf = Vec::with_capacity(5 + header.len() + table.len() + total + 32);
     buf.extend_from_slice(MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     put_uvarint(&mut buf, header.len() as u64);
-    buf.extend_from_slice(&header);
-    buf.extend_from_slice(&section_digest(&header).to_le_bytes());
+    buf.extend_from_slice(header);
+    buf.extend_from_slice(&section_digest(header).to_le_bytes());
     buf.push(payloads.len() as u8);
     buf.extend_from_slice(&table);
     buf.extend_from_slice(&section_digest(&table).to_le_bytes());
-    for payload in &payloads {
+    for payload in payloads {
         buf.extend_from_slice(payload);
     }
     buf
@@ -390,15 +625,29 @@ pub struct SectionSpan {
     pub len: usize,
 }
 
-/// Parsed v2 skeleton: header fields plus the located sections. Shared
-/// with the columnar fast path in [`crate::columns`].
+/// Parsed v2/v3 skeleton: header fields plus the located sections.
+/// Shared with the columnar fast path in [`crate::columns`].
 pub(crate) struct Layout<'a> {
+    pub(crate) version: u8,
     pub(crate) day: u32,
     pub(crate) taken_at: u64,
     pub(crate) count: usize,
+    /// Rows per zone (v3 only; 0 for v2, which has no zones).
+    pub(crate) zone_rows: usize,
     /// `(name, absolute_offset, payload_or_none, stored_digest)`;
     /// `None` payload means the file is too short for this section.
     pub(crate) sections: Vec<(&'static str, usize, Option<&'a [u8]>, u64)>,
+}
+
+impl Layout<'_> {
+    /// Zone count implied by the header (v3).
+    pub(crate) fn n_zones(&self) -> usize {
+        if self.count == 0 {
+            0
+        } else {
+            (self.count - 1) / self.zone_rows + 1
+        }
+    }
 }
 
 fn read_digest(buf: &mut &[u8], what: &'static str) -> Result<u64, ColfError> {
@@ -411,9 +660,19 @@ fn read_digest(buf: &mut &[u8], what: &'static str) -> Result<u64, ColfError> {
     Ok(u64::from_le_bytes(raw))
 }
 
-/// Parses the v2 header and section table (both checksummed); does not
-/// verify or parse section payloads.
+fn section_names_of(version: u8) -> Result<&'static [&'static str], ColfError> {
+    match version {
+        VERSION_V2 => Ok(&SECTION_NAMES),
+        VERSION_V3 => Ok(&SECTION_NAMES_V3),
+        v => Err(ColfError::BadVersion(v)),
+    }
+}
+
+/// Parses the v2/v3 header and section table (both checksummed); does
+/// not verify or parse section payloads.
 pub(crate) fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
+    let version = version_of(full)?;
+    let names = section_names_of(version)?;
     let mut buf = &full[5..]; // past magic + version
     let header_len = get_uvarint(&mut buf).ok_or(ColfError::Truncated("header"))? as usize;
     let header_off = full.len() - buf.remaining();
@@ -437,6 +696,15 @@ pub(crate) fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
     let day = h.get_u32_le();
     let taken_at = get_uvarint(&mut h).ok_or(ColfError::Truncated("taken_at"))?;
     let count = get_uvarint(&mut h).ok_or(ColfError::Truncated("count"))? as usize;
+    let zone_rows = if version == VERSION_V3 {
+        let zr = get_uvarint(&mut h).ok_or(ColfError::Truncated("zone rows"))? as usize;
+        if zr == 0 {
+            return Err(ColfError::BadValue("zone rows"));
+        }
+        zr
+    } else {
+        0
+    };
     if h.has_remaining() {
         return Err(ColfError::BadValue("header"));
     }
@@ -450,7 +718,7 @@ pub(crate) fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
         return Err(ColfError::Truncated("section-table"));
     }
     let n_sections = buf.get_u8() as usize;
-    if n_sections != SECTION_NAMES.len() {
+    if n_sections != names.len() {
         return Err(ColfError::BadValue("section table"));
     }
     let table_off = full.len() - buf.remaining();
@@ -465,7 +733,7 @@ pub(crate) fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
         }
         let len = get_uvarint(&mut buf).ok_or(ColfError::Truncated("section-table"))? as usize;
         let digest = read_digest(&mut buf, "section-table")?;
-        entries.push((SECTION_NAMES[id as usize - 1], len, digest));
+        entries.push((names[id as usize - 1], len, digest));
     }
     let table_end = full.len() - buf.remaining();
     let stored = read_digest(&mut buf, "section-table")?;
@@ -488,11 +756,175 @@ pub(crate) fn parse_layout(full: &[u8]) -> Result<Layout<'_>, ColfError> {
         offset += len;
     }
     Ok(Layout {
+        version,
         day,
         taken_at,
         count,
+        zone_rows,
         sections,
     })
+}
+
+// ---- v3 zone parsing (shared with `crate::columns`) ----------------------
+
+/// Splits a zone-framed section payload (varint length table +
+/// concatenated blobs) into exactly `n_zones` per-zone slices. The
+/// payload must be fully covered — slack bytes mean the section is
+/// misaligned with the header's zone count.
+pub(crate) fn split_zone_blobs<'a>(
+    mut payload: &'a [u8],
+    n_zones: usize,
+    what: &'static str,
+) -> Result<Vec<&'a [u8]>, ColfError> {
+    let buf = &mut payload;
+    let mut lens = Vec::with_capacity(n_zones);
+    for _ in 0..n_zones {
+        lens.push(get_uvarint(buf).ok_or(ColfError::Truncated(what))? as usize);
+    }
+    let mut rest: &[u8] = buf;
+    let mut blobs = Vec::with_capacity(n_zones);
+    for len in lens {
+        if rest.len() < len {
+            return Err(ColfError::Truncated(what));
+        }
+        blobs.push(&rest[..len]);
+        rest = &rest[len..];
+    }
+    if !rest.is_empty() {
+        return Err(ColfError::BadValue("section length"));
+    }
+    Ok(blobs)
+}
+
+/// Per-zone statistics from the `zonemap` section. Min/max pairs are
+/// inclusive; `depth` and `stripes` are u16-saturated (matching the
+/// frame columns and [`crate::pred::Pred`] semantics).
+pub(crate) struct ZoneStats {
+    pub(crate) uid: (u32, u32),
+    pub(crate) gid: (u32, u32),
+    pub(crate) depth: (u32, u32),
+    pub(crate) stripes: (u32, u32),
+    pub(crate) mtime: (u64, u64),
+    pub(crate) atime: (u64, u64),
+    pub(crate) has_ext_none: bool,
+    /// Extension presence bitmap over the dictionary (empty when the
+    /// dictionary is inexact).
+    ext_bits: Vec<u8>,
+}
+
+impl ZoneStats {
+    /// Whether the 1-based dictionary code occurs in this zone.
+    pub(crate) fn has_ext_code(&self, code: u32) -> bool {
+        let k = code as usize - 1;
+        self.ext_bits
+            .get(k / 8)
+            .is_some_and(|byte| byte & (1 << (k % 8)) != 0)
+    }
+}
+
+/// The decoded `zonemap` section: extension dictionary + per-zone stats.
+pub(crate) struct ZoneMap {
+    /// False when the encoder's dictionary overflowed; extension
+    /// pushdown is then disabled and `dict` is empty.
+    pub(crate) exact: bool,
+    /// Sorted distinct extensions (1-based codes index into this).
+    pub(crate) dict: Vec<String>,
+    pub(crate) zones: Vec<ZoneStats>,
+}
+
+impl ZoneMap {
+    /// 1-based code of `ext`, if the dictionary is exact and holds it.
+    pub(crate) fn code_of(&self, ext: &str) -> Option<u32> {
+        if !self.exact {
+            return None;
+        }
+        self.dict
+            .binary_search_by(|n| n.as_str().cmp(ext))
+            .ok()
+            .map(|i| i as u32 + 1)
+    }
+}
+
+pub(crate) fn parse_zonemap(mut payload: &[u8], n_zones: usize) -> Result<ZoneMap, ColfError> {
+    let buf = &mut payload;
+    if !buf.has_remaining() {
+        return Err(ColfError::Truncated("zonemap"));
+    }
+    let exact = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(ColfError::BadValue("zonemap flags")),
+    };
+    let dict_len = get_uvarint(buf).ok_or(ColfError::Truncated("zonemap"))? as usize;
+    if dict_len > MAX_EXT_DICT || (!exact && dict_len != 0) {
+        return Err(ColfError::BadValue("zonemap dictionary"));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let len = get_uvarint(buf).ok_or(ColfError::Truncated("zonemap"))? as usize;
+        if buf.remaining() < len {
+            return Err(ColfError::Truncated("zonemap"));
+        }
+        let name = std::str::from_utf8(&buf[..len])
+            .map_err(|_| ColfError::BadValue("zonemap dictionary"))?
+            .to_string();
+        buf.advance(len);
+        if dict.last().is_some_and(|prev: &String| *prev >= name) {
+            // Codes binary-search the dictionary; it must be strictly
+            // sorted or lookups would silently miss entries.
+            return Err(ColfError::BadValue("zonemap dictionary"));
+        }
+        dict.push(name);
+    }
+    let stored_zones = get_uvarint(buf).ok_or(ColfError::Truncated("zonemap"))? as usize;
+    if stored_zones != n_zones {
+        return Err(ColfError::BadValue("zonemap zone count"));
+    }
+    let bitmap_len = dict_len.div_euclid(8) + usize::from(dict_len % 8 != 0);
+    let mut zones = Vec::with_capacity(n_zones);
+    for _ in 0..n_zones {
+        let mut u32s = [0u32; 8];
+        for v in &mut u32s {
+            let raw = get_uvarint(buf).ok_or(ColfError::Truncated("zonemap"))?;
+            *v = u32::try_from(raw).map_err(|_| ColfError::BadValue("zonemap stats"))?;
+        }
+        let mut u64s = [0u64; 4];
+        for v in &mut u64s {
+            *v = get_uvarint(buf).ok_or(ColfError::Truncated("zonemap"))?;
+        }
+        if !buf.has_remaining() {
+            return Err(ColfError::Truncated("zonemap"));
+        }
+        let has_ext_none = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(ColfError::BadValue("zonemap flags")),
+        };
+        let ext_bits = if exact {
+            if buf.remaining() < bitmap_len {
+                return Err(ColfError::Truncated("zonemap"));
+            }
+            let bits = buf[..bitmap_len].to_vec();
+            buf.advance(bitmap_len);
+            bits
+        } else {
+            Vec::new()
+        };
+        zones.push(ZoneStats {
+            uid: (u32s[0], u32s[1]),
+            gid: (u32s[2], u32s[3]),
+            depth: (u32s[4], u32s[5]),
+            stripes: (u32s[6], u32s[7]),
+            mtime: (u64s[0], u64s[1]),
+            atime: (u64s[2], u64s[3]),
+            has_ext_none,
+            ext_bits,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(ColfError::BadValue("section length"));
+    }
+    Ok(ZoneMap { exact, dict, zones })
 }
 
 fn parse_section(name: &str, mut payload: &[u8], count: usize) -> Result<ParsedSection, ColfError> {
@@ -534,6 +966,7 @@ pub struct LossyDecode {
 
 fn decode_v2(full: &[u8], lossy: bool) -> Result<LossyDecode, ColfError> {
     let layout = parse_layout(full)?;
+    debug_assert_eq!(layout.version, VERSION_V2);
     let count = layout.count;
     let mut cols = Columns {
         paths: Vec::new(),
@@ -603,6 +1036,22 @@ fn decode_v2(full: &[u8], lossy: bool) -> Result<LossyDecode, ColfError> {
     })
 }
 
+// ---- v3 decoding ---------------------------------------------------------
+
+/// v3 row decode rides the columnar decoder in [`crate::columns`] (one
+/// implementation of the zone logic), then materializes records. The
+/// strictness guarantee is therefore identical on both paths by
+/// construction.
+fn decode_v3(full: &[u8], lossy: bool) -> Result<LossyDecode, ColfError> {
+    let cols = crate::columns::decode_v3_columns(full, lossy, true, None)?;
+    let lost_sections = cols.lost_sections().to_vec();
+    let snapshot = cols.into_snapshot()?;
+    Ok(LossyDecode {
+        snapshot,
+        lost_sections,
+    })
+}
+
 // ---- public decode entry points ------------------------------------------
 
 pub(crate) fn version_of(buf: &[u8]) -> Result<u8, ColfError> {
@@ -626,16 +1075,19 @@ pub(crate) fn lost_section_counter(name: &str) -> &'static str {
         "gid" => "colf.lost.gid",
         "mode" => "colf.lost.mode",
         "osts" => "colf.lost.osts",
+        "extc" => "colf.lost.extc",
+        "zonemap" => "colf.lost.zonemap",
         _ => "colf.lost.other",
     }
 }
 
-/// Deserializes a `colf` buffer (v1 or v2) back into a snapshot.
+/// Deserializes a `colf` buffer (v1, v2, or v3) back into a snapshot.
 /// Strict: any corrupt or truncated section is an error.
 pub fn decode(buf: &[u8]) -> Result<Snapshot, ColfError> {
     let result = version_of(buf).and_then(|v| match v {
         VERSION_V1 => decode_v1(&buf[5..]),
-        VERSION => decode_v2(buf, false).map(|d| d.snapshot),
+        VERSION_V2 => decode_v2(buf, false).map(|d| d.snapshot),
+        VERSION_V3 => decode_v3(buf, false).map(|d| d.snapshot),
         v => Err(ColfError::BadVersion(v)),
     });
     let tel = spider_telemetry::global();
@@ -660,7 +1112,8 @@ pub fn decode_lossy(buf: &[u8]) -> Result<LossyDecode, ColfError> {
             snapshot,
             lost_sections: Vec::new(),
         }),
-        VERSION => decode_v2(buf, true),
+        VERSION_V2 => decode_v2(buf, true),
+        VERSION_V3 => decode_v3(buf, true),
         v => Err(ColfError::BadVersion(v)),
     });
     let tel = spider_telemetry::global();
@@ -682,15 +1135,11 @@ pub fn decode_lossy(buf: &[u8]) -> Result<LossyDecode, ColfError> {
     result
 }
 
-/// Locations of all checksummed regions in a v2 buffer: `"header"`,
+/// Locations of all checksummed regions in a v2/v3 buffer: `"header"`,
 /// `"section-table"`, then one span per column section. Fault-injection
 /// tests use this to target corruption precisely.
 pub fn section_table(full: &[u8]) -> Result<Vec<SectionSpan>, ColfError> {
-    match version_of(full)? {
-        VERSION => {}
-        VERSION_V1 => return Err(ColfError::BadVersion(VERSION_V1)),
-        v => return Err(ColfError::BadVersion(v)),
-    }
+    let names = section_names_of(version_of(full)?)?;
     let mut buf = &full[5..];
     let header_len = get_uvarint(&mut buf).ok_or(ColfError::Truncated("header"))? as usize;
     let header_off = full.len() - buf.remaining();
@@ -716,7 +1165,7 @@ pub fn section_table(full: &[u8]) -> Result<Vec<SectionSpan>, ColfError> {
         let id = buf.get_u8();
         let len = get_uvarint(&mut buf).ok_or(ColfError::Truncated("section-table"))? as usize;
         read_digest(&mut buf, "section-table")?;
-        let name = SECTION_NAMES
+        let name = names
             .get(id as usize - 1)
             .ok_or(ColfError::BadValue("section table"))?;
         entries.push((*name, len));
@@ -748,7 +1197,7 @@ pub fn peek_day(prefix: &[u8]) -> Option<u32> {
         VERSION_V1 => prefix
             .get(5..9)
             .map(|raw| u32::from_le_bytes(raw.try_into().expect("4-byte slice"))),
-        VERSION => {
+        VERSION_V2 | VERSION_V3 => {
             let mut buf = &prefix[5..];
             let header_len = get_uvarint(&mut buf)? as usize;
             if header_len < 4 || buf.remaining() < 4 {
@@ -820,6 +1269,51 @@ mod tests {
         let lossy = decode_lossy(&v1).unwrap();
         assert_eq!(lossy.snapshot, snap);
         assert!(lossy.lost_sections.is_empty());
+    }
+
+    #[test]
+    fn v2_files_remain_readable() {
+        let snap = sample_snapshot(64);
+        let v2 = encode_v2(&snap);
+        assert_eq!(v2[4], 2);
+        assert_eq!(decode(&v2).unwrap(), snap);
+        let lossy = decode_lossy(&v2).unwrap();
+        assert_eq!(lossy.snapshot, snap);
+        assert!(lossy.lost_sections.is_empty());
+    }
+
+    #[test]
+    fn multi_zone_roundtrip() {
+        // Zone framing must be invisible to the row reader, whatever the
+        // zone size (including a zone boundary landing exactly on the
+        // last row, and single-row zones).
+        let snap = sample_snapshot(100);
+        for zone_rows in [1, 3, 25, 99, 100, 101, 4096] {
+            let bytes = encode_with_zone_rows(&snap, zone_rows);
+            assert_eq!(bytes[4], 3);
+            assert_eq!(
+                decode(&bytes).unwrap(),
+                snap,
+                "zone_rows={zone_rows} changed the decode"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_zonemap_degrades_without_wrong_answers() {
+        // The zone map is advisory: losing it costs pruning, never rows.
+        let snap = sample_snapshot(80);
+        let bytes = encode_with_zone_rows(&snap, 16);
+        let spans = section_table(&bytes).unwrap();
+        for target in ["zonemap", "extc"] {
+            let span = spans.iter().find(|s| s.name == target).unwrap();
+            let mut corrupted = bytes.clone();
+            corrupted[span.offset + span.len / 2] ^= 0xFF;
+            assert!(decode(&corrupted).is_err(), "strict must reject {target}");
+            let lossy = decode_lossy(&corrupted).unwrap();
+            assert_eq!(lossy.lost_sections, vec![target]);
+            assert_eq!(lossy.snapshot, snap, "{target} loss altered records");
+        }
     }
 
     #[test]
@@ -1017,7 +1511,7 @@ mod tests {
         let spans = section_table(&bytes).unwrap();
         let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
         assert_eq!(names[..2], ["header", "section-table"]);
-        assert_eq!(&names[2..], &SECTION_NAMES);
+        assert_eq!(&names[2..], &SECTION_NAMES_V3);
         // Payload sections tile the buffer tail exactly.
         let last = spans.last().unwrap();
         assert_eq!(last.offset + last.len, bytes.len());
@@ -1028,8 +1522,9 @@ mod tests {
 
     #[test]
     fn truncated_tail_recovers_leading_sections() {
-        // Cut the file inside the final (osts) section: the table is
-        // intact, so lossy decode salvages every earlier column.
+        // Cut the file inside the osts section: the table is intact, so
+        // lossy decode salvages every earlier column; osts and both
+        // trailing v3 sections are gone.
         let snap = sample_snapshot(40);
         let bytes = encode(&snap);
         let spans = section_table(&bytes).unwrap();
@@ -1037,19 +1532,22 @@ mod tests {
         let cut = &bytes[..osts.offset + 1];
         assert!(decode(cut).is_err());
         let lossy = decode_lossy(cut).unwrap();
-        assert_eq!(lossy.lost_sections, vec!["osts"]);
+        assert_eq!(lossy.lost_sections, vec!["osts", "extc", "zonemap"]);
         assert_eq!(lossy.snapshot.len(), snap.len());
     }
 
     #[test]
-    fn peek_day_reads_both_versions() {
+    fn peek_day_reads_all_versions() {
         let snap = sample_snapshot(5);
-        let v2 = encode(&snap);
+        let v3 = encode(&snap);
+        let v2 = encode_v2(&snap);
         let v1 = encode_v1(&snap);
+        assert_eq!(peek_day(&v3[..PEEK_PREFIX_LEN.min(v3.len())]), Some(14));
         assert_eq!(peek_day(&v2[..PEEK_PREFIX_LEN.min(v2.len())]), Some(14));
         assert_eq!(peek_day(&v1[..PEEK_PREFIX_LEN.min(v1.len())]), Some(14));
         assert_eq!(peek_day(b"JUNK"), None);
         assert_eq!(peek_day(b"COLF\x02"), None);
+        assert_eq!(peek_day(b"COLF\x03"), None);
     }
 
     #[test]

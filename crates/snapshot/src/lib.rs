@@ -37,6 +37,7 @@ pub mod columns;
 pub mod diff;
 pub mod faultfs;
 pub mod io;
+pub mod pred;
 pub mod psv;
 pub mod record;
 pub mod scanner;
@@ -49,6 +50,7 @@ pub use columns::FrameColumns;
 pub use diff::{AccessBreakdown, DiffGap, SnapshotDiff};
 pub use faultfs::{FaultFs, FaultKind};
 pub use io::{OsIo, StoreIo};
+pub use pred::Pred;
 pub use record::SnapshotRecord;
 pub use scanner::scan;
 pub use snapshot::Snapshot;

@@ -1,0 +1,416 @@
+//! Typed, inspectable scan predicates — the pushdown contract between
+//! the query surface and the `colf` decoder.
+//!
+//! An opaque closure can only be *run*; a [`Pred`] can be *looked at*.
+//! That inspectability is what predicate pushdown needs: the encoder
+//! writes per-zone min/max statistics and an extension dictionary into
+//! every v3 `colf` file, and the decoder proves entire zones irrelevant
+//! against a `Pred` without touching their bytes. The closure form
+//! (`Scan::filter`) remains the escape hatch for filters that cannot be
+//! expressed here; the two compose freely in one scan.
+//!
+//! Semantics are deliberately pinned to the *frame* column types so the
+//! pushdown path and the closure path agree row-for-row:
+//!
+//! * every range variant is **inclusive** on both ends;
+//! * `Depth` and `Stripes` compare against the frame's u16-saturated
+//!   columns (`min(value, 65535)`), exactly like
+//!   `SnapshotFrame::{depth, stripe_count}`;
+//! * `Stripes` is the study's **size proxy** — LustreDU records carry no
+//!   size field (collecting sizes would touch every OSS), so stripe
+//!   width is the only capacity signal a snapshot has;
+//! * extension matching follows the paper's §4.1.3 rule via
+//!   `spider_fsmeta::inode::extension_of` (the substring after the final
+//!   dot, unless the dot leads or trails the name).
+
+use crate::record::SnapshotRecord;
+use crate::varint::put_uvarint;
+use crate::xxh::section_digest;
+use std::ops::{Bound, RangeBounds};
+
+/// Saturation bound shared with `SnapshotFrame`'s u16 columns.
+const U16_CAP: u32 = u16::MAX as u32;
+
+/// A typed scan predicate over snapshot rows.
+///
+/// Build leaves with the range constructors ([`Pred::uid`],
+/// [`Pred::mtime`], ...) or the extension constructors ([`Pred::ext`],
+/// [`Pred::ext_in`], [`Pred::ext_none`]), and combine them with
+/// [`Pred::and`] / [`Pred::or`]. All ranges are inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// Observation day within `[lo, hi]`.
+    Day {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Owner uid within `[lo, hi]`.
+    Uid {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Owner gid (project allocation) within `[lo, hi]`.
+    Gid {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Path depth (paper counting convention, u16-saturated) within
+    /// `[lo, hi]`.
+    Depth {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Stripe count (u16-saturated; 0 for directories) within
+    /// `[lo, hi]` — the no-size-field study's size proxy.
+    Stripes {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Modification time within `[lo, hi]`.
+    Mtime {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Access time within `[lo, hi]`.
+    Atime {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Extension is one of the given strings (sorted, deduplicated).
+    ExtIn(Vec<String>),
+    /// The name has no extension (directories, `Makefile`, `.bashrc`).
+    ExtNone,
+    /// Every child matches (empty = matches everything).
+    And(Vec<Pred>),
+    /// At least one child matches (empty = matches nothing).
+    Or(Vec<Pred>),
+}
+
+fn bounds_u32(r: impl RangeBounds<u32>) -> (u32, u32) {
+    let lo = match r.start_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v.saturating_add(1),
+        Bound::Unbounded => 0,
+    };
+    let hi = match r.end_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v.saturating_sub(1),
+        Bound::Unbounded => u32::MAX,
+    };
+    (lo, hi)
+}
+
+fn bounds_u64(r: impl RangeBounds<u64>) -> (u64, u64) {
+    let lo = match r.start_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v.saturating_add(1),
+        Bound::Unbounded => 0,
+    };
+    let hi = match r.end_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v.saturating_sub(1),
+        Bound::Unbounded => u64::MAX,
+    };
+    (lo, hi)
+}
+
+impl Pred {
+    /// Rows observed on a day in `range`.
+    pub fn day(range: impl RangeBounds<u32>) -> Pred {
+        let (lo, hi) = bounds_u32(range);
+        Pred::Day { lo, hi }
+    }
+
+    /// Rows owned by a uid in `range`.
+    pub fn uid(range: impl RangeBounds<u32>) -> Pred {
+        let (lo, hi) = bounds_u32(range);
+        Pred::Uid { lo, hi }
+    }
+
+    /// Rows owned by a gid in `range`.
+    pub fn gid(range: impl RangeBounds<u32>) -> Pred {
+        let (lo, hi) = bounds_u32(range);
+        Pred::Gid { lo, hi }
+    }
+
+    /// Rows at a path depth in `range`.
+    pub fn depth(range: impl RangeBounds<u32>) -> Pred {
+        let (lo, hi) = bounds_u32(range);
+        Pred::Depth { lo, hi }
+    }
+
+    /// Rows striped across a count of OSTs in `range` (the size proxy).
+    pub fn stripes(range: impl RangeBounds<u32>) -> Pred {
+        let (lo, hi) = bounds_u32(range);
+        Pred::Stripes { lo, hi }
+    }
+
+    /// Rows modified within `range` (Unix seconds).
+    pub fn mtime(range: impl RangeBounds<u64>) -> Pred {
+        let (lo, hi) = bounds_u64(range);
+        Pred::Mtime { lo, hi }
+    }
+
+    /// Rows accessed within `range` (Unix seconds).
+    pub fn atime(range: impl RangeBounds<u64>) -> Pred {
+        let (lo, hi) = bounds_u64(range);
+        Pred::Atime { lo, hi }
+    }
+
+    /// Rows with exactly this extension.
+    pub fn ext(ext: impl Into<String>) -> Pred {
+        Pred::ext_in([ext.into()])
+    }
+
+    /// Rows whose extension is any of the given ones. The list is
+    /// sorted and deduplicated so equal predicates fingerprint equally.
+    pub fn ext_in<I, S>(exts: I) -> Pred
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut names: Vec<String> = exts.into_iter().map(Into::into).collect();
+        names.sort_unstable();
+        names.dedup();
+        Pred::ExtIn(names)
+    }
+
+    /// Rows whose name has no extension.
+    pub fn ext_none() -> Pred {
+        Pred::ExtNone
+    }
+
+    /// Conjunction of `preds` (empty = always true).
+    pub fn and(preds: Vec<Pred>) -> Pred {
+        Pred::And(preds)
+    }
+
+    /// Disjunction of `preds` (empty = always false).
+    pub fn or(preds: Vec<Pred>) -> Pred {
+        Pred::Or(preds)
+    }
+
+    /// Whether *any* row of the given observation day could match —
+    /// the loader's day-level pruning test, answerable from the store
+    /// index alone, before the day's file is even opened. Conservative:
+    /// only `Day` leaves constrain it.
+    pub fn matches_day(&self, day: u32) -> bool {
+        match self {
+            Pred::Day { lo, hi } => (*lo..=*hi).contains(&day),
+            Pred::And(ps) => ps.iter().all(|p| p.matches_day(day)),
+            Pred::Or(ps) => ps.iter().any(|p| p.matches_day(day)),
+            _ => true,
+        }
+    }
+
+    /// Reference row evaluation against a materialized record — the
+    /// oracle the equivalence suites compare every other evaluation path
+    /// (frame closure, dictionary-code, zone-pruned) against.
+    pub fn matches_record(&self, r: &SnapshotRecord, day: u32) -> bool {
+        match self {
+            Pred::Day { lo, hi } => (*lo..=*hi).contains(&day),
+            Pred::Uid { lo, hi } => (*lo..=*hi).contains(&r.uid),
+            Pred::Gid { lo, hi } => (*lo..=*hi).contains(&r.gid),
+            Pred::Depth { lo, hi } => (*lo..=*hi).contains(&r.depth().min(U16_CAP)),
+            Pred::Stripes { lo, hi } => (*lo..=*hi).contains(&r.stripe_count().min(U16_CAP)),
+            Pred::Mtime { lo, hi } => (*lo..=*hi).contains(&r.mtime),
+            Pred::Atime { lo, hi } => (*lo..=*hi).contains(&r.atime),
+            Pred::ExtIn(names) => match r.extension() {
+                Some(e) => names.iter().any(|n| n == e),
+                None => false,
+            },
+            Pred::ExtNone => r.extension().is_none(),
+            Pred::And(ps) => ps.iter().all(|p| p.matches_record(r, day)),
+            Pred::Or(ps) => ps.iter().any(|p| p.matches_record(r, day)),
+        }
+    }
+
+    fn write_fp(&self, out: &mut Vec<u8>) {
+        match self {
+            Pred::Day { lo, hi } => {
+                out.push(1);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::Uid { lo, hi } => {
+                out.push(2);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::Gid { lo, hi } => {
+                out.push(3);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::Depth { lo, hi } => {
+                out.push(4);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::Stripes { lo, hi } => {
+                out.push(5);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::Mtime { lo, hi } => {
+                out.push(6);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::Atime { lo, hi } => {
+                out.push(7);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Pred::ExtIn(names) => {
+                out.push(8);
+                put_uvarint(out, names.len() as u64);
+                for n in names {
+                    put_uvarint(out, n.len() as u64);
+                    out.extend_from_slice(n.as_bytes());
+                }
+            }
+            Pred::ExtNone => out.push(9),
+            Pred::And(ps) => {
+                out.push(10);
+                put_uvarint(out, ps.len() as u64);
+                for p in ps {
+                    p.write_fp(out);
+                }
+            }
+            Pred::Or(ps) => {
+                out.push(11);
+                put_uvarint(out, ps.len() as u64);
+                for p in ps {
+                    p.write_fp(out);
+                }
+            }
+        }
+    }
+
+    /// Stable, non-zero structural fingerprint. Partial (late-
+    /// materialized) frames are cached under `(day, bytes digest,
+    /// fingerprint)`, so a pruned decode can never alias a full one;
+    /// zero is reserved for full frames.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = vec![b'P'];
+        self.write_fp(&mut bytes);
+        match section_digest(&bytes) {
+            0 => 0x9E37_79B9_7F4A_7C15,
+            h => h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, uid: u32, mtime: u64, stripes: usize) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime: mtime + 5,
+            ctime: mtime,
+            mtime,
+            uid,
+            gid: uid * 10,
+            mode: 0o100664,
+            ino: 1,
+            osts: (0..stripes).map(|k| (k as u16, k as u32)).collect(),
+        }
+    }
+
+    #[test]
+    fn range_constructors_are_inclusive() {
+        assert_eq!(Pred::uid(3..=7), Pred::Uid { lo: 3, hi: 7 });
+        assert_eq!(Pred::uid(3..7), Pred::Uid { lo: 3, hi: 6 });
+        assert_eq!(
+            Pred::uid(3..),
+            Pred::Uid {
+                lo: 3,
+                hi: u32::MAX
+            }
+        );
+        assert_eq!(
+            Pred::uid(..),
+            Pred::Uid {
+                lo: 0,
+                hi: u32::MAX
+            }
+        );
+        assert_eq!(Pred::mtime(10..=20), Pred::Mtime { lo: 10, hi: 20 });
+    }
+
+    #[test]
+    fn ext_in_is_canonical() {
+        assert_eq!(
+            Pred::ext_in(["nc", "h5", "nc"]),
+            Pred::ExtIn(vec!["h5".to_string(), "nc".to_string()])
+        );
+        assert_eq!(
+            Pred::ext_in(["h5", "nc"]).fingerprint(),
+            Pred::ext_in(["nc", "h5", "nc"]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn record_oracle() {
+        let r = rec("/p/u/data.h5", 42, 1_000, 4);
+        assert!(Pred::uid(40..=45).matches_record(&r, 0));
+        assert!(!Pred::uid(43..).matches_record(&r, 0));
+        assert!(Pred::ext("h5").matches_record(&r, 0));
+        assert!(!Pred::ext("nc").matches_record(&r, 0));
+        assert!(!Pred::ext_none().matches_record(&r, 0));
+        assert!(Pred::ext_none().matches_record(&rec("/p/u/Makefile", 1, 0, 0), 0));
+        assert!(Pred::stripes(4..=4).matches_record(&r, 0));
+        assert!(Pred::depth(4..=4).matches_record(&r, 0)); // /p/u/data.h5 = 3 + root
+        assert!(Pred::and(vec![Pred::uid(42..=42), Pred::ext("h5")]).matches_record(&r, 0));
+        assert!(!Pred::and(vec![Pred::uid(42..=42), Pred::ext("nc")]).matches_record(&r, 0));
+        assert!(Pred::or(vec![Pred::uid(0..=0), Pred::ext("h5")]).matches_record(&r, 0));
+        assert!(Pred::and(vec![]).matches_record(&r, 0));
+        assert!(!Pred::or(vec![]).matches_record(&r, 0));
+    }
+
+    #[test]
+    fn day_pruning_is_conservative() {
+        let p = Pred::and(vec![Pred::day(10..=20), Pred::uid(1..)]);
+        assert!(p.matches_day(15));
+        assert!(!p.matches_day(9));
+        assert!(!p.matches_day(21));
+        // Or of two day windows.
+        let p = Pred::or(vec![Pred::day(0..=5), Pred::day(30..=35)]);
+        assert!(p.matches_day(3) && p.matches_day(31));
+        assert!(!p.matches_day(10));
+        // Non-day leaves never prune a day.
+        assert!(Pred::uid(0..=0).matches_day(999));
+    }
+
+    #[test]
+    fn fingerprints_discriminate_and_are_stable() {
+        let a = Pred::and(vec![Pred::uid(1..=5), Pred::ext("h5")]);
+        let b = Pred::and(vec![Pred::uid(1..=5), Pred::ext("nc")]);
+        let c = Pred::or(vec![Pred::uid(1..=5), Pred::ext("h5")]);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(
+            Pred::uid(1..=2).fingerprint(),
+            Pred::gid(1..=2).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), 0, "zero is reserved for full frames");
+    }
+}

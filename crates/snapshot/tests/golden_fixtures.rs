@@ -1,7 +1,7 @@
 //! Golden-fixture regression tests for the colf format.
 //!
 //! `tests/fixtures/` holds tiny committed `.colf` files — valid v1,
-//! valid v2, and deliberately corrupted v2 variants. They freeze the
+//! v2, and v3, plus deliberately corrupted variants. They freeze the
 //! on-disk format: an encoder change that silently breaks the archive
 //! of half a terabyte of historical snapshots fails here first, against
 //! files a few hundred bytes long.
@@ -101,12 +101,26 @@ fn corrupt_variants(v2: &[u8]) -> Vec<(&'static str, Vec<u8>)> {
     ]
 }
 
+/// The corrupted v3 variant: a flipped byte inside the `zonemap`
+/// section, which must degrade to an unpruned full decode — never a
+/// wrong answer.
+fn v3_zonemap_corrupt(v3: &[u8]) -> Vec<u8> {
+    let spans = colf::section_table(v3).expect("fixture v3 must parse");
+    let zm = spans.iter().find(|s| s.name == "zonemap").unwrap();
+    let mut out = v3.to_vec();
+    out[zm.offset + zm.len / 2] ^= 0xFF;
+    out
+}
+
 fn all_fixtures() -> Vec<(&'static str, Vec<u8>)> {
     let snap = fixture_snapshot();
-    let v2 = colf::encode(&snap);
+    let v2 = colf::encode_v2(&snap);
+    let v3 = colf::encode(&snap);
     let mut out = vec![
         ("tiny-v1.colf", colf::encode_v1(&snap)),
         ("tiny-v2.colf", v2.clone()),
+        ("tiny-v3.colf", v3.clone()),
+        ("tiny-v3-zonemap-corrupt.colf", v3_zonemap_corrupt(&v3)),
     ];
     out.extend(corrupt_variants(&v2));
     out
@@ -143,10 +157,16 @@ fn v2_fixture_still_decodes() {
 
 #[test]
 fn encoder_output_is_byte_stable() {
-    // The committed fixtures pin the encoder byte-for-byte: any change
-    // to the layout, varint packing, or checksum seed shows up here.
+    // The committed fixtures pin the encoders byte-for-byte: any change
+    // to the layout, varint packing, zone framing, or checksum seed
+    // shows up here.
     assert_eq!(
         colf::encode(&fixture_snapshot()),
+        read_fixture("tiny-v3.colf"),
+        "v3 encoder output drifted from the golden fixture"
+    );
+    assert_eq!(
+        colf::encode_v2(&fixture_snapshot()),
         read_fixture("tiny-v2.colf"),
         "v2 encoder output drifted from the golden fixture"
     );
@@ -155,6 +175,44 @@ fn encoder_output_is_byte_stable() {
         read_fixture("tiny-v1.colf"),
         "v1 encoder output drifted from the golden fixture"
     );
+}
+
+#[test]
+fn v3_fixture_still_decodes() {
+    let snap = colf::decode(&read_fixture("tiny-v3.colf")).expect("v3 fixture must decode");
+    assert_eq!(snap, fixture_snapshot());
+}
+
+#[test]
+fn corrupt_zonemap_fixture_degrades_without_wrong_answers() {
+    use spider_snapshot::{FrameColumns, Pred};
+    let bytes = read_fixture("tiny-v3-zonemap-corrupt.colf");
+    // Strict: the checksum mismatch is an error.
+    assert!(matches!(
+        colf::decode(&bytes),
+        Err(ColfError::Corrupt {
+            section: "zonemap",
+            ..
+        })
+    ));
+    // Lossy: rows are untouched (the zone map carries no row data).
+    let lossy = colf::decode_lossy(&bytes).expect("zonemap loss is recoverable");
+    assert_eq!(lossy.lost_sections, vec!["zonemap"]);
+    assert_eq!(lossy.snapshot, fixture_snapshot());
+    // Pruned decodes fall back to full-decode-and-filter — identical
+    // rows to filtering the lossy decode, never a wrong answer.
+    for pred in [Pred::uid(10_002..), Pred::ext("h5"), Pred::day(0..=5)] {
+        let pruned = FrameColumns::decode_pruned(&bytes, &pred).unwrap();
+        let full = FrameColumns::decode_lossy(&bytes).unwrap();
+        let expect: Vec<usize> = (0..full.len())
+            .filter(|&i| full.pred_matches(&pred, i))
+            .collect();
+        assert_eq!(pruned.len(), expect.len(), "{pred:?}");
+        for (j, &i) in expect.iter().enumerate() {
+            assert_eq!(pruned.path(j), full.path(i));
+            assert_eq!(pruned.uid[j], full.uid[i]);
+        }
+    }
 }
 
 #[test]

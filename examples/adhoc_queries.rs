@@ -8,7 +8,7 @@
 //! cargo run --release --example adhoc_queries
 //! ```
 
-use spider_core::{AnalysisContext, Query, SnapshotFrame};
+use spider_core::{AnalysisContext, Scan, SnapshotFrame};
 use spider_sim::{SimConfig, Simulation};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
     // SELECT gid, COUNT(*) FROM snapshot WHERE is_file GROUP BY gid
     // ORDER BY count DESC LIMIT 5;
     println!("-- top 5 projects by live files --");
-    for (gid, count) in Query::over(&frame)
+    for (gid, count) in Scan::over(&frame)
         .files()
         .top_k_groups(|f, i| Some(f.gid[i]), 5)
     {
@@ -44,7 +44,7 @@ fn main() {
     // SELECT domain, AVG(stripe_count) ... GROUP BY domain (join on the
     // accounts database) — the Fig. 14 question as one query.
     println!("\n-- mean stripe count per domain (top 5) --");
-    let mean_stripes = Query::over(&frame).files().group_mean(
+    let mean_stripes = Scan::over(&frame).files().group_mean(
         |f, i| ctx.domain_of_gid(f.gid[i]),
         |f, i| f.stripe_count[i] as f64,
     );
@@ -58,7 +58,7 @@ fn main() {
     // old data? (the purge-pressure question).
     println!("\n-- users re-reading data older than 90 days (top 5) --");
     const NINETY_DAYS: u64 = 90 * 86_400;
-    let old_readers = Query::over(&frame)
+    let old_readers = Scan::over(&frame)
         .files()
         .filter(|f, i| f.atime[i] > f.mtime[i] + NINETY_DAYS)
         .top_k_groups(|f, i| Some(f.uid[i]), 5);
@@ -72,7 +72,7 @@ fn main() {
     // SELECT MAX(depth) GROUP BY domain — the Table 1 depth column.
     println!("\n-- max directory depth per domain (top 5) --");
     let depths =
-        Query::over(&frame).group_max(|f, i| ctx.domain_of_gid(f.gid[i]), |f, i| f.depth[i] as u64);
+        Scan::over(&frame).group_max(|f, i| ctx.domain_of_gid(f.gid[i]), |f, i| f.depth[i] as u64);
     let mut rows: Vec<_> = depths.into_iter().collect();
     rows.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
     for (domain, depth) in rows.into_iter().take(5) {

@@ -27,6 +27,13 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
     echo "== frame equivalence (deterministic + property suites)"
     cargo test -q -p spider-core --test frame_equivalence
     cargo test -q -p spider-core --test prop_frame
+    # Predicate pushdown must return exactly the rows the closure path
+    # keeps, including under injected zone-map corruption; the golden
+    # fixtures pin the v1/v2/v3 encoders byte-for-byte.
+    echo "== pushdown equivalence (deterministic + property suites)"
+    cargo test -q -p spider-core --test pushdown_equivalence
+    cargo test -q -p spider-core --test prop_pushdown
+    cargo test -q -p spider-snapshot --test golden_fixtures
     echo "== frame_path bench smoke"
     cargo run --release -q -p spider-bench --bin frame_path -- \
         target/BENCH_frame_path_smoke.json --days 2 --rows 2000 --reps 1 >/dev/null

@@ -52,6 +52,7 @@ ITESTS=(
     "fault_matrix:crates/snapshot/tests/fault_matrix.rs:spider_snapshot spider_fsmeta"
     "golden_fixtures:crates/snapshot/tests/golden_fixtures.rs:spider_snapshot"
     "frame_equivalence:crates/core/tests/frame_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
+    "pushdown_equivalence:crates/core/tests/pushdown_equivalence.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry"
     "pipeline_end_to_end:tests/pipeline_end_to_end.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "determinism:tests/determinism.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "experiment_shapes:tests/experiment_shapes.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
