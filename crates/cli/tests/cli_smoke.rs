@@ -275,3 +275,52 @@ fn fault_injected_simulate_survives() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn cluster_simulation_converges_and_heals_from_peer() {
+    let dir = temp_dir("cluster");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "cluster", "--dir", dir_s, "--nodes", "3", "--days", "5", "--rows", "60", "--seed", "42",
+    ]);
+    assert!(ok, "cluster run failed:\n{text}");
+    assert!(text.contains("status: CONVERGED"), "not converged:\n{text}");
+    assert!(
+        text.contains("healed from peer"),
+        "corruption demo must heal from a peer, not substitute:\n{text}"
+    );
+    assert!(
+        !text.contains("SAFETY VIOLATION"),
+        "safety violation reported:\n{text}"
+    );
+    assert!(
+        text.contains("partition: node-"),
+        "no partition phase:\n{text}"
+    );
+    assert!(
+        text.contains("restart: node-"),
+        "no crash/restart phase:\n{text}"
+    );
+    assert!(
+        text.contains("raft: elections="),
+        "no metrics line:\n{text}"
+    );
+
+    // Same seed, same outcome: the run is replayable.
+    let (ok2, text2) = run(&[
+        "cluster", "--dir", dir_s, "--nodes", "3", "--days", "5", "--rows", "60", "--seed", "42",
+    ]);
+    assert!(ok2, "replay failed:\n{text2}");
+    assert_eq!(text, text2, "seeded cluster runs must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cluster_rejects_sub_quorum_sizes() {
+    let dir = temp_dir("cluster-small");
+    let (ok, text) = run(&["cluster", "--dir", dir.to_str().unwrap(), "--nodes", "2"]);
+    assert!(!ok);
+    assert!(text.contains("at least 3"), "wrong error:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,625 @@
+//! Persisted raft state: checksummed log segments and the vote record.
+//!
+//! Everything a node must remember across a crash flows through the
+//! same [`StoreIo`] seam as the snapshot store, so the `FaultFs`
+//! injector exercises this layer with the identical failure model —
+//! bit rot, truncation, torn writes, transient `EIO` — and the same
+//! deterministic seeds.
+//!
+//! **Log segments** (`seg-<first_index:08>.rlog`) hold up to
+//! [`SEGMENT_ENTRIES`] entries each. Every entry is independently
+//! checksummed (`u32 payload_len | u64 xxh64(payload) | payload`), so
+//! a flipped bit or a torn tail is detected at the first bad entry and
+//! the log truncates there — raft's own crash-recovery contract: a
+//! suffix a node loses locally was either uncommitted (safe to lose)
+//! or is re-replicated from the leader during catch-up.
+//!
+//! **Vote record** (`vote-a.rlog` / `vote-b.rlog`): term and vote are
+//! double-slotted with a monotonic sequence number, alternating slots
+//! on each write. A single at-rest corruption therefore still recovers
+//! the previous persisted state from the other slot; only when *both*
+//! slots are unreadable does the node fall back to never-grant mode
+//! ([`VoteRecord::compromised`]), refusing to vote or campaign so it
+//! cannot double-vote in a term it may have already voted in.
+//!
+//! All writes are atomic (`.rlog.tmp` + rename), mirroring the store.
+
+use crate::node::NodeId;
+use spider_snapshot::xxh::xxh64;
+use spider_snapshot::StoreIo;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Entries per segment file. Small, so an append (which rewrites the
+/// tail segment) stays cheap and a corrupted segment loses little.
+pub const SEGMENT_ENTRIES: usize = 8;
+
+/// Checksum seed for raft payloads (distinct from the colf seed so a
+/// log entry can never masquerade as a section digest).
+const RLOG_SEED: u64 = 0x5AF7_0001;
+
+/// One replicated command: a snapshot day and the exact colf bytes
+/// every replica must admit for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Leader term that appended the entry.
+    pub term: u64,
+    /// The snapshot day being ingested.
+    pub day: u32,
+    /// The day's encoded colf file, verbatim.
+    pub bytes: Vec<u8>,
+}
+
+impl LogEntry {
+    /// Convergence fingerprint of the carried bytes.
+    pub fn digest(&self) -> u64 {
+        spider_snapshot::xxh::section_digest(&self.bytes)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(12 + self.bytes.len());
+        payload.extend_from_slice(&self.term.to_le_bytes());
+        payload.extend_from_slice(&self.day.to_le_bytes());
+        payload.extend_from_slice(&self.bytes);
+        payload
+    }
+
+    fn decode(payload: &[u8]) -> Option<LogEntry> {
+        if payload.len() < 12 {
+            return None;
+        }
+        Some(LogEntry {
+            term: u64::from_le_bytes(payload[0..8].try_into().ok()?),
+            day: u32::from_le_bytes(payload[8..12].try_into().ok()?),
+            bytes: payload[12..].to_vec(),
+        })
+    }
+}
+
+/// What `open` found on disk: how much of the persisted log survived.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogRecovery {
+    /// Entries recovered intact.
+    pub recovered: u64,
+    /// Entries dropped to checksum failures / torn tails (always a
+    /// suffix of the persisted log).
+    pub truncated: u64,
+    /// True when both vote slots were unreadable and the node must not
+    /// grant votes (see module docs).
+    pub vote_compromised: bool,
+}
+
+/// The persisted, checksummed raft log of one node.
+#[derive(Debug)]
+pub struct RaftLog {
+    dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    /// `entries[0]` is raft index 1.
+    entries: Vec<LogEntry>,
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&xxh64(payload, RLOG_SEED).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits one checksum-framed record off `buf`. Returns the payload
+/// and the rest, or `None` on a short/corrupt frame.
+fn unframe(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+    let digest = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+    let rest = &buf[12..];
+    if rest.len() < len {
+        return None;
+    }
+    let payload = &rest[..len];
+    if xxh64(payload, RLOG_SEED) != digest {
+        return None;
+    }
+    Some((payload, &rest[len..]))
+}
+
+impl RaftLog {
+    /// Opens (creating if needed) the log in `dir`, recovering every
+    /// entry whose checksum holds and truncating at the first that
+    /// fails. Reads retry once on error (transient faults heal; at-rest
+    /// damage repeats and truncates).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+    ) -> io::Result<(RaftLog, LogRecovery)> {
+        let dir = dir.into();
+        io.create_dir_all(&dir)?;
+        let mut first_indices: Vec<u64> = Vec::new();
+        for name in io.list(&dir)? {
+            if let Some(first) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("seg-"))
+                .and_then(|n| n.strip_suffix(".rlog"))
+                .and_then(|n| n.parse().ok())
+            {
+                first_indices.push(first);
+            }
+        }
+        first_indices.sort_unstable();
+
+        let mut log = RaftLog {
+            dir,
+            io,
+            entries: Vec::new(),
+        };
+        let mut recovery = LogRecovery::default();
+        let mut truncated = false;
+        for first in first_indices {
+            if truncated || first != log.entries.len() as u64 + 1 {
+                // A gap (or anything after damage) is unusable: raft
+                // indices must be contiguous. Count and drop the file.
+                truncated = true;
+                recovery.truncated += SEGMENT_ENTRIES as u64; // upper bound; refined below
+                let _ = log.io.remove(&log.segment_path(first));
+                continue;
+            }
+            let path = log.segment_path(first);
+            let bytes = match log.read_retry(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    truncated = true;
+                    continue;
+                }
+            };
+            let mut rest: &[u8] = &bytes;
+            while !rest.is_empty() {
+                match unframe(rest) {
+                    Some((payload, tail)) => match LogEntry::decode(payload) {
+                        Some(entry) => {
+                            log.entries.push(entry);
+                            recovery.recovered += 1;
+                            rest = tail;
+                        }
+                        None => {
+                            truncated = true;
+                            recovery.truncated += 1;
+                            break;
+                        }
+                    },
+                    None => {
+                        truncated = true;
+                        recovery.truncated += 1;
+                        break;
+                    }
+                }
+            }
+            if truncated {
+                // Rewrite the segment with only its intact prefix (or
+                // drop it entirely) so the damage does not re-surface.
+                let keep = log.entries.len();
+                let first_of_seg = first as usize - 1;
+                if keep > first_of_seg {
+                    let _ = log.write_segment(first, &log.entries[first_of_seg..keep].to_vec());
+                } else {
+                    let _ = log.io.remove(&path);
+                }
+            }
+        }
+        recovery.vote_compromised = false;
+        Ok((log, recovery))
+    }
+
+    fn read_retry(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.io.read(path) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(e),
+            Err(_) => self.io.read(path),
+        }
+    }
+
+    fn segment_path(&self, first_index: u64) -> PathBuf {
+        self.dir.join(format!("seg-{first_index:08}.rlog"))
+    }
+
+    /// Atomically (re)writes the segment starting at `first_index` with
+    /// `entries`. Retries once so a single transient fault heals.
+    fn write_segment(&self, first_index: u64, entries: &[LogEntry]) -> io::Result<()> {
+        let path = self.segment_path(first_index);
+        let mut buf = Vec::new();
+        for e in entries {
+            buf.extend_from_slice(&frame(&e.encode()));
+        }
+        let tmp = path.with_extension("rlog.tmp");
+        let attempt = |io: &Arc<dyn StoreIo>| -> io::Result<()> {
+            io.write(&tmp, &buf)?;
+            io.rename(&tmp, &path)
+        };
+        attempt(&self.io)
+            .or_else(|_| attempt(&self.io))
+            .map_err(|e| {
+                let _ = self.io.remove(&tmp);
+                e
+            })
+    }
+
+    /// Index of the last entry (0 when empty).
+    pub fn last_index(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Term of the last entry (0 when empty).
+    pub fn last_term(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.term)
+    }
+
+    /// Term of the entry at `index` (1-based); 0 for index 0, `None`
+    /// past the end.
+    pub fn term_at(&self, index: u64) -> Option<u64> {
+        if index == 0 {
+            return Some(0);
+        }
+        self.entries.get(index as usize - 1).map(|e| e.term)
+    }
+
+    /// The entry at `index` (1-based).
+    pub fn get(&self, index: u64) -> Option<&LogEntry> {
+        if index == 0 {
+            return None;
+        }
+        self.entries.get(index as usize - 1)
+    }
+
+    /// Entries from `index` (1-based, inclusive) to the end, capped at
+    /// `max` entries.
+    pub fn entries_from(&self, index: u64, max: usize) -> Vec<LogEntry> {
+        if index == 0 || index > self.entries.len() as u64 {
+            return Vec::new();
+        }
+        self.entries[index as usize - 1..]
+            .iter()
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// Appends one entry, persisting the tail segment atomically.
+    pub fn append(&mut self, entry: LogEntry) -> io::Result<u64> {
+        self.entries.push(entry);
+        let index = self.entries.len() as u64;
+        let seg_first = ((index - 1) / SEGMENT_ENTRIES as u64) * SEGMENT_ENTRIES as u64 + 1;
+        let seg = self.entries[seg_first as usize - 1..].to_vec();
+        match self.write_segment(seg_first, &seg) {
+            Ok(()) => Ok(index),
+            Err(e) => {
+                // Keep memory and disk agreed: the entry did not persist.
+                self.entries.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops every entry at `index` (1-based) and beyond — conflict
+    /// resolution when the leader's log disagrees — rewriting the
+    /// boundary segment and deleting later segment files.
+    pub fn truncate_from(&mut self, index: u64) -> io::Result<()> {
+        if index > self.entries.len() as u64 {
+            return Ok(());
+        }
+        let keep = index.saturating_sub(1) as usize;
+        let old_len = self.entries.len() as u64;
+        self.entries.truncate(keep);
+        // Rewrite (or delete) the segment containing the cut point.
+        let boundary_first = (keep as u64 / SEGMENT_ENTRIES as u64) * SEGMENT_ENTRIES as u64 + 1;
+        if keep as u64 >= boundary_first {
+            self.write_segment(
+                boundary_first,
+                &self.entries[boundary_first as usize - 1..].to_vec(),
+            )?;
+        } else if boundary_first <= old_len {
+            let _ = self.io.remove(&self.segment_path(boundary_first));
+        }
+        // Delete every wholly-truncated later segment.
+        let mut first = boundary_first + SEGMENT_ENTRIES as u64;
+        while first <= old_len {
+            let _ = self.io.remove(&self.segment_path(first));
+            first += SEGMENT_ENTRIES as u64;
+        }
+        Ok(())
+    }
+
+    /// All in-memory entries (1-based index `i+1`), for audits.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+}
+
+/// The double-slotted persisted (term, vote) record.
+#[derive(Debug)]
+pub struct VoteRecord {
+    dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    seq: u64,
+    /// Persisted term.
+    pub term: u64,
+    /// Whom this node voted for in `term`, if anyone.
+    pub voted_for: Option<NodeId>,
+    compromised: bool,
+}
+
+impl VoteRecord {
+    /// Loads the record from whichever slot holds the highest-sequence
+    /// valid state; both slots unreadable (with at least one present)
+    /// marks the record compromised.
+    pub fn open(dir: impl Into<PathBuf>, io: Arc<dyn StoreIo>) -> io::Result<VoteRecord> {
+        let dir = dir.into();
+        io.create_dir_all(&dir)?;
+        let mut best: Option<(u64, u64, Option<NodeId>)> = None;
+        let mut present = 0u32;
+        let mut valid = 0u32;
+        for slot in ["vote-a.rlog", "vote-b.rlog"] {
+            let path = dir.join(slot);
+            let bytes = match io.read(&path).or_else(|e| {
+                if e.kind() == io::ErrorKind::NotFound {
+                    Err(e)
+                } else {
+                    io.read(&path)
+                }
+            }) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(_) => {
+                    present += 1;
+                    continue;
+                }
+            };
+            present += 1;
+            let Some((payload, _)) = unframe(&bytes) else {
+                continue;
+            };
+            if payload.len() != 21 {
+                continue;
+            }
+            valid += 1;
+            let seq = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+            let term = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            let voted = match payload[16] {
+                1 => Some(u32::from_le_bytes(
+                    payload[17..21].try_into().expect("4 bytes"),
+                )),
+                _ => None,
+            };
+            if best.as_ref().is_none_or(|(s, _, _)| seq > *s) {
+                best = Some((seq, term, voted));
+            }
+        }
+        let compromised = present > 0 && valid == 0;
+        let (seq, term, voted_for) = best.unwrap_or((0, 0, None));
+        Ok(VoteRecord {
+            dir,
+            io,
+            seq,
+            term,
+            voted_for,
+            compromised,
+        })
+    }
+
+    /// True when both slots were unreadable: the node no longer knows
+    /// what it voted for and must never grant a vote or campaign again
+    /// (it still replicates and serves reads — a non-voting learner).
+    pub fn compromised(&self) -> bool {
+        self.compromised
+    }
+
+    /// Persists `(term, voted_for)` to the next slot. A failed write
+    /// leaves the previous slot intact; the caller must treat an error
+    /// as "vote not recorded" and refuse to grant it.
+    pub fn save(&mut self, term: u64, voted_for: Option<NodeId>) -> io::Result<()> {
+        let seq = self.seq + 1;
+        let mut payload = [0u8; 21];
+        payload[0..8].copy_from_slice(&seq.to_le_bytes());
+        payload[8..16].copy_from_slice(&term.to_le_bytes());
+        if let Some(v) = voted_for {
+            payload[16] = 1;
+            payload[17..21].copy_from_slice(&v.to_le_bytes());
+        }
+        let slot = if seq % 2 == 0 {
+            "vote-a.rlog"
+        } else {
+            "vote-b.rlog"
+        };
+        let path = self.dir.join(slot);
+        let tmp = path.with_extension("rlog.tmp");
+        let buf = frame(&payload);
+        let attempt = |io: &Arc<dyn StoreIo>| -> io::Result<()> {
+            io.write(&tmp, &buf)?;
+            io.rename(&tmp, &path)
+        };
+        attempt(&self.io).or_else(|_| attempt(&self.io))?;
+        self.seq = seq;
+        self.term = term;
+        self.voted_for = voted_for;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_snapshot::OsIo;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spider-rlog-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(term: u64, day: u32, fill: u8) -> LogEntry {
+        LogEntry {
+            term,
+            day,
+            bytes: vec![fill; 64 + day as usize],
+        }
+    }
+
+    fn os() -> Arc<dyn StoreIo> {
+        Arc::new(OsIo)
+    }
+
+    #[test]
+    fn append_reopen_roundtrip_across_segments() {
+        let dir = temp_dir("roundtrip");
+        let n = SEGMENT_ENTRIES as u64 * 2 + 3; // three segment files
+        {
+            let (mut log, rec) = RaftLog::open(&dir, os()).unwrap();
+            assert_eq!(rec, LogRecovery::default());
+            for i in 0..n {
+                let idx = log.append(entry(1 + i / 4, i as u32, i as u8)).unwrap();
+                assert_eq!(idx, i + 1);
+            }
+        }
+        let (log, rec) = RaftLog::open(&dir, os()).unwrap();
+        assert_eq!(rec.recovered, n);
+        assert_eq!(rec.truncated, 0);
+        assert_eq!(log.last_index(), n);
+        for i in 0..n {
+            assert_eq!(
+                log.get(i + 1).unwrap(),
+                &entry(1 + i / 4, i as u32, i as u8)
+            );
+        }
+        assert_eq!(log.term_at(0), Some(0));
+        assert_eq!(log.entries_from(n, 10).len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_truncates_at_first_bad_entry() {
+        let dir = temp_dir("corrupt");
+        {
+            let (mut log, _) = RaftLog::open(&dir, os()).unwrap();
+            for i in 0..SEGMENT_ENTRIES as u64 + 4 {
+                log.append(entry(1, i as u32, 7)).unwrap();
+            }
+        }
+        // Flip a bit inside the SECOND segment's first entry payload.
+        let seg2 = dir.join(format!("seg-{:08}.rlog", SEGMENT_ENTRIES + 1));
+        let mut bytes = fs::read(&seg2).unwrap();
+        bytes[20] ^= 0x10;
+        fs::write(&seg2, bytes).unwrap();
+
+        let (log, rec) = RaftLog::open(&dir, os()).unwrap();
+        assert_eq!(rec.recovered, SEGMENT_ENTRIES as u64);
+        assert!(rec.truncated >= 1);
+        assert_eq!(log.last_index(), SEGMENT_ENTRIES as u64);
+        // Recovery is stable: a re-open finds a clean, shorter log.
+        let (log2, rec2) = RaftLog::open(&dir, os()).unwrap();
+        assert_eq!(log2.last_index(), SEGMENT_ENTRIES as u64);
+        assert_eq!(rec2.truncated, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_tail() {
+        let dir = temp_dir("torn");
+        {
+            let (mut log, _) = RaftLog::open(&dir, os()).unwrap();
+            for i in 0..4 {
+                log.append(entry(2, i, 9)).unwrap();
+            }
+        }
+        // Cut the single segment mid-way through the last entry.
+        let seg = dir.join("seg-00000001.rlog");
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap();
+        let (log, rec) = RaftLog::open(&dir, os()).unwrap();
+        assert_eq!(log.last_index(), 3);
+        assert_eq!(rec.recovered, 3);
+        for i in 0..3 {
+            assert_eq!(log.get(i + 1).unwrap(), &entry(2, i as u32, 9));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_from_rewrites_boundary_and_deletes_later_segments() {
+        let dir = temp_dir("truncate");
+        let (mut log, _) = RaftLog::open(&dir, os()).unwrap();
+        let n = SEGMENT_ENTRIES as u64 * 3;
+        for i in 0..n {
+            log.append(entry(1, i as u32, 3)).unwrap();
+        }
+        // Cut inside the second segment.
+        let cut = SEGMENT_ENTRIES as u64 + 3;
+        log.truncate_from(cut).unwrap();
+        assert_eq!(log.last_index(), cut - 1);
+        assert!(!dir
+            .join(format!("seg-{:08}.rlog", 2 * SEGMENT_ENTRIES + 1))
+            .exists());
+        // Reopen agrees byte-for-byte.
+        drop(log);
+        let (log, rec) = RaftLog::open(&dir, os()).unwrap();
+        assert_eq!(log.last_index(), cut - 1);
+        assert_eq!(rec.truncated, 0);
+        // Cut at a segment boundary deletes the whole file.
+        let mut log = log;
+        log.truncate_from(SEGMENT_ENTRIES as u64 + 1).unwrap();
+        assert_eq!(log.last_index(), SEGMENT_ENTRIES as u64);
+        assert!(!dir
+            .join(format!("seg-{:08}.rlog", SEGMENT_ENTRIES + 1))
+            .exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vote_record_roundtrip_and_single_slot_corruption_recovers() {
+        let dir = temp_dir("vote");
+        {
+            let mut vote = VoteRecord::open(&dir, os()).unwrap();
+            assert_eq!((vote.term, vote.voted_for), (0, None));
+            vote.save(3, Some(1)).unwrap();
+            vote.save(4, None).unwrap();
+            vote.save(5, Some(2)).unwrap();
+        }
+        {
+            let vote = VoteRecord::open(&dir, os()).unwrap();
+            assert_eq!((vote.term, vote.voted_for), (5, Some(2)));
+            assert!(!vote.compromised());
+        }
+        // Corrupt the newest slot: the older state must come back
+        // (conservative, never forward) and voting stays allowed.
+        let newest = dir.join("vote-b.rlog"); // seq 3 landed in b
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[15] ^= 0xFF;
+        fs::write(&newest, bytes).unwrap();
+        let vote = VoteRecord::open(&dir, os()).unwrap();
+        assert!(!vote.compromised());
+        assert_eq!((vote.term, vote.voted_for), (4, None));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vote_record_both_slots_corrupt_is_compromised() {
+        let dir = temp_dir("vote-both");
+        {
+            let mut vote = VoteRecord::open(&dir, os()).unwrap();
+            vote.save(3, Some(1)).unwrap();
+            vote.save(4, Some(1)).unwrap();
+        }
+        for slot in ["vote-a.rlog", "vote-b.rlog"] {
+            let path = dir.join(slot);
+            let mut bytes = fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            fs::write(&path, bytes).unwrap();
+        }
+        let vote = VoteRecord::open(&dir, os()).unwrap();
+        assert!(vote.compromised());
+        assert_eq!((vote.term, vote.voted_for), (0, None));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,287 @@
+//! The deterministic simulated network.
+//!
+//! Real replication dies in the gaps between machines: messages arrive
+//! late, out of order, or never; links partition; processes crash with
+//! bytes half-written. [`SimNet`] models exactly that, but every choice
+//! — per-message delay jitter, drop decisions — comes from one seeded
+//! SplitMix64 stream, and delivery order is a total order over
+//! `(due_tick, send_sequence)`. Same seed + same send sequence = same
+//! delivery schedule, so any failing cluster run replays from its seed.
+//!
+//! Reordering needs no special mechanism: two messages sent in the same
+//! direction on consecutive ticks can draw jitters that cross their
+//! delivery times. Partitions are symmetric group splits — a message
+//! crossing group boundaries is dropped (and counted) at send time,
+//! like a switch eating frames.
+
+use crate::node::{Message, NodeId};
+use crate::splitmix;
+use std::collections::BTreeMap;
+
+/// Tunables for the simulated links.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Minimum ticks between send and delivery.
+    pub base_delay: u64,
+    /// Additional uniform jitter in `0..=jitter` ticks (this is what
+    /// reorders messages).
+    pub jitter: u64,
+    /// Per-message drop probability in 1/1000 units (0 = reliable,
+    /// 1000 = black hole). Applies on top of partitions.
+    pub drop_per_mille: u16,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            base_delay: 1,
+            jitter: 2,
+            drop_per_mille: 0,
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// The payload.
+    pub msg: Message,
+}
+
+/// The seeded network: queues envelopes with deterministic delays,
+/// drops across partitions, and hands back what is due each tick.
+#[derive(Debug)]
+pub struct SimNet {
+    cfg: NetConfig,
+    rng: u64,
+    now: u64,
+    seq: u64,
+    /// In-flight messages keyed by `(due_tick, send_seq)` — a BTreeMap
+    /// so drain order is a deterministic total order.
+    queue: BTreeMap<(u64, u64), Envelope>,
+    /// Partition group of each node; `None` = the default group. Two
+    /// nodes communicate iff their groups match.
+    groups: BTreeMap<NodeId, u32>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl SimNet {
+    /// A network over `cfg` drawing all randomness from `seed`.
+    pub fn new(cfg: NetConfig, seed: u64) -> SimNet {
+        SimNet {
+            cfg,
+            rng: seed,
+            now: 0,
+            seq: 0,
+            queue: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped so far (partitions + random drops).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when `a` and `b` can currently exchange messages.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.groups.get(&a).copied().unwrap_or(0) == self.groups.get(&b).copied().unwrap_or(0)
+    }
+
+    /// Splits the cluster into the given groups: nodes in different
+    /// groups cannot exchange messages until [`SimNet::heal`]. Nodes
+    /// not named fall into group 0. Messages already in flight across
+    /// the new boundary are dropped, like frames on a cut cable.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        self.groups.clear();
+        for (gi, members) in groups.iter().enumerate() {
+            for &m in *members {
+                self.groups.insert(m, gi as u32);
+            }
+        }
+        let groups = std::mem::take(&mut self.groups);
+        let before = self.queue.len();
+        self.queue.retain(|_, env| {
+            groups.get(&env.from).copied().unwrap_or(0) == groups.get(&env.to).copied().unwrap_or(0)
+        });
+        self.dropped += (before - self.queue.len()) as u64;
+        self.groups = groups;
+    }
+
+    /// Removes all partitions.
+    pub fn heal(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Queues `msg` from `from` to `to`, applying partition and drop
+    /// rules at send time and drawing the delivery delay from the seed.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        if !self.connected(from, to) {
+            self.dropped += 1;
+            return;
+        }
+        if self.cfg.drop_per_mille > 0
+            && (splitmix(&mut self.rng) % 1000) < self.cfg.drop_per_mille as u64
+        {
+            self.dropped += 1;
+            return;
+        }
+        let jitter = if self.cfg.jitter == 0 {
+            0
+        } else {
+            splitmix(&mut self.rng) % (self.cfg.jitter + 1)
+        };
+        let due = self.now + self.cfg.base_delay.max(1) + jitter;
+        let key = (due, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, Envelope { from, to, msg });
+    }
+
+    /// Advances one tick and returns every envelope due by the new
+    /// time, in `(due, seq)` order.
+    pub fn advance(&mut self) -> Vec<Envelope> {
+        self.now += 1;
+        let mut due = Vec::new();
+        while let Some((&key, _)) = self.queue.iter().next() {
+            if key.0 > self.now {
+                break;
+            }
+            let env = self.queue.remove(&key).expect("key just observed");
+            due.push(env);
+        }
+        self.delivered += due.len() as u64;
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping(n: u64) -> Message {
+        Message::RequestVote {
+            term: n,
+            last_log_index: 0,
+            last_log_term: 0,
+        }
+    }
+
+    fn drain_terms(net: &mut SimNet, ticks: u64) -> Vec<u64> {
+        let mut got = Vec::new();
+        for _ in 0..ticks {
+            for env in net.advance() {
+                if let Message::RequestVote { term, .. } = env.msg {
+                    got.push(term);
+                }
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(NetConfig::default(), seed);
+            for i in 0..20 {
+                net.send(0, 1, ping(i));
+            }
+            drain_terms(&mut net, 10)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn jitter_reorders_but_loses_nothing() {
+        let mut net = SimNet::new(
+            NetConfig {
+                base_delay: 1,
+                jitter: 5,
+                drop_per_mille: 0,
+            },
+            3,
+        );
+        for i in 0..50 {
+            net.send(0, 1, ping(i));
+        }
+        let got = drain_terms(&mut net, 20);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "nothing lost");
+        assert_ne!(got, sorted, "jitter should reorder a 50-message burst");
+        assert_eq!(net.dropped(), 0);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut net = SimNet::new(NetConfig::default(), 5);
+        net.partition(&[&[0, 1], &[2]]);
+        assert!(net.connected(0, 1));
+        assert!(!net.connected(0, 2));
+        net.send(0, 2, ping(1)); // dropped at the boundary
+        net.send(0, 1, ping(2)); // flows inside the group
+        assert_eq!(net.dropped(), 1);
+        assert_eq!(drain_terms(&mut net, 10), vec![2]);
+        net.heal();
+        net.send(0, 2, ping(3));
+        assert_eq!(drain_terms(&mut net, 10), vec![3]);
+    }
+
+    #[test]
+    fn partition_cuts_in_flight_messages() {
+        let mut net = SimNet::new(
+            NetConfig {
+                base_delay: 5,
+                jitter: 0,
+                drop_per_mille: 0,
+            },
+            9,
+        );
+        net.send(0, 2, ping(1));
+        assert_eq!(net.in_flight(), 1);
+        net.partition(&[&[0, 1], &[2]]);
+        assert_eq!(net.in_flight(), 0, "cross-boundary message cut");
+        assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn drops_are_seeded_and_counted() {
+        let mut net = SimNet::new(
+            NetConfig {
+                base_delay: 1,
+                jitter: 0,
+                drop_per_mille: 500,
+            },
+            11,
+        );
+        for i in 0..100 {
+            net.send(0, 1, ping(i));
+        }
+        let got = drain_terms(&mut net, 10);
+        assert_eq!(got.len() as u64 + net.dropped(), 100);
+        assert!(net.dropped() > 20, "p=0.5 over 100 sends");
+        assert!(got.len() > 20);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests: random network schedules (partitions, crash/
+//! restart cycles, arbitrary proposal timing, seeded message drop)
+//! must preserve the raft invariants.
+//!
+//! The cluster continuously audits election safety (one leader per
+//! term), commit immutability, and leader completeness — any breach
+//! lands in `violations()`. On top of that, this test checks the Log
+//! Matching Property directly: whenever two logs hold an entry with
+//! the same index and term, the entries are identical.
+//!
+//! These run under cargo/CI only (proptest is not part of the offline
+//! gate); the deterministic seeded soak in `cluster_soak.rs` is the
+//! offline-runnable counterpart.
+
+use proptest::prelude::*;
+use spider_raft::synth::synth_day_bytes;
+use spider_raft::{Cluster, ClusterConfig, NetConfig};
+use spider_snapshot::OsIo;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NODES: u32 = 3;
+const DAYS: u32 = 8;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("spider-prop-raft-{}-{case}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One step of a random schedule.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Let the cluster run for a few ticks.
+    Run(u16),
+    /// Propose one of the fixed day payloads (no-op without a leader).
+    Propose(u8),
+    /// Isolate one node from the other two.
+    Isolate(u8),
+    /// Heal all partitions.
+    Heal,
+    /// Crash a node, run a few ticks without it, restart it.
+    CrashRestart(u8),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u16..60).prop_map(Action::Run),
+        (0u8..DAYS as u8).prop_map(Action::Propose),
+        (0u8..NODES as u8).prop_map(Action::Isolate),
+        Just(Action::Heal),
+        (0u8..NODES as u8).prop_map(Action::CrashRestart),
+    ]
+}
+
+/// Log Matching: same (index, term) implies the same entry, on every
+/// pair of live logs.
+fn assert_log_matching(c: &Cluster) -> Result<(), TestCaseError> {
+    let live: Vec<u32> = (0..NODES).filter(|&id| c.node(id).is_some()).collect();
+    for (ai, &a) in live.iter().enumerate() {
+        for &b in &live[ai + 1..] {
+            let (la, lb) = (c.node(a).unwrap().log(), c.node(b).unwrap().log());
+            let upto = la.last_index().min(lb.last_index());
+            for index in 1..=upto {
+                let (ea, eb) = (la.get(index).unwrap(), lb.get(index).unwrap());
+                if ea.term == eb.term {
+                    prop_assert_eq!(
+                        (ea.day, ea.digest()),
+                        (eb.day, eb.digest()),
+                        "log matching violated at index {} between nodes {} and {}",
+                        index,
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_schedules_preserve_raft_invariants(
+        seed in any::<u64>(),
+        drop_per_mille in 0u16..80,
+        actions in prop::collection::vec(action(), 1..40),
+    ) {
+        let dir = temp_dir();
+        let mut c = Cluster::new(
+            &dir,
+            Arc::new(OsIo),
+            ClusterConfig {
+                nodes: NODES,
+                seed,
+                net: NetConfig {
+                    base_delay: 1,
+                    jitter: 2,
+                    drop_per_mille,
+                },
+            },
+        )
+        .expect("cluster builds");
+        let payloads: Vec<Vec<u8>> = (0..DAYS)
+            .map(|d| synth_day_bytes(d * 7, 20, 9))
+            .collect();
+
+        for act in &actions {
+            match *act {
+                Action::Run(ticks) => c.run(ticks as u64),
+                Action::Propose(d) => {
+                    let day = (d as u32) * 7;
+                    let _ = c.propose(day, &payloads[d as usize]);
+                }
+                Action::Isolate(n) => {
+                    let lone = n as u32 % NODES;
+                    let rest: Vec<u32> = (0..NODES).filter(|&i| i != lone).collect();
+                    c.net_mut().partition(&[&[lone], &rest]);
+                }
+                Action::Heal => c.net_mut().heal(),
+                Action::CrashRestart(n) => {
+                    let id = n as u32 % NODES;
+                    if c.node(id).is_some() {
+                        c.crash(id);
+                        c.run(5);
+                        c.restart(id).expect("restart crashed node");
+                    }
+                }
+            }
+            prop_assert!(
+                c.violations().is_empty(),
+                "safety violations mid-schedule: {:?}",
+                c.violations()
+            );
+            assert_log_matching(&c)?;
+        }
+
+        // Quiescence: full membership, no partitions, clean I/O — if
+        // anything committed, every replica must converge on it.
+        c.net_mut().heal();
+        for id in 0..NODES {
+            if c.node(id).is_none() {
+                c.restart(id).expect("restart for quiescence");
+            }
+        }
+        c.run(300);
+        if !c.committed_days().is_empty() {
+            prop_assert!(
+                c.run_until_converged(20_000),
+                "clean-network convergence failed: {:?}",
+                c.report()
+            );
+        }
+        prop_assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_log_matching(&c)?;
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

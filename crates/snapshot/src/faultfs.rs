@@ -30,6 +30,48 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+/// Coarse classification of the files flowing through the seam, so a
+/// fault plan can target one traffic class deterministically even when
+/// classes interleave.
+///
+/// Operation-index plans ([`FaultFs::plan_read`] /
+/// [`FaultFs::plan_write`]) were implicitly colf-only while the
+/// snapshot store was the seam's sole client: every write was a
+/// `snap-*.colf` (or its `.tmp` twin), so "the 3rd write" always meant
+/// "the 3rd colf write". With raft log segments (`*.rlog`) sharing the
+/// same `StoreIo`, a global index no longer names a stable victim —
+/// [`FaultFs::plan_read_class`] / [`FaultFs::plan_write_class`] count
+/// per class instead, so "the 0th `RaftLog` write" tears the first log
+/// segment no matter how many snapshot writes interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PathClass {
+    /// Snapshot column files: any name containing `.colf` (covers the
+    /// atomic-write `.colf.tmp` twins).
+    Colf,
+    /// Raft log segments and vote records: any name containing `.rlog`
+    /// (covers their `.rlog.tmp` twins).
+    RaftLog,
+    /// Everything else.
+    Other,
+}
+
+impl PathClass {
+    /// Classifies `path` by its file name.
+    pub fn of(path: &Path) -> PathClass {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if name.contains(".colf") {
+            PathClass::Colf
+        } else if name.contains(".rlog") {
+            PathClass::RaftLog
+        } else {
+            PathClass::Other
+        }
+    }
+}
+
 /// The injectable failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -77,8 +119,12 @@ struct State {
     rng: u64,
     read_ops: u64,
     write_ops: u64,
+    class_read_ops: BTreeMap<PathClass, u64>,
+    class_write_ops: BTreeMap<PathClass, u64>,
     read_plan: BTreeMap<u64, FaultKind>,
     write_plan: BTreeMap<u64, FaultKind>,
+    class_read_plan: BTreeMap<(PathClass, u64), FaultKind>,
+    class_write_plan: BTreeMap<(PathClass, u64), FaultKind>,
     fail_next_rename: bool,
     injected: Vec<InjectedFault>,
 }
@@ -109,8 +155,12 @@ impl<I: StoreIo> FaultFs<I> {
                 rng: seed ^ 0x5EED_5EED_5EED_5EED,
                 read_ops: 0,
                 write_ops: 0,
+                class_read_ops: BTreeMap::new(),
+                class_write_ops: BTreeMap::new(),
                 read_plan: BTreeMap::new(),
                 write_plan: BTreeMap::new(),
+                class_read_plan: BTreeMap::new(),
+                class_write_plan: BTreeMap::new(),
                 fail_next_rename: false,
                 injected: Vec::new(),
             }),
@@ -171,6 +221,42 @@ impl<I: StoreIo> FaultFs<I> {
             .insert(index, kind);
     }
 
+    /// Plans `kind` for the `nth` read *of files in `class`* (0-based).
+    /// Class plans take precedence over operation-index plans, and the
+    /// per-class counter ignores traffic from other classes, so the
+    /// victim stays stable however the classes interleave.
+    ///
+    /// # Panics
+    /// If `kind` is not a read-stream fault.
+    pub fn plan_read_class(&self, class: PathClass, nth: u64, kind: FaultKind) {
+        assert!(
+            FaultKind::READ_KINDS.contains(&kind),
+            "{kind:?} is not a read fault"
+        );
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .class_read_plan
+            .insert((class, nth), kind);
+    }
+
+    /// Plans `kind` for the `nth` write *of files in `class`* (0-based).
+    /// See [`FaultFs::plan_read_class`] for the precedence rule.
+    ///
+    /// # Panics
+    /// If `kind` is not a write-stream fault.
+    pub fn plan_write_class(&self, class: PathClass, nth: u64, kind: FaultKind) {
+        assert!(
+            FaultKind::WRITE_KINDS.contains(&kind),
+            "{kind:?} is not a write fault"
+        );
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .class_write_plan
+            .insert((class, nth), kind);
+    }
+
     /// Makes the next rename fail with `EIO` (exercises the store's
     /// quarantine fallback when even the move is refused).
     pub fn fail_next_rename(&self) {
@@ -193,7 +279,7 @@ impl<I: StoreIo> FaultFs<I> {
     /// never reached).
     pub fn pending(&self) -> usize {
         let s = self.state.lock().expect("fault state poisoned");
-        s.read_plan.len() + s.write_plan.len()
+        s.read_plan.len() + s.write_plan.len() + s.class_read_plan.len() + s.class_write_plan.len()
     }
 
     fn eio(what: &str) -> io::Error {
@@ -207,7 +293,13 @@ impl<I: StoreIo> StoreIo for FaultFs<I> {
             let mut s = self.state.lock().expect("fault state poisoned");
             let op = s.read_ops;
             s.read_ops += 1;
-            s.read_plan.remove(&op)
+            let class = PathClass::of(path);
+            let counter = s.class_read_ops.entry(class).or_insert(0);
+            let class_op = *counter;
+            *counter += 1;
+            s.class_read_plan
+                .remove(&(class, class_op))
+                .or_else(|| s.read_plan.remove(&op))
         };
         let Some(kind) = fault else {
             return self.inner.read(path);
@@ -296,7 +388,13 @@ impl<I: StoreIo> StoreIo for FaultFs<I> {
             let mut s = self.state.lock().expect("fault state poisoned");
             let op = s.write_ops;
             s.write_ops += 1;
-            s.write_plan.remove(&op)
+            let class = PathClass::of(path);
+            let counter = s.class_write_ops.entry(class).or_insert(0);
+            let class_op = *counter;
+            *counter += 1;
+            s.class_write_plan
+                .remove(&(class, class_op))
+                .or_else(|| s.write_plan.remove(&op))
         };
         let Some(kind) = fault else {
             return self.inner.write(path, bytes);
@@ -481,6 +579,75 @@ mod tests {
             assert_ne!(a, c);
             fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn path_class_covers_tmp_twins() {
+        assert_eq!(
+            PathClass::of(Path::new("/s/snap-00007.colf")),
+            PathClass::Colf
+        );
+        assert_eq!(
+            PathClass::of(Path::new("/s/snap-00007.colf.tmp")),
+            PathClass::Colf
+        );
+        assert_eq!(
+            PathClass::of(Path::new("/n0/raft/seg-00000001.rlog")),
+            PathClass::RaftLog
+        );
+        assert_eq!(
+            PathClass::of(Path::new("/n0/raft/vote-a.rlog.tmp")),
+            PathClass::RaftLog
+        );
+        assert_eq!(PathClass::of(Path::new("/s/README.txt")), PathClass::Other);
+    }
+
+    /// Regression: torn-write injection must reach raft log segments.
+    /// Before class-scoped plans, a write-index plan could only name a
+    /// victim by global position, which in practice always landed on a
+    /// colf file; here colf traffic interleaves and the plan still tears
+    /// exactly the first `.rlog` write.
+    #[test]
+    fn class_scoped_torn_write_hits_raft_log_not_colf() {
+        let dir = temp_dir("class-torn");
+        let colf = dir.join("snap-00001.colf");
+        let rlog = dir.join("seg-00000001.rlog");
+        let ffs = FaultFs::new(OsIo, 13);
+        ffs.plan_write_class(PathClass::RaftLog, 0, FaultKind::TornWrite);
+        let data: Vec<u8> = (0..=255u8).collect();
+        // Colf writes pass untouched even though they come first (and
+        // would have matched any index-0 global plan).
+        ffs.write(&colf, &data).unwrap();
+        assert_eq!(fs::read(&colf).unwrap(), data);
+        // The first raft-log write tears: prefix persisted, call fails.
+        assert!(ffs.write(&rlog, &data).is_err());
+        let on_disk = fs::read(&rlog).unwrap();
+        assert!(on_disk.len() < data.len());
+        assert_eq!(data[..on_disk.len()], on_disk[..]);
+        // Retry goes through; the plan fired exactly once.
+        ffs.write(&rlog, &data).unwrap();
+        assert_eq!(fs::read(&rlog).unwrap(), data);
+        assert_eq!(ffs.injected().len(), 1);
+        assert_eq!(ffs.injected()[0].path, rlog);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn class_scoped_read_faults_count_per_class() {
+        let dir = temp_dir("class-read");
+        let colf = dir.join("snap-00001.colf");
+        let rlog = dir.join("seg-00000001.rlog");
+        fs::write(&colf, b"colf bytes").unwrap();
+        fs::write(&rlog, b"rlog bytes").unwrap();
+        let ffs = FaultFs::new(OsIo, 29);
+        // "Second RaftLog read" stays the victim despite interleaving.
+        ffs.plan_read_class(PathClass::RaftLog, 1, FaultKind::TransientEio);
+        assert_eq!(ffs.read(&colf).unwrap(), b"colf bytes");
+        assert_eq!(ffs.read(&rlog).unwrap(), b"rlog bytes"); // rlog read 0
+        assert_eq!(ffs.read(&colf).unwrap(), b"colf bytes");
+        assert!(ffs.read(&rlog).is_err()); // rlog read 1 fires
+        assert_eq!(ffs.read(&rlog).unwrap(), b"rlog bytes"); // transient
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -48,10 +48,10 @@ pub mod xxh;
 
 pub use columns::FrameColumns;
 pub use diff::{AccessBreakdown, DiffGap, SnapshotDiff};
-pub use faultfs::{FaultFs, FaultKind};
+pub use faultfs::{FaultFs, FaultKind, PathClass};
 pub use io::{OsIo, StoreIo};
 pub use pred::Pred;
 pub use record::SnapshotRecord;
 pub use scanner::scan;
 pub use snapshot::Snapshot;
-pub use store::{RetryPolicy, SnapshotStore, StoreHealth};
+pub use store::{PeerHeal, RetryPolicy, SnapshotStore, StoreHealth};

@@ -185,6 +185,17 @@ pub struct Substitution {
     pub substitute: u32,
 }
 
+/// A quarantined day that was repaired with the *genuine* bytes
+/// re-fetched from a replication peer — a true heal, unlike a
+/// [`Substitution`], which stands a neighbor day in for the lost one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerHeal {
+    /// The day that was lost and then restored.
+    pub day: u32,
+    /// Where the bytes came from (e.g. `"node-2"`).
+    pub source: String,
+}
+
 /// Result of a [`SnapshotStore::scrub`]: the store's verified condition
 /// plus the degradation plan downstream consumers should follow.
 #[derive(Debug, Clone, Default)]
@@ -198,6 +209,10 @@ pub struct StoreHealth {
     /// Replacement day for each quarantined day, when any healthy or
     /// degraded day remains.
     pub substitutions: Vec<Substitution>,
+    /// Quarantined days later restored with the real bytes from a
+    /// replication peer (see [`StoreHealth::record_peer_heal`]). A
+    /// healed day no longer appears in [`StoreHealth::substitutions`].
+    pub peer_heals: Vec<PeerHeal>,
     /// Transient I/O retries the store performed while scrubbing (and
     /// before it, since open).
     pub transient_retries: u64,
@@ -215,6 +230,28 @@ impl StoreHealth {
             .iter()
             .find(|s| s.day == day)
             .map(|s| s.substitute)
+    }
+
+    /// The peer that healed `day`, if it was re-fetched rather than
+    /// substituted.
+    pub fn peer_heal_source(&self, day: u32) -> Option<&str> {
+        self.peer_heals
+            .iter()
+            .find(|h| h.day == day)
+            .map(|h| h.source.as_str())
+    }
+
+    /// Records that `day` was restored with genuine bytes fetched from
+    /// `source`, upgrading any neighbor-day substitution for it: the day
+    /// leaves the substitution plan (consumers must read the real data,
+    /// not the stand-in) but stays listed under `quarantined` as the
+    /// record of what happened.
+    pub fn record_peer_heal(&mut self, day: u32, source: impl Into<String>) {
+        self.substitutions.retain(|s| s.day != day);
+        self.peer_heals.push(PeerHeal {
+            day,
+            source: source.into(),
+        });
     }
 }
 
@@ -338,8 +375,9 @@ impl SnapshotStore {
     /// prefix is not parseable (deferred to decode-time diagnosis).
     fn peek_header_day(&self, day: u32) -> Result<Option<u32>, StoreError> {
         let path = self.file_path(day);
-        let prefix =
-            self.with_retry(StoreOp::Read, || self.io.read_prefix(&path, colf::PEEK_PREFIX_LEN))?;
+        let prefix = self.with_retry(StoreOp::Read, || {
+            self.io.read_prefix(&path, colf::PEEK_PREFIX_LEN)
+        })?;
         Ok(colf::peek_day(&prefix))
     }
 
@@ -367,6 +405,72 @@ impl SnapshotStore {
         let pos = self.days.partition_point(|&d| d < day);
         self.days.insert(pos, day);
         Ok(())
+    }
+
+    /// Persists pre-encoded `colf` bytes for `day` verbatim — the
+    /// replication apply path, where a committed log entry carries the
+    /// exact bytes every replica must hold so store digests converge
+    /// byte-for-byte. The bytes are strict-decoded first and the header
+    /// day cross-checked, so a corrupt or mislabeled entry can never be
+    /// admitted. Days must be unique, as in [`SnapshotStore::put`].
+    pub fn put_raw(&mut self, day: u32, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.days.binary_search(&day).is_ok() {
+            return Err(StoreError::DuplicateDay(day));
+        }
+        self.admit_raw(day, bytes)
+    }
+
+    /// Restores `day` from replica-fetched bytes, replacing whatever the
+    /// store holds: the heal path for a day that was quarantined (or
+    /// degraded) locally but survives intact on a peer. Validates like
+    /// [`SnapshotStore::put_raw`], then clears any quarantined copy of
+    /// the day (best effort) so the archive does not accumulate stale
+    /// corpses for healed days.
+    pub fn heal_raw(&mut self, day: u32, bytes: &[u8]) -> Result<(), StoreError> {
+        self.admit_raw(day, bytes)?;
+        let corpse = self
+            .dir
+            .join(QUARANTINE_DIR)
+            .join(format!("snap-{day:05}.colf"));
+        let _ = self.io.remove(&corpse);
+        telemetry::global().incr("store.peer_heals", 1);
+        Ok(())
+    }
+
+    /// Validates and atomically writes raw colf bytes for `day`,
+    /// indexing it (idempotent on the index).
+    fn admit_raw(&mut self, day: u32, bytes: &[u8]) -> Result<(), StoreError> {
+        let decoded = colf::decode(bytes)?;
+        if decoded.day() != day {
+            return Err(StoreError::DayMismatch {
+                file_day: day,
+                header_day: decoded.day(),
+            });
+        }
+        let path = self.file_path(day);
+        let tmp = path.with_extension("colf.tmp");
+        let result = self.with_retry(StoreOp::Write, || {
+            self.io.write(&tmp, bytes)?;
+            self.io.rename(&tmp, &path)
+        });
+        if let Err(e) = result {
+            let _ = self.io.remove(&tmp);
+            return Err(e.into());
+        }
+        if let Err(pos) = self.days.binary_search(&day) {
+            self.days.insert(pos, day);
+        }
+        Ok(())
+    }
+
+    /// XXH64 section digest of the raw stored bytes for `day` — the
+    /// convergence fingerprint replicas compare: byte-identical files
+    /// (the only thing [`SnapshotStore::put_raw`] admits) digest
+    /// identically on every node.
+    pub fn day_digest(&self, day: u32) -> Result<Option<u64>, StoreError> {
+        Ok(self
+            .read_raw(day)?
+            .map(|bytes| crate::xxh::section_digest(&bytes)))
     }
 
     fn read_day(&self, day: u32) -> Result<Vec<u8>, StoreError> {
@@ -895,6 +999,79 @@ mod tests {
         // Deindexed even though the file could not be moved.
         assert_eq!(store.days(), &[14]);
         assert!(path.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_raw_validates_and_digests_converge() {
+        let dir = temp_dir("putraw");
+        let mut store = SnapshotStore::open(&dir).unwrap();
+        let s = snap(7, 30);
+        let bytes = colf::encode(&s);
+        store.put_raw(7, &bytes).unwrap();
+        assert_eq!(store.get(7).unwrap().unwrap(), s);
+        // Duplicate day rejected; wrong-day label rejected; garbage rejected.
+        assert!(matches!(
+            store.put_raw(7, &bytes),
+            Err(StoreError::DuplicateDay(7))
+        ));
+        assert!(matches!(
+            store.put_raw(9, &bytes),
+            Err(StoreError::DayMismatch { .. })
+        ));
+        assert!(matches!(
+            store.put_raw(9, b"not colf"),
+            Err(StoreError::Colf(_))
+        ));
+        // The digest is a pure function of the bytes: a second store
+        // admitting the same entry fingerprints identically.
+        let dir2 = temp_dir("putraw-twin");
+        let mut twin = SnapshotStore::open(&dir2).unwrap();
+        twin.put_raw(7, &bytes).unwrap();
+        assert_eq!(
+            store.day_digest(7).unwrap().unwrap(),
+            twin.day_digest(7).unwrap().unwrap()
+        );
+        assert_eq!(store.day_digest(99).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn heal_raw_restores_quarantined_day_and_clears_corpse() {
+        let dir = temp_dir("healraw");
+        let s = snap(7, 30);
+        let bytes = colf::encode(&s);
+        {
+            let mut store = SnapshotStore::open(&dir).unwrap();
+            store.put(&s).unwrap();
+            store.put(&snap(14, 30)).unwrap();
+        }
+        // Smash day 7's paths section: scrub must quarantine it.
+        let path = dir.join("snap-00007.colf");
+        let mut damaged = fs::read(&path).unwrap();
+        let spans = colf::section_table(&damaged).unwrap();
+        let span = spans.iter().find(|s| s.name == "paths").unwrap();
+        damaged[span.offset + 2] ^= 0xFF;
+        fs::write(&path, damaged).unwrap();
+
+        let mut store =
+            SnapshotStore::open_lenient(&dir, Arc::new(OsIo), RetryPolicy::immediate()).unwrap();
+        let mut health = store.scrub();
+        assert_eq!(health.quarantined.len(), 1);
+        assert_eq!(health.substitute_for(7), Some(14));
+        let corpse = dir.join(QUARANTINE_DIR).join("snap-00007.colf");
+        assert!(corpse.exists());
+
+        // Heal with the genuine bytes, as a replication peer would serve.
+        store.heal_raw(7, &bytes).unwrap();
+        health.record_peer_heal(7, "node-2");
+        assert_eq!(store.get(7).unwrap().unwrap(), s);
+        assert!(!corpse.exists(), "healed day's corpse must be cleared");
+        // The substitution is upgraded, not duplicated.
+        assert_eq!(health.substitute_for(7), None);
+        assert_eq!(health.peer_heal_source(7), Some("node-2"));
+        assert_eq!(health.quarantined.len(), 1, "history preserved");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -45,6 +45,17 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
     cargo run --release -q -p spider-cli --bin spider-metalab -- \
         telemetry --dir target/telemetry-smoke --quick --scale 0.00005 \
         --days 28 --json --check >/dev/null
+    # The replicated write path under the same three pinned seeds:
+    # elections, partitions, crash/restart with log rot, at-rest store
+    # rot — every committed day must end byte-identical on every
+    # replica, with quarantined days healed from peers.
+    echo "== raft cluster soak (pinned seeds)"
+    for seed in 660942 2964594389 3237998146; do
+        echo "   -- SPIDER_FAULT_SEED=$seed"
+        SPIDER_FAULT_SEED=$seed cargo test -q -p spider-raft --test cluster_soak
+    done
+    echo "== raft property suite (random network schedules)"
+    cargo test -q -p spider-raft --test prop_raft
     echo "== cargo clippy --all-targets (deny warnings)"
     cargo clippy --all-targets -- -D warnings
     echo "== cargo fmt --check"

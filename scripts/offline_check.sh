@@ -38,9 +38,10 @@ CRATES=(
     "spider_telemetry:crates/telemetry/src/lib.rs:spider_stats serde"
     "spider_fsmeta:crates/fsmeta/src/lib.rs:rustc_hash serde"
     "spider_snapshot:crates/snapshot/src/lib.rs:spider_fsmeta spider_telemetry bytes rayon rustc_hash serde"
+    "spider_raft:crates/raft/src/lib.rs:spider_snapshot spider_telemetry"
     "spider_workload:crates/workload/src/lib.rs:spider_stats spider_fsmeta rand rustc_hash serde"
     "spider_graph:crates/graph/src/lib.rs:spider_stats rayon rustc_hash"
-    "spider_core:crates/core/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_graph spider_workload rayon crossbeam rustc_hash serde"
+    "spider_core:crates/core/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_raft spider_graph spider_workload rayon crossbeam rustc_hash serde"
     "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_telemetry spider_workload spider_core rand rustc_hash serde"
     "spider_report:crates/report/src/lib.rs:serde serde_json"
     "spider_experiments:crates/experiments/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_graph spider_workload spider_sim spider_core spider_report rand rayon rustc_hash serde serde_json"
@@ -50,6 +51,7 @@ CRATES=(
 # "test_name:path:deps"
 ITESTS=(
     "fault_matrix:crates/snapshot/tests/fault_matrix.rs:spider_snapshot spider_fsmeta"
+    "cluster_soak:crates/raft/tests/cluster_soak.rs:spider_raft spider_snapshot"
     "golden_fixtures:crates/snapshot/tests/golden_fixtures.rs:spider_snapshot"
     "frame_equivalence:crates/core/tests/frame_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
     "pushdown_equivalence:crates/core/tests/pushdown_equivalence.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry"
@@ -101,7 +103,7 @@ done
 # CLI binary (library deps of spider_experiments plus itself).
 if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
     say "build spider-metalab binary"
-    CLI_DEPS="spider_fsmeta spider_snapshot spider_telemetry spider_workload spider_sim spider_core spider_graph spider_report spider_experiments spider_stats serde_json"
+    CLI_DEPS="spider_fsmeta spider_snapshot spider_raft spider_telemetry spider_workload spider_sim spider_core spider_graph spider_report spider_experiments spider_stats serde_json"
     externs=""
     for d in $CLI_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name spider_metalab crates/cli/src/main.rs $externs \
