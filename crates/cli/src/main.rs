@@ -40,6 +40,8 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args[1..]),
         "store-health" => cmd_store_health(&args[1..]),
         "cluster" => cmd_cluster(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "export" => cmd_export(&args[1..]),
@@ -119,6 +121,13 @@ USAGE:
                           [--fault-seed N] [--ticks N]
   spider-metalab analyze  --dir DIR [--day N] [--uid N[..M]] [--gid N[..M]]
                           [--ext E1[,E2...]|none]
+  spider-metalab serve    --dir DIR [--addr HOST:PORT | --stdin] [--workers N]
+                          [--queue N] [--shed-mark N] [--budget N] [--refill N]
+                          [--fault-seed N]
+  spider-metalab loadgen  (--addr HOST:PORT | --dir DIR) [--sweep] [--out FILE]
+                          [--synth-days N] [--synth-rows N] [--seed N]
+                          [--analysts N] [--tenants N] [--threads N]
+                          [--queries N] [--qps N | --burst N] [--budget N]
   spider-metalab convert  --psv FILE --dir DIR
   spider-metalab export   --dir DIR --psv FILE [--day N]
   spider-metalab telemetry --dir DIR [--quick] [--json] [--check]
@@ -140,6 +149,17 @@ replica's stored day corrupted on disk so the scrub re-fetches the
 genuine bytes from a peer (instead of the paper's neighbor-day
 substitution). Exits non-zero unless every replica converges to
 byte-identical stores with zero safety violations.
+
+`serve` runs the multi-tenant query server over an existing store:
+line-delimited JSON queries in, one response line each, with
+per-tenant scan budgets, load shedding to cached (stale-marked)
+answers, and typed rejections past the queue bound. `--stdin` answers
+request lines from stdin instead of TCP (exits non-zero if any line
+failed). `loadgen` drives a server with a seeded analyst population —
+closed-loop (`--queries` per analyst), open-paced (`--qps`), or open
+burst (`--burst`); `--sweep` runs a 3-level offered-load sweep
+(steady, 0.9x, overload burst) against an in-process server and
+writes throughput/latency curves to `--out` (BENCH_serve.json).
 
 `--telemetry[=table|json]` works with every command: it instruments the
 run (spans, counters, latency histograms), prints the report when the
@@ -584,6 +604,318 @@ fn cmd_cluster(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+fn num_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, AnyError> {
+    match flag_value(args, flag) {
+        Some(raw) => raw
+            .parse::<T>()
+            .map_err(|_| format!("{flag}: {raw:?} is not a valid number").into()),
+        None => Ok(default),
+    }
+}
+
+/// Opens the store under `dir`, scrubs it, and builds the serve engine
+/// (routing I/O through `--fault-seed` when given).
+fn open_serve_engine(
+    args: &[String],
+    dir: &std::path::Path,
+) -> Result<spider_serve::QueryEngine, AnyError> {
+    let io = store_io(args)?;
+    let mut store = SnapshotStore::open_lenient(dir.join("snapshots"), io, RetryPolicy::default())?;
+    if store.is_empty() {
+        return Err("store is empty; run `simulate` (or `loadgen --synth-days`) first".into());
+    }
+    let health = store.scrub();
+    if !health.is_clean() {
+        eprintln!(
+            "store degraded: {} healthy / {} degraded / {} quarantined day(s); \
+             responses carry substitution notes",
+            health.healthy_days.len(),
+            health.degraded.len(),
+            health.quarantined.len()
+        );
+    }
+    let engine = spider_serve::QueryEngine::over_store(
+        &store,
+        health,
+        spider_serve::EngineConfig {
+            cache_frames: num_flag(args, "--cache-frames", 0usize)?,
+            ..spider_serve::EngineConfig::default()
+        },
+    )?;
+    Ok(engine)
+}
+
+fn serve_config(args: &[String]) -> Result<spider_serve::ServerConfig, AnyError> {
+    let defaults = spider_serve::ServerConfig::default();
+    Ok(spider_serve::ServerConfig {
+        workers: num_flag(args, "--workers", defaults.workers)?,
+        queue_capacity: num_flag(args, "--queue", defaults.queue_capacity)?,
+        shed_mark: num_flag(args, "--shed-mark", defaults.shed_mark)?,
+        tenant_budget: num_flag(args, "--budget", defaults.tenant_budget)?,
+        refill: spider_serve::Refill::PerSecond(num_flag(args, "--refill", 2_000u64)?),
+        tenant_cache_frames: num_flag(args, "--tenant-frames", 0usize)?,
+        engine: spider_serve::EngineConfig::default(),
+    })
+}
+
+/// Runs the multi-tenant query server over an existing store: TCP by
+/// default, or stdin/stdout with `--stdin` (one response line per
+/// request line; exits non-zero if any line produced an error
+/// response).
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    let dir = required_dir(args)?;
+    let engine = open_serve_engine(args, &dir)?;
+    let days = engine.days().len();
+    let config = serve_config(args)?;
+    let server = spider_serve::Server::start(engine, config);
+    if has_flag(args, "--stdin") {
+        use std::io::BufRead;
+        let client = server.client();
+        let stdin = std::io::stdin();
+        let mut failed = 0u64;
+        let mut answered = 0u64;
+        for line in stdin.lock().lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = client.request(&line);
+            println!("{response}");
+            answered += 1;
+            if response.contains("\"status\":\"error\"") {
+                failed += 1;
+            }
+        }
+        let (totals, _) = server.shutdown();
+        eprintln!(
+            "served {answered} request(s): {} ok, {} shed, {} rejected, {} error(s)",
+            totals.ok, totals.shed, totals.rejected, totals.errors
+        );
+        if failed > 0 {
+            return Err(format!("{failed} request line(s) failed with typed errors").into());
+        }
+        return Ok(());
+    }
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7474".to_string());
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "serving {days} day(s) on {addr} ({} workers, queue {}, shed mark {}, \
+         budget {} day-tokens @ {:?}/s refill); one JSON query per line",
+        config.workers,
+        config.queue_capacity,
+        config.shed_mark,
+        config.tenant_budget,
+        config.refill
+    );
+    server.serve_listener(listener)?;
+    Ok(())
+}
+
+/// Drives a server with the seeded analyst population. One level by
+/// default; `--sweep` runs the 3-level offered-load sweep against an
+/// in-process server and writes `BENCH_serve.json`.
+fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
+    use spider_serve::{run_load, Arrival, BenchLevel, LoadSpec, QueryPort, TcpPort};
+
+    let seed = num_flag(args, "--seed", 660_942u64)?;
+    let analysts = num_flag(args, "--analysts", 12usize)?.max(1);
+    let tenants = num_flag(args, "--tenants", 4usize)?.max(1);
+    let threads = num_flag(args, "--threads", 8usize)?.max(1);
+    let queries = num_flag(args, "--queries", 50usize)?.max(1);
+    let sweep = has_flag(args, "--sweep");
+    let addr = flag_value(args, "--addr");
+
+    // The target: a remote server over TCP, or an in-process server
+    // over --dir (synthesized on demand with --synth-days).
+    let mut in_process: Option<spider_serve::Server> = None;
+    let mut day_hi = 0u32;
+    let mut synth_days = 0u32;
+    let mut synth_rows = 0usize;
+    if addr.is_none() {
+        let dir = flag_value(args, "--dir")
+            .map(PathBuf::from)
+            .ok_or("loadgen needs --addr HOST:PORT or --dir DIR")?;
+        synth_days = num_flag(args, "--synth-days", 0u32)?;
+        synth_rows = num_flag(args, "--synth-rows", 2_000usize)?;
+        if synth_days > 0 {
+            std::fs::create_dir_all(&dir)?;
+            spider_serve::synth_store(&dir.join("snapshots"), synth_days, synth_rows, seed)?;
+        }
+        let engine = open_serve_engine(args, &dir)?;
+        day_hi = engine.days().last().copied().unwrap_or(0);
+        let mut config = serve_config(args)?;
+        // Deterministic budget accounting for the sweep: buckets only
+        // refill when the sweep says so. Auto-size the budget to ~1.2x
+        // one steady level's per-tenant demand, so the overload level
+        // (run without a refill) exhausts it and shedding engages.
+        config.refill = spider_serve::Refill::Manual;
+        if flag_value(args, "--budget").is_none() {
+            let demand =
+                (analysts * queries) as u64 * (engine.days().len() as u64) / tenants as u64;
+            config.tenant_budget = demand + demand / 5 + 1;
+        }
+        in_process = Some(spider_serve::Server::start(engine, config));
+    } else if sweep {
+        return Err("--sweep drives an in-process server; use --dir, not --addr".into());
+    }
+
+    let connect = || -> Result<Box<dyn QueryPort>, String> {
+        match (&in_process, &addr) {
+            (Some(server), _) => Ok(Box::new(server.client())),
+            (None, Some(addr)) => Ok(Box::new(TcpPort::connect(addr)?)),
+            (None, None) => unreachable!("checked above"),
+        }
+    };
+    let spec = |arrival: Arrival| LoadSpec {
+        seed,
+        analysts,
+        tenants,
+        threads,
+        day_hi,
+        arrival,
+    };
+    let print_report = |label: &str, r: &spider_serve::LoadReport| {
+        println!(
+            "{label}: sent {} answered {} | ok {} shed {} rejected {} | \
+             errors {} dropped {} mismatches {} | {:.0} qps, p50 {}us p95 {}us p99 {}us",
+            r.sent,
+            r.answered,
+            r.ok,
+            r.shed,
+            r.rejected,
+            r.protocol_errors,
+            r.dropped,
+            r.result_mismatches,
+            r.achieved_qps(),
+            r.quantile_ns(0.50) / 1_000,
+            r.quantile_ns(0.95) / 1_000,
+            r.quantile_ns(0.99) / 1_000,
+        );
+    };
+    let check = |r: &spider_serve::LoadReport| -> Result<(), AnyError> {
+        if r.dropped > 0 {
+            return Err(format!("{} request(s) dropped by the transport", r.dropped).into());
+        }
+        if r.protocol_errors > 0 {
+            return Err(format!("{} protocol error(s) observed", r.protocol_errors).into());
+        }
+        if r.result_mismatches > 0 {
+            return Err(format!(
+                "{} shed/ok result byte mismatch(es) observed",
+                r.result_mismatches
+            )
+            .into());
+        }
+        Ok(())
+    };
+
+    if !sweep {
+        let arrival = if let Some(qps) = flag_value(args, "--qps") {
+            Arrival::OpenPaced {
+                qps: qps.parse::<u64>()?,
+                total: analysts * queries,
+            }
+        } else if let Some(burst) = flag_value(args, "--burst") {
+            Arrival::OpenBurst {
+                total: burst.parse::<usize>()?,
+            }
+        } else {
+            Arrival::Closed {
+                queries_per_analyst: queries,
+            }
+        };
+        let report = run_load(spec(arrival), connect)?;
+        print_report("load", &report);
+        check(&report)?;
+        if let Some(out) = flag_value(args, "--out") {
+            let levels = [BenchLevel {
+                label: "single".into(),
+                offered_qps: 0,
+                report,
+            }];
+            std::fs::write(
+                &out,
+                spider_serve::render_bench_json(seed, synth_days, synth_rows, &levels),
+            )?;
+            println!("wrote {out}");
+        }
+        return Ok(());
+    }
+
+    // The sweep: closed-loop steady state (calibrates capacity), 0.9x
+    // paced, then an overload burst with budgets deliberately not
+    // refilled — shedding must engage with zero protocol errors.
+    let server = in_process.as_ref().expect("sweep is in-process");
+    let mut levels = Vec::new();
+    let steady = run_load(
+        spec(Arrival::Closed {
+            queries_per_analyst: queries,
+        }),
+        connect,
+    )?;
+    print_report("closed steady", &steady);
+    check(&steady)?;
+    let capacity_qps = steady.achieved_qps().max(1.0);
+    let total = steady.sent as usize;
+    levels.push(BenchLevel {
+        label: "closed-steady".into(),
+        offered_qps: 0,
+        report: steady,
+    });
+
+    server.refill_budgets();
+    let near = run_load(
+        spec(Arrival::OpenPaced {
+            qps: (capacity_qps * 0.9) as u64 + 1,
+            total,
+        }),
+        connect,
+    )?;
+    print_report("paced 0.9x", &near);
+    check(&near)?;
+    levels.push(BenchLevel {
+        label: "paced-0.9x".into(),
+        offered_qps: (capacity_qps * 0.9) as u64 + 1,
+        report: near,
+    });
+
+    // No refill: the burst rides on whatever tokens the paced level
+    // left, so budget exhaustion (not just queue pressure) forces the
+    // shed path.
+    let burst = run_load(spec(Arrival::OpenBurst { total }), connect)?;
+    print_report("overload burst", &burst);
+    check(&burst)?;
+    let shed_engaged = burst.shed > 0;
+    levels.push(BenchLevel {
+        label: "overload-burst".into(),
+        offered_qps: u64::MAX.min(capacity_qps as u64 * 4),
+        report: burst,
+    });
+
+    let out = flag_value(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    std::fs::write(
+        &out,
+        spider_serve::render_bench_json(seed, synth_days, synth_rows, &levels),
+    )?;
+    println!("wrote {out}");
+    let (totals, per_tenant) = server.stats();
+    println!(
+        "server totals: {} queries, {} ok, {} shed, {} rejected, {} errors",
+        totals.queries, totals.ok, totals.shed, totals.rejected, totals.errors
+    );
+    for (tenant, counts) in per_tenant {
+        println!(
+            "  {tenant}: {} queries, {} ok, {} shed, {} rejected",
+            counts.queries, counts.ok, counts.shed, counts.rejected
+        );
+    }
+    if !shed_engaged {
+        return Err("overload level completed without shedding engaging".into());
+    }
+    Ok(())
+}
+
 fn cmd_repro(args: &[String]) -> Result<(), AnyError> {
     let config = lab_config(args)?;
     let out_dir = flag_value(args, "--out")
@@ -676,15 +1008,12 @@ fn cmd_telemetry(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
-/// The CI smoke validation behind `telemetry --check`.
+/// The CI smoke validation behind `telemetry --check`. The generic
+/// invariants (schema version, span sums, non-empty counters and
+/// histograms) live in [`spider_telemetry::TelemetrySnapshot::validate`];
+/// the pipeline-shape checks stay here.
 fn check_telemetry(snapshot: &spider_telemetry::TelemetrySnapshot) -> Result<(), AnyError> {
-    if snapshot.schema_version != spider_telemetry::SCHEMA_VERSION {
-        return Err("telemetry snapshot has an unexpected schema version".into());
-    }
-    let violations = snapshot.span_sum_violations();
-    if !violations.is_empty() {
-        return Err(format!("span accounting violations: {violations:?}").into());
-    }
+    snapshot.validate()?;
     let pipeline = snapshot
         .spans
         .iter()
@@ -702,12 +1031,6 @@ fn check_telemetry(snapshot: &spider_telemetry::TelemetrySnapshot) -> Result<(),
             spider_telemetry::fmt_ns(pipeline.total_ns),
         )
         .into());
-    }
-    if snapshot.counters.is_empty() {
-        return Err("no counters recorded".into());
-    }
-    if snapshot.histograms.is_empty() {
-        return Err("no histograms recorded".into());
     }
     Ok(())
 }

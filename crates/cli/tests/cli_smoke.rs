@@ -27,6 +27,31 @@ fn run(args: &[&str]) -> (bool, String) {
     (out.status.success(), text)
 }
 
+fn run_with_stdin(args: &[&str], input: &str) -> (bool, String) {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(binary())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("stdin written");
+    let out = child.wait_with_output().expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
 #[test]
 fn list_shows_all_experiments() {
     let (ok, text) = run(&["list"]);
@@ -312,6 +337,143 @@ fn cluster_simulation_converges_and_heals_from_peer() {
     ]);
     assert!(ok2, "replay failed:\n{text2}");
     assert_eq!(text, text2, "seeded cluster runs must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_loadgen_error_paths_are_typed() {
+    // Every bad invocation must exit non-zero with a typed message —
+    // never a panic, never a hang.
+    let empty = temp_dir("serve-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let empty_s = empty.to_str().unwrap();
+
+    let (ok, text) = run(&["serve", "--dir", empty_s, "--stdin"]);
+    assert!(!ok, "serve over a missing store must fail");
+    assert!(text.contains("store is empty"), "wrong error:\n{text}");
+
+    let (ok, text) = run(&["loadgen", "--dir", empty_s]);
+    assert!(!ok, "loadgen over a missing store must fail");
+    assert!(text.contains("store is empty"), "wrong error:\n{text}");
+
+    let (ok, text) = run(&["loadgen"]);
+    assert!(!ok, "loadgen without a target must fail");
+    assert!(
+        text.contains("needs --addr HOST:PORT or --dir DIR"),
+        "wrong error:\n{text}"
+    );
+
+    // Nothing listens on this address; the connect must fail loudly.
+    let (ok, text) = run(&[
+        "loadgen",
+        "--addr",
+        "127.0.0.1:9",
+        "--analysts",
+        "1",
+        "--queries",
+        "1",
+        "--threads",
+        "1",
+    ]);
+    assert!(!ok, "loadgen against a dead address must fail");
+    assert!(text.contains("connect 127.0.0.1:9"), "wrong error:\n{text}");
+
+    // A store exists but the listen address is unbindable.
+    let dir = temp_dir("serve-badaddr");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "loadgen",
+        "--dir",
+        dir_s,
+        "--synth-days",
+        "2",
+        "--synth-rows",
+        "80",
+        "--analysts",
+        "2",
+        "--queries",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "loadgen happy path failed:\n{text}");
+    let (ok, text) = run(&["serve", "--dir", dir_s, "--addr", "256.0.0.1:1"]);
+    assert!(!ok, "serve on an unbindable address must fail");
+    assert!(
+        text.contains("cannot bind 256.0.0.1:1"),
+        "wrong error:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&empty);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_stdin_answers_queries_and_flags_malformed_lines() {
+    let dir = temp_dir("serve-stdin");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, text) = run(&[
+        "loadgen",
+        "--dir",
+        dir_s,
+        "--synth-days",
+        "3",
+        "--synth-rows",
+        "100",
+        "--analysts",
+        "2",
+        "--queries",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "store synthesis failed:\n{text}");
+
+    // All-good input: one response line per query line, exit zero.
+    let good = concat!(
+        r#"{"v":1,"id":1,"tenant":"ops","agg":"count"}"#,
+        "\n",
+        r#"{"v":1,"id":2,"tenant":"ops","agg":"files_dirs","days":[0,7]}"#,
+        "\n",
+    );
+    let (ok, text) = run_with_stdin(&["serve", "--dir", dir_s, "--stdin"], good);
+    assert!(ok, "good queries must succeed:\n{text}");
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.contains("\"status\":\"ok\""))
+            .count(),
+        2,
+        "expected two ok responses:\n{text}"
+    );
+
+    // A malformed line gets a typed error response (not a panic, not a
+    // dropped line) and flips the exit code.
+    let mixed = concat!(
+        r#"{"v":1,"id":3,"agg":"count"}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"v":99,"id":4,"agg":"count"}"#,
+        "\n",
+    );
+    let (ok, text) = run_with_stdin(&["serve", "--dir", dir_s, "--stdin"], mixed);
+    assert!(!ok, "malformed lines must flip the exit code:\n{text}");
+    assert!(
+        text.contains("\"status\":\"ok\""),
+        "good line must still answer:\n{text}"
+    );
+    assert!(
+        text.contains("\"code\":\"bad_query\""),
+        "no typed bad_query:\n{text}"
+    );
+    assert!(
+        text.contains("\"code\":\"unsupported_version\""),
+        "no typed version error:\n{text}"
+    );
+    assert!(
+        text.contains("2 request line(s) failed"),
+        "wrong failure summary:\n{text}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -68,7 +68,9 @@ pub use agg::{AggValue, MultiAgg, MultiAggResult};
 pub use context::AnalysisContext;
 pub use engine::Engine;
 pub use frame::SnapshotFrame;
-pub use loader::{FrameCache, FrameLoader, LoadedDay};
+pub use loader::{
+    FrameCache, FrameLoader, LoadedDay, TenantAttribution, TenantCacheStats, TenantId, UNTENANTED,
+};
 pub use pipeline::{
     stream_loader, stream_snapshots, stream_store, stream_store_prefetch, SnapshotVisitor, VisitCtx,
 };

@@ -50,17 +50,97 @@ use std::sync::{Arc, Mutex};
 /// non-zero) for why partial frames can never collide with full ones.
 pub type FrameKey = (u32, u64, u64);
 
+/// Identifies which tenant's working set a cache entry belongs to.
+/// Tenant `0` is the untenanted default every load charges unless the
+/// calling thread holds a [`TenantAttribution`] guard.
+pub type TenantId = u32;
+
+/// The tenant untenanted loads are charged to.
+pub const UNTENANTED: TenantId = 0;
+
+thread_local! {
+    static CURRENT_TENANT: std::cell::Cell<TenantId> =
+        const { std::cell::Cell::new(UNTENANTED) };
+}
+
+/// RAII guard from [`FrameCache::attribute`]: while held, every cache
+/// hit/miss/insert performed *on this thread* is charged to the given
+/// tenant. Attribution is per-thread by design — a multi-tenant server
+/// runs each query on one worker thread, so the whole load path of that
+/// query (including the loader's internal inserts) lands on the right
+/// tenant without threading a tenant id through every loader call.
+/// Loads fanned across a rayon pool charge [`UNTENANTED`] instead.
+pub struct TenantAttribution {
+    prev: TenantId,
+}
+
+impl Drop for TenantAttribution {
+    fn drop(&mut self) {
+        CURRENT_TENANT.with(|t| t.set(self.prev));
+    }
+}
+
+/// Per-tenant cache accounting, returned by [`FrameCache::tenant_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Lookups served from the cache, charged to this tenant's threads.
+    pub hits: u64,
+    /// Lookups that missed, charged to this tenant's threads.
+    pub misses: u64,
+    /// Inserts performed by this tenant's threads.
+    pub inserts: u64,
+    /// Entries owned by this tenant that were evicted (by anyone).
+    pub evictions: u64,
+    /// Entries owned by this tenant currently resident.
+    pub resident: usize,
+}
+
+struct Entry {
+    frame: Arc<SnapshotFrame>,
+    last_used: u64,
+    tenant: TenantId,
+}
+
 #[derive(Default)]
 struct CacheInner {
-    map: FxHashMap<FrameKey, (Arc<SnapshotFrame>, u64)>,
+    map: FxHashMap<FrameKey, Entry>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    inserts: u64,
+    budgets: FxHashMap<TenantId, usize>,
+    tenants: FxHashMap<TenantId, TenantCacheStats>,
+    fairness_violations: u64,
+}
+
+impl CacheInner {
+    fn budget(&self, tenant: TenantId, capacity: usize) -> usize {
+        self.budgets.get(&tenant).copied().unwrap_or(capacity)
+    }
+
+    fn resident(&self, tenant: TenantId) -> usize {
+        self.tenants.get(&tenant).map_or(0, |s| s.resident)
+    }
 }
 
 /// A small LRU cache of decoded frames, keyed by [`FrameKey`] so entries
 /// self-invalidate whenever a day's bytes change on disk.
+///
+/// Entries are tagged with the [`TenantId`] the inserting thread was
+/// attributed to ([`FrameCache::attribute`]), and eviction is
+/// **fairness-aware**: when the cache is full, the least-recently-used
+/// entry of a tenant holding *more* frames than its budget
+/// ([`FrameCache::set_tenant_budget`]) goes first; only when no tenant
+/// is over budget does plain LRU apply, and even then a tenant's last
+/// resident frame is spared while any co-tenant still holds several.
+/// The pinned-fairness invariant — an eviction never drops a
+/// within-budget tenant to zero residents while another tenant sits
+/// over its budget — is audited at every eviction and surfaced via
+/// [`FrameCache::fairness_violations`] (always zero by construction;
+/// the counter is the runtime proof, in the same spirit as the raft
+/// cluster's continuous safety audits). One tenant's cold 500-day sweep
+/// can therefore never flush every other tenant's hot days.
 pub struct FrameCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
@@ -85,51 +165,129 @@ impl FrameCache {
         }
     }
 
+    /// Attributes this thread's cache traffic to `tenant` until the
+    /// returned guard drops (guards nest; the previous attribution is
+    /// restored). Thread-scoped, not cache-scoped: one guard covers
+    /// every cache the thread touches.
+    pub fn attribute(tenant: TenantId) -> TenantAttribution {
+        let prev = CURRENT_TENANT.with(|t| t.replace(tenant));
+        TenantAttribution { prev }
+    }
+
+    /// The tenant this thread's cache traffic is currently charged to.
+    pub fn current_tenant() -> TenantId {
+        CURRENT_TENANT.with(|t| t.get())
+    }
+
+    /// Caps `tenant`'s resident frames at `frames` for eviction
+    /// purposes: beyond it, the tenant's own LRU entries are the first
+    /// evicted when the cache is full. Tenants without an explicit
+    /// budget default to the full capacity (i.e. unconstrained).
+    pub fn set_tenant_budget(&self, tenant: TenantId, frames: usize) {
+        let mut inner = self.inner.lock().expect("frame cache poisoned");
+        inner.budgets.insert(tenant, frames);
+    }
+
     /// Looks up a frame, refreshing its recency on a hit.
     pub fn get(&self, key: FrameKey) -> Option<Arc<SnapshotFrame>> {
+        let tenant = Self::current_tenant();
         let mut inner = self.inner.lock().expect("frame cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
-            Some((frame, last_used)) => {
-                *last_used = tick;
-                let frame = Arc::clone(frame);
+            Some(entry) => {
+                entry.last_used = tick;
+                let frame = Arc::clone(&entry.frame);
                 inner.hits += 1;
+                inner.tenants.entry(tenant).or_default().hits += 1;
                 self.tel_hits.incr();
                 Some(frame)
             }
             None => {
                 inner.misses += 1;
+                inner.tenants.entry(tenant).or_default().misses += 1;
                 self.tel_misses.incr();
                 None
             }
         }
     }
 
-    /// Inserts a frame, evicting the least-recently-used entry when the
-    /// cache is full. A no-op at capacity 0.
+    /// Picks the eviction victim per the fairness policy: LRU among
+    /// over-budget tenants' entries, else LRU among entries whose owner
+    /// keeps at least one other frame (or has a zero budget), else
+    /// plain LRU. Returns the key to evict.
+    fn victim(inner: &CacheInner, capacity: usize) -> Option<FrameKey> {
+        let lru = |pred: &dyn Fn(TenantId) -> bool| -> Option<FrameKey> {
+            inner
+                .map
+                .iter()
+                .filter(|(_, e)| pred(e.tenant))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+        };
+        lru(&|t| inner.resident(t) > inner.budget(t, capacity))
+            .or_else(|| lru(&|t| inner.resident(t) >= 2 || inner.budget(t, capacity) == 0))
+            .or_else(|| lru(&|_| true))
+    }
+
+    /// Inserts a frame, evicting per the fairness policy when the cache
+    /// is full. The entry is owned by the inserting thread's attributed
+    /// tenant. A no-op at capacity 0.
     pub fn insert(&self, key: FrameKey, frame: Arc<SnapshotFrame>) {
         if self.capacity == 0 {
             return;
         }
+        let tenant = Self::current_tenant();
         let mut inner = self.inner.lock().expect("frame cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            // O(len) scan; the cache holds at most a few hundred days, so
-            // a heap would be more code than the scan is cost.
-            if let Some(&oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| k)
-            {
-                inner.map.remove(&oldest);
+            // O(len) scans; the cache holds at most a few hundred days,
+            // so a heap would be more code than the scans are cost.
+            if let Some(victim) = Self::victim(&inner, self.capacity) {
+                let evicted = inner.map.remove(&victim).expect("victim exists");
+                let owner_left = {
+                    let stats = inner.tenants.entry(evicted.tenant).or_default();
+                    stats.evictions += 1;
+                    stats.resident -= 1;
+                    stats.resident
+                };
+                // Pinned-fairness audit: dropping a within-budget tenant
+                // to zero residents is only legal when no *other* tenant
+                // sits over its budget (then the pressure is nobody's
+                // fault). Unreachable by construction; counted, never
+                // panicked, so production behaviour degrades gracefully.
+                if owner_left == 0
+                    && inner.budget(evicted.tenant, self.capacity) >= 1
+                    && inner.tenants.iter().any(|(&t, s)| {
+                        t != evicted.tenant && s.resident > inner.budget(t, self.capacity)
+                    })
+                {
+                    inner.fairness_violations += 1;
+                }
                 inner.evictions += 1;
                 self.tel_evictions.incr();
             }
         }
-        inner.map.insert(key, (frame, tick));
+        inner.inserts += 1;
+        inner.tenants.entry(tenant).or_default().inserts += 1;
+        let old = inner.map.insert(
+            key,
+            Entry {
+                frame,
+                last_used: tick,
+                tenant,
+            },
+        );
+        match old {
+            // Overwrite: the key changed owners; move the resident count.
+            Some(prev) if prev.tenant != tenant => {
+                inner.tenants.entry(prev.tenant).or_default().resident -= 1;
+                inner.tenants.entry(tenant).or_default().resident += 1;
+            }
+            Some(_) => {}
+            None => inner.tenants.entry(tenant).or_default().resident += 1,
+        }
     }
 
     /// Number of cached frames.
@@ -154,13 +312,41 @@ impl FrameCache {
         (inner.hits, inner.misses, inner.evictions)
     }
 
-    /// Drops every entry and resets the hit/miss/eviction counters.
+    /// Total inserts since creation or the last [`FrameCache::clear`].
+    pub fn inserts(&self) -> u64 {
+        self.inner.lock().expect("frame cache poisoned").inserts
+    }
+
+    /// Per-tenant accounting, tenant-ordered. Tenants appear once they
+    /// have touched the cache (or had a budget set and then traffic).
+    pub fn tenant_stats(&self) -> Vec<(TenantId, TenantCacheStats)> {
+        let inner = self.inner.lock().expect("frame cache poisoned");
+        let mut out: Vec<_> = inner.tenants.iter().map(|(&t, &s)| (t, s)).collect();
+        out.sort_unstable_by_key(|&(t, _)| t);
+        out
+    }
+
+    /// Times an eviction dropped a within-budget tenant to zero
+    /// residents while another tenant held more than its budget.
+    /// Zero by construction; audited continuously so a policy
+    /// regression is a counter, not a silent unfairness.
+    pub fn fairness_violations(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("frame cache poisoned")
+            .fairness_violations
+    }
+
+    /// Drops every entry and resets all counters (budgets are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("frame cache poisoned");
         inner.map.clear();
         inner.hits = 0;
         inner.misses = 0;
         inner.evictions = 0;
+        inner.inserts = 0;
+        inner.tenants.clear();
+        inner.fairness_violations = 0;
     }
 }
 
@@ -603,6 +789,83 @@ mod tests {
         assert_eq!((hits, misses, evictions), (3, 1, 1));
         cache.clear();
         assert_eq!(cache.stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn fair_eviction_prefers_over_budget_tenants() {
+        let cache = FrameCache::new(3);
+        let f = Arc::new(SnapshotFrame::build(&snap(0, 1)));
+        cache.set_tenant_budget(1, 1);
+        cache.set_tenant_budget(2, 2);
+        {
+            let _t = FrameCache::attribute(1);
+            cache.insert((10, 0, 0), Arc::clone(&f));
+            cache.insert((11, 0, 0), Arc::clone(&f)); // tenant 1 now over budget
+        }
+        {
+            let _t = FrameCache::attribute(2);
+            cache.insert((20, 0, 0), Arc::clone(&f));
+            // Full. This insert must evict tenant 1's LRU entry (10),
+            // not tenant 2's own — tenant 1 is the one over budget.
+            cache.insert((21, 0, 0), Arc::clone(&f));
+        }
+        assert!(cache.get((10, 0, 0)).is_none(), "over-budget LRU evicted");
+        assert!(cache.get((11, 0, 0)).is_some());
+        assert!(cache.get((20, 0, 0)).is_some());
+        assert!(cache.get((21, 0, 0)).is_some());
+        assert_eq!(cache.fairness_violations(), 0);
+        let stats: FxHashMap<_, _> = cache.tenant_stats().into_iter().collect();
+        assert_eq!(stats[&1].resident, 1);
+        assert_eq!(stats[&1].evictions, 1);
+        assert_eq!(stats[&2].resident, 2);
+    }
+
+    #[test]
+    fn last_resident_frame_is_pinned_while_another_tenant_hogs() {
+        // Tenant 2 holds exactly its budget (1 frame). Tenant 1 streams
+        // many frames through a budget of 2: every eviction must come
+        // out of tenant 1's own set, never tenant 2's last frame.
+        let cache = FrameCache::new(3);
+        let f = Arc::new(SnapshotFrame::build(&snap(0, 1)));
+        cache.set_tenant_budget(1, 2);
+        cache.set_tenant_budget(2, 1);
+        {
+            let _t = FrameCache::attribute(2);
+            cache.insert((200, 0, 0), Arc::clone(&f));
+        }
+        {
+            let _t = FrameCache::attribute(1);
+            for day in 0..50 {
+                cache.insert((day, 0, 0), Arc::clone(&f));
+            }
+        }
+        {
+            let _t = FrameCache::attribute(2);
+            assert!(
+                cache.get((200, 0, 0)).is_some(),
+                "tenant 2's hot frame must survive tenant 1's cold sweep"
+            );
+        }
+        assert_eq!(cache.fairness_violations(), 0);
+        let stats: FxHashMap<_, _> = cache.tenant_stats().into_iter().collect();
+        assert_eq!(stats[&2].evictions, 0);
+        assert_eq!(stats[&2].resident, 1);
+        assert_eq!(stats[&1].resident, 2);
+    }
+
+    #[test]
+    fn attribution_nests_and_restores() {
+        assert_eq!(FrameCache::current_tenant(), UNTENANTED);
+        {
+            let _a = FrameCache::attribute(3);
+            assert_eq!(FrameCache::current_tenant(), 3);
+            {
+                let _b = FrameCache::attribute(4);
+                assert_eq!(FrameCache::current_tenant(), 4);
+            }
+            assert_eq!(FrameCache::current_tenant(), 3);
+        }
+        assert_eq!(FrameCache::current_tenant(), UNTENANTED);
     }
 
     #[test]

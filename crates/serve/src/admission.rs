@@ -1,0 +1,200 @@
+//! Per-tenant admission control.
+//!
+//! Every query costs one token per day it would scan. Each tenant
+//! owns a [`TokenBucket`]; a query whose cost exceeds the remaining
+//! tokens is not admitted (the server then sheds to a cached answer
+//! if one exists, else rejects with `over_budget`). Buckets refill
+//! either continuously ([`Refill::PerSecond`], for real servers) or
+//! only when told to ([`Refill::Manual`], so deterministic tests and
+//! the soak control exactly when capacity returns).
+//!
+//! Tenant names are interned to dense [`TenantId`]s here — the same
+//! ids the frame cache uses for fairness accounting, so admission,
+//! caching, and telemetry all agree on who a query belongs to.
+
+use rustc_hash::FxHashMap;
+use spider_core::TenantId;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How a tenant's token bucket regains capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Refill {
+    /// Only [`Admission::refill_all`] adds tokens — deterministic,
+    /// used by tests and the seeded soak.
+    Manual,
+    /// Tokens per second, accrued lazily on each charge attempt.
+    PerSecond(u64),
+}
+
+/// A single tenant's scan budget.
+#[derive(Debug)]
+struct TokenBucket {
+    capacity: u64,
+    /// Milli-tokens, so per-second refill accrues smoothly.
+    milli_tokens: u64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(capacity: u64, now: Instant) -> TokenBucket {
+        TokenBucket {
+            capacity,
+            milli_tokens: capacity.saturating_mul(1_000),
+            last_refill: now,
+        }
+    }
+
+    fn accrue(&mut self, refill: Refill, now: Instant) {
+        if let Refill::PerSecond(rate) = refill {
+            let elapsed_ms = now.duration_since(self.last_refill).as_millis() as u64;
+            let gained = elapsed_ms.saturating_mul(rate);
+            self.milli_tokens =
+                (self.milli_tokens.saturating_add(gained)).min(self.capacity.saturating_mul(1_000));
+        }
+        self.last_refill = now;
+    }
+
+    fn try_take(&mut self, cost: u64) -> bool {
+        let milli = cost.saturating_mul(1_000);
+        if self.milli_tokens >= milli {
+            self.milli_tokens -= milli;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refund(&mut self, cost: u64) {
+        self.milli_tokens = (self.milli_tokens + cost.saturating_mul(1_000))
+            .min(self.capacity.saturating_mul(1_000));
+    }
+}
+
+#[derive(Default)]
+struct AdmissionInner {
+    ids: FxHashMap<String, TenantId>,
+    buckets: FxHashMap<TenantId, TokenBucket>,
+    next_id: TenantId,
+}
+
+/// The admission controller: tenant interning plus per-tenant budgets.
+pub struct Admission {
+    inner: Mutex<AdmissionInner>,
+    budget: u64,
+    refill: Refill,
+}
+
+impl Admission {
+    /// Creates a controller where every tenant gets `budget` day-scan
+    /// tokens, refilled per `refill`.
+    pub fn new(budget: u64, refill: Refill) -> Admission {
+        Admission {
+            inner: Mutex::new(AdmissionInner {
+                ids: FxHashMap::default(),
+                buckets: FxHashMap::default(),
+                next_id: 1, // 0 is UNTENANTED
+            }),
+            budget,
+            refill,
+        }
+    }
+
+    /// Interns a tenant name; returns its dense id and whether this
+    /// call created it.
+    pub fn tenant_id(&self, name: &str) -> (TenantId, bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&id) = inner.ids.get(name) {
+            return (id, false);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.ids.insert(name.to_string(), id);
+        let bucket = TokenBucket::new(self.budget, Instant::now());
+        inner.buckets.insert(id, bucket);
+        (id, true)
+    }
+
+    /// Attempts to charge `cost` tokens against `tenant`'s bucket.
+    pub fn try_charge(&self, tenant: TenantId, cost: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let refill = self.refill;
+        let budget = self.budget;
+        let bucket = inner
+            .buckets
+            .entry(tenant)
+            .or_insert_with(|| TokenBucket::new(budget, Instant::now()));
+        bucket.accrue(refill, Instant::now());
+        bucket.try_take(cost)
+    }
+
+    /// Returns `cost` tokens to `tenant` (used when an admitted query
+    /// is later shed or rejected at the queue instead of executed).
+    pub fn refund(&self, tenant: TenantId, cost: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(bucket) = inner.buckets.get_mut(&tenant) {
+            bucket.refund(cost);
+        }
+    }
+
+    /// Refills every bucket to capacity (manual mode's clock tick).
+    pub fn refill_all(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let now = Instant::now();
+        for bucket in inner.buckets.values_mut() {
+            bucket.milli_tokens = bucket.capacity.saturating_mul(1_000);
+            bucket.last_refill = now;
+        }
+    }
+
+    /// Remaining whole tokens for `tenant` (diagnostics).
+    pub fn remaining(&self, tenant: TenantId) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .buckets
+            .get(&tenant)
+            .map_or(0, |b| b.milli_tokens / 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_buckets_exhaust_and_refill() {
+        let adm = Admission::new(10, Refill::Manual);
+        let (a, new_a) = adm.tenant_id("alice");
+        let (b, new_b) = adm.tenant_id("bob");
+        assert!(new_a && new_b);
+        assert_ne!(a, b);
+        assert_eq!(adm.tenant_id("alice"), (a, false));
+
+        assert!(adm.try_charge(a, 6));
+        assert!(adm.try_charge(a, 4));
+        assert!(!adm.try_charge(a, 1), "alice is out of tokens");
+        assert!(adm.try_charge(b, 10), "bob's bucket is independent");
+
+        adm.refill_all();
+        assert!(adm.try_charge(a, 10));
+    }
+
+    #[test]
+    fn refunds_cap_at_capacity() {
+        let adm = Admission::new(5, Refill::Manual);
+        let (t, _) = adm.tenant_id("t");
+        assert!(adm.try_charge(t, 3));
+        adm.refund(t, 100);
+        assert_eq!(adm.remaining(t), 5);
+    }
+
+    #[test]
+    fn per_second_refill_accrues() {
+        let adm = Admission::new(1_000, Refill::PerSecond(1_000_000));
+        let (t, _) = adm.tenant_id("t");
+        assert!(adm.try_charge(t, 1_000));
+        // At 1M tokens/sec even a few microseconds restores capacity.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(adm.try_charge(t, 100));
+    }
+}

@@ -1,0 +1,332 @@
+//! Query execution over a scrubbed snapshot store.
+//!
+//! The engine opens the store leniently, scrubs it (quarantining
+//! undecodable days, recording lost sections and nearest-day
+//! substitutions), and then serves aggregate queries day-by-day
+//! through the shared [`FrameLoader`] — predicate pushdown prunes
+//! whole days and colf zones before any column bytes decode, and the
+//! fairness-aware [`FrameCache`] keeps each tenant's hot days
+//! resident under pressure.
+//!
+//! Every answer is rendered to a canonical JSON string and remembered
+//! in a small LRU response cache keyed by the query's answer
+//! fingerprint; the server's shed path serves those bytes verbatim,
+//! which is what makes `shed` responses byte-identical to the `ok`
+//! responses they were cached from.
+
+use crate::proto::{AggSpec, GroupBy, Query};
+use rustc_hash::FxHashMap;
+use spider_core::query::{FramePred, RowPred};
+use spider_core::{FrameCache, FrameLoader, TenantId};
+use spider_snapshot::store::StoreError;
+use spider_snapshot::{OsIo, Pred, RetryPolicy, SnapshotStore, StoreHealth};
+use spider_telemetry as telemetry;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Frame-cache capacity in frames (0 = loader default).
+    pub cache_frames: usize,
+    /// Response-cache capacity in answers.
+    pub response_cache: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_frames: 0,
+            response_cache: 256,
+        }
+    }
+}
+
+/// A cached, fully-rendered answer.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// Canonical `result` JSON, byte-for-byte as first rendered.
+    pub result: String,
+    /// Substitution / degradation notes from the original execution.
+    pub notes: Vec<String>,
+    /// Days the original execution scanned.
+    pub days_scanned: u64,
+    /// Rows the original execution matched.
+    pub rows: u64,
+}
+
+/// A fresh execution result.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Canonical `result` JSON.
+    pub result: String,
+    /// Substitution / degradation notes for the queried window.
+    pub notes: Vec<String>,
+    /// Days scanned.
+    pub days_scanned: u64,
+    /// Rows matched.
+    pub rows: u64,
+}
+
+struct RespCache {
+    map: FxHashMap<u64, (CachedAnswer, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl RespCache {
+    fn get(&mut self, fingerprint: u64) -> Option<CachedAnswer> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&fingerprint).map(|(answer, used)| {
+            *used = tick;
+            answer.clone()
+        })
+    }
+
+    fn insert(&mut self, fingerprint: u64, answer: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&fingerprint) {
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(fingerprint, (answer, self.tick));
+    }
+}
+
+/// The multi-tenant query engine: loader + health record + response
+/// cache. Shared across server workers behind an `Arc`.
+pub struct QueryEngine {
+    loader: FrameLoader,
+    health: StoreHealth,
+    days: Vec<u32>,
+    responses: Mutex<RespCache>,
+}
+
+impl QueryEngine {
+    /// Opens the store at `dir` leniently, scrubs it, and builds the
+    /// engine over whatever survives.
+    pub fn open(dir: &Path, config: EngineConfig) -> Result<QueryEngine, StoreError> {
+        let mut store = SnapshotStore::open_lenient(dir, Arc::new(OsIo), RetryPolicy::default())?;
+        let health = store.scrub();
+        Self::over_store(&store, health, config)
+    }
+
+    /// Builds the engine over an already-opened, already-scrubbed
+    /// store (tests inject fault-wrapped stores this way).
+    pub fn over_store(
+        store: &SnapshotStore,
+        health: StoreHealth,
+        config: EngineConfig,
+    ) -> Result<QueryEngine, StoreError> {
+        let mut loader = FrameLoader::new(store)?;
+        if config.cache_frames > 0 {
+            loader = loader.with_cache_capacity(config.cache_frames);
+        }
+        let days = loader.days().to_vec();
+        Ok(QueryEngine {
+            loader,
+            health,
+            days,
+            responses: Mutex::new(RespCache {
+                map: FxHashMap::default(),
+                tick: 0,
+                capacity: config.response_cache,
+            }),
+        })
+    }
+
+    /// The store's health record from scrub time.
+    pub fn health(&self) -> &StoreHealth {
+        &self.health
+    }
+
+    /// Days the engine can scan (quarantined days are gone).
+    pub fn days(&self) -> &[u32] {
+        &self.days
+    }
+
+    /// The shared frame cache (for fairness budgets and stats).
+    pub fn cache(&self) -> &FrameCache {
+        self.loader.cache()
+    }
+
+    /// How many stored days the query would scan — the admission cost.
+    pub fn day_cost(&self, query: &Query) -> u64 {
+        let pred = query.effective_pred();
+        self.days.iter().filter(|&&d| pred.matches_day(d)).count() as u64
+    }
+
+    /// A cached answer for this fingerprint, if one exists.
+    pub fn cached(&self, fingerprint: u64) -> Option<CachedAnswer> {
+        self.responses.lock().unwrap().get(fingerprint)
+    }
+
+    /// Executes the query under `tenant`'s cache attribution, renders
+    /// the canonical answer, and remembers it for the shed path.
+    pub fn execute(&self, tenant: TenantId, query: &Query) -> Result<ExecResult, StoreError> {
+        let _attr = FrameCache::attribute(tenant);
+        let _span = telemetry::global().span("serve.execute");
+        let pred = query.effective_pred();
+        let mut acc = Acc::new(&query.agg);
+        let mut days_scanned = 0u64;
+        for &day in &self.days {
+            if !pred.matches_day(day) {
+                continue;
+            }
+            let Some(frame) = self.loader.frame_pruned(day, &pred)? else {
+                continue;
+            };
+            days_scanned += 1;
+            // Zone pruning is conservative; re-test rows exactly.
+            let row_pred = FramePred::compile(&pred, &frame);
+            for i in 0..frame.len() {
+                if row_pred.test(&frame, i) {
+                    acc.row(&frame, i);
+                }
+            }
+        }
+        let result = acc.render();
+        let notes = self.notes_for(&pred);
+        let rows = acc.rows;
+        self.responses.lock().unwrap().insert(
+            query.fingerprint(),
+            CachedAnswer {
+                result: result.clone(),
+                notes: notes.clone(),
+                days_scanned,
+                rows,
+            },
+        );
+        Ok(ExecResult {
+            result,
+            notes,
+            days_scanned,
+            rows,
+        })
+    }
+
+    /// Degradation notes relevant to a predicate's day window: one per
+    /// quarantined day the query *would* have scanned (with its
+    /// substitute, when any survives) and one per degraded day it did
+    /// scan.
+    fn notes_for(&self, pred: &Pred) -> Vec<String> {
+        let mut notes = Vec::new();
+        for q in &self.health.quarantined {
+            if !pred.matches_day(q.day) {
+                continue;
+            }
+            match self.health.substitute_for(q.day) {
+                Some(sub) => notes.push(format!(
+                    "day {} quarantined ({}); nearest surviving day is {}",
+                    q.day, q.reason, sub
+                )),
+                None => notes.push(format!(
+                    "day {} quarantined ({}); no substitute remains",
+                    q.day, q.reason
+                )),
+            }
+        }
+        for d in &self.health.degraded {
+            if !pred.matches_day(d.day) {
+                continue;
+            }
+            notes.push(format!(
+                "day {} degraded: lost {}",
+                d.day,
+                d.lost_sections.join(", ")
+            ));
+        }
+        notes
+    }
+}
+
+/// Streaming accumulator for one aggregate spec.
+struct Acc<'a> {
+    agg: &'a AggSpec,
+    rows: u64,
+    files: u64,
+    dirs: u64,
+    stripes: u64,
+    groups: FxHashMap<String, u64>,
+}
+
+impl<'a> Acc<'a> {
+    fn new(agg: &'a AggSpec) -> Acc<'a> {
+        Acc {
+            agg,
+            rows: 0,
+            files: 0,
+            dirs: 0,
+            stripes: 0,
+            groups: FxHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn row(&mut self, frame: &spider_core::SnapshotFrame, i: usize) {
+        self.rows += 1;
+        match self.agg {
+            AggSpec::Count => {}
+            AggSpec::FilesDirs => {
+                if frame.is_file[i] {
+                    self.files += 1;
+                } else {
+                    self.dirs += 1;
+                }
+            }
+            AggSpec::StripesSum => self.stripes += frame.stripe_count[i] as u64,
+            AggSpec::GroupCount { by, .. } => {
+                let key = match by {
+                    GroupBy::Uid => frame.uid[i].to_string(),
+                    GroupBy::Gid => frame.gid[i].to_string(),
+                    GroupBy::Ext => frame
+                        .extension_str(frame.ext[i])
+                        .unwrap_or("<none>")
+                        .to_string(),
+                };
+                *self.groups.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        match self.agg {
+            AggSpec::Count => format!("{{\"count\":{}}}", self.rows),
+            AggSpec::FilesDirs => {
+                format!("{{\"files\":{},\"dirs\":{}}}", self.files, self.dirs)
+            }
+            AggSpec::StripesSum => {
+                format!("{{\"stripes\":{},\"rows\":{}}}", self.stripes, self.rows)
+            }
+            AggSpec::GroupCount { top, .. } => {
+                let mut pairs: Vec<(&String, u64)> =
+                    self.groups.iter().map(|(k, &v)| (k, v)).collect();
+                // Count-descending, key-ascending: a total order, so
+                // the rendered bytes are deterministic.
+                pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+                pairs.truncate(*top);
+                let mut out = String::from("{\"groups\":[");
+                for (i, (key, count)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    crate::json::escape_into(&mut out, key);
+                    out.push_str(&format!(",{count}]"));
+                }
+                out.push_str(&format!("],\"distinct\":{}}}", self.groups.len()));
+                out
+            }
+        }
+    }
+}

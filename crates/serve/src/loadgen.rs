@@ -1,0 +1,639 @@
+//! Seeded load generation against a running server.
+//!
+//! Models the paper's analyst population: a pool of virtual analysts,
+//! each drawing from a small deterministic family of query shapes
+//! (uid/gid windows, stripe and mtime ranges, extension groups), so
+//! the hot set repeats and the server's caches see realistic reuse.
+//! Three arrival disciplines:
+//!
+//! * **closed loop** — each analyst waits for its answer before
+//!   sending the next query (steady state);
+//! * **open burst** — every request fires back-to-back with no think
+//!   time (worst-case flood; exercises shed and reject paths);
+//! * **open paced** — requests dispatch on a fixed schedule
+//!   regardless of completions (offered-load sweeps). Dispatchers
+//!   that fall behind record the lateness as latency rather than
+//!   thinning the schedule.
+//!
+//! All randomness flows from one seed; the same seed against the same
+//! store produces the same query sequence.
+
+use crate::proto::{AggSpec, GroupBy, ParsedResponse, Query};
+use crate::server::Client;
+use rustc_hash::FxHashMap;
+use spider_snapshot::record::SnapshotRecord;
+use spider_snapshot::store::StoreError;
+use spider_snapshot::{OsIo, Pred, RetryPolicy, Snapshot, SnapshotStore};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Deterministic synthetic store
+// ---------------------------------------------------------------------------
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const EXTS: [&str; 6] = ["dat", "h5", "nc", "txt", "c", "py"];
+
+/// One synthetic weekly snapshot shaped like the serve workload wants:
+/// a handful of project trees, uids in `10_000..10_097`, gids in
+/// `2_000..2_011`, a known extension palette plus extensionless names.
+pub fn synth_snapshot(day: u32, rows: usize, seed: u64) -> Snapshot {
+    let mut rng = seed ^ (day as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let base = 1_420_000_000 + day as u64 * 86_400;
+    let records: Vec<SnapshotRecord> = (0..rows)
+        .map(|i| {
+            let r = splitmix(&mut rng);
+            let is_dir = r % 11 == 0;
+            let name = if is_dir || r % 7 == 0 {
+                format!("set{:03}", r % 500)
+            } else {
+                format!(
+                    "run{:04}.{}",
+                    r % 2_000,
+                    EXTS[(r >> 6) as usize % EXTS.len()]
+                )
+            };
+            SnapshotRecord {
+                path: format!(
+                    "/lustre/atlas1/proj{:02}/u{:03}/{name}.{i:06}x/{name}",
+                    r % 9,
+                    (r >> 8) % 40
+                ),
+                atime: base - r % 2_000_000,
+                ctime: base - (r >> 16) % 4_000_000,
+                mtime: base - (r >> 24) % 3_000_000,
+                uid: 10_000 + ((r >> 32) % 97) as u32,
+                gid: 2_000 + ((r >> 40) % 11) as u32,
+                mode: if is_dir { 0o040_770 } else { 0o100_664 },
+                ino: day as u64 * 1_000_000 + i as u64,
+                osts: if is_dir {
+                    Vec::new()
+                } else {
+                    (0..(1 + (r >> 48) % 4) as u16)
+                        .map(|k| (k * 67, (r >> 52) as u32 + k as u32))
+                        .collect()
+                },
+            }
+        })
+        .collect();
+    Snapshot::new(day, base, records)
+}
+
+/// Writes `day_count` weekly snapshots (days 0, 7, 14, ...) of `rows`
+/// records each into a store at `dir`. Returns the day list.
+pub fn synth_store(
+    dir: &Path,
+    day_count: u32,
+    rows: usize,
+    seed: u64,
+) -> Result<Vec<u32>, StoreError> {
+    let mut store =
+        SnapshotStore::open_with_io(dir, std::sync::Arc::new(OsIo), RetryPolicy::default())?;
+    let mut days = Vec::with_capacity(day_count as usize);
+    for week in 0..day_count {
+        let day = week * 7;
+        if !store.days().contains(&day) {
+            store.put(&synth_snapshot(day, rows, seed))?;
+        }
+        days.push(day);
+    }
+    Ok(days)
+}
+
+// ---------------------------------------------------------------------------
+// Query mix
+// ---------------------------------------------------------------------------
+
+/// Draws one query from the deterministic shape family. `day_hi` is
+/// the last stored day; shapes quantize their parameters so the
+/// population revisits a small hot set of distinct fingerprints.
+pub fn sample_query(id: u64, tenant: &str, day_hi: u32, draw: u64) -> Query {
+    let shape = draw % 12;
+    let p1 = (draw >> 8) % 4;
+    let p2 = (draw >> 16) % 3;
+    let week = 7 * ((draw >> 24) % (day_hi as u64 / 7 + 1)) as u32;
+    let (pred, days, agg) = match shape {
+        0 => (None, None, AggSpec::Count),
+        1 => (None, Some((0, day_hi)), AggSpec::FilesDirs),
+        2 => (
+            Some(Pred::uid(
+                10_000 + 24 * p1 as u32..=10_000 + 24 * p1 as u32 + 23,
+            )),
+            None,
+            AggSpec::Count,
+        ),
+        3 => (
+            Some(Pred::gid(2_000 + 4 * p2 as u32..=2_000 + 4 * p2 as u32 + 3)),
+            None,
+            AggSpec::StripesSum,
+        ),
+        4 => (Some(Pred::stripes(2 + p2 as u32..)), None, AggSpec::Count),
+        5 => (Some(Pred::ext_in(["h5", "nc"])), None, AggSpec::FilesDirs),
+        6 => (Some(Pred::ext_none()), Some((0, day_hi)), AggSpec::Count),
+        7 => (
+            Some(Pred::mtime(
+                1_420_000_000 - 1_000_000 * (1 + p1)..=1_420_000_000 + 86_400 * day_hi as u64,
+            )),
+            None,
+            AggSpec::Count,
+        ),
+        8 => (
+            None,
+            Some((week, week)),
+            AggSpec::GroupCount {
+                by: GroupBy::Uid,
+                top: 5,
+            },
+        ),
+        9 => (
+            None,
+            None,
+            AggSpec::GroupCount {
+                by: GroupBy::Ext,
+                top: 8,
+            },
+        ),
+        10 => (
+            Some(Pred::and(vec![
+                Pred::uid(10_000..=10_047),
+                Pred::stripes(1..),
+            ])),
+            Some((0, day_hi.min(21))),
+            AggSpec::StripesSum,
+        ),
+        _ => (
+            Some(Pred::or(vec![
+                Pred::ext_in(["c", "py"]),
+                Pred::depth(0..=4),
+            ])),
+            None,
+            AggSpec::GroupCount {
+                by: GroupBy::Gid,
+                top: 4,
+            },
+        ),
+    };
+    Query {
+        id,
+        tenant: tenant.to_string(),
+        pred,
+        days,
+        agg,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ports
+// ---------------------------------------------------------------------------
+
+/// One request line in, one response line out. Implemented by the
+/// in-process [`Client`] and by [`TcpPort`].
+pub trait QueryPort: Send {
+    /// Submits a line; `Err` means the transport dropped the request.
+    fn request(&mut self, line: &str) -> Result<String, String>;
+}
+
+impl QueryPort for Client {
+    fn request(&mut self, line: &str) -> Result<String, String> {
+        Ok(Client::request(self, line))
+    }
+}
+
+/// A line-oriented TCP connection to a remote server.
+pub struct TcpPort {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpPort {
+    /// Connects to `addr` (e.g. `127.0.0.1:7474`).
+    pub fn connect(addr: &str) -> Result<TcpPort, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(TcpPort {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+impl QueryPort for TcpPort {
+    fn request(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("connection closed".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load loops
+// ---------------------------------------------------------------------------
+
+/// Arrival discipline.
+#[derive(Debug, Clone, Copy)]
+pub enum Arrival {
+    /// Each analyst sends `queries_per_analyst` queries, one at a time.
+    Closed {
+        /// Queries per analyst.
+        queries_per_analyst: usize,
+    },
+    /// `total` queries fired back-to-back with no pacing.
+    OpenBurst {
+        /// Total queries across all dispatchers.
+        total: usize,
+    },
+    /// `total` queries dispatched at `qps`, completions ignored.
+    OpenPaced {
+        /// Offered load in queries per second.
+        qps: u64,
+        /// Total queries across all dispatchers.
+        total: usize,
+    },
+}
+
+/// One load run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Seed for the query mix.
+    pub seed: u64,
+    /// Virtual analyst population.
+    pub analysts: usize,
+    /// Distinct tenant names (`t0`, `t1`, ...; analysts round-robin).
+    pub tenants: usize,
+    /// Dispatcher threads (each with its own port).
+    pub threads: usize,
+    /// Last stored day (query shapes window against it).
+    pub day_hi: u32,
+    /// Arrival discipline.
+    pub arrival: Arrival,
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Responses received (any status).
+    pub answered: u64,
+    /// Transport-level losses (must be 0 against a healthy server).
+    pub dropped: u64,
+    /// Fresh answers.
+    pub ok: u64,
+    /// Stale cached answers.
+    pub shed: u64,
+    /// Typed admission refusals.
+    pub rejected: u64,
+    /// Unparseable responses, `status:"error"` lines, or responses
+    /// whose correlation id didn't match the request.
+    pub protocol_errors: u64,
+    /// Shed/ok responses whose `result` bytes disagreed with an
+    /// earlier response to the same query (must be 0).
+    pub result_mismatches: u64,
+    /// Wall-clock for the whole run.
+    pub wall_ns: u64,
+    /// Per-request latencies, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    /// The `q`-quantile latency in nanoseconds (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ns[idx.min(self.latencies_ns.len() - 1)]
+    }
+
+    /// Achieved throughput in queries per second.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.answered as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.sent += other.sent;
+        self.answered += other.answered;
+        self.dropped += other.dropped;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        self.protocol_errors += other.protocol_errors;
+        self.result_mismatches += other.result_mismatches;
+        self.latencies_ns.extend(other.latencies_ns);
+    }
+}
+
+/// Shared across dispatcher threads: the first `result` bytes seen
+/// for each fingerprint. Every later ok/shed response must match.
+type ResultLedger = Mutex<FxHashMap<u64, String>>;
+
+fn classify(
+    report: &mut LoadReport,
+    ledger: &ResultLedger,
+    query: &Query,
+    response: Result<String, String>,
+) {
+    let line = match response {
+        Ok(line) => line,
+        Err(_) => {
+            report.dropped += 1;
+            return;
+        }
+    };
+    report.answered += 1;
+    let parsed = match ParsedResponse::parse(&line) {
+        Ok(p) => p,
+        Err(_) => {
+            report.protocol_errors += 1;
+            return;
+        }
+    };
+    if parsed.id != query.id {
+        report.protocol_errors += 1;
+        return;
+    }
+    match parsed.status.as_str() {
+        "ok" | "shed" => {
+            if parsed.status == "ok" {
+                report.ok += 1;
+            } else {
+                report.shed += 1;
+            }
+            if let Some(result) = parsed.result_raw {
+                let mut ledger = ledger.lock().unwrap();
+                match ledger.get(&query.fingerprint()) {
+                    Some(first) if *first != result => report.result_mismatches += 1,
+                    Some(_) => {}
+                    None => {
+                        ledger.insert(query.fingerprint(), result);
+                    }
+                }
+            } else {
+                report.protocol_errors += 1;
+            }
+        }
+        "rejected" => report.rejected += 1,
+        _ => report.protocol_errors += 1,
+    }
+}
+
+/// Runs one load phase. `connect` supplies each dispatcher thread its
+/// own port; the run fails only if a port cannot be created at all.
+pub fn run_load<F>(spec: LoadSpec, connect: F) -> Result<LoadReport, String>
+where
+    F: Fn() -> Result<Box<dyn QueryPort>, String> + Sync,
+{
+    let threads = spec.threads.max(1);
+    let ledger = ResultLedger::default();
+    let started = Instant::now();
+    let reports: Vec<Result<LoadReport, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let connect = &connect;
+                let ledger = &ledger;
+                scope.spawn(move || dispatcher(spec, worker, threads, connect, ledger, started))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = LoadReport::default();
+    for report in reports {
+        merged.merge(report?);
+    }
+    merged.wall_ns = started.elapsed().as_nanos() as u64;
+    merged.latencies_ns.sort_unstable();
+    Ok(merged)
+}
+
+fn dispatcher(
+    spec: LoadSpec,
+    worker: usize,
+    threads: usize,
+    connect: &(dyn Fn() -> Result<Box<dyn QueryPort>, String> + Sync),
+    ledger: &ResultLedger,
+    epoch: Instant,
+) -> Result<LoadReport, String> {
+    let mut port = connect()?;
+    let mut report = LoadReport::default();
+    let mut send = |report: &mut LoadReport, analyst: usize, round: usize| {
+        let tenant = format!("t{}", analyst % spec.tenants.max(1));
+        let mut rng = spec
+            .seed
+            .wrapping_add((analyst as u64) << 32)
+            .wrapping_add(round as u64);
+        let draw = splitmix(&mut rng);
+        let id = (analyst as u64) << 20 | round as u64;
+        let query = sample_query(id, &tenant, spec.day_hi, draw);
+        let line = query.render();
+        let sent_at = Instant::now();
+        report.sent += 1;
+        let response = port.request(&line);
+        report
+            .latencies_ns
+            .push(sent_at.elapsed().as_nanos() as u64);
+        classify(report, ledger, &query, response);
+    };
+    match spec.arrival {
+        Arrival::Closed {
+            queries_per_analyst,
+        } => {
+            // Analysts are striped across dispatchers; each dispatcher
+            // serializes its analysts, so every analyst is closed-loop.
+            for round in 0..queries_per_analyst {
+                for analyst in (worker..spec.analysts.max(1)).step_by(threads) {
+                    send(&mut report, analyst, round);
+                }
+            }
+        }
+        Arrival::OpenBurst { total } => {
+            let mine = share(total, worker, threads);
+            for k in 0..mine {
+                let seq = worker + k * threads;
+                send(&mut report, seq % spec.analysts.max(1), seq);
+            }
+        }
+        Arrival::OpenPaced { qps, total } => {
+            let mine = share(total, worker, threads);
+            let interval =
+                Duration::from_nanos(1_000_000_000u64.saturating_mul(threads as u64) / qps.max(1));
+            for k in 0..mine {
+                let seq = worker + k * threads;
+                let due = epoch + interval.saturating_mul(k as u32) + interval / threads as u32;
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                send(&mut report, seq % spec.analysts.max(1), seq);
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn share(total: usize, worker: usize, threads: usize) -> usize {
+    total / threads + usize::from(worker < total % threads)
+}
+
+// ---------------------------------------------------------------------------
+// Bench rendering
+// ---------------------------------------------------------------------------
+
+/// One offered-load level of a sweep.
+pub struct BenchLevel {
+    /// Human label (`0.5x`, `2.0x`, ...).
+    pub label: String,
+    /// Offered load in qps (0 = closed-loop, as fast as answers come).
+    pub offered_qps: u64,
+    /// What the run observed.
+    pub report: LoadReport,
+}
+
+/// Renders `BENCH_serve.json`: throughput and latency quantiles per
+/// offered-load level, stable field order, hand-rendered like every
+/// other bench artifact in this repo.
+pub fn render_bench_json(
+    seed: u64,
+    store_days: u32,
+    rows_per_day: usize,
+    levels: &[BenchLevel],
+) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve\",\n  \"seed\": {seed},\n  \"store\": {{\"days\": {store_days}, \"rows_per_day\": {rows_per_day}}},\n  \"levels\": [\n"
+    ));
+    for (i, level) in levels.iter().enumerate() {
+        let r = &level.report;
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"offered_qps\": {}, \"achieved_qps\": {:.1}, \"sent\": {}, \"answered\": {}, \"ok\": {}, \"shed\": {}, \"rejected\": {}, \"protocol_errors\": {}, \"dropped\": {}, \"result_mismatches\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"wall_ms\": {}}}{}\n",
+            level.label,
+            level.offered_qps,
+            r.achieved_qps(),
+            r.sent,
+            r.answered,
+            r.ok,
+            r.shed,
+            r.rejected,
+            r.protocol_errors,
+            r.dropped,
+            r.result_mismatches,
+            r.quantile_ns(0.50) / 1_000,
+            r.quantile_ns(0.95) / 1_000,
+            r.quantile_ns(0.99) / 1_000,
+            r.latencies_ns.last().copied().unwrap_or(0) / 1_000,
+            r.wall_ns / 1_000_000,
+            if i + 1 < levels.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_snapshot_is_deterministic() {
+        let a = synth_snapshot(7, 100, 42);
+        let b = synth_snapshot(7, 100, 42);
+        assert_eq!(a.records().len(), 100);
+        assert_eq!(
+            spider_snapshot::colf::encode(&a),
+            spider_snapshot::colf::encode(&b)
+        );
+        let c = synth_snapshot(7, 100, 43);
+        assert_ne!(
+            spider_snapshot::colf::encode(&a),
+            spider_snapshot::colf::encode(&c)
+        );
+    }
+
+    #[test]
+    fn query_mix_is_deterministic_and_repeats() {
+        let a = sample_query(1, "t0", 35, 777);
+        let b = sample_query(1, "t0", 35, 777);
+        assert_eq!(a, b);
+        // The shape family quantizes parameters: a modest number of
+        // draws must revisit fingerprints (the hot set the shed path
+        // relies on).
+        let mut fps = std::collections::HashSet::new();
+        for draw in 0..200u64 {
+            let mut rng = draw;
+            fps.insert(sample_query(0, "t0", 35, splitmix(&mut rng)).fingerprint());
+        }
+        assert!(
+            fps.len() < 120,
+            "expected a bounded hot set, got {}",
+            fps.len()
+        );
+    }
+
+    #[test]
+    fn quantiles_and_shares() {
+        let report = LoadReport {
+            latencies_ns: (1..=100).collect(),
+            ..LoadReport::default()
+        };
+        assert_eq!(report.quantile_ns(0.0), 1);
+        assert_eq!(report.quantile_ns(0.5), 51);
+        assert_eq!(report.quantile_ns(1.0), 100);
+        assert_eq!(
+            (0..4).map(|w| share(10, w, 4)).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let levels = [BenchLevel {
+            label: "1.0x".into(),
+            offered_qps: 100,
+            report: LoadReport {
+                sent: 10,
+                answered: 10,
+                ok: 8,
+                shed: 2,
+                wall_ns: 1_000_000_000,
+                latencies_ns: vec![1_000; 10],
+                ..LoadReport::default()
+            },
+        }];
+        let text = render_bench_json(42, 6, 500, &levels);
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("serve"));
+        assert_eq!(
+            doc.get("levels").unwrap().as_arr().unwrap()[0]
+                .get("sent")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+    }
+}

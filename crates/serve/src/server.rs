@@ -1,0 +1,459 @@
+//! The concurrent query server.
+//!
+//! Plain std threads end to end — a bounded `Mutex<VecDeque>` +
+//! `Condvar` work queue feeds a fixed worker pool; no async runtime.
+//! Each request line passes through the admission state machine:
+//!
+//! 1. **parse** — malformed lines and unsupported versions get typed
+//!    `error` responses;
+//! 2. **budget** — the tenant's token bucket is charged one token per
+//!    day the query would scan; an exhausted bucket sheds to a cached
+//!    answer (marked stale) or rejects with `over_budget`;
+//! 3. **queue** — past `shed_mark` queued jobs the server prefers a
+//!    cached answer over queueing; at `queue_capacity` it rejects
+//!    with `queue_full` (never blocks, never drops);
+//! 4. **execute** — a worker runs the query under the tenant's frame
+//!    cache attribution and replies.
+//!
+//! Shed answers reuse the response cache's rendered `result` bytes
+//! verbatim, so a shed response is byte-identical (in its `result`
+//! field) to the `ok` response it was cached from.
+
+use crate::admission::{Admission, Refill};
+use crate::engine::{CachedAnswer, EngineConfig, QueryEngine};
+use crate::proto::{self, ErrorCode, ProtoError, Query, QueryCost};
+use rustc_hash::FxHashMap;
+use spider_core::TenantId;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use spider_telemetry as telemetry;
+
+// Telemetry counter names are `&'static str`, so per-tenant counters
+// use a fixed name table: tenants 1..=7 get their own slot, the rest
+// share the overflow slot (same pattern as the scan stage counters).
+const TENANT_QUERIES: [&str; 8] = [
+    "serve.tenant1.queries",
+    "serve.tenant2.queries",
+    "serve.tenant3.queries",
+    "serve.tenant4.queries",
+    "serve.tenant5.queries",
+    "serve.tenant6.queries",
+    "serve.tenant7.queries",
+    "serve.tenant8plus.queries",
+];
+const TENANT_SHED: [&str; 8] = [
+    "serve.tenant1.shed",
+    "serve.tenant2.shed",
+    "serve.tenant3.shed",
+    "serve.tenant4.shed",
+    "serve.tenant5.shed",
+    "serve.tenant6.shed",
+    "serve.tenant7.shed",
+    "serve.tenant8plus.shed",
+];
+const TENANT_REJECTED: [&str; 8] = [
+    "serve.tenant1.rejected",
+    "serve.tenant2.rejected",
+    "serve.tenant3.rejected",
+    "serve.tenant4.rejected",
+    "serve.tenant5.rejected",
+    "serve.tenant6.rejected",
+    "serve.tenant7.rejected",
+    "serve.tenant8plus.rejected",
+];
+
+fn tenant_slot(tenant: TenantId) -> usize {
+    (tenant.saturating_sub(1) as usize).min(7)
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Hard bound on queued jobs; past it, `queue_full` rejections.
+    pub queue_capacity: usize,
+    /// Soft bound; past it the server prefers cached (shed) answers.
+    pub shed_mark: usize,
+    /// Per-tenant scan budget in day-tokens.
+    pub tenant_budget: u64,
+    /// How budgets refill.
+    pub refill: Refill,
+    /// Per-tenant frame-cache budget in frames (0 = whole capacity).
+    pub tenant_cache_frames: usize,
+    /// Engine knobs.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 32,
+            shed_mark: 8,
+            tenant_budget: 10_000,
+            refill: Refill::PerSecond(1_000),
+            tenant_cache_frames: 0,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Outcome counters, total and per tenant name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Requests received (parse failures included).
+    pub queries: u64,
+    /// Fresh answers.
+    pub ok: u64,
+    /// Stale cached answers served under load.
+    pub shed: u64,
+    /// Typed admission refusals.
+    pub rejected: u64,
+    /// Protocol / execution errors.
+    pub errors: u64,
+}
+
+struct Job {
+    query: Query,
+    tenant: TenantId,
+    cost: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    engine: QueryEngine,
+    admission: Admission,
+    queue: Mutex<Queue>,
+    available: Condvar,
+    config: ServerConfig,
+    stats: Mutex<(OutcomeCounts, FxHashMap<String, OutcomeCounts>)>,
+}
+
+enum Outcome {
+    Ok,
+    Shed,
+    Rejected,
+    Error,
+}
+
+impl Shared {
+    fn note_outcome(&self, tenant_name: Option<&str>, outcome: Outcome) {
+        let mut stats = self.stats.lock().unwrap();
+        let apply = |c: &mut OutcomeCounts| match outcome {
+            Outcome::Ok => c.ok += 1,
+            Outcome::Shed => c.shed += 1,
+            Outcome::Rejected => c.rejected += 1,
+            Outcome::Error => c.errors += 1,
+        };
+        apply(&mut stats.0);
+        if let Some(name) = tenant_name {
+            apply(stats.1.entry(name.to_string()).or_default());
+        }
+    }
+
+    fn shed_response(&self, query: &Query, tenant: TenantId, answer: &CachedAnswer) -> String {
+        telemetry::global().incr("serve.shed", 1);
+        telemetry::global().incr(TENANT_SHED[tenant_slot(tenant)], 1);
+        self.note_outcome(Some(&query.tenant), Outcome::Shed);
+        proto::render_shed(
+            query.id,
+            &answer.result,
+            &answer.notes,
+            QueryCost {
+                queue_ns: 0,
+                exec_ns: 0,
+                days_scanned: answer.days_scanned,
+                rows: answer.rows,
+            },
+        )
+    }
+
+    fn handle_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let response = self.admit(line);
+        telemetry::global().record("serve.latency_ns", started.elapsed().as_nanos() as u64);
+        response
+    }
+
+    fn admit(&self, line: &str) -> String {
+        telemetry::global().incr("serve.queries", 1);
+        {
+            self.stats.lock().unwrap().0.queries += 1;
+        }
+        let query = match Query::parse(line) {
+            Ok(q) => q,
+            Err(ProtoError { code, detail, id }) => {
+                telemetry::global().incr("serve.errors", 1);
+                self.note_outcome(None, Outcome::Error);
+                return proto::render_error(id, code, &detail);
+            }
+        };
+        let (tenant, created) = self.admission.tenant_id(&query.tenant);
+        if created && self.config.tenant_cache_frames > 0 {
+            self.engine
+                .cache()
+                .set_tenant_budget(tenant, self.config.tenant_cache_frames);
+        }
+        telemetry::global().incr(TENANT_QUERIES[tenant_slot(tenant)], 1);
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.1.entry(query.tenant.clone()).or_default().queries += 1;
+        }
+
+        let cost = self.engine.day_cost(&query);
+        let fingerprint = query.fingerprint();
+
+        // Stage 1: scan budget.
+        if !self.admission.try_charge(tenant, cost) {
+            if let Some(answer) = self.engine.cached(fingerprint) {
+                return self.shed_response(&query, tenant, &answer);
+            }
+            telemetry::global().incr("serve.rejected", 1);
+            telemetry::global().incr(TENANT_REJECTED[tenant_slot(tenant)], 1);
+            self.note_outcome(Some(&query.tenant), Outcome::Rejected);
+            return proto::render_rejected(
+                query.id,
+                ErrorCode::OverBudget,
+                &format!(
+                    "tenant {} scan budget exhausted (query costs {} day-tokens)",
+                    query.tenant, cost
+                ),
+            );
+        }
+
+        // Stage 2: queue admission.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let mut queue = self.queue.lock().unwrap();
+            if queue.jobs.len() >= self.config.queue_capacity {
+                drop(queue);
+                self.admission.refund(tenant, cost);
+                telemetry::global().incr("serve.rejected", 1);
+                telemetry::global().incr(TENANT_REJECTED[tenant_slot(tenant)], 1);
+                self.note_outcome(Some(&query.tenant), Outcome::Rejected);
+                return proto::render_rejected(
+                    query.id,
+                    ErrorCode::QueueFull,
+                    &format!("queue at capacity ({})", self.config.queue_capacity),
+                );
+            }
+            if queue.jobs.len() >= self.config.shed_mark {
+                if let Some(answer) = self.engine.cached(fingerprint) {
+                    drop(queue);
+                    self.admission.refund(tenant, cost);
+                    return self.shed_response(&query, tenant, &answer);
+                }
+            }
+            queue.jobs.push_back(Job {
+                query,
+                tenant,
+                cost,
+                enqueued: Instant::now(),
+                reply: reply_tx,
+            });
+            self.available.notify_one();
+        }
+
+        // Stage 3: wait for the worker's reply.
+        match reply_rx.recv() {
+            Ok(response) => response,
+            Err(_) => {
+                telemetry::global().incr("serve.errors", 1);
+                self.note_outcome(None, Outcome::Error);
+                proto::render_error(0, ErrorCode::Internal, "worker pool shut down mid-query")
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = queue.jobs.pop_front() {
+                        break job;
+                    }
+                    if !queue.open {
+                        return;
+                    }
+                    queue = self.available.wait(queue).unwrap();
+                }
+            };
+            let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+            telemetry::global().record("serve.queue_ns", queue_ns);
+            let exec_started = Instant::now();
+            let response = match self.engine.execute(job.tenant, &job.query) {
+                Ok(exec) => {
+                    let exec_ns = exec_started.elapsed().as_nanos() as u64;
+                    telemetry::global().record("serve.exec_ns", exec_ns);
+                    telemetry::global().incr("serve.ok", 1);
+                    self.note_outcome(Some(&job.query.tenant), Outcome::Ok);
+                    proto::render_ok(
+                        job.query.id,
+                        &exec.result,
+                        &exec.notes,
+                        QueryCost {
+                            queue_ns,
+                            exec_ns,
+                            days_scanned: exec.days_scanned,
+                            rows: exec.rows,
+                        },
+                    )
+                }
+                Err(err) => {
+                    self.admission.refund(job.tenant, job.cost);
+                    telemetry::global().incr("serve.errors", 1);
+                    self.note_outcome(Some(&job.query.tenant), Outcome::Error);
+                    proto::render_error(
+                        job.query.id,
+                        ErrorCode::Store,
+                        &format!("store error: {err}"),
+                    )
+                }
+            };
+            // A disconnected requester just means nobody is waiting.
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+/// A running server: shared state plus its worker pool.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool over an opened engine.
+    pub fn start(engine: QueryEngine, config: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            engine,
+            admission: Admission::new(config.tenant_budget, config.refill),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            config,
+            stats: Mutex::new((OutcomeCounts::default(), FxHashMap::default())),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// A cheap handle for submitting request lines from any thread.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The engine (for cache stats in tests and reports).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.shared.engine
+    }
+
+    /// Manually refills every tenant budget (deterministic soak tick).
+    pub fn refill_budgets(&self) {
+        self.shared.admission.refill_all();
+    }
+
+    /// Total and per-tenant outcome counts so far.
+    pub fn stats(&self) -> (OutcomeCounts, Vec<(String, OutcomeCounts)>) {
+        let stats = self.shared.stats.lock().unwrap();
+        let mut per_tenant: Vec<_> = stats
+            .1
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        per_tenant.sort_by(|a, b| a.0.cmp(&b.0));
+        (stats.0.clone(), per_tenant)
+    }
+
+    /// Accepts TCP connections forever, one reader thread per
+    /// connection, one response line per request line.
+    pub fn serve_listener(&self, listener: TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let client = self.client();
+            std::thread::spawn(move || {
+                let _ = serve_connection(&client, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Drains the queue, stops the workers, and returns final stats.
+    pub fn shutdown(mut self) -> (OutcomeCounts, Vec<(String, OutcomeCounts)>) {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.open = false;
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn serve_connection(client: &Client, stream: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = client.request(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A cloneable in-process handle: one request line in, one response
+/// line out. TCP connections and tests both speak through this.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submits one request line and blocks for its response line.
+    pub fn request(&self, line: &str) -> String {
+        self.shared.handle_line(line)
+    }
+}

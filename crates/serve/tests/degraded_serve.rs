@@ -1,0 +1,258 @@
+//! Serving from a damaged store: the fault matrix, extended through
+//! the query service. For every colf section cell class — spine damage
+//! (quarantine + nearest-day substitution) and column damage
+//! (degradation) — a served response must stay `ok`, carry the right
+//! substitution note, and never silently misreport; and the shed path
+//! must preserve both the note and the exact result bytes.
+//!
+//! Seeds come from `SPIDER_SERVE_SEED` when set, else three defaults.
+
+use spider_serve::{ParsedResponse, QueryEngine, Refill, Server, ServerConfig};
+use spider_snapshot::colf;
+use spider_snapshot::io::OsIo;
+use spider_snapshot::store::{RetryPolicy, SnapshotStore};
+use spider_snapshot::{Snapshot, SnapshotRecord};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("SPIDER_SERVE_SEED") {
+        Ok(s) => vec![s.parse().expect("SPIDER_SERVE_SEED must be a u64")],
+        Err(_) => vec![660_942, 2_964_594_389, 3_237_998_146],
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const STORE_DAYS: [u32; 6] = [0, 7, 14, 21, 28, 35];
+const ROWS: usize = 40;
+
+fn sample_snapshot(day: u32) -> Snapshot {
+    let records: Vec<SnapshotRecord> = (0..ROWS)
+        .map(|i| SnapshotRecord {
+            path: format!(
+                "/lustre/atlas1/proj{:02}/u{:02}/d{day}/f.{i:06}",
+                i % 5,
+                i % 9
+            ),
+            atime: 1_420_000_000 + day as u64 * 86_400 + i as u64 * 31,
+            ctime: 1_420_000_000 + i as u64 * 17,
+            mtime: 1_420_000_000 + i as u64 * 19,
+            uid: 10_000 + (i % 23) as u32,
+            gid: 2_000 + (i % 7) as u32,
+            mode: if i % 9 == 0 { 0o040_770 } else { 0o100_664 },
+            ino: day as u64 * 1_000_000 + i as u64,
+            osts: ((i % 4) as u16..4)
+                .map(|k| (k * 97, i as u32 + k as u32))
+                .collect(),
+        })
+        .collect();
+    Snapshot::new(day, 1_420_000_000 + day as u64 * 86_400, records)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spider-degraded-serve-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_store(dir: &Path) {
+    let mut store = SnapshotStore::open(dir).expect("open clean store");
+    for day in STORE_DAYS {
+        store
+            .put(&sample_snapshot(day))
+            .expect("put clean snapshot");
+    }
+}
+
+/// Opens the (possibly damaged) store leniently and starts an
+/// in-process server over it with the given per-tenant budget.
+fn serve_damaged(dir: &Path, budget: u64) -> Server {
+    let mut store =
+        SnapshotStore::open_lenient(dir, Arc::new(OsIo), RetryPolicy::immediate()).unwrap();
+    let health = store.scrub();
+    let engine = QueryEngine::over_store(&store, health, Default::default())
+        .expect("engine over damaged store");
+    Server::start(
+        engine,
+        ServerConfig {
+            tenant_budget: budget,
+            refill: Refill::Manual,
+            ..Default::default()
+        },
+    )
+}
+
+fn request(server: &Server, line: &str) -> ParsedResponse {
+    let raw = server.client().request(line);
+    ParsedResponse::parse(&raw).unwrap_or_else(|e| panic!("unparseable response {raw:?}: {e}"))
+}
+
+/// One query window that scans only day 14 (the victim), one that
+/// scans only clean days.
+const Q_VICTIM: &str = r#"{"v":1,"id":1,"tenant":"ops","agg":"count","days":[10,20]}"#;
+const Q_CLEAN: &str = r#"{"v":1,"id":2,"tenant":"ops","agg":"count","days":[0,7]}"#;
+
+/// Every section cell class, served: spine damage answers with a
+/// quarantine + substitution note, column damage with a degradation
+/// note naming the lost column — and the status is never `error`.
+#[test]
+fn every_degraded_cell_class_carries_a_substitution_note() {
+    let spine = ["header", "section-table", "paths"];
+    for seed in seeds() {
+        let mut rng = seed;
+        let names: Vec<&str> = {
+            let probe = colf::encode(&sample_snapshot(14));
+            colf::section_table(&probe)
+                .unwrap()
+                .iter()
+                .map(|s| s.name)
+                .collect()
+        };
+        for target in &names {
+            let dir = temp_dir(&format!("sec-{seed:x}-{target}"));
+            seed_store(&dir);
+
+            // Flip one bit inside the target section of day 14's file.
+            let victim = dir.join("snap-00014.colf");
+            let mut bytes = fs::read(&victim).unwrap();
+            let spans = colf::section_table(&bytes).unwrap();
+            let span = spans.iter().find(|s| s.name == *target).unwrap().clone();
+            let pos = span.offset + (splitmix(&mut rng) % span.len as u64) as usize;
+            bytes[pos] ^= 1 << (splitmix(&mut rng) % 8);
+            fs::write(&victim, &bytes).unwrap();
+
+            let cell = format!("seed={seed} section={target}");
+            // Budget 3 day-tokens: the clean query below costs 2, the
+            // victim query 1 — so a column-cell re-ask finds the
+            // budget exhausted and must shed.
+            let server = serve_damaged(&dir, 3);
+
+            // Clean-day queries stay pristine: no notes about day 14.
+            let clean = request(&server, Q_CLEAN);
+            assert_eq!(clean.status, "ok", "{cell}");
+            assert!(
+                clean.notes.is_empty(),
+                "{cell}: spurious notes {:?}",
+                clean.notes
+            );
+            assert_eq!(
+                clean.result_raw.as_deref(),
+                Some(&*format!(r#"{{"count":{}}}"#, 2 * ROWS)),
+                "{cell}"
+            );
+
+            let resp = request(&server, Q_VICTIM);
+            assert_eq!(
+                resp.status, "ok",
+                "{cell}: a damaged store must still answer"
+            );
+            assert!(!resp.stale, "{cell}: first answer is fresh");
+            assert_eq!(
+                resp.notes.len(),
+                1,
+                "{cell}: exactly one note, got {:?}",
+                resp.notes
+            );
+            let note = &resp.notes[0];
+            if spine.contains(target) {
+                assert!(
+                    note.starts_with("day 14 quarantined"),
+                    "{cell}: wrong note {note:?}"
+                );
+                assert!(
+                    note.ends_with("nearest surviving day is 7"),
+                    "{cell}: substitution missing in {note:?}"
+                );
+                // The quarantined day is gone: nothing left to count.
+                assert_eq!(resp.result_raw.as_deref(), Some(r#"{"count":0}"#), "{cell}");
+            } else {
+                assert!(
+                    note.starts_with("day 14 degraded: lost") && note.contains(target),
+                    "{cell}: wrong note {note:?}"
+                );
+                // Column loss never changes a day-window count.
+                assert_eq!(
+                    resp.result_raw.as_deref(),
+                    Some(&*format!(r#"{{"count":{ROWS}}}"#)),
+                    "{cell}"
+                );
+
+                // The victim query spent the last day-token: the
+                // re-ask sheds the cached answer, byte-identical,
+                // with the degradation note preserved and stale marked.
+                let shed = request(&server, Q_VICTIM);
+                assert_eq!(
+                    shed.status, "shed",
+                    "{cell}: expected shed on exhausted budget"
+                );
+                assert!(shed.stale, "{cell}: shed answers are stale");
+                assert_eq!(
+                    shed.result_raw, resp.result_raw,
+                    "{cell}: shed bytes differ"
+                );
+                assert_eq!(shed.notes, resp.notes, "{cell}: shed notes differ");
+            }
+
+            let (totals, _) = server.shutdown();
+            assert_eq!(totals.errors, 0, "{cell}: no response may be an error");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// The last cell class: every day quarantined, so no substitute
+/// remains — the service still answers, saying exactly that.
+#[test]
+fn fully_quarantined_store_reports_no_substitute() {
+    let dir = temp_dir("all-quarantined");
+    seed_store(&dir);
+    for day in STORE_DAYS {
+        let victim = dir.join(format!("snap-{day:05}.colf"));
+        let mut bytes = fs::read(&victim).unwrap();
+        let span = colf::section_table(&bytes)
+            .unwrap()
+            .iter()
+            .find(|s| s.name == "header")
+            .unwrap()
+            .clone();
+        bytes[span.offset] ^= 0xFF;
+        fs::write(&victim, &bytes).unwrap();
+    }
+
+    let server = serve_damaged(&dir, 10);
+    let resp = request(&server, Q_VICTIM);
+    assert_eq!(resp.status, "ok");
+    assert_eq!(resp.result_raw.as_deref(), Some(r#"{"count":0}"#));
+    assert_eq!(
+        resp.notes.len(),
+        1,
+        "one note for the one in-window day: {:?}",
+        resp.notes
+    );
+    assert!(
+        resp.notes[0].starts_with("day 14 quarantined")
+            && resp.notes[0].ends_with("no substitute remains"),
+        "wrong note {:?}",
+        resp.notes[0]
+    );
+
+    // A whole-archive query names every quarantined day it would scan.
+    let wide = request(&server, r#"{"v":1,"id":3,"tenant":"ops","agg":"count"}"#);
+    assert_eq!(wide.status, "ok");
+    assert_eq!(wide.notes.len(), STORE_DAYS.len(), "{:?}", wide.notes);
+
+    let (totals, _) = server.shutdown();
+    assert_eq!(totals.errors, 0);
+    fs::remove_dir_all(&dir).unwrap();
+}

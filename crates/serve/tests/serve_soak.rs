@@ -1,0 +1,226 @@
+//! Deterministic end-to-end serve soak: seeded closed-loop steady
+//! traffic plus an open-loop overload burst against an in-process
+//! server. Across every pinned seed: zero dropped requests, every
+//! request answered, zero protocol errors, shed answers byte-identical
+//! to their cached originals (the load generator's result ledger
+//! enforces this), and the exported telemetry snapshot validates.
+//!
+//! `SPIDER_SERVE_SEED` pins one seed (CI runs one job per pinned
+//! seed); unset, all three defaults run.
+
+use spider_serve::{
+    run_load, Arrival, EngineConfig, LoadSpec, QueryEngine, QueryPort, Refill, Server,
+    ServerConfig, TcpPort,
+};
+use spider_telemetry::{global, TelemetrySnapshot};
+use std::fs;
+use std::path::PathBuf;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("SPIDER_SERVE_SEED") {
+        Ok(s) => vec![s.parse().expect("SPIDER_SERVE_SEED must be a u64")],
+        Err(_) => vec![660_942, 2_964_594_389, 3_237_998_146],
+    }
+}
+
+const ANALYSTS: usize = 8;
+const TENANTS: usize = 3;
+const THREADS: usize = 4;
+const QUERIES_PER_ANALYST: usize = 25;
+const STORE_DAYS: u32 = 6;
+const ROWS_PER_DAY: usize = 300;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spider-serve-soak-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a synthetic store and an in-process server over it, with
+/// manual refill and the budget auto-sizing the CLI sweep uses: ~1.2x
+/// one steady level's per-tenant demand, so a burst run without a
+/// refill deterministically exhausts it and shedding engages.
+fn start_server(dir: &PathBuf, seed: u64) -> (Server, u32) {
+    let days = spider_serve::synth_store(dir, STORE_DAYS, ROWS_PER_DAY, seed).expect("synth store");
+    let day_hi = *days.last().unwrap();
+    let engine = QueryEngine::open(dir, EngineConfig::default()).expect("open engine");
+    let demand = (ANALYSTS * QUERIES_PER_ANALYST) as u64 * days.len() as u64 / TENANTS as u64;
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            workers: 4,
+            tenant_budget: demand + demand / 5 + 1,
+            refill: Refill::Manual,
+            ..Default::default()
+        },
+    );
+    (server, day_hi)
+}
+
+fn spec(seed: u64, day_hi: u32, arrival: Arrival) -> LoadSpec {
+    LoadSpec {
+        seed,
+        analysts: ANALYSTS,
+        tenants: TENANTS,
+        threads: THREADS,
+        day_hi,
+        arrival,
+    }
+}
+
+#[test]
+fn seeded_soak_steady_then_overload() {
+    // Telemetry is off by default; the soak validates the export.
+    global().enable();
+    for seed in seeds() {
+        let dir = temp_dir(&format!("{seed:x}"));
+        let (server, day_hi) = start_server(&dir, seed);
+        let connect = || -> Result<Box<dyn QueryPort>, String> { Ok(Box::new(server.client())) };
+
+        // Closed-loop steady: at most `THREADS` requests outstanding,
+        // well under the shed mark, and the budget covers one full
+        // level — every answer must be fresh.
+        let steady = run_load(
+            spec(
+                seed,
+                day_hi,
+                Arrival::Closed {
+                    queries_per_analyst: QUERIES_PER_ANALYST,
+                },
+            ),
+            connect,
+        )
+        .expect("steady level");
+        let want = (ANALYSTS * QUERIES_PER_ANALYST) as u64;
+        assert_eq!(steady.sent, want, "seed {seed}: steady offered load");
+        assert_eq!(
+            steady.answered, steady.sent,
+            "seed {seed}: every request answered"
+        );
+        assert_eq!(steady.dropped, 0, "seed {seed}: steady dropped");
+        assert_eq!(
+            steady.protocol_errors, 0,
+            "seed {seed}: steady protocol errors"
+        );
+        assert_eq!(
+            steady.result_mismatches, 0,
+            "seed {seed}: steady result mismatches"
+        );
+        assert_eq!(
+            steady.ok, steady.answered,
+            "seed {seed}: steady must not shed or reject"
+        );
+
+        // Open-loop burst at 3x the steady volume with no budget
+        // refill in between: admission must engage — cached answers
+        // shed (byte-identical, the ledger checks), the rest get typed
+        // rejections — and still nothing drops or errors.
+        let burst_total = 3 * ANALYSTS * QUERIES_PER_ANALYST;
+        let burst = run_load(
+            spec(seed, day_hi, Arrival::OpenBurst { total: burst_total }),
+            connect,
+        )
+        .expect("burst level");
+        assert_eq!(
+            burst.sent, burst_total as u64,
+            "seed {seed}: burst offered load"
+        );
+        assert_eq!(burst.answered, burst.sent, "seed {seed}: burst answered");
+        assert_eq!(burst.dropped, 0, "seed {seed}: burst dropped");
+        assert_eq!(
+            burst.protocol_errors, 0,
+            "seed {seed}: burst protocol errors"
+        );
+        assert_eq!(
+            burst.result_mismatches, 0,
+            "seed {seed}: burst result mismatches"
+        );
+        assert_eq!(
+            burst.ok + burst.shed + burst.rejected,
+            burst.answered,
+            "seed {seed}: burst outcomes must partition"
+        );
+        assert!(
+            burst.shed > 0,
+            "seed {seed}: overload must shed stale cached answers (got ok {} shed {} rejected {})",
+            burst.ok,
+            burst.shed,
+            burst.rejected
+        );
+
+        let (totals, per_tenant) = server.shutdown();
+        assert_eq!(totals.errors, 0, "seed {seed}: server-side errors");
+        assert_eq!(
+            totals.queries,
+            steady.sent + burst.sent,
+            "seed {seed}: server saw every request exactly once"
+        );
+        assert_eq!(per_tenant.len(), TENANTS, "seed {seed}: tenant accounting");
+        assert_eq!(
+            per_tenant.iter().map(|(_, c)| c.queries).sum::<u64>(),
+            totals.queries,
+            "seed {seed}: per-tenant queries cover the total"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // The instrumentation the soak exercised must export a snapshot
+    // that passes the same validation `telemetry --check` applies.
+    let snap = TelemetrySnapshot::capture(global());
+    snap.validate()
+        .expect("telemetry snapshot must validate after the soak");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .value
+    };
+    assert!(
+        counter("serve.queries") > 0,
+        "serve.queries must be recorded"
+    );
+    assert!(counter("serve.shed") > 0, "serve.shed must be recorded");
+    assert!(
+        snap.histograms
+            .iter()
+            .any(|h| h.name == "serve.latency_ns" && h.count > 0),
+        "serve.latency_ns histogram must be populated"
+    );
+}
+
+/// The same traffic over real sockets: a listener thread accepts TCP
+/// clients and zero connections drop.
+#[test]
+fn tcp_soak_drops_nothing() {
+    let seed = seeds()[0];
+    let dir = temp_dir(&format!("tcp-{seed:x}"));
+    let (server, day_hi) = start_server(&dir, seed);
+    // The listener loop borrows the server for the process lifetime.
+    let server: &'static Server = Box::leak(Box::new(server));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = server.serve_listener(listener);
+    });
+
+    let connect =
+        || -> Result<Box<dyn QueryPort>, String> { Ok(Box::new(TcpPort::connect(&addr)?)) };
+    let report = run_load(
+        spec(
+            seed,
+            day_hi,
+            Arrival::Closed {
+                queries_per_analyst: 10,
+            },
+        ),
+        connect,
+    )
+    .expect("tcp load");
+    assert_eq!(report.sent, (ANALYSTS * 10) as u64);
+    assert_eq!(report.answered, report.sent, "every TCP request answered");
+    assert_eq!(report.dropped, 0, "zero dropped connections");
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.result_mismatches, 0);
+    fs::remove_dir_all(&dir).unwrap();
+}

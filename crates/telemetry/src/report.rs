@@ -153,6 +153,32 @@ impl TelemetrySnapshot {
         bad
     }
 
+    /// The generic validity check behind `telemetry --check` and the
+    /// serve soak: current schema version, span accounting consistent
+    /// ([`TelemetrySnapshot::span_sum_violations`] empty), and at least
+    /// one counter and one histogram recorded. Callers layer their own
+    /// pipeline-shape checks (expected phase spans, unaccounted-time
+    /// bounds) on top.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unexpected schema version {} (want {})",
+                self.schema_version, SCHEMA_VERSION
+            ));
+        }
+        let violations = self.span_sum_violations();
+        if !violations.is_empty() {
+            return Err(format!("span accounting violations: {violations:?}"));
+        }
+        if self.counters.is_empty() {
+            return Err("no counters recorded".into());
+        }
+        if self.histograms.is_empty() {
+            return Err("no histograms recorded".into());
+        }
+        Ok(())
+    }
+
     /// Renders the stable JSON document. Field order is fixed, keys are
     /// plain ASCII identifiers, every value is an integer, bool, string,
     /// array, or object — byte-identical for equal snapshots on every

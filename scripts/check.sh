@@ -56,6 +56,24 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
     done
     echo "== raft property suite (random network schedules)"
     cargo test -q -p spider-raft --test prop_raft
+    # The query service under the same three pinned seeds: seeded
+    # steady + overload soak (zero drops, zero protocol errors, shed
+    # answers byte-identical to cached originals), cache fairness under
+    # concurrent tenants, and serving from every degraded-store cell
+    # class with substitution notes.
+    echo "== serve soak + fairness + degraded serve (pinned seeds)"
+    for seed in 660942 2964594389 3237998146; do
+        echo "   -- SPIDER_SERVE_SEED=$seed"
+        SPIDER_SERVE_SEED=$seed cargo test -q -p spider-serve --test serve_soak
+        SPIDER_SERVE_SEED=$seed cargo test -q -p spider-core --test cache_fairness
+    done
+    cargo test -q -p spider-serve --test degraded_serve
+    echo "== serve loadgen sweep smoke"
+    rm -rf target/serve-smoke
+    cargo run --release -q -p spider-cli --bin spider-metalab -- \
+        loadgen --dir target/serve-smoke --synth-days 4 --synth-rows 400 \
+        --seed 660942 --sweep --analysts 8 --tenants 3 --threads 4 \
+        --queries 40 --out target/BENCH_serve_smoke.json >/dev/null
     echo "== cargo clippy --all-targets (deny warnings)"
     cargo clippy --all-targets -- -D warnings
     echo "== cargo fmt --check"

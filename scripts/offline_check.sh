@@ -42,6 +42,7 @@ CRATES=(
     "spider_workload:crates/workload/src/lib.rs:spider_stats spider_fsmeta rand rustc_hash serde"
     "spider_graph:crates/graph/src/lib.rs:spider_stats rayon rustc_hash"
     "spider_core:crates/core/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_raft spider_graph spider_workload rayon crossbeam rustc_hash serde"
+    "spider_serve:crates/serve/src/lib.rs:spider_snapshot spider_core spider_telemetry rustc_hash"
     "spider_sim:crates/simulate/src/lib.rs:spider_fsmeta spider_snapshot spider_telemetry spider_workload spider_core rand rustc_hash serde"
     "spider_report:crates/report/src/lib.rs:serde serde_json"
     "spider_experiments:crates/experiments/src/lib.rs:spider_stats spider_telemetry spider_fsmeta spider_snapshot spider_graph spider_workload spider_sim spider_core spider_report rand rayon rustc_hash serde serde_json"
@@ -55,6 +56,9 @@ ITESTS=(
     "golden_fixtures:crates/snapshot/tests/golden_fixtures.rs:spider_snapshot"
     "frame_equivalence:crates/core/tests/frame_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
     "pushdown_equivalence:crates/core/tests/pushdown_equivalence.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry"
+    "cache_fairness:crates/core/tests/cache_fairness.rs:spider_core spider_snapshot spider_fsmeta"
+    "degraded_serve:crates/serve/tests/degraded_serve.rs:spider_serve spider_snapshot spider_core spider_fsmeta"
+    "serve_soak:crates/serve/tests/serve_soak.rs:spider_serve spider_snapshot spider_core spider_telemetry"
     "pipeline_end_to_end:tests/pipeline_end_to_end.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "determinism:tests/determinism.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "experiment_shapes:tests/experiment_shapes.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
@@ -103,7 +107,7 @@ done
 # CLI binary (library deps of spider_experiments plus itself).
 if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
     say "build spider-metalab binary"
-    CLI_DEPS="spider_fsmeta spider_snapshot spider_raft spider_telemetry spider_workload spider_sim spider_core spider_graph spider_report spider_experiments spider_stats serde_json"
+    CLI_DEPS="spider_fsmeta spider_snapshot spider_raft spider_telemetry spider_workload spider_sim spider_core spider_serve spider_graph spider_report spider_experiments spider_stats serde_json"
     externs=""
     for d in $CLI_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name spider_metalab crates/cli/src/main.rs $externs \
@@ -124,6 +128,17 @@ if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
     rm -rf "$OUT/telemetry-smoke"
     "$OUT/spider-metalab" telemetry --dir "$OUT/telemetry-smoke" --quick \
         --scale 0.00005 --days 28 --json --check >/dev/null
+fi
+
+# Serve load-generator smoke: synthesize a tiny store, run a 3-level
+# in-process sweep (including an overload level), and require zero
+# protocol errors and zero dropped requests.
+if [ -z "$FILTER" ] || [[ "serve_load" == *"$FILTER"* ]]; then
+    say "serve loadgen smoke"
+    rm -rf "$OUT/serve-smoke"
+    "$OUT/spider-metalab" loadgen --dir "$OUT/serve-smoke" --synth-days 4 \
+        --synth-rows 400 --seed 660942 --sweep --analysts 8 --tenants 3 \
+        --threads 4 --queries 40 --out "$OUT/BENCH_serve_smoke.json" >/dev/null
 fi
 
 # Columnar fast-path benchmark smoke: tiny run, asserts the row-path /
