@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "incremental" => cmd_incremental(&args[1..]),
         "convert" => cmd_convert(&args[1..]),
         "export" => cmd_export(&args[1..]),
         "telemetry" => cmd_telemetry(&args[1..]),
@@ -121,6 +122,7 @@ USAGE:
                           [--fault-seed N] [--ticks N]
   spider-metalab analyze  --dir DIR [--day N] [--uid N[..M]] [--gid N[..M]]
                           [--ext E1[,E2...]|none]
+  spider-metalab incremental --dir DIR [--quick] [--json]
   spider-metalab serve    --dir DIR [--addr HOST:PORT | --stdin] [--workers N]
                           [--queue N] [--shed-mark N] [--budget N] [--refill N]
                           [--fault-seed N]
@@ -149,6 +151,13 @@ replica's stored day corrupted on disk so the scrub re-fetches the
 genuine bytes from a peer (instead of the paper's neighbor-day
 substitution). Exits non-zero unless every replica converges to
 byte-identical stores with zero safety violations.
+
+`incremental` reports the day-over-day incremental aggregation state:
+delta sidecars are built between consecutive stored days, the persisted
+pipeline state (`incr-state.bin`) is advanced by any unseen days in
+O(changed rows), and the result is cross-checked against a full-rescan
+oracle. Exits non-zero if the incremental answer ever diverges from the
+oracle (it is then replaced by the oracle, never served).
 
 `serve` runs the multi-tenant query server over an existing store:
 line-delimited JSON queries in, one response line each, with
@@ -986,6 +995,117 @@ fn cmd_exp(args: &[String]) -> Result<(), AnyError> {
 /// CI smoke job does: stable schema, parent spans covering their
 /// sequential children, and no unaccounted pipeline bucket over 10%
 /// (the phase checks assume a fresh `--dir`, so the simulate phase runs).
+fn cmd_incremental(args: &[String]) -> Result<(), AnyError> {
+    let config = lab_config(args)?;
+    let lab = Lab::prepare(config)?;
+    let incr = lab.incremental();
+    let t = incr.totals();
+    if has_flag(args, "--json") {
+        let trend_tail: Vec<String> = incr
+            .trend()
+            .iter()
+            .rev()
+            .take(5)
+            .rev()
+            .map(|p| {
+                let churn = match p.churn {
+                    Some((a, r, c)) => format!("[{a},{r},{c}]"),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"day\":{},\"entries\":{},\"files\":{},\"dirs\":{},\"churn\":{churn}}}",
+                    p.day, p.entries, p.files, p.dirs
+                )
+            })
+            .collect();
+        println!(
+            "{{\"last_day\":{},\"days_applied\":{},\"rows_applied\":{},\"full_rebuilds\":{},\
+             \"unique_entries\":{},\"unique_files\":{},\"unique_dirs\":{},\"edges\":{},\
+             \"entries\":{},\"files\":{},\"dirs\":{},\"sketch_exact\":{},\"oracle_ok\":{},\
+             \"fingerprint\":{},\"trend_tail\":[{}]}}",
+            incr.last_day().map(i64::from).unwrap_or(-1),
+            incr.days_applied(),
+            incr.rows_applied(),
+            incr.full_rebuilds(),
+            incr.unique_entries(),
+            incr.unique_files(),
+            incr.unique_dirs(),
+            incr.edge_count(),
+            t.entries,
+            t.files,
+            t.dirs,
+            incr.sketch_exact(),
+            lab.incremental_oracle_ok(),
+            incr.fingerprint(),
+            trend_tail.join(",")
+        );
+    } else {
+        println!("incremental pipeline @ {}", lab.store_dir().display());
+        println!(
+            "  last day {}   days applied {}   rows applied {}   full rebuilds {}",
+            incr.last_day()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            incr.days_applied(),
+            incr.rows_applied(),
+            incr.full_rebuilds(),
+        );
+        println!(
+            "  census: {} unique entries ({} files, {} dirs)   participation: {} edges",
+            incr.unique_entries(),
+            incr.unique_files(),
+            incr.unique_dirs(),
+            incr.edge_count(),
+        );
+        println!(
+            "  latest day: {} entries ({} files, {} dirs)  mean stripes {:.2}  mean age {:.1} d",
+            t.entries,
+            t.files,
+            t.dirs,
+            t.mean_stripes().unwrap_or(0.0),
+            t.mean_age_days().unwrap_or(0.0),
+        );
+        println!(
+            "  depth: max {}  exact p50 {}  sketch p50 {}{}",
+            t.depth_max()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            t.depth_quantile(0.5)
+                .map(|q| q.to_string())
+                .unwrap_or_else(|| "-".into()),
+            incr.sketch_depth_quantile(0.5)
+                .map(|q| format!("{q:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            if incr.sketch_exact() {
+                ""
+            } else {
+                " (approximate: retraction flagged)"
+            },
+        );
+        for p in incr.trend().iter().rev().take(5).rev() {
+            match p.churn {
+                Some((a, r, c)) => println!(
+                    "  day {:>4}: {:>8} entries  (+{a} -{r} ~{c})",
+                    p.day, p.entries
+                ),
+                None => println!("  day {:>4}: {:>8} entries  (full fold)", p.day, p.entries),
+            }
+        }
+        println!(
+            "  oracle cross-check: {}",
+            if lab.incremental_oracle_ok() {
+                "OK (fingerprint-identical)"
+            } else {
+                "FALLBACK"
+            }
+        );
+    }
+    if !lab.incremental_oracle_ok() {
+        return Err("incremental state diverged from the full-rescan oracle".into());
+    }
+    Ok(())
+}
+
 fn cmd_telemetry(args: &[String]) -> Result<(), AnyError> {
     let tel = spider_telemetry::global();
     tel.enable();
@@ -1019,10 +1139,30 @@ fn check_telemetry(snapshot: &spider_telemetry::TelemetrySnapshot) -> Result<(),
         .iter()
         .find(|s| s.name == "pipeline")
         .ok_or("no `pipeline` root span recorded")?;
-    for phase in ["simulate", "scrub", "analyze"] {
+    for phase in ["simulate", "scrub", "analyze", "incremental"] {
         if !pipeline.children.iter().any(|c| c.name == phase) {
             return Err(format!("phase span {phase:?} missing under `pipeline`").into());
         }
+    }
+    // The incremental pipeline must have actually advanced (and its
+    // oracle refold must have been exercised: past the bootstrap day,
+    // every full fold counts under `incr.full_rebuilds`).
+    let counter = |name: &str| -> Result<u64, AnyError> {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .ok_or_else(|| format!("counter {name:?} missing from snapshot").into())
+    };
+    if counter("incr.days_applied")? == 0 {
+        return Err("incr.days_applied recorded no applied days".into());
+    }
+    if counter("incr.rows_applied")? == 0 {
+        return Err("incr.rows_applied recorded no applied rows".into());
+    }
+    if counter("incr.full_rebuilds")? == 0 {
+        return Err("incr.full_rebuilds never counted an oracle refold".into());
     }
     if pipeline.total_ns > 0 && pipeline.self_ns * 10 > pipeline.total_ns {
         return Err(format!(

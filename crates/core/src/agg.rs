@@ -66,17 +66,187 @@ struct NamedSpec<'f> {
 }
 
 /// Per-group running state for one aggregate.
+///
+/// Public so incremental consumers ([`crate::incremental`]) can maintain
+/// long-lived aggregate states outside a [`MultiAgg`] scan: states are
+/// **mergeable** ([`AggState::merge`], the same operation the morsel tree
+/// uses) and **retractable** ([`AggState::retract_value`]) — with the
+/// caveat that sketch-backed and extremum states can only retract
+/// approximately, which the returned [`Retraction`] flags.
 #[derive(Debug, Clone, PartialEq)]
-enum AggState {
+pub enum AggState {
+    /// `COUNT(*)` accumulator.
     Count(u64),
+    /// `SUM(value)` accumulator.
     Sum(f64),
-    Mean { sum: f64, n: u64 },
-    Min { v: f64, n: u64 },
-    Max { v: f64, n: u64 },
+    /// `AVG(value)` accumulator (sum and contributing-row count).
+    Mean {
+        /// Running sum of contributed values.
+        sum: f64,
+        /// Number of contributing (non-`None`) rows.
+        n: u64,
+    },
+    /// `MIN(value)` accumulator.
+    Min {
+        /// Current minimum (meaningless while `n == 0`).
+        v: f64,
+        /// Number of contributing rows.
+        n: u64,
+    },
+    /// `MAX(value)` accumulator.
+    Max {
+        /// Current maximum (meaningless while `n == 0`).
+        v: f64,
+        /// Number of contributing rows.
+        n: u64,
+    },
+    /// Quantile-sketch accumulator.
     Quantile(QuantileSketch),
 }
 
+/// How faithful a [`AggState::retract_value`] call was.
+///
+/// `Exact` means the state is exactly what it would have been had the
+/// retracted row never been folded in. `Approximate` means it is not —
+/// the caller must either tolerate the drift or schedule a full rebuild
+/// (the oracle fallback rule; see DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retraction {
+    /// Retraction fully undone the corresponding update.
+    Exact,
+    /// State is now approximate: extremum may be stale, or the sketch
+    /// still contains the retracted sample.
+    Approximate,
+}
+
 impl AggState {
+    /// A fresh `COUNT(*)` state.
+    pub fn count() -> AggState {
+        AggState::Count(0)
+    }
+
+    /// A fresh `SUM` state.
+    pub fn sum() -> AggState {
+        AggState::Sum(0.0)
+    }
+
+    /// A fresh `MEAN` state.
+    pub fn mean() -> AggState {
+        AggState::Mean { sum: 0.0, n: 0 }
+    }
+
+    /// A fresh `MIN` state.
+    pub fn min() -> AggState {
+        AggState::Min { v: 0.0, n: 0 }
+    }
+
+    /// A fresh `MAX` state.
+    pub fn max() -> AggState {
+        AggState::Max { v: 0.0, n: 0 }
+    }
+
+    /// A fresh quantile-sketch state with the given relative-error bound.
+    pub fn quantile(relative_error: f64) -> AggState {
+        AggState::Quantile(QuantileSketch::new(relative_error))
+    }
+
+    /// Folds one value into the state; `None` is skipped for every
+    /// aggregate except `Count`, which counts rows, not values.
+    pub fn push_value(&mut self, value: Option<f64>) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum(s) => {
+                if let Some(v) = value {
+                    *s += v;
+                }
+            }
+            AggState::Mean { sum, n } => {
+                if let Some(v) = value {
+                    *sum += v;
+                    *n += 1;
+                }
+            }
+            AggState::Min { v, n } => {
+                if let Some(x) = value {
+                    *v = if *n == 0 { x } else { v.min(x) };
+                    *n += 1;
+                }
+            }
+            AggState::Max { v, n } => {
+                if let Some(x) = value {
+                    *v = if *n == 0 { x } else { v.max(x) };
+                    *n += 1;
+                }
+            }
+            AggState::Quantile(sketch) => {
+                if let Some(v) = value {
+                    sketch.push(v);
+                }
+            }
+        }
+    }
+
+    /// Retracts one previously-pushed value, reporting whether the state
+    /// is still exact afterwards.
+    ///
+    /// * `Count` / `Sum` / `Mean` invert exactly.
+    /// * `Min` / `Max` invert exactly **unless** the retracted value ties
+    ///   the current extremum — the runner-up is unknown, so the state
+    ///   keeps the stale extremum and reports [`Retraction::Approximate`].
+    /// * `Quantile` sketches cannot forget a sample at all; the sketch is
+    ///   left untouched and the retraction is always approximate.
+    ///
+    /// Callers accumulating `Approximate` results must treat the state as
+    /// degraded and fall back to the full-rescan oracle before trusting
+    /// the affected statistic.
+    pub fn retract_value(&mut self, value: Option<f64>) -> Retraction {
+        match self {
+            AggState::Count(c) => {
+                *c = c.saturating_sub(1);
+                Retraction::Exact
+            }
+            AggState::Sum(s) => {
+                if let Some(v) = value {
+                    *s -= v;
+                }
+                Retraction::Exact
+            }
+            AggState::Mean { sum, n } => {
+                if let Some(v) = value {
+                    *sum -= v;
+                    *n = n.saturating_sub(1);
+                }
+                Retraction::Exact
+            }
+            AggState::Min { v, n } => match value {
+                Some(x) => {
+                    *n = n.saturating_sub(1);
+                    if x <= *v {
+                        Retraction::Approximate
+                    } else {
+                        Retraction::Exact
+                    }
+                }
+                None => Retraction::Exact,
+            },
+            AggState::Max { v, n } => match value {
+                Some(x) => {
+                    *n = n.saturating_sub(1);
+                    if x >= *v {
+                        Retraction::Approximate
+                    } else {
+                        Retraction::Exact
+                    }
+                }
+                None => Retraction::Exact,
+            },
+            AggState::Quantile(_) => match value {
+                Some(_) => Retraction::Approximate,
+                None => Retraction::Exact,
+            },
+        }
+    }
+
     fn init(spec: &AggSpec<'_>) -> AggState {
         match spec {
             AggSpec::Count => AggState::Count(0),
@@ -123,8 +293,10 @@ impl AggState {
         }
     }
 
-    /// Merges a right-subtree state into this left-subtree state.
-    fn merge(&mut self, right: AggState) {
+    /// Merges a right-subtree state into this left-subtree state. Merging
+    /// states of different shapes panics — states are built from specs in
+    /// order, and incremental callers must keep their layouts aligned.
+    pub fn merge(&mut self, right: AggState) {
         match (self, right) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::Sum(a), AggState::Sum(b)) => *a += b,
@@ -149,7 +321,9 @@ impl AggState {
         }
     }
 
-    fn finalize(self) -> AggValue {
+    /// Finalizes the state into an [`AggValue`] (consumes the state;
+    /// incremental callers clone first so the running state survives).
+    pub fn finalize(self) -> AggValue {
         match self {
             AggState::Count(c) => AggValue::Count(c),
             AggState::Sum(s) => AggValue::Sum(s),
@@ -648,6 +822,64 @@ mod tests {
         assert_eq!(stats.top_k("entries", 1), vec![(10, 3.0)]);
         assert_eq!(stats.top_k("entries", 9), vec![(10, 3.0), (11, 2.0)]);
         assert!(stats.top_k("missing", 3).is_empty());
+    }
+
+    #[test]
+    fn agg_state_retraction_inverts_exact_states() {
+        let mut count = AggState::count();
+        let mut sum = AggState::sum();
+        let mut mean = AggState::mean();
+        for v in [2.0, 4.0, 9.0] {
+            count.push_value(Some(v));
+            sum.push_value(Some(v));
+            mean.push_value(Some(v));
+        }
+        assert_eq!(count.retract_value(Some(4.0)), Retraction::Exact);
+        assert_eq!(sum.retract_value(Some(4.0)), Retraction::Exact);
+        assert_eq!(mean.retract_value(Some(4.0)), Retraction::Exact);
+        assert_eq!(count.finalize(), AggValue::Count(2));
+        assert_eq!(sum.finalize(), AggValue::Sum(11.0));
+        assert_eq!(mean.finalize(), AggValue::Mean(5.5));
+    }
+
+    #[test]
+    fn extremum_retraction_is_exact_only_off_the_extreme() {
+        let mut min = AggState::min();
+        let mut max = AggState::max();
+        for v in [2.0, 4.0, 9.0] {
+            min.push_value(Some(v));
+            max.push_value(Some(v));
+        }
+        // Retracting an interior value leaves both extrema exact.
+        assert_eq!(min.retract_value(Some(4.0)), Retraction::Exact);
+        assert_eq!(max.retract_value(Some(4.0)), Retraction::Exact);
+        // Retracting the extreme itself cannot recover the runner-up.
+        assert_eq!(min.retract_value(Some(2.0)), Retraction::Approximate);
+        assert_eq!(max.retract_value(Some(9.0)), Retraction::Approximate);
+    }
+
+    #[test]
+    fn sketch_retraction_is_always_approximate() {
+        let mut q = AggState::quantile(0.01);
+        q.push_value(Some(1.0));
+        q.push_value(Some(2.0));
+        assert_eq!(q.retract_value(Some(1.0)), Retraction::Approximate);
+        // The sketch itself is untouched: both samples still inside.
+        match q {
+            AggState::Quantile(ref s) => assert_eq!(s.count(), 2),
+            _ => unreachable!(),
+        }
+        assert_eq!(q.retract_value(None), Retraction::Exact);
+    }
+
+    #[test]
+    fn public_merge_matches_tree_merge() {
+        let mut left = AggState::mean();
+        left.push_value(Some(2.0));
+        let mut right = AggState::mean();
+        right.push_value(Some(6.0));
+        left.merge(right);
+        assert_eq!(left.finalize(), AggValue::Mean(4.0));
     }
 
     #[test]

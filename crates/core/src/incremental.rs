@@ -1,0 +1,1193 @@
+//! Incremental day-over-day aggregate maintenance.
+//!
+//! Every analysis in this crate — and every query `spider-serve`
+//! answers — historically refolded the whole store per question, even
+//! though [`spider_snapshot::SnapshotDiff`] shows consecutive days differ
+//! by a small fraction of rows. [`IncrementalPipeline`] closes that gap:
+//! it holds the running outputs of the trend/census/participation
+//! analyses and the per-gid scan statistics behind
+//! [`crate::summary::domain_frame_stats`], and **applies each new day's
+//! [`spider_snapshot::FrameDelta`]** instead of refolding the store, so
+//! appending a day costs O(changed rows).
+//!
+//! The state splits into three behavioural classes:
+//!
+//! * **Monotone** — the unique-path census and the user–project
+//!   participation edge set only ever grow; a delta's `added`/`changed`
+//!   rows are the only candidates for new members, so applying a delta
+//!   is exactly equivalent to refolding the day (an induction the
+//!   equivalence tests drive with random day sequences).
+//! * **Retractable & exact** — the latest-day per-gid aggregates
+//!   (entries, files, dirs, stripe sums, age sums, depth/stripe
+//!   histograms, per-uid and per-ext file counts) are integer sums over
+//!   the day's rows. Removed and changed rows subtract their recorded
+//!   old-side values ([`spider_snapshot::DeltaRow`]); added and changed
+//!   rows add the new side. Integer arithmetic makes the result
+//!   bit-identical to a fresh fold, which is what
+//!   [`IncrementalPipeline::fingerprint`] certifies.
+//! * **Retractable & approximate** — the depth [`QuantileSketch`]
+//!   ([`AggState::Quantile`]) cannot forget samples. Retractions are
+//!   *flagged* ([`AggState::retract_value`] returns
+//!   [`Retraction::Approximate`]) and clear [`IncrementalPipeline::sketch_exact`];
+//!   exact quantiles remain available from the depth histogram, and any
+//!   full re-fold ([`IncrementalPipeline::apply_full`]) rebuilds the
+//!   sketch and restores the flag.
+//!
+//! **The oracle rule:** the full rescan is never deleted — it is the
+//! cross-check. [`IncrementalPipeline::rescan`] rebuilds the state from
+//! scratch through the same fold, and callers (the lab, the CI
+//! equivalence job, the bench) assert `incremental.fingerprint() ==
+//! oracle.fingerprint()` after every append. A delta whose digest chain
+//! does not match the bytes on disk (healed, re-simulated, quarantined,
+//! or substituted days) is refused by [`crate::FrameLoader::delta_for`]
+//! and the pipeline falls back to the full fold for that day — degraded
+//! to slow, never to wrong.
+
+use crate::frame::path_hash;
+use crate::loader::FrameLoader;
+use rustc_hash::{FxHashMap, FxHashSet};
+use spider_snapshot::columns::FrameColumns;
+use spider_snapshot::delta::path_depth;
+use spider_snapshot::store::StoreError;
+use spider_snapshot::{DeltaRow, FrameDelta};
+use spider_telemetry as telemetry;
+use std::hash::{Hash, Hasher};
+
+pub use crate::agg::{AggState, Retraction};
+
+/// How a day landed in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// O(changed rows): the day's delta chained onto the held state.
+    Delta,
+    /// O(day): the day was folded in full (bootstrap or oracle fallback).
+    Full,
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrError {
+    /// The delta's baseline does not match the pipeline's held day or
+    /// digest — a day in between was skipped, healed, or substituted.
+    ChainBroken {
+        /// The day (and bytes digest) the pipeline holds.
+        held: Option<(u32, u64)>,
+        /// The baseline the delta was computed against.
+        wanted: (u32, u64),
+    },
+    /// The frame handed in is not the day the delta lands on.
+    WrongDay {
+        /// The frame's day.
+        frame_day: u32,
+        /// The delta's landing day.
+        delta_day: u32,
+    },
+}
+
+impl std::fmt::Display for IncrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncrError::ChainBroken { held, wanted } => write!(
+                f,
+                "delta chain broken: pipeline holds {held:?}, delta expects {wanted:?}"
+            ),
+            IncrError::WrongDay {
+                frame_day,
+                delta_day,
+            } => write!(f, "frame is day {frame_day} but delta lands on {delta_day}"),
+        }
+    }
+}
+
+impl std::error::Error for IncrError {}
+
+/// One day's totals in the maintained trend curve. Churn is only known
+/// on delta-applied days (a full fold sees no baseline to diff against),
+/// so it is excluded from the state fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrendPoint {
+    /// Snapshot day.
+    pub day: u32,
+    /// Total entries that day.
+    pub entries: u64,
+    /// Regular files that day.
+    pub files: u64,
+    /// Directories that day.
+    pub dirs: u64,
+    /// `(added, removed, changed)` vs the previous day, when the day
+    /// arrived via a delta.
+    pub churn: Option<(u64, u64, u64)>,
+}
+
+/// Exact latest-day aggregates for one gid — the retractable mirror of
+/// the per-domain [`crate::summary::domain_frame_stats`] statistics,
+/// kept at gid granularity so no analysis context is baked into the
+/// persisted state (consumers join gid → domain at read time).
+///
+/// All fields are integer sums, so delta retraction reproduces a fresh
+/// fold bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GidAggregate {
+    /// Entries (files + dirs) owned by the gid.
+    pub entries: u64,
+    /// Regular files.
+    pub files: u64,
+    /// Directories.
+    pub dirs: u64,
+    /// Sum of file stripe counts (Table 1 `# OST` numerator).
+    pub stripes_sum: u64,
+    /// Sum of file `atime - mtime` in seconds (age numerator).
+    pub age_secs_sum: u64,
+    /// depth → entry count (exact quantiles, max, medians).
+    pub depth_hist: FxHashMap<u32, u64>,
+    /// stripe count → file count.
+    pub stripe_hist: FxHashMap<u32, u64>,
+}
+
+impl GidAggregate {
+    /// Mean stripe width over the gid's files.
+    pub fn mean_stripes(&self) -> Option<f64> {
+        (self.files > 0).then(|| self.stripes_sum as f64 / self.files as f64)
+    }
+
+    /// Mean file age in days.
+    pub fn mean_age_days(&self) -> Option<f64> {
+        (self.files > 0).then(|| self.age_secs_sum as f64 / self.files as f64 / 86_400.0)
+    }
+
+    /// Maximum depth over the gid's entries.
+    pub fn depth_max(&self) -> Option<u32> {
+        self.depth_hist
+            .iter()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(&d, _)| d)
+            .max()
+    }
+
+    /// Exact depth quantile from the histogram (`q` in `[0, 1]`).
+    pub fn depth_quantile(&self, q: f64) -> Option<f64> {
+        quantile_of_hist(&self.depth_hist, q)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries == 0
+            && self.depth_hist.values().all(|&n| n == 0)
+            && self.stripe_hist.values().all(|&n| n == 0)
+    }
+
+    fn add(&mut self, is_file: bool, stripes: u32, age_secs: u64, depth: u32) {
+        self.entries += 1;
+        *self.depth_hist.entry(depth).or_insert(0) += 1;
+        if is_file {
+            self.files += 1;
+            self.stripes_sum += stripes as u64;
+            self.age_secs_sum += age_secs;
+            *self.stripe_hist.entry(stripes).or_insert(0) += 1;
+        } else {
+            self.dirs += 1;
+        }
+    }
+
+    fn retract(&mut self, is_file: bool, stripes: u32, age_secs: u64, depth: u32) {
+        self.entries -= 1;
+        let d = self.depth_hist.entry(depth).or_insert(0);
+        *d -= 1;
+        if *d == 0 {
+            self.depth_hist.remove(&depth);
+        }
+        if is_file {
+            self.files -= 1;
+            self.stripes_sum -= stripes as u64;
+            self.age_secs_sum -= age_secs;
+            let s = self.stripe_hist.entry(stripes).or_insert(0);
+            *s -= 1;
+            if *s == 0 {
+                self.stripe_hist.remove(&stripes);
+            }
+        } else {
+            self.dirs -= 1;
+        }
+    }
+}
+
+/// Exact quantile of a `value → count` histogram.
+fn quantile_of_hist(hist: &FxHashMap<u32, u64>, q: f64) -> Option<f64> {
+    let total: u64 = hist.values().sum();
+    if total == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut keys: Vec<(u32, u64)> = hist.iter().map(|(&k, &n)| (k, n)).collect();
+    keys.sort_unstable();
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0;
+    for (k, n) in keys {
+        seen += n;
+        if seen >= rank {
+            return Some(k as f64);
+        }
+    }
+    None
+}
+
+/// The incremental aggregation pipeline. See the module docs for the
+/// state taxonomy; see [`IncrementalPipeline::advance`] for the
+/// store-driven entry point.
+#[derive(Debug, Clone)]
+pub struct IncrementalPipeline {
+    /// Day + bytes digest the latest-day state describes.
+    held: Option<(u32, u64)>,
+    // -- monotone across days --
+    seen: FxHashSet<u64>,
+    unique_files: u64,
+    unique_dirs: u64,
+    unique_files_per_uid: FxHashMap<u32, u64>,
+    unique_files_per_gid: FxHashMap<u32, u64>,
+    edges: FxHashSet<(u32, u32)>,
+    // -- latest-day, retractable, exact --
+    by_gid: FxHashMap<u32, GidAggregate>,
+    files_by_uid: FxHashMap<u32, u64>,
+    files_by_ext: FxHashMap<Box<str>, u64>,
+    total: GidAggregate,
+    // -- latest-day, sketch-backed, approximate under retraction --
+    depth_sketch: AggState,
+    sketch_exact: bool,
+    // -- history --
+    trend: Vec<TrendPoint>,
+    // -- accounting (mirrored to incr.* telemetry) --
+    days_applied: u64,
+    rows_applied: u64,
+    full_rebuilds: u64,
+}
+
+impl Default for IncrementalPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Relative error of the maintained depth sketch (matches the
+/// [`crate::agg::MultiAgg::quantile`] default).
+const SKETCH_ERROR: f64 = 0.01;
+
+impl IncrementalPipeline {
+    /// An empty pipeline: the next day applied is a bootstrap full fold.
+    pub fn new() -> IncrementalPipeline {
+        IncrementalPipeline {
+            held: None,
+            seen: FxHashSet::default(),
+            unique_files: 0,
+            unique_dirs: 0,
+            unique_files_per_uid: FxHashMap::default(),
+            unique_files_per_gid: FxHashMap::default(),
+            edges: FxHashSet::default(),
+            by_gid: FxHashMap::default(),
+            files_by_uid: FxHashMap::default(),
+            files_by_ext: FxHashMap::default(),
+            total: GidAggregate::default(),
+            depth_sketch: AggState::quantile(SKETCH_ERROR),
+            sketch_exact: true,
+            trend: Vec::new(),
+            days_applied: 0,
+            rows_applied: 0,
+            full_rebuilds: 0,
+        }
+    }
+
+    /// The `(day, digest)` the latest-day state describes.
+    pub fn held(&self) -> Option<(u32, u64)> {
+        self.held
+    }
+
+    /// The latest applied day.
+    pub fn last_day(&self) -> Option<u32> {
+        self.held.map(|(d, _)| d)
+    }
+
+    /// Unique paths ever seen (census spine).
+    pub fn unique_entries(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Unique files ever seen.
+    pub fn unique_files(&self) -> u64 {
+        self.unique_files
+    }
+
+    /// Unique directories ever seen.
+    pub fn unique_dirs(&self) -> u64 {
+        self.unique_dirs
+    }
+
+    /// Unique file counts per uid (first-sight attribution).
+    pub fn unique_files_per_uid(&self) -> &FxHashMap<u32, u64> {
+        &self.unique_files_per_uid
+    }
+
+    /// Unique file counts per gid (first-sight attribution).
+    pub fn unique_files_per_gid(&self) -> &FxHashMap<u32, u64> {
+        &self.unique_files_per_gid
+    }
+
+    /// Distinct (uid, gid) participation edges (uid ≥ 1).
+    pub fn edge_count(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Latest-day aggregates for one gid.
+    pub fn gid_state(&self, gid: u32) -> Option<&GidAggregate> {
+        self.by_gid.get(&gid)
+    }
+
+    /// Latest-day aggregates over every row.
+    pub fn totals(&self) -> &GidAggregate {
+        &self.total
+    }
+
+    /// Latest-day file counts per uid.
+    pub fn files_by_uid(&self) -> &FxHashMap<u32, u64> {
+        &self.files_by_uid
+    }
+
+    /// Latest-day file counts per extension.
+    pub fn files_by_ext(&self) -> &FxHashMap<Box<str>, u64> {
+        &self.files_by_ext
+    }
+
+    /// The maintained trend curve, one point per applied day.
+    pub fn trend(&self) -> &[TrendPoint] {
+        &self.trend
+    }
+
+    /// Whether the depth sketch still reflects exactly the latest day's
+    /// rows. Cleared by the first sketch retraction (delta-applied
+    /// removals/changes); restored by any full fold.
+    pub fn sketch_exact(&self) -> bool {
+        self.sketch_exact
+    }
+
+    /// Depth quantile from the sketch — within its error bound of the
+    /// truth only while [`IncrementalPipeline::sketch_exact`]; otherwise
+    /// a flagged approximation over a superset of the day's rows. Exact
+    /// answers are always available from `totals().depth_quantile(q)`.
+    pub fn sketch_depth_quantile(&self, q: f64) -> Option<f64> {
+        match &self.depth_sketch {
+            AggState::Quantile(s) => s.quantile(q),
+            _ => None,
+        }
+    }
+
+    /// Days folded in (by either path).
+    pub fn days_applied(&self) -> u64 {
+        self.days_applied
+    }
+
+    /// Rows folded: delta-touched rows on the fast path, whole days on
+    /// the full path — the O(changed rows) claim, measurable.
+    pub fn rows_applied(&self) -> u64 {
+        self.rows_applied
+    }
+
+    /// Full folds performed past bootstrap (oracle fallbacks).
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    fn census_add(&mut self, path: &str, is_file: bool, uid: u32, gid: u32) {
+        if self.seen.insert(path_hash(path)) {
+            if is_file {
+                self.unique_files += 1;
+                *self.unique_files_per_uid.entry(uid).or_insert(0) += 1;
+                *self.unique_files_per_gid.entry(gid).or_insert(0) += 1;
+            } else {
+                self.unique_dirs += 1;
+            }
+        }
+    }
+
+    fn latest_add(&mut self, row: &DeltaRow) {
+        let is_file = row.is_file();
+        let age = row.atime.saturating_sub(row.mtime);
+        self.by_gid
+            .entry(row.gid)
+            .or_default()
+            .add(is_file, row.stripe_count, age, row.depth);
+        self.total.add(is_file, row.stripe_count, age, row.depth);
+        if is_file {
+            *self.files_by_uid.entry(row.uid).or_insert(0) += 1;
+            if let Some(ext) = &row.ext {
+                *self.files_by_ext.entry(ext.as_str().into()).or_insert(0) += 1;
+            }
+        }
+        self.depth_sketch.push_value(Some(row.depth as f64));
+    }
+
+    fn latest_retract(&mut self, row: &DeltaRow) {
+        let is_file = row.is_file();
+        let age = row.atime.saturating_sub(row.mtime);
+        let gid_state = self
+            .by_gid
+            .get_mut(&row.gid)
+            .expect("retract of a gid never added");
+        gid_state.retract(is_file, row.stripe_count, age, row.depth);
+        if gid_state.is_empty() {
+            self.by_gid.remove(&row.gid);
+        }
+        self.total
+            .retract(is_file, row.stripe_count, age, row.depth);
+        if is_file {
+            let n = self
+                .files_by_uid
+                .get_mut(&row.uid)
+                .expect("retract of a uid never added");
+            *n -= 1;
+            if *n == 0 {
+                self.files_by_uid.remove(&row.uid);
+            }
+            if let Some(ext) = &row.ext {
+                let n = self
+                    .files_by_ext
+                    .get_mut(ext.as_str())
+                    .expect("retract of an ext never added");
+                *n -= 1;
+                if *n == 0 {
+                    self.files_by_ext.remove(ext.as_str());
+                }
+            }
+        }
+        if self.depth_sketch.retract_value(Some(row.depth as f64)) == Retraction::Approximate {
+            self.sketch_exact = false;
+        }
+    }
+
+    fn delta_row_at(cols: &FrameColumns, i: usize) -> DeltaRow {
+        DeltaRow {
+            atime: cols.atime[i],
+            ctime: cols.ctime[i],
+            mtime: cols.mtime[i],
+            uid: cols.uid[i],
+            gid: cols.gid[i],
+            mode: cols.mode[i],
+            stripe_count: cols.stripe_count[i],
+            depth: path_depth(cols.path(i)),
+            ext: cols.ext(i).map(str::to_string),
+        }
+    }
+
+    /// Folds `cols` in full as the new latest day. The first fold is the
+    /// bootstrap; later full folds are oracle fallbacks and counted
+    /// under `full_rebuilds` / `incr.full_rebuilds`. Restores
+    /// [`IncrementalPipeline::sketch_exact`].
+    pub fn apply_full(&mut self, cols: &FrameColumns, digest: u64) {
+        let tel = telemetry::global();
+        if self.held.is_some() {
+            self.full_rebuilds += 1;
+            tel.incr("incr.full_rebuilds", 1);
+        }
+        // Reset the latest-day state; monotone state survives.
+        self.by_gid.clear();
+        self.files_by_uid.clear();
+        self.files_by_ext.clear();
+        self.total = GidAggregate::default();
+        self.depth_sketch = AggState::quantile(SKETCH_ERROR);
+        self.sketch_exact = true;
+        for i in 0..cols.len() {
+            let row = Self::delta_row_at(cols, i);
+            self.census_add(cols.path(i), row.is_file(), row.uid, row.gid);
+            if row.uid >= 1 {
+                self.edges.insert((row.uid, row.gid));
+            }
+            self.latest_add(&row);
+        }
+        self.held = Some((cols.day(), digest));
+        self.days_applied += 1;
+        self.rows_applied += cols.len() as u64;
+        tel.incr("incr.days_applied", 1);
+        tel.incr("incr.rows_applied", cols.len() as u64);
+        self.push_trend(cols.day(), None);
+    }
+
+    /// Applies one day via its delta — O(touched rows). `cols` must be
+    /// the decoded new day (the delta's indices point into it) and the
+    /// delta's baseline must equal the held `(day, digest)`; otherwise
+    /// the chain is broken and the caller must fold in full.
+    pub fn apply_delta(
+        &mut self,
+        cols: &FrameColumns,
+        delta: &FrameDelta,
+    ) -> Result<(), IncrError> {
+        if delta.new_day != cols.day() {
+            return Err(IncrError::WrongDay {
+                frame_day: cols.day(),
+                delta_day: delta.new_day,
+            });
+        }
+        if self.held != Some((delta.old_day, delta.old_digest)) {
+            return Err(IncrError::ChainBroken {
+                held: self.held,
+                wanted: (delta.old_day, delta.old_digest),
+            });
+        }
+        // Retract the old side of every departed or rewritten row.
+        for row in delta.removed.iter().chain(delta.changed_old.iter()) {
+            self.latest_retract(row);
+        }
+        // Fold the new side: added rows are census/edge candidates too.
+        for &i in &delta.added {
+            let i = i as usize;
+            let row = Self::delta_row_at(cols, i);
+            self.census_add(cols.path(i), row.is_file(), row.uid, row.gid);
+            if row.uid >= 1 {
+                self.edges.insert((row.uid, row.gid));
+            }
+            self.latest_add(&row);
+        }
+        for &i in &delta.changed {
+            let i = i as usize;
+            let row = Self::delta_row_at(cols, i);
+            // A changed row's path was already seen; only its edge can
+            // be new (chown/chgrp).
+            if row.uid >= 1 {
+                self.edges.insert((row.uid, row.gid));
+            }
+            self.latest_add(&row);
+        }
+        self.held = Some((delta.new_day, delta.new_digest));
+        self.days_applied += 1;
+        let touched = delta.touched_rows();
+        self.rows_applied += touched;
+        let tel = telemetry::global();
+        tel.incr("incr.days_applied", 1);
+        tel.incr("incr.rows_applied", touched);
+        self.push_trend(
+            delta.new_day,
+            Some((
+                delta.added.len() as u64,
+                delta.removed.len() as u64,
+                delta.changed.len() as u64,
+            )),
+        );
+        Ok(())
+    }
+
+    fn push_trend(&mut self, day: u32, churn: Option<(u64, u64, u64)>) {
+        self.trend.push(TrendPoint {
+            day,
+            entries: self.total.entries,
+            files: self.total.files,
+            dirs: self.total.dirs,
+            churn,
+        });
+    }
+
+    /// Applies one day, preferring the delta path and falling back to a
+    /// full fold when no delta chains.
+    pub fn apply_day(
+        &mut self,
+        cols: &FrameColumns,
+        digest: u64,
+        delta: Option<&FrameDelta>,
+    ) -> Applied {
+        if let Some(delta) = delta {
+            if self.apply_delta(cols, delta).is_ok() {
+                return Applied::Delta;
+            }
+        }
+        self.apply_full(cols, digest);
+        Applied::Full
+    }
+
+    /// Applies every store day past [`IncrementalPipeline::last_day`]
+    /// through `loader`, using digest-chain-validated deltas
+    /// ([`FrameLoader::delta_for`]) where they chain and full folds
+    /// where they do not. Returns `(days applied, full folds)`.
+    ///
+    /// Days that fail to decode strictly are skipped — a lossy day
+    /// cannot anchor a delta chain, and the skip leaves `held` on the
+    /// last good day so the *next* day full-folds (never silently
+    /// bridges the bad one).
+    pub fn advance(&mut self, loader: &FrameLoader) -> Result<(u64, u64), StoreError> {
+        let since = self.last_day();
+        let mut applied = 0;
+        let mut full = 0;
+        for &day in loader.days() {
+            if since.is_some_and(|d| day <= d) {
+                continue;
+            }
+            let Some(cols) = loader.columns(day).ok().flatten() else {
+                continue;
+            };
+            let Some(digest) = loader.day_digest(day)? else {
+                continue;
+            };
+            let delta = loader.delta_for(day)?;
+            match self.apply_day(&cols, digest, delta.as_ref()) {
+                Applied::Delta => {}
+                Applied::Full => full += 1,
+            }
+            applied += 1;
+        }
+        Ok((applied, full))
+    }
+
+    /// The full-rescan oracle: a fresh pipeline folding every store day
+    /// from scratch. Incremental maintenance is correct iff
+    /// `self.fingerprint() == Self::rescan(loader)?.fingerprint()`.
+    pub fn rescan(loader: &FrameLoader) -> Result<IncrementalPipeline, StoreError> {
+        let mut oracle = IncrementalPipeline::new();
+        for &day in loader.days() {
+            let Some(cols) = loader.columns(day).ok().flatten() else {
+                continue;
+            };
+            let Some(digest) = loader.day_digest(day)? else {
+                continue;
+            };
+            oracle.apply_full(&cols, digest);
+        }
+        Ok(oracle)
+    }
+
+    /// Order-independent fingerprint over every **exact** field: held
+    /// day/digest, the census, the edge set, the per-gid / per-uid /
+    /// per-ext latest-day aggregates, and the trend totals. The sketch
+    /// and churn annotations are excluded (approximate by contract).
+    /// Two pipelines answering every exact query identically fingerprint
+    /// identically, regardless of how their days arrived.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = rustc_hash::FxHasher::default();
+        self.held.hash(&mut h);
+        // Sets and maps hash as sorted streams for order independence.
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        seen.hash(&mut h);
+        (self.unique_files, self.unique_dirs).hash(&mut h);
+        hash_sorted_map(&self.unique_files_per_uid, &mut h);
+        hash_sorted_map(&self.unique_files_per_gid, &mut h);
+        let mut edges: Vec<(u32, u32)> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        edges.hash(&mut h);
+        let mut gids: Vec<u32> = self.by_gid.keys().copied().collect();
+        gids.sort_unstable();
+        for gid in gids {
+            let s = &self.by_gid[&gid];
+            (
+                gid,
+                s.entries,
+                s.files,
+                s.dirs,
+                s.stripes_sum,
+                s.age_secs_sum,
+            )
+                .hash(&mut h);
+            hash_sorted_map(&s.depth_hist, &mut h);
+            hash_sorted_map(&s.stripe_hist, &mut h);
+        }
+        (
+            self.total.entries,
+            self.total.files,
+            self.total.dirs,
+            self.total.stripes_sum,
+            self.total.age_secs_sum,
+        )
+            .hash(&mut h);
+        hash_sorted_map(&self.total.depth_hist, &mut h);
+        hash_sorted_map(&self.total.stripe_hist, &mut h);
+        hash_sorted_map(&self.files_by_uid, &mut h);
+        let mut exts: Vec<(&str, u64)> = self
+            .files_by_ext
+            .iter()
+            .map(|(k, &v)| (k.as_ref(), v))
+            .collect();
+        exts.sort_unstable();
+        exts.hash(&mut h);
+        for p in &self.trend {
+            (p.day, p.entries, p.files, p.dirs).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+fn hash_sorted_map<K: Copy + Ord + Hash, H: Hasher>(map: &FxHashMap<K, u64>, h: &mut H) {
+    let mut kv: Vec<(K, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    kv.sort_unstable();
+    kv.hash(h);
+}
+
+// ---- persistence ---------------------------------------------------------
+//
+// A compact self-describing binary codec (no serde: the state is maps of
+// integers, and the format must stay stable under dependency stubbing).
+// Layout mirrors the struct; a trailing xxh section digest makes rot a
+// refusal, not a plausible-wrong state.
+
+const STATE_MAGIC: &[u8; 4] = b"SPI\x01";
+
+fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = *self.buf.get(self.at)?;
+            self.at += 1;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.u64()?.try_into().ok()
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(slice)
+    }
+}
+
+fn put_map_u32(out: &mut Vec<u8>, map: &FxHashMap<u32, u64>) {
+    let mut kv: Vec<(u32, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    kv.sort_unstable();
+    put_u64(out, kv.len() as u64);
+    for (k, v) in kv {
+        put_u64(out, k as u64);
+        put_u64(out, v);
+    }
+}
+
+fn read_map_u32(c: &mut Cursor<'_>) -> Option<FxHashMap<u32, u64>> {
+    let n = c.u64()? as usize;
+    let mut map = FxHashMap::default();
+    for _ in 0..n {
+        let k = c.u32()?;
+        let v = c.u64()?;
+        map.insert(k, v);
+    }
+    Some(map)
+}
+
+impl IncrementalPipeline {
+    /// Serializes the state (sketch excluded — it is rebuilt exactly
+    /// from the depth histogram on load, so a loaded pipeline always
+    /// starts [`IncrementalPipeline::sketch_exact`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_MAGIC);
+        match self.held {
+            Some((day, digest)) => {
+                put_u64(&mut out, 1 + day as u64);
+                put_u64(&mut out, digest);
+            }
+            None => put_u64(&mut out, 0),
+        }
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        put_u64(&mut out, seen.len() as u64);
+        for v in seen {
+            put_u64(&mut out, v);
+        }
+        put_u64(&mut out, self.unique_files);
+        put_u64(&mut out, self.unique_dirs);
+        put_map_u32(&mut out, &self.unique_files_per_uid);
+        put_map_u32(&mut out, &self.unique_files_per_gid);
+        let mut edges: Vec<(u32, u32)> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        put_u64(&mut out, edges.len() as u64);
+        for (u, g) in edges {
+            put_u64(&mut out, u as u64);
+            put_u64(&mut out, g as u64);
+        }
+        let mut gids: Vec<u32> = self.by_gid.keys().copied().collect();
+        gids.sort_unstable();
+        put_u64(&mut out, gids.len() as u64);
+        for gid in gids {
+            put_u64(&mut out, gid as u64);
+            encode_gid_agg(&mut out, &self.by_gid[&gid]);
+        }
+        encode_gid_agg(&mut out, &self.total);
+        put_map_u32(&mut out, &self.files_by_uid);
+        let mut exts: Vec<(&str, u64)> = self
+            .files_by_ext
+            .iter()
+            .map(|(k, &v)| (k.as_ref(), v))
+            .collect();
+        exts.sort_unstable();
+        put_u64(&mut out, exts.len() as u64);
+        for (ext, n) in exts {
+            put_u64(&mut out, ext.len() as u64);
+            out.extend_from_slice(ext.as_bytes());
+            put_u64(&mut out, n);
+        }
+        put_u64(&mut out, self.trend.len() as u64);
+        for p in &self.trend {
+            put_u64(&mut out, p.day as u64);
+            put_u64(&mut out, p.entries);
+            put_u64(&mut out, p.files);
+            put_u64(&mut out, p.dirs);
+            match p.churn {
+                Some((a, r, c)) => {
+                    put_u64(&mut out, 1);
+                    put_u64(&mut out, a);
+                    put_u64(&mut out, r);
+                    put_u64(&mut out, c);
+                }
+                None => put_u64(&mut out, 0),
+            }
+        }
+        put_u64(&mut out, self.days_applied);
+        put_u64(&mut out, self.rows_applied);
+        put_u64(&mut out, self.full_rebuilds);
+        let digest = spider_snapshot::xxh::section_digest(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+
+    /// Decodes a state produced by [`IncrementalPipeline::encode`].
+    /// Returns `None` on any truncation, tag, or digest failure —
+    /// callers treat that as "no prior state" and bootstrap.
+    pub fn decode(bytes: &[u8]) -> Option<IncrementalPipeline> {
+        if bytes.len() < STATE_MAGIC.len() + 8 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let recorded = u64::from_le_bytes(tail.try_into().ok()?);
+        if spider_snapshot::xxh::section_digest(body) != recorded {
+            return None;
+        }
+        let mut c = Cursor {
+            buf: body,
+            at: STATE_MAGIC.len(),
+        };
+        if &body[..STATE_MAGIC.len()] != STATE_MAGIC {
+            return None;
+        }
+        let mut p = IncrementalPipeline::new();
+        let held_tag = c.u64()?;
+        if held_tag > 0 {
+            let day = (held_tag - 1).try_into().ok()?;
+            let digest = c.u64()?;
+            p.held = Some((day, digest));
+        }
+        let n = c.u64()? as usize;
+        for _ in 0..n {
+            p.seen.insert(c.u64()?);
+        }
+        p.unique_files = c.u64()?;
+        p.unique_dirs = c.u64()?;
+        p.unique_files_per_uid = read_map_u32(&mut c)?;
+        p.unique_files_per_gid = read_map_u32(&mut c)?;
+        let n = c.u64()? as usize;
+        for _ in 0..n {
+            let u = c.u32()?;
+            let g = c.u32()?;
+            p.edges.insert((u, g));
+        }
+        let n = c.u64()? as usize;
+        for _ in 0..n {
+            let gid = c.u32()?;
+            p.by_gid.insert(gid, decode_gid_agg(&mut c)?);
+        }
+        p.total = decode_gid_agg(&mut c)?;
+        p.files_by_uid = read_map_u32(&mut c)?;
+        let n = c.u64()? as usize;
+        for _ in 0..n {
+            let len = c.u64()? as usize;
+            let ext = std::str::from_utf8(c.bytes(len)?).ok()?;
+            let count = c.u64()?;
+            p.files_by_ext.insert(ext.into(), count);
+        }
+        let n = c.u64()? as usize;
+        for _ in 0..n {
+            let day = c.u32()?;
+            let entries = c.u64()?;
+            let files = c.u64()?;
+            let dirs = c.u64()?;
+            let churn = if c.u64()? == 1 {
+                Some((c.u64()?, c.u64()?, c.u64()?))
+            } else {
+                None
+            };
+            p.trend.push(TrendPoint {
+                day,
+                entries,
+                files,
+                dirs,
+                churn,
+            });
+        }
+        p.days_applied = c.u64()?;
+        p.rows_applied = c.u64()?;
+        p.full_rebuilds = c.u64()?;
+        if c.at != body.len() {
+            return None;
+        }
+        // Rebuild the sketch exactly from the depth histogram.
+        p.depth_sketch = AggState::quantile(SKETCH_ERROR);
+        let mut depths: Vec<(u32, u64)> =
+            p.total.depth_hist.iter().map(|(&d, &n)| (d, n)).collect();
+        depths.sort_unstable();
+        if let AggState::Quantile(sketch) = &mut p.depth_sketch {
+            for (depth, count) in depths {
+                sketch.push_weighted(depth as f64, count);
+            }
+        }
+        p.sketch_exact = true;
+        Some(p)
+    }
+
+    /// Persists the state next to a store (conventionally
+    /// `incr-state.bin` inside the store directory).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a persisted state; `None` when the file is absent or fails
+    /// validation (bootstrap instead).
+    pub fn load(path: &std::path::Path) -> Option<IncrementalPipeline> {
+        Self::decode(&std::fs::read(path).ok()?)
+    }
+}
+
+fn encode_gid_agg(out: &mut Vec<u8>, s: &GidAggregate) {
+    put_u64(out, s.entries);
+    put_u64(out, s.files);
+    put_u64(out, s.dirs);
+    put_u64(out, s.stripes_sum);
+    put_u64(out, s.age_secs_sum);
+    put_map_u32(out, &s.depth_hist);
+    put_map_u32(out, &s.stripe_hist);
+}
+
+fn decode_gid_agg(c: &mut Cursor<'_>) -> Option<GidAggregate> {
+    Some(GidAggregate {
+        entries: c.u64()?,
+        files: c.u64()?,
+        dirs: c.u64()?,
+        stripes_sum: c.u64()?,
+        age_secs_sum: c.u64()?,
+        depth_hist: read_map_u32(c)?,
+        stripe_hist: read_map_u32(c)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_snapshot::colf;
+    use spider_snapshot::xxh::section_digest;
+    use spider_snapshot::{Snapshot, SnapshotRecord};
+
+    fn rec(
+        path: &str,
+        atime: u64,
+        mtime: u64,
+        uid: u32,
+        gid: u32,
+        stripes: usize,
+    ) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime,
+            ctime: mtime,
+            mtime,
+            uid,
+            gid,
+            mode: 0o100664,
+            ino: 1,
+            osts: (0..stripes as u16).map(|o| (o, 1)).collect(),
+        }
+    }
+
+    fn dir(path: &str, gid: u32) -> SnapshotRecord {
+        SnapshotRecord {
+            mode: 0o040770,
+            osts: vec![],
+            ..rec(path, 1, 1, 1, gid, 0)
+        }
+    }
+
+    fn day_bytes(day: u32, records: Vec<SnapshotRecord>) -> (Vec<u8>, u64) {
+        let mut records = records;
+        records.sort_by(|a, b| a.path.cmp(&b.path));
+        records.dedup_by(|a, b| a.path == b.path);
+        let bytes = colf::encode(&Snapshot::new(day, day as u64 * 86_400, records));
+        let digest = section_digest(&bytes);
+        (bytes, digest)
+    }
+
+    fn columns(bytes: &[u8]) -> FrameColumns {
+        FrameColumns::decode(bytes).unwrap()
+    }
+
+    fn day0() -> Vec<SnapshotRecord> {
+        vec![
+            dir("/p", 500),
+            rec("/p/a.nc", 100, 50, 7, 500, 2),
+            rec("/p/b.mat", 200, 60, 7, 500, 4),
+            rec("/q/x.py", 300, 70, 8, 600, 1),
+        ]
+    }
+
+    fn day7() -> Vec<SnapshotRecord> {
+        vec![
+            dir("/p", 500),
+            rec("/p/a.nc", 999, 50, 7, 500, 2),  // atime changed
+            rec("/p/c.nc", 400, 400, 9, 500, 3), // added
+            rec("/q/x.py", 300, 70, 8, 600, 1),  // unchanged; b.mat removed
+        ]
+    }
+
+    fn pipeline_over(days: &[(u32, Vec<SnapshotRecord>)]) -> IncrementalPipeline {
+        let mut p = IncrementalPipeline::new();
+        let mut prev: Option<(Vec<u8>, u64)> = None;
+        for (day, records) in days {
+            let (bytes, digest) = day_bytes(*day, records.clone());
+            let cols = columns(&bytes);
+            let delta = prev
+                .as_ref()
+                .map(|(pb, pd)| FrameDelta::compute(&columns(pb), &cols, *pd, digest).unwrap());
+            p.apply_day(&cols, digest, delta.as_ref());
+            prev = Some((bytes, digest));
+        }
+        p
+    }
+
+    fn oracle_over(days: &[(u32, Vec<SnapshotRecord>)]) -> IncrementalPipeline {
+        let mut p = IncrementalPipeline::new();
+        for (day, records) in days {
+            let (bytes, digest) = day_bytes(*day, records.clone());
+            p.apply_full(&columns(&bytes), digest);
+        }
+        p
+    }
+
+    #[test]
+    fn delta_application_matches_full_rescan_fingerprint() {
+        let days = vec![(0, day0()), (7, day7())];
+        let incremental = pipeline_over(&days);
+        let oracle = oracle_over(&days);
+        assert_eq!(incremental.fingerprint(), oracle.fingerprint());
+        // And the fast path really was the fast path.
+        assert_eq!(incremental.full_rebuilds(), 0);
+        assert!(incremental.rows_applied() < oracle.rows_applied());
+    }
+
+    #[test]
+    fn census_and_edges_accumulate_monotonically() {
+        let p = pipeline_over(&[(0, day0()), (7, day7())]);
+        // Unique paths: /p, a.nc, b.mat, x.py, c.nc = 5.
+        assert_eq!(p.unique_entries(), 5);
+        assert_eq!(p.unique_files(), 4);
+        assert_eq!(p.unique_dirs(), 1);
+        assert_eq!(p.unique_files_per_uid()[&7], 2);
+        // Edges: (1,500) dir, (7,500), (8,600), (9,500).
+        assert_eq!(p.edge_count(), 4);
+    }
+
+    #[test]
+    fn latest_day_state_tracks_the_new_day_exactly() {
+        let p = pipeline_over(&[(0, day0()), (7, day7())]);
+        let g500 = p.gid_state(500).unwrap();
+        assert_eq!(g500.entries, 3); // dir + a.nc + c.nc
+        assert_eq!(g500.files, 2);
+        assert_eq!(g500.stripes_sum, 5); // 2 + 3
+        assert_eq!(p.totals().entries, 4);
+        assert_eq!(p.files_by_ext()["nc"], 2);
+        assert!(!p.files_by_ext().contains_key("mat"));
+        assert_eq!(p.trend().len(), 2);
+        assert_eq!(p.trend()[1].churn, Some((1, 1, 1)));
+    }
+
+    #[test]
+    fn sketch_goes_approximate_on_retraction_and_recovers_on_full_fold() {
+        let days = vec![(0, day0()), (7, day7())];
+        let mut p = pipeline_over(&days);
+        assert!(!p.sketch_exact(), "day 7 removed b.mat: sketch must flag");
+        // Exact quantiles stay available from the histogram.
+        assert!(p.totals().depth_quantile(0.5).is_some());
+        // A full re-fold of the same day restores exactness.
+        let (bytes, digest) = day_bytes(7, day7());
+        p.apply_full(&columns(&bytes), digest);
+        assert!(p.sketch_exact());
+        assert_eq!(p.full_rebuilds(), 1);
+    }
+
+    #[test]
+    fn broken_chain_is_refused_not_merged() {
+        let (b0, d0) = day_bytes(0, day0());
+        let (b7, d7) = day_bytes(7, day7());
+        let delta = FrameDelta::compute(&columns(&b0), &columns(&b7), d0, d7).unwrap();
+        let mut p = IncrementalPipeline::new();
+        // Nothing held: the chain cannot anchor.
+        let err = p.apply_delta(&columns(&b7), &delta).unwrap_err();
+        assert!(matches!(err, IncrError::ChainBroken { held: None, .. }));
+        // Held digest differs (day 0 was re-simulated): refused again.
+        p.apply_full(&columns(&b0), d0 ^ 1);
+        let err = p.apply_delta(&columns(&b7), &delta).unwrap_err();
+        assert!(matches!(err, IncrError::ChainBroken { .. }));
+        // apply_day degrades to the full fold, never a silent merge.
+        assert_eq!(p.apply_day(&columns(&b7), d7, Some(&delta)), Applied::Full);
+        let oracle = oracle_over(&[(0, day0()), (7, day7())]);
+        assert_eq!(p.fingerprint(), oracle.fingerprint());
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_the_fingerprint() {
+        let p = pipeline_over(&[(0, day0()), (7, day7())]);
+        let bytes = p.encode();
+        let q = IncrementalPipeline::decode(&bytes).unwrap();
+        assert_eq!(p.fingerprint(), q.fingerprint());
+        assert_eq!(q.days_applied(), p.days_applied());
+        assert!(q.sketch_exact(), "sketch is rebuilt exactly on load");
+        // Corruption is a refusal, not a plausible-wrong state.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(IncrementalPipeline::decode(&bad).is_none());
+        assert!(IncrementalPipeline::decode(&bytes[..bytes.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn reloaded_pipeline_continues_the_chain() {
+        let (b0, d0) = day_bytes(0, day0());
+        let (b7, d7) = day_bytes(7, day7());
+        let mut p = IncrementalPipeline::new();
+        p.apply_full(&columns(&b0), d0);
+        let mut q = IncrementalPipeline::decode(&p.encode()).unwrap();
+        let delta = FrameDelta::compute(&columns(&b0), &columns(&b7), d0, d7).unwrap();
+        q.apply_delta(&columns(&b7), &delta).unwrap();
+        let oracle = oracle_over(&[(0, day0()), (7, day7())]);
+        assert_eq!(q.fingerprint(), oracle.fingerprint());
+    }
+
+    #[test]
+    fn exact_hist_quantiles_match_definition() {
+        let mut hist = FxHashMap::default();
+        hist.insert(2u32, 3u64);
+        hist.insert(5, 1);
+        assert_eq!(quantile_of_hist(&hist, 0.5), Some(2.0));
+        assert_eq!(quantile_of_hist(&hist, 1.0), Some(5.0));
+        assert_eq!(quantile_of_hist(&hist, 0.0), Some(2.0));
+        assert_eq!(quantile_of_hist(&FxHashMap::default(), 0.5), None);
+    }
+}

@@ -32,6 +32,12 @@
 //!   [`spider_snapshot::FrameColumns`] (no row materialization), days
 //!   load rayon-parallel under a bounded batch budget, and decoded
 //!   frames persist in a checksum-keyed LRU [`loader::FrameCache`];
+//! * [`incremental::IncrementalPipeline`] — mergeable, retractable
+//!   aggregate state maintained day-over-day from
+//!   [`spider_snapshot::FrameDelta`] sidecars, so appending one day
+//!   costs O(changed rows) instead of a full-store refold; the full
+//!   rescan survives as the cross-check oracle
+//!   ([`incremental::IncrementalPipeline::rescan`]);
 //! * [`query::Scan`] — the lazy, fused query surface: filters compose
 //!   into one statically-dispatched predicate evaluated inside the scan,
 //!   and [`agg::MultiAgg`] computes several named aggregates in a single
@@ -57,6 +63,7 @@ pub mod behavior;
 pub mod context;
 pub mod engine;
 pub mod frame;
+pub mod incremental;
 pub mod loader;
 pub mod pipeline;
 pub mod query;
@@ -64,10 +71,11 @@ pub mod sharing;
 pub mod summary;
 pub mod trends;
 
-pub use agg::{AggValue, MultiAgg, MultiAggResult};
+pub use agg::{AggState, AggValue, MultiAgg, MultiAggResult, Retraction};
 pub use context::AnalysisContext;
 pub use engine::Engine;
 pub use frame::SnapshotFrame;
+pub use incremental::{Applied, GidAggregate, IncrError, IncrementalPipeline, TrendPoint};
 pub use loader::{
     FrameCache, FrameLoader, LoadedDay, TenantAttribution, TenantCacheStats, TenantId, UNTENANTED,
 };

@@ -371,7 +371,7 @@ pub struct LoadedDay {
 /// are salvaged rather than refused.
 pub struct FrameLoader {
     store: SnapshotStore,
-    cache: FrameCache,
+    cache: Arc<FrameCache>,
     batch: usize,
 }
 
@@ -381,7 +381,7 @@ impl FrameLoader {
     /// repeated pass over the store hits), batch = rayon pool size.
     pub fn new(store: &SnapshotStore) -> Result<FrameLoader, StoreError> {
         let handle = SnapshotStore::open_lenient(store.dir(), store.io(), store.retry_policy())?;
-        let cache = FrameCache::new(handle.len());
+        let cache = Arc::new(FrameCache::new(handle.len()));
         Ok(FrameLoader {
             store: handle,
             cache,
@@ -405,7 +405,7 @@ impl FrameLoader {
 
     /// Replaces the cache with one of the given capacity (0 disables).
     pub fn with_cache_capacity(mut self, capacity: usize) -> FrameLoader {
-        self.cache = FrameCache::new(capacity);
+        self.cache = Arc::new(FrameCache::new(capacity));
         self
     }
 
@@ -425,6 +425,78 @@ impl FrameLoader {
     /// The frame cache (hit/miss stats, explicit clearing).
     pub fn cache(&self) -> &FrameCache {
         &self.cache
+    }
+
+    /// A shared handle onto the frame cache, so long-lived services
+    /// (e.g. `spider-serve`) can inspect cache stats without borrowing
+    /// the loader across await points or lock scopes.
+    pub fn cache_handle(&self) -> Arc<FrameCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Re-lists the store directory, picking up days appended (or
+    /// removed) since the loader was opened. Returns true when the day
+    /// set changed. The frame cache needs no invalidation — keys carry
+    /// the bytes' digest, so changed days simply miss.
+    pub fn rescan(&mut self) -> Result<bool, StoreError> {
+        self.store.rescan()
+    }
+
+    /// Decodes `day`'s raw bytes into full-fidelity column views —
+    /// paths included, strict (a corrupt section is an error, never a
+    /// silently defaulted column). This is the substrate incremental
+    /// consumers fold deltas against; unlike frames, columns are not
+    /// cached (the arena borrow makes them unshareable), so callers
+    /// should hold on to the result across delta applications.
+    pub fn columns(&self, day: u32) -> Result<Option<FrameColumns>, StoreError> {
+        let Some(bytes) = self.store.read_raw(day)? else {
+            return Ok(None);
+        };
+        let tel = telemetry::global();
+        let sw = tel.stopwatch();
+        let cols = match FrameColumns::decode(&bytes) {
+            Ok(cols) => cols,
+            Err(_) => {
+                // Mirror `frame`'s read-again healing for short reads.
+                let Some(bytes) = self.store.read_raw(day)? else {
+                    return Ok(None);
+                };
+                FrameColumns::decode(&bytes)?
+            }
+        };
+        if let Some(ns) = tel.elapsed_ns(sw) {
+            tel.record("loader.decode_ns", ns);
+        }
+        Ok(Some(cols))
+    }
+
+    /// Digest of `day`'s raw bytes as currently on disk — the chain
+    /// anchor incremental state records alongside its held day.
+    pub fn day_digest(&self, day: u32) -> Result<Option<u64>, StoreError> {
+        self.store.day_digest(day)
+    }
+
+    /// The delta sidecar landing on `day`, **digest-chain validated**:
+    /// the sidecar's recorded old/new digests must match the bytes
+    /// currently on disk for both endpoint days. A day that was healed,
+    /// re-simulated, quarantined, or substituted since the delta was
+    /// built hashes differently, the chain breaks, and the delta is
+    /// withheld (`Ok(None)`, counted under `loader.delta_stale`) — the
+    /// caller must fall back to a full fold, never apply a delta that
+    /// no longer describes the bytes it claims to bridge.
+    pub fn delta_for(&self, day: u32) -> Result<Option<spider_snapshot::FrameDelta>, StoreError> {
+        let tel = telemetry::global();
+        let Some(delta) = self.store.read_delta(day)? else {
+            return Ok(None);
+        };
+        let new_ok = self.store.day_digest(day)? == Some(delta.new_digest);
+        let old_ok = self.store.day_digest(delta.old_day)? == Some(delta.old_digest);
+        if !new_ok || !old_ok {
+            tel.incr("loader.delta_stale", 1);
+            return Ok(None);
+        }
+        tel.incr("loader.delta_hits", 1);
+        Ok(Some(delta))
     }
 
     /// Loads the frame for `day` through the fast path: raw bytes →

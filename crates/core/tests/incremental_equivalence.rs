@@ -1,0 +1,310 @@
+//! Incremental ≡ full-rescan oracle, under a random day-lifecycle storm.
+//!
+//! For each pinned seed (override with `SPIDER_INCR_SEED`), a scripted
+//! random sequence of store events — day appends, spine corruption
+//! (quarantine), column corruption (degrade), and heals (pristine bytes
+//! restored) — drives the same reconciliation loop `Lab::prepare` runs:
+//!
+//! 1. load the persisted pipeline state (every step round-trips it
+//!    through `encode`/`decode`, so persistence is under test too);
+//! 2. discard it if its held day no longer hashes the same;
+//! 3. `advance` over the scrubbed store (delta-first, full-fold
+//!    fallback);
+//! 4. compare fingerprints against a from-scratch full-rescan oracle;
+//!    on mismatch the oracle replaces the incremental state.
+//!
+//! The invariants: the reconciled state is **always**
+//! fingerprint-identical to the oracle (never a divergent answer
+//! survives a step); clean appends ride the delta path (no full
+//! rebuilds, no fallback); and any step whose window lost a day —
+//! a multi-day quarantine gap — must route through the fallback,
+//! never silently merge across the gap.
+
+use spider_core::{FrameLoader, IncrementalPipeline};
+use spider_snapshot::colf::section_table;
+use spider_snapshot::{OsIo, RetryPolicy, Snapshot, SnapshotRecord, SnapshotStore};
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("SPIDER_INCR_SEED") {
+        Ok(s) => vec![s.parse().expect("SPIDER_INCR_SEED must be a u64")],
+        Err(_) => vec![660_942, 2_964_594_389, 3_237_998_146],
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 11
+}
+
+const ROWS: usize = 300;
+const CHURN: usize = 30;
+
+fn scramble(i: u64, day: u64) -> u64 {
+    (i + day * 0x5bd1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A churning day: stable population, a few touched rows, a per-day
+/// landing of new files (same generator family as the bench).
+fn churning_snapshot(day: u32) -> Snapshot {
+    let mut records = Vec::with_capacity(ROWS + CHURN);
+    for d in 0..8u64 {
+        records.push(SnapshotRecord {
+            path: format!("/p{d}"),
+            atime: 1,
+            ctime: 1,
+            mtime: 1,
+            uid: 1,
+            gid: d as u32,
+            mode: 0o040770,
+            ino: d,
+            osts: vec![],
+        });
+    }
+    for i in 8..ROWS as u64 {
+        let stable = scramble(i, 0);
+        let touched = scramble(i, day as u64) % ROWS as u64 > (ROWS - CHURN) as u64;
+        records.push(SnapshotRecord {
+            path: format!(
+                "/p{}/f{i}.{}",
+                i % 8,
+                ["nc", "h5", "dat"][(stable % 3) as usize]
+            ),
+            atime: if touched {
+                2_000_000 + day as u64 * 86_400
+            } else {
+                1_000_000 + stable % 500_000
+            },
+            ctime: 1_000_000,
+            mtime: 1_000_000 + stable % 400_000,
+            uid: 1 + (stable % 13) as u32,
+            gid: (i % 8) as u32,
+            mode: 0o100664,
+            ino: i,
+            osts: (0..(1 + stable % 4))
+                .map(|s| (s as u16, s as u32))
+                .collect(),
+        });
+    }
+    for k in 0..(CHURN / 4) as u64 {
+        records.push(SnapshotRecord {
+            path: format!("/p{}/d{day}/n{k}.nc", k % 8),
+            atime: 2_000_000,
+            ctime: 2_000_000,
+            mtime: 2_000_000,
+            uid: 1 + (k % 13) as u32,
+            gid: (k % 8) as u32,
+            mode: 0o100664,
+            ino: 1_000_000 + day as u64 * 1_000 + k,
+            osts: vec![(0, k as u32)],
+        });
+    }
+    Snapshot::new(day, day as u64 * 86_400, records)
+}
+
+fn corrupt_section(dir: &Path, day: u32, section: &str) -> Vec<u8> {
+    let victim = dir.join(format!("snap-{day:05}.colf"));
+    let pristine = fs::read(&victim).expect("read victim");
+    let mut bytes = pristine.clone();
+    let spans = section_table(&bytes).expect("section table");
+    let span = spans
+        .iter()
+        .find(|s| s.name == section)
+        .expect("target section");
+    bytes[span.offset + span.len / 2] ^= 0xFF;
+    fs::write(&victim, &bytes).expect("write corrupt victim");
+    pristine
+}
+
+/// One reconciliation step: scrub the store, validate + advance the
+/// persisted state, oracle-check, persist. Returns the reconciled
+/// pipeline, whether the oracle fallback fired, and whether the held
+/// state had to be discarded (its anchor day no longer hashed the same).
+fn reconcile(dir: &Path, state: IncrementalPipeline) -> (IncrementalPipeline, bool, bool) {
+    let mut store = SnapshotStore::open_lenient(dir, Arc::new(OsIo), RetryPolicy::immediate())
+        .expect("open lenient");
+    let _health = store.scrub();
+    store.ensure_deltas().expect("ensure deltas");
+    let loader = FrameLoader::new(&store).expect("open loader");
+
+    // Persistence round-trip every step: the state crossing sessions is
+    // exactly what the lab writes to incr-state.bin.
+    let mut incr = IncrementalPipeline::decode(&state.encode()).expect("state must round-trip");
+    let mut was_reset = false;
+    if let Some((day, digest)) = incr.held() {
+        if loader.day_digest(day).expect("digest") != Some(digest) {
+            incr = IncrementalPipeline::new();
+            was_reset = true;
+        }
+    }
+    incr.advance(&loader).expect("advance");
+    let oracle = IncrementalPipeline::rescan(&loader).expect("oracle rescan");
+    let fell_back = incr.fingerprint() != oracle.fingerprint();
+    if fell_back {
+        incr = oracle;
+    }
+    (incr, fell_back, was_reset)
+}
+
+#[test]
+fn incremental_equals_oracle_under_day_lifecycle_storm() {
+    for seed in seeds() {
+        let dir =
+            std::env::temp_dir().join(format!("spider-incr-equiv-{seed:x}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut rng = seed;
+
+        // Seed store: two clean days, reconciled once (bootstrap).
+        {
+            let mut store = SnapshotStore::open(&dir).expect("open store");
+            store.put(&churning_snapshot(0)).expect("day 0");
+            store.put(&churning_snapshot(7)).expect("day 7");
+        }
+        let (mut incr, fell_back, _) = reconcile(&dir, IncrementalPipeline::new());
+        assert!(!fell_back, "seed {seed}: bootstrap needs no fallback");
+
+        let mut next_day = 14u32;
+        let mut damaged: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut clean_appends = 0u64;
+        let mut fallbacks = 0u64;
+
+        // Two guaranteed clean appends before the storm: every seed
+        // must demonstrate the delta fast path riding end to end.
+        for _ in 0..2 {
+            {
+                let mut store = SnapshotStore::open(&dir).expect("reopen clean");
+                store.put(&churning_snapshot(next_day)).expect("append day");
+                next_day += 7;
+            }
+            let (next, fell_back, was_reset) = reconcile(&dir, incr);
+            incr = next;
+            assert!(
+                !fell_back && !was_reset,
+                "seed {seed}: warm-up append must ride the delta"
+            );
+            clean_appends += 1;
+        }
+        for step in 0..14 {
+            let tag = format!("seed {seed} step {step}");
+            let op = lcg(&mut rng) % 10;
+            let store_was_clean = damaged.is_empty();
+            let mut lost_applied_day = false;
+            match op {
+                // Mostly appends: the workload incremental exists for.
+                0..=5 => {
+                    let mut store =
+                        SnapshotStore::open_lenient(&dir, Arc::new(OsIo), RetryPolicy::immediate())
+                            .expect("reopen for append");
+                    store.scrub();
+                    store.put(&churning_snapshot(next_day)).expect("append day");
+                    next_day += 7;
+                }
+                // Spine corruption: the day will be quarantined by the
+                // next scrub — a gap in the applied window.
+                6 | 7 => {
+                    let days = live_days(&dir);
+                    if let Some(&day) = pick(&days, &mut rng) {
+                        // Re-damaging an already-excluded day changes
+                        // nothing; only fresh damage must be noticed.
+                        let fresh = !damaged.iter().any(|(d, _)| *d == day);
+                        let pristine = corrupt_section(&dir, day, "paths");
+                        damaged.push((day, pristine));
+                        lost_applied_day = fresh && incr.last_day().is_some_and(|d| day <= d);
+                    }
+                }
+                // Column corruption: day survives the scrub degraded,
+                // but strict decode refuses it as a delta anchor.
+                8 => {
+                    let days = live_days(&dir);
+                    if let Some(&day) = pick(&days, &mut rng) {
+                        let fresh = !damaged.iter().any(|(d, _)| *d == day);
+                        let pristine = corrupt_section(&dir, day, "uid");
+                        damaged.push((day, pristine));
+                        lost_applied_day = fresh && incr.last_day().is_some_and(|d| day <= d);
+                    }
+                }
+                // Heal: pristine bytes restored (peer copy, operator).
+                _ => {
+                    if let Some((day, pristine)) = damaged.pop() {
+                        // The scrub may have quarantined it; remove the
+                        // corpse so the heal is a genuine restore.
+                        let _ = fs::remove_file(
+                            dir.join("quarantine").join(format!("snap-{day:05}.colf")),
+                        );
+                        let _ = fs::remove_file(
+                            dir.join("quarantine").join(format!("snap-{day:05}.delta")),
+                        );
+                        fs::write(dir.join(format!("snap-{day:05}.colf")), &pristine)
+                            .expect("heal victim");
+                    }
+                }
+            }
+
+            let (next, fell_back, was_reset) = reconcile(&dir, incr);
+            incr = next;
+            fallbacks += fell_back as u64;
+            if op <= 5 && store_was_clean {
+                // A clean append must ride the delta path end to end.
+                assert!(!fell_back, "{tag}: clean append must not fall back");
+                assert!(!was_reset, "{tag}: clean append must keep the chain");
+                clean_appends += 1;
+            }
+            if lost_applied_day {
+                // Damage inside the applied window must be *noticed*:
+                // either the held anchor itself was hit (state discarded
+                // and rebuilt) or the mismatch tripped the oracle
+                // fallback. Never a silent merge across the gap.
+                assert!(
+                    fell_back || was_reset,
+                    "{tag}: losing an applied day must reset or fall back"
+                );
+            }
+            // THE invariant: after reconciliation the state is always
+            // fingerprint-identical to a from-scratch refold.
+            let oracle = {
+                let mut store =
+                    SnapshotStore::open_lenient(&dir, Arc::new(OsIo), RetryPolicy::immediate())
+                        .expect("verify open");
+                store.scrub();
+                let loader = FrameLoader::new(&store).expect("verify loader");
+                IncrementalPipeline::rescan(&loader).expect("verify oracle")
+            };
+            assert_eq!(
+                incr.fingerprint(),
+                oracle.fingerprint(),
+                "{tag}: reconciled state diverged from the oracle"
+            );
+        }
+        assert!(
+            clean_appends > 0,
+            "seed {seed}: the storm never exercised the delta fast path"
+        );
+        let _ = fallbacks; // damage is random; zero fallbacks is legal
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+fn live_days(dir: &Path) -> Vec<u32> {
+    let mut days: Vec<u32> = fs::read_dir(dir)
+        .expect("list store")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            let day = name.strip_prefix("snap-")?.strip_suffix(".colf")?;
+            day.parse().ok()
+        })
+        .collect();
+    days.sort_unstable();
+    days
+}
+
+fn pick<'a>(days: &'a [u32], rng: &mut u64) -> Option<&'a u32> {
+    if days.is_empty() {
+        None
+    } else {
+        days.get((lcg(rng) % days.len() as u64) as usize)
+    }
+}

@@ -28,7 +28,9 @@ use spider_core::trends::depth::{DepthAnalysis, DepthReport};
 use spider_core::trends::extensions::ExtensionTrend;
 use spider_core::trends::participation::{ParticipationAnalysis, ParticipationReport};
 use spider_core::trends::users::{ActiveUsersAnalysis, ActiveUsersReport};
-use spider_core::{stream_loader, AnalysisContext, DomainScanStats, FrameLoader, SummaryTable};
+use spider_core::{
+    stream_loader, AnalysisContext, DomainScanStats, FrameLoader, IncrementalPipeline, SummaryTable,
+};
 use spider_sim::{SimConfig, Simulation, SimulationOutcome};
 use spider_snapshot::{OsIo, RetryPolicy, SnapshotStore, StoreHealth};
 use spider_workload::Population;
@@ -75,6 +77,9 @@ pub struct Analyses {
     pub users: ActiveUsersReport,
     /// Participation (Fig. 6).
     pub participation: ParticipationReport,
+    /// Raw distinct (user, project) edge count behind the participation
+    /// report — the incremental pipeline's oracle anchor.
+    pub participation_edges: usize,
     /// Depth analysis — raw handle for Table 1 lookups (Figs. 8a, 9).
     pub depth: DepthAnalysis,
     /// Finalized depth report.
@@ -119,6 +124,8 @@ pub struct Lab {
     loader: FrameLoader,
     health: StoreHealth,
     analyses: Analyses,
+    incremental: IncrementalPipeline,
+    incr_oracle_ok: bool,
 }
 
 impl Lab {
@@ -165,7 +172,16 @@ impl Lab {
         // post-quarantine store; the cache spans both analysis passes, so
         // pass 2 re-streams frames without re-decoding a single day.
         let loader = FrameLoader::new(&store)?;
+        // Delta sidecars persist next to the `.colf` days (surviving the
+        // scrub above — a quarantined landing day takes its sidecar with
+        // it); build any missing or digest-stale ones now so the
+        // incremental pipeline below, and any later session over this
+        // store, can advance in O(changed rows).
+        let (deltas_built, _) = store.ensure_deltas()?;
+        tel.incr("lab.deltas_built", deltas_built);
         let analyses = Self::analyze(&population, &loader, config.burstiness_min_files)?;
+        let (incremental, incr_oracle_ok) =
+            Self::advance_incremental(&config.dir, &loader, &analyses, &health)?;
         Ok(Lab {
             config,
             population,
@@ -174,7 +190,54 @@ impl Lab {
             loader,
             health,
             analyses,
+            incremental,
+            incr_oracle_ok,
         })
+    }
+
+    /// Loads (or bootstraps) the persisted incremental state, advances
+    /// it by any days it has not seen — delta-first, full-fold fallback
+    /// — and cross-checks it against the full-rescan oracle.
+    ///
+    /// **The oracle rule:** the incremental answer is only trusted while
+    /// its fingerprint equals a from-scratch refold's. On any mismatch
+    /// (or a persisted state whose held day no longer hashes the same —
+    /// healed, re-simulated, or quarantined since) the pipeline is
+    /// replaced by the oracle itself, so experiments never read a
+    /// divergent incremental answer. On healthy stores the census and
+    /// participation analyses must agree with the pipeline too; degraded
+    /// stores are exempt from that second check because the streaming
+    /// analyses decode lossily while the pipeline folds strictly.
+    fn advance_incremental(
+        dir: &Path,
+        loader: &FrameLoader,
+        analyses: &Analyses,
+        health: &StoreHealth,
+    ) -> Result<(IncrementalPipeline, bool), Box<dyn std::error::Error>> {
+        let tel = spider_telemetry::global();
+        let _span = tel.span("incremental");
+        let state_path = dir.join("incr-state.bin");
+        let mut incremental = IncrementalPipeline::load(&state_path).unwrap_or_default();
+        if let Some((day, digest)) = incremental.held() {
+            if loader.day_digest(day)? != Some(digest) {
+                incremental = IncrementalPipeline::new();
+            }
+        }
+        incremental.advance(loader)?;
+        let oracle = IncrementalPipeline::rescan(loader)?;
+        let mut oracle_ok = incremental.fingerprint() == oracle.fingerprint();
+        if !oracle_ok {
+            tel.incr("incr.oracle_fallback", 1);
+            incremental = oracle;
+        }
+        if health.quarantined.is_empty() && health.degraded.is_empty() {
+            oracle_ok &= incremental.unique_entries() == analyses.census.unique_entries()
+                && incremental.unique_files() == analyses.census.unique_files()
+                && incremental.unique_dirs() == analyses.census.unique_dirs()
+                && incremental.edge_count() == analyses.participation_edges as u64;
+        }
+        incremental.save(&state_path)?;
+        Ok((incremental, oracle_ok))
     }
 
     fn analyze(
@@ -249,6 +312,7 @@ impl Lab {
         );
         Ok(Analyses {
             users: users.finish(),
+            participation_edges: participation.edge_count(),
             participation: participation.finish(),
             depth_report: depth.finish(),
             census,
@@ -310,5 +374,19 @@ impl Lab {
     /// The store directory (used by the pipeline experiment).
     pub fn store_dir(&self) -> &Path {
         self.store.dir()
+    }
+
+    /// The incremental day-over-day pipeline, advanced to the store's
+    /// latest day and persisted under the lab dir (`incr-state.bin`).
+    pub fn incremental(&self) -> &IncrementalPipeline {
+        &self.incremental
+    }
+
+    /// Whether the incremental pipeline passed its full-rescan oracle
+    /// cross-check (and, on healthy stores, agreed with the streaming
+    /// census/participation analyses). When false the exposed pipeline
+    /// *is* the oracle refold — degraded to slow, never divergent.
+    pub fn incremental_oracle_ok(&self) -> bool {
+        self.incr_oracle_ok
     }
 }

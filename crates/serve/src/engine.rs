@@ -10,9 +10,23 @@
 //!
 //! Every answer is rendered to a canonical JSON string and remembered
 //! in a small LRU response cache keyed by the query's answer
-//! fingerprint; the server's shed path serves those bytes verbatim,
-//! which is what makes `shed` responses byte-identical to the `ok`
-//! responses they were cached from.
+//! fingerprint **and the store epoch** — a digest of the day set the
+//! answer was computed over. [`QueryEngine::refresh`] re-lists the
+//! store; if days appeared or vanished the epoch moves and every
+//! stale answer misses by construction (an answer computed over
+//! yesterday's day set can never be replayed against today's store).
+//! The server's shed path serves cached bytes verbatim, which is what
+//! makes `shed` responses byte-identical to the `ok` responses they
+//! were cached from.
+//!
+//! Alongside the rendered answers the engine keeps **hot accumulator
+//! states** per query fingerprint: the mergeable [`AccState`] each
+//! answer was rendered from. When `refresh` finds newly appended days,
+//! it folds just those days into each matching hot state and re-renders
+//! under the new epoch — appending one day updates every cached answer
+//! in O(new day), not O(whole window). Removed days cannot be
+//! retracted from a count-style state, so any hot state whose window
+//! covered a vanished day is dropped, never silently reused.
 
 use crate::proto::{AggSpec, GroupBy, Query};
 use rustc_hash::FxHashMap;
@@ -21,8 +35,10 @@ use spider_core::{FrameCache, FrameLoader, TenantId};
 use spider_snapshot::store::StoreError;
 use spider_snapshot::{OsIo, Pred, RetryPolicy, SnapshotStore, StoreHealth};
 use spider_telemetry as telemetry;
+use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +47,8 @@ pub struct EngineConfig {
     pub cache_frames: usize,
     /// Response-cache capacity in answers.
     pub response_cache: usize,
+    /// Hot accumulator states kept for O(delta) refresh (0 disables).
+    pub hot_states: usize,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +56,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_frames: 0,
             response_cache: 256,
+            hot_states: 64,
         }
     }
 }
@@ -68,28 +87,43 @@ pub struct ExecResult {
     pub rows: u64,
 }
 
+/// What one [`QueryEngine::refresh`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshStats {
+    /// Days that appeared since the last (re)scan.
+    pub added: Vec<u32>,
+    /// Days that vanished since the last (re)scan.
+    pub removed: Vec<u32>,
+    /// Hot states advanced in O(new days) and re-cached.
+    pub hot_updated: u64,
+    /// Hot states dropped (their window covered a vanished day).
+    pub hot_dropped: u64,
+    /// The epoch after the pass.
+    pub epoch: u64,
+}
+
 struct RespCache {
-    map: FxHashMap<u64, (CachedAnswer, u64)>,
+    map: FxHashMap<(u64, u64), (CachedAnswer, u64)>,
     tick: u64,
     capacity: usize,
 }
 
 impl RespCache {
-    fn get(&mut self, fingerprint: u64) -> Option<CachedAnswer> {
+    fn get(&mut self, key: (u64, u64)) -> Option<CachedAnswer> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(&fingerprint).map(|(answer, used)| {
+        self.map.get_mut(&key).map(|(answer, used)| {
             *used = tick;
             answer.clone()
         })
     }
 
-    fn insert(&mut self, fingerprint: u64, answer: CachedAnswer) {
+    fn insert(&mut self, key: (u64, u64), answer: CachedAnswer) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&fingerprint) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(&lru) = self
                 .map
                 .iter()
@@ -99,17 +133,39 @@ impl RespCache {
                 self.map.remove(&lru);
             }
         }
-        self.map.insert(fingerprint, (answer, self.tick));
+        self.map.insert(key, (answer, self.tick));
     }
 }
 
-/// The multi-tenant query engine: loader + health record + response
-/// cache. Shared across server workers behind an `Arc`.
+/// A hot, re-renderable answer: the accumulator state plus the query
+/// it answers, so newly appended days can be folded straight in.
+struct HotState {
+    query: Query,
+    acc: AccState,
+    days_scanned: u64,
+    used: u64,
+}
+
+/// Digest of a day set — the response-cache epoch component.
+fn epoch_of(days: &[u32]) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    days.hash(&mut h);
+    h.finish()
+}
+
+/// The multi-tenant query engine: loader + health record + epoch-keyed
+/// response cache + hot accumulator states. Shared across server
+/// workers behind an `Arc`.
 pub struct QueryEngine {
-    loader: FrameLoader,
+    loader: RwLock<FrameLoader>,
+    cache: Arc<FrameCache>,
     health: StoreHealth,
-    days: Vec<u32>,
+    days: RwLock<Vec<u32>>,
+    epoch: AtomicU64,
     responses: Mutex<RespCache>,
+    hot: Mutex<FxHashMap<u64, HotState>>,
+    hot_capacity: usize,
+    hot_tick: AtomicU64,
 }
 
 impl QueryEngine {
@@ -132,16 +188,23 @@ impl QueryEngine {
         if config.cache_frames > 0 {
             loader = loader.with_cache_capacity(config.cache_frames);
         }
+        let cache = loader.cache_handle();
         let days = loader.days().to_vec();
+        let epoch = epoch_of(&days);
         Ok(QueryEngine {
-            loader,
+            loader: RwLock::new(loader),
+            cache,
             health,
-            days,
+            days: RwLock::new(days),
+            epoch: AtomicU64::new(epoch),
             responses: Mutex::new(RespCache {
                 map: FxHashMap::default(),
                 tick: 0,
                 capacity: config.response_cache,
             }),
+            hot: Mutex::new(FxHashMap::default()),
+            hot_capacity: config.hot_states,
+            hot_tick: AtomicU64::new(0),
         })
     }
 
@@ -151,47 +214,62 @@ impl QueryEngine {
     }
 
     /// Days the engine can scan (quarantined days are gone).
-    pub fn days(&self) -> &[u32] {
-        &self.days
+    pub fn days(&self) -> Vec<u32> {
+        self.days.read().unwrap().clone()
+    }
+
+    /// The current store epoch: a digest of the scannable day set.
+    /// Response-cache keys carry it, so any day-set change invalidates
+    /// every cached answer at once.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// The shared frame cache (for fairness budgets and stats).
     pub fn cache(&self) -> &FrameCache {
-        self.loader.cache()
+        &self.cache
     }
 
     /// How many stored days the query would scan — the admission cost.
     pub fn day_cost(&self, query: &Query) -> u64 {
         let pred = query.effective_pred();
-        self.days.iter().filter(|&&d| pred.matches_day(d)).count() as u64
+        self.days
+            .read()
+            .unwrap()
+            .iter()
+            .filter(|&&d| pred.matches_day(d))
+            .count() as u64
     }
 
-    /// A cached answer for this fingerprint, if one exists.
+    /// A cached answer for this fingerprint *at the current epoch*, if
+    /// one exists. Answers computed over a different day set live under
+    /// a different epoch and can never be returned here.
     pub fn cached(&self, fingerprint: u64) -> Option<CachedAnswer> {
-        self.responses.lock().unwrap().get(fingerprint)
+        let key = (fingerprint, self.epoch());
+        self.responses.lock().unwrap().get(key)
     }
 
     /// Executes the query under `tenant`'s cache attribution, renders
-    /// the canonical answer, and remembers it for the shed path.
+    /// the canonical answer, and remembers it (answer bytes and hot
+    /// accumulator state) for the shed and refresh paths.
     pub fn execute(&self, tenant: TenantId, query: &Query) -> Result<ExecResult, StoreError> {
         let _attr = FrameCache::attribute(tenant);
         let _span = telemetry::global().span("serve.execute");
         let pred = query.effective_pred();
-        let mut acc = Acc::new(&query.agg);
+        let mut acc = AccState::new(query.agg.clone());
         let mut days_scanned = 0u64;
-        for &day in &self.days {
-            if !pred.matches_day(day) {
-                continue;
-            }
-            let Some(frame) = self.loader.frame_pruned(day, &pred)? else {
-                continue;
-            };
-            days_scanned += 1;
-            // Zone pruning is conservative; re-test rows exactly.
-            let row_pred = FramePred::compile(&pred, &frame);
-            for i in 0..frame.len() {
-                if row_pred.test(&frame, i) {
-                    acc.row(&frame, i);
+        let (days, epoch) = {
+            let days = self.days.read().unwrap();
+            (days.clone(), self.epoch())
+        };
+        {
+            let loader = self.loader.read().unwrap();
+            for &day in &days {
+                if !pred.matches_day(day) {
+                    continue;
+                }
+                if Self::fold_day(&loader, day, &pred, &mut acc)? {
+                    days_scanned += 1;
                 }
             }
         }
@@ -199,7 +277,7 @@ impl QueryEngine {
         let notes = self.notes_for(&pred);
         let rows = acc.rows;
         self.responses.lock().unwrap().insert(
-            query.fingerprint(),
+            (query.fingerprint(), epoch),
             CachedAnswer {
                 result: result.clone(),
                 notes: notes.clone(),
@@ -207,12 +285,138 @@ impl QueryEngine {
                 rows,
             },
         );
+        self.remember_hot(query, acc, days_scanned);
         Ok(ExecResult {
             result,
             notes,
             days_scanned,
             rows,
         })
+    }
+
+    /// Zone-pruned fold of one day into an accumulator. Returns whether
+    /// the day was actually scanned (vs pruned away).
+    fn fold_day(
+        loader: &FrameLoader,
+        day: u32,
+        pred: &Pred,
+        acc: &mut AccState,
+    ) -> Result<bool, StoreError> {
+        let Some(frame) = loader.frame_pruned(day, pred)? else {
+            return Ok(false);
+        };
+        // Zone pruning is conservative; re-test rows exactly.
+        let row_pred = FramePred::compile(pred, &frame);
+        for i in 0..frame.len() {
+            if row_pred.test(&frame, i) {
+                acc.row(&frame, i);
+            }
+        }
+        Ok(true)
+    }
+
+    fn remember_hot(&self, query: &Query, acc: AccState, days_scanned: u64) {
+        if self.hot_capacity == 0 {
+            return;
+        }
+        let used = self.hot_tick.fetch_add(1, Ordering::Relaxed);
+        let mut hot = self.hot.lock().unwrap();
+        let fingerprint = query.fingerprint();
+        if hot.len() >= self.hot_capacity && !hot.contains_key(&fingerprint) {
+            if let Some(&lru) = hot
+                .iter()
+                .min_by_key(|(_, state)| state.used)
+                .map(|(k, _)| k)
+            {
+                hot.remove(&lru);
+            }
+        }
+        hot.insert(
+            fingerprint,
+            HotState {
+                query: query.clone(),
+                acc,
+                days_scanned,
+                used,
+            },
+        );
+    }
+
+    /// Re-lists the store directory and reconciles the engine with what
+    /// it finds. When the day set changed the epoch moves (cold cached
+    /// answers become unreachable), newly appended days are folded into
+    /// every matching hot accumulator state — O(new days) per answer —
+    /// and the refreshed answers are cached under the new epoch. Hot
+    /// states whose window covered a *vanished* day cannot retract it
+    /// and are dropped instead.
+    pub fn refresh(&self) -> Result<RefreshStats, StoreError> {
+        let tel = telemetry::global();
+        let mut loader = self.loader.write().unwrap();
+        loader.rescan()?;
+        let new_days = loader.days().to_vec();
+        let old_days = self.days.read().unwrap().clone();
+        if new_days == old_days {
+            return Ok(RefreshStats {
+                epoch: self.epoch(),
+                ..RefreshStats::default()
+            });
+        }
+        let added: Vec<u32> = new_days
+            .iter()
+            .copied()
+            .filter(|d| !old_days.contains(d))
+            .collect();
+        let removed: Vec<u32> = old_days
+            .iter()
+            .copied()
+            .filter(|d| !new_days.contains(d))
+            .collect();
+        let epoch = epoch_of(&new_days);
+        *self.days.write().unwrap() = new_days;
+        self.epoch.store(epoch, Ordering::Release);
+        tel.incr("serve.refreshes", 1);
+
+        let mut stats = RefreshStats {
+            added: added.clone(),
+            removed: removed.clone(),
+            epoch,
+            ..RefreshStats::default()
+        };
+        let mut hot = self.hot.lock().unwrap();
+        let fingerprints: Vec<u64> = hot.keys().copied().collect();
+        for fingerprint in fingerprints {
+            let state = hot.get_mut(&fingerprint).expect("key just listed");
+            let pred = state.query.effective_pred();
+            if removed.iter().any(|&d| pred.matches_day(d)) {
+                hot.remove(&fingerprint);
+                stats.hot_dropped += 1;
+                tel.incr("serve.hot_drops", 1);
+                continue;
+            }
+            let mut touched = false;
+            for &day in added.iter().filter(|&&d| pred.matches_day(d)) {
+                if Self::fold_day(&loader, day, &pred, &mut state.acc)? {
+                    state.days_scanned += 1;
+                }
+                touched = true;
+            }
+            if !touched {
+                continue;
+            }
+            let answer = CachedAnswer {
+                result: state.acc.render(),
+                notes: self.notes_for(&pred),
+                days_scanned: state.days_scanned,
+                rows: state.acc.rows,
+            };
+            self.responses
+                .lock()
+                .unwrap()
+                .insert((fingerprint, epoch), answer);
+            stats.hot_updated += 1;
+            tel.incr("serve.hot_updates", 1);
+        }
+        Ok(stats)
     }
 
     /// Degradation notes relevant to a predicate's day window: one per
@@ -250,9 +454,11 @@ impl QueryEngine {
     }
 }
 
-/// Streaming accumulator for one aggregate spec.
-struct Acc<'a> {
-    agg: &'a AggSpec,
+/// Streaming accumulator for one aggregate spec. Owns its spec so it
+/// can live beyond the execution that created it (hot refresh folds
+/// newly appended days into the same state later).
+struct AccState {
+    agg: AggSpec,
     rows: u64,
     files: u64,
     dirs: u64,
@@ -260,9 +466,9 @@ struct Acc<'a> {
     groups: FxHashMap<String, u64>,
 }
 
-impl<'a> Acc<'a> {
-    fn new(agg: &'a AggSpec) -> Acc<'a> {
-        Acc {
+impl AccState {
+    fn new(agg: AggSpec) -> AccState {
+        AccState {
             agg,
             rows: 0,
             files: 0,
@@ -275,7 +481,7 @@ impl<'a> Acc<'a> {
     #[inline]
     fn row(&mut self, frame: &spider_core::SnapshotFrame, i: usize) {
         self.rows += 1;
-        match self.agg {
+        match &self.agg {
             AggSpec::Count => {}
             AggSpec::FilesDirs => {
                 if frame.is_file[i] {
@@ -300,7 +506,7 @@ impl<'a> Acc<'a> {
     }
 
     fn render(&self) -> String {
-        match self.agg {
+        match &self.agg {
             AggSpec::Count => format!("{{\"count\":{}}}", self.rows),
             AggSpec::FilesDirs => {
                 format!("{{\"files\":{},\"dirs\":{}}}", self.files, self.dirs)

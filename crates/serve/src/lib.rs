@@ -40,7 +40,7 @@ pub mod proto;
 pub mod server;
 
 pub use admission::{Admission, Refill};
-pub use engine::{CachedAnswer, EngineConfig, ExecResult, QueryEngine};
+pub use engine::{CachedAnswer, EngineConfig, ExecResult, QueryEngine, RefreshStats};
 pub use loadgen::{
     render_bench_json, run_load, sample_query, synth_snapshot, synth_store, Arrival, BenchLevel,
     LoadReport, LoadSpec, QueryPort, TcpPort,

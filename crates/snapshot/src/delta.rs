@@ -1,0 +1,551 @@
+//! Column-level day-over-day delta frames.
+//!
+//! Consecutive snapshot days differ by a small fraction of rows (the
+//! paper's Fig. 13: most files are untouched week over week), yet every
+//! analysis refolds the whole store. A [`FrameDelta`] captures exactly
+//! what changed between two [`FrameColumns`] — added / removed /
+//! changed row sets keyed by the front-coded path arena, the same
+//! merge-join semantics as [`crate::diff::SnapshotDiff`] — so a
+//! downstream aggregate can be *updated* in O(changed rows) instead of
+//! recomputed in O(all rows).
+//!
+//! A delta is **self-contained on the old side**: removed and changed
+//! rows carry the old day's column values ([`DeltaRow`]), so applying a
+//! delta needs only the *new* day's columns in memory (the day being
+//! appended, which the caller just decoded anyway). Added and changed
+//! rows on the new side are plain row indices into the new frame.
+//!
+//! Deltas persist as compact sidecars next to the `.colf` days
+//! (`snap-<day>.delta`, written by [`crate::store::SnapshotStore::put_delta`]).
+//! Each sidecar records the section digests of both endpoint files;
+//! consumers validate the chain before applying, so a scrubbed,
+//! quarantined, healed, or re-put day can never be silently bridged by
+//! a stale delta — the mismatch forces the full-rescan oracle instead.
+
+use crate::columns::FrameColumns;
+use crate::varint::{get_uvarint, put_uvarint};
+use crate::xxh::section_digest;
+use bytes::{Buf, BufMut};
+
+/// Magic prefix of an encoded delta sidecar.
+pub const DELTA_MAGIC: &[u8; 4] = b"SPD\x01";
+
+/// Errors from computing or decoding a [`FrameDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// One of the input frames decoded with lost sections; a delta
+    /// computed from defaulted columns would record phantom changes.
+    LossyFrame {
+        /// Day of the lossy frame.
+        day: u32,
+        /// The sections it lost.
+        lost: Vec<&'static str>,
+    },
+    /// The sidecar bytes are truncated, mis-tagged, or fail their
+    /// trailing digest.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::LossyFrame { day, lost } => {
+                write!(f, "day {day} decoded lossily (lost {}); ", lost.join(", "))?;
+                write!(f, "deltas require bit-perfect endpoint frames")
+            }
+            DeltaError::Corrupt(what) => write!(f, "corrupt delta sidecar: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The old-side column values of a removed or changed row — everything
+/// a retractable aggregate needs to subtract the row's contribution
+/// without re-reading the old day.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRow {
+    /// Last-access time.
+    pub atime: u64,
+    /// Status-change time.
+    pub ctime: u64,
+    /// Modification time.
+    pub mtime: u64,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Raw mode bits (type + permissions).
+    pub mode: u32,
+    /// OST stripe count (0 for directories).
+    pub stripe_count: u32,
+    /// Path depth in the paper's convention (component count + root).
+    pub depth: u32,
+    /// File extension of the final path component, if any.
+    pub ext: Option<String>,
+}
+
+impl DeltaRow {
+    /// True when the mode bits record a regular file.
+    pub fn is_file(&self) -> bool {
+        self.mode & 0o170000 == 0o100000
+    }
+
+    fn from_columns(cols: &FrameColumns, i: usize) -> DeltaRow {
+        DeltaRow {
+            atime: cols.atime[i],
+            ctime: cols.ctime[i],
+            mtime: cols.mtime[i],
+            uid: cols.uid[i],
+            gid: cols.gid[i],
+            mode: cols.mode[i],
+            stripe_count: cols.stripe_count[i],
+            depth: path_depth(cols.path(i)),
+            ext: cols.ext(i).map(str::to_string),
+        }
+    }
+}
+
+/// Path depth in the paper's counting convention: `/`-separated
+/// component count plus the implicit root prefix (matches
+/// [`crate::record::SnapshotRecord::depth`]).
+pub fn path_depth(path: &str) -> u32 {
+    path.split('/').filter(|c| !c.is_empty()).count() as u32 + 1
+}
+
+/// What changed between two consecutive (or substituted) snapshot days,
+/// at column level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameDelta {
+    /// The baseline day.
+    pub old_day: u32,
+    /// The day the delta lands on.
+    pub new_day: u32,
+    /// Section digest of the old day's raw `.colf` bytes.
+    pub old_digest: u64,
+    /// Section digest of the new day's raw `.colf` bytes.
+    pub new_digest: u64,
+    /// Rows present only in the new frame (indices into it), ascending.
+    pub added: Vec<u32>,
+    /// Rows present in both frames whose tracked columns differ
+    /// (indices into the *new* frame), ascending.
+    pub changed: Vec<u32>,
+    /// Old-side values of the `changed` rows, parallel to `changed`.
+    pub changed_old: Vec<DeltaRow>,
+    /// Old-side values of rows absent from the new frame.
+    pub removed: Vec<DeltaRow>,
+    /// Rows present in both frames with identical tracked columns.
+    pub unchanged: u64,
+}
+
+impl FrameDelta {
+    /// Merge-joins two decoded column frames over their path arenas
+    /// (both are path-sorted by construction — no string is ever
+    /// materialized or rehashed) and records every difference in the
+    /// tracked columns: atime, ctime, mtime, uid, gid, mode,
+    /// stripe_count. `ino` is deliberately untracked: no maintained
+    /// aggregate reads it, and a same-path recreate moves timestamps
+    /// anyway.
+    ///
+    /// Both frames must have decoded bit-perfectly; a lossy frame's
+    /// defaulted columns would masquerade as day-over-day churn.
+    pub fn compute(
+        old: &FrameColumns,
+        new: &FrameColumns,
+        old_digest: u64,
+        new_digest: u64,
+    ) -> Result<FrameDelta, DeltaError> {
+        for cols in [old, new] {
+            if !cols.lost_sections().is_empty() {
+                return Err(DeltaError::LossyFrame {
+                    day: cols.day(),
+                    lost: cols.lost_sections().to_vec(),
+                });
+            }
+        }
+        let mut delta = FrameDelta {
+            old_day: old.day(),
+            new_day: new.day(),
+            old_digest,
+            new_digest,
+            ..FrameDelta::default()
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() || j < new.len() {
+            let order = if i >= old.len() {
+                std::cmp::Ordering::Greater
+            } else if j >= new.len() {
+                std::cmp::Ordering::Less
+            } else {
+                old.path(i).cmp(new.path(j))
+            };
+            match order {
+                std::cmp::Ordering::Less => {
+                    delta.removed.push(DeltaRow::from_columns(old, i));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    delta.added.push(j as u32);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let same = old.atime[i] == new.atime[j]
+                        && old.ctime[i] == new.ctime[j]
+                        && old.mtime[i] == new.mtime[j]
+                        && old.uid[i] == new.uid[j]
+                        && old.gid[i] == new.gid[j]
+                        && old.mode[i] == new.mode[j]
+                        && old.stripe_count[i] == new.stripe_count[j];
+                    if same {
+                        delta.unchanged += 1;
+                    } else {
+                        delta.changed.push(j as u32);
+                        delta.changed_old.push(DeltaRow::from_columns(old, i));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Total rows an incremental consumer touches applying this delta.
+    pub fn touched_rows(&self) -> u64 {
+        (self.added.len() + self.removed.len() + self.changed.len()) as u64
+    }
+
+    /// The day span the delta bridges. Whether that span crosses a
+    /// quarantine gap is the store's call; consumers compare against
+    /// the store's sampling interval.
+    pub fn span(&self) -> u32 {
+        self.new_day.saturating_sub(self.old_day)
+    }
+
+    /// Encodes the delta as a compact sidecar: varint header, ascending
+    /// delta-coded index lists, an extension dictionary, per-row varint
+    /// payloads, and a trailing XXH64 digest over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf: Vec<u8> = Vec::with_capacity(
+            64 + 4 * (self.added.len() + self.changed.len())
+                + 24 * (self.removed.len() + self.changed_old.len()),
+        );
+        buf.put_slice(DELTA_MAGIC);
+        put_uvarint(&mut buf, self.old_day as u64);
+        put_uvarint(&mut buf, self.new_day as u64);
+        buf.put_u64_le(self.old_digest);
+        buf.put_u64_le(self.new_digest);
+        put_uvarint(&mut buf, self.unchanged);
+        // Extension dictionary over both old-side row sets.
+        let mut dict: Vec<&str> = Vec::new();
+        let mut dict_index = std::collections::BTreeMap::new();
+        for row in self.removed.iter().chain(self.changed_old.iter()) {
+            if let Some(ext) = row.ext.as_deref() {
+                dict_index.entry(ext).or_insert_with(|| {
+                    dict.push(ext);
+                    dict.len() - 1
+                });
+            }
+        }
+        put_uvarint(&mut buf, dict.len() as u64);
+        for ext in &dict {
+            put_uvarint(&mut buf, ext.len() as u64);
+            buf.put_slice(ext.as_bytes());
+        }
+        for list in [&self.added, &self.changed] {
+            put_uvarint(&mut buf, list.len() as u64);
+            let mut prev = 0u64;
+            for &idx in list.iter() {
+                put_uvarint(&mut buf, idx as u64 - prev);
+                prev = idx as u64;
+            }
+        }
+        for rows in [&self.removed, &self.changed_old] {
+            put_uvarint(&mut buf, rows.len() as u64);
+            for row in rows.iter() {
+                put_uvarint(&mut buf, row.atime);
+                put_uvarint(&mut buf, row.ctime);
+                put_uvarint(&mut buf, row.mtime);
+                put_uvarint(&mut buf, row.uid as u64);
+                put_uvarint(&mut buf, row.gid as u64);
+                put_uvarint(&mut buf, row.mode as u64);
+                put_uvarint(&mut buf, row.stripe_count as u64);
+                put_uvarint(&mut buf, row.depth as u64);
+                match row.ext.as_deref() {
+                    None => put_uvarint(&mut buf, 0),
+                    Some(ext) => put_uvarint(&mut buf, dict_index[ext] as u64 + 1),
+                }
+            }
+        }
+        let digest = section_digest(&buf);
+        buf.put_u64_le(digest);
+        buf
+    }
+
+    /// Decodes a sidecar produced by [`FrameDelta::encode`], verifying
+    /// the trailing digest first so a rotted sidecar reads as corrupt,
+    /// never as a plausible-but-wrong delta.
+    pub fn decode(bytes: &[u8]) -> Result<FrameDelta, DeltaError> {
+        if bytes.len() < DELTA_MAGIC.len() + 8 {
+            return Err(DeltaError::Corrupt("truncated"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if section_digest(payload) != stored {
+            return Err(DeltaError::Corrupt("digest mismatch"));
+        }
+        if &payload[..4] != DELTA_MAGIC {
+            return Err(DeltaError::Corrupt("bad magic"));
+        }
+        let mut buf = &payload[4..];
+        let take = |buf: &mut &[u8]| get_uvarint(buf).ok_or(DeltaError::Corrupt("short varint"));
+        let old_day = take(&mut buf)? as u32;
+        let new_day = take(&mut buf)? as u32;
+        if buf.remaining() < 16 {
+            return Err(DeltaError::Corrupt("truncated digests"));
+        }
+        let old_digest = buf.get_u64_le();
+        let new_digest = buf.get_u64_le();
+        let unchanged = take(&mut buf)?;
+        let dict_len = take(&mut buf)? as usize;
+        let mut dict = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            let len = take(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(DeltaError::Corrupt("truncated dictionary"));
+            }
+            let ext = std::str::from_utf8(&buf[..len])
+                .map_err(|_| DeltaError::Corrupt("non-utf8 extension"))?
+                .to_string();
+            buf.advance(len);
+            dict.push(ext);
+        }
+        let mut read_indices = |buf: &mut &[u8]| -> Result<Vec<u32>, DeltaError> {
+            let len = take(buf)? as usize;
+            let mut out = Vec::with_capacity(len);
+            let mut prev = 0u64;
+            for _ in 0..len {
+                prev += take(buf)?;
+                out.push(u32::try_from(prev).map_err(|_| DeltaError::Corrupt("index overflow"))?);
+            }
+            Ok(out)
+        };
+        let added = read_indices(&mut buf)?;
+        let changed = read_indices(&mut buf)?;
+        let mut read_rows = |buf: &mut &[u8]| -> Result<Vec<DeltaRow>, DeltaError> {
+            let len = take(buf)? as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                let atime = take(buf)?;
+                let ctime = take(buf)?;
+                let mtime = take(buf)?;
+                let uid = take(buf)? as u32;
+                let gid = take(buf)? as u32;
+                let mode = take(buf)? as u32;
+                let stripe_count = take(buf)? as u32;
+                let depth = take(buf)? as u32;
+                let ext = match take(buf)? as usize {
+                    0 => None,
+                    n => Some(
+                        dict.get(n - 1)
+                            .ok_or(DeltaError::Corrupt("dictionary index out of range"))?
+                            .clone(),
+                    ),
+                };
+                out.push(DeltaRow {
+                    atime,
+                    ctime,
+                    mtime,
+                    uid,
+                    gid,
+                    mode,
+                    stripe_count,
+                    depth,
+                    ext,
+                });
+            }
+            Ok(out)
+        };
+        let removed = read_rows(&mut buf)?;
+        let changed_old = read_rows(&mut buf)?;
+        if changed_old.len() != changed.len() {
+            return Err(DeltaError::Corrupt("changed/changed_old length mismatch"));
+        }
+        Ok(FrameDelta {
+            old_day,
+            new_day,
+            old_digest,
+            new_digest,
+            added,
+            changed,
+            changed_old,
+            removed,
+            unchanged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colf;
+    use crate::record::SnapshotRecord;
+    use crate::snapshot::Snapshot;
+
+    fn rec(path: &str, atime: u64, mtime: u64, uid: u32, stripes: usize) -> SnapshotRecord {
+        SnapshotRecord {
+            path: path.to_string(),
+            atime,
+            ctime: mtime,
+            mtime,
+            uid,
+            gid: 500,
+            mode: 0o100664,
+            ino: 1,
+            osts: (0..stripes as u16).map(|o| (o, 1)).collect(),
+        }
+    }
+
+    fn dir(path: &str) -> SnapshotRecord {
+        SnapshotRecord {
+            mode: 0o040770,
+            osts: vec![],
+            ..rec(path, 1, 1, 1, 0)
+        }
+    }
+
+    fn cols(snapshot: &Snapshot) -> (FrameColumns, u64) {
+        let bytes = colf::encode(snapshot);
+        let digest = section_digest(&bytes);
+        (FrameColumns::decode(&bytes).unwrap(), digest)
+    }
+
+    fn delta_of(old: &Snapshot, new: &Snapshot) -> FrameDelta {
+        let (oc, od) = cols(old);
+        let (nc, nd) = cols(new);
+        FrameDelta::compute(&oc, &nc, od, nd).unwrap()
+    }
+
+    #[test]
+    fn categories_partition_the_union() {
+        let old = Snapshot::new(
+            0,
+            0,
+            vec![
+                dir("/p"),
+                rec("/p/a.nc", 10, 10, 7, 4),  // unchanged
+                rec("/p/b.h5", 10, 10, 7, 2),  // atime will move -> changed
+                rec("/p/c.dat", 10, 10, 8, 1), // removed
+            ],
+        );
+        let new = Snapshot::new(
+            7,
+            0,
+            vec![
+                dir("/p"),
+                rec("/p/a.nc", 10, 10, 7, 4),
+                rec("/p/b.h5", 99, 10, 7, 2),
+                rec("/p/d.txt", 70, 70, 9, 8), // added
+            ],
+        );
+        let d = delta_of(&old, &new);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.unchanged, 2); // /p and /p/a.nc
+        assert_eq!(d.touched_rows(), 3);
+        // Added index points at /p/d.txt in the new frame.
+        let (nc, _) = cols(&new);
+        assert_eq!(nc.path(d.added[0] as usize), "/p/d.txt");
+        assert_eq!(nc.path(d.changed[0] as usize), "/p/b.h5");
+        // Old-side payloads carry retractable values.
+        assert_eq!(d.removed[0].ext.as_deref(), Some("dat"));
+        assert_eq!(d.removed[0].stripe_count, 1);
+        assert!(d.removed[0].is_file());
+        assert_eq!(d.changed_old[0].atime, 10);
+        assert_eq!(d.changed_old[0].depth, 3);
+    }
+
+    #[test]
+    fn identical_days_yield_empty_delta() {
+        let recs = vec![dir("/p"), rec("/p/a.nc", 1, 1, 7, 2)];
+        let old = Snapshot::new(0, 0, recs.clone());
+        let new = Snapshot::new(7, 0, recs);
+        let d = delta_of(&old, &new);
+        assert_eq!(d.touched_rows(), 0);
+        assert_eq!(d.unchanged, 2);
+    }
+
+    #[test]
+    fn type_change_is_a_changed_row() {
+        let old = Snapshot::new(0, 0, vec![rec("/x", 1, 1, 7, 2)]);
+        let new = Snapshot::new(7, 0, vec![dir("/x")]);
+        let d = delta_of(&old, &new);
+        assert_eq!(d.changed.len(), 1);
+        assert!(d.changed_old[0].is_file());
+    }
+
+    #[test]
+    fn sidecar_roundtrip_is_lossless() {
+        let old = Snapshot::new(
+            3,
+            100,
+            vec![
+                dir("/q"),
+                rec("/q/gone.log", 5, 5, 11, 1),
+                rec("/q/keep.nc", 5, 5, 11, 4),
+                rec("/q/touch.py", 5, 5, 12, 1),
+            ],
+        );
+        let new = Snapshot::new(
+            10,
+            200,
+            vec![
+                dir("/q"),
+                rec("/q/fresh", 9, 9, 13, 2),
+                rec("/q/keep.nc", 5, 5, 11, 4),
+                rec("/q/touch.py", 8, 8, 12, 1),
+            ],
+        );
+        let d = delta_of(&old, &new);
+        let bytes = d.encode();
+        let back = FrameDelta::decode(&bytes).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_refused() {
+        let old = Snapshot::new(0, 0, vec![rec("/a", 1, 1, 7, 1)]);
+        let new = Snapshot::new(7, 0, vec![rec("/b", 2, 2, 7, 1)]);
+        let mut bytes = delta_of(&old, &new).encode();
+        assert!(FrameDelta::decode(&bytes[..bytes.len() - 3]).is_err());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            FrameDelta::decode(&bytes),
+            Err(DeltaError::Corrupt("digest mismatch"))
+        ));
+    }
+
+    #[test]
+    fn lossy_endpoint_frames_are_refused() {
+        let snap = Snapshot::new(0, 0, vec![rec("/a.nc", 1, 1, 7, 1)]);
+        let mut bytes = colf::encode(&snap);
+        // Smash the osts section so the lossy decode drops it.
+        let spans = colf::section_table(&bytes).unwrap();
+        let osts = spans.iter().find(|s| s.name == "osts").expect("osts span");
+        bytes[osts.offset] ^= 0xFF;
+        let lossy = FrameColumns::decode_lossy(&bytes).unwrap();
+        assert!(!lossy.lost_sections().is_empty());
+        let (good, gd) = cols(&snap);
+        let err = FrameDelta::compute(&lossy, &good, 1, gd).unwrap_err();
+        assert!(matches!(err, DeltaError::LossyFrame { .. }));
+    }
+
+    #[test]
+    fn path_depth_matches_record_convention() {
+        let r = rec("/lustre/atlas1/chp101/u4821/run7/out.xyz", 1, 1, 7, 1);
+        assert_eq!(path_depth(&r.path), r.depth());
+        assert_eq!(path_depth("/"), 1);
+    }
+}

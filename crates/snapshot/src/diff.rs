@@ -15,6 +15,7 @@
 //! delete+recreate within a week classifies as updated/new depending on
 //! timestamps — the same blind spot the paper acknowledges.
 
+use crate::columns::FrameColumns;
 use crate::record::SnapshotRecord;
 use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
@@ -142,6 +143,82 @@ impl SnapshotDiff {
                     j += 1;
                 }
             }
+        }
+        diff
+    }
+
+    /// [`SnapshotDiff::compute`] over decoded column frames: the
+    /// merge-join runs directly on the two front-coded path arenas
+    /// (borrowed `&str` slices compared in place — no `String` is
+    /// materialized or rehashed on either side), which is the path the
+    /// columnar fast path takes when both days have colf frames at
+    /// hand. Classification is identical to the row-based
+    /// [`SnapshotDiff::compute`]; the equivalence is asserted by tests.
+    pub fn compute_columns(old: &FrameColumns, new: &FrameColumns) -> SnapshotDiff {
+        let is_file = |mode: u32| mode & 0o170000 == 0o100000;
+        let mut diff = SnapshotDiff::default();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() || j < new.len() {
+            let order = if i >= old.len() {
+                Ordering::Greater
+            } else if j >= new.len() {
+                Ordering::Less
+            } else {
+                old.path(i).cmp(new.path(j))
+            };
+            match order {
+                Ordering::Less => {
+                    if is_file(old.mode[i]) {
+                        diff.deleted.push(i as u32);
+                    }
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    if is_file(new.mode[j]) {
+                        diff.new.push(j as u32);
+                    }
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    match (is_file(old.mode[i]), is_file(new.mode[j])) {
+                        (true, true) => {
+                            let atime_changed = old.atime[i] != new.atime[j];
+                            let write_changed =
+                                old.mtime[i] != new.mtime[j] || old.ctime[i] != new.ctime[j];
+                            if write_changed {
+                                diff.updated.push(j as u32);
+                            } else if atime_changed {
+                                diff.readonly.push(j as u32);
+                            } else {
+                                diff.untouched.push(j as u32);
+                            }
+                        }
+                        (true, false) => diff.deleted.push(i as u32),
+                        (false, true) => diff.new.push(j as u32),
+                        (false, false) => {}
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        diff
+    }
+
+    /// Like [`SnapshotDiff::compute_columns`], but flags the gap when
+    /// `old` is a stand-in for a different intended baseline day — the
+    /// column-path twin of [`SnapshotDiff::compute_substituted`].
+    pub fn compute_columns_substituted(
+        old: &FrameColumns,
+        new: &FrameColumns,
+        intended_old_day: u32,
+    ) -> SnapshotDiff {
+        let mut diff = SnapshotDiff::compute_columns(old, new);
+        if old.day() != intended_old_day {
+            diff.gap = Some(DiffGap {
+                intended_day: intended_old_day,
+                actual_day: old.day(),
+            });
         }
         diff
     }
@@ -361,6 +438,147 @@ mod tests {
         let day28 = Snapshot::new(28, 0, vec![]);
         let diff = SnapshotDiff::compute_substituted(&day21, &day28, 14);
         assert_eq!(diff.gap.unwrap().width(), 7);
+    }
+
+    fn columns_of(snapshot: &Snapshot) -> FrameColumns {
+        FrameColumns::decode(&crate::colf::encode(snapshot)).unwrap()
+    }
+
+    #[test]
+    fn column_path_matches_row_path() {
+        // Every transition class at once: the arena merge-join must
+        // produce the exact index vectors of the record merge-join.
+        let old = Snapshot::new(
+            0,
+            0,
+            vec![
+                dir("/d"),
+                rec("/d/keep", 10, 10, 10),
+                rec("/d/read", 10, 10, 10),
+                rec("/d/write", 10, 10, 10),
+                rec("/gone", 10, 10, 10),
+                rec("/x", 1, 1, 1), // becomes a directory
+                dir("/y"),          // becomes a file
+            ],
+        );
+        let new = Snapshot::new(
+            7,
+            0,
+            vec![
+                dir("/d"),
+                rec("/d/fresh", 70, 70, 70),
+                rec("/d/keep", 10, 10, 10),
+                rec("/d/read", 55, 10, 10),
+                rec("/d/write", 10, 66, 66),
+                dir("/x"),
+                rec("/y", 9, 9, 9),
+            ],
+        );
+        let row = SnapshotDiff::compute(&old, &new);
+        let col = SnapshotDiff::compute_columns(&columns_of(&old), &columns_of(&new));
+        assert_eq!(row, col);
+        assert!(col.breakdown().new == 2 && col.breakdown().deleted == 2);
+    }
+
+    #[test]
+    fn column_path_equivalence_on_random_interleavings() {
+        // Deterministic pseudo-random path sets with collisions between
+        // the two days; the two paths must agree index-for-index.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..10 {
+            let mut old_recs = Vec::new();
+            let mut new_recs = Vec::new();
+            for _ in 0..60 {
+                let id = next() % 40;
+                let path = format!("/p/f{id:03}");
+                let t = next() % 100;
+                if next() % 3 != 0 {
+                    old_recs.push(rec(&path, t, t, t));
+                }
+                if next() % 3 != 0 {
+                    let t2 = next() % 100;
+                    new_recs.push(rec(&path, t2, t, t));
+                }
+            }
+            let dedup = |mut v: Vec<SnapshotRecord>| {
+                v.sort_by(|a, b| a.path.cmp(&b.path));
+                v.dedup_by(|a, b| a.path == b.path);
+                v
+            };
+            let old = Snapshot::new(0, 0, dedup(old_recs));
+            let new = Snapshot::new(7, 0, dedup(new_recs));
+            assert_eq!(
+                SnapshotDiff::compute(&old, &new),
+                SnapshotDiff::compute_columns(&columns_of(&old), &columns_of(&new))
+            );
+        }
+    }
+
+    #[test]
+    fn column_substituted_flags_gap_like_row_path() {
+        let day0 = Snapshot::new(0, 0, vec![rec("/a", 1, 1, 1)]);
+        let day21 = Snapshot::new(21, 0, vec![rec("/a", 5, 1, 1)]);
+        let col =
+            SnapshotDiff::compute_columns_substituted(&columns_of(&day0), &columns_of(&day21), 14);
+        let row = SnapshotDiff::compute_substituted(&day0, &day21, 14);
+        assert_eq!(col, row);
+        assert_eq!(col.gap.unwrap().width(), 14);
+    }
+
+    #[test]
+    fn multi_day_quarantine_gap_is_never_silent() {
+        // Days 7 and 14 both quarantined: the diff toward day 21 runs
+        // against day 0, a three-interval substitution. The gap must be
+        // flagged with its full width — downstream aggregate maintainers
+        // key their "degraded" marking off exactly this flag, so a
+        // silent merge here would poison every trend cell in the gap.
+        let day0 = Snapshot::new(
+            0,
+            0,
+            vec![rec("/a", 1, 1, 1), rec("/b", 1, 1, 1), rec("/c", 1, 1, 1)],
+        );
+        let day21 = Snapshot::new(
+            21,
+            0,
+            vec![rec("/a", 9, 9, 9), rec("/c", 1, 1, 1), rec("/d", 2, 2, 2)],
+        );
+        for intended in [7u32, 14] {
+            let diff = SnapshotDiff::compute_substituted(&day0, &day21, intended);
+            assert!(diff.is_gap(), "substituted baseline must flag the gap");
+            let gap = diff.gap.unwrap();
+            assert_eq!(gap.intended_day, intended);
+            assert_eq!(gap.actual_day, 0);
+            assert_eq!(gap.width(), intended);
+            // Classification itself equals the plain diff against the
+            // substitute — the gap is an annotation, not a rewrite.
+            let plain = SnapshotDiff::compute(&day0, &day21);
+            assert_eq!(diff.breakdown(), plain.breakdown());
+        }
+        // Column path agrees on the same multi-day gap.
+        let col =
+            SnapshotDiff::compute_columns_substituted(&columns_of(&day0), &columns_of(&day21), 14);
+        assert_eq!(col.gap.unwrap().width(), 14);
+        assert_eq!(
+            col.breakdown(),
+            SnapshotDiff::compute(&day0, &day21).breakdown()
+        );
+    }
+
+    #[test]
+    fn gap_chain_widths_accumulate_across_week_gaps() {
+        // A quarantined stretch (days 7..=28 lost) bridged in one diff:
+        // width reports the true distance, not one sampling interval.
+        let day0 = Snapshot::new(0, 0, vec![rec("/a", 1, 1, 1)]);
+        let day35 = Snapshot::new(35, 0, vec![rec("/a", 2, 1, 1)]);
+        let diff = SnapshotDiff::compute_substituted(&day0, &day35, 28);
+        assert_eq!(diff.gap.unwrap().width(), 28);
+        assert!(diff.gap.unwrap().width() > 7, "wider than one interval");
     }
 
     #[test]

@@ -28,12 +28,16 @@
 //! * [`store`] — an on-disk collection of weekly snapshots;
 //! * [`diff`] — adjacent-snapshot comparison classifying every regular
 //!   file as new / deleted / read-only / updated / untouched, exactly the
-//!   categories of Fig. 13.
+//!   categories of Fig. 13;
+//! * [`delta`] — column-level day-over-day delta frames persisted as
+//!   sidecars, the substrate for O(changed rows) incremental aggregate
+//!   maintenance.
 
 #![warn(missing_docs)]
 
 pub mod colf;
 pub mod columns;
+pub mod delta;
 pub mod diff;
 pub mod faultfs;
 pub mod io;
@@ -47,6 +51,7 @@ pub mod varint;
 pub mod xxh;
 
 pub use columns::FrameColumns;
+pub use delta::{DeltaError, DeltaRow, FrameDelta};
 pub use diff::{AccessBreakdown, DiffGap, SnapshotDiff};
 pub use faultfs::{FaultFs, FaultKind, PathClass};
 pub use io::{OsIo, StoreIo};

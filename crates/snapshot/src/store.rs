@@ -336,6 +336,13 @@ impl SnapshotStore {
         self.dir.join(format!("snap-{day:05}.colf"))
     }
 
+    /// Sidecar path for the delta landing on `new_day`. The `.delta`
+    /// suffix keeps sidecars invisible to the snapshot index
+    /// ([`SnapshotStore::parse_file_name`] only admits `.colf`).
+    fn delta_file_path(&self, new_day: u32) -> PathBuf {
+        self.dir.join(format!("snap-{new_day:05}.delta"))
+    }
+
     /// Runs `op`, retrying transient failures per the policy. Not-found
     /// errors are permanent and returned immediately. Each attempt's
     /// latency, each retry, and each backoff sleep is recorded against
@@ -461,6 +468,69 @@ impl SnapshotStore {
             self.days.insert(pos, day);
         }
         Ok(())
+    }
+
+    /// Persists a delta sidecar next to its landing day's `.colf` file
+    /// (atomic tmp + rename, same discipline as snapshot writes).
+    /// Overwrites any prior sidecar for the day: a re-put or healed day
+    /// gets a fresh delta, and its digests are what consumers validate.
+    pub fn put_delta(&self, delta: &crate::delta::FrameDelta) -> Result<(), StoreError> {
+        let bytes = delta.encode();
+        let path = self.delta_file_path(delta.new_day);
+        let tmp = path.with_extension("delta.tmp");
+        let result = self.with_retry(StoreOp::Write, || {
+            self.io.write(&tmp, &bytes)?;
+            self.io.rename(&tmp, &path)
+        });
+        if let Err(e) = result {
+            let _ = self.io.remove(&tmp);
+            return Err(e.into());
+        }
+        telemetry::global().incr("store.deltas_written", 1);
+        Ok(())
+    }
+
+    /// Reads and decodes the delta sidecar landing on `new_day`.
+    ///
+    /// Returns `Ok(None)` when no sidecar exists *or* when the sidecar
+    /// fails to decode (rot is counted under `store.delta_invalid` and
+    /// treated as absence — the incremental layer then falls back to
+    /// the full-rescan oracle rather than trusting damaged bytes).
+    /// Digest-chain validation against the endpoint `.colf` files is
+    /// the caller's job (`FrameLoader::delta_for`).
+    pub fn read_delta(&self, new_day: u32) -> Result<Option<crate::delta::FrameDelta>, StoreError> {
+        let path = self.delta_file_path(new_day);
+        let bytes = match self.with_retry(StoreOp::Read, || self.io.read(&path)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        match crate::delta::FrameDelta::decode(&bytes) {
+            Ok(delta) => Ok(Some(delta)),
+            Err(_) => {
+                telemetry::global().incr("store.delta_invalid", 1);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Days that have a delta sidecar on disk, ascending. Purely
+    /// presence — validity is decided at read/apply time.
+    pub fn delta_days(&self) -> Result<Vec<u32>, StoreError> {
+        let mut days = Vec::new();
+        for name in self.io.list(&self.dir)? {
+            if let Some(name) = name.to_str() {
+                if let Some(day) = name
+                    .strip_prefix("snap-")
+                    .and_then(|n| n.strip_suffix(".delta"))
+                    .and_then(|n| n.parse().ok())
+                {
+                    days.push(day);
+                }
+            }
+        }
+        days.sort_unstable();
+        Ok(days)
     }
 
     /// XXH64 section digest of the raw stored bytes for `day` — the
@@ -592,8 +662,87 @@ impl SnapshotStore {
         if let Ok(pos) = self.days.binary_search(&day) {
             self.days.remove(pos);
         }
+        // The delta landing on this day lost its new endpoint; move the
+        // sidecar alongside the corpse (best effort) so it can never be
+        // mistaken for a live delta. Deltas *departing* from this day
+        // stay put: their old-digest check fails at read time, which is
+        // what routes consumers to the full-rescan oracle.
+        let delta_from = self.delta_file_path(day);
+        let delta_to = qdir.join(format!("snap-{day:05}.delta"));
+        let _ = self.io.rename(&delta_from, &delta_to);
         telemetry::global().incr("store.quarantined_days", 1);
         health.quarantined.push(QuarantinedDay { day, reason });
+    }
+
+    /// Builds any missing (or digest-stale) delta sidecars between
+    /// consecutive indexed days, decoding each day's columns at most
+    /// once in a rolling pair. Lossy days cannot anchor a delta and
+    /// their pairs are skipped. Returns `(built, skipped)` counts;
+    /// telemetry: `store.deltas_written` per sidecar.
+    pub fn ensure_deltas(&self) -> Result<(u64, u64), StoreError> {
+        use crate::columns::FrameColumns;
+        let _span = telemetry::global().span("ensure_deltas");
+        let mut built = 0u64;
+        let mut skipped = 0u64;
+        let mut prev: Option<(u32, u64, Option<FrameColumns>)> = None;
+        for &day in &self.days {
+            let Some(bytes) = self.read_raw(day)? else {
+                continue;
+            };
+            let digest = crate::xxh::section_digest(&bytes);
+            // Decode lazily: only when this pair actually needs building.
+            let mut cols: Option<FrameColumns> = None;
+            if let Some((old_day, old_digest, old_cols)) = prev.take() {
+                let fresh = match self.read_delta(day)? {
+                    Some(d) => {
+                        d.old_day == old_day && d.old_digest == old_digest && d.new_digest == digest
+                    }
+                    None => false,
+                };
+                if fresh {
+                    skipped += 1;
+                } else {
+                    let old_cols = match old_cols {
+                        Some(c) => Some(c),
+                        None => self
+                            .read_raw(old_day)?
+                            .and_then(|b| FrameColumns::decode(&b).ok()),
+                    };
+                    cols = FrameColumns::decode(&bytes).ok();
+                    match (old_cols, cols.as_ref()) {
+                        (Some(oc), Some(nc)) => {
+                            match crate::delta::FrameDelta::compute(&oc, nc, old_digest, digest) {
+                                Ok(delta) => {
+                                    self.put_delta(&delta)?;
+                                    built += 1;
+                                }
+                                Err(_) => skipped += 1,
+                            }
+                        }
+                        _ => skipped += 1,
+                    }
+                }
+            }
+            prev = Some((day, digest, cols));
+        }
+        Ok((built, skipped))
+    }
+
+    /// Re-lists the directory and rebuilds the day index, picking up
+    /// snapshots added (or removed) by other handles onto the same
+    /// directory — e.g. a simulation appending days under a running
+    /// query server. Returns true when the day set changed.
+    pub fn rescan(&mut self) -> Result<bool, StoreError> {
+        let mut days = Vec::new();
+        for name in self.io.list(&self.dir)? {
+            if let Some(day) = Self::parse_file_name(&name) {
+                days.push(day);
+            }
+        }
+        days.sort_unstable();
+        let changed = days != self.days;
+        self.days = days;
+        Ok(changed)
     }
 
     /// The indexed day closest to `day` (itself excluded); ties break to

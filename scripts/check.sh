@@ -68,6 +68,21 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
         SPIDER_SERVE_SEED=$seed cargo test -q -p spider-core --test cache_fairness
     done
     cargo test -q -p spider-serve --test degraded_serve
+    # Incremental aggregation must stay fingerprint-identical to the
+    # full-rescan oracle under a random day-lifecycle storm (appends,
+    # quarantines, degrades, heals), per pinned seed; the epoch-keyed
+    # response cache must never surface answers from a stale day set;
+    # the bench smoke additionally asserts the ≥10x append speedup and
+    # the fault-cell fallbacks.
+    echo "== incremental equivalence (pinned seeds) + epoch cache"
+    for seed in 660942 2964594389 3237998146; do
+        echo "   -- SPIDER_INCR_SEED=$seed"
+        SPIDER_INCR_SEED=$seed cargo test -q -p spider-core --test incremental_equivalence
+    done
+    cargo test -q -p spider-serve --test epoch_cache
+    echo "== incremental bench smoke"
+    cargo run --release -q -p spider-bench --bin incremental_bench -- \
+        target/BENCH_incremental_smoke.json --days 65 --rows 1500 --reps 2 >/dev/null
     echo "== serve loadgen sweep smoke"
     rm -rf target/serve-smoke
     cargo run --release -q -p spider-cli --bin spider-metalab -- \

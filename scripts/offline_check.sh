@@ -57,7 +57,9 @@ ITESTS=(
     "frame_equivalence:crates/core/tests/frame_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
     "pushdown_equivalence:crates/core/tests/pushdown_equivalence.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry"
     "cache_fairness:crates/core/tests/cache_fairness.rs:spider_core spider_snapshot spider_fsmeta"
+    "incremental_equivalence:crates/core/tests/incremental_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
     "degraded_serve:crates/serve/tests/degraded_serve.rs:spider_serve spider_snapshot spider_core spider_fsmeta"
+    "epoch_cache:crates/serve/tests/epoch_cache.rs:spider_serve spider_snapshot spider_core spider_fsmeta"
     "serve_soak:crates/serve/tests/serve_soak.rs:spider_serve spider_snapshot spider_core spider_telemetry"
     "pipeline_end_to_end:tests/pipeline_end_to_end.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
     "determinism:tests/determinism.rs:spider_experiments spider_sim spider_snapshot spider_core spider_graph spider_report spider_workload spider_fsmeta spider_stats serde_json"
@@ -152,6 +154,21 @@ if [ -z "$FILTER" ] || [[ "frame_path" == *"$FILTER"* ]]; then
     $RUSTC --crate-name frame_path crates/bench/src/bin/frame_path.rs $externs \
         -o "$OUT/frame_path"
     "$OUT/frame_path" "$OUT/BENCH_frame_path_smoke.json" --days 2 --rows 2000 --reps 1 >/dev/null
+fi
+
+# Incremental aggregation benchmark smoke: small warm store, one
+# appended day; asserts the delta-applied state fingerprints identical
+# to the full-rescan oracle and that the fault cells fall back cleanly.
+# (Speedup is asserted inside the bin; a small store keeps it honest —
+# the committed BENCH_incremental.json comes from the full-size run.)
+if [ -z "$FILTER" ] || [[ "incremental_bench" == *"$FILTER"* ]]; then
+    say "build + smoke incremental bench"
+    BENCH_DEPS="spider_core spider_snapshot spider_telemetry spider_fsmeta rustc_hash"
+    externs=""
+    for d in $BENCH_DEPS; do externs+=" $(ext $d)"; done
+    $RUSTC --crate-name incremental_bench crates/bench/src/bin/incremental_bench.rs $externs \
+        -o "$OUT/incremental_bench"
+    "$OUT/incremental_bench" "$OUT/BENCH_incremental_smoke.json" --days 65 --rows 1500 --reps 2 >/dev/null
 fi
 
 for entry in "${ITESTS[@]}"; do
