@@ -10,6 +10,13 @@
 //! as the first argument). Each pair also cross-checks that both sides
 //! produce the same answer, so a speedup can never come from computing
 //! something different.
+//!
+//! The whole run executes with the flight-recorder ring installed as
+//! the event sink — armed but quiet, the always-on observability
+//! posture — so the medians double as proof that carrying the recorder
+//! costs the hot path nothing measurable. A final instrumented pass
+//! (registry on) embeds stage attribution; `--trace FILE` exports that
+//! pass as a chrome trace.
 
 use spider_core::{Engine, Pred, Scan, SnapshotFrame};
 use spider_snapshot::{Snapshot, SnapshotRecord};
@@ -68,9 +75,31 @@ fn time<F: FnMut() -> u64>(mut f: F) -> (u64, u64) {
 }
 
 fn main() {
-    let out = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_core_scan.json".to_string());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // Always-on posture: every timed case below runs with the bounded
+    // ring installed as the event sink. The registry stays disabled
+    // while timing — the armed-but-quiet state every command now runs
+    // in — so the medians prove the recorder's presence costs the hot
+    // path exactly one relaxed load per would-be event.
+    let tel = spider_telemetry::global();
+    let recorder = std::sync::Arc::new(spider_obs::FlightRecorder::new());
+    if trace_out.is_some() {
+        recorder.start_collecting();
+    }
+    spider_obs::install_panic_hook(recorder.clone());
+    tel.install_sink(recorder.clone());
+
     eprintln!("building {ROWS}-row synthetic frame ...");
     let snapshot = synthetic_snapshot();
     let frame = SnapshotFrame::build(&snapshot);
@@ -145,10 +174,11 @@ fn main() {
     cases.push(("four_single_scans", four_ns, four_n));
 
     // Non-timed: one instrumented run of the fused-scan and MultiAgg
-    // workloads. The timed cases above ran with telemetry disabled (its
-    // default), so the medians measure the uninstrumented hot path; this
-    // pass embeds engine/scan-stage attribution in the report.
-    let tel = spider_telemetry::global();
+    // workloads. The timed cases above ran with the registry disabled
+    // (ring armed but quiet), so the medians measure the production hot
+    // path; this pass switches the registry on so the report embeds
+    // engine/scan-stage attribution — and feeds the ring and the
+    // `--trace` collector their events.
     tel.enable();
     let _ = Scan::over(&frame)
         .files()
@@ -179,6 +209,12 @@ fn main() {
     json.push_str(&format!("  \"telemetry\": {}\n", telemetry.trim_end()));
     json.push_str("}\n");
     std::fs::write(&out, &json).expect("write benchmark json");
+    tel.clear_sink();
+    if let Some(path) = trace_out {
+        let trace = spider_obs::render_chrome_trace(&recorder.take_collected());
+        std::fs::write(&path, trace).expect("write chrome trace");
+        eprintln!("wrote chrome trace {path}");
+    }
     eprintln!("wrote {out}");
     print!("{json}");
 }

@@ -19,7 +19,14 @@
 //! a speedup can never come from computing a different answer. A
 //! non-timed corrupt-section case asserts the salvage equivalence too.
 //!
-//! Usage: `frame_path [OUT.json] [--days N] [--rows N] [--reps N]`
+//! The whole run executes with the flight-recorder ring installed as
+//! the event sink — armed but quiet, the always-on observability
+//! posture — so the medians double as proof that carrying the recorder
+//! costs the hot path nothing measurable. A final instrumented pass
+//! (registry on) embeds stage attribution; `--trace FILE` exports that
+//! pass as a chrome trace.
+//!
+//! Usage: `frame_path [OUT.json] [--days N] [--rows N] [--reps N] [--trace FILE]`
 
 use spider_core::query::RowPred;
 use spider_core::{FrameLoader, FramePred, Pred, SnapshotFrame};
@@ -34,6 +41,13 @@ fn flag(args: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn synthetic_snapshot(day: u32, rows: usize) -> Snapshot {
@@ -136,6 +150,20 @@ fn main() {
     let days = flag(&args, "--days", 8);
     let rows = flag(&args, "--rows", 1 << 17);
     let reps = flag(&args, "--reps", 5);
+
+    // Always-on posture: every timed case below runs with the bounded
+    // ring installed as the event sink. The registry stays disabled
+    // while timing — the armed-but-quiet state every command now runs
+    // in — so the medians prove the recorder's presence costs the hot
+    // path exactly one relaxed load per would-be event.
+    let tel = spider_telemetry::global();
+    let recorder = std::sync::Arc::new(spider_obs::FlightRecorder::new());
+    let trace_out = str_flag(&args, "--trace");
+    if trace_out.is_some() {
+        recorder.start_collecting();
+    }
+    spider_obs::install_panic_hook(recorder.clone());
+    tel.install_sink(recorder.clone());
 
     let dir = std::env::temp_dir().join(format!("spider-bench-frame-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -298,13 +326,12 @@ fn main() {
     }
 
     // --- non-timed: one instrumented cold + cached pass ---
-    // All timed cases above ran with telemetry disabled (its default),
-    // so the headline numbers measure the uninstrumented hot path. This
-    // extra pass re-runs the multi-day workload with the registry on and
-    // embeds the snapshot, giving perf PRs per-stage attribution (decode
+    // All timed cases above ran with the registry disabled (ring armed
+    // but quiet), so the headline numbers measure the production hot
+    // path. This extra pass switches the registry on and re-runs the
+    // multi-day workload, giving perf PRs per-stage attribution (decode
     // latency, cache hit/miss/eviction, batch occupancy) alongside the
-    // medians.
-    let tel = spider_telemetry::global();
+    // medians — and feeding the ring and the `--trace` collector.
     tel.enable();
     loader.cache().clear();
     let _ = loader.frames(&all_days).unwrap(); // cold: decodes every day
@@ -331,6 +358,12 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out, &json).expect("write benchmark json");
     let _ = std::fs::remove_dir_all(&dir);
+    tel.clear_sink();
+    if let Some(path) = trace_out {
+        let trace = spider_obs::render_chrome_trace(&recorder.take_collected());
+        std::fs::write(&path, trace).expect("write chrome trace");
+        eprintln!("wrote chrome trace {path}");
+    }
     eprintln!("wrote {out}");
     print!("{json}");
 }

@@ -8,14 +8,19 @@
 //! spider-metalab exp fig16 --dir runs/full [--quick]
 //! spider-metalab inspect  --dir runs/full [--day 497]
 //! spider-metalab telemetry --dir runs/full [--quick] [--json] [--check]
+//! spider-metalab flightrec --dir runs/full [--validate]
 //! ```
 //!
 //! `--quick` switches to the small test-scale configuration (minutes →
 //! seconds) for smoke runs; published numbers come from the default
-//! configuration.
+//! configuration. `--trace=FILE` (any command) exports the run's event
+//! stream as a chrome `trace_event` file; the bounded flight recorder
+//! is always armed, so dump-worthy outcomes freeze their ring to disk
+//! with no flag at all.
 
 use spider_core::{FrameLoader, Pred};
 use spider_experiments::{all_experiments, experiment_by_id, Lab, LabConfig};
+use spider_obs::FlightRecorder;
 use spider_sim::{SimConfig, Simulation};
 use spider_snapshot::{FaultFs, OsIo, RetryPolicy, SnapshotStore, StoreIo};
 use std::path::PathBuf;
@@ -25,9 +30,25 @@ use std::sync::Arc;
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry_mode = extract_telemetry_flag(&mut args);
-    if telemetry_mode.is_some() {
+    let trace_path = extract_trace_flag(&mut args);
+    if telemetry_mode.is_some() || trace_path.is_some() {
         spider_telemetry::global().enable();
     }
+    // The flight recorder rides along on every command: the bounded
+    // ring is armed before any work runs, so an oracle mismatch,
+    // fairness violation, quarantine, shed-storm onset, or panic dumps
+    // the moments leading up to it with no flag. `--trace=FILE`
+    // additionally turns on the unbounded collector for a full-run
+    // chrome-trace export on exit.
+    let dump_dir = flag_value(&args, "--dir")
+        .map(|d| PathBuf::from(d).join("flightrec"))
+        .unwrap_or_else(|| std::env::temp_dir().join("spider-flightrec"));
+    let recorder = Arc::new(FlightRecorder::new().with_dump_dir(&dump_dir));
+    if trace_path.is_some() {
+        recorder.start_collecting();
+    }
+    spider_obs::install_panic_hook(Arc::clone(&recorder));
+    spider_telemetry::global().install_sink(recorder.clone());
     let Some(command) = args.first().map(|s| s.as_str()) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -47,6 +68,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&args[1..]),
         "export" => cmd_export(&args[1..]),
         "telemetry" => cmd_telemetry(&args[1..]),
+        "flightrec" => cmd_flightrec(&args[1..], &recorder),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -55,6 +77,14 @@ fn main() -> ExitCode {
     };
     if let Some(mode) = telemetry_mode {
         report_telemetry(&args, mode);
+    }
+    spider_telemetry::global().clear_sink();
+    if let Some(path) = trace_path {
+        let trace = spider_obs::render_chrome_trace(&recorder.take_collected());
+        match std::fs::write(&path, trace) {
+            Ok(()) => eprintln!("chrome trace written to {path} (chrome://tracing / Perfetto)"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -88,6 +118,22 @@ fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<TelemetryMode> {
         _ => true,
     });
     mode
+}
+
+/// Removes the global `--trace=FILE` flag from `args` and returns the
+/// chrome-trace output path. Like `--telemetry`, it composes with every
+/// command: the run's full event stream is collected and exported when
+/// the command finishes.
+fn extract_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut path = None;
+    args.retain(|a| match a.strip_prefix("--trace=") {
+        Some(p) => {
+            path = Some(p.to_string());
+            false
+        }
+        None => true,
+    });
+    path
 }
 
 /// Prints the end-of-run telemetry report and, when the command had a
@@ -133,6 +179,8 @@ USAGE:
   spider-metalab convert  --psv FILE --dir DIR
   spider-metalab export   --dir DIR --psv FILE [--day N]
   spider-metalab telemetry --dir DIR [--quick] [--json] [--check]
+  spider-metalab flightrec (--dir DIR [--out DIR] [--seed N] [--validate]
+                          | --check FILE)
 
 `--fault-seed N` routes store I/O through the deterministic fault
 injector (seeded bit flips, truncations, torn writes, transient
@@ -164,18 +212,33 @@ line-delimited JSON queries in, one response line each, with
 per-tenant scan budgets, load shedding to cached (stale-marked)
 answers, and typed rejections past the queue bound. `--stdin` answers
 request lines from stdin instead of TCP (exits non-zero if any line
-failed). `loadgen` drives a server with a seeded analyst population —
-closed-loop (`--queries` per analyst), open-paced (`--qps`), or open
-burst (`--burst`); `--sweep` runs a 3-level offered-load sweep
-(steady, 0.9x, overload burst) against an in-process server and
-writes throughput/latency curves to `--out` (BENCH_serve.json).
+failed); under TCP, Ctrl-C stops the listener gracefully — final stats
+and any `--telemetry`/`--trace` exports still run. `loadgen` drives a
+server with a seeded analyst population — closed-loop (`--queries` per
+analyst), open-paced (`--qps`), or open burst (`--burst`); `--sweep`
+runs a 3-level offered-load sweep (steady, 0.9x, overload burst)
+against an in-process server and writes throughput/latency curves to
+`--out` (BENCH_serve.json), with a metrics scrape after each level so
+every curve carries the server-side telemetry that produced it.
 
 `--telemetry[=table|json]` works with every command: it instruments the
 run (spans, counters, latency histograms), prints the report when the
 command finishes, and — when the command takes `--dir` — exports the
 snapshot to `<dir>/telemetry.json`. The `telemetry` subcommand runs the
 full pipeline under instrumentation in one step; `--check` validates
-the snapshot (CI smoke).";
+the snapshot (CI smoke).
+
+`--trace=FILE` also works with every command: the run's event stream
+(spans, cross-thread flow pairs, counter tracks, outcome instants) is
+exported as a chrome trace_event file, loadable in chrome://tracing or
+Perfetto. Independent of both flags, a bounded flight recorder is
+always armed: a dump-worthy outcome (oracle mismatch, fairness
+violation, quarantine, shed-storm onset, panic) freezes the most
+recent events to `<dir>/flightrec/`. `flightrec` takes the same dump
+on demand after a short seeded serve exchange — cross-checking the
+metrics scrape deltas while it is at it — and `flightrec --check FILE`
+validates any exported chrome trace (well-formed JSON, spans present,
+flow pairs paired, child spans inside their parents).";
 
 type AnyError = Box<dyn std::error::Error>;
 
@@ -710,15 +773,87 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         std::net::TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
         "serving {days} day(s) on {addr} ({} workers, queue {}, shed mark {}, \
-         budget {} day-tokens @ {:?}/s refill); one JSON query per line",
+         budget {} day-tokens @ {:?}/s refill); one JSON query per line, Ctrl-C to stop",
         config.workers,
         config.queue_capacity,
         config.shed_mark,
         config.tenant_budget,
         config.refill
     );
-    server.serve_listener(listener)?;
+    // A nonblocking accept loop instead of `serve_listener`'s blocking
+    // one, so a SIGINT can break it: the handler only sets a flag, the
+    // loop notices within one poll interval, and the graceful-shutdown
+    // path still runs — final stats here, then the `--telemetry` report
+    // and `--trace` export in `main`.
+    install_sigint_handler();
+    listener.set_nonblocking(true)?;
+    while !interrupted() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let client = server.client();
+                std::thread::spawn(move || {
+                    let _ = serve_tcp_connection(&client, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (totals, _) = server.shutdown();
+    eprintln!(
+        "interrupted: served {} request(s) ({} ok, {} shed, {} rejected, {} errors)",
+        totals.queries, totals.ok, totals.shed, totals.rejected, totals.errors
+    );
     Ok(())
+}
+
+/// One reader thread per accepted TCP connection: a response line per
+/// request line, through the same in-process [`spider_serve::Client`]
+/// the `--stdin` mode uses.
+fn serve_tcp_connection(
+    client: &spider_serve::Client,
+    stream: std::net::TcpStream,
+) -> std::io::Result<()> {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(client.request(&line).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Set by the SIGINT handler; polled by the serve accept loop.
+static INTERRUPTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn note_sigint(_sig: i32) {
+    // Async-signal-safe: one atomic store, nothing else.
+    INTERRUPTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Routes SIGINT to [`note_sigint`]. No libc crate: installing a plain
+/// function handler needs nothing beyond a raw `signal(2)` declaration.
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        let _ = signal(SIGINT, note_sigint as usize);
+    }
+}
+
+fn interrupted() -> bool {
+    INTERRUPTED.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 /// Drives a server with the seeded analyst population. One level by
@@ -784,6 +919,13 @@ fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
         day_hi,
         arrival,
     };
+    // One metrics scrape per completed level: the BENCH rows gain the
+    // server-side telemetry (snapshot, counter deltas since the last
+    // scrape, per-tenant gauges) that produced the client-side curves.
+    let scrape_now = || match connect() {
+        Ok(mut port) => spider_serve::scrape_metrics(&mut *port).ok(),
+        Err(_) => None,
+    };
     let print_report = |label: &str, r: &spider_serve::LoadReport| {
         println!(
             "{label}: sent {} answered {} | ok {} shed {} rejected {} | \
@@ -841,6 +983,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
             let levels = [BenchLevel {
                 label: "single".into(),
                 offered_qps: 0,
+                telemetry: scrape_now(),
                 report,
             }];
             std::fs::write(
@@ -870,6 +1013,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
     levels.push(BenchLevel {
         label: "closed-steady".into(),
         offered_qps: 0,
+        telemetry: scrape_now(),
         report: steady,
     });
 
@@ -886,6 +1030,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
     levels.push(BenchLevel {
         label: "paced-0.9x".into(),
         offered_qps: (capacity_qps * 0.9) as u64 + 1,
+        telemetry: scrape_now(),
         report: near,
     });
 
@@ -899,6 +1044,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
     levels.push(BenchLevel {
         label: "overload-burst".into(),
         offered_qps: u64::MAX.min(capacity_qps as u64 * 4),
+        telemetry: scrape_now(),
         report: burst,
     });
 
@@ -1173,6 +1319,230 @@ fn check_telemetry(snapshot: &spider_telemetry::TelemetrySnapshot) -> Result<(),
         .into());
     }
     Ok(())
+}
+
+/// On-demand flight-recorder dump: runs a short seeded serve exchange
+/// (so the ring holds spans, cross-thread flows, and counters), asserts
+/// the metrics scrape's delta discipline across it, then freezes the
+/// ring to `--out` (default `<dir>/flightrec`). `--validate` reads the
+/// chrome trace back through [`validate_chrome_trace`]; `--check FILE`
+/// validates an existing export instead of dumping.
+fn cmd_flightrec(args: &[String], recorder: &Arc<FlightRecorder>) -> Result<(), AnyError> {
+    if let Some(path) = flag_value(args, "--check") {
+        let stats = validate_chrome_trace(&std::fs::read_to_string(&path)?)?;
+        println!(
+            "chrome trace {path}: OK ({} events: {} spans, {} flow pairs, {} counter samples)",
+            stats.events, stats.spans, stats.flows, stats.counters
+        );
+        return Ok(());
+    }
+    let dir = required_dir(args)?;
+    let seed = num_flag(args, "--seed", 660_942u64)?;
+    let out = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join("flightrec"));
+    // The ring only sees events while the registry is on; `flightrec`
+    // exists to inspect the stream, so switch it on regardless of the
+    // global flags.
+    spider_telemetry::global().enable();
+    let snap_dir = dir.join("snapshots");
+    if !snap_dir.is_dir() {
+        std::fs::create_dir_all(&dir)?;
+        spider_serve::synth_store(&snap_dir, 3, 200, seed)?;
+    }
+    let engine = open_serve_engine(args, &dir)?;
+    let day_hi = engine.days().last().copied().unwrap_or(0);
+    let server = spider_serve::Server::start(engine, spider_serve::ServerConfig::default());
+    let client = server.client();
+
+    // Two scrapes bracketing seeded traffic: the second scrape's
+    // reported deltas must equal the counters' actual movement.
+    let first = client.request("{\"v\":1,\"metrics\":true}");
+    for i in 0..8u64 {
+        let query = spider_serve::sample_query(i, &format!("t{}", i % 2), day_hi, seed ^ i);
+        let _ = client.request(&query.render());
+    }
+    let second = client.request("{\"v\":1,\"metrics\":true}");
+    check_scrape_deltas(&first, &second)?;
+    let _ = server.shutdown();
+
+    let (trace_path, tail_path) = recorder.dump_to(&out, "on-demand", "flightrec subcommand")?;
+    println!(
+        "flight recorder dump:\n  {}\n  {}",
+        trace_path.display(),
+        tail_path.display()
+    );
+    if has_flag(args, "--validate") {
+        let stats = validate_chrome_trace(&std::fs::read_to_string(&trace_path)?)?;
+        // The seeded serve exchange above always hands queries across
+        // the queue, so this dump must contain cross-thread flows; a
+        // flow-free dump here means propagation broke.
+        if stats.flows == 0 {
+            return Err("flightrec dump has no cross-thread flow pairs".into());
+        }
+        println!(
+            "validate: OK ({} events: {} spans, {} flow pairs, {} counter samples; \
+             scrape deltas consistent)",
+            stats.events, stats.spans, stats.flows, stats.counters
+        );
+    }
+    Ok(())
+}
+
+/// Asserts the metrics protocol's delta discipline between two
+/// consecutive scrape lines: both answer as `"status":"metrics"`, the
+/// scrape sequence advances, every cumulative counter is monotonic, and
+/// each reported delta equals that counter's movement since the first
+/// scrape.
+fn check_scrape_deltas(first: &str, second: &str) -> Result<(), AnyError> {
+    use spider_serve::json::{self, Json};
+    let a = json::parse(first).map_err(|e| format!("first scrape unparsable: {e}"))?;
+    let b = json::parse(second).map_err(|e| format!("second scrape unparsable: {e}"))?;
+    for doc in [&a, &b] {
+        if doc.get("status").and_then(|s| s.as_str()) != Some("metrics") {
+            return Err("scrape did not answer with status \"metrics\"".into());
+        }
+    }
+    let seq = |doc: &Json| doc.get("scrape").and_then(|s| s.as_u64());
+    match (seq(&a), seq(&b)) {
+        (Some(x), Some(y)) if y > x => {}
+        other => return Err(format!("scrape sequence must advance, got {other:?}").into()),
+    }
+    let counters = |doc: &Json| -> Vec<(String, u64)> {
+        doc.get("telemetry")
+            .and_then(|t| t.get("counters"))
+            .and_then(|c| c.as_arr())
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|c| {
+                        Some((
+                            c.get("name")?.as_str()?.to_string(),
+                            c.get("value")?.as_u64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let before: std::collections::HashMap<String, u64> = counters(&a).into_iter().collect();
+    let after: std::collections::HashMap<String, u64> = counters(&b).into_iter().collect();
+    for (name, &value) in &after {
+        if let Some(&prev) = before.get(name) {
+            if value < prev {
+                return Err(format!("counter {name} went backwards: {prev} -> {value}").into());
+            }
+        }
+    }
+    let deltas = b
+        .get("deltas")
+        .and_then(|d| d.as_arr())
+        .ok_or("second scrape carries no deltas array")?;
+    if deltas.is_empty() {
+        return Err("no counter moved between scrapes despite traffic".into());
+    }
+    for d in deltas {
+        let (Some(name), Some(delta)) = (
+            d.get("name").and_then(|n| n.as_str()),
+            d.get("delta").and_then(|n| n.as_u64()),
+        ) else {
+            return Err("malformed delta entry in scrape".into());
+        };
+        let moved = after
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(before.get(name).copied().unwrap_or(0));
+        if moved != delta {
+            return Err(format!("delta for {name} reports {delta}, counters moved {moved}").into());
+        }
+    }
+    Ok(())
+}
+
+/// Summary counts from a validated chrome trace export.
+struct TraceStats {
+    events: usize,
+    spans: usize,
+    flows: usize,
+    counters: usize,
+}
+
+/// Validates a chrome `trace_event` export: well-formed JSON, a
+/// non-empty `traceEvents` array, at least one complete span, flow
+/// starts and finishes paired up (zero pairs is legal — a sequential
+/// run has no cross-thread handoffs), and every child span's interval
+/// inside a parent-path span's interval — the same nesting discipline
+/// `telemetry --check` asserts on span sums, read back from the
+/// rendered trace.
+fn validate_chrome_trace(text: &str) -> Result<TraceStats, AnyError> {
+    use spider_serve::json::{self, Json};
+    let doc = json::parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("trace has no traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let num = |e: &Json, key: &str| {
+        e.get(key).and_then(|v| match v {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        })
+    };
+    let mut spans: Vec<(String, f64, f64)> = Vec::new();
+    let (mut starts, mut finishes, mut counters) = (0usize, 0usize, 0usize);
+    for e in events {
+        match e.get("ph").and_then(|p| p.as_str()).unwrap_or("") {
+            "X" => {
+                let path = e
+                    .get("args")
+                    .and_then(|a| a.get("path"))
+                    .and_then(|p| p.as_str())
+                    .ok_or("complete span without args.path")?
+                    .to_string();
+                let ts = num(e, "ts").ok_or("complete span without ts")?;
+                let dur = num(e, "dur").ok_or("complete span without dur")?;
+                spans.push((path, ts, dur));
+            }
+            "s" => starts += 1,
+            "f" => finishes += 1,
+            "C" => counters += 1,
+            _ => {}
+        }
+    }
+    if spans.is_empty() {
+        return Err("no complete spans in trace".into());
+    }
+    if starts != finishes {
+        return Err(
+            format!("flow starts and finishes must pair up (s: {starts}, f: {finishes})").into(),
+        );
+    }
+    // Each µs field truncates independently, so a child's rendered end
+    // can overshoot its parent's by strictly less than two quanta.
+    let eps = 0.002;
+    for (path, ts, dur) in &spans {
+        let Some((parent, _)) = path.rsplit_once('/') else {
+            continue;
+        };
+        let contained = spans
+            .iter()
+            .any(|(p, pts, pdur)| p == parent && *pts <= ts + eps && ts + dur <= pts + pdur + eps);
+        if !contained {
+            return Err(format!(
+                "span {path:?} at {ts}us (+{dur}us) escapes every {parent:?} interval"
+            )
+            .into());
+        }
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        spans: spans.len(),
+        flows: starts,
+        counters,
+    })
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), AnyError> {

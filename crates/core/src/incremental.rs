@@ -646,6 +646,33 @@ impl IncrementalPipeline {
         Ok(oracle)
     }
 
+    /// Enforces the oracle rule in one place: compares `self` against a
+    /// freshly computed `oracle` and, on fingerprint mismatch, replaces
+    /// `self` with it. Returns `true` when the fallback fired. Shared by
+    /// the lab reconciliation loop and the storm suites, this is also
+    /// the observability hook: a mismatch bumps `incr.oracle_fallback`
+    /// and fires the `oracle_mismatch` trigger so an armed flight
+    /// recorder dumps the ring of events that led up to it.
+    pub fn oracle_check(&mut self, oracle: IncrementalPipeline) -> bool {
+        let mine = self.fingerprint();
+        let theirs = oracle.fingerprint();
+        let fell_back = mine != theirs;
+        if fell_back {
+            let tel = telemetry::global();
+            tel.incr("incr.oracle_fallback", 1);
+            tel.trigger(
+                "oracle_mismatch",
+                &format!(
+                    "incremental fingerprint {mine:#018x} != oracle {theirs:#018x} \
+                     (held day {:?})",
+                    self.last_day()
+                ),
+            );
+            *self = oracle;
+        }
+        fell_back
+    }
+
     /// Order-independent fingerprint over every **exact** field: held
     /// day/digest, the census, the edge set, the per-gid / per-uid /
     /// per-ext latest-day aggregates, and the trend totals. The sketch

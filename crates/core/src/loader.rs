@@ -264,6 +264,13 @@ impl FrameCache {
                     })
                 {
                     inner.fairness_violations += 1;
+                    telemetry::global().trigger(
+                        "fairness_violation",
+                        &format!(
+                            "tenant {} evicted to zero residents within budget",
+                            evicted.tenant
+                        ),
+                    );
                 }
                 inner.evictions += 1;
                 self.tel_evictions.incr();
@@ -335,6 +342,20 @@ impl FrameCache {
             .lock()
             .expect("frame cache poisoned")
             .fairness_violations
+    }
+
+    /// Records a fairness violation exactly the way the in-eviction
+    /// audit does: bump the counter, fire the `fairness_violation`
+    /// trigger. The real audit site is unreachable by construction, so
+    /// cross-crate tests exercising the flight-recorder dump path call
+    /// this instead of contriving an impossible eviction.
+    #[doc(hidden)]
+    pub fn record_fairness_violation(&self, detail: &str) {
+        self.inner
+            .lock()
+            .expect("frame cache poisoned")
+            .fairness_violations += 1;
+        telemetry::global().trigger("fairness_violation", detail);
     }
 
     /// Drops every entry and resets all counters (budgets are kept).

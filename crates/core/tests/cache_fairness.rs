@@ -264,3 +264,47 @@ fn clear_resets_accounting_but_keeps_budgets() {
         "tenant 7's LRU over-budget entry goes first"
     );
 }
+
+/// A fairness violation must freeze the flight recorder. The real
+/// eviction audit is unreachable by construction (that is the point of
+/// the policy), so this drives the same counter + trigger path through
+/// the cache's test hook and asserts the dump lands with the violation
+/// detail and the traffic that preceded it.
+#[test]
+fn flight_recorder_dumps_on_fairness_violation() {
+    let dumps = std::env::temp_dir().join(format!("spider-fairness-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dumps);
+    let cache = FrameCache::new(4);
+
+    let tel = spider_telemetry::global();
+    tel.enable();
+    let rec = Arc::new(spider_obs::FlightRecorder::new().with_dump_dir(&dumps));
+    tel.install_sink(rec.clone());
+
+    // Ordinary traffic first, so the ring has moments to freeze.
+    {
+        let _attr = FrameCache::attribute(3);
+        cache.insert((1, 0, 0), tiny_frame(1));
+        let _ = cache.get((1, 0, 0));
+    }
+    cache.record_fairness_violation("tenant 3 evicted to zero residents within budget");
+    tel.clear_sink();
+
+    assert_eq!(
+        cache.fairness_violations(),
+        1,
+        "the hook counts like the audit"
+    );
+    assert!(rec.dump_count() >= 1, "the violation must dump the ring");
+    let tail = std::fs::read_to_string(dumps.join("flight-fairness-violation-0.tail.json"))
+        .expect("tail dump exists");
+    assert!(
+        tail.contains("\"kind\":\"fairness_violation\""),
+        "tail must name the trigger: {tail}"
+    );
+    assert!(
+        tail.contains("tenant 3 evicted to zero residents"),
+        "tail must carry the violation detail: {tail}"
+    );
+    std::fs::remove_dir_all(&dumps).expect("cleanup");
+}

@@ -143,10 +143,7 @@ fn reconcile(dir: &Path, state: IncrementalPipeline) -> (IncrementalPipeline, bo
     }
     incr.advance(&loader).expect("advance");
     let oracle = IncrementalPipeline::rescan(&loader).expect("oracle rescan");
-    let fell_back = incr.fingerprint() != oracle.fingerprint();
-    if fell_back {
-        incr = oracle;
-    }
+    let fell_back = incr.oracle_check(oracle);
     (incr, fell_back, was_reset)
 }
 
@@ -286,6 +283,65 @@ fn incremental_equals_oracle_under_day_lifecycle_storm() {
         let _ = fallbacks; // damage is random; zero fallbacks is legal
         fs::remove_dir_all(&dir).expect("cleanup");
     }
+}
+
+/// An injected oracle mismatch must freeze the flight recorder: the
+/// dump carries the triggering condition plus the ring of events that
+/// preceded it (the reconciliation's own counters), so the divergence
+/// is diagnosable after the fact.
+#[test]
+fn flight_recorder_dumps_on_oracle_mismatch() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("spider-incr-flight-{pid}"));
+    let dumps = std::env::temp_dir().join(format!("spider-incr-flight-dumps-{pid}"));
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dumps);
+    {
+        let mut store = SnapshotStore::open(&dir).expect("open store");
+        store.put(&churning_snapshot(0)).expect("day 0");
+        store.put(&churning_snapshot(7)).expect("day 7");
+        store.put(&churning_snapshot(14)).expect("day 14");
+    }
+    let (incr, fell_back, _) = reconcile(&dir, IncrementalPipeline::new());
+    assert!(!fell_back, "bootstrap needs no fallback");
+
+    // Damage an applied, non-anchor day: the next reconciliation keeps
+    // its held chain (the day-14 anchor is intact) but the from-scratch
+    // refold sees the degraded day — the oracle-mismatch path.
+    corrupt_section(&dir, 7, "uid");
+
+    let tel = spider_telemetry::global();
+    tel.enable();
+    let rec = Arc::new(spider_obs::FlightRecorder::new().with_dump_dir(&dumps));
+    tel.install_sink(rec.clone());
+    let (_incr, fell_back, was_reset) = reconcile(&dir, incr);
+    tel.clear_sink();
+
+    assert!(fell_back, "degrading an applied day must trip the fallback");
+    assert!(!was_reset, "the intact anchor must keep the chain");
+    assert!(rec.dump_count() >= 1, "the mismatch must dump the ring");
+    let tail = fs::read_to_string(dumps.join("flight-oracle-mismatch-0.tail.json"))
+        .expect("tail dump exists");
+    assert!(
+        tail.contains("\"kind\":\"oracle_mismatch\""),
+        "tail must name the trigger: {tail}"
+    );
+    assert!(
+        tail.contains("incremental fingerprint"),
+        "tail must carry the mismatch detail: {tail}"
+    );
+    assert!(
+        tail.contains("incr.oracle_fallback"),
+        "tail must carry the ring events preceding the trigger: {tail}"
+    );
+    let trace = fs::read_to_string(dumps.join("flight-oracle-mismatch-0.trace.json"))
+        .expect("chrome-trace dump exists");
+    assert!(
+        trace.starts_with("{\"displayTimeUnit\""),
+        "dump must be a chrome trace document"
+    );
+    fs::remove_dir_all(&dir).expect("cleanup");
+    fs::remove_dir_all(&dumps).expect("cleanup");
 }
 
 fn live_days(dir: &Path) -> Vec<u32> {

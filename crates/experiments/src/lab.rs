@@ -225,11 +225,7 @@ impl Lab {
         }
         incremental.advance(loader)?;
         let oracle = IncrementalPipeline::rescan(loader)?;
-        let mut oracle_ok = incremental.fingerprint() == oracle.fingerprint();
-        if !oracle_ok {
-            tel.incr("incr.oracle_fallback", 1);
-            incremental = oracle;
-        }
+        let mut oracle_ok = !incremental.oracle_check(oracle);
         if health.quarantined.is_empty() && health.degraded.is_empty() {
             oracle_ok &= incremental.unique_entries() == analyses.census.unique_entries()
                 && incremental.unique_files() == analyses.census.unique_files()

@@ -1,0 +1,213 @@
+//! Chrome `trace_event` rendering of [`FlightEvent`] streams.
+//!
+//! The output is the JSON Object Format of the Trace Event spec —
+//! `{"displayTimeUnit": ..., "traceEvents": [...]}` — loadable in
+//! Perfetto / `chrome://tracing`:
+//!
+//! * spans become `"X"` complete events on their emitting thread, with
+//!   the full span path and (when tagged) the trace id in `args`;
+//! * cross-thread (`concurrent`) spans additionally get an `"s"`/`"f"`
+//!   flow pair binding them to the enclosing parent span on the thread
+//!   that spawned the work, so Perfetto draws the arrow;
+//! * counters become `"C"` counter tracks carrying the running total;
+//! * outcomes (oracle mismatch, quarantine, ...) become `"i"` instants;
+//! * each thread gets an `"M"` metadata record naming its dense index.
+//!
+//! Rendering is hand-written and byte-stable: timestamps are the event
+//! clock's nanoseconds rendered as microseconds via integer math
+//! (`ns/1000` + 3 fractional digits), so equal event streams render to
+//! identical bytes on every platform — golden-testable under the mock
+//! clock.
+
+use spider_telemetry::{EventKind, FlightEvent};
+use std::collections::HashMap;
+
+/// Nanoseconds → trace microseconds with exact 3-digit fraction.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The last path segment of a `/`-joined span name.
+fn leaf(name: &str) -> &str {
+    name.rsplit('/').next().unwrap_or(name)
+}
+
+/// Renders an event stream as a chrome `trace_event` JSON document.
+///
+/// Events are ordered by `seq` before rendering, so ring-buffer drains
+/// (which may rotate) and live collections render identically.
+pub fn render_chrome_trace(events: &[FlightEvent]) -> String {
+    let mut events: Vec<&FlightEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.seq);
+
+    // Pre-pass: span intervals for flow matching, thread set.
+    struct SpanRec<'a> {
+        name: &'a str,
+        tid: u64,
+        start: u64,
+        end: u64,
+    }
+    let spans: Vec<SpanRec> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Span)
+        .map(|e| SpanRec {
+            name: &e.name,
+            tid: e.tid,
+            start: e.ts_ns,
+            end: e.ts_ns.saturating_add(e.dur_ns),
+        })
+        .collect();
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut lines: Vec<String> = Vec::with_capacity(events.len() + tids.len());
+    for t in &tids {
+        lines.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
+             \"args\":{{\"name\":\"tid-{t}\"}}}}"
+        ));
+    }
+
+    let mut totals: HashMap<&str, u64> = HashMap::new();
+    let mut flow_id = 0u64;
+    for ev in &events {
+        match ev.kind {
+            EventKind::Span => {
+                let trace_arg = if ev.trace != 0 {
+                    format!(",\"trace\":\"{:016x}\"", ev.trace)
+                } else {
+                    String::new()
+                };
+                lines.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"path\":\"{}\"{}}}}}",
+                    escape(leaf(&ev.name)),
+                    ev.tid,
+                    us(ev.ts_ns),
+                    us(ev.dur_ns),
+                    escape(&ev.name),
+                    trace_arg
+                ));
+                if ev.concurrent {
+                    // Bind the cross-thread span to the enclosing parent
+                    // span on the thread that spawned it: the span whose
+                    // path is this one's parent, on another thread, whose
+                    // interval contains this start.
+                    let parent = match ev.name.rfind('/') {
+                        Some(cut) => &ev.name[..cut],
+                        None => "",
+                    };
+                    let source = spans.iter().find(|p| {
+                        p.name == parent
+                            && p.tid != ev.tid
+                            && p.start <= ev.ts_ns
+                            && ev.ts_ns <= p.end
+                    });
+                    if let Some(src) = source {
+                        flow_id += 1;
+                        let name = escape(leaf(&ev.name));
+                        let ts = us(ev.ts_ns);
+                        lines.push(format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"s\",\
+                             \"pid\":1,\"tid\":{},\"ts\":{ts},\"id\":{flow_id}}}",
+                            src.tid
+                        ));
+                        lines.push(format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"f\",\
+                             \"bp\":\"e\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"id\":{flow_id}}}",
+                            ev.tid
+                        ));
+                    }
+                }
+            }
+            EventKind::Counter => {
+                let total = totals.entry(ev.name.as_str()).or_insert(0);
+                *total += ev.value;
+                lines.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\
+                     \"args\":{{\"value\":{}}}}}",
+                    escape(&ev.name),
+                    us(ev.ts_ns),
+                    total
+                ));
+            }
+            EventKind::Outcome => {
+                lines.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"outcome\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"detail\":\"{}\"}}}}",
+                    escape(&ev.name),
+                    ev.tid,
+                    us(ev.ts_ns),
+                    escape(&ev.detail)
+                ));
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(lines.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, line) in lines.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(line);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders the structured JSON tail the flight recorder dumps next to
+/// its chrome trace: the triggering condition plus every ring event in
+/// sequence order, machine-readable without trace-viewer tooling.
+pub fn render_tail(trigger_kind: &str, trigger_detail: &str, events: &[FlightEvent]) -> String {
+    let mut events: Vec<&FlightEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.seq);
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str(&format!(
+        "{{\"trigger\":{{\"kind\":\"{}\",\"detail\":\"{}\"}},\"events\":[\n",
+        escape(trigger_kind),
+        escape(trigger_detail)
+    ));
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let kind = match ev.kind {
+            EventKind::Span => "span",
+            EventKind::Counter => "counter",
+            EventKind::Outcome => "outcome",
+        };
+        out.push_str(&format!(
+            "  {{\"seq\":{},\"ts_ns\":{},\"dur_ns\":{},\"tid\":{},\"kind\":\"{kind}\",\
+             \"name\":\"{}\",\"value\":{},\"trace\":\"{:016x}\",\"concurrent\":{},\
+             \"detail\":\"{}\"}}",
+            ev.seq,
+            ev.ts_ns,
+            ev.dur_ns,
+            ev.tid,
+            escape(&ev.name),
+            ev.value,
+            ev.trace,
+            ev.concurrent,
+            escape(&ev.detail)
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}

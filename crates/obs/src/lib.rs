@@ -1,0 +1,198 @@
+//! spider-obs: live observability over `spider-telemetry`'s event seam.
+//!
+//! Two consumers of [`spider_telemetry::FlightEvent`] streams:
+//!
+//! * [`chrome::render_chrome_trace`] — a chrome `trace_event` exporter
+//!   (Perfetto / `chrome://tracing` loadable) rendering spans as `"X"`
+//!   complete events, cross-thread work as `"s"`/`"f"` flow pairs,
+//!   counters as `"C"` tracks, and outcomes as `"i"` instants. This is
+//!   what `spider-metalab --trace=<file>` writes.
+//! * [`recorder::FlightRecorder`] — the always-on bounded ring sink.
+//!   Hot-path cost is one `fetch_add` plus an uncontended slot lock per
+//!   event (and the whole event seam is gated off behind one relaxed
+//!   load when telemetry is disabled or no sink is installed). On a
+//!   dump-worthy outcome — oracle mismatch, fairness violation,
+//!   quarantine, shed-storm onset, panic — it freezes the ring to disk
+//!   as a chrome trace plus a structured JSON tail.
+//!
+//! The crate depends only on `spider-telemetry`; both renderers are
+//! hand-written, byte-stable JSON (golden-testable under the mock
+//! clock), consistent with the repo's no-serde-in-the-export rule.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod recorder;
+
+pub use chrome::{render_chrome_trace, render_tail};
+pub use recorder::{install_panic_hook, FlightRecorder, DEFAULT_RING_CAPACITY};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_telemetry::{
+        EventKind, EventSink, FlightEvent, MockClock, TelemetryRegistry, TraceScope,
+    };
+    use std::sync::Arc;
+
+    fn recording_registry() -> (TelemetryRegistry, Arc<MockClock>, Arc<FlightRecorder>) {
+        let clock = Arc::new(MockClock::new());
+        let reg = TelemetryRegistry::with_clock(clock.clone());
+        reg.enable();
+        let rec = Arc::new(FlightRecorder::new());
+        rec.start_collecting();
+        reg.install_sink(rec.clone());
+        (reg, clock, rec)
+    }
+
+    /// The golden chrome trace: any change to event shapes, field order,
+    /// or the µs rendering is a format change — update deliberately.
+    #[test]
+    fn chrome_trace_golden_document() {
+        let (reg, clock, rec) = recording_registry();
+        reg.counter("cache.hits").add(3);
+        {
+            let _req = reg.span("serve.request");
+            clock.advance_ns(1000);
+            let path = reg.current_path();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _exec = reg.span_at(&path, "serve.execute");
+                    clock.advance_ns(2500);
+                });
+            });
+            clock.advance_ns(500);
+        }
+        reg.trigger("oracle_mismatch", "day 7");
+        reg.clear_sink();
+        let trace = render_chrome_trace(&rec.take_collected());
+        let expected = r#"{"displayTimeUnit":"ms","traceEvents":[
+  {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"tid-0"}},
+  {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"tid-1"}},
+  {"name":"cache.hits","ph":"C","pid":1,"ts":0.000,"args":{"value":3}},
+  {"name":"serve.execute","cat":"span","ph":"X","pid":1,"tid":1,"ts":1.000,"dur":2.500,"args":{"path":"serve.request/serve.execute"}},
+  {"name":"serve.execute","cat":"flow","ph":"s","pid":1,"tid":0,"ts":1.000,"id":1},
+  {"name":"serve.execute","cat":"flow","ph":"f","bp":"e","pid":1,"tid":1,"ts":1.000,"id":1},
+  {"name":"serve.request","cat":"span","ph":"X","pid":1,"tid":0,"ts":0.000,"dur":4.000,"args":{"path":"serve.request"}},
+  {"name":"oracle_mismatch","cat":"outcome","ph":"i","s":"g","pid":1,"tid":0,"ts":4.000,"args":{"detail":"day 7"}}
+]}
+"#;
+        assert_eq!(trace, expected);
+    }
+
+    #[test]
+    fn trace_ids_ride_into_span_events() {
+        let (reg, clock, rec) = recording_registry();
+        {
+            let _scope = TraceScope::enter(0xabc);
+            let _s = reg.span("serve.request");
+            clock.advance_ns(10);
+        }
+        reg.clear_sink();
+        let events = rec.take_collected();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace, 0xabc);
+        let trace = render_chrome_trace(&events);
+        assert!(
+            trace.contains("\"trace\":\"0000000000000abc\""),
+            "trace id missing in:\n{trace}"
+        );
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let reg = TelemetryRegistry::new();
+        reg.enable();
+        let rec = Arc::new(FlightRecorder::with_capacity(4));
+        reg.install_sink(rec.clone());
+        let c = reg.counter("n");
+        for _ in 0..10 {
+            c.add(1);
+        }
+        reg.clear_sink();
+        let ring = rec.ring_events();
+        assert_eq!(ring.len(), 4);
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9], "ring must keep the newest events");
+    }
+
+    #[test]
+    fn trigger_dumps_ring_and_tail_to_disk() {
+        let dir = std::env::temp_dir().join(format!("spider-obs-dump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = TelemetryRegistry::new();
+        reg.enable();
+        let rec = Arc::new(FlightRecorder::new().with_dump_dir(&dir));
+        reg.install_sink(rec.clone());
+        reg.counter("incr.days_applied").add(2);
+        reg.trigger("oracle_mismatch", "fingerprint diverged at day 14");
+        reg.clear_sink();
+        assert_eq!(rec.dump_count(), 1);
+        let trace = std::fs::read_to_string(dir.join("flight-oracle-mismatch-0.trace.json"))
+            .expect("trace dump exists");
+        let tail = std::fs::read_to_string(dir.join("flight-oracle-mismatch-0.tail.json"))
+            .expect("tail dump exists");
+        assert!(trace.starts_with("{\"displayTimeUnit\""));
+        // The tail carries the trigger and the preceding ring contents —
+        // including the counter bump and the outcome event itself.
+        assert!(tail.contains("\"kind\":\"oracle_mismatch\""));
+        assert!(tail.contains("fingerprint diverged at day 14"));
+        assert!(tail.contains("incr.days_applied"));
+        assert!(tail.contains("\"kind\":\"outcome\""));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn disabled_registry_emits_nothing_even_with_sink() {
+        let reg = TelemetryRegistry::new();
+        let rec = Arc::new(FlightRecorder::new());
+        reg.install_sink(rec.clone());
+        reg.counter("n").add(5);
+        {
+            let _s = reg.span("quiet");
+        }
+        reg.clear_sink();
+        assert!(rec.ring_events().is_empty(), "disabled → no events");
+    }
+
+    #[test]
+    fn counter_tracks_carry_running_totals() {
+        let events: Vec<FlightEvent> = (0..3)
+            .map(|i| FlightEvent {
+                seq: i,
+                ts_ns: i * 1000,
+                dur_ns: 0,
+                tid: 0,
+                kind: EventKind::Counter,
+                name: "cache.hits".into(),
+                value: 2,
+                trace: 0,
+                concurrent: false,
+                detail: String::new(),
+            })
+            .collect();
+        let trace = render_chrome_trace(&events);
+        for total in ["\"value\":2", "\"value\":4", "\"value\":6"] {
+            assert!(trace.contains(total), "missing {total} in:\n{trace}");
+        }
+    }
+
+    #[test]
+    fn record_is_usable_directly_as_a_sink() {
+        let rec = FlightRecorder::with_capacity(2);
+        rec.record(FlightEvent {
+            seq: 0,
+            ts_ns: 5,
+            dur_ns: 0,
+            tid: 0,
+            kind: EventKind::Outcome,
+            name: "quarantine".into(),
+            value: 0,
+            trace: 0,
+            concurrent: false,
+            detail: "day 3".into(),
+        });
+        assert_eq!(rec.ring_events().len(), 1);
+        assert_eq!(rec.ring_events()[0].name, "quarantine");
+    }
+}

@@ -1,0 +1,164 @@
+//! The always-on flight recorder.
+//!
+//! A bounded ring of the most recent [`FlightEvent`]s, written to on
+//! every event with one atomic `fetch_add` plus one per-slot mutex (the
+//! slot lock is uncontended unless two writers land on the same slot a
+//! full ring apart — by construction a droppable race, never a stall).
+//! When a dump-worthy outcome fires ([`spider_telemetry::TelemetryRegistry::trigger`]
+//! routes here via [`spider_telemetry::EventSink::trigger`]) the ring is
+//! frozen to disk as a chrome trace plus a structured JSON tail, so the
+//! moments *before* an oracle mismatch, fairness violation, quarantine,
+//! shed storm, or panic are inspectable after the fact.
+//!
+//! An optional **collector** mode additionally retains every event in
+//! an unbounded list — that is what `spider-metalab --trace=<file>`
+//! uses to export a full-run chrome trace; the ring discipline is for
+//! the always-on case where memory must stay bounded.
+
+use crate::chrome::{render_chrome_trace, render_tail};
+use spider_telemetry::{EventSink, FlightEvent};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: enough for several requests' worth of spans
+/// and counters without ever mattering for memory.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// The ring-buffer event sink. Install with
+/// [`spider_telemetry::TelemetryRegistry::install_sink`].
+pub struct FlightRecorder {
+    ring: Vec<Mutex<Option<FlightEvent>>>,
+    head: AtomicU64,
+    collecting: AtomicBool,
+    collected: Mutex<Vec<FlightEvent>>,
+    dump_dir: Option<PathBuf>,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder with the default ring capacity and no dump directory
+    /// (triggers still freeze the ring, but nothing is written).
+    pub fn new() -> FlightRecorder {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "ring capacity must be positive");
+        FlightRecorder {
+            ring: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            collecting: AtomicBool::new(false),
+            collected: Mutex::new(Vec::new()),
+            dump_dir: None,
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the directory trigger dumps are written into (created on
+    /// first dump).
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> FlightRecorder {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// Turns on the unbounded collector (full-run `--trace` export).
+    pub fn start_collecting(&self) {
+        self.collecting.store(true, Ordering::Relaxed);
+    }
+
+    /// Every event collected since [`FlightRecorder::start_collecting`],
+    /// leaving the collector empty (and still on).
+    pub fn take_collected(&self) -> Vec<FlightEvent> {
+        std::mem::take(&mut *self.collected.lock().expect("collector poisoned"))
+    }
+
+    /// A copy of the ring's current contents, sequence-ordered.
+    pub fn ring_events(&self) -> Vec<FlightEvent> {
+        let mut out: Vec<FlightEvent> = self
+            .ring
+            .iter()
+            .filter_map(|slot| slot.lock().expect("ring slot poisoned").clone())
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Number of trigger dumps taken so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Writes the ring to `dir` as `flight-<kind>-<n>.trace.json` (chrome
+    /// trace) and `flight-<kind>-<n>.tail.json` (structured tail with the
+    /// triggering condition). Returns the two paths. Used by trigger
+    /// dumps and the on-demand `flightrec` subcommand.
+    pub fn dump_to(
+        &self,
+        dir: &Path,
+        kind: &str,
+        detail: &str,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        let n = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let events = self.ring_events();
+        std::fs::create_dir_all(dir)?;
+        let safe: String = kind
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let trace_path = dir.join(format!("flight-{safe}-{n}.trace.json"));
+        let tail_path = dir.join(format!("flight-{safe}-{n}.tail.json"));
+        std::fs::write(&trace_path, render_chrome_trace(&events))?;
+        std::fs::write(&tail_path, render_tail(kind, detail, &events))?;
+        Ok((trace_path, tail_path))
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.ring.len())
+            .field("dumps", &self.dump_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn record(&self, ev: FlightEvent) {
+        if self.collecting.load(Ordering::Relaxed) {
+            self.collected
+                .lock()
+                .expect("collector poisoned")
+                .push(ev.clone());
+        }
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % self.ring.len();
+        *self.ring[idx].lock().expect("ring slot poisoned") = Some(ev);
+    }
+
+    fn trigger(&self, kind: &str, detail: &str) {
+        if let Some(dir) = &self.dump_dir {
+            if let Err(e) = self.dump_to(dir, kind, detail) {
+                eprintln!("flight recorder: dump for {kind} failed: {e}");
+            }
+        }
+    }
+}
+
+/// Chains a panic hook that dumps `recorder`'s ring (trigger kind
+/// `panic`, detail the panic payload) before the previous hook runs.
+/// Install once, from the binary entry point, after arming the recorder.
+pub fn install_panic_hook(recorder: Arc<FlightRecorder>) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let detail = info.to_string();
+        recorder.trigger("panic", &detail);
+        prev(info);
+    }));
+}

@@ -147,6 +147,22 @@ impl Admission {
         }
     }
 
+    /// Every interned tenant as `(name, id, remaining whole tokens)`,
+    /// name-ordered — the metrics scrape's admission gauges.
+    pub fn tenants(&self) -> Vec<(String, TenantId, u64)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<(String, TenantId, u64)> = inner
+            .ids
+            .iter()
+            .map(|(name, &id)| {
+                let remaining = inner.buckets.get(&id).map_or(0, |b| b.milli_tokens / 1_000);
+                (name.clone(), id, remaining)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Remaining whole tokens for `tenant` (diagnostics).
     pub fn remaining(&self, tenant: TenantId) -> u64 {
         let inner = self.inner.lock().unwrap();

@@ -39,6 +39,7 @@ use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -74,7 +75,9 @@ pub struct CachedAnswer {
     pub rows: u64,
 }
 
-/// A fresh execution result.
+/// A fresh execution result, with its per-stage cost breakdown (the
+/// wall time `execute` spent pruning, decoding, and folding — the
+/// remainder of the execution wall clock is render/glue).
 #[derive(Debug, Clone)]
 pub struct ExecResult {
     /// Canonical `result` JSON.
@@ -85,6 +88,20 @@ pub struct ExecResult {
     pub days_scanned: u64,
     /// Rows matched.
     pub rows: u64,
+    /// Day-window matching + row-predicate compilation.
+    pub prune_ns: u64,
+    /// Frame load/decode, zone pruning included (misses pay here).
+    pub decode_ns: u64,
+    /// The row fold over surviving frames.
+    pub fold_ns: u64,
+}
+
+/// Per-stage wall-time accumulator threaded through a fold.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageNs {
+    prune: u64,
+    decode: u64,
+    fold: u64,
 }
 
 /// What one [`QueryEngine::refresh`] pass did.
@@ -254,10 +271,15 @@ impl QueryEngine {
     /// accumulator state) for the shed and refresh paths.
     pub fn execute(&self, tenant: TenantId, query: &Query) -> Result<ExecResult, StoreError> {
         let _attr = FrameCache::attribute(tenant);
-        let _span = telemetry::global().span("serve.execute");
+        // `span_at` rather than `span`: workers run on their own threads,
+        // so the execute span names its logical parent explicitly — that
+        // is what lets the chrome exporter draw the request→execute flow
+        // arrow across threads.
+        let _span = telemetry::global().span_at(&["serve.request"], "serve.execute");
         let pred = query.effective_pred();
         let mut acc = AccState::new(query.agg.clone());
         let mut days_scanned = 0u64;
+        let mut stages = StageNs::default();
         let (days, epoch) = {
             let days = self.days.read().unwrap();
             (days.clone(), self.epoch())
@@ -265,10 +287,13 @@ impl QueryEngine {
         {
             let loader = self.loader.read().unwrap();
             for &day in &days {
-                if !pred.matches_day(day) {
+                let pruning = Instant::now();
+                let keep = pred.matches_day(day);
+                stages.prune += pruning.elapsed().as_nanos() as u64;
+                if !keep {
                     continue;
                 }
-                if Self::fold_day(&loader, day, &pred, &mut acc)? {
+                if Self::fold_day(&loader, day, &pred, &mut acc, &mut stages)? {
                     days_scanned += 1;
                 }
             }
@@ -291,27 +316,40 @@ impl QueryEngine {
             notes,
             days_scanned,
             rows,
+            prune_ns: stages.prune,
+            decode_ns: stages.decode,
+            fold_ns: stages.fold,
         })
     }
 
     /// Zone-pruned fold of one day into an accumulator. Returns whether
-    /// the day was actually scanned (vs pruned away).
+    /// the day was actually scanned (vs pruned away). Stage wall time
+    /// accrues into `stages`: the frame load (zone pruning included) as
+    /// decode, the row-predicate compile as prune, the row loop as fold.
     fn fold_day(
         loader: &FrameLoader,
         day: u32,
         pred: &Pred,
         acc: &mut AccState,
+        stages: &mut StageNs,
     ) -> Result<bool, StoreError> {
-        let Some(frame) = loader.frame_pruned(day, pred)? else {
+        let loading = Instant::now();
+        let frame = loader.frame_pruned(day, pred)?;
+        stages.decode += loading.elapsed().as_nanos() as u64;
+        let Some(frame) = frame else {
             return Ok(false);
         };
         // Zone pruning is conservative; re-test rows exactly.
+        let compiling = Instant::now();
         let row_pred = FramePred::compile(pred, &frame);
+        stages.prune += compiling.elapsed().as_nanos() as u64;
+        let folding = Instant::now();
         for i in 0..frame.len() {
             if row_pred.test(&frame, i) {
                 acc.row(&frame, i);
             }
         }
+        stages.fold += folding.elapsed().as_nanos() as u64;
         Ok(true)
     }
 
@@ -394,8 +432,9 @@ impl QueryEngine {
                 continue;
             }
             let mut touched = false;
+            let mut scratch = StageNs::default();
             for &day in added.iter().filter(|&&d| pred.matches_day(d)) {
-                if Self::fold_day(&loader, day, &pred, &mut state.acc)? {
+                if Self::fold_day(&loader, day, &pred, &mut state.acc, &mut scratch)? {
                     state.days_scanned += 1;
                 }
                 touched = true;

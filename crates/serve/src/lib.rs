@@ -42,10 +42,11 @@ pub mod server;
 pub use admission::{Admission, Refill};
 pub use engine::{CachedAnswer, EngineConfig, ExecResult, QueryEngine, RefreshStats};
 pub use loadgen::{
-    render_bench_json, run_load, sample_query, synth_snapshot, synth_store, Arrival, BenchLevel,
-    LoadReport, LoadSpec, QueryPort, TcpPort,
+    render_bench_json, run_load, sample_query, scrape_metrics, synth_snapshot, synth_store,
+    Arrival, BenchLevel, LoadReport, LoadSpec, QueryPort, TcpPort,
 };
 pub use proto::{
-    AggSpec, ErrorCode, GroupBy, ParsedResponse, ProtoError, Query, QueryCost, PROTOCOL_VERSION,
+    parse_metrics_request, trace_from_hex, trace_to_hex, AggSpec, ErrorCode, GroupBy,
+    ParsedResponse, ProtoError, Query, QueryCost, METRICS_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{Client, OutcomeCounts, Server, ServerConfig};

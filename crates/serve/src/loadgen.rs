@@ -185,6 +185,7 @@ pub fn sample_query(id: u64, tenant: &str, day_hi: u32, draw: u64) -> Query {
     };
     Query {
         id,
+        trace: 0,
         tenant: tenant.to_string(),
         pred,
         days,
@@ -314,6 +315,13 @@ pub struct LoadReport {
     /// Shed/ok responses whose `result` bytes disagreed with an
     /// earlier response to the same query (must be 0).
     pub result_mismatches: u64,
+    /// Responses missing a trace id, or echoing a different one than
+    /// the request carried (must be 0).
+    pub trace_violations: u64,
+    /// Fresh (`ok`) responses whose stage breakdown — admission +
+    /// queue + prune + decode + fold + render — fell outside ±10% of
+    /// the reported `total_ns` (must be 0).
+    pub stage_sum_violations: u64,
     /// Wall-clock for the whole run.
     pub wall_ns: u64,
     /// Per-request latencies, sorted ascending.
@@ -347,6 +355,8 @@ impl LoadReport {
         self.rejected += other.rejected;
         self.protocol_errors += other.protocol_errors;
         self.result_mismatches += other.result_mismatches;
+        self.trace_violations += other.trace_violations;
+        self.stage_sum_violations += other.stage_sum_violations;
         self.latencies_ns.extend(other.latencies_ns);
     }
 }
@@ -380,10 +390,33 @@ fn classify(
         report.protocol_errors += 1;
         return;
     }
+    // Every response must carry a trace id, and when the request named
+    // one the response must echo it exactly.
+    if parsed.trace == 0 || (query.trace != 0 && parsed.trace != query.trace) {
+        report.trace_violations += 1;
+    }
     match parsed.status.as_str() {
         "ok" | "shed" => {
             if parsed.status == "ok" {
                 report.ok += 1;
+                // Fresh answers expose the full stage decomposition;
+                // the stages must cover the request's wall clock.
+                match &parsed.cost {
+                    Some(cost) => {
+                        let sum = cost.admission_ns
+                            + cost.queue_ns
+                            + cost.prune_ns
+                            + cost.decode_ns
+                            + cost.fold_ns
+                            + cost.render_ns;
+                        let slack = cost.total_ns / 10;
+                        if sum < cost.total_ns.saturating_sub(slack) || sum > cost.total_ns + slack
+                        {
+                            report.stage_sum_violations += 1;
+                        }
+                    }
+                    None => report.stage_sum_violations += 1,
+                }
             } else {
                 report.shed += 1;
             }
@@ -451,7 +484,10 @@ fn dispatcher(
             .wrapping_add(round as u64);
         let draw = splitmix(&mut rng);
         let id = (analyst as u64) << 20 | round as u64;
-        let query = sample_query(id, &tenant, spec.day_hi, draw);
+        let mut query = sample_query(id, &tenant, spec.day_hi, draw);
+        // Tag the request with a deterministic, nonzero trace id so the
+        // echo (and its propagation through server spans) is checkable.
+        query.trace = (draw ^ (id << 1)) | 1;
         let line = query.render();
         let sent_at = Instant::now();
         report.sent += 1;
@@ -501,6 +537,17 @@ fn share(total: usize, worker: usize, threads: usize) -> usize {
     total / threads + usize::from(worker < total % threads)
 }
 
+/// Scrapes the server's `metrics` endpoint through `port`, returning
+/// the raw response line. Sweeps call this between phases so each
+/// bench level carries the telemetry the phase accumulated.
+pub fn scrape_metrics(port: &mut dyn QueryPort) -> Result<String, String> {
+    let line = port.request("{\"v\":1,\"metrics\":true}")?;
+    if !line.contains("\"status\":\"metrics\"") {
+        return Err(format!("not a metrics response: {line}"));
+    }
+    Ok(line)
+}
+
 // ---------------------------------------------------------------------------
 // Bench rendering
 // ---------------------------------------------------------------------------
@@ -513,6 +560,9 @@ pub struct BenchLevel {
     pub offered_qps: u64,
     /// What the run observed.
     pub report: LoadReport,
+    /// The raw `metrics` scrape taken right after the phase, when the
+    /// sweep scraped one (see [`scrape_metrics`]).
+    pub telemetry: Option<String>,
 }
 
 /// Renders `BENCH_serve.json`: throughput and latency quantiles per
@@ -530,8 +580,13 @@ pub fn render_bench_json(
     ));
     for (i, level) in levels.iter().enumerate() {
         let r = &level.report;
+        let telemetry = match &level.telemetry {
+            // The scrape line is already JSON — embed it verbatim.
+            Some(line) => format!(", \"telemetry\": {line}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"offered_qps\": {}, \"achieved_qps\": {:.1}, \"sent\": {}, \"answered\": {}, \"ok\": {}, \"shed\": {}, \"rejected\": {}, \"protocol_errors\": {}, \"dropped\": {}, \"result_mismatches\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"wall_ms\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"offered_qps\": {}, \"achieved_qps\": {:.1}, \"sent\": {}, \"answered\": {}, \"ok\": {}, \"shed\": {}, \"rejected\": {}, \"protocol_errors\": {}, \"dropped\": {}, \"result_mismatches\": {}, \"trace_violations\": {}, \"stage_sum_violations\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"wall_ms\": {}{}}}{}\n",
             level.label,
             level.offered_qps,
             r.achieved_qps(),
@@ -543,11 +598,14 @@ pub fn render_bench_json(
             r.protocol_errors,
             r.dropped,
             r.result_mismatches,
+            r.trace_violations,
+            r.stage_sum_violations,
             r.quantile_ns(0.50) / 1_000,
             r.quantile_ns(0.95) / 1_000,
             r.quantile_ns(0.99) / 1_000,
             r.latencies_ns.last().copied().unwrap_or(0) / 1_000,
             r.wall_ns / 1_000_000,
+            telemetry,
             if i + 1 < levels.len() { "," } else { "" },
         ));
     }
@@ -624,16 +682,23 @@ mod tests {
                 latencies_ns: vec![1_000; 10],
                 ..LoadReport::default()
             },
+            telemetry: Some("{\"status\":\"metrics\",\"scrape\":0}".into()),
         }];
         let text = render_bench_json(42, 6, 500, &levels);
         let doc = crate::json::parse(&text).unwrap();
         assert_eq!(doc.get("bench").unwrap().as_str(), Some("serve"));
+        let level = &doc.get("levels").unwrap().as_arr().unwrap()[0];
+        assert_eq!(level.get("sent").unwrap().as_u64(), Some(10));
+        assert_eq!(level.get("trace_violations").unwrap().as_u64(), Some(0));
+        // The embedded scrape stays structured, not stringified.
         assert_eq!(
-            doc.get("levels").unwrap().as_arr().unwrap()[0]
-                .get("sent")
+            level
+                .get("telemetry")
+                .unwrap()
+                .get("scrape")
                 .unwrap()
                 .as_u64(),
-            Some(10)
+            Some(0)
         );
     }
 }

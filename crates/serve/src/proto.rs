@@ -14,9 +14,17 @@
 //!   `{"group_count":{"by":"uid"|"gid"|"ext","top":N}}`;
 //! * `pred` — optional [`Pred`] tree (see [`pred_from_json`]);
 //! * `days` — optional `[lo,hi]` inclusive day window, ANDed into the
-//!   predicate.
+//!   predicate;
+//! * `trace` — optional hex trace id: echoed in the response and
+//!   stamped on every telemetry event inside the query's extent
+//!   (minted by the server's front-end when absent).
 //!
-//! A response echoes `v` and `id` and carries a `status`:
+//! A `{"v":1,"metrics":true}` line is a **metrics scrape**, answered by
+//! the front-end without queueing ([`parse_metrics_request`]): the
+//! response carries the live [`spider_telemetry::TelemetrySnapshot`]
+//! plus counter deltas since the previous scrape and per-tenant gauges.
+//!
+//! A response echoes `v`, `id`, and `trace` and carries a `status`:
 //!
 //! * `"ok"` — fresh result, `"stale":false`;
 //! * `"shed"` — the admission controller served a cached answer under
@@ -89,6 +97,11 @@ pub struct Query {
     pub days: Option<(u32, u32)>,
     /// Aggregate to compute.
     pub agg: AggSpec,
+    /// Trace id (0 = unset): minted by the client, or by the server's
+    /// front-end when absent; echoed in the response and stamped on
+    /// every telemetry event inside the query's extent. Wire form:
+    /// lowercase hex digits.
+    pub trace: u64,
 }
 
 /// A typed request-parse failure: the error code, a human detail, and
@@ -164,12 +177,20 @@ impl Query {
             None => AggSpec::Count,
             Some(a) => agg_from_json(a).map_err(|e| ProtoError::bad(id, e))?,
         };
+        let trace = match doc.get("trace") {
+            None | Some(Json::Null) => 0,
+            Some(t) => t
+                .as_str()
+                .and_then(trace_from_hex)
+                .ok_or_else(|| ProtoError::bad(id, "`trace` must be a hex string"))?,
+        };
         Ok(Query {
             id,
             tenant,
             pred,
             days,
             agg,
+            trace,
         })
     }
 
@@ -208,10 +229,11 @@ impl Query {
     /// newline).
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(96);
-        out.push_str(&format!(
-            "{{\"v\":{PROTOCOL_VERSION},\"id\":{},\"tenant\":",
-            self.id
-        ));
+        out.push_str(&format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{},", self.id));
+        if self.trace != 0 {
+            out.push_str(&format!("\"trace\":\"{}\",", trace_to_hex(self.trace)));
+        }
+        out.push_str("\"tenant\":");
         json::escape_into(&mut out, &self.tenant);
         out.push_str(",\"agg\":");
         match &self.agg {
@@ -235,6 +257,41 @@ impl Query {
         out.push('}');
         out
     }
+}
+
+/// The wire spelling of a trace id: 16 lowercase hex digits.
+pub fn trace_to_hex(trace: u64) -> String {
+    format!("{trace:016x}")
+}
+
+/// Parses a wire trace id (any-length hex, matching what we render).
+pub fn trace_from_hex(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Version of the `metrics` scrape response payload. Bumped when the
+/// scrape's field set changes shape (the embedded telemetry snapshot
+/// has its own `schema_version`).
+pub const METRICS_VERSION: u64 = 1;
+
+/// Recognizes a `metrics` scrape request — `{"v":1,"metrics":true}`,
+/// optionally with an `id` — returning the correlation id. The server's
+/// front-end answers these directly without queueing a query.
+pub fn parse_metrics_request(line: &str) -> Option<u64> {
+    if !line.contains("\"metrics\"") {
+        return None;
+    }
+    let doc = json::parse(line).ok()?;
+    if doc.get("v").and_then(Json::as_u64)? != PROTOCOL_VERSION {
+        return None;
+    }
+    if doc.get("metrics").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    Some(doc.get("id").and_then(Json::as_u64).unwrap_or(0))
 }
 
 fn mix64(mut x: u64) -> u64 {
@@ -439,7 +496,14 @@ impl ErrorCode {
 }
 
 /// Per-query timing and scan effort, echoed in `ok`/`shed` responses.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The stage fields decompose a fresh execution end to end:
+/// `admission + queue + prune + decode + fold + render` covers the
+/// request's `total_ns` up to front-end/worker glue (enforced to within
+/// 10% by the serve soak). `render_ns` is defined as the exec wall time
+/// not spent in prune/decode/fold plus response assembly, so the
+/// decomposition is exact by construction inside the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryCost {
     /// Nanoseconds spent queued before a worker picked the query up.
     pub queue_ns: u64,
@@ -449,19 +513,33 @@ pub struct QueryCost {
     pub days_scanned: u64,
     /// Rows matched.
     pub rows: u64,
+    /// Nanoseconds in the admission front-end (parse to verdict).
+    pub admission_ns: u64,
+    /// Execution: predicate compile + zone-map day pruning.
+    pub prune_ns: u64,
+    /// Execution: frame load/decode (cache misses pay here).
+    pub decode_ns: u64,
+    /// Execution: the row / fast-path fold over surviving days.
+    pub fold_ns: u64,
+    /// Execution remainder + response assembly.
+    pub render_ns: u64,
+    /// Front-end arrival to response render, wall clock.
+    pub total_ns: u64,
 }
 
 fn render_answer(
     id: u64,
+    trace: u64,
     status: &str,
     stale: bool,
     result: &str,
     notes: &[String],
     cost: QueryCost,
 ) -> String {
-    let mut out = String::with_capacity(result.len() + notes.len() * 48 + 160);
+    let mut out = String::with_capacity(result.len() + notes.len() * 48 + 256);
     out.push_str(&format!(
-        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"{status}\",\"stale\":{stale},\"result\":{result},\"notes\":["
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"trace\":\"{}\",\"status\":\"{status}\",\"stale\":{stale},\"result\":{result},\"notes\":[",
+        trace_to_hex(trace)
     ));
     for (i, note) in notes.iter().enumerate() {
         if i > 0 {
@@ -470,29 +548,39 @@ fn render_answer(
         json::escape_into(&mut out, note);
     }
     out.push_str(&format!(
-        "],\"telemetry\":{{\"queue_ns\":{},\"exec_ns\":{},\"days_scanned\":{},\"rows\":{}}}}}",
-        cost.queue_ns, cost.exec_ns, cost.days_scanned, cost.rows
+        "],\"telemetry\":{{\"queue_ns\":{},\"exec_ns\":{},\"admission_ns\":{},\"prune_ns\":{},\"decode_ns\":{},\"fold_ns\":{},\"render_ns\":{},\"total_ns\":{},\"days_scanned\":{},\"rows\":{}}}}}",
+        cost.queue_ns,
+        cost.exec_ns,
+        cost.admission_ns,
+        cost.prune_ns,
+        cost.decode_ns,
+        cost.fold_ns,
+        cost.render_ns,
+        cost.total_ns,
+        cost.days_scanned,
+        cost.rows
     ));
     out
 }
 
 /// Renders a fresh `ok` response.
-pub fn render_ok(id: u64, result: &str, notes: &[String], cost: QueryCost) -> String {
-    render_answer(id, "ok", false, result, notes, cost)
+pub fn render_ok(id: u64, trace: u64, result: &str, notes: &[String], cost: QueryCost) -> String {
+    render_answer(id, trace, "ok", false, result, notes, cost)
 }
 
 /// Renders a `shed` response reusing a cached answer's `result` bytes
 /// verbatim (the staleness marker is the `"status":"shed"` +
 /// `"stale":true` pair).
-pub fn render_shed(id: u64, result: &str, notes: &[String], cost: QueryCost) -> String {
-    render_answer(id, "shed", true, result, notes, cost)
+pub fn render_shed(id: u64, trace: u64, result: &str, notes: &[String], cost: QueryCost) -> String {
+    render_answer(id, trace, "shed", true, result, notes, cost)
 }
 
 /// Renders a typed admission rejection (the query did not run).
-pub fn render_rejected(id: u64, code: ErrorCode, detail: &str) -> String {
+pub fn render_rejected(id: u64, trace: u64, code: ErrorCode, detail: &str) -> String {
     let mut out = String::with_capacity(96);
     out.push_str(&format!(
-        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"rejected\",\"code\":\"{}\",\"detail\":",
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"trace\":\"{}\",\"status\":\"rejected\",\"code\":\"{}\",\"detail\":",
+        trace_to_hex(trace),
         code.as_str()
     ));
     json::escape_into(&mut out, detail);
@@ -501,10 +589,11 @@ pub fn render_rejected(id: u64, code: ErrorCode, detail: &str) -> String {
 }
 
 /// Renders a typed error response.
-pub fn render_error(id: u64, code: ErrorCode, detail: &str) -> String {
+pub fn render_error(id: u64, trace: u64, code: ErrorCode, detail: &str) -> String {
     let mut out = String::with_capacity(96);
     out.push_str(&format!(
-        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"status\":\"error\",\"code\":\"{}\",\"detail\":",
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"trace\":\"{}\",\"status\":\"error\",\"code\":\"{}\",\"detail\":",
+        trace_to_hex(trace),
         code.as_str()
     ));
     json::escape_into(&mut out, detail);
@@ -563,6 +652,10 @@ pub struct ParsedResponse {
     pub result_raw: Option<String>,
     /// Substitution / degradation notes on ok/shed lines.
     pub notes: Vec<String>,
+    /// Echoed trace id (0 when the line carried none).
+    pub trace: u64,
+    /// The cost telemetry object on ok/shed lines.
+    pub cost: Option<QueryCost>,
 }
 
 impl ParsedResponse {
@@ -584,6 +677,21 @@ impl ParsedResponse {
                     .collect()
             })
             .unwrap_or_default();
+        let cost = doc.get("telemetry").map(|t| {
+            let f = |k: &str| t.get(k).and_then(Json::as_u64).unwrap_or(0);
+            QueryCost {
+                queue_ns: f("queue_ns"),
+                exec_ns: f("exec_ns"),
+                days_scanned: f("days_scanned"),
+                rows: f("rows"),
+                admission_ns: f("admission_ns"),
+                prune_ns: f("prune_ns"),
+                decode_ns: f("decode_ns"),
+                fold_ns: f("fold_ns"),
+                render_ns: f("render_ns"),
+                total_ns: f("total_ns"),
+            }
+        });
         Ok(ParsedResponse {
             id: doc.get("id").and_then(Json::as_u64).unwrap_or(0),
             status,
@@ -591,6 +699,12 @@ impl ParsedResponse {
             code: doc.get("code").and_then(Json::as_str).map(str::to_string),
             result_raw: extract_result_raw(line).map(str::to_string),
             notes,
+            trace: doc
+                .get("trace")
+                .and_then(Json::as_str)
+                .and_then(trace_from_hex)
+                .unwrap_or(0),
+            cost,
         })
     }
 }
@@ -614,10 +728,16 @@ mod tests {
                 by: GroupBy::Gid,
                 top: 5,
             },
+            trace: 0xdead_beef_0042,
         };
         let back = Query::parse(&q.render()).unwrap();
         assert_eq!(back, q);
         assert_eq!(back.fingerprint(), q.fingerprint());
+        // An untraced query renders without the field and parses back.
+        let mut bare = q.clone();
+        bare.trace = 0;
+        assert!(!bare.render().contains("trace"));
+        assert_eq!(Query::parse(&bare.render()).unwrap(), bare);
     }
 
     #[test]
@@ -628,6 +748,7 @@ mod tests {
             pred: Some(Pred::uid(1..=2)),
             days: None,
             agg: AggSpec::Count,
+            trace: 0,
         };
         let mut other = base.clone();
         other.agg = AggSpec::FilesDirs;
@@ -639,6 +760,7 @@ mod tests {
         let mut renamed = base.clone();
         renamed.id = 99;
         renamed.tenant = "b".into();
+        renamed.trace = 0x77;
         assert_eq!(base.fingerprint(), renamed.fingerprint());
     }
 
@@ -664,9 +786,16 @@ mod tests {
             exec_ns: 20,
             days_scanned: 3,
             rows: 7,
+            admission_ns: 2,
+            prune_ns: 5,
+            decode_ns: 9,
+            fold_ns: 4,
+            render_ns: 2,
+            total_ns: 34,
         };
         let ok = render_ok(
             5,
+            0xabc,
             r#"{"count":7}"#,
             &["day 21 degraded: lost atime".into()],
             cost,
@@ -676,8 +805,10 @@ mod tests {
         assert!(!parsed.stale);
         assert_eq!(parsed.result_raw.as_deref(), Some(r#"{"count":7}"#));
         assert_eq!(parsed.notes.len(), 1);
+        assert_eq!(parsed.trace, 0xabc);
+        assert_eq!(parsed.cost, Some(cost));
 
-        let shed = render_shed(5, r#"{"count":7}"#, &[], cost);
+        let shed = render_shed(5, 0xabc, r#"{"count":7}"#, &[], cost);
         let parsed = ParsedResponse::parse(&shed).unwrap();
         assert_eq!(parsed.status, "shed");
         assert!(parsed.stale);
@@ -686,13 +817,14 @@ mod tests {
             extract_result_raw(&ok).as_deref()
         );
 
-        let rej = render_rejected(6, ErrorCode::QueueFull, "queue at capacity (32)");
+        let rej = render_rejected(6, 0x9, ErrorCode::QueueFull, "queue at capacity (32)");
         let parsed = ParsedResponse::parse(&rej).unwrap();
         assert_eq!(parsed.status, "rejected");
         assert_eq!(parsed.code.as_deref(), Some("queue_full"));
         assert!(parsed.result_raw.is_none());
+        assert_eq!(parsed.trace, 0x9);
 
-        let err = render_error(7, ErrorCode::BadQuery, "nope \"quoted\"");
+        let err = render_error(7, 0, ErrorCode::BadQuery, "nope \"quoted\"");
         let parsed = ParsedResponse::parse(&err).unwrap();
         assert_eq!(parsed.status, "error");
         assert_eq!(parsed.code.as_deref(), Some("bad_query"));
@@ -701,8 +833,30 @@ mod tests {
     #[test]
     fn result_extraction_handles_nested_braces_and_strings() {
         let result = r#"{"groups":[["a}b",2],["c]{",1]],"distinct":2}"#;
-        let line = render_ok(1, result, &[], QueryCost::default());
+        let line = render_ok(1, 0, result, &[], QueryCost::default());
         assert_eq!(extract_result_raw(&line), Some(result));
+    }
+
+    #[test]
+    fn metrics_requests_are_recognized() {
+        assert_eq!(parse_metrics_request(r#"{"v":1,"metrics":true}"#), Some(0));
+        assert_eq!(
+            parse_metrics_request(r#"{"v":1,"id":9,"metrics":true}"#),
+            Some(9)
+        );
+        // Wrong version, wrong shape, or an ordinary query: not a scrape.
+        assert_eq!(parse_metrics_request(r#"{"v":2,"metrics":true}"#), None);
+        assert_eq!(parse_metrics_request(r#"{"v":1,"metrics":false}"#), None);
+        assert_eq!(parse_metrics_request(r#"{"v":1,"agg":"count"}"#), None);
+    }
+
+    #[test]
+    fn trace_hex_round_trips() {
+        assert_eq!(trace_to_hex(0xdead_beef), "00000000deadbeef");
+        assert_eq!(trace_from_hex("00000000deadbeef"), Some(0xdead_beef));
+        assert_eq!(trace_from_hex(""), None);
+        assert_eq!(trace_from_hex("zz"), None);
+        assert_eq!(trace_from_hex("12345678123456789"), None);
     }
 
     #[test]

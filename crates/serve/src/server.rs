@@ -18,21 +18,38 @@
 //! Shed answers reuse the response cache's rendered `result` bytes
 //! verbatim, so a shed response is byte-identical (in its `result`
 //! field) to the `ok` response it was cached from.
+//!
+//! **Observability.** Every request gets a trace id — the client's, or
+//! a minted one — installed as a [`TraceScope`] on both the connection
+//! thread (around the `serve.request` span) and the worker thread
+//! (around `serve.execute`), so the whole request tree is attributable
+//! in flight-recorder dumps and chrome-trace exports. Responses carry
+//! the id back plus a per-stage cost breakdown (admission, queue,
+//! prune, decode, fold, render) that sums to the request's wall clock.
+//! A `{"v":1,"metrics":true}` line is answered directly by the
+//! front-end — no queueing — with the full telemetry snapshot, counter
+//! deltas since the previous scrape, and per-tenant admission / outcome
+//! / cache-residency gauges. The onset of a shed storm (first shed
+//! after a fresh-answer stretch) fires the `shed_storm` trigger so an
+//! armed flight recorder freezes the moments leading into overload.
 
 use crate::admission::{Admission, Refill};
 use crate::engine::{CachedAnswer, EngineConfig, QueryEngine};
+use crate::json;
 use crate::proto::{self, ErrorCode, ProtoError, Query, QueryCost};
 use rustc_hash::FxHashMap;
-use spider_core::TenantId;
-use std::collections::VecDeque;
+use spider_core::{TenantCacheStats, TenantId};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use spider_telemetry as telemetry;
+use spider_telemetry::{TelemetrySnapshot, TraceScope};
 
 // Telemetry counter names are `&'static str`, so per-tenant counters
 // use a fixed name table: tenants 1..=7 get their own slot, the rest
@@ -124,6 +141,9 @@ struct Job {
     query: Query,
     tenant: TenantId,
     cost: u64,
+    trace: u64,
+    received: Instant,
+    admission_ns: u64,
     enqueued: Instant,
     reply: mpsc::Sender<String>,
 }
@@ -140,6 +160,14 @@ struct Shared {
     available: Condvar,
     config: ServerConfig,
     stats: Mutex<(OutcomeCounts, FxHashMap<String, OutcomeCounts>)>,
+    /// Sequence for minted trace ids (client-supplied ids win).
+    trace_counter: AtomicU64,
+    /// Set while shedding; the false→true edge is shed-storm onset.
+    in_storm: AtomicBool,
+    /// Counter values at the previous metrics scrape, for deltas.
+    last_scrape: Mutex<BTreeMap<String, u64>>,
+    /// Scrape sequence number, echoed in metrics responses.
+    scrapes: AtomicU64,
 }
 
 enum Outcome {
@@ -164,12 +192,40 @@ impl Shared {
         }
     }
 
-    fn shed_response(&self, query: &Query, tenant: TenantId, answer: &CachedAnswer) -> String {
+    /// Mints a nonzero trace id for requests that did not bring one.
+    fn mint_trace(&self) -> u64 {
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+        n.wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            | 1
+    }
+
+    fn shed_response(
+        &self,
+        query: &Query,
+        trace: u64,
+        tenant: TenantId,
+        answer: &CachedAnswer,
+        received: Instant,
+    ) -> String {
         telemetry::global().incr("serve.shed", 1);
         telemetry::global().incr(TENANT_SHED[tenant_slot(tenant)], 1);
+        if !self.in_storm.swap(true, Ordering::Relaxed) {
+            telemetry::global().trigger(
+                "shed_storm",
+                &format!(
+                    "shed onset: tenant {} query {} served stale from cache",
+                    query.tenant, query.id
+                ),
+            );
+        }
         self.note_outcome(Some(&query.tenant), Outcome::Shed);
+        // A shed never executes: its whole life is the admission
+        // front-end, so admission is the only nonzero stage.
+        let total_ns = received.elapsed().as_nanos() as u64;
         proto::render_shed(
             query.id,
+            trace,
             &answer.result,
             &answer.notes,
             QueryCost {
@@ -177,18 +233,27 @@ impl Shared {
                 exec_ns: 0,
                 days_scanned: answer.days_scanned,
                 rows: answer.rows,
+                admission_ns: total_ns,
+                prune_ns: 0,
+                decode_ns: 0,
+                fold_ns: 0,
+                render_ns: 0,
+                total_ns,
             },
         )
     }
 
     fn handle_line(&self, line: &str) -> String {
-        let started = Instant::now();
-        let response = self.admit(line);
-        telemetry::global().record("serve.latency_ns", started.elapsed().as_nanos() as u64);
+        let received = Instant::now();
+        if let Some(id) = proto::parse_metrics_request(line) {
+            return self.metrics_response(id);
+        }
+        let response = self.admit(line, received);
+        telemetry::global().record("serve.latency_ns", received.elapsed().as_nanos() as u64);
         response
     }
 
-    fn admit(&self, line: &str) -> String {
+    fn admit(&self, line: &str, received: Instant) -> String {
         telemetry::global().incr("serve.queries", 1);
         {
             self.stats.lock().unwrap().0.queries += 1;
@@ -198,9 +263,16 @@ impl Shared {
             Err(ProtoError { code, detail, id }) => {
                 telemetry::global().incr("serve.errors", 1);
                 self.note_outcome(None, Outcome::Error);
-                return proto::render_error(id, code, &detail);
+                return proto::render_error(id, self.mint_trace(), code, &detail);
             }
         };
+        let trace = if query.trace != 0 {
+            query.trace
+        } else {
+            self.mint_trace()
+        };
+        let _trace_scope = TraceScope::enter(trace);
+        let _span = telemetry::global().span("serve.request");
         let (tenant, created) = self.admission.tenant_id(&query.tenant);
         if created && self.config.tenant_cache_frames > 0 {
             self.engine
@@ -219,13 +291,14 @@ impl Shared {
         // Stage 1: scan budget.
         if !self.admission.try_charge(tenant, cost) {
             if let Some(answer) = self.engine.cached(fingerprint) {
-                return self.shed_response(&query, tenant, &answer);
+                return self.shed_response(&query, trace, tenant, &answer, received);
             }
             telemetry::global().incr("serve.rejected", 1);
             telemetry::global().incr(TENANT_REJECTED[tenant_slot(tenant)], 1);
             self.note_outcome(Some(&query.tenant), Outcome::Rejected);
             return proto::render_rejected(
                 query.id,
+                trace,
                 ErrorCode::OverBudget,
                 &format!(
                     "tenant {} scan budget exhausted (query costs {} day-tokens)",
@@ -246,6 +319,7 @@ impl Shared {
                 self.note_outcome(Some(&query.tenant), Outcome::Rejected);
                 return proto::render_rejected(
                     query.id,
+                    trace,
                     ErrorCode::QueueFull,
                     &format!("queue at capacity ({})", self.config.queue_capacity),
                 );
@@ -254,13 +328,17 @@ impl Shared {
                 if let Some(answer) = self.engine.cached(fingerprint) {
                     drop(queue);
                     self.admission.refund(tenant, cost);
-                    return self.shed_response(&query, tenant, &answer);
+                    return self.shed_response(&query, trace, tenant, &answer, received);
                 }
             }
+            let admission_ns = received.elapsed().as_nanos() as u64;
             queue.jobs.push_back(Job {
                 query,
                 tenant,
                 cost,
+                trace,
+                received,
+                admission_ns,
                 enqueued: Instant::now(),
                 reply: reply_tx,
             });
@@ -273,7 +351,12 @@ impl Shared {
             Err(_) => {
                 telemetry::global().incr("serve.errors", 1);
                 self.note_outcome(None, Outcome::Error);
-                proto::render_error(0, ErrorCode::Internal, "worker pool shut down mid-query")
+                proto::render_error(
+                    0,
+                    trace,
+                    ErrorCode::Internal,
+                    "worker pool shut down mid-query",
+                )
             }
         }
     }
@@ -293,16 +376,33 @@ impl Shared {
                 }
             };
             let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
-            telemetry::global().record("serve.queue_ns", queue_ns);
+            // The requester's trace follows the job onto this thread, so
+            // the execute span (and anything the engine emits under it)
+            // stays attributable to the originating query.
+            let _trace_scope = TraceScope::enter(job.trace);
+            // Recorded inside the exec window: a contended histogram
+            // lock here must land in a stage (render/glue remainder),
+            // not in the unattributed gap between queue and exec.
             let exec_started = Instant::now();
+            telemetry::global().record("serve.queue_ns", queue_ns);
             let response = match self.engine.execute(job.tenant, &job.query) {
                 Ok(exec) => {
                     let exec_ns = exec_started.elapsed().as_nanos() as u64;
+                    // Totalled here, before any bookkeeping locks, so the
+                    // staged decomposition covers the measured window.
+                    let total_ns = job.received.elapsed().as_nanos() as u64;
                     telemetry::global().record("serve.exec_ns", exec_ns);
                     telemetry::global().incr("serve.ok", 1);
+                    self.in_storm.store(false, Ordering::Relaxed);
                     self.note_outcome(Some(&job.query.tenant), Outcome::Ok);
+                    // Render/glue is the execution wall time the staged
+                    // timers did not claim — the decomposition is exact
+                    // inside the execute interval by construction.
+                    let staged = exec.prune_ns + exec.decode_ns + exec.fold_ns;
+                    let render_ns = exec_ns.saturating_sub(staged);
                     proto::render_ok(
                         job.query.id,
+                        job.trace,
                         &exec.result,
                         &exec.notes,
                         QueryCost {
@@ -310,6 +410,12 @@ impl Shared {
                             exec_ns,
                             days_scanned: exec.days_scanned,
                             rows: exec.rows,
+                            admission_ns: job.admission_ns,
+                            prune_ns: exec.prune_ns,
+                            decode_ns: exec.decode_ns,
+                            fold_ns: exec.fold_ns,
+                            render_ns,
+                            total_ns,
                         },
                     )
                 }
@@ -319,6 +425,7 @@ impl Shared {
                     self.note_outcome(Some(&job.query.tenant), Outcome::Error);
                     proto::render_error(
                         job.query.id,
+                        job.trace,
                         ErrorCode::Store,
                         &format!("store error: {err}"),
                     )
@@ -327,6 +434,63 @@ impl Shared {
             // A disconnected requester just means nobody is waiting.
             let _ = job.reply.send(response);
         }
+    }
+
+    /// Renders one `metrics` scrape response: the full telemetry
+    /// snapshot, per-counter deltas since the previous scrape (counters
+    /// that did not move are omitted), and per-tenant gauges joining
+    /// admission budgets, outcome counts, and cache residency.
+    fn metrics_response(&self, id: u64) -> String {
+        let trace = self.mint_trace();
+        let scrape = self.scrapes.fetch_add(1, Ordering::Relaxed);
+        let snapshot = TelemetrySnapshot::capture(telemetry::global());
+        let mut deltas = String::new();
+        {
+            let mut last = self.last_scrape.lock().unwrap();
+            let mut first = true;
+            for c in &snapshot.counters {
+                let prev = last.insert(c.name.clone(), c.value).unwrap_or(0);
+                let delta = c.value.saturating_sub(prev);
+                if delta == 0 {
+                    continue;
+                }
+                if !first {
+                    deltas.push(',');
+                }
+                first = false;
+                deltas.push_str("{\"name\":");
+                json::escape_into(&mut deltas, &c.name);
+                deltas.push_str(&format!(",\"delta\":{delta}}}"));
+            }
+        }
+        let cache_stats: FxHashMap<TenantId, TenantCacheStats> =
+            self.engine.cache().tenant_stats().into_iter().collect();
+        let outcomes: FxHashMap<String, OutcomeCounts> = self.stats.lock().unwrap().1.clone();
+        let mut tenants = String::new();
+        for (i, (name, tid, remaining)) in self.admission.tenants().iter().enumerate() {
+            if i > 0 {
+                tenants.push(',');
+            }
+            let oc = outcomes.get(name).cloned().unwrap_or_default();
+            let cs = cache_stats.get(tid).copied().unwrap_or_default();
+            tenants.push_str("{\"name\":");
+            json::escape_into(&mut tenants, name);
+            tenants.push_str(&format!(
+                ",\"id\":{tid},\"budget_remaining\":{remaining},\"queries\":{},\"ok\":{},\
+                 \"shed\":{},\"rejected\":{},\"errors\":{},\"cache_resident\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{}}}",
+                oc.queries, oc.ok, oc.shed, oc.rejected, oc.errors, cs.resident, cs.hits, cs.misses
+            ));
+        }
+        format!(
+            "{{\"v\":{},\"id\":{id},\"trace\":\"{}\",\"status\":\"metrics\",\
+             \"metrics_version\":{},\"scrape\":{scrape},\"telemetry\":{},\
+             \"deltas\":[{deltas}],\"tenants\":[{tenants}]}}",
+            proto::PROTOCOL_VERSION,
+            proto::trace_to_hex(trace),
+            proto::METRICS_VERSION,
+            snapshot.to_json_compact(),
+        )
     }
 }
 
@@ -349,6 +513,10 @@ impl Server {
             available: Condvar::new(),
             config,
             stats: Mutex::new((OutcomeCounts::default(), FxHashMap::default())),
+            trace_counter: AtomicU64::new(1),
+            in_storm: AtomicBool::new(false),
+            last_scrape: Mutex::new(BTreeMap::new()),
+            scrapes: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {

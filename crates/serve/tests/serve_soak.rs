@@ -110,6 +110,14 @@ fn seeded_soak_steady_then_overload() {
             steady.ok, steady.answered,
             "seed {seed}: steady must not shed or reject"
         );
+        assert_eq!(
+            steady.trace_violations, 0,
+            "seed {seed}: every steady response must echo its trace id"
+        );
+        assert_eq!(
+            steady.stage_sum_violations, 0,
+            "seed {seed}: steady cost stages must sum to within 10% of total_ns"
+        );
 
         // Open-loop burst at 3x the steady volume with no budget
         // refill in between: admission must engage — cached answers
@@ -146,6 +154,14 @@ fn seeded_soak_steady_then_overload() {
             burst.ok,
             burst.shed,
             burst.rejected
+        );
+        assert_eq!(
+            burst.trace_violations, 0,
+            "seed {seed}: every burst response must echo its trace id"
+        );
+        assert_eq!(
+            burst.stage_sum_violations, 0,
+            "seed {seed}: burst cost stages must sum to within 10% of total_ns"
         );
 
         let (totals, per_tenant) = server.shutdown();
@@ -193,6 +209,8 @@ fn seeded_soak_steady_then_overload() {
 /// clients and zero connections drop.
 #[test]
 fn tcp_soak_drops_nothing() {
+    // Enabled so the metrics scrape below carries populated counters.
+    global().enable();
     let seed = seeds()[0];
     let dir = temp_dir(&format!("tcp-{seed:x}"));
     let (server, day_hi) = start_server(&dir, seed);
@@ -222,5 +240,68 @@ fn tcp_soak_drops_nothing() {
     assert_eq!(report.dropped, 0, "zero dropped connections");
     assert_eq!(report.protocol_errors, 0);
     assert_eq!(report.result_mismatches, 0);
+    assert_eq!(
+        report.trace_violations, 0,
+        "trace ids must survive the real-socket round trip"
+    );
+
+    // Explicit trace round trip over the wire: a pinned client-chosen
+    // id must come back verbatim in the response line.
+    let mut port = TcpPort::connect(&addr).expect("trace round-trip connection");
+    let mut query = spider_serve::sample_query(9001, "t0", day_hi, 7);
+    query.trace = 0xfeed_face;
+    let line = port.request(&query.render()).expect("traced request");
+    assert!(
+        line.contains("\"trace\":\"00000000feedface\""),
+        "response must echo the request's trace id, got: {line}"
+    );
+    let parsed = spider_serve::ParsedResponse::parse(&line).expect("traced response parses");
+    assert_eq!(parsed.trace, 0xfeed_face);
+
+    // Metrics scrapes over the same socket: the scrape sequence
+    // advances and every cumulative counter is monotonic between
+    // consecutive scrapes.
+    let first = spider_serve::scrape_metrics(&mut port).expect("first scrape");
+    port.request(&spider_serve::sample_query(9002, "t1", day_hi, 8).render())
+        .expect("traffic between scrapes");
+    let second = spider_serve::scrape_metrics(&mut port).expect("second scrape");
+    let counters = |line: &str| -> Vec<(String, u64)> {
+        let doc = spider_serve::json::parse(line).expect("metrics line parses");
+        doc.get("telemetry")
+            .and_then(|t| t.get("counters"))
+            .and_then(|c| c.as_arr().map(<[_]>::to_vec))
+            .expect("metrics carries telemetry counters")
+            .iter()
+            .map(|c| {
+                (
+                    c.get("name").unwrap().as_str().unwrap().to_string(),
+                    c.get("value").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect()
+    };
+    let scrape_of = |line: &str| {
+        spider_serve::json::parse(line)
+            .unwrap()
+            .get("scrape")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+    assert!(
+        scrape_of(&second) > scrape_of(&first),
+        "scrape seq advances"
+    );
+    let before: std::collections::HashMap<String, u64> = counters(&first).into_iter().collect();
+    let after = counters(&second);
+    assert!(!after.is_empty(), "scrape must carry counters");
+    for (name, value) in &after {
+        if let Some(prev) = before.get(name) {
+            assert!(
+                value >= prev,
+                "counter {name} went backwards between scrapes: {prev} -> {value}"
+            );
+        }
+    }
     fs::remove_dir_all(&dir).unwrap();
 }

@@ -671,6 +671,7 @@ impl SnapshotStore {
         let delta_to = qdir.join(format!("snap-{day:05}.delta"));
         let _ = self.io.rename(&delta_from, &delta_to);
         telemetry::global().incr("store.quarantined_days", 1);
+        telemetry::global().trigger("quarantine", &format!("day {day}: {reason}"));
         health.quarantined.push(QuarantinedDay { day, reason });
     }
 

@@ -1,0 +1,195 @@
+//! The live event seam behind the flight recorder.
+//!
+//! Aggregation ([`crate::TelemetryRegistry`]) answers "how much, in
+//! total"; events answer "what just happened, in order". When a sink is
+//! installed ([`crate::TelemetryRegistry::install_sink`]) every closing
+//! span, counter increment, and outcome trigger is also emitted as a
+//! [`FlightEvent`] — timestamped, sequenced, tagged with the thread and
+//! the active trace id — to the sink. With no sink installed the extra
+//! cost on an *enabled* registry is one relaxed atomic load per call; on
+//! a disabled registry the event path is never reached at all, so the
+//! PR-5 discipline (one relaxed load when idle) is preserved.
+//!
+//! Sinks are deliberately dumb: [`EventSink::record`] must be cheap and
+//! lock-light (the flight recorder's ring buffer), and
+//! [`EventSink::trigger`] is the rare-path hook where a recorder dumps
+//! its ring on an oracle mismatch, fairness violation, quarantine,
+//! shed-storm onset, or panic.
+
+use crate::clock::Clock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::ThreadId;
+
+/// What a [`FlightEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span closed; `ts_ns` is its start, `dur_ns` its length.
+    Span,
+    /// A counter was incremented by `value`.
+    Counter,
+    /// A named outcome fired (oracle mismatch, quarantine, ...); the
+    /// human-readable context rides in `detail`.
+    Outcome,
+}
+
+/// One timestamped event handed to the installed [`EventSink`].
+#[derive(Debug, Clone)]
+pub struct FlightEvent {
+    /// Process-wide emission order (gaps legal, order authoritative).
+    pub seq: u64,
+    /// Event start, in the registry clock's nanoseconds. For spans this
+    /// is the open time; for counters and outcomes the emission time.
+    pub ts_ns: u64,
+    /// Span duration; 0 for counters and outcomes.
+    pub dur_ns: u64,
+    /// Dense per-registry thread index (0, 1, ... in first-seen order).
+    pub tid: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Span path joined with `/`, counter name, or outcome kind.
+    pub name: String,
+    /// Counter increment amount; 0 otherwise.
+    pub value: u64,
+    /// The trace id active on the emitting thread (0 = none).
+    pub trace: u64,
+    /// True for spans opened via [`crate::TelemetryRegistry::span_at`]
+    /// (cross-thread work; rendered as a flow in chrome traces).
+    pub concurrent: bool,
+    /// Free-form context for outcomes; empty otherwise.
+    pub detail: String,
+}
+
+/// Receives live events. Implemented by the flight recorder in
+/// `spider-obs`; `record` runs on hot-ish paths and must stay cheap.
+pub trait EventSink: Send + Sync {
+    /// A span closed / counter bumped / outcome fired.
+    fn record(&self, ev: FlightEvent);
+    /// A dump-worthy condition fired (the matching [`EventKind::Outcome`]
+    /// event was already `record`ed). `kind` is the condition's stable
+    /// name, `detail` human context.
+    fn trigger(&self, kind: &str, detail: &str);
+}
+
+/// Shared emission state, cloned into every [`crate::Counter`] handle so
+/// pre-resolved handles can emit without a registry reference.
+pub(crate) struct EventsShared {
+    /// True iff a sink is installed — the one extra relaxed load on the
+    /// enabled hot path.
+    on: AtomicBool,
+    clock: Arc<dyn Clock>,
+    sink: RwLock<Option<Arc<dyn EventSink>>>,
+    seq: AtomicU64,
+    tids: Mutex<HashMap<ThreadId, u64>>,
+}
+
+impl EventsShared {
+    pub(crate) fn new(clock: Arc<dyn Clock>) -> EventsShared {
+        EventsShared {
+            on: AtomicBool::new(false),
+            clock,
+            sink: RwLock::new(None),
+            seq: AtomicU64::new(0),
+            tids: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether a sink is installed (one relaxed load).
+    #[inline]
+    pub(crate) fn armed(&self) -> bool {
+        self.on.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn install(&self, sink: Arc<dyn EventSink>) {
+        *self.sink.write().expect("event sink poisoned") = Some(sink);
+        self.on.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn clear(&self) {
+        self.on.store(false, Ordering::Relaxed);
+        *self.sink.write().expect("event sink poisoned") = None;
+    }
+
+    pub(crate) fn sink(&self) -> Option<Arc<dyn EventSink>> {
+        self.sink.read().expect("event sink poisoned").clone()
+    }
+
+    /// This thread's dense index, assigned on first emission.
+    fn dense_tid(&self) -> u64 {
+        let id = std::thread::current().id();
+        let mut tids = self.tids.lock().expect("tid table poisoned");
+        let next = tids.len() as u64;
+        *tids.entry(id).or_insert(next)
+    }
+
+    fn emit(&self, sink: &dyn EventSink, ev: FlightEvent) {
+        sink.record(ev);
+    }
+
+    pub(crate) fn emit_counter(&self, name: &'static str, n: u64) {
+        let Some(sink) = self.sink() else { return };
+        let ev = FlightEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ts_ns: self.clock.now_ns(),
+            dur_ns: 0,
+            tid: self.dense_tid(),
+            kind: EventKind::Counter,
+            name: name.to_string(),
+            value: n,
+            trace: crate::trace::current_trace(),
+            concurrent: false,
+            detail: String::new(),
+        };
+        self.emit(&*sink, ev);
+    }
+
+    pub(crate) fn emit_span(
+        &self,
+        name: String,
+        start_ns: u64,
+        dur_ns: u64,
+        concurrent: bool,
+        trace: u64,
+    ) {
+        let Some(sink) = self.sink() else { return };
+        let ev = FlightEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ts_ns: start_ns,
+            dur_ns,
+            tid: self.dense_tid(),
+            kind: EventKind::Span,
+            name,
+            value: 0,
+            trace,
+            concurrent,
+            detail: String::new(),
+        };
+        self.emit(&*sink, ev);
+    }
+
+    pub(crate) fn emit_outcome(&self, kind: &'static str, detail: &str) {
+        let Some(sink) = self.sink() else { return };
+        let ev = FlightEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ts_ns: self.clock.now_ns(),
+            dur_ns: 0,
+            tid: self.dense_tid(),
+            kind: EventKind::Outcome,
+            name: kind.to_string(),
+            value: 0,
+            trace: crate::trace::current_trace(),
+            concurrent: false,
+            detail: detail.to_string(),
+        };
+        self.emit(&*sink, ev);
+    }
+}
+
+impl std::fmt::Debug for EventsShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventsShared")
+            .field("armed", &self.armed())
+            .finish_non_exhaustive()
+    }
+}

@@ -20,6 +20,14 @@
 //!   ([`Histogram`]) whose p50/p95/p99 are read out through
 //!   `spider_stats`' quantile sketch.
 //!
+//! Two live seams ride on top of the aggregates: **events** — when a
+//! sink is installed ([`TelemetryRegistry::install_sink`]) every span
+//! close, counter bump, and outcome trigger is emitted as a
+//! [`FlightEvent`] (the flight recorder and chrome-trace exporter in
+//! `spider-obs` consume these) — and **trace ids** ([`TraceScope`],
+//! [`current_trace`]), a thread-local request tag stamped onto every
+//! event inside a request's extent.
+//!
 //! [`TelemetrySnapshot`] freezes a registry into a span tree plus
 //! counter/histogram tables, renders a human report
 //! ([`TelemetrySnapshot::to_table`]) or a stable, hand-rendered JSON
@@ -32,10 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod events;
 pub mod registry;
 pub mod report;
+pub mod trace;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
+pub use events::{EventKind, EventSink, FlightEvent};
 pub use registry::{
     global, Counter, Histogram, HistogramCore, SpanGuard, SpanPath, SpanStat, Stopwatch,
     TelemetryRegistry, HISTOGRAM_BUCKETS,
@@ -43,6 +54,7 @@ pub use registry::{
 pub use report::{
     fmt_ns, CounterSnapshot, HistogramSnapshot, SpanNode, TelemetrySnapshot, SCHEMA_VERSION,
 };
+pub use trace::{current_trace, TraceScope};
 
 #[cfg(test)]
 mod tests {

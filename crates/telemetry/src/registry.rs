@@ -14,6 +14,7 @@
 //! reads) is irrelevant next to what they measure.
 
 use crate::clock::{Clock, MonotonicClock};
+use crate::events::{EventSink, EventsShared};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -47,6 +48,8 @@ pub struct SpanStat {
 pub struct Counter {
     enabled: Arc<AtomicBool>,
     value: Arc<AtomicU64>,
+    name: &'static str,
+    events: Arc<EventsShared>,
 }
 
 impl Counter {
@@ -55,6 +58,9 @@ impl Counter {
     pub fn add(&self, n: u64) {
         if self.enabled.load(Ordering::Relaxed) {
             self.value.fetch_add(n, Ordering::Relaxed);
+            if self.events.armed() {
+                self.events.emit_counter(self.name, n);
+            }
         }
     }
 
@@ -162,6 +168,7 @@ pub struct SpanGuard<'a> {
     start_ns: u64,
     on_stack: bool,
     concurrent: bool,
+    trace: u64,
 }
 
 impl Drop for SpanGuard<'_> {
@@ -178,6 +185,15 @@ impl Drop for SpanGuard<'_> {
                 }
             }
         }
+        if registry.events.armed() {
+            registry.events.emit_span(
+                self.path.join("/"),
+                self.start_ns,
+                elapsed,
+                self.concurrent,
+                self.trace,
+            );
+        }
         let mut spans = registry.spans.lock().expect("span table poisoned");
         let stat = spans.entry(std::mem::take(&mut self.path)).or_default();
         stat.count += 1;
@@ -190,6 +206,7 @@ impl Drop for SpanGuard<'_> {
 pub struct TelemetryRegistry {
     enabled: Arc<AtomicBool>,
     clock: Arc<dyn Clock>,
+    events: Arc<EventsShared>,
     counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCore>>>,
     spans: Mutex<BTreeMap<SpanPath, SpanStat>>,
@@ -221,6 +238,7 @@ impl TelemetryRegistry {
     pub fn with_clock(clock: Arc<dyn Clock>) -> TelemetryRegistry {
         TelemetryRegistry {
             enabled: Arc::new(AtomicBool::new(false)),
+            events: Arc::new(EventsShared::new(Arc::clone(&clock))),
             clock,
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
@@ -270,6 +288,41 @@ impl TelemetryRegistry {
         Counter {
             enabled: Arc::clone(&self.enabled),
             value: cell,
+            name,
+            events: Arc::clone(&self.events),
+        }
+    }
+
+    /// Installs the live event sink (the flight recorder). Every span
+    /// close and counter increment on an *enabled* registry is then also
+    /// emitted as a [`crate::FlightEvent`]; outcome triggers fire even
+    /// while disabled, so the recorder always sees dump-worthy moments.
+    pub fn install_sink(&self, sink: Arc<dyn EventSink>) {
+        self.events.install(sink);
+    }
+
+    /// Removes the event sink (events stop; aggregation unaffected).
+    pub fn clear_sink(&self) {
+        self.events.clear();
+    }
+
+    /// Whether an event sink is currently installed.
+    pub fn sink_installed(&self) -> bool {
+        self.events.armed()
+    }
+
+    /// Fires a dump-worthy outcome: records an [`crate::FlightEvent`]
+    /// of kind `Outcome` (bypassing the enabled gate — the condition is
+    /// rare and always worth capturing when a sink is armed), then calls
+    /// the sink's [`EventSink::trigger`] so it can dump its ring. A
+    /// single relaxed load when no sink is installed.
+    pub fn trigger(&self, kind: &'static str, detail: &str) {
+        if !self.events.armed() {
+            return;
+        }
+        self.events.emit_outcome(kind, detail);
+        if let Some(sink) = self.events.sink() {
+            sink.trigger(kind, detail);
         }
     }
 
@@ -329,6 +382,7 @@ impl TelemetryRegistry {
                 start_ns: 0,
                 on_stack: false,
                 concurrent: false,
+                trace: 0,
             };
         }
         let path = {
@@ -343,6 +397,7 @@ impl TelemetryRegistry {
             start_ns: self.clock.now_ns(),
             on_stack: true,
             concurrent: false,
+            trace: crate::trace::current_trace(),
         }
     }
 
@@ -359,6 +414,7 @@ impl TelemetryRegistry {
                 start_ns: 0,
                 on_stack: false,
                 concurrent: false,
+                trace: 0,
             };
         }
         let mut path = parent.to_vec();
@@ -369,6 +425,7 @@ impl TelemetryRegistry {
             start_ns: self.clock.now_ns(),
             on_stack: false,
             concurrent: true,
+            trace: crate::trace::current_trace(),
         }
     }
 

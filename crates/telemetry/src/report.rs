@@ -9,7 +9,7 @@
 //! Two renderers:
 //!
 //! * [`TelemetrySnapshot::to_json`] — hand-rendered, field-order-stable
-//!   JSON (`schema_version` 1). Rendering is deliberately independent of
+//!   JSON (`schema_version` 2). Rendering is deliberately independent of
 //!   `serde_json` so the export is byte-stable everywhere the crate
 //!   builds, and golden-testable; the types still derive `serde` traits
 //!   for embedding in larger documents under cargo builds.
@@ -22,7 +22,8 @@ use serde::{Deserialize, Serialize};
 use spider_stats::QuantileSketch;
 
 /// Version stamp of the JSON export; bump on any field change.
-pub const SCHEMA_VERSION: u32 = 1;
+/// History: 1 = initial; 2 = `p999` added to histogram summaries.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One node of the span tree.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +70,8 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile (clamped to `max`).
     pub p99: u64,
+    /// 99.9th percentile (clamped to `max`).
+    pub p999: u64,
 }
 
 /// A stable point-in-time export of a registry.
@@ -101,7 +104,7 @@ impl TelemetrySnapshot {
             .into_iter()
             .map(|(name, core)| {
                 let (count, sum, max) = core.totals();
-                let (p50, p95, p99) = bucket_quantiles(&core.bucket_counts(), max);
+                let (p50, p95, p99, p999) = bucket_quantiles(&core.bucket_counts(), max);
                 HistogramSnapshot {
                     name: name.to_string(),
                     count,
@@ -110,6 +113,7 @@ impl TelemetrySnapshot {
                     p50,
                     p95,
                     p99,
+                    p999,
                 }
             })
             .collect();
@@ -212,20 +216,82 @@ impl TelemetrySnapshot {
             }
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"max\": {}, \
-                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}}}",
                 escape(&h.name),
                 h.count,
                 h.sum,
                 h.max,
                 h.p50,
                 h.p95,
-                h.p99
+                h.p99,
+                h.p999
             ));
         }
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders the same document as [`TelemetrySnapshot::to_json`] on a
+    /// single line (no newlines, minimal spacing) — for line-delimited
+    /// transports like the serve wire protocol's `metrics` response.
+    pub fn to_json_compact(&self) -> String {
+        fn spans(nodes: &[SpanNode], out: &mut String) {
+            for (i, n) in nodes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{},\
+                     \"concurrent\":{},\"children\":[",
+                    escape(&n.name),
+                    n.count,
+                    n.total_ns,
+                    n.self_ns,
+                    n.concurrent
+                ));
+                spans(&n.children, out);
+                out.push_str("]}");
+            }
+        }
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"schema_version\":{},\"spans\":[",
+            self.schema_version
+        ));
+        spans(&self.spans, &mut out);
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"value\":{}}}",
+                escape(&c.name),
+                c.value
+            ));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\
+                 \"p95\":{},\"p99\":{},\"p999\":{}}}",
+                escape(&h.name),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.p999
+            ));
+        }
+        out.push_str("]}");
         out
     }
 
@@ -252,7 +318,7 @@ impl TelemetrySnapshot {
         for c in &self.counters {
             out.push_str(&format!("  {:<width$}  {}\n", c.name, c.value));
         }
-        out.push_str("\nhistograms (count / p50 / p95 / p99 / max):\n");
+        out.push_str("\nhistograms (count / p50 / p95 / p99 / p999 / max):\n");
         if self.histograms.is_empty() {
             out.push_str("  (none)\n");
         }
@@ -274,12 +340,13 @@ impl TelemetrySnapshot {
                 }
             };
             out.push_str(&format!(
-                "  {:<width$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "  {:<width$}  {:>8}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
                 h.name,
                 h.count,
                 fmt(h.p50),
                 fmt(h.p95),
                 fmt(h.p99),
+                fmt(h.p999),
                 fmt(h.max),
             ));
         }
@@ -287,10 +354,10 @@ impl TelemetrySnapshot {
     }
 }
 
-/// p50/p95/p99 from log2 bucket counts via the shared quantile sketch.
-/// Each bucket contributes its count at the bucket's geometric midpoint;
-/// results are clamped to the exact observed max.
-fn bucket_quantiles(buckets: &[u64; HISTOGRAM_BUCKETS], max: u64) -> (u64, u64, u64) {
+/// p50/p95/p99/p999 from log2 bucket counts via the shared quantile
+/// sketch. Each bucket contributes its count at the bucket's geometric
+/// midpoint; results are clamped to the exact observed max.
+fn bucket_quantiles(buckets: &[u64; HISTOGRAM_BUCKETS], max: u64) -> (u64, u64, u64, u64) {
     let mut sketch = QuantileSketch::default();
     for (idx, &count) in buckets.iter().enumerate() {
         if count == 0 {
@@ -310,7 +377,7 @@ fn bucket_quantiles(buckets: &[u64; HISTOGRAM_BUCKETS], max: u64) -> (u64, u64, 
             .map(|v| (v.round() as u64).min(max))
             .unwrap_or(0)
     };
-    (q(0.50), q(0.95), q(0.99))
+    (q(0.50), q(0.95), q(0.99), q(0.999))
 }
 
 /// Assembles the nested tree from the flat path-keyed span table.
@@ -570,7 +637,7 @@ mod tests {
         let b = TelemetrySnapshot::capture(&reg).to_json();
         assert_eq!(a, b, "same state must render identically");
         for needle in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"spans\": [",
             "\"counters\": [",
             "\"histograms\": [",
@@ -598,7 +665,7 @@ mod tests {
             clock.advance_ns(5);
         }
         let expected = r#"{
-  "schema_version": 1,
+  "schema_version": 2,
   "spans": [
       {"name": "pipeline", "count": 1, "total_ns": 15, "self_ns": 5, "concurrent": false, "children": [
           {"name": "scrub", "count": 1, "total_ns": 10, "self_ns": 10, "concurrent": false, "children": []}
@@ -608,11 +675,57 @@ mod tests {
     {"name": "cache.hits", "value": 3}
   ],
   "histograms": [
-    {"name": "store.read_ns", "count": 1, "sum": 1024, "max": 1024, "p50": 1024, "p95": 1024, "p99": 1024}
+    {"name": "store.read_ns", "count": 1, "sum": 1024, "max": 1024, "p50": 1024, "p95": 1024, "p99": 1024, "p999": 1024}
   ]
 }
 "#;
         assert_eq!(TelemetrySnapshot::capture(&reg).to_json(), expected);
+    }
+
+    /// The compact renderer is the wire form of the same document: one
+    /// line, no interior newlines, same field order, round-trippable by
+    /// any JSON parser.
+    #[test]
+    fn json_compact_is_single_line_and_field_identical() {
+        let (reg, clock) = mock_registry();
+        reg.counter("cache.hits").add(3);
+        reg.histogram("store.read_ns").record(1024);
+        {
+            let _pipeline = reg.span("pipeline");
+            clock.advance_ns(15);
+        }
+        let compact = TelemetrySnapshot::capture(&reg).to_json_compact();
+        assert!(!compact.contains('\n'), "compact must be one line");
+        assert_eq!(
+            compact,
+            "{\"schema_version\":2,\"spans\":[{\"name\":\"pipeline\",\"count\":1,\
+             \"total_ns\":15,\"self_ns\":15,\"concurrent\":false,\"children\":[]}],\
+             \"counters\":[{\"name\":\"cache.hits\",\"value\":3}],\"histograms\":\
+             [{\"name\":\"store.read_ns\",\"count\":1,\"sum\":1024,\"max\":1024,\
+             \"p50\":1024,\"p95\":1024,\"p99\":1024,\"p999\":1024}]}"
+        );
+    }
+
+    /// Satellite guarantee: report ordering is by name, independent of
+    /// registration or recording order (BTreeMap-backed tables), so
+    /// goldens and diffs are stable across thread interleavings.
+    #[test]
+    fn report_orders_by_name_not_registration_order() {
+        let (reg, _clock) = mock_registry();
+        reg.counter("z.late").add(1);
+        reg.counter("a.early").add(2);
+        reg.histogram("z.h").record(1);
+        reg.histogram("a.h").record(2);
+        let snap = TelemetrySnapshot::capture(&reg);
+        let counters: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let histograms: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(counters, ["a.early", "z.late"]);
+        assert_eq!(histograms, ["a.h", "z.h"]);
+        let json = snap.to_json();
+        assert!(
+            json.find("a.early").unwrap() < json.find("z.late").unwrap(),
+            "JSON must render in name order"
+        );
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Per-request trace-id propagation.
+//!
+//! A trace id is an opaque nonzero `u64` minted at a request boundary
+//! (the serve front-end) and carried down the call stack via a
+//! thread-local, so every span close and counter increment inside the
+//! request's extent is tagged with it — including synchronous dips into
+//! other crates (loader, cache, raft peer heal) that know nothing about
+//! the wire protocol. Zero means "no trace"; the thread-local starts
+//! there and [`TraceScope`] restores the previous value on drop, so
+//! scopes nest.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace id active on this thread (0 = none).
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// RAII scope installing a trace id on this thread; the previous id is
+/// restored on drop, so nested scopes (a traced request issuing a traced
+/// sub-request) unwind correctly.
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl TraceScope {
+    /// Makes `trace` this thread's active trace id until the scope drops.
+    pub fn enter(trace: u64) -> TraceScope {
+        TraceScope {
+            prev: CURRENT_TRACE.with(|c| c.replace(trace)),
+        }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_trace(), 0);
+        {
+            let _outer = TraceScope::enter(7);
+            assert_eq!(current_trace(), 7);
+            {
+                let _inner = TraceScope::enter(9);
+                assert_eq!(current_trace(), 9);
+            }
+            assert_eq!(current_trace(), 7);
+        }
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn traces_are_thread_local() {
+        let _mine = TraceScope::enter(42);
+        std::thread::spawn(|| assert_eq!(current_trace(), 0))
+            .join()
+            .expect("spawned thread");
+        assert_eq!(current_trace(), 42);
+    }
+}

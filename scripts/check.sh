@@ -89,6 +89,22 @@ if timeout 90 cargo fetch --quiet 2>/dev/null; then
         loadgen --dir target/serve-smoke --synth-days 4 --synth-rows 400 \
         --seed 660942 --sweep --analysts 8 --tenants 3 --threads 4 \
         --queries 40 --out target/BENCH_serve_smoke.json >/dev/null
+    # A seeded loadgen run under --trace must export a chrome trace that
+    # validates (well-formed trace_event JSON, spans, flow starts/
+    # finishes paired, child spans inside their parents); flightrec must
+    # dump a ring whose trace carries >=1 cross-thread flow pair, with
+    # its two metrics scrapes reporting deltas equal to the counters'
+    # actual movement.
+    echo "== obs smoke (chrome trace + flight recorder + metrics deltas)"
+    rm -rf target/obs-smoke target/obs-smoke-trace.json
+    cargo run --release -q -p spider-cli --bin spider-metalab -- \
+        loadgen --dir target/obs-smoke --synth-days 3 --synth-rows 300 \
+        --seed 660942 --analysts 4 --tenants 2 --threads 2 --queries 10 \
+        --trace=target/obs-smoke-trace.json >/dev/null
+    cargo run --release -q -p spider-cli --bin spider-metalab -- \
+        flightrec --check target/obs-smoke-trace.json
+    cargo run --release -q -p spider-cli --bin spider-metalab -- \
+        flightrec --dir target/obs-smoke --validate >/dev/null
     echo "== cargo clippy --all-targets (deny warnings)"
     cargo clippy --all-targets -- -D warnings
     echo "== cargo fmt --check"

@@ -36,6 +36,7 @@ ext() { echo "--extern $1=$DEPS/lib$1.rlib"; }
 CRATES=(
     "spider_stats:crates/stats/src/lib.rs:serde"
     "spider_telemetry:crates/telemetry/src/lib.rs:spider_stats serde"
+    "spider_obs:crates/obs/src/lib.rs:spider_telemetry"
     "spider_fsmeta:crates/fsmeta/src/lib.rs:rustc_hash serde"
     "spider_snapshot:crates/snapshot/src/lib.rs:spider_fsmeta spider_telemetry bytes rayon rustc_hash serde"
     "spider_raft:crates/raft/src/lib.rs:spider_snapshot spider_telemetry"
@@ -56,8 +57,8 @@ ITESTS=(
     "golden_fixtures:crates/snapshot/tests/golden_fixtures.rs:spider_snapshot"
     "frame_equivalence:crates/core/tests/frame_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
     "pushdown_equivalence:crates/core/tests/pushdown_equivalence.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry"
-    "cache_fairness:crates/core/tests/cache_fairness.rs:spider_core spider_snapshot spider_fsmeta"
-    "incremental_equivalence:crates/core/tests/incremental_equivalence.rs:spider_core spider_snapshot spider_fsmeta"
+    "cache_fairness:crates/core/tests/cache_fairness.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry spider_obs"
+    "incremental_equivalence:crates/core/tests/incremental_equivalence.rs:spider_core spider_snapshot spider_fsmeta spider_telemetry spider_obs"
     "degraded_serve:crates/serve/tests/degraded_serve.rs:spider_serve spider_snapshot spider_core spider_fsmeta"
     "epoch_cache:crates/serve/tests/epoch_cache.rs:spider_serve spider_snapshot spider_core spider_fsmeta"
     "serve_soak:crates/serve/tests/serve_soak.rs:spider_serve spider_snapshot spider_core spider_telemetry"
@@ -109,7 +110,7 @@ done
 # CLI binary (library deps of spider_experiments plus itself).
 if [ -z "$FILTER" ] || [[ "spider_cli" == *"$FILTER"* ]]; then
     say "build spider-metalab binary"
-    CLI_DEPS="spider_fsmeta spider_snapshot spider_raft spider_telemetry spider_workload spider_sim spider_core spider_serve spider_graph spider_report spider_experiments spider_stats serde_json"
+    CLI_DEPS="spider_fsmeta spider_snapshot spider_raft spider_telemetry spider_obs spider_workload spider_sim spider_core spider_serve spider_graph spider_report spider_experiments spider_stats serde_json"
     externs=""
     for d in $CLI_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name spider_metalab crates/cli/src/main.rs $externs \
@@ -143,12 +144,30 @@ if [ -z "$FILTER" ] || [[ "serve_load" == *"$FILTER"* ]]; then
         --threads 4 --queries 40 --out "$OUT/BENCH_serve_smoke.json" >/dev/null
 fi
 
+# Observability smoke: a seeded loadgen run with --trace must produce a
+# chrome trace that validates (well-formed trace_event JSON, spans,
+# flow starts/finishes paired, child spans inside their parents), and
+# the flightrec subcommand must dump a ring whose trace carries >=1
+# cross-thread flow pair, while its two
+# bracketing metrics scrapes report deltas equal to the counters'
+# actual movement. Span-sum consistency of the underlying stream is
+# covered by the telemetry smoke above (`telemetry --check`).
+if [ -z "$FILTER" ] || [[ "obs_smoke" == *"$FILTER"* ]]; then
+    say "obs smoke"
+    rm -rf "$OUT/obs-smoke" "$OUT/obs-smoke-trace.json"
+    "$OUT/spider-metalab" loadgen --dir "$OUT/obs-smoke" --synth-days 3 \
+        --synth-rows 300 --seed 660942 --analysts 4 --tenants 2 --threads 2 \
+        --queries 10 --trace="$OUT/obs-smoke-trace.json" >/dev/null
+    "$OUT/spider-metalab" flightrec --check "$OUT/obs-smoke-trace.json"
+    "$OUT/spider-metalab" flightrec --dir "$OUT/obs-smoke" --validate >/dev/null
+fi
+
 # Columnar fast-path benchmark smoke: tiny run, asserts the row-path /
 # fast-path fingerprint cross-checks internally (sequential under the
 # rayon stub, so timings here are not representative — see BENCH notes).
 if [ -z "$FILTER" ] || [[ "frame_path" == *"$FILTER"* ]]; then
     say "build + smoke frame_path bench"
-    BENCH_DEPS="spider_core spider_snapshot spider_telemetry spider_fsmeta rustc_hash"
+    BENCH_DEPS="spider_core spider_snapshot spider_telemetry spider_obs spider_fsmeta rustc_hash"
     externs=""
     for d in $BENCH_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name frame_path crates/bench/src/bin/frame_path.rs $externs \
@@ -163,7 +182,7 @@ fi
 # the committed BENCH_incremental.json comes from the full-size run.)
 if [ -z "$FILTER" ] || [[ "incremental_bench" == *"$FILTER"* ]]; then
     say "build + smoke incremental bench"
-    BENCH_DEPS="spider_core spider_snapshot spider_telemetry spider_fsmeta rustc_hash"
+    BENCH_DEPS="spider_core spider_snapshot spider_telemetry spider_obs spider_fsmeta rustc_hash"
     externs=""
     for d in $BENCH_DEPS; do externs+=" $(ext $d)"; done
     $RUSTC --crate-name incremental_bench crates/bench/src/bin/incremental_bench.rs $externs \
